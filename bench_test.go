@@ -1,0 +1,291 @@
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/kb"
+	"repro/internal/report"
+	"repro/internal/webtable"
+	"repro/internal/world"
+)
+
+// benchSuite is shared across benchmarks so world generation and model
+// training are paid once; each benchmark then measures regenerating its
+// table (including the experiment runs the table needs, via the suite's
+// caches for setup shared with other tables).
+var (
+	benchOnce sync.Once
+	benchS    *report.Suite
+)
+
+func suite() *report.Suite {
+	benchOnce.Do(func() {
+		benchS = report.NewSuite(report.Options{WorldScale: 0.15, CorpusScale: 0.08, Seed: 1})
+	})
+	return benchS
+}
+
+// BenchmarkTable01 regenerates Table 1 (instances and facts per class).
+func BenchmarkTable01(b *testing.B) {
+	s := suite()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.Table1(); len(got.Rows) != 3 {
+			b.Fatal("bad table 1")
+		}
+	}
+}
+
+// BenchmarkTable02 regenerates Table 2 (property densities).
+func BenchmarkTable02(b *testing.B) {
+	s := suite()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.Table2(); len(got.Rows) == 0 {
+			b.Fatal("bad table 2")
+		}
+	}
+}
+
+// BenchmarkTable03 regenerates Table 3 (corpus characteristics).
+func BenchmarkTable03(b *testing.B) {
+	s := suite()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.Table3(); len(got.Rows) != 2 {
+			b.Fatal("bad table 3")
+		}
+	}
+}
+
+// BenchmarkTable04 regenerates Table 4 (tables and value correspondences).
+func BenchmarkTable04(b *testing.B) {
+	s := suite()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.Table4(); len(got.Rows) != 3 {
+			b.Fatal("bad table 4")
+		}
+	}
+}
+
+// BenchmarkTable05 regenerates Table 5 (gold standard overview).
+func BenchmarkTable05(b *testing.B) {
+	s := suite()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.Table5(); len(got.Rows) != 3 {
+			b.Fatal("bad table 5")
+		}
+	}
+}
+
+// BenchmarkTable06 regenerates Table 6 (schema matching by iteration).
+func BenchmarkTable06(b *testing.B) {
+	s := suite()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.Table6Data(); len(got) != 3 {
+			b.Fatal("bad table 6")
+		}
+	}
+}
+
+// BenchmarkTable07 regenerates Table 7 (row clustering ablation).
+func BenchmarkTable07(b *testing.B) {
+	s := suite()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.Table7Data(); len(got) != 6 {
+			b.Fatal("bad table 7")
+		}
+	}
+}
+
+// BenchmarkTable08 regenerates Table 8 (new detection ablation).
+func BenchmarkTable08(b *testing.B) {
+	s := suite()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.Table8Data(); len(got) != 6 {
+			b.Fatal("bad table 8")
+		}
+	}
+}
+
+// BenchmarkTable09 regenerates Table 9 (new instances found).
+func BenchmarkTable09(b *testing.B) {
+	s := suite()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.Table9Data(); len(got) != 7 {
+			b.Fatal("bad table 9")
+		}
+	}
+}
+
+// BenchmarkTable10 regenerates Table 10 (facts found, fusion scoring).
+func BenchmarkTable10(b *testing.B) {
+	s := suite()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.Table10Data(); len(got) != 10 {
+			b.Fatal("bad table 10")
+		}
+	}
+}
+
+// BenchmarkTable11 regenerates Table 11 (large-scale profiling).
+func BenchmarkTable11(b *testing.B) {
+	s := suite()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.Table11Data(); len(got) != 3 {
+			b.Fatal("bad table 11")
+		}
+	}
+}
+
+// BenchmarkTable12 regenerates Table 12 (new entity property densities).
+func BenchmarkTable12(b *testing.B) {
+	s := suite()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.Table12(); len(got.Rows) == 0 {
+			b.Fatal("bad table 12")
+		}
+	}
+}
+
+// BenchmarkRankedEval regenerates the §6 ranked evaluation (MAP, P@k).
+func BenchmarkRankedEval(b *testing.B) {
+	s := suite()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs := s.RankedData()
+		if rs.MAP < 0 || rs.MAP > 1 {
+			b.Fatal("bad ranked eval")
+		}
+	}
+}
+
+// BenchmarkPipelineEndToEnd measures a full two-iteration pipeline run over
+// the gold tables of the Song class (the hardest class).
+func BenchmarkPipelineEndToEnd(b *testing.B) {
+	s := suite()
+	s.ModelsFor(kb.ClassSong) // train outside the timed region
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := s.GoldRun(kb.ClassSong)
+		if len(out.Entities) == 0 {
+			b.Fatal("no entities")
+		}
+	}
+}
+
+// BenchmarkWorldGeneration measures synthetic world generation.
+func BenchmarkWorldGeneration(b *testing.B) {
+	cfg := world.DefaultConfig(0.3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		world.Generate(cfg)
+	}
+}
+
+// BenchmarkCorpusSynthesis measures synthetic corpus generation.
+func BenchmarkCorpusSynthesis(b *testing.B) {
+	w := world.Generate(world.DefaultConfig(0.3))
+	cfg := webtable.DefaultSynthConfig(0.2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		webtable.Synthesize(w, cfg)
+	}
+}
+
+// --- Ablation benchmarks for the design choices called out in DESIGN.md ---
+
+// benchClusterAblation clusters the corpus rows of the Song class (the
+// class where clustering choices matter most) under the given blocking and
+// KLj settings, reporting quality alongside time.
+func benchClusterAblation(b *testing.B, blocking, klj bool) {
+	s := suite()
+	models := s.ModelsFor(kb.ClassSong)
+	cfg := s.Config(kb.ClassSong)
+	cfg.ClusterOpts = cluster.Options{Blocking: blocking, KLj: klj, BatchSize: 64, MaxKLjRounds: 4}
+	cfg.Iterations = 1
+	p := core.New(cfg, models)
+	tables := s.Golds[kb.ClassSong].TableIDs
+	b.ReportAllocs()
+	b.ResetTimer()
+	var clusters int
+	for i := 0; i < b.N; i++ {
+		out := p.Run(tables)
+		clusters = out.Clustering.NumClusters()
+	}
+	b.ReportMetric(float64(clusters), "clusters")
+}
+
+// benchIterations measures the full pipeline at the given iteration count.
+func benchIterations(b *testing.B, iters int) {
+	s := suite()
+	models := s.ModelsFor(kb.ClassGFPlayer)
+	cfg := s.Config(kb.ClassGFPlayer)
+	cfg.Iterations = iters
+	p := core.New(cfg, models)
+	tables := s.Golds[kb.ClassGFPlayer].TableIDs
+	b.ReportAllocs()
+	b.ResetTimer()
+	var mapped int
+	for i := 0; i < b.N; i++ {
+		out := p.Run(tables)
+		mapped = 0
+		for _, m := range out.Mapping {
+			mapped += len(m)
+		}
+	}
+	b.ReportMetric(float64(mapped), "mapped-cols")
+}
+
+// BenchmarkAblationBlockingOn measures clustering with label blocking.
+func BenchmarkAblationBlockingOn(b *testing.B) {
+	benchClusterAblation(b, true, true)
+}
+
+// BenchmarkAblationBlockingOff measures clustering without blocking (every
+// row compared against every cluster). F1 is unchanged; time is much worse.
+func BenchmarkAblationBlockingOff(b *testing.B) {
+	benchClusterAblation(b, false, true)
+}
+
+// BenchmarkAblationGreedyOnly measures the parallel greedy pass without the
+// KLj refinement.
+func BenchmarkAblationGreedyOnly(b *testing.B) {
+	benchClusterAblation(b, true, false)
+}
+
+// BenchmarkAblationIterations1 runs the pipeline with a single iteration.
+func BenchmarkAblationIterations1(b *testing.B) { benchIterations(b, 1) }
+
+// BenchmarkAblationIterations2 runs the standard two iterations.
+func BenchmarkAblationIterations2(b *testing.B) { benchIterations(b, 2) }
+
+// BenchmarkAblationIterations3 runs a third iteration (the paper: no gain).
+func BenchmarkAblationIterations3(b *testing.B) { benchIterations(b, 3) }

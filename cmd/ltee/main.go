@@ -1,0 +1,127 @@
+// Command ltee runs the LTEE reproduction: it generates the synthetic
+// world and web table corpus, trains the pipeline, and regenerates any of
+// the paper's evaluation tables.
+//
+// Usage:
+//
+//	ltee -table 7              # print paper Table 7 (row clustering ablation)
+//	ltee -all                  # print every table (Tables 1-12 + ranked eval)
+//	ltee -run GF-Player        # run the full pipeline for one class and
+//	                           # print a summary of the new entities found
+//	ltee -world 0.3 -corpus 0.2 -seed 7 -table 11
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/kb"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		tableNum    = flag.Int("table", 0, "paper table to regenerate (1-13; 13 = ranked eval)")
+		all         = flag.Bool("all", false, "regenerate every table")
+		runClass    = flag.String("run", "", "run the full pipeline for a class (GF-Player, Song, Settlement)")
+		worldScale  = flag.Float64("world", 0.35, "world scale (entity counts)")
+		corpusScale = flag.Float64("corpus", 0.22, "corpus scale (table counts)")
+		seed        = flag.Int64("seed", 1, "generation and learning seed")
+		weights     = flag.Bool("weights", false, "print learned matcher weights (§3.1 analysis)")
+		ablation    = flag.Bool("ablation", false, "print the aggregation-strategy ablation (§3.2)")
+	)
+	flag.Parse()
+
+	s := report.NewSuite(report.Options{
+		WorldScale: *worldScale, CorpusScale: *corpusScale, Seed: *seed,
+	})
+	fmt.Printf("world: %d entities, KB: %d instances, corpus: %d tables / %d rows\n\n",
+		len(s.World.Entities), s.World.KB.NumInstances(), s.Corpus.Len(), s.Corpus.TotalRows())
+
+	switch {
+	case *all:
+		for n := 1; n <= 13; n++ {
+			printTable(s, n)
+		}
+	case *tableNum > 0:
+		printTable(s, *tableNum)
+	case *weights:
+		fmt.Println(s.MatcherWeights())
+	case *ablation:
+		fmt.Println(s.AblationAggregation())
+	case *runClass != "":
+		runPipeline(s, *runClass)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printTable(s *report.Suite, n int) {
+	switch n {
+	case 1:
+		fmt.Println(s.Table1())
+	case 2:
+		fmt.Println(s.Table2())
+	case 3:
+		fmt.Println(s.Table3())
+	case 4:
+		fmt.Println(s.Table4())
+	case 5:
+		fmt.Println(s.Table5())
+	case 6:
+		fmt.Println(s.Table6())
+	case 7:
+		fmt.Println(s.Table7())
+	case 8:
+		fmt.Println(s.Table8())
+	case 9:
+		fmt.Println(s.Table9())
+	case 10:
+		fmt.Println(s.Table10())
+	case 11:
+		fmt.Println(s.Table11())
+	case 12:
+		fmt.Println(s.Table12())
+	case 13:
+		fmt.Println(s.Table13())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown table %d (want 1-13)\n", n)
+		os.Exit(2)
+	}
+}
+
+func runPipeline(s *report.Suite, name string) {
+	var class kb.ClassID
+	switch strings.ToLower(name) {
+	case "gf-player", "gfplayer", "player":
+		class = kb.ClassGFPlayer
+	case "song":
+		class = kb.ClassSong
+	case "settlement":
+		class = kb.ClassSettlement
+	default:
+		fmt.Fprintf(os.Stderr, "unknown class %q\n", name)
+		os.Exit(2)
+	}
+	out := s.FullRun(class)
+	newEnts := out.NewEntities()
+	existing, _ := out.ExistingEntities()
+	fmt.Printf("class %s: %d tables, %d rows, %d clusters\n",
+		kb.ClassShortName(class), len(out.TableIDs), len(out.Rows), len(out.Entities))
+	fmt.Printf("existing entities: %d, new entities: %d\n\n", len(existing), len(newEnts))
+	max := 15
+	if len(newEnts) < max {
+		max = len(newEnts)
+	}
+	fmt.Println("sample of new entities:")
+	for _, e := range newEnts[:max] {
+		var facts []string
+		for pid, v := range e.Facts {
+			facts = append(facts, fmt.Sprintf("%s=%s", string(pid)[4:], v))
+		}
+		fmt.Printf("  %-28s %s\n", e.Label(), strings.Join(facts, ", "))
+	}
+}

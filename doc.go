@@ -1,0 +1,18 @@
+// Package repro reproduces "Extending Cross-Domain Knowledge Bases with
+// Long Tail Entities using Web Table Data" (Oulabi & Bizer, EDBT 2019).
+//
+// The library lives under internal/: internal/core is the four-step LTEE
+// pipeline (schema matching, row clustering, entity creation, new
+// detection, run for two iterations), and the surrounding packages are the
+// substrates it depends on — a knowledge base (internal/kb), a web table
+// model with HTML extraction and a synthetic corpus (internal/webtable), a
+// synthetic world of head and long-tail entities (internal/world), typed
+// values (internal/dtype), string similarity (internal/strsim), an inverted
+// label index (internal/index), learning machinery (internal/ml,
+// internal/agg), the gold standard (internal/gold), the paper's evaluation
+// measures (internal/eval), and the table harness (internal/report).
+//
+// The benchmarks in bench_test.go regenerate every evaluation table of the
+// paper; cmd/ltee prints them, and examples/ holds runnable end-to-end
+// scenarios.
+package repro

@@ -1,0 +1,65 @@
+package repro_test
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dtype"
+	"repro/internal/kb"
+	"repro/internal/webtable"
+)
+
+// Example demonstrates the minimal end-to-end flow: a knowledge base, a
+// few web tables, and the two-iteration pipeline producing new entities.
+func Example() {
+	k := kb.New()
+	k.AddInstance(&kb.Instance{
+		Class:  kb.ClassGFPlayer,
+		Labels: []string{"Tom Brady"},
+		Facts: map[kb.PropertyID]dtype.Value{
+			"dbo:position": dtype.NewNominal("QB"),
+			"dbo:weight":   dtype.NewQuantity(225),
+		},
+		Popularity: 100,
+	})
+
+	corpus := webtable.NewCorpus([]*webtable.Table{
+		{
+			LabelCol: -1,
+			Headers:  []string{"Player", "Position", "Weight"},
+			Cells: [][]string{
+				{"Tom Brady", "QB", "225"},
+				{"Ulysses Drake", "TE", "250"},
+			},
+		},
+		{
+			LabelCol: -1,
+			Headers:  []string{"Name", "Pos"},
+			Cells: [][]string{
+				{"Ulysses Drake", "TE"},
+				{"Tom Brady", "QB"},
+			},
+		},
+	})
+
+	byClass := core.ClassifyTables(k, corpus, 0.3)
+	cfg := core.DefaultConfig(k, corpus, kb.ClassGFPlayer)
+	out := core.New(cfg, core.Models{}).Run(byClass[kb.ClassGFPlayer])
+
+	var lines []string
+	for i, e := range out.Entities {
+		kind := "existing"
+		if out.Detections[i].IsNew {
+			kind = "new"
+		}
+		lines = append(lines, fmt.Sprintf("%s: %s (%d rows)", kind, e.Label(), len(e.Rows)))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	// Output:
+	// existing: Tom Brady (2 rows)
+	// new: Ulysses Drake (2 rows)
+}

@@ -1,0 +1,204 @@
+package agg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// makeExamples builds a learnable dataset: metric 0 is the signal (high for
+// matches), metric 1 is noise.
+func makeExamples(n int, seed int64) []Example {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Example
+	for i := 0; i < n; i++ {
+		match := rng.Float64() < 0.35
+		var s0 float64
+		if match {
+			s0 = 0.7 + 0.3*rng.Float64()
+		} else {
+			s0 = 0.4 * rng.Float64()
+		}
+		out = append(out, Example{
+			F: Features{
+				Scores: []float64{s0, rng.Float64()},
+				Confs:  []float64{1, 1},
+			},
+			Match: match,
+		})
+	}
+	return out
+}
+
+func accuracy(a Aggregator, examples []Example) float64 {
+	ok := 0
+	for _, ex := range examples {
+		if (a.Score(ex.F) > 0) == ex.Match {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(examples))
+}
+
+func TestWeightedAverageLearning(t *testing.T) {
+	ex := makeExamples(300, 1)
+	wa := LearnWeighted(ex, 2, 1)
+	if acc := accuracy(wa, ex); acc < 0.9 {
+		t.Errorf("weighted average accuracy = %v, want > 0.9", acc)
+	}
+	// The signal metric should dominate the weights.
+	if wa.Weights[0] <= wa.Weights[1] {
+		t.Errorf("weights = %v, metric 0 should dominate", wa.Weights)
+	}
+}
+
+func TestWeightedAverageEmpty(t *testing.T) {
+	wa := LearnWeighted(nil, 3, 1)
+	if len(wa.Weights) != 3 {
+		t.Fatal("uniform fallback dims")
+	}
+	for _, w := range wa.Weights {
+		if math.Abs(w-1.0/3.0) > 1e-9 {
+			t.Errorf("uniform weights = %v", wa.Weights)
+		}
+	}
+}
+
+func TestWeightedAverageScoreRange(t *testing.T) {
+	wa := &WeightedAverage{Weights: []float64{0.6, 0.4}, Threshold: 0.5}
+	f := func(a, b float64) bool {
+		a, b = math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		s := wa.Score(Features{Scores: []float64{a, b}})
+		return s >= -1 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Threshold lands on 0.
+	if s := wa.Score(Features{Scores: []float64{0.5, 0.5}}); math.Abs(s) > 1e-9 {
+		t.Errorf("score at threshold = %v, want 0", s)
+	}
+	if s := wa.Score(Features{Scores: []float64{1, 1}}); math.Abs(s-1) > 1e-9 {
+		t.Errorf("score at max = %v, want 1", s)
+	}
+	if s := wa.Score(Features{Scores: []float64{0, 0}}); math.Abs(s+1) > 1e-9 {
+		t.Errorf("score at min = %v, want -1", s)
+	}
+}
+
+func TestNormalizeAroundDegenerate(t *testing.T) {
+	if s := normalizeAround(0.5, 0); s <= 0 || s > 1 {
+		t.Errorf("degenerate threshold 0: %v", s)
+	}
+	if s := normalizeAround(0.5, 1); s >= 0 || s < -1 {
+		t.Errorf("degenerate threshold 1: %v", s)
+	}
+}
+
+func TestForestAggregatorLearning(t *testing.T) {
+	ex := makeExamples(300, 2)
+	rf := LearnForest(ex, 2, 2)
+	if rf == nil {
+		t.Fatal("nil forest")
+	}
+	if acc := accuracy(rf, ex); acc < 0.9 {
+		t.Errorf("forest accuracy = %v, want > 0.9", acc)
+	}
+}
+
+func TestForestNilOnEmpty(t *testing.T) {
+	if rf := LearnForest(nil, 2, 1); rf != nil {
+		t.Error("empty training set should return nil")
+	}
+}
+
+func TestCombinedLearning(t *testing.T) {
+	ex := makeExamples(300, 3)
+	c := LearnCombined(ex, 2, 3)
+	if acc := accuracy(c, ex); acc < 0.9 {
+		t.Errorf("combined accuracy = %v, want > 0.9", acc)
+	}
+	if c.Alpha < 0 || c.Alpha > 1 {
+		t.Errorf("alpha = %v", c.Alpha)
+	}
+}
+
+func TestCombinedFallsBackWithoutForest(t *testing.T) {
+	c := &Combined{WA: uniformWA(2), RF: nil, Alpha: 0.5}
+	s := c.Score(Features{Scores: []float64{1, 1}})
+	if s <= 0 {
+		t.Errorf("WA-only combined score = %v", s)
+	}
+}
+
+func TestImportance(t *testing.T) {
+	ex := makeExamples(400, 4)
+	c := LearnCombined(ex, 2, 4)
+	imp := c.Importance()
+	if len(imp) != 2 {
+		t.Fatalf("importance dims = %d", len(imp))
+	}
+	if imp[0] <= imp[1] {
+		t.Errorf("importance = %v, signal metric should dominate", imp)
+	}
+}
+
+func TestImportanceWithoutForest(t *testing.T) {
+	c := &Combined{WA: &WeightedAverage{Weights: []float64{0.7, 0.3}, Threshold: 0.5}}
+	imp := c.Importance()
+	if imp[0] != 0.7 || imp[1] != 0.3 {
+		t.Errorf("WA-only importance = %v", imp)
+	}
+}
+
+func TestFeatureVectorLayout(t *testing.T) {
+	f := Features{Scores: []float64{0.1, 0.2}, Confs: []float64{3, 4}}
+	x := featureVector(f, 2)
+	want := []float64{0.1, 3, 0.2, 4}
+	for i := range want {
+		if x[i] != want[i] {
+			t.Fatalf("featureVector = %v, want %v", x, want)
+		}
+	}
+	// Missing confidences are zero-filled.
+	x = featureVector(Features{Scores: []float64{0.5}}, 2)
+	if x[1] != 0 || x[2] != 0 || x[3] != 0 {
+		t.Errorf("zero filling = %v", x)
+	}
+}
+
+func TestScoreRangeProperty(t *testing.T) {
+	ex := makeExamples(150, 5)
+	c := LearnCombined(ex, 2, 5)
+	f := func(a, b, ca, cb float64) bool {
+		feats := Features{
+			Scores: []float64{math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))},
+			Confs:  []float64{math.Abs(math.Mod(ca, 5)), math.Abs(math.Mod(cb, 5))},
+		}
+		s := c.Score(feats)
+		return s >= -1 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCombinedScore(b *testing.B) {
+	ex := makeExamples(200, 6)
+	c := LearnCombined(ex, 2, 6)
+	f := Features{Scores: []float64{0.6, 0.4}, Confs: []float64{1, 2}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Score(f)
+	}
+}
+
+func BenchmarkLearnCombined(b *testing.B) {
+	ex := makeExamples(200, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		LearnCombined(ex, 2, 7)
+	}
+}

@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/webtable"
+)
+
+// Clustering is the result of row clustering: a cluster ID per row and the
+// cluster membership lists.
+type Clustering struct {
+	// Assign maps each row to its cluster ID.
+	Assign map[webtable.RowRef]int
+	// Clusters lists the member rows per cluster ID.
+	Clusters [][]*Row
+}
+
+// NumClusters returns the number of non-empty clusters.
+func (c *Clustering) NumClusters() int {
+	n := 0
+	for _, m := range c.Clusters {
+		if len(m) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Options configures the clustering run.
+type Options struct {
+	// Workers is the parallelism of the greedy pass (default NumCPU).
+	Workers int
+	// BatchSize is the number of rows assigned per parallel batch; larger
+	// batches are faster but make more correctable mistakes (default 64).
+	BatchSize int
+	// Blocking enables label-based comparison blocking (default on via
+	// NewOptions; turning it off compares every row with every cluster).
+	Blocking bool
+	// KLj enables the Kernighan-Lin-with-joins refinement pass.
+	KLj bool
+	// MaxKLjRounds bounds the refinement (default 4).
+	MaxKLjRounds int
+}
+
+// NewOptions returns the default clustering options: parallel greedy with
+// blocking and KLj refinement.
+func NewOptions() Options {
+	return Options{Blocking: true, KLj: true, BatchSize: 64, MaxKLjRounds: 4}
+}
+
+// clusterState is the mutable working state of one cluster.
+type clusterState struct {
+	rows   []*Row
+	blocks map[string]bool
+}
+
+// Cluster partitions the rows so that rows describing the same instance
+// share a cluster. It runs the parallelized greedy correlation clustering
+// and, when enabled, the KLj refinement.
+func Cluster(rows []*Row, scorer *Scorer, opts Options) *Clustering {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.NumCPU()
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 64
+	}
+	if opts.MaxKLjRounds <= 0 {
+		opts.MaxKLjRounds = 4
+	}
+	st := &clusterer{scorer: scorer, opts: opts, blockIndex: make(map[string]map[int]bool)}
+	st.greedy(rows)
+	if opts.KLj {
+		st.klj()
+	}
+	return st.result()
+}
+
+type clusterer struct {
+	scorer   *Scorer
+	opts     Options
+	clusters []*clusterState
+	// blockIndex maps a block label to the set of cluster IDs whose rows
+	// carry that block.
+	blockIndex map[string]map[int]bool
+}
+
+// greedy sequentially applies batches; scores within a batch are computed
+// in parallel against a snapshot of the clusters, so batch members cannot
+// see each other — the "errors during clustering" the paper accepts and
+// repairs with KLj.
+func (c *clusterer) greedy(rows []*Row) {
+	type decision struct {
+		row     *Row
+		cluster int // -1: create new
+		score   float64
+	}
+	for start := 0; start < len(rows); start += c.opts.BatchSize {
+		end := start + c.opts.BatchSize
+		if end > len(rows) {
+			end = len(rows)
+		}
+		batch := rows[start:end]
+		decisions := make([]decision, len(batch))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, c.opts.Workers)
+		for i, row := range batch {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, row *Row) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				best, score := c.bestCluster(row)
+				decisions[i] = decision{row: row, cluster: best, score: score}
+			}(i, row)
+		}
+		wg.Wait()
+		for _, d := range decisions {
+			if d.cluster >= 0 && d.score > 0 {
+				c.addToCluster(d.cluster, d.row)
+			} else {
+				c.newCluster(d.row)
+			}
+		}
+	}
+}
+
+// bestCluster finds the cluster with the highest summed similarity to the
+// row, considering only clusters sharing a block when blocking is enabled.
+// Candidates are visited in ascending cluster ID so that score ties resolve
+// deterministically (map iteration order must not leak into the result).
+func (c *clusterer) bestCluster(row *Row) (int, float64) {
+	var candidates []int
+	if c.opts.Blocking {
+		seen := make(map[int]bool)
+		for _, b := range row.Blocks {
+			for ci := range c.blockIndex[b] {
+				if !seen[ci] {
+					seen[ci] = true
+					candidates = append(candidates, ci)
+				}
+			}
+		}
+		sort.Ints(candidates)
+	} else {
+		candidates = make([]int, len(c.clusters))
+		for ci := range candidates {
+			candidates[ci] = ci
+		}
+	}
+	best, bestScore := -1, 0.0
+	for _, ci := range candidates {
+		cl := c.clusters[ci]
+		var sum float64
+		for _, other := range cl.rows {
+			sum += c.scorer.Pair(row, other)
+		}
+		if sum > bestScore {
+			best, bestScore = ci, sum
+		}
+	}
+	return best, bestScore
+}
+
+func (c *clusterer) newCluster(row *Row) int {
+	ci := len(c.clusters)
+	cl := &clusterState{rows: []*Row{row}, blocks: make(map[string]bool)}
+	c.clusters = append(c.clusters, cl)
+	c.indexBlocks(ci, row)
+	return ci
+}
+
+func (c *clusterer) addToCluster(ci int, row *Row) {
+	c.clusters[ci].rows = append(c.clusters[ci].rows, row)
+	c.indexBlocks(ci, row)
+}
+
+func (c *clusterer) indexBlocks(ci int, row *Row) {
+	cl := c.clusters[ci]
+	for _, b := range row.Blocks {
+		cl.blocks[b] = true
+		if c.blockIndex[b] == nil {
+			c.blockIndex[b] = make(map[int]bool)
+		}
+		c.blockIndex[b][ci] = true
+	}
+}
+
+// result materializes the final clustering with compacted cluster IDs.
+func (c *clusterer) result() *Clustering {
+	out := &Clustering{Assign: make(map[webtable.RowRef]int)}
+	for _, cl := range c.clusters {
+		if len(cl.rows) == 0 {
+			continue
+		}
+		id := len(out.Clusters)
+		members := make([]*Row, len(cl.rows))
+		copy(members, cl.rows)
+		sort.Slice(members, func(i, j int) bool {
+			a, b := members[i].Ref, members[j].Ref
+			if a.Table != b.Table {
+				return a.Table < b.Table
+			}
+			return a.Row < b.Row
+		})
+		out.Clusters = append(out.Clusters, members)
+		for _, r := range members {
+			out.Assign[r.Ref] = id
+		}
+	}
+	return out
+}

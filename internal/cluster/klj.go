@@ -1,0 +1,159 @@
+package cluster
+
+import "sort"
+
+// klj runs the Kernighan-Lin-with-joins refinement (§3.2): cluster pairs
+// sharing a block are compared and individual rows are moved between them
+// or the clusters merged when that increases the local correlation
+// clustering fitness (the sum of pairwise similarities within clusters).
+// Each cluster is also compared against an empty set, so that splitting
+// rows out of a cluster is possible. Rounds repeat until no operation
+// improves the fitness or MaxKLjRounds is reached.
+func (c *clusterer) klj() {
+	for round := 0; round < c.opts.MaxKLjRounds; round++ {
+		improved := false
+		// Candidate cluster pairs: sharing a block (or all pairs when
+		// blocking is off).
+		pairs := c.candidatePairs()
+		for _, p := range pairs {
+			a, b := c.clusters[p[0]], c.clusters[p[1]]
+			if len(a.rows) == 0 || len(b.rows) == 0 {
+				continue
+			}
+			if c.tryMerge(p[0], p[1]) {
+				improved = true
+				continue
+			}
+			if c.tryMoves(p[0], p[1]) {
+				improved = true
+			}
+			if c.tryMoves(p[1], p[0]) {
+				improved = true
+			}
+		}
+		// Split pass: moving a row out to a singleton improves fitness
+		// when its summed similarity to the rest of its cluster is
+		// negative.
+		for ci := range c.clusters {
+			if c.trySplit(ci) {
+				improved = true
+			}
+		}
+		if !improved {
+			return
+		}
+	}
+}
+
+// candidatePairs enumerates cluster ID pairs that share at least one block,
+// in a deterministic order (KLj operations are order-sensitive, so map
+// iteration order must not leak into the refinement).
+func (c *clusterer) candidatePairs() [][2]int {
+	seen := make(map[[2]int]bool)
+	var out [][2]int
+	if !c.opts.Blocking {
+		for i := range c.clusters {
+			for j := i + 1; j < len(c.clusters); j++ {
+				out = append(out, [2]int{i, j})
+			}
+		}
+		return out
+	}
+	for _, members := range c.blockIndex {
+		ids := make([]int, 0, len(members))
+		for ci := range members {
+			if len(c.clusters[ci].rows) > 0 {
+				ids = append(ids, ci)
+			}
+		}
+		sort.Ints(ids)
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				key := [2]int{ids[i], ids[j]}
+				if !seen[key] {
+					seen[key] = true
+					out = append(out, key)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// tryMerge merges cluster b into a when the summed inter-cluster
+// similarity is positive.
+func (c *clusterer) tryMerge(ai, bi int) bool {
+	a, b := c.clusters[ai], c.clusters[bi]
+	var delta float64
+	for _, ra := range a.rows {
+		for _, rb := range b.rows {
+			delta += c.scorer.Pair(ra, rb)
+		}
+	}
+	if delta <= 0 {
+		return false
+	}
+	for _, rb := range b.rows {
+		c.addToCluster(ai, rb)
+	}
+	b.rows = nil
+	return true
+}
+
+// tryMoves attempts to move individual rows from cluster src to dst when
+// the move increases the local fitness.
+func (c *clusterer) tryMoves(srci, dsti int) bool {
+	src, dst := c.clusters[srci], c.clusters[dsti]
+	moved := false
+	for i := 0; i < len(src.rows); i++ {
+		row := src.rows[i]
+		var toSrc, toDst float64
+		for _, other := range src.rows {
+			if other != row {
+				toSrc += c.scorer.Pair(row, other)
+			}
+		}
+		for _, other := range dst.rows {
+			toDst += c.scorer.Pair(row, other)
+		}
+		if toDst > toSrc && toDst > 0 {
+			src.rows = append(src.rows[:i], src.rows[i+1:]...)
+			i--
+			c.addToCluster(dsti, row)
+			moved = true
+		}
+	}
+	return moved
+}
+
+// trySplit moves rows with negative attachment out of their cluster into
+// fresh singletons (the comparison "with an empty set" of the paper).
+func (c *clusterer) trySplit(ci int) bool {
+	cl := c.clusters[ci]
+	if len(cl.rows) < 2 {
+		return false
+	}
+	split := false
+	for i := 0; i < len(cl.rows); i++ {
+		row := cl.rows[i]
+		var sum float64
+		for _, other := range cl.rows {
+			if other != row {
+				sum += c.scorer.Pair(row, other)
+			}
+		}
+		if sum < 0 {
+			cl.rows = append(cl.rows[:i], cl.rows[i+1:]...)
+			i--
+			c.newCluster(row)
+			split = true
+		}
+	}
+	return split
+}

@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"repro/internal/dtype"
+	"repro/internal/strsim"
+)
+
+// Metric is one row similarity metric. Compare returns a similarity score
+// in [0, 1] and a confidence; confidence 0 means the metric has no signal
+// for this pair (aggregators may then ignore or down-weight it).
+type Metric interface {
+	Name() string
+	Compare(a, b *Row) (score, confidence float64)
+}
+
+// MetricSet returns the paper's six row similarity metrics in ablation
+// order: LABEL, BOW, PHI, ATTRIBUTE, IMPLICIT_ATT, SAME_TABLE.
+func MetricSet() []Metric {
+	return []Metric{
+		labelMetric{}, bowMetric{}, phiMetric{},
+		attributeMetric{th: dtype.DefaultThresholds()},
+		implicitMetric{th: dtype.DefaultThresholds()},
+		sameTableMetric{},
+	}
+}
+
+// MetricPrefix returns the first n metrics of MetricSet, supporting the
+// ablation study of Table 7.
+func MetricPrefix(n int) []Metric {
+	set := MetricSet()
+	if n > len(set) {
+		n = len(set)
+	}
+	return set[:n]
+}
+
+// LABEL: Monge-Elkan similarity (Levenshtein inner) of the row labels.
+type labelMetric struct{}
+
+func (labelMetric) Name() string { return "LABEL" }
+
+func (labelMetric) Compare(a, b *Row) (float64, float64) {
+	return strsim.MongeElkanSym(a.NormLabel, b.NormLabel), 1
+}
+
+// BOW: cosine similarity of the binary term vectors over all row cells.
+type bowMetric struct{}
+
+func (bowMetric) Name() string { return "BOW" }
+
+func (bowMetric) Compare(a, b *Row) (float64, float64) {
+	return strsim.Cosine(a.BOW, b.BOW), 1
+}
+
+// PHI: cosine similarity of the rows' table PHI vectors — a table-level
+// signal of whether the two tables describe semantically related rows.
+type phiMetric struct{}
+
+func (phiMetric) Name() string { return "PHI" }
+
+func (phiMetric) Compare(a, b *Row) (float64, float64) {
+	if len(a.TableVec) == 0 || len(b.TableVec) == 0 {
+		return 0, 0
+	}
+	return strsim.Cosine(a.TableVec, b.TableVec), 1
+}
+
+// ATTRIBUTE: data-type-specific equality over overlapping mapped values;
+// the confidence is the number of compared pairs.
+type attributeMetric struct {
+	th dtype.Thresholds
+}
+
+func (attributeMetric) Name() string { return "ATTRIBUTE" }
+
+func (m attributeMetric) Compare(a, b *Row) (float64, float64) {
+	pairs, equal := 0, 0
+	for pid, va := range a.Values {
+		vb, ok := b.Values[pid]
+		if !ok {
+			continue
+		}
+		pairs++
+		if m.th.Equal(va, vb) {
+			equal++
+		}
+	}
+	if pairs == 0 {
+		return 0, 0
+	}
+	return float64(equal) / float64(pairs), float64(pairs)
+}
+
+// IMPLICIT_ATT: compares the implicit attributes of one row's table with
+// overlapping implicit attributes and column attributes of the other row,
+// in both directions.
+type implicitMetric struct {
+	th dtype.Thresholds
+}
+
+func (implicitMetric) Name() string { return "IMPLICIT_ATT" }
+
+func (m implicitMetric) Compare(a, b *Row) (float64, float64) {
+	simSum, confSum := 0.0, 0.0
+	pairs := 0
+	direction := func(x, y *Row) {
+		for pid, ia := range x.Implicit {
+			// Implicit vs the other table's implicit attribute.
+			if ib, ok := y.Implicit[pid]; ok {
+				pairs++
+				confSum += ia.Score
+				if m.th.Equal(ia.Value, ib.Value) {
+					simSum++
+				}
+			}
+			// Implicit vs the other row's explicit column value.
+			if vb, ok := y.Values[pid]; ok {
+				pairs++
+				confSum += ia.Score
+				if m.th.Equal(ia.Value, vb) {
+					simSum++
+				}
+			}
+		}
+	}
+	direction(a, b)
+	direction(b, a)
+	if pairs == 0 {
+		return 0, 0
+	}
+	return simSum / float64(pairs), confSum
+}
+
+// SAME_TABLE: rows of one table usually describe different entities: 0.0
+// for same-table pairs, 1.0 otherwise.
+type sameTableMetric struct{}
+
+func (sameTableMetric) Name() string { return "SAME_TABLE" }
+
+func (sameTableMetric) Compare(a, b *Row) (float64, float64) {
+	if a.Ref.Table == b.Ref.Table {
+		return 0, 1
+	}
+	return 1, 1
+}

@@ -1,0 +1,97 @@
+package cluster
+
+import "math"
+
+// phiModel computes the PHI label-correlation table vectors of §3.2: for
+// each label a vector of PHI correlations with co-occurring labels, and for
+// each table the average of its row labels' vectors.
+type phiModel struct {
+	// tables maps table ID to its (normalized) row labels.
+	tables map[int][]string
+	// labelTables maps label to the set of tables containing it.
+	labelTables map[string]map[int]bool
+	nLabels     int
+	vectors     map[string]map[string]float64
+}
+
+func newPhiModel() *phiModel {
+	return &phiModel{
+		tables:      make(map[int][]string),
+		labelTables: make(map[string]map[int]bool),
+	}
+}
+
+func (p *phiModel) addTable(id int, labels []string) {
+	p.tables[id] = labels
+	for _, l := range labels {
+		if p.labelTables[l] == nil {
+			p.labelTables[l] = make(map[int]bool)
+		}
+		p.labelTables[l][id] = true
+	}
+}
+
+// finalize computes the per-label PHI vectors:
+//
+//	PHI(x,y) = (n·n_xy − n_x·n_y) / sqrt(n_x·n_y·(n−n_x)·(n−n_y))
+//
+// where n is the total number of unique labels, n_xy the co-occurrence of x
+// and y in the same table, and n_x the occurrence of label x in a table.
+func (p *phiModel) finalize() {
+	p.nLabels = len(p.labelTables)
+	p.vectors = make(map[string]map[string]float64, p.nLabels)
+	n := float64(p.nLabels)
+	if n == 0 {
+		return
+	}
+	// Count co-occurrence via table membership.
+	occ := func(l string) float64 { return float64(len(p.labelTables[l])) }
+	for x, xTables := range p.labelTables {
+		vec := make(map[string]float64)
+		// Labels co-occurring with x are those in x's tables.
+		seen := make(map[string]bool)
+		for t := range xTables {
+			for _, y := range p.tables[t] {
+				if y == x || seen[y] {
+					continue
+				}
+				seen[y] = true
+				nxy := 0.0
+				for t2 := range xTables {
+					if p.labelTables[y][t2] {
+						nxy++
+					}
+				}
+				nx, ny := occ(x), occ(y)
+				den := math.Sqrt(nx * ny * (n - nx) * (n - ny))
+				if den == 0 {
+					continue
+				}
+				phi := (n*nxy - nx*ny) / den
+				if phi > 0 {
+					vec[y] = phi
+				}
+			}
+		}
+		p.vectors[x] = vec
+	}
+}
+
+// tableVector averages the PHI vectors of a table's row labels.
+func (p *phiModel) tableVector(table int) map[string]float64 {
+	labels := p.tables[table]
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make(map[string]float64)
+	for _, l := range labels {
+		for k, v := range p.vectors[l] {
+			out[k] += v
+		}
+	}
+	inv := 1 / float64(len(labels))
+	for k := range out {
+		out[k] *= inv
+	}
+	return out
+}

@@ -1,0 +1,291 @@
+// Package cluster implements the row clustering step of the pipeline
+// (§3.2): six row similarity metrics (LABEL, BOW, PHI, ATTRIBUTE,
+// IMPLICIT_ATT, SAME_TABLE), three score aggregation strategies (learned
+// weighted average, random forest regression, and their combination),
+// label-based blocking, a parallelized greedy correlation clustering, and a
+// Kernighan-Lin-with-joins (KLj) refinement.
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/dtype"
+	"repro/internal/index"
+	"repro/internal/kb"
+	"repro/internal/strsim"
+	"repro/internal/webtable"
+)
+
+// Row is one web table row prepared for clustering: its label, bag of
+// words, schema-mapped values, and table-level implicit attributes.
+type Row struct {
+	Ref       webtable.RowRef
+	Label     string
+	NormLabel string
+	// BOW is the binary term vector over all cells of the row.
+	BOW map[string]float64
+	// Values holds the row's cell values mapped to KB properties via the
+	// attribute-to-property correspondences.
+	Values map[kb.PropertyID]dtype.Value
+	// Implicit holds the implicit property-value combinations of the
+	// row's table with their confidence scores.
+	Implicit map[kb.PropertyID]ImplicitAttr
+	// TableVec is the table's PHI label-correlation vector.
+	TableVec map[string]float64
+	// Blocks are the normalized label blocks assigned by the blocker.
+	Blocks []string
+}
+
+// ImplicitAttr is one implicit property-value combination derived for a
+// table, with the fraction of rows supporting it as its confidence.
+type ImplicitAttr struct {
+	Value dtype.Value
+	Score float64
+}
+
+// BuildConfig controls row preparation.
+type BuildConfig struct {
+	// ImplicitThreshold is the minimum support for keeping an implicit
+	// property-value combination (default 0.5).
+	ImplicitThreshold float64
+	// ImplicitCandidates is the number of KB candidates consulted per row
+	// label when deriving implicit attributes (default 5).
+	ImplicitCandidates int
+	// BlockK is the number of similar labels retrieved per row during
+	// blocking (default 6).
+	BlockK int
+}
+
+// Builder prepares Rows for a class: it extracts labels, bags of words and
+// mapped values, derives implicit table attributes from the knowledge base,
+// computes PHI table vectors, and assigns blocks.
+type Builder struct {
+	KB     *kb.KB
+	Corpus *webtable.Corpus
+	Class  kb.ClassID
+	// Mapping gives the attribute-to-property correspondences per table:
+	// Mapping[tableID][col] = property.
+	Mapping map[int]map[int]kb.PropertyID
+	Config  BuildConfig
+}
+
+// Build prepares the rows of the given tables (identified by table ID).
+func (b *Builder) Build(tableIDs []int) []*Row {
+	cfg := b.Config
+	if cfg.ImplicitThreshold <= 0 {
+		cfg.ImplicitThreshold = 0.5
+	}
+	if cfg.ImplicitCandidates <= 0 {
+		cfg.ImplicitCandidates = 5
+	}
+	if cfg.BlockK <= 0 {
+		cfg.BlockK = 6
+	}
+
+	phi := newPhiModel()
+	var rows []*Row
+	for _, tid := range tableIDs {
+		t := b.Corpus.Table(tid)
+		if t == nil || t.LabelCol < 0 {
+			continue
+		}
+		implicit := b.implicitAttrs(t, cfg)
+		var tableLabels []string
+		for r := 0; r < t.NumRows(); r++ {
+			label := t.RowLabel(r)
+			norm := strsim.Normalize(label)
+			if norm == "" {
+				continue
+			}
+			tableLabels = append(tableLabels, norm)
+			row := &Row{
+				Ref:       webtable.RowRef{Table: tid, Row: r},
+				Label:     label,
+				NormLabel: norm,
+				BOW:       rowBOW(t, r),
+				Implicit:  implicit,
+			}
+			if m := b.Mapping[tid]; m != nil {
+				row.Values = extractValues(b.KB, b.Class, t, r, m)
+			} else {
+				row.Values = map[kb.PropertyID]dtype.Value{}
+			}
+			rows = append(rows, row)
+		}
+		phi.addTable(tid, tableLabels)
+	}
+	phi.finalize()
+	for _, r := range rows {
+		r.TableVec = phi.tableVector(r.Ref.Table)
+	}
+	assignBlocks(rows, cfg.BlockK)
+	return rows
+}
+
+// rowBOW builds the binary term vector over all cells of a row.
+func rowBOW(t *webtable.Table, row int) map[string]float64 {
+	v := make(map[string]float64)
+	for c := 0; c < t.NumCols(); c++ {
+		for _, tok := range strsim.Tokens(t.Cell(row, c)) {
+			v[tok] = 1
+		}
+	}
+	return v
+}
+
+// extractValues parses the mapped cells of a row into typed values.
+// Columns are visited in ascending order so that when two columns map to
+// the same property, the winner is deterministic.
+func extractValues(k *kb.KB, class kb.ClassID, t *webtable.Table, row int, mapping map[int]kb.PropertyID) map[kb.PropertyID]dtype.Value {
+	out := make(map[kb.PropertyID]dtype.Value)
+	for _, col := range sortedCols(mapping) {
+		pid := mapping[col]
+		prop, ok := k.Property(class, pid)
+		if !ok {
+			continue
+		}
+		if v, ok := dtype.Parse(t.Cell(row, col), prop.Kind); ok {
+			out[pid] = v
+		}
+	}
+	return out
+}
+
+// sortedCols returns the mapping's column indices in ascending order.
+func sortedCols(mapping map[int]kb.PropertyID) []int {
+	cols := make([]int, 0, len(mapping))
+	for c := range mapping {
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+	return cols
+}
+
+// sortedProps returns a fact map's property IDs in ascending order.
+func sortedProps(facts map[kb.PropertyID]dtype.Value) []kb.PropertyID {
+	pids := make([]kb.PropertyID, 0, len(facts))
+	for pid := range facts {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	return pids
+}
+
+// implicitAttrs derives the implicit property-value combinations of a table
+// (§3.2, IMPLICIT_ATT): row labels retrieve candidate instances; every
+// property-value combination of any candidate is scored by the fraction of
+// rows having it; combinations above the threshold are kept.
+func (b *Builder) implicitAttrs(t *webtable.Table, cfg BuildConfig) map[kb.PropertyID]ImplicitAttr {
+	type pv struct {
+		pid kb.PropertyID
+		key string
+	}
+	support := make(map[pv]int)
+	values := make(map[pv]dtype.Value)
+	// reps records, per property, the group-representative keys in
+	// first-seen order so that near-equal grouping is deterministic.
+	reps := make(map[kb.PropertyID][]pv)
+	n := 0
+	th := dtype.DefaultThresholds()
+	for r := 0; r < t.NumRows(); r++ {
+		label := t.RowLabel(r)
+		if label == "" {
+			continue
+		}
+		n++
+		cands := b.KB.Candidates(label, kb.CandidateOpts{K: cfg.ImplicitCandidates, Class: b.Class})
+		// Deduplicate combinations across this row's candidates so one
+		// row contributes at most one unit of support per combination.
+		seen := make(map[pv]bool)
+		for _, iid := range cands {
+			facts := b.KB.Instance(iid).Facts
+			for _, pid := range sortedProps(facts) {
+				v := facts[pid]
+				key := pv{pid, v.String()}
+				if seen[key] {
+					continue
+				}
+				// Group near-equal values under the earliest-seen
+				// representative key.
+				for _, existing := range reps[pid] {
+					if th.Equal(values[existing], v) {
+						key = existing
+						break
+					}
+				}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				support[key]++
+				if _, ok := values[key]; !ok {
+					values[key] = v
+					reps[pid] = append(reps[pid], key)
+				}
+			}
+		}
+	}
+	out := make(map[kb.PropertyID]ImplicitAttr)
+	if n == 0 {
+		return out
+	}
+	// Visit combinations in deterministic order so equal-support ties
+	// resolve identically across runs.
+	keys := make([]pv, 0, len(support))
+	for key := range support {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].pid != keys[j].pid {
+			return keys[i].pid < keys[j].pid
+		}
+		return keys[i].key < keys[j].key
+	})
+	for _, key := range keys {
+		score := float64(support[key]) / float64(n)
+		if score < cfg.ImplicitThreshold {
+			continue
+		}
+		// Keep the best-supported combination per property.
+		if cur, ok := out[key.pid]; !ok || score > cur.Score {
+			out[key.pid] = ImplicitAttr{Value: values[key], Score: score}
+		}
+	}
+	return out
+}
+
+// assignBlocks builds a label index over the rows and assigns each row the
+// blocks (normalized labels) of its top-k most similar labels.
+func assignBlocks(rows []*Row, k int) {
+	ix := index.New()
+	labelDoc := make(map[string]int)
+	for _, r := range rows {
+		doc, ok := labelDoc[r.NormLabel]
+		if !ok {
+			doc = len(labelDoc)
+			labelDoc[r.NormLabel] = doc
+			ix.Add(doc, r.NormLabel)
+		}
+	}
+	cache := make(map[string][]string)
+	for _, r := range rows {
+		if blocks, ok := cache[r.NormLabel]; ok {
+			r.Blocks = blocks
+			continue
+		}
+		blocks := ix.SearchLabels(r.NormLabel, k)
+		// A row always belongs at least to its own label block.
+		found := false
+		for _, bl := range blocks {
+			if bl == r.NormLabel {
+				found = true
+				break
+			}
+		}
+		if !found {
+			blocks = append(blocks, r.NormLabel)
+		}
+		cache[r.NormLabel] = blocks
+		r.Blocks = blocks
+	}
+}

@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"repro/internal/agg"
+)
+
+// Scorer combines a metric set with an aggregator into the row similarity
+// function used by the clustering algorithms: a normalized score in
+// [-1, 1], positive meaning "same instance".
+type Scorer struct {
+	Metrics []Metric
+	Agg     agg.Aggregator
+}
+
+// Features evaluates all metrics on a pair.
+func (s *Scorer) Features(a, b *Row) agg.Features {
+	f := agg.Features{
+		Scores: make([]float64, len(s.Metrics)),
+		Confs:  make([]float64, len(s.Metrics)),
+	}
+	for i, m := range s.Metrics {
+		f.Scores[i], f.Confs[i] = m.Compare(a, b)
+	}
+	return f
+}
+
+// Pair returns the aggregated, normalized similarity of two rows.
+func (s *Scorer) Pair(a, b *Row) float64 {
+	return s.Agg.Score(s.Features(a, b))
+}
+
+// PairExample is a labeled row pair for learning the aggregators.
+type PairExample struct {
+	A, B  *Row
+	Match bool
+}
+
+// BuildExamples converts labeled row pairs into aggregation examples by
+// evaluating the metric set on each pair.
+func BuildExamples(metrics []Metric, pairs []PairExample) []agg.Example {
+	s := &Scorer{Metrics: metrics}
+	out := make([]agg.Example, len(pairs))
+	for i, p := range pairs {
+		out[i] = agg.Example{F: s.Features(p.A, p.B), Match: p.Match}
+	}
+	return out
+}
+
+// LearnScorer learns the combined aggregator (weighted average + random
+// forest) for a metric set from labeled pairs and returns the ready-to-use
+// scorer together with the combined model (for importance reporting).
+func LearnScorer(metrics []Metric, pairs []PairExample, seed int64) (*Scorer, *agg.Combined) {
+	examples := BuildExamples(metrics, pairs)
+	c := agg.LearnCombined(examples, len(metrics), seed)
+	return &Scorer{Metrics: metrics, Agg: c}, c
+}

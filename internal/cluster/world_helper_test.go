@@ -1,0 +1,23 @@
+package cluster
+
+import (
+	"sync"
+
+	"repro/internal/webtable"
+	"repro/internal/world"
+)
+
+var (
+	helperOnce sync.Once
+	helperW    *world.World
+	helperC    *webtable.Corpus
+)
+
+// testWorldCorpus returns a shared small world and corpus for tests.
+func testWorldCorpus() (*world.World, *webtable.Corpus) {
+	helperOnce.Do(func() {
+		helperW = world.Generate(world.DefaultConfig(0.15))
+		helperC = webtable.Synthesize(helperW, webtable.DefaultSynthConfig(0.08))
+	})
+	return helperW, helperC
+}

@@ -1,0 +1,294 @@
+// Package core implements the paper's primary contribution: the complete
+// LTEE pipeline that, given a knowledge base and a corpus of web tables,
+// constructs descriptions of formerly unknown long-tail entities. The
+// pipeline (Figure 1) runs schema matching, row clustering, entity
+// creation, and new detection, iterating twice: the second iteration uses
+// the row clusters and entity-to-instance correspondences of the first run
+// to refine the schema mapping with the duplicate-based matchers.
+package core
+
+import (
+	"repro/internal/agg"
+	"repro/internal/cluster"
+	"repro/internal/dtype"
+	"repro/internal/fusion"
+	"repro/internal/kb"
+	"repro/internal/match"
+	"repro/internal/newdet"
+	"repro/internal/webtable"
+)
+
+// Config configures a pipeline run for one class.
+type Config struct {
+	KB     *kb.KB
+	Corpus *webtable.Corpus
+	Class  kb.ClassID
+	// Iterations is the number of pipeline iterations (default 2, as the
+	// paper found a third iteration adds nothing).
+	Iterations int
+	// Scoring is the fusion value-scoring method (default Voting).
+	Scoring fusion.ScoringMethod
+	// ClusterOpts configures the clustering algorithms.
+	ClusterOpts cluster.Options
+	// MinClassRowFrac is the minimum fraction of rows with a KB candidate
+	// for a table to be matched to a class (default 0.3).
+	MinClassRowFrac float64
+	// Dedup enables the post-clustering entity deduplication extension
+	// (§5 lessons learned): near-identical entities whose facts agree are
+	// merged before new detection, lowering the entity-to-instance
+	// matching ratio for homonym-heavy classes.
+	Dedup bool
+	// DedupConfig tunes the deduplication when Dedup is set.
+	DedupConfig fusion.DedupConfig
+	// Seed drives all learned components.
+	Seed int64
+}
+
+// DefaultConfig returns the standard two-iteration configuration.
+func DefaultConfig(k *kb.KB, corpus *webtable.Corpus, class kb.ClassID) Config {
+	return Config{
+		KB: k, Corpus: corpus, Class: class,
+		Iterations:      2,
+		Scoring:         fusion.Voting,
+		ClusterOpts:     cluster.NewOptions(),
+		MinClassRowFrac: 0.3,
+		Seed:            1,
+	}
+}
+
+// Models bundles the learned components of the pipeline.
+type Models struct {
+	// AttrFirst is the attribute-to-property model of the first iteration
+	// (KB-Overlap and KB-Label only).
+	AttrFirst *match.Model
+	// AttrSecond is the refined model using all five matchers.
+	AttrSecond *match.Model
+	// ClusterScorer aggregates the row similarity metrics.
+	ClusterScorer *cluster.Scorer
+	// ClusterModel is the combined aggregator behind ClusterScorer (for
+	// importance reporting).
+	ClusterModel *agg.Combined
+	// Detector is the learned new-detection classifier.
+	Detector *newdet.Detector
+	// DetectorModel is the combined aggregator behind Detector.
+	DetectorModel *agg.Combined
+}
+
+// Output is the result of a pipeline run on one class.
+type Output struct {
+	Class kb.ClassID
+	// TableIDs are the tables processed.
+	TableIDs []int
+	// Mapping is the final attribute-to-property mapping per table.
+	Mapping map[int]map[int]kb.PropertyID
+	// MatchScores holds the aggregated matching score per mapped column.
+	MatchScores map[fusion.ColKey]float64
+	// Rows are the prepared rows that were clustered.
+	Rows []*cluster.Row
+	// Clustering is the final row clustering.
+	Clustering *cluster.Clustering
+	// Entities are the created entities, parallel to Detections.
+	Entities []*fusion.Entity
+	// Detections classify each entity as new or existing.
+	Detections []newdet.Result
+	// RowInstance maps rows of matched entities to their KB instances.
+	RowInstance map[webtable.RowRef]kb.InstanceID
+}
+
+// NewEntities returns the entities classified as new.
+func (o *Output) NewEntities() []*fusion.Entity {
+	var out []*fusion.Entity
+	for i, e := range o.Entities {
+		if o.Detections[i].IsNew {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ExistingEntities returns the entities matched to existing instances,
+// paired with their instances.
+func (o *Output) ExistingEntities() ([]*fusion.Entity, []kb.InstanceID) {
+	var es []*fusion.Entity
+	var ids []kb.InstanceID
+	for i, e := range o.Entities {
+		if o.Detections[i].Matched {
+			es = append(es, e)
+			ids = append(ids, o.Detections[i].Instance)
+		}
+	}
+	return es, ids
+}
+
+// Pipeline executes the LTEE process for one class.
+type Pipeline struct {
+	Cfg    Config
+	Models Models
+}
+
+// New assembles a pipeline.
+func New(cfg Config, models Models) *Pipeline {
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 2
+	}
+	if cfg.MinClassRowFrac <= 0 {
+		cfg.MinClassRowFrac = 0.3
+	}
+	return &Pipeline{Cfg: cfg, Models: models}
+}
+
+// ClassifyTables runs data-type detection, label-attribute detection and
+// table-to-class matching over the whole corpus and returns the table IDs
+// matched to each class.
+func ClassifyTables(k *kb.KB, corpus *webtable.Corpus, minRowFrac float64) map[kb.ClassID][]int {
+	if minRowFrac <= 0 {
+		minRowFrac = 0.3
+	}
+	ctx := match.NewContext(k, corpus)
+	out := make(map[kb.ClassID][]int)
+	for _, t := range corpus.Tables {
+		match.DetectColumnKinds(t)
+		if t.LabelCol < 0 {
+			match.DetectLabelColumn(t)
+		}
+		cm := match.MatchTableClass(ctx, t, minRowFrac)
+		if cm.Class == "" {
+			continue
+		}
+		out[cm.Class] = append(out[cm.Class], t.ID)
+	}
+	return out
+}
+
+// Run executes the configured number of pipeline iterations over the given
+// tables (all already matched to the pipeline's class) and returns the
+// final output.
+func (p *Pipeline) Run(tableIDs []int) *Output {
+	ctx := match.NewContext(p.Cfg.KB, p.Cfg.Corpus)
+	ctx.Class = p.Cfg.Class
+
+	var out *Output
+	for it := 0; it < p.Cfg.Iterations; it++ {
+		model := p.Models.AttrFirst
+		matchers := match.FirstIterationMatchers()
+		mctx := ctx
+		if it > 0 && out != nil {
+			model = p.Models.AttrSecond
+			matchers = match.AllMatchers()
+			prelim := make(map[match.ColRef]kb.PropertyID)
+			for tid, m := range out.Mapping {
+				for col, pid := range m {
+					prelim[match.ColRef{Table: tid, Col: col}] = pid
+				}
+			}
+			rowCluster := make(map[webtable.RowRef]int, len(out.Clustering.Assign))
+			for ref, c := range out.Clustering.Assign {
+				rowCluster[ref] = c
+			}
+			mctx = ctx.WithIterationOutput(out.RowInstance, rowCluster, prelim)
+		}
+		if model == nil {
+			model = match.DefaultModel(p.Cfg.Class, matchers)
+		}
+		out = p.iterate(mctx, model, matchers, tableIDs)
+	}
+	return out
+}
+
+// iterate performs one full pass: schema matching → row clustering →
+// entity creation → new detection.
+func (p *Pipeline) iterate(mctx *match.Context, model *match.Model, matchers []match.Matcher, tableIDs []int) *Output {
+	out := &Output{
+		Class:       p.Cfg.Class,
+		TableIDs:    tableIDs,
+		Mapping:     make(map[int]map[int]kb.PropertyID),
+		MatchScores: make(map[fusion.ColKey]float64),
+		RowInstance: make(map[webtable.RowRef]kb.InstanceID),
+	}
+	// Schema matching: attribute-to-property correspondences per table.
+	for _, tid := range tableIDs {
+		t := p.Cfg.Corpus.Table(tid)
+		if t == nil {
+			continue
+		}
+		if t.ColKinds == nil {
+			match.DetectColumnKinds(t)
+		}
+		if t.LabelCol < 0 {
+			match.DetectLabelColumn(t)
+		}
+		scored := match.MatchAttributesScored(mctx, model, matchers, t)
+		m := make(map[int]kb.PropertyID, len(scored))
+		for col, corr := range scored {
+			m[col] = corr.Property
+			out.MatchScores[fusion.ColKey{Table: tid, Col: col}] = corr.Score
+		}
+		out.Mapping[tid] = m
+	}
+
+	// Row clustering.
+	builder := &cluster.Builder{
+		KB: p.Cfg.KB, Corpus: p.Cfg.Corpus, Class: p.Cfg.Class,
+		Mapping: out.Mapping,
+	}
+	out.Rows = builder.Build(tableIDs)
+	scorer := p.Models.ClusterScorer
+	if scorer == nil {
+		scorer = defaultScorer()
+	}
+	out.Clustering = cluster.Cluster(out.Rows, scorer, p.Cfg.ClusterOpts)
+
+	// Entity creation.
+	src := &fusion.Sources{
+		KB: p.Cfg.KB, Corpus: p.Cfg.Corpus, Class: p.Cfg.Class,
+		Mapping:     out.Mapping,
+		Thresholds:  dtype.DefaultThresholds(),
+		Scoring:     p.Cfg.Scoring,
+		MatchScores: out.MatchScores,
+	}
+	out.Entities = fusion.CreateAll(src, out.Clustering)
+	if p.Cfg.Dedup {
+		out.Entities = fusion.Deduplicate(src, out.Entities, p.Cfg.DedupConfig)
+	}
+
+	// New detection.
+	det := p.Models.Detector
+	if det == nil {
+		det = defaultDetector(p.Cfg.KB)
+	}
+	out.Detections = make([]newdet.Result, len(out.Entities))
+	for i, e := range out.Entities {
+		res := det.Detect(e)
+		out.Detections[i] = res
+		if res.Matched {
+			for _, r := range e.Rows {
+				out.RowInstance[r.Ref] = res.Instance
+			}
+		}
+	}
+	return out
+}
+
+// defaultScorer is the unlearned fallback: uniform weighted average over
+// all six metrics with threshold 0.55.
+func defaultScorer() *cluster.Scorer {
+	metrics := cluster.MetricSet()
+	w := make([]float64, len(metrics))
+	for i := range w {
+		w[i] = 1 / float64(len(w))
+	}
+	return &cluster.Scorer{
+		Metrics: metrics,
+		Agg:     &agg.WeightedAverage{Weights: w, Threshold: 0.55},
+	}
+}
+
+// defaultDetector is the unlearned fallback detector.
+func defaultDetector(k *kb.KB) *newdet.Detector {
+	metrics := newdet.MetricSet()
+	w := make([]float64, len(metrics))
+	for i := range w {
+		w[i] = 1 / float64(len(w))
+	}
+	return newdet.NewDetector(k, &agg.WeightedAverage{Weights: w, Threshold: 0.5})
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/gold"
+	"repro/internal/kb"
+	"repro/internal/webtable"
+	"repro/internal/world"
+)
+
+var (
+	fixtureOnce sync.Once
+	fw          *world.World
+	fc          *webtable.Corpus
+)
+
+func fixture() (*world.World, *webtable.Corpus) {
+	fixtureOnce.Do(func() {
+		fw = world.Generate(world.DefaultConfig(0.2))
+		fc = webtable.Synthesize(fw, webtable.DefaultSynthConfig(0.12))
+	})
+	return fw, fc
+}
+
+func TestClassifyTables(t *testing.T) {
+	w, corpus := fixture()
+	byClass := ClassifyTables(w.KB, corpus, 0.3)
+	for _, class := range kb.EvalClasses() {
+		if len(byClass[class]) == 0 {
+			t.Errorf("no tables classified as %s", class)
+		}
+	}
+	// Precision of the classification against provenance.
+	correct, total := 0, 0
+	for class, tids := range byClass {
+		for _, tid := range tids {
+			truth := corpus.Table(tid).Truth
+			if truth == nil {
+				continue
+			}
+			total++
+			if truth.Class == class {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no classified tables with provenance")
+	}
+	if acc := float64(correct) / float64(total); acc < 0.75 {
+		t.Errorf("table-to-class accuracy = %.2f, want >= 0.75", acc)
+	}
+}
+
+func TestPipelineUnlearnedRuns(t *testing.T) {
+	w, corpus := fixture()
+	byClass := ClassifyTables(w.KB, corpus, 0.3)
+	cfg := DefaultConfig(w.KB, corpus, kb.ClassGFPlayer)
+	cfg.Iterations = 1
+	p := New(cfg, Models{})
+	out := p.Run(byClass[kb.ClassGFPlayer])
+	if out == nil || len(out.Entities) == 0 {
+		t.Fatal("pipeline produced no entities")
+	}
+	if len(out.Detections) != len(out.Entities) {
+		t.Fatal("detections not parallel to entities")
+	}
+	if out.Clustering.NumClusters() != len(out.Entities) {
+		t.Errorf("clusters %d != entities %d", out.Clustering.NumClusters(), len(out.Entities))
+	}
+	if len(out.NewEntities()) == 0 {
+		t.Error("expected some new entities")
+	}
+	es, ids := out.ExistingEntities()
+	if len(es) != len(ids) {
+		t.Error("existing entities not parallel to instances")
+	}
+}
+
+func TestTrainAndRunEndToEnd(t *testing.T) {
+	w, corpus := fixture()
+	g := gold.FromWorld(w, corpus, kb.ClassGFPlayer, 40)
+	cfg := DefaultConfig(w.KB, corpus, kb.ClassGFPlayer)
+	all := make([]int, len(g.Clusters))
+	for i := range all {
+		all[i] = i
+	}
+	models := Train(cfg, g, all)
+	if models.AttrFirst == nil || models.AttrSecond == nil {
+		t.Fatal("attribute models not learned")
+	}
+	if models.ClusterScorer == nil || models.Detector == nil {
+		t.Fatal("scorer/detector not learned")
+	}
+
+	p := New(cfg, models)
+	out := p.Run(g.TableIDs)
+	if len(out.Entities) == 0 {
+		t.Fatal("no entities")
+	}
+
+	// Clustering quality on training data should be solid.
+	goldRows := make([][]webtable.RowRef, len(g.Clusters))
+	for i, c := range g.Clusters {
+		goldRows[i] = c.Rows
+	}
+	var prodRows [][]webtable.RowRef
+	for _, members := range out.Clustering.Clusters {
+		var refs []webtable.RowRef
+		for _, r := range members {
+			refs = append(refs, r.Ref)
+		}
+		prodRows = append(prodRows, refs)
+	}
+	cs := eval.EvaluateClustering(goldRows, prodRows)
+	if cs.F1 < 0.5 {
+		t.Errorf("clustering F1 on training data = %.3f, want >= 0.5", cs.F1)
+	}
+
+	// New instances found should be meaningfully better than chance.
+	var produced []eval.NewEntityResult
+	for i, e := range out.Entities {
+		var refs []webtable.RowRef
+		for _, r := range e.Rows {
+			refs = append(refs, r.Ref)
+		}
+		produced = append(produced, eval.NewEntityResult{Rows: refs, Result: out.Detections[i]})
+	}
+	prf := eval.EvaluateNewInstancesFound(g, produced)
+	if prf.F1 < 0.4 {
+		t.Errorf("new instances found F1 = %.3f, want >= 0.4", prf.F1)
+	}
+}
+
+func TestSecondIterationImprovesMappingRecall(t *testing.T) {
+	w, corpus := fixture()
+	g := gold.FromWorld(w, corpus, kb.ClassGFPlayer, 40)
+	cfg := DefaultConfig(w.KB, corpus, kb.ClassGFPlayer)
+	all := make([]int, len(g.Clusters))
+	for i := range all {
+		all[i] = i
+	}
+	models := Train(cfg, g, all)
+
+	run := func(iters int) int {
+		cfg2 := cfg
+		cfg2.Iterations = iters
+		out := New(cfg2, models).Run(g.TableIDs)
+		mapped := 0
+		for _, m := range out.Mapping {
+			mapped += len(m)
+		}
+		return mapped
+	}
+	one, two := run(1), run(2)
+	// The second iteration adds duplicate-based evidence, which mostly
+	// adds correspondences (cryptically-headed columns) but whose learned
+	// thresholds can also prune a few spurious ones; allow 10% slack.
+	if float64(two) < 0.9*float64(one) {
+		t.Errorf("second iteration mapped far fewer columns: %d vs %d", two, one)
+	}
+}
+
+func TestDedupReducesEntityCount(t *testing.T) {
+	w, corpus := fixture()
+	byClass := ClassifyTables(w.KB, corpus, 0.3)
+	base := DefaultConfig(w.KB, corpus, kb.ClassSong)
+	base.Iterations = 1
+	plain := New(base, Models{}).Run(byClass[kb.ClassSong])
+
+	deduped := base
+	deduped.Dedup = true
+	withDedup := New(deduped, Models{}).Run(byClass[kb.ClassSong])
+
+	if len(withDedup.Entities) > len(plain.Entities) {
+		t.Errorf("dedup increased entities: %d > %d",
+			len(withDedup.Entities), len(plain.Entities))
+	}
+	if len(withDedup.Entities) == 0 {
+		t.Fatal("dedup removed everything")
+	}
+	// Detections stay parallel after dedup.
+	if len(withDedup.Detections) != len(withDedup.Entities) {
+		t.Error("detections not parallel after dedup")
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/kb"
+	"repro/internal/webtable"
+)
+
+// TestPipelineOverWDCRoundTrip serializes the synthetic corpus to the WDC
+// JSON format, reads it back (losing generation provenance, exactly like a
+// real dump), and verifies the pipeline still finds new entities — the
+// full "real data" path: WDC JSON → corpus → classify → pipeline.
+func TestPipelineOverWDCRoundTrip(t *testing.T) {
+	w, corpus := fixture()
+	var buf bytes.Buffer
+	if err := webtable.WriteWDC(&buf, corpus); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := webtable.ReadWDC(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() == 0 {
+		t.Fatal("round-trip corpus empty")
+	}
+	for _, tb := range loaded.Tables {
+		if tb.Truth != nil {
+			t.Fatal("provenance must not survive serialization")
+		}
+	}
+
+	byClass := ClassifyTables(w.KB, loaded, 0.3)
+	if len(byClass[kb.ClassGFPlayer]) == 0 {
+		t.Fatal("no player tables classified after round trip")
+	}
+	cfg := DefaultConfig(w.KB, loaded, kb.ClassGFPlayer)
+	cfg.Iterations = 1
+	out := New(cfg, Models{}).Run(byClass[kb.ClassGFPlayer])
+	if len(out.Entities) == 0 {
+		t.Fatal("no entities from round-tripped corpus")
+	}
+	if len(out.NewEntities()) == 0 {
+		t.Error("no new entities from round-tripped corpus")
+	}
+}
+
+// TestPipelineDeterministic verifies that two runs with the same seed yield
+// identical outputs (clustering included, despite the parallel greedy pass,
+// because batch decisions are applied in order).
+func TestPipelineDeterministic(t *testing.T) {
+	w, corpus := fixture()
+	byClass := ClassifyTables(w.KB, corpus, 0.3)
+	cfg := DefaultConfig(w.KB, corpus, kb.ClassGFPlayer)
+	cfg.Iterations = 1
+	a := New(cfg, Models{}).Run(byClass[kb.ClassGFPlayer])
+	b := New(cfg, Models{}).Run(byClass[kb.ClassGFPlayer])
+	if len(a.Entities) != len(b.Entities) {
+		t.Fatalf("entity counts differ: %d vs %d", len(a.Entities), len(b.Entities))
+	}
+	for i := range a.Entities {
+		if a.Entities[i].Label() != b.Entities[i].Label() {
+			t.Fatalf("entity %d label differs: %q vs %q",
+				i, a.Entities[i].Label(), b.Entities[i].Label())
+		}
+		if a.Detections[i].IsNew != b.Detections[i].IsNew {
+			t.Fatalf("entity %d detection differs", i)
+		}
+	}
+}
+
+// TestOutputAccessors covers NewEntities/ExistingEntities partitioning.
+func TestOutputAccessors(t *testing.T) {
+	w, corpus := fixture()
+	byClass := ClassifyTables(w.KB, corpus, 0.3)
+	cfg := DefaultConfig(w.KB, corpus, kb.ClassSettlement)
+	cfg.Iterations = 1
+	out := New(cfg, Models{}).Run(byClass[kb.ClassSettlement])
+	newN := len(out.NewEntities())
+	exist, _ := out.ExistingEntities()
+	abstained := 0
+	for _, d := range out.Detections {
+		if !d.IsNew && !d.Matched {
+			abstained++
+		}
+	}
+	if newN+len(exist)+abstained != len(out.Entities) {
+		t.Errorf("partition broken: %d new + %d existing + %d abstained != %d total",
+			newN, len(exist), abstained, len(out.Entities))
+	}
+}
+
+// TestEmptyTableList degenerates gracefully.
+func TestEmptyTableList(t *testing.T) {
+	w, corpus := fixture()
+	cfg := DefaultConfig(w.KB, corpus, kb.ClassSong)
+	out := New(cfg, Models{}).Run(nil)
+	if len(out.Entities) != 0 || len(out.Rows) != 0 {
+		t.Errorf("empty run produced %d entities", len(out.Entities))
+	}
+}

@@ -1,0 +1,355 @@
+package dtype
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	if Text.String() != "text" || Date.String() != "date" {
+		t.Error("Kind.String mismatch")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Error("unknown kind formatting")
+	}
+}
+
+func TestKindCoarse(t *testing.T) {
+	cases := map[Kind]Kind{
+		Text:              Text,
+		NominalString:     Text,
+		InstanceReference: Text,
+		Quantity:          Quantity,
+		NominalInteger:    Quantity,
+		Date:              Date,
+		Unknown:           Unknown,
+	}
+	for k, want := range cases {
+		if got := k.Coarse(); got != want {
+			t.Errorf("%v.Coarse() = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestDetectKind(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Kind
+	}{
+		{"Tom Brady", Text},
+		{"1,234", Quantity},
+		{"12.5", Quantity},
+		{"-3", Quantity},
+		{"$1,000", Quantity},
+		{"85 kg", Quantity},
+		{"3:45", Quantity},
+		{"6'2\"", Quantity},
+		{"1995", Date},
+		{"1995-08-03", Date},
+		{"08/03/1995", Date},
+		{"3.8.1995", Date},
+		{"August 3, 1995", Date},
+		{"3 August 1995", Date},
+		{"Aug 3, 1995", Date},
+		{"", Unknown},
+		{"  ", Unknown},
+		{"QB", Text},
+	}
+	for _, c := range cases {
+		if got := DetectKind(c.in); got != c.want {
+			t.Errorf("DetectKind(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseQuantity(t *testing.T) {
+	v, ok := Parse("1,234.5", Quantity)
+	if !ok || v.Num != 1234.5 {
+		t.Fatalf("Parse quantity = %+v ok=%v", v, ok)
+	}
+	v, ok = Parse("3:45", Quantity)
+	if !ok || v.Num != 225 {
+		t.Errorf("duration = %v, want 225 seconds", v.Num)
+	}
+	v, ok = Parse("6'2\"", Quantity)
+	if !ok || v.Num != 74 {
+		t.Errorf("height = %v, want 74 inches", v.Num)
+	}
+	v, ok = Parse("6-2", Quantity)
+	if !ok || v.Num != 74 {
+		t.Errorf("dash height = %v, want 74", v.Num)
+	}
+	if _, ok := Parse("hello", Quantity); ok {
+		t.Error("text should not parse as quantity")
+	}
+	if _, ok := Parse("3:99", Quantity); ok {
+		t.Error("invalid duration should not parse")
+	}
+}
+
+func TestParseNominalInteger(t *testing.T) {
+	v, ok := Parse("12", NominalInteger)
+	if !ok || v.Num != 12 {
+		t.Fatalf("Parse nominal int = %+v ok=%v", v, ok)
+	}
+	if _, ok := Parse("12.5", NominalInteger); ok {
+		t.Error("fractional value should not parse as nominal integer")
+	}
+}
+
+func TestParseDate(t *testing.T) {
+	v, ok := Parse("1995-08-03", Date)
+	if !ok || v.Year != 1995 || v.Month != 8 || v.Day != 3 || v.Gran != GranDay {
+		t.Fatalf("ISO date = %+v ok=%v", v, ok)
+	}
+	v, ok = Parse("August 3, 1995", Date)
+	if !ok || v.Year != 1995 || v.Month != 8 || v.Day != 3 {
+		t.Fatalf("textual date = %+v ok=%v", v, ok)
+	}
+	v, ok = Parse("1995", Date)
+	if !ok || v.Year != 1995 || v.Gran != GranYear {
+		t.Fatalf("year = %+v ok=%v", v, ok)
+	}
+	if _, ok := Parse("13/45/1995", Date); ok {
+		t.Error("invalid date should not parse")
+	}
+	if _, ok := Parse("not a date", Date); ok {
+		t.Error("text should not parse as date")
+	}
+}
+
+func TestParseText(t *testing.T) {
+	v, ok := Parse("  Tom  BRADY ", Text)
+	if !ok || v.Str != "tom brady" {
+		t.Fatalf("text normalization = %+v", v)
+	}
+	if _, ok := Parse("", Text); ok {
+		t.Error("empty string should not parse")
+	}
+}
+
+func TestSimilarityText(t *testing.T) {
+	th := DefaultThresholds()
+	a, b := NewText("Tom Brady"), NewText("tom brady")
+	if s := th.Similarity(a, b); s != 1 {
+		t.Errorf("identical text sim = %v", s)
+	}
+	if !th.Equal(a, b) {
+		t.Error("identical text should be equal")
+	}
+	c := NewText("Peyton Manning")
+	if th.Equal(a, c) {
+		t.Error("different names should not be equal")
+	}
+}
+
+func TestSimilarityNominal(t *testing.T) {
+	th := DefaultThresholds()
+	a, b := NewNominal("US"), NewNominal("us")
+	if !th.Equal(a, b) {
+		t.Error("case-normalized nominals should be equal")
+	}
+	c := NewNominal("USA")
+	if th.Equal(a, c) {
+		t.Error("nominals differ: strict equality required")
+	}
+}
+
+func TestSimilarityNominalInt(t *testing.T) {
+	th := DefaultThresholds()
+	if !th.Equal(NewNominalInt(12), NewNominalInt(12)) {
+		t.Error("equal nominal ints")
+	}
+	if th.Equal(NewNominalInt(12), NewNominalInt(13)) {
+		t.Error("adjacent nominal ints must be unequal")
+	}
+}
+
+func TestSimilarityQuantity(t *testing.T) {
+	th := DefaultThresholds()
+	if !th.Equal(NewQuantity(100), NewQuantity(100)) {
+		t.Error("equal quantities")
+	}
+	if !th.Equal(NewQuantity(100), NewQuantity(102)) {
+		t.Error("2%% deviation within 5%% tolerance should be equal")
+	}
+	if th.Equal(NewQuantity(100), NewQuantity(150)) {
+		t.Error("50%% deviation should not be equal")
+	}
+	// Closeness is semantically graded.
+	s1 := th.Similarity(NewQuantity(100), NewQuantity(101))
+	s2 := th.Similarity(NewQuantity(100), NewQuantity(120))
+	if s1 <= s2 {
+		t.Errorf("closer quantity should score higher: %v vs %v", s1, s2)
+	}
+	if !th.Equal(NewQuantity(0), NewQuantity(0)) {
+		t.Error("two zeros are equal")
+	}
+}
+
+func TestSimilarityDate(t *testing.T) {
+	th := DefaultThresholds()
+	if !th.Equal(NewDate(1995, 8, 3), NewDate(1995, 8, 3)) {
+		t.Error("identical day dates")
+	}
+	if !th.Equal(NewDate(1995, 8, 3), NewYear(1995)) {
+		t.Error("day date should equal matching year-granularity date")
+	}
+	if th.Equal(NewDate(1995, 8, 3), NewDate(1995, 8, 4)) {
+		t.Error("different days are unequal")
+	}
+	if th.Equal(NewYear(1995), NewYear(1996)) {
+		t.Error("different years are unequal")
+	}
+}
+
+func TestSimilarityCrossKind(t *testing.T) {
+	th := DefaultThresholds()
+	if s := th.Similarity(NewText("12"), NewQuantity(12)); s != 0 {
+		t.Errorf("text vs quantity = %v, want 0", s)
+	}
+	// Text vs InstanceReference share the text coarse type and compare.
+	if s := th.Similarity(NewText("patriots"), NewRef("Patriots")); s != 1 {
+		t.Errorf("text vs ref = %v, want 1", s)
+	}
+}
+
+func TestSimilarityRangeProperty(t *testing.T) {
+	th := DefaultThresholds()
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		s := th.Similarity(NewQuantity(a), NewQuantity(b))
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimilaritySymmetryProperty(t *testing.T) {
+	th := DefaultThresholds()
+	f := func(a, b string) bool {
+		if len(a) > 24 {
+			a = a[:24]
+		}
+		if len(b) > 24 {
+			b = b[:24]
+		}
+		va, vb := NewText(a), NewText(b)
+		return math.Abs(th.Similarity(va, vb)-th.Similarity(vb, va)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFuseMajority(t *testing.T) {
+	vals := []Value{NewText("a"), NewText("b"), NewText("a")}
+	got := Fuse(vals, nil)
+	if got.Str != "a" {
+		t.Errorf("majority = %q, want a", got.Str)
+	}
+	// Weighted: b outweighs two a's.
+	got = Fuse(vals, []float64{1, 3, 1})
+	if got.Str != "b" {
+		t.Errorf("weighted majority = %q, want b", got.Str)
+	}
+}
+
+func TestFuseMajorityTieDeterministic(t *testing.T) {
+	vals := []Value{NewText("x"), NewText("y")}
+	for i := 0; i < 10; i++ {
+		if got := Fuse(vals, nil); got.Str != "x" {
+			t.Fatalf("tie should break to first-seen, got %q", got.Str)
+		}
+	}
+}
+
+func TestFuseWeightedMedian(t *testing.T) {
+	vals := []Value{NewQuantity(1), NewQuantity(100), NewQuantity(3)}
+	got := Fuse(vals, nil)
+	if got.Num != 3 {
+		t.Errorf("median = %v, want 3", got.Num)
+	}
+	// Heavy weight drags the median.
+	got = Fuse(vals, []float64{10, 1, 1})
+	if got.Num != 1 {
+		t.Errorf("weighted median = %v, want 1", got.Num)
+	}
+}
+
+func TestFuseDatesPrefersDayGranularity(t *testing.T) {
+	vals := []Value{NewYear(1995), NewDate(1995, 8, 3), NewYear(1995)}
+	got := Fuse(vals, nil)
+	if got.Gran != GranDay || got.Month != 8 {
+		t.Errorf("fused date = %+v, want day granularity", got)
+	}
+}
+
+func TestFuseNominalNoFusion(t *testing.T) {
+	vals := []Value{NewNominal("US"), NewNominal("US")}
+	if got := Fuse(vals, nil); got.Str != "us" {
+		t.Errorf("nominal fuse = %+v", got)
+	}
+	ints := []Value{NewNominalInt(7)}
+	if got := Fuse(ints, nil); got.Num != 7 {
+		t.Errorf("nominal int fuse = %+v", got)
+	}
+}
+
+func TestFusePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Fuse on empty group should panic")
+		}
+	}()
+	Fuse(nil, nil)
+}
+
+func TestValueString(t *testing.T) {
+	if NewQuantity(2.5).String() != "2.5" {
+		t.Error("quantity string")
+	}
+	if NewNominalInt(12).String() != "12" {
+		t.Error("nominal int string")
+	}
+	if NewYear(1995).String() != "1995" {
+		t.Error("year string")
+	}
+	if NewDate(1995, 8, 3).String() != "1995-08-03" {
+		t.Error("date string")
+	}
+	if NewText("Hi").String() != "hi" {
+		t.Error("text string uses normalized payload")
+	}
+}
+
+func TestValueIsZero(t *testing.T) {
+	var v Value
+	if !v.IsZero() {
+		t.Error("zero value should be zero")
+	}
+	if NewText("x").IsZero() {
+		t.Error("text value should not be zero")
+	}
+}
+
+func BenchmarkDetectKind(b *testing.B) {
+	inputs := []string{"Tom Brady", "1,234", "August 3, 1995", "3:45", "6'2\""}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DetectKind(inputs[i%len(inputs)])
+	}
+}
+
+func BenchmarkSimilarityQuantity(b *testing.B) {
+	th := DefaultThresholds()
+	x, y := NewQuantity(1234), NewQuantity(1250)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		th.Similarity(x, y)
+	}
+}

@@ -1,0 +1,102 @@
+package dtype
+
+import "sort"
+
+// Fuse merges a group of equal values into a single fused value (§3.3 step
+// 4). Weights parallel values; a nil weights slice means uniform weights.
+//
+//   - Text and InstanceReference use the (weighted) majority value.
+//   - Quantity and Date use a weighted median.
+//   - NominalString and NominalInteger need no fusion (all group members are
+//     equal) and return the first value.
+//
+// Fuse panics on an empty group; callers group first, and groups are never
+// empty.
+func Fuse(values []Value, weights []float64) Value {
+	if len(values) == 0 {
+		panic("dtype: Fuse on empty group")
+	}
+	if weights == nil {
+		weights = make([]float64, len(values))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	switch values[0].Kind {
+	case NominalString, NominalInteger:
+		return values[0]
+	case Quantity:
+		return weightedMedianBy(values, weights, func(v Value) float64 { return v.Num })
+	case Date:
+		return fuseDates(values, weights)
+	default: // Text, InstanceReference
+		return weightedMajority(values, weights)
+	}
+}
+
+// weightedMajority picks the value whose normalized string payload has the
+// highest total weight. Ties break toward the value seen first, keeping the
+// result deterministic.
+func weightedMajority(values []Value, weights []float64) Value {
+	totals := make(map[string]float64)
+	first := make(map[string]int)
+	for i, v := range values {
+		key := v.Str
+		totals[key] += weights[i]
+		if _, seen := first[key]; !seen {
+			first[key] = i
+		}
+	}
+	bestKey, bestW, bestIdx := "", -1.0, 0
+	for key, w := range totals {
+		idx := first[key]
+		if w > bestW || (w == bestW && idx < bestIdx) {
+			bestKey, bestW, bestIdx = key, w, idx
+		}
+	}
+	_ = bestKey
+	return values[bestIdx]
+}
+
+// weightedMedianBy returns the value at the weighted median of the keys.
+func weightedMedianBy(values []Value, weights []float64, key func(Value) float64) Value {
+	type kv struct {
+		v Value
+		w float64
+	}
+	items := make([]kv, len(values))
+	var total float64
+	for i, v := range values {
+		items[i] = kv{v, weights[i]}
+		total += weights[i]
+	}
+	sort.SliceStable(items, func(i, j int) bool { return key(items[i].v) < key(items[j].v) })
+	half := total / 2
+	var acc float64
+	for _, it := range items {
+		acc += it.w
+		if acc >= half {
+			return it.v
+		}
+	}
+	return items[len(items)-1].v
+}
+
+// fuseDates prefers day-granularity values: the weighted median over day
+// dates when any exist, otherwise over years.
+func fuseDates(values []Value, weights []float64) Value {
+	var dayVals []Value
+	var dayWs []float64
+	for i, v := range values {
+		if v.Gran == GranDay {
+			dayVals = append(dayVals, v)
+			dayWs = append(dayWs, weights[i])
+		}
+	}
+	if len(dayVals) > 0 {
+		values, weights = dayVals, dayWs
+	}
+	return weightedMedianBy(values, weights, func(v Value) float64 {
+		return float64(v.Year)*372 + float64(v.Month)*31 + float64(v.Day)
+	})
+}

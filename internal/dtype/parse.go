@@ -1,0 +1,204 @@
+package dtype
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// The detection regular expressions mirror the paper's "manually defined
+// regular expressions" for the three coarse detection types.
+var (
+	reNumber = regexp.MustCompile(`^[+-]?\$?\s*\d{1,3}(,\d{3})*(\.\d+)?\s*(%|kg|km|mi|lb|lbs|m|ft|in)?$|^[+-]?\$?\s*\d+(\.\d+)?\s*(%|kg|km|mi|lb|lbs|m|ft|in)?$`)
+	reYear   = regexp.MustCompile(`^(1[5-9]\d{2}|20\d{2})$`)
+	// ISO and common numeric date layouts.
+	reISODate = regexp.MustCompile(`^(\d{4})-(\d{1,2})-(\d{1,2})$`)
+	reSlash   = regexp.MustCompile(`^(\d{1,2})/(\d{1,2})/(\d{4})$`)
+	reDotDate = regexp.MustCompile(`^(\d{1,2})\.(\d{1,2})\.(\d{4})$`)
+	// Textual month layouts ("January 2, 1995", "2 January 1995").
+	reMonthFirst = regexp.MustCompile(`^([A-Za-z]{3,9})\.?\s+(\d{1,2})(?:st|nd|rd|th)?,?\s+(\d{4})$`)
+	reDayFirst   = regexp.MustCompile(`^(\d{1,2})(?:st|nd|rd|th)?\s+([A-Za-z]{3,9})\.?,?\s+(\d{4})$`)
+	// Durations like "3:45" (song runtimes) parse as quantities in seconds.
+	reDuration = regexp.MustCompile(`^(\d{1,2}):(\d{2})$`)
+	// Heights like 6'2" or 6-2 (football rosters) parse as inches.
+	reHeight = regexp.MustCompile(`^(\d)'\s?(\d{1,2})"?$|^(\d)-(\d{1,2})$`)
+)
+
+var monthNum = map[string]int{
+	"jan": 1, "january": 1,
+	"feb": 2, "february": 2,
+	"mar": 3, "march": 3,
+	"apr": 4, "april": 4,
+	"may": 5,
+	"jun": 6, "june": 6,
+	"jul": 7, "july": 7,
+	"aug": 8, "august": 8,
+	"sep": 9, "sept": 9, "september": 9,
+	"oct": 10, "october": 10,
+	"nov": 11, "november": 11,
+	"dec": 12, "december": 12,
+}
+
+// DetectKind classifies a raw cell string into one of the three coarse
+// detection types (Text, Date, Quantity) or Unknown for empty input.
+func DetectKind(raw string) Kind {
+	s := strings.TrimSpace(raw)
+	if s == "" {
+		return Unknown
+	}
+	if _, _, _, _, ok := parseDate(s); ok {
+		return Date
+	}
+	if _, ok := parseNumber(s); ok {
+		return Quantity
+	}
+	return Text
+}
+
+// Parse converts a raw cell string into a Value of the requested kind.
+// It returns false when the string cannot be interpreted as that kind.
+func Parse(raw string, kind Kind) (Value, bool) {
+	s := strings.TrimSpace(raw)
+	if s == "" {
+		return Value{}, false
+	}
+	switch kind {
+	case Text:
+		return Value{Kind: Text, Raw: raw, Str: normString(s)}, true
+	case NominalString:
+		return Value{Kind: NominalString, Raw: raw, Str: normString(s)}, true
+	case InstanceReference:
+		return Value{Kind: InstanceReference, Raw: raw, Str: normString(s)}, true
+	case Quantity:
+		n, ok := parseNumber(s)
+		if !ok {
+			return Value{}, false
+		}
+		return Value{Kind: Quantity, Raw: raw, Num: n}, true
+	case NominalInteger:
+		n, ok := parseNumber(s)
+		if !ok || n != float64(int64(n)) {
+			return Value{}, false
+		}
+		return Value{Kind: NominalInteger, Raw: raw, Num: n}, true
+	case Date:
+		y, m, d, g, ok := parseDate(s)
+		if !ok {
+			// A bare quantity that looks like a year is accepted when a
+			// date is requested (the paper lets date attributes match
+			// quantity-typed columns).
+			if n, nok := parseNumber(s); nok && reYear.MatchString(strconv.Itoa(int(n))) && n == float64(int64(n)) {
+				return Value{Kind: Date, Raw: raw, Year: int(n), Gran: GranYear}, true
+			}
+			return Value{}, false
+		}
+		return Value{Kind: Date, Raw: raw, Year: y, Month: m, Day: d, Gran: g}, true
+	default:
+		return Value{}, false
+	}
+}
+
+// parseNumber parses the numeric formats accepted by the detector, including
+// thousands separators, currency/unit suffixes, durations (mm:ss → seconds),
+// and roster heights (6'2" → inches).
+func parseNumber(s string) (float64, bool) {
+	if m := reDuration.FindStringSubmatch(s); m != nil {
+		mins, _ := strconv.Atoi(m[1])
+		secs, _ := strconv.Atoi(m[2])
+		if secs < 60 {
+			return float64(mins*60 + secs), true
+		}
+		return 0, false
+	}
+	if m := reHeight.FindStringSubmatch(s); m != nil {
+		var ft, in int
+		if m[1] != "" {
+			ft, _ = strconv.Atoi(m[1])
+			in, _ = strconv.Atoi(m[2])
+		} else {
+			ft, _ = strconv.Atoi(m[3])
+			in, _ = strconv.Atoi(m[4])
+		}
+		if in < 12 {
+			return float64(ft*12 + in), true
+		}
+		return 0, false
+	}
+	if !reNumber.MatchString(s) {
+		return 0, false
+	}
+	cleaned := strings.Map(func(r rune) rune {
+		switch {
+		case unicode.IsDigit(r), r == '.', r == '-', r == '+':
+			return r
+		default:
+			return -1
+		}
+	}, s)
+	n, err := strconv.ParseFloat(cleaned, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// parseDate parses the date formats accepted by the detector and returns
+// year, month, day and granularity.
+func parseDate(s string) (y, m, d int, g Granularity, ok bool) {
+	if mm := reISODate.FindStringSubmatch(s); mm != nil {
+		return dateFrom(mm[1], mm[2], mm[3])
+	}
+	if mm := reSlash.FindStringSubmatch(s); mm != nil {
+		// Interpret as month/day/year (the corpus is English-language).
+		return dateFrom(mm[3], mm[1], mm[2])
+	}
+	if mm := reDotDate.FindStringSubmatch(s); mm != nil {
+		// day.month.year
+		return dateFrom(mm[3], mm[2], mm[1])
+	}
+	if mm := reMonthFirst.FindStringSubmatch(s); mm != nil {
+		mon, found := monthNum[strings.ToLower(mm[1])]
+		if !found {
+			return 0, 0, 0, 0, false
+		}
+		day, _ := strconv.Atoi(mm[2])
+		year, _ := strconv.Atoi(mm[3])
+		return validDate(year, mon, day)
+	}
+	if mm := reDayFirst.FindStringSubmatch(s); mm != nil {
+		mon, found := monthNum[strings.ToLower(mm[2])]
+		if !found {
+			return 0, 0, 0, 0, false
+		}
+		day, _ := strconv.Atoi(mm[1])
+		year, _ := strconv.Atoi(mm[3])
+		return validDate(year, mon, day)
+	}
+	if reYear.MatchString(s) {
+		year, _ := strconv.Atoi(s)
+		return year, 0, 0, GranYear, true
+	}
+	return 0, 0, 0, 0, false
+}
+
+func dateFrom(ys, ms, ds string) (int, int, int, Granularity, bool) {
+	year, _ := strconv.Atoi(ys)
+	mon, _ := strconv.Atoi(ms)
+	day, _ := strconv.Atoi(ds)
+	return validDate(year, mon, day)
+}
+
+func validDate(year, mon, day int) (int, int, int, Granularity, bool) {
+	if year < 1000 || year > 2999 || mon < 1 || mon > 12 || day < 1 || day > 31 {
+		return 0, 0, 0, 0, false
+	}
+	return year, mon, day, GranDay, true
+}
+
+// normString is the normalization applied to string payloads: lowercase and
+// whitespace-collapsed but punctuation-preserving enough for nominal
+// comparison.
+func normString(s string) string {
+	return strings.Join(strings.Fields(strings.ToLower(s)), " ")
+}

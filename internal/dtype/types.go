@@ -1,0 +1,170 @@
+// Package dtype implements the six data types the LTEE pipeline uses to
+// type values, facts, attribute columns, and knowledge base properties:
+// Text, NominalString, InstanceReference, Date, Quantity, and NominalInteger.
+//
+// Each type carries a similarity function and an equivalence threshold used
+// to decide whether two values are equal (§3.1 of the paper), plus a fuser
+// used during entity creation (§3.3): majority value for text-like types and
+// a weighted median for quantities and dates.
+package dtype
+
+import "fmt"
+
+// Kind enumerates the six data types of the pipeline plus detection-level
+// coarse types. Column detection only distinguishes Text, Date, and
+// Quantity; the finer types (NominalString, InstanceReference,
+// NominalInteger) are assigned by the attribute-to-property matcher once an
+// attribute is matched to a KB property.
+type Kind int
+
+const (
+	// Unknown marks values that could not be typed.
+	Unknown Kind = iota
+	// Text is a free-form string compared fuzzily (e.g. instance labels).
+	Text
+	// NominalString is a string that is either exactly equal or unequal
+	// (e.g. the ISO code of a country, a postal code).
+	NominalString
+	// InstanceReference is a reference to another KB instance (e.g. the
+	// team of an athlete or the musical artist of a song).
+	InstanceReference
+	// Date is a date with year or day granularity.
+	Date
+	// Quantity is a numeric quantity where numeric closeness is
+	// semantically meaningful (e.g. the population of a settlement).
+	Quantity
+	// NominalInteger is an integer where nearby numbers are unrelated
+	// (e.g. jersey numbers, draft rounds).
+	NominalInteger
+)
+
+var kindNames = map[Kind]string{
+	Unknown:           "unknown",
+	Text:              "text",
+	NominalString:     "nominalString",
+	InstanceReference: "instanceReference",
+	Date:              "date",
+	Quantity:          "quantity",
+	NominalInteger:    "nominalInteger",
+}
+
+// String returns the lowerCamel name of the kind.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Coarse maps the kind onto the three detection-level types: Text covers
+// text, nominal strings and instance references; Quantity covers quantities
+// and nominal integers; Date stays Date.
+func (k Kind) Coarse() Kind {
+	switch k {
+	case NominalString, InstanceReference, Text:
+		return Text
+	case NominalInteger, Quantity:
+		return Quantity
+	case Date:
+		return Date
+	default:
+		return Unknown
+	}
+}
+
+// Numeric reports whether values of this kind carry a numeric payload.
+func (k Kind) Numeric() bool {
+	return k == Quantity || k == NominalInteger
+}
+
+// Granularity is the precision of a Date value.
+type Granularity int
+
+const (
+	// GranYear means only the year is known.
+	GranYear Granularity = iota
+	// GranDay means the full date is known.
+	GranDay
+)
+
+// Value is a typed cell or fact value. Exactly one payload field is
+// meaningful depending on Kind: Str for Text/NominalString/
+// InstanceReference, Num for Quantity/NominalInteger, and
+// Year/Month/Day (+Gran) for Date. Raw preserves the original string.
+type Value struct {
+	Kind Kind
+	// Raw is the original, unnormalized string.
+	Raw string
+	// Str is the normalized string payload for string-like kinds. For
+	// InstanceReference it holds the normalized label of the referenced
+	// instance.
+	Str string
+	// Num is the numeric payload for Quantity and NominalInteger.
+	Num float64
+	// Year, Month, Day and Gran encode Date payloads.
+	Year, Month, Day int
+	Gran             Granularity
+}
+
+// String renders the value for display and logging.
+func (v Value) String() string {
+	switch v.Kind {
+	case Quantity:
+		return fmt.Sprintf("%g", v.Num)
+	case NominalInteger:
+		return fmt.Sprintf("%d", int64(v.Num))
+	case Date:
+		if v.Gran == GranYear {
+			return fmt.Sprintf("%04d", v.Year)
+		}
+		return fmt.Sprintf("%04d-%02d-%02d", v.Year, v.Month, v.Day)
+	case Unknown:
+		return v.Raw
+	default:
+		return v.Str
+	}
+}
+
+// IsZero reports whether the value is the zero Value.
+func (v Value) IsZero() bool {
+	return v.Kind == Unknown && v.Raw == "" && v.Str == "" && v.Num == 0 &&
+		v.Year == 0 && v.Month == 0 && v.Day == 0
+}
+
+// NewText constructs a Text value.
+func NewText(s string) Value { return Value{Kind: Text, Raw: s, Str: normString(s)} }
+
+// NewNominal constructs a NominalString value.
+func NewNominal(s string) Value {
+	return Value{Kind: NominalString, Raw: s, Str: normString(s)}
+}
+
+// NewRef constructs an InstanceReference value whose Str is the normalized
+// label of the referenced instance.
+func NewRef(label string) Value {
+	return Value{Kind: InstanceReference, Raw: label, Str: normString(label)}
+}
+
+// NewQuantity constructs a Quantity value.
+func NewQuantity(x float64) Value {
+	return Value{Kind: Quantity, Raw: fmt.Sprintf("%g", x), Num: x}
+}
+
+// NewNominalInt constructs a NominalInteger value.
+func NewNominalInt(n int) Value {
+	return Value{Kind: NominalInteger, Raw: fmt.Sprintf("%d", n), Num: float64(n)}
+}
+
+// NewYear constructs a Date value with year granularity.
+func NewYear(y int) Value {
+	return Value{Kind: Date, Raw: fmt.Sprintf("%04d", y), Year: y, Gran: GranYear}
+}
+
+// NewDate constructs a Date value with day granularity.
+func NewDate(y, m, d int) Value {
+	return Value{
+		Kind: Date,
+		Raw:  fmt.Sprintf("%04d-%02d-%02d", y, m, d),
+		Year: y, Month: m, Day: d, Gran: GranDay,
+	}
+}

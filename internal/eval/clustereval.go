@@ -1,0 +1,172 @@
+// Package eval implements the paper's evaluation machinery: the
+// Hassanzadeh et al. clustering evaluation (average recall, penalized
+// clustering precision), new detection accuracy and per-class F1, the
+// new-instances-found and facts-found evaluations of §4, and the ranked
+// evaluation (MAP, P@k) used for the set-expansion comparison in §6.
+package eval
+
+import (
+	"repro/internal/webtable"
+)
+
+// ClusterScores holds the clustering evaluation results of Table 7.
+type ClusterScores struct {
+	// PCP is the penalized clustering precision.
+	PCP float64
+	// AR is the average recall.
+	AR float64
+	// F1 is the harmonic mean of PCP and AR.
+	F1 float64
+}
+
+// EvaluateClustering compares a produced clustering C against gold clusters
+// G following Hassanzadeh et al. [17]: a one-to-one mapping M from C to G
+// maps each produced cluster to the gold cluster it overlaps most (largest
+// fraction of its rows; ties by absolute overlap); average recall averages
+// the per-gold-cluster recall; pairwise precision is computed over same-
+// cluster row pairs in C and penalized by min(|C|,|G|,|M|)/max(...) for
+// deviating cluster counts.
+func EvaluateClustering(gold [][]webtable.RowRef, produced [][]webtable.RowRef) ClusterScores {
+	goldOf := make(map[webtable.RowRef]int)
+	for gi, rows := range gold {
+		for _, r := range rows {
+			goldOf[r] = gi
+		}
+	}
+
+	// Map each produced cluster to its dominant gold cluster.
+	type mapping struct {
+		gold    int
+		overlap int
+		frac    float64
+	}
+	maps := make([]mapping, len(produced))
+	for ci, rows := range produced {
+		counts := make(map[int]int)
+		for _, r := range rows {
+			if gi, ok := goldOf[r]; ok {
+				counts[gi]++
+			}
+		}
+		best := mapping{gold: -1}
+		for gi, n := range counts {
+			frac := float64(n) / float64(len(rows))
+			if frac > best.frac || (frac == best.frac && n > best.overlap) ||
+				(frac == best.frac && n == best.overlap && best.gold >= 0 && gi < best.gold) {
+				best = mapping{gold: gi, overlap: n, frac: frac}
+			}
+		}
+		maps[ci] = best
+	}
+	// One-to-one: per gold cluster keep the produced cluster with the
+	// highest overlap (ties to lower produced index).
+	bestFor := make(map[int]int) // gold -> produced
+	for ci, m := range maps {
+		if m.gold < 0 {
+			continue
+		}
+		cur, ok := bestFor[m.gold]
+		if !ok || m.overlap > maps[cur].overlap {
+			bestFor[m.gold] = ci
+		}
+	}
+
+	// Average recall over gold clusters.
+	var recallSum float64
+	for gi, rows := range gold {
+		ci, ok := bestFor[gi]
+		if !ok || len(rows) == 0 {
+			continue // recall 0 for unmapped gold clusters
+		}
+		overlap := 0
+		for _, r := range produced[ci] {
+			if g, k := goldOf[r]; k && g == gi {
+				overlap++
+			}
+		}
+		recallSum += float64(overlap) / float64(len(rows))
+	}
+	ar := 0.0
+	if len(gold) > 0 {
+		ar = recallSum / float64(len(gold))
+	}
+
+	// Pairwise clustering precision over produced same-cluster pairs.
+	pairs, correct := 0, 0
+	for _, rows := range produced {
+		for i := 0; i < len(rows); i++ {
+			for j := i + 1; j < len(rows); j++ {
+				gi, iok := goldOf[rows[i]]
+				gj, jok := goldOf[rows[j]]
+				if !iok || !jok {
+					continue
+				}
+				pairs++
+				if gi == gj {
+					correct++
+				}
+			}
+		}
+	}
+	precision := 1.0 // all-singleton clusterings have no pairs and full precision
+	if pairs > 0 {
+		precision = float64(correct) / float64(pairs)
+	}
+	// Penalize deviation of the cluster count: min size / max size over
+	// |C|, |G| and |M|.
+	sizes := []int{len(produced), len(gold), len(bestFor)}
+	lo, hi := sizes[0], sizes[0]
+	for _, s := range sizes[1:] {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	penalty := 1.0
+	if hi > 0 {
+		penalty = float64(lo) / float64(hi)
+	}
+	pcp := precision * penalty
+
+	f1 := 0.0
+	if pcp+ar > 0 {
+		f1 = 2 * pcp * ar / (pcp + ar)
+	}
+	return ClusterScores{PCP: pcp, AR: ar, F1: f1}
+}
+
+// MapClusters returns, for each produced cluster, the index of the gold
+// cluster that the majority of its rows belong to (-1 when no row is
+// annotated or no majority exists). Used by the §4 evaluations.
+func MapClusters(gold [][]webtable.RowRef, produced [][]webtable.RowRef) []int {
+	goldOf := make(map[webtable.RowRef]int)
+	for gi, rows := range gold {
+		for _, r := range rows {
+			goldOf[r] = gi
+		}
+	}
+	out := make([]int, len(produced))
+	for ci, rows := range produced {
+		counts := make(map[int]int)
+		for _, r := range rows {
+			if gi, ok := goldOf[r]; ok {
+				counts[gi]++
+			}
+		}
+		best, bestN := -1, 0
+		for gi, n := range counts {
+			if n > bestN || (n == bestN && best >= 0 && gi < best) {
+				best, bestN = gi, n
+			}
+		}
+		// Majority condition: more than half the produced rows.
+		if best >= 0 && bestN*2 > len(rows) {
+			out[ci] = best
+		} else {
+			out[ci] = -1
+		}
+	}
+	return out
+}

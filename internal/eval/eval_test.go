@@ -1,0 +1,296 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dtype"
+	"repro/internal/fusion"
+	"repro/internal/gold"
+	"repro/internal/kb"
+	"repro/internal/newdet"
+	"repro/internal/webtable"
+)
+
+func refs(pairs ...[2]int) []webtable.RowRef {
+	out := make([]webtable.RowRef, len(pairs))
+	for i, p := range pairs {
+		out[i] = webtable.RowRef{Table: p[0], Row: p[1]}
+	}
+	return out
+}
+
+func TestEvaluateClusteringPerfect(t *testing.T) {
+	g := [][]webtable.RowRef{
+		refs([2]int{0, 0}, [2]int{1, 0}),
+		refs([2]int{2, 0}),
+	}
+	s := EvaluateClustering(g, g)
+	if s.PCP != 1 || s.AR != 1 || s.F1 != 1 {
+		t.Errorf("perfect clustering = %+v", s)
+	}
+}
+
+func TestEvaluateClusteringAllSingletons(t *testing.T) {
+	g := [][]webtable.RowRef{
+		refs([2]int{0, 0}, [2]int{1, 0}, [2]int{2, 0}),
+	}
+	produced := [][]webtable.RowRef{
+		refs([2]int{0, 0}), refs([2]int{1, 0}), refs([2]int{2, 0}),
+	}
+	s := EvaluateClustering(g, produced)
+	// Recall: only one singleton maps to the gold cluster → 1/3.
+	if math.Abs(s.AR-1.0/3.0) > 1e-9 {
+		t.Errorf("AR = %v, want 1/3", s.AR)
+	}
+	// Precision is 1 (no wrong pairs) but penalized by 1/3 cluster count.
+	if math.Abs(s.PCP-1.0/3.0) > 1e-9 {
+		t.Errorf("PCP = %v, want 1/3 (count penalty)", s.PCP)
+	}
+}
+
+func TestEvaluateClusteringOverMerged(t *testing.T) {
+	g := [][]webtable.RowRef{
+		refs([2]int{0, 0}, [2]int{1, 0}),
+		refs([2]int{2, 0}, [2]int{3, 0}),
+	}
+	produced := [][]webtable.RowRef{
+		refs([2]int{0, 0}, [2]int{1, 0}, [2]int{2, 0}, [2]int{3, 0}),
+	}
+	s := EvaluateClustering(g, produced)
+	// 2 of 6 pairs correct; penalty 1/2.
+	wantPrec := 2.0 / 6.0 * 0.5
+	if math.Abs(s.PCP-wantPrec) > 1e-9 {
+		t.Errorf("PCP = %v, want %v", s.PCP, wantPrec)
+	}
+	// Only one gold cluster can be mapped (one produced cluster).
+	if s.AR != 0.5 {
+		t.Errorf("AR = %v, want 0.5", s.AR)
+	}
+}
+
+func TestMapClustersMajority(t *testing.T) {
+	g := [][]webtable.RowRef{
+		refs([2]int{0, 0}, [2]int{1, 0}),
+		refs([2]int{2, 0}),
+	}
+	produced := [][]webtable.RowRef{
+		refs([2]int{0, 0}, [2]int{1, 0}, [2]int{2, 0}), // 2/3 from gold 0
+		refs([2]int{9, 9}), // unknown rows
+	}
+	m := MapClusters(g, produced)
+	if m[0] != 0 {
+		t.Errorf("majority mapping = %v, want 0", m[0])
+	}
+	if m[1] != -1 {
+		t.Errorf("unannotated cluster mapping = %v, want -1", m[1])
+	}
+}
+
+func TestMapClustersNoMajority(t *testing.T) {
+	g := [][]webtable.RowRef{
+		refs([2]int{0, 0}),
+		refs([2]int{1, 0}),
+	}
+	produced := [][]webtable.RowRef{
+		refs([2]int{0, 0}, [2]int{1, 0}), // 50/50: no majority
+	}
+	m := MapClusters(g, produced)
+	if m[0] != -1 {
+		t.Errorf("50/50 split should have no majority, got %v", m[0])
+	}
+}
+
+// buildGold creates a small gold standard by hand.
+func buildGold() *gold.Standard {
+	g := &gold.Standard{
+		Class:      kb.ClassGFPlayer,
+		RowCluster: make(map[webtable.RowRef]int),
+	}
+	add := func(isNew bool, inst kb.InstanceID, facts map[kb.PropertyID]dtype.Value, present map[kb.PropertyID]bool, rows ...webtable.RowRef) {
+		c := &gold.Cluster{
+			ID: len(g.Clusters), Rows: rows, IsNew: isNew, Instance: inst,
+			Facts: facts, CorrectPresent: present,
+		}
+		for _, r := range rows {
+			g.RowCluster[r] = c.ID
+		}
+		g.Clusters = append(g.Clusters, c)
+	}
+	add(true, 0,
+		map[kb.PropertyID]dtype.Value{"dbo:position": dtype.NewNominal("QB")},
+		map[kb.PropertyID]bool{"dbo:position": true},
+		webtable.RowRef{Table: 0, Row: 0}, webtable.RowRef{Table: 1, Row: 0})
+	add(false, 7,
+		map[kb.PropertyID]dtype.Value{"dbo:position": dtype.NewNominal("WR")},
+		map[kb.PropertyID]bool{"dbo:position": true},
+		webtable.RowRef{Table: 2, Row: 0})
+	add(true, 0,
+		map[kb.PropertyID]dtype.Value{"dbo:weight": dtype.NewQuantity(200)},
+		map[kb.PropertyID]bool{"dbo:weight": true},
+		webtable.RowRef{Table: 3, Row: 0})
+	return g
+}
+
+func TestEvaluateDetection(t *testing.T) {
+	g := buildGold()
+	results := []newdet.Result{
+		{IsNew: true},                // correct (cluster 0 is new)
+		{Matched: true, Instance: 7}, // correct (cluster 1 → instance 7)
+		{Matched: true, Instance: 9}, // wrong (cluster 2 is new)
+	}
+	s := EvaluateDetection(g, []int{0, 1, 2}, results)
+	if math.Abs(s.Accuracy-2.0/3.0) > 1e-9 {
+		t.Errorf("accuracy = %v, want 2/3", s.Accuracy)
+	}
+	// Existing: tp=1, fp=1 (the wrong match on the new cluster), fn=0
+	// → P=0.5, R=1, F1=2/3.
+	if math.Abs(s.F1Existing-2.0/3.0) > 1e-9 {
+		t.Errorf("F1Existing = %v, want 2/3", s.F1Existing)
+	}
+	// New: tp=1, fp=0, fn=1 → P=1, R=0.5, F1=2/3.
+	if math.Abs(s.F1New-2.0/3.0) > 1e-9 {
+		t.Errorf("F1New = %v, want 2/3", s.F1New)
+	}
+}
+
+func TestEvaluateDetectionWrongInstance(t *testing.T) {
+	g := buildGold()
+	// Matching the wrong instance is not correct even though the cluster
+	// is existing.
+	results := []newdet.Result{{Matched: true, Instance: 99}}
+	s := EvaluateDetection(g, []int{1}, results)
+	if s.Accuracy != 0 {
+		t.Errorf("wrong instance accuracy = %v", s.Accuracy)
+	}
+}
+
+func TestEvaluateDetectionAbstention(t *testing.T) {
+	g := buildGold()
+	results := []newdet.Result{{}} // abstained on a new cluster
+	s := EvaluateDetection(g, []int{0}, results)
+	if s.Accuracy != 0 {
+		t.Errorf("abstention accuracy = %v", s.Accuracy)
+	}
+}
+
+func TestEvaluateNewInstancesFound(t *testing.T) {
+	g := buildGold()
+	produced := []NewEntityResult{
+		{Rows: refs([2]int{0, 0}, [2]int{1, 0}), Result: newdet.Result{IsNew: true}},  // correct new
+		{Rows: refs([2]int{2, 0}), Result: newdet.Result{IsNew: true}},                // wrongly new (existing)
+		{Rows: refs([2]int{3, 0}), Result: newdet.Result{Matched: true, Instance: 1}}, // missed new
+	}
+	s := EvaluateNewInstancesFound(g, produced)
+	if math.Abs(s.P-0.5) > 1e-9 {
+		t.Errorf("P = %v, want 0.5", s.P)
+	}
+	if math.Abs(s.R-0.5) > 1e-9 {
+		t.Errorf("R = %v, want 0.5 (one of two new clusters found)", s.R)
+	}
+}
+
+func TestEvaluateNewInstancesMajorityConditions(t *testing.T) {
+	g := buildGold()
+	// Entity holds one of the two rows of new cluster 0 plus a foreign
+	// row: no row majority of the cluster → not correct.
+	produced := []NewEntityResult{
+		{Rows: refs([2]int{0, 0}, [2]int{9, 9}), Result: newdet.Result{IsNew: true}},
+	}
+	s := EvaluateNewInstancesFound(g, produced)
+	if s.P != 0 {
+		t.Errorf("partial entity P = %v, want 0", s.P)
+	}
+}
+
+func mkEntity(rows []webtable.RowRef, facts map[kb.PropertyID]dtype.Value) *fusion.Entity {
+	e := &fusion.Entity{Class: kb.ClassGFPlayer, Facts: facts}
+	for _, r := range rows {
+		e.Rows = append(e.Rows, &cluster.Row{Ref: r})
+	}
+	return e
+}
+
+func TestEvaluateFactsFound(t *testing.T) {
+	g := buildGold()
+	th := dtype.DefaultThresholds()
+	produced := []*fusion.Entity{
+		mkEntity(refs([2]int{0, 0}, [2]int{1, 0}),
+			map[kb.PropertyID]dtype.Value{"dbo:position": dtype.NewNominal("QB")}),
+		mkEntity(refs([2]int{3, 0}),
+			map[kb.PropertyID]dtype.Value{"dbo:weight": dtype.NewQuantity(300)}), // wrong value
+	}
+	s := EvaluateFactsFound(g, produced, []bool{true, true}, th)
+	// tp=1 (position QB), fp=1 (weight 300) → P = 0.5.
+	if math.Abs(s.P-0.5) > 1e-9 {
+		t.Errorf("P = %v, want 0.5", s.P)
+	}
+	// Recall: 1 of 2 present groups on new clusters found.
+	if math.Abs(s.R-0.5) > 1e-9 {
+		t.Errorf("R = %v, want 0.5", s.R)
+	}
+}
+
+func TestEvaluateFactsFoundWrongEntityPenalized(t *testing.T) {
+	g := buildGold()
+	th := dtype.DefaultThresholds()
+	// Entity mapped to an existing cluster but classified new: its facts
+	// all count as wrong.
+	produced := []*fusion.Entity{
+		mkEntity(refs([2]int{2, 0}),
+			map[kb.PropertyID]dtype.Value{"dbo:position": dtype.NewNominal("WR")}),
+	}
+	s := EvaluateFactsFound(g, produced, []bool{true}, th)
+	if s.P != 0 {
+		t.Errorf("wrongly-new entity facts P = %v, want 0", s.P)
+	}
+}
+
+func TestEvaluateRanked(t *testing.T) {
+	produced := []NewEntityResult{
+		{Result: newdet.Result{IsNew: true, BestScore: -0.9}}, // most distant, correct
+		{Result: newdet.Result{IsNew: true, BestScore: -0.5}}, // correct
+		{Result: newdet.Result{IsNew: true, BestScore: 0.1}},  // least distant, wrong
+		{Result: newdet.Result{Matched: true}},                // not ranked
+	}
+	correct := []bool{true, true, false, false}
+	s := EvaluateRanked(produced, correct, 256)
+	// AP: hits at ranks 1 and 2 → (1/1 + 2/2)/2 = 1.
+	if math.Abs(s.MAP-1) > 1e-9 {
+		t.Errorf("MAP = %v, want 1", s.MAP)
+	}
+	if math.Abs(s.P5-2.0/3.0) > 1e-9 {
+		t.Errorf("P5 = %v, want 2/3 (3 ranked, 2 correct)", s.P5)
+	}
+}
+
+func TestEvaluateRankedEmpty(t *testing.T) {
+	s := EvaluateRanked(nil, nil, 10)
+	if s.MAP != 0 || s.P5 != 0 {
+		t.Errorf("empty ranked eval = %+v", s)
+	}
+}
+
+func TestFactAccuracy(t *testing.T) {
+	th := dtype.DefaultThresholds()
+	e := mkEntity(nil, map[kb.PropertyID]dtype.Value{
+		"dbo:position": dtype.NewNominal("QB"),
+		"dbo:weight":   dtype.NewQuantity(200),
+	})
+	truth := func(*fusion.Entity) map[string]dtype.Value {
+		return map[string]dtype.Value{
+			"dbo:position": dtype.NewNominal("QB"),
+			"dbo:weight":   dtype.NewQuantity(260),
+		}
+	}
+	acc := FactAccuracy([]*fusion.Entity{e}, truth, th)
+	if math.Abs(acc-0.5) > 1e-9 {
+		t.Errorf("accuracy = %v, want 0.5", acc)
+	}
+	// Unknown entity: all facts wrong.
+	accNil := FactAccuracy([]*fusion.Entity{e}, func(*fusion.Entity) map[string]dtype.Value { return nil }, th)
+	if accNil != 0 {
+		t.Errorf("unknown-entity accuracy = %v", accNil)
+	}
+}

@@ -1,0 +1,117 @@
+package eval
+
+import (
+	"repro/internal/dtype"
+	"repro/internal/fusion"
+	"repro/internal/gold"
+	"repro/internal/webtable"
+)
+
+// EvaluateFactsFound implements the §4.2 facts-found evaluation over
+// *new* entities: produced entities are mapped to gold clusters via row
+// majority; facts of correctly-mapped new entities are compared to the
+// annotated facts with type-specific similarity; facts of wrongly created
+// or wrongly-new entities count as wrong. Recall is measured against the
+// value groups whose correct value is present in the tables.
+func EvaluateFactsFound(g *gold.Standard, produced []*fusion.Entity, isNew []bool, th dtype.Thresholds) PRF {
+	goldRows := make([][]webtable.RowRef, len(g.Clusters))
+	for i, c := range g.Clusters {
+		goldRows[i] = c.Rows
+	}
+	prodRows := make([][]webtable.RowRef, len(produced))
+	for i, e := range produced {
+		for _, r := range e.Rows {
+			prodRows[i] = append(prodRows[i], r.Ref)
+		}
+	}
+	mapped := MapClusters(goldRows, prodRows)
+
+	tp, fp := 0, 0
+	found := make(map[[2]int]bool) // (gold cluster, property-ordinal) found
+	propOrd := make(map[string]int)
+	ordOf := func(pid string) int {
+		if o, ok := propOrd[pid]; ok {
+			return o
+		}
+		o := len(propOrd)
+		propOrd[pid] = o
+		return o
+	}
+	for i, e := range produced {
+		if !isNew[i] {
+			continue // facts evaluation targets entities returned as new
+		}
+		gi := mapped[i]
+		if gi < 0 || !g.Clusters[gi].IsNew {
+			// Wrongly created or wrongly-new entity: all its facts are
+			// wrong.
+			fp += len(e.Facts)
+			continue
+		}
+		gc := g.Clusters[gi]
+		for pid, v := range e.Facts {
+			want, ok := gc.Facts[pid]
+			if ok && th.Equal(v, want) {
+				tp++
+				found[[2]int{gi, ordOf(string(pid))}] = true
+			} else {
+				fp++
+			}
+		}
+	}
+	// Recall denominator: value groups of new gold clusters whose correct
+	// value is present in the tables.
+	total := 0
+	for _, c := range g.Clusters {
+		if !c.IsNew {
+			continue
+		}
+		total += len(c.CorrectPresent)
+	}
+	var out PRF
+	if tp+fp > 0 {
+		out.P = float64(tp) / float64(tp+fp)
+	}
+	if total > 0 {
+		recalled := 0
+		for gi, c := range g.Clusters {
+			if !c.IsNew {
+				continue
+			}
+			for pid := range c.CorrectPresent {
+				if found[[2]int{gi, ordOf(string(pid))}] {
+					recalled++
+				}
+			}
+		}
+		out.R = float64(recalled) / float64(total)
+	}
+	if out.P+out.R > 0 {
+		out.F1 = 2 * out.P * out.R / (out.P + out.R)
+	}
+	return out
+}
+
+// FactAccuracy computes the fraction of an entity set's facts that agree
+// with the world truth, used by the large-scale profiling (Table 11's
+// "N. Facts Accuracy").
+func FactAccuracy(entities []*fusion.Entity, truth func(e *fusion.Entity) map[string]dtype.Value, th dtype.Thresholds) float64 {
+	correct, total := 0, 0
+	for _, e := range entities {
+		want := truth(e)
+		if want == nil {
+			total += len(e.Facts)
+			continue
+		}
+		for pid, v := range e.Facts {
+			total++
+			if wv, ok := want[string(pid)]; ok && th.Equal(v, wv) {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}

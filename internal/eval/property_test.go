@@ -1,0 +1,77 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/webtable"
+)
+
+// randomPartition splits rows 0..n-1 into clusters at random.
+func randomPartition(rng *rand.Rand, n, k int) [][]webtable.RowRef {
+	out := make([][]webtable.RowRef, k)
+	for i := 0; i < n; i++ {
+		c := rng.Intn(k)
+		out[c] = append(out[c], webtable.RowRef{Table: i, Row: 0})
+	}
+	var nonEmpty [][]webtable.RowRef
+	for _, c := range out {
+		if len(c) > 0 {
+			nonEmpty = append(nonEmpty, c)
+		}
+	}
+	return nonEmpty
+}
+
+// TestClusteringScoresRangeProperty: PCP, AR and F1 always lie in [0, 1]
+// for arbitrary gold/produced partitions of the same rows.
+func TestClusteringScoresRangeProperty(t *testing.T) {
+	f := func(seed int64, rows, gk, pk uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(rows%30) + 2
+		gold := randomPartition(rng, n, int(gk%5)+1)
+		produced := randomPartition(rng, n, int(pk%5)+1)
+		s := EvaluateClustering(gold, produced)
+		return s.PCP >= 0 && s.PCP <= 1 && s.AR >= 0 && s.AR <= 1 &&
+			s.F1 >= 0 && s.F1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPerfectClusteringScoresOneProperty: evaluating a partition against
+// itself always yields perfect scores.
+func TestPerfectClusteringScoresOneProperty(t *testing.T) {
+	f := func(seed int64, rows, k uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(rows%30) + 2
+		g := randomPartition(rng, n, int(k%6)+1)
+		s := EvaluateClustering(g, g)
+		return s.PCP == 1 && s.AR == 1 && s.F1 == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMapClustersConsistencyProperty: MapClusters returns an index into
+// gold or -1, never anything else.
+func TestMapClustersConsistencyProperty(t *testing.T) {
+	f := func(seed int64, rows, gk, pk uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(rows%25) + 2
+		gold := randomPartition(rng, n, int(gk%4)+1)
+		produced := randomPartition(rng, n, int(pk%4)+1)
+		for _, m := range MapClusters(gold, produced) {
+			if m < -1 || m >= len(gold) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+package fusion
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dtype"
+	"repro/internal/kb"
+	"repro/internal/strsim"
+	"repro/internal/webtable"
+)
+
+// dedupScenario builds two tables describing the same player and one table
+// describing a homonym with conflicting facts.
+func dedupScenario() (*Sources, []*Entity) {
+	k := kb.New()
+	tables := []*webtable.Table{
+		{Headers: []string{"Player", "Pos"}, Cells: [][]string{{"Alvin Crumb", "QB"}}, LabelCol: 0},
+		{Headers: []string{"Name", "Position"}, Cells: [][]string{{"Alvin Crumb", "QB"}}, LabelCol: 0},
+		{Headers: []string{"Player", "Pos"}, Cells: [][]string{{"Alvin Crumb", "DT"}}, LabelCol: 0},
+		{Headers: []string{"Player", "Pos"}, Cells: [][]string{{"Zeke Farrow", "K"}}, LabelCol: 0},
+	}
+	corpus := webtable.NewCorpus(tables)
+	mapping := map[int]map[int]kb.PropertyID{
+		0: {1: "dbo:position"}, 1: {1: "dbo:position"},
+		2: {1: "dbo:position"}, 3: {1: "dbo:position"},
+	}
+	src := &Sources{
+		KB: k, Corpus: corpus, Class: kb.ClassGFPlayer,
+		Mapping: mapping, Thresholds: dtype.DefaultThresholds(),
+	}
+	var entities []*Entity
+	for tid, t := range tables {
+		label := t.Cell(0, 0)
+		row := &cluster.Row{
+			Ref:       webtable.RowRef{Table: tid, Row: 0},
+			Label:     label,
+			NormLabel: strsim.Normalize(label),
+			BOW:       strsim.BinaryTermVector(label),
+			Implicit:  map[kb.PropertyID]cluster.ImplicitAttr{},
+			Values:    map[kb.PropertyID]dtype.Value{},
+		}
+		e := Create(src, []*cluster.Row{row})
+		e.ID = tid
+		entities = append(entities, e)
+	}
+	return src, entities
+}
+
+func TestDeduplicateMergesAgreeingDuplicates(t *testing.T) {
+	src, entities := dedupScenario()
+	out := Deduplicate(src, entities, DedupConfig{})
+	// Entities 0 and 1 agree (QB/QB) and merge; entity 2 conflicts
+	// (DT) and survives; entity 3 has a different label.
+	if len(out) != 3 {
+		t.Fatalf("deduplicated to %d entities, want 3", len(out))
+	}
+	merged := out[0]
+	if len(merged.Rows) != 2 {
+		t.Errorf("merged entity has %d rows, want 2", len(merged.Rows))
+	}
+	if merged.Facts["dbo:position"].Str != "qb" {
+		t.Errorf("merged fact = %+v", merged.Facts["dbo:position"])
+	}
+	for i, e := range out {
+		if e.ID != i {
+			t.Errorf("entity %d has ID %d", i, e.ID)
+		}
+	}
+}
+
+func TestDeduplicateKeepsConflictingHomonyms(t *testing.T) {
+	src, entities := dedupScenario()
+	out := Deduplicate(src, entities, DedupConfig{})
+	// The DT homonym must remain separate.
+	foundDT := false
+	for _, e := range out {
+		if v, ok := e.Facts["dbo:position"]; ok && v.Str == "dt" {
+			foundDT = true
+			if len(e.Rows) != 1 {
+				t.Error("conflicting homonym should not merge")
+			}
+		}
+	}
+	if !foundDT {
+		t.Error("DT homonym disappeared")
+	}
+}
+
+func TestDeduplicateTolerance(t *testing.T) {
+	src, entities := dedupScenario()
+	// With one conflict tolerated, the DT homonym merges too (conflicting
+	// position is the single overlap... but agree==0 still blocks).
+	out := Deduplicate(src, entities, DedupConfig{MaxConflicts: 1})
+	// agree == 0 across the only overlapping fact, so the merge is still
+	// blocked: conflicting-only overlap never merges.
+	if len(out) != 3 {
+		t.Errorf("conflict-only overlap should still block merge: %d entities", len(out))
+	}
+}
+
+func TestDeduplicateLabelThreshold(t *testing.T) {
+	src, entities := dedupScenario()
+	out := Deduplicate(src, entities, DedupConfig{LabelThreshold: 1.01})
+	if len(out) != len(entities) {
+		t.Errorf("impossible threshold should merge nothing: %d", len(out))
+	}
+}
+
+func TestDeduplicateEmpty(t *testing.T) {
+	src, _ := dedupScenario()
+	if out := Deduplicate(src, nil, DedupConfig{}); len(out) != 0 {
+		t.Error("empty input")
+	}
+}
+
+func BenchmarkDeduplicate(b *testing.B) {
+	src, entities := dedupScenario()
+	// Multiply the entity set to a realistic size.
+	var big []*Entity
+	for i := 0; i < 50; i++ {
+		big = append(big, entities...)
+	}
+	cfg := DedupConfig{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Deduplicate(src, big, cfg)
+	}
+}

@@ -1,0 +1,308 @@
+// Package fusion implements the entity creation step of the pipeline
+// (§3.3): each row cluster is transformed into an entity whose facts are
+// fused from the cluster's candidate values in four steps — scoring
+// (VOTING, KBT, or MATCHING), grouping by data-type equality, selecting the
+// highest-scoring group, and type-specific fusion.
+package fusion
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/dtype"
+	"repro/internal/kb"
+	"repro/internal/strsim"
+	"repro/internal/webtable"
+)
+
+// Entity is a created entity: labels extracted from the cluster's rows and
+// fused facts mapped to the knowledge base schema.
+type Entity struct {
+	ID    int
+	Class kb.ClassID
+	// Labels holds the distinct raw labels of the entity's rows, most
+	// frequent first.
+	Labels []string
+	// Facts are the fused property values.
+	Facts map[kb.PropertyID]dtype.Value
+	// Rows are the member rows the entity was created from.
+	Rows []*cluster.Row
+	// BOW is the union of the member rows' term vectors.
+	BOW map[string]float64
+	// Implicit holds entity-level implicit attributes: per property, the
+	// best-supported value with a confidence equal to the summed row
+	// confidences divided by the number of rows.
+	Implicit map[kb.PropertyID]cluster.ImplicitAttr
+}
+
+// Label returns the entity's primary (most frequent) label.
+func (e *Entity) Label() string {
+	if len(e.Labels) == 0 {
+		return ""
+	}
+	return e.Labels[0]
+}
+
+// ScoringMethod selects how candidate values are scored before grouping.
+type ScoringMethod int
+
+const (
+	// Voting assigns every candidate value a score of 1.
+	Voting ScoringMethod = iota
+	// KBT scores values by the trustworthiness of their source attribute,
+	// estimated from the correctness of the attribute's overlapping
+	// values against the knowledge base (Dong et al.'s Knowledge-Based
+	// Trust).
+	KBT
+	// Matching scores values by the attribute-to-property matching score
+	// of their source column.
+	Matching
+)
+
+// String names the scoring method as the paper does.
+func (s ScoringMethod) String() string {
+	switch s {
+	case KBT:
+		return "KBT"
+	case Matching:
+		return "MATCHING"
+	default:
+		return "VOTING"
+	}
+}
+
+// Sources carries the inputs entity creation needs.
+type Sources struct {
+	KB     *kb.KB
+	Corpus *webtable.Corpus
+	Class  kb.ClassID
+	// Mapping holds the attribute-to-property correspondences:
+	// Mapping[tableID][col] = property.
+	Mapping map[int]map[int]kb.PropertyID
+	// Thresholds are the data-type equivalence thresholds for grouping.
+	Thresholds dtype.Thresholds
+
+	// Scoring selects the value scoring method.
+	Scoring ScoringMethod
+	// MatchScores holds per-column matching scores (used by Matching).
+	MatchScores map[ColKey]float64
+	// RowInstance holds row-to-instance correspondences (used by KBT to
+	// measure attribute correctness). May be nil; KBT then degrades to
+	// uniform trust.
+	RowInstance map[webtable.RowRef]kb.InstanceID
+
+	kbtCache map[ColKey]float64
+}
+
+// ColKey addresses one column of one table.
+type ColKey struct {
+	Table int
+	Col   int
+}
+
+// CreateAll transforms every cluster into an entity.
+func CreateAll(src *Sources, cl *cluster.Clustering) []*Entity {
+	out := make([]*Entity, 0, len(cl.Clusters))
+	for _, rows := range cl.Clusters {
+		if len(rows) == 0 {
+			continue
+		}
+		e := Create(src, rows)
+		e.ID = len(out)
+		out = append(out, e)
+	}
+	return out
+}
+
+// Create fuses one cluster of rows into an entity.
+func Create(src *Sources, rows []*cluster.Row) *Entity {
+	e := &Entity{
+		Class:    src.Class,
+		Facts:    make(map[kb.PropertyID]dtype.Value),
+		Rows:     rows,
+		BOW:      make(map[string]float64),
+		Implicit: make(map[kb.PropertyID]cluster.ImplicitAttr),
+	}
+	// Labels: distinct raw labels ordered by frequency (ties by first
+	// appearance for determinism).
+	labelCount := make(map[string]int)
+	var labelOrder []string
+	for _, r := range rows {
+		if _, seen := labelCount[r.Label]; !seen {
+			labelOrder = append(labelOrder, r.Label)
+		}
+		labelCount[r.Label]++
+		strsim.MergeBinary(e.BOW, r.BOW)
+	}
+	sort.SliceStable(labelOrder, func(i, j int) bool {
+		return labelCount[labelOrder[i]] > labelCount[labelOrder[j]]
+	})
+	e.Labels = labelOrder
+
+	// Entity-level implicit attributes: sum the confidence scores of
+	// equal implicit attributes over all rows' tables, divided by the
+	// number of rows (§3.4 IMPLICIT_ATT).
+	type accum struct {
+		v   dtype.Value
+		sum float64
+	}
+	impl := make(map[kb.PropertyID][]*accum)
+	for _, r := range rows {
+		for pid, ia := range r.Implicit {
+			merged := false
+			for _, a := range impl[pid] {
+				if src.Thresholds.Equal(a.v, ia.Value) {
+					a.sum += ia.Score
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				impl[pid] = append(impl[pid], &accum{v: ia.Value, sum: ia.Score})
+			}
+		}
+	}
+	for pid, list := range impl {
+		best := list[0]
+		for _, a := range list[1:] {
+			if a.sum > best.sum {
+				best = a
+			}
+		}
+		e.Implicit[pid] = cluster.ImplicitAttr{
+			Value: best.v,
+			Score: best.sum / float64(len(rows)),
+		}
+	}
+
+	// Candidate values per property with their scores.
+	type cand struct {
+		v dtype.Value
+		w float64
+	}
+	candidates := make(map[kb.PropertyID][]cand)
+	for _, r := range rows {
+		mapping := src.Mapping[r.Ref.Table]
+		// Visit columns in ascending order: candidate value order feeds
+		// grouping and tie-breaking, so it must be deterministic.
+		cols := make([]int, 0, len(mapping))
+		for c := range mapping {
+			cols = append(cols, c)
+		}
+		sort.Ints(cols)
+		for _, col := range cols {
+			pid := mapping[col]
+			prop, ok := src.KB.Property(src.Class, pid)
+			if !ok {
+				continue
+			}
+			t := src.Corpus.Table(r.Ref.Table)
+			if t == nil {
+				continue
+			}
+			v, ok := dtype.Parse(t.Cell(r.Ref.Row, col), prop.Kind)
+			if !ok {
+				continue
+			}
+			w := src.score(r.Ref.Table, col)
+			candidates[pid] = append(candidates[pid], cand{v: v, w: w})
+		}
+	}
+
+	// Group → select → fuse.
+	for pid, cands := range candidates {
+		type group struct {
+			values  []dtype.Value
+			weights []float64
+			total   float64
+		}
+		var groups []*group
+		for _, c := range cands {
+			placed := false
+			for _, g := range groups {
+				if src.Thresholds.Equal(g.values[0], c.v) {
+					g.values = append(g.values, c.v)
+					g.weights = append(g.weights, c.w)
+					g.total += c.w
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				groups = append(groups, &group{
+					values:  []dtype.Value{c.v},
+					weights: []float64{c.w},
+					total:   c.w,
+				})
+			}
+		}
+		best := groups[0]
+		for _, g := range groups[1:] {
+			if g.total > best.total {
+				best = g
+			}
+		}
+		e.Facts[pid] = dtype.Fuse(best.values, best.weights)
+	}
+	return e
+}
+
+// score returns the weight of a value from (table, col) under the
+// configured scoring method.
+func (src *Sources) score(table, col int) float64 {
+	switch src.Scoring {
+	case KBT:
+		return src.kbtTrust(table, col)
+	case Matching:
+		if s, ok := src.MatchScores[ColKey{table, col}]; ok && s > 0 {
+			return s
+		}
+		return 0.5
+	default:
+		return 1
+	}
+}
+
+// kbtTrust estimates the trustworthiness of a table attribute as the
+// Laplace-smoothed fraction of its values that agree with the knowledge
+// base fact of the instance the row is matched to.
+func (src *Sources) kbtTrust(table, col int) float64 {
+	key := ColKey{table, col}
+	if src.kbtCache == nil {
+		src.kbtCache = make(map[ColKey]float64)
+	}
+	if v, ok := src.kbtCache[key]; ok {
+		return v
+	}
+	trust := 0.5
+	if src.RowInstance != nil {
+		t := src.Corpus.Table(table)
+		pid, mapped := src.Mapping[table][col]
+		if t != nil && mapped {
+			if prop, ok := src.KB.Property(src.Class, pid); ok {
+				correct, total := 0, 0
+				for r := 0; r < t.NumRows(); r++ {
+					iid, ok := src.RowInstance[webtable.RowRef{Table: table, Row: r}]
+					if !ok {
+						continue
+					}
+					fact, ok := src.KB.Instance(iid).Facts[pid]
+					if !ok {
+						continue
+					}
+					v, ok := dtype.Parse(t.Cell(r, col), prop.Kind)
+					if !ok {
+						continue
+					}
+					total++
+					if src.Thresholds.Equal(v, fact) {
+						correct++
+					}
+				}
+				trust = (float64(correct) + 1) / (float64(total) + 2)
+			}
+		}
+	}
+	src.kbtCache[key] = trust
+	return trust
+}

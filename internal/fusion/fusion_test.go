@@ -1,0 +1,207 @@
+package fusion
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dtype"
+	"repro/internal/kb"
+	"repro/internal/strsim"
+	"repro/internal/webtable"
+)
+
+// buildScenario creates a tiny corpus of three tables all describing the
+// same player with one conflicting position value.
+func buildScenario() (*Sources, []*cluster.Row) {
+	k := kb.New()
+	tables := []*webtable.Table{
+		{Headers: []string{"Player", "Pos", "Weight"},
+			Cells: [][]string{{"John Example", "QB", "220"}}, LabelCol: 0},
+		{Headers: []string{"Name", "Position"},
+			Cells: [][]string{{"John Example", "QB"}}, LabelCol: 0},
+		{Headers: []string{"Player", "Role", "Wt"},
+			Cells: [][]string{{"J. Example", "WR", "224"}}, LabelCol: 0},
+	}
+	corpus := webtable.NewCorpus(tables)
+	mapping := map[int]map[int]kb.PropertyID{
+		0: {1: "dbo:position", 2: "dbo:weight"},
+		1: {1: "dbo:position"},
+		2: {1: "dbo:position", 2: "dbo:weight"},
+	}
+	src := &Sources{
+		KB: k, Corpus: corpus, Class: kb.ClassGFPlayer,
+		Mapping: mapping, Thresholds: dtype.DefaultThresholds(),
+	}
+	var rows []*cluster.Row
+	for tid, t := range tables {
+		label := t.Cell(0, 0)
+		rows = append(rows, &cluster.Row{
+			Ref:       webtable.RowRef{Table: tid, Row: 0},
+			Label:     label,
+			NormLabel: strsim.Normalize(label),
+			BOW:       strsim.BinaryTermVector(label),
+			Implicit:  map[kb.PropertyID]cluster.ImplicitAttr{},
+			Values:    map[kb.PropertyID]dtype.Value{},
+		})
+	}
+	return src, rows
+}
+
+func TestCreateMajorityFusion(t *testing.T) {
+	src, rows := buildScenario()
+	e := Create(src, rows)
+	// Two QB votes beat one WR.
+	if got := e.Facts["dbo:position"]; got.Str != "qb" {
+		t.Errorf("position = %+v, want qb", got)
+	}
+	// Weights 220 and 224 are within the 5% tolerance: one group, fused
+	// by weighted median.
+	wgt := e.Facts["dbo:weight"]
+	if wgt.Num != 220 && wgt.Num != 224 {
+		t.Errorf("weight = %v, want one of the group members", wgt.Num)
+	}
+}
+
+func TestCreateLabels(t *testing.T) {
+	src, rows := buildScenario()
+	e := Create(src, rows)
+	if e.Label() != "John Example" {
+		t.Errorf("primary label = %q (labels %v)", e.Label(), e.Labels)
+	}
+	if len(e.Labels) != 2 {
+		t.Errorf("distinct labels = %v, want 2 (John Example, J. Example)", e.Labels)
+	}
+}
+
+func TestCreateBOWUnion(t *testing.T) {
+	src, rows := buildScenario()
+	e := Create(src, rows)
+	if e.BOW["john"] != 1 || e.BOW["example"] != 1 || e.BOW["j"] != 1 {
+		t.Errorf("BOW union = %v", e.BOW)
+	}
+}
+
+func TestCreateImplicitAggregation(t *testing.T) {
+	src, rows := buildScenario()
+	rows[0].Implicit = map[kb.PropertyID]cluster.ImplicitAttr{
+		"dbo:team": {Value: dtype.NewRef("Patriots"), Score: 0.9},
+	}
+	rows[1].Implicit = map[kb.PropertyID]cluster.ImplicitAttr{
+		"dbo:team": {Value: dtype.NewRef("Patriots"), Score: 0.6},
+	}
+	e := Create(src, rows)
+	ia, ok := e.Implicit["dbo:team"]
+	if !ok {
+		t.Fatal("implicit attribute lost")
+	}
+	// (0.9 + 0.6) / 3 rows = 0.5
+	if ia.Score < 0.49 || ia.Score > 0.51 {
+		t.Errorf("entity implicit confidence = %v, want 0.5", ia.Score)
+	}
+	if ia.Value.Str != "patriots" {
+		t.Errorf("implicit value = %+v", ia.Value)
+	}
+}
+
+func TestMatchingScoringOutvotesMajority(t *testing.T) {
+	src, rows := buildScenario()
+	src.Scoring = Matching
+	// Give the WR column overwhelming matching confidence and the QB
+	// columns almost none.
+	src.MatchScores = map[ColKey]float64{
+		{Table: 0, Col: 1}: 0.05,
+		{Table: 1, Col: 1}: 0.05,
+		{Table: 2, Col: 1}: 0.95,
+	}
+	e := Create(src, rows)
+	if got := e.Facts["dbo:position"]; got.Str != "wr" {
+		t.Errorf("matching-scored position = %+v, want wr", got)
+	}
+}
+
+func TestKBTScoring(t *testing.T) {
+	src, rows := buildScenario()
+	src.Scoring = KBT
+	// Register the true instance in the KB and match rows to it; table 2
+	// (the WR table) then has a low-trust position column.
+	iid := src.KB.AddInstance(&kb.Instance{
+		Class:  kb.ClassGFPlayer,
+		Labels: []string{"John Example"},
+		Facts: map[kb.PropertyID]dtype.Value{
+			"dbo:position": dtype.NewNominal("QB"),
+		},
+	})
+	src.RowInstance = map[webtable.RowRef]kb.InstanceID{
+		{Table: 0, Row: 0}: iid,
+		{Table: 1, Row: 0}: iid,
+		{Table: 2, Row: 0}: iid,
+	}
+	e := Create(src, rows)
+	if got := e.Facts["dbo:position"]; got.Str != "qb" {
+		t.Errorf("KBT position = %+v, want qb", got)
+	}
+	// Trust of the agreeing column is higher than the disagreeing one.
+	tGood := src.kbtTrust(0, 1)
+	tBad := src.kbtTrust(2, 1)
+	if tGood <= tBad {
+		t.Errorf("KBT trust: good column %v should exceed bad column %v", tGood, tBad)
+	}
+}
+
+func TestKBTWithoutCorrespondences(t *testing.T) {
+	src, rows := buildScenario()
+	src.Scoring = KBT
+	e := Create(src, rows) // no RowInstance: uniform trust, majority wins
+	if got := e.Facts["dbo:position"]; got.Str != "qb" {
+		t.Errorf("KBT fallback position = %+v, want qb", got)
+	}
+}
+
+func TestScoringMethodString(t *testing.T) {
+	if Voting.String() != "VOTING" || KBT.String() != "KBT" || Matching.String() != "MATCHING" {
+		t.Error("scoring method names")
+	}
+}
+
+func TestCreateAll(t *testing.T) {
+	src, rows := buildScenario()
+	cl := &cluster.Clustering{
+		Assign: map[webtable.RowRef]int{},
+		Clusters: [][]*cluster.Row{
+			{rows[0], rows[1]},
+			{rows[2]},
+			{}, // empty clusters are skipped
+		},
+	}
+	entities := CreateAll(src, cl)
+	if len(entities) != 2 {
+		t.Fatalf("entities = %d, want 2", len(entities))
+	}
+	if entities[0].ID != 0 || entities[1].ID != 1 {
+		t.Error("entity IDs should be sequential")
+	}
+	if len(entities[0].Rows) != 2 || len(entities[1].Rows) != 1 {
+		t.Error("entity row membership")
+	}
+}
+
+func TestCreateEmptyValues(t *testing.T) {
+	// Rows with unmapped tables still produce an entity with labels only.
+	src, rows := buildScenario()
+	src.Mapping = map[int]map[int]kb.PropertyID{}
+	e := Create(src, rows)
+	if len(e.Facts) != 0 {
+		t.Errorf("facts without mapping = %v", e.Facts)
+	}
+	if e.Label() == "" {
+		t.Error("labels should survive")
+	}
+}
+
+func BenchmarkCreate(b *testing.B) {
+	src, rows := buildScenario()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Create(src, rows)
+	}
+}

@@ -1,0 +1,263 @@
+// Package gold implements the annotated gold standard (§2.3): clusters of
+// rows describing the same instance, new/existing flags with instance
+// correspondences, attribute-to-property annotations, and per-cluster facts
+// — plus the 3-fold cross-validation split that keeps homonym groups in one
+// fold and spreads new clusters evenly.
+//
+// The paper's gold standard was annotated manually; ours is derived from
+// the synthetic world's generation provenance, which records the entity
+// behind every row and the property behind every column.
+package gold
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dtype"
+	"repro/internal/kb"
+	"repro/internal/match"
+	"repro/internal/ml"
+	"repro/internal/strsim"
+	"repro/internal/webtable"
+	"repro/internal/world"
+)
+
+// Cluster is one annotated cluster of rows that describe the same instance.
+type Cluster struct {
+	ID   int
+	Rows []webtable.RowRef
+	// IsNew marks clusters describing instances absent from the KB.
+	IsNew bool
+	// Instance is the corresponding KB instance for existing clusters.
+	Instance kb.InstanceID
+	// HomonymGroup is non-zero for clusters whose label collides with
+	// other clusters ("homonym groups ... always placed in one fold").
+	HomonymGroup int
+	// Label is the entity's canonical label.
+	Label string
+	// Facts annotates, for every value group (cluster × property with at
+	// least one candidate value in the tables), the correct value.
+	Facts map[kb.PropertyID]dtype.Value
+	// CorrectPresent marks the value groups whose correct value actually
+	// appears among the candidate values in the web tables.
+	CorrectPresent map[kb.PropertyID]bool
+}
+
+// Standard is the gold standard for one class.
+type Standard struct {
+	Class kb.ClassID
+	// TableIDs lists the annotated tables.
+	TableIDs []int
+	// Attributes holds the attribute-to-property annotations for all
+	// non-label columns of the annotated tables ("" = maps to nothing).
+	Attributes []match.Example
+	// Clusters holds the annotated row clusters.
+	Clusters []*Cluster
+	// RowCluster maps each annotated row to its cluster ID.
+	RowCluster map[webtable.RowRef]int
+}
+
+// Stats summarizes the gold standard for Table 5.
+type Stats struct {
+	Tables, Attributes, Rows      int
+	ExistingClusters, NewClusters int
+	MatchedValues                 int
+	ValueGroups                   int
+	CorrectValuePresent           int
+}
+
+// FromWorld derives the gold standard of one class from generation
+// provenance. maxTables bounds the number of annotated tables (0 = all).
+func FromWorld(w *world.World, corpus *webtable.Corpus, class kb.ClassID, maxTables int) *Standard {
+	g := &Standard{Class: class, RowCluster: make(map[webtable.RowRef]int)}
+	th := dtype.DefaultThresholds()
+
+	byEntity := make(map[int][]webtable.RowRef)
+	entityTables := make(map[int]map[int]bool) // entity -> table set
+	for _, t := range corpus.Tables {
+		if t.Truth == nil || t.Truth.Class != class {
+			continue
+		}
+		if maxTables > 0 && len(g.TableIDs) >= maxTables {
+			break
+		}
+		g.TableIDs = append(g.TableIDs, t.ID)
+		// Attribute annotations for all non-label columns. Column 0 is
+		// the generated label column.
+		for c, pid := range t.Truth.ColProperty {
+			if c == 0 {
+				continue
+			}
+			g.Attributes = append(g.Attributes, match.Example{Table: t, Col: c, Want: pid})
+		}
+		for r, uid := range t.Truth.RowEntity {
+			if uid < 0 {
+				continue
+			}
+			ref := webtable.RowRef{Table: t.ID, Row: r}
+			byEntity[uid] = append(byEntity[uid], ref)
+			if entityTables[uid] == nil {
+				entityTables[uid] = make(map[int]bool)
+			}
+			entityTables[uid][t.ID] = true
+		}
+	}
+
+	// Build clusters in deterministic entity order.
+	uids := make([]int, 0, len(byEntity))
+	for uid := range byEntity {
+		uids = append(uids, uid)
+	}
+	sort.Ints(uids)
+	labelCount := make(map[string]int)
+	for _, uid := range uids {
+		labelCount[strsim.Normalize(w.Entities[uid].Name)]++
+	}
+	for _, uid := range uids {
+		e := w.Entities[uid]
+		c := &Cluster{
+			ID:             len(g.Clusters),
+			Rows:           byEntity[uid],
+			IsNew:          !e.InKB,
+			Label:          e.Name,
+			HomonymGroup:   e.HomonymGroup,
+			Facts:          make(map[kb.PropertyID]dtype.Value),
+			CorrectPresent: make(map[kb.PropertyID]bool),
+		}
+		if e.InKB {
+			c.Instance = e.KBID
+		}
+		// Accidental homonyms (same normalized label, no intentional
+		// group) also form a homonym group for fold assignment.
+		if c.HomonymGroup == 0 && labelCount[strsim.Normalize(e.Name)] > 1 {
+			c.HomonymGroup = -1 - int(labelHash(strsim.Normalize(e.Name)))
+		}
+		// Value groups: properties with at least one candidate value in
+		// the cluster's rows (per provenance column mapping).
+		for _, ref := range c.Rows {
+			t := corpus.Table(ref.Table)
+			for col, pid := range t.Truth.ColProperty {
+				if pid == "" || col == 0 {
+					continue
+				}
+				prop, ok := w.KB.Property(class, pid)
+				if !ok {
+					continue
+				}
+				cellV, ok := dtype.Parse(t.Cell(ref.Row, col), prop.Kind)
+				if !ok {
+					continue
+				}
+				truth, hasTruth := e.Truth[pid]
+				if !hasTruth {
+					continue
+				}
+				c.Facts[pid] = truth
+				if th.Equal(cellV, truth) {
+					c.CorrectPresent[pid] = true
+				}
+			}
+		}
+		for _, ref := range c.Rows {
+			g.RowCluster[ref] = c.ID
+		}
+		g.Clusters = append(g.Clusters, c)
+	}
+	return g
+}
+
+func labelHash(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h % (1 << 20)
+}
+
+// Stats computes the Table 5 row of this gold standard.
+func (g *Standard) Stats(corpus *webtable.Corpus) Stats {
+	var s Stats
+	s.Tables = len(g.TableIDs)
+	for _, ex := range g.Attributes {
+		if ex.Want != "" {
+			s.Attributes++
+		}
+	}
+	rows := make(map[webtable.RowRef]bool)
+	for _, c := range g.Clusters {
+		if c.IsNew {
+			s.NewClusters++
+		} else {
+			s.ExistingClusters++
+		}
+		for _, r := range c.Rows {
+			rows[r] = true
+		}
+		s.ValueGroups += len(c.Facts)
+		for range c.CorrectPresent {
+			s.CorrectValuePresent++
+		}
+		// Matched values: cells of the cluster's rows in annotated
+		// columns.
+		for _, ref := range c.Rows {
+			t := corpus.Table(ref.Table)
+			if t == nil || t.Truth == nil {
+				continue
+			}
+			for col, pid := range t.Truth.ColProperty {
+				if pid != "" && col != 0 && t.Cell(ref.Row, col) != "" {
+					s.MatchedValues++
+				}
+			}
+		}
+	}
+	s.Rows = len(rows)
+	return s
+}
+
+// Folds splits the clusters into k cross-validation folds, keeping homonym
+// groups together and spreading new clusters evenly (§2.3). It returns
+// cluster-index folds.
+func (g *Standard) Folds(k int, seed int64) [][]int {
+	return ml.Folds(len(g.Clusters), k, seed,
+		func(i int) string {
+			hg := g.Clusters[i].HomonymGroup
+			if hg == 0 {
+				return ""
+			}
+			return fmt.Sprintf("hom-%d", hg)
+		},
+		func(i int) bool { return g.Clusters[i].IsNew },
+	)
+}
+
+// ClusterRows returns the row sets of the given cluster indices.
+func (g *Standard) ClusterRows(idx []int) []webtable.RowRef {
+	var out []webtable.RowRef
+	for _, i := range idx {
+		out = append(out, g.Clusters[i].Rows...)
+	}
+	return out
+}
+
+// Subset returns a gold standard restricted to the given cluster indices
+// (e.g. one cross-validation fold). Cluster IDs are renumbered; table and
+// attribute annotations are carried over unchanged.
+func (g *Standard) Subset(idx []int) *Standard {
+	sub := &Standard{
+		Class:      g.Class,
+		TableIDs:   g.TableIDs,
+		Attributes: g.Attributes,
+		RowCluster: make(map[webtable.RowRef]int),
+	}
+	for _, i := range idx {
+		c := g.Clusters[i]
+		nc := *c
+		nc.ID = len(sub.Clusters)
+		sub.Clusters = append(sub.Clusters, &nc)
+		for _, r := range c.Rows {
+			sub.RowCluster[r] = nc.ID
+		}
+	}
+	return sub
+}

@@ -1,0 +1,227 @@
+package gold
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/kb"
+	"repro/internal/webtable"
+	"repro/internal/world"
+)
+
+var (
+	once sync.Once
+	tw   *world.World
+	tc   *webtable.Corpus
+)
+
+func testData() (*world.World, *webtable.Corpus) {
+	once.Do(func() {
+		tw = world.Generate(world.DefaultConfig(0.2))
+		tc = webtable.Synthesize(tw, webtable.DefaultSynthConfig(0.12))
+	})
+	return tw, tc
+}
+
+func TestFromWorldBasic(t *testing.T) {
+	w, corpus := testData()
+	for _, class := range kb.EvalClasses() {
+		g := FromWorld(w, corpus, class, 0)
+		if len(g.TableIDs) == 0 {
+			t.Fatalf("%s: no gold tables", class)
+		}
+		if len(g.Clusters) == 0 {
+			t.Fatalf("%s: no gold clusters", class)
+		}
+		hasNew, hasExisting := false, false
+		for _, c := range g.Clusters {
+			if len(c.Rows) == 0 {
+				t.Fatalf("%s: empty cluster %d", class, c.ID)
+			}
+			if c.IsNew {
+				hasNew = true
+			} else {
+				hasExisting = true
+				if w.KB.Instance(c.Instance) == nil {
+					t.Fatalf("%s: existing cluster %d has no instance", class, c.ID)
+				}
+			}
+		}
+		if !hasNew || !hasExisting {
+			t.Errorf("%s: want both new and existing clusters (new=%v existing=%v)",
+				class, hasNew, hasExisting)
+		}
+	}
+}
+
+func TestRowClusterConsistency(t *testing.T) {
+	w, corpus := testData()
+	g := FromWorld(w, corpus, kb.ClassGFPlayer, 0)
+	for _, c := range g.Clusters {
+		for _, ref := range c.Rows {
+			if g.RowCluster[ref] != c.ID {
+				t.Fatalf("RowCluster inconsistent for %v", ref)
+			}
+		}
+	}
+}
+
+func TestClusterCorrespondencesMatchWorld(t *testing.T) {
+	w, corpus := testData()
+	g := FromWorld(w, corpus, kb.ClassSong, 0)
+	for _, c := range g.Clusters {
+		if c.IsNew {
+			continue
+		}
+		e := w.ByKBID[c.Instance]
+		if e == nil {
+			t.Fatalf("cluster %d instance %d not in world", c.ID, c.Instance)
+		}
+		if e.Name != c.Label {
+			t.Errorf("cluster label %q != entity name %q", c.Label, e.Name)
+		}
+	}
+}
+
+func TestFactsAndCorrectPresent(t *testing.T) {
+	w, corpus := testData()
+	g := FromWorld(w, corpus, kb.ClassGFPlayer, 0)
+	groups, present := 0, 0
+	for _, c := range g.Clusters {
+		groups += len(c.Facts)
+		present += len(c.CorrectPresent)
+		for pid := range c.CorrectPresent {
+			if _, ok := c.Facts[pid]; !ok {
+				t.Fatal("CorrectPresent property missing from Facts")
+			}
+		}
+	}
+	if groups == 0 {
+		t.Fatal("no value groups annotated")
+	}
+	// Most candidate values are correct in the synthetic corpus, so the
+	// correct value should usually be present (as in Table 5).
+	if float64(present)/float64(groups) < 0.6 {
+		t.Errorf("correct-present ratio = %d/%d, suspiciously low", present, groups)
+	}
+}
+
+func TestStats(t *testing.T) {
+	w, corpus := testData()
+	g := FromWorld(w, corpus, kb.ClassSong, 0)
+	s := g.Stats(corpus)
+	if s.Tables != len(g.TableIDs) {
+		t.Errorf("stats tables = %d", s.Tables)
+	}
+	if s.ExistingClusters+s.NewClusters != len(g.Clusters) {
+		t.Errorf("cluster counts = %d + %d != %d", s.ExistingClusters, s.NewClusters, len(g.Clusters))
+	}
+	if s.Rows == 0 || s.MatchedValues == 0 || s.ValueGroups == 0 {
+		t.Errorf("degenerate stats: %+v", s)
+	}
+	if s.CorrectValuePresent > s.ValueGroups {
+		t.Error("CorrectValuePresent cannot exceed ValueGroups")
+	}
+}
+
+func TestFoldsKeepHomonymsTogether(t *testing.T) {
+	w, corpus := testData()
+	g := FromWorld(w, corpus, kb.ClassSong, 0)
+	folds := g.Folds(3, 1)
+	foldOf := make(map[int]int)
+	total := 0
+	for f, idx := range folds {
+		for _, i := range idx {
+			foldOf[i] = f
+			total++
+		}
+	}
+	if total != len(g.Clusters) {
+		t.Fatalf("folds cover %d clusters, want %d", total, len(g.Clusters))
+	}
+	byGroup := make(map[int][]int)
+	for i, c := range g.Clusters {
+		if c.HomonymGroup != 0 {
+			byGroup[c.HomonymGroup] = append(byGroup[c.HomonymGroup], i)
+		}
+	}
+	checked := false
+	for hg, members := range byGroup {
+		if len(members) < 2 {
+			continue
+		}
+		checked = true
+		want := foldOf[members[0]]
+		for _, m := range members[1:] {
+			if foldOf[m] != want {
+				t.Errorf("homonym group %d split across folds", hg)
+			}
+		}
+	}
+	if !checked {
+		t.Log("no multi-member homonym groups in this sample")
+	}
+}
+
+func TestFoldsSpreadNewClusters(t *testing.T) {
+	w, corpus := testData()
+	g := FromWorld(w, corpus, kb.ClassGFPlayer, 0)
+	folds := g.Folds(3, 1)
+	counts := make([]int, 3)
+	for f, idx := range folds {
+		for _, i := range idx {
+			if g.Clusters[i].IsNew {
+				counts[f]++
+			}
+		}
+	}
+	max, min := counts[0], counts[0]
+	for _, c := range counts[1:] {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	// Homonym grouping can skew the spread slightly; it must stay rough.
+	if min == 0 && max > 2 {
+		t.Errorf("new clusters unevenly spread: %v", counts)
+	}
+}
+
+func TestMaxTables(t *testing.T) {
+	w, corpus := testData()
+	g := FromWorld(w, corpus, kb.ClassSong, 5)
+	if len(g.TableIDs) > 5 {
+		t.Errorf("maxTables not honored: %d", len(g.TableIDs))
+	}
+}
+
+func TestAttributeAnnotations(t *testing.T) {
+	w, corpus := testData()
+	g := FromWorld(w, corpus, kb.ClassGFPlayer, 0)
+	withProp, without := 0, 0
+	for _, ex := range g.Attributes {
+		if ex.Want == "" {
+			without++
+		} else {
+			withProp++
+		}
+	}
+	if withProp == 0 {
+		t.Error("no positive attribute annotations")
+	}
+	if without == 0 {
+		t.Error("no negative attribute annotations (extra columns)")
+	}
+}
+
+func TestClusterRows(t *testing.T) {
+	w, corpus := testData()
+	g := FromWorld(w, corpus, kb.ClassSettlement, 0)
+	rows := g.ClusterRows([]int{0})
+	if len(rows) != len(g.Clusters[0].Rows) {
+		t.Errorf("ClusterRows = %d rows", len(rows))
+	}
+}

@@ -1,0 +1,188 @@
+// Package index implements an inverted label index that substitutes for the
+// Lucene index the paper uses in two places: blocking for row clustering
+// (§3.2) and candidate selection for new detection (§3.4).
+//
+// Labels are tokenized with the shared normalizer; postings are scored with
+// TF-IDF, and fuzzy retrieval additionally admits tokens within edit
+// distance one for labels with no exact-token overlap.
+package index
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/strsim"
+)
+
+// Index is an inverted token index over string labels. Each added label is
+// associated with a caller-chosen document ID; several labels may share an
+// ID (e.g. an instance with multiple labels). Add may be called
+// concurrently; Search must not run concurrently with Add.
+type Index struct {
+	mu       sync.RWMutex
+	postings map[string][]posting // token -> docs containing it
+	docFreq  map[string]int       // token -> number of distinct docs
+	labels   map[int][]string     // doc -> normalized labels
+	numDocs  int
+}
+
+type posting struct {
+	doc int
+	tf  float64
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{
+		postings: make(map[string][]posting),
+		docFreq:  make(map[string]int),
+		labels:   make(map[int][]string),
+	}
+}
+
+// Add indexes label under the document ID doc.
+func (ix *Index) Add(doc int, label string) {
+	toks := strsim.Tokens(label)
+	if len(toks) == 0 {
+		return
+	}
+	norm := strsim.Normalize(label)
+	counts := make(map[string]int, len(toks))
+	for _, t := range toks {
+		counts[t]++
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, seen := ix.labels[doc]; !seen {
+		ix.numDocs++
+	}
+	ix.labels[doc] = append(ix.labels[doc], norm)
+	for t, c := range counts {
+		// Count each doc once per token for document frequency.
+		ps := ix.postings[t]
+		if len(ps) == 0 || ps[len(ps)-1].doc != doc {
+			ix.docFreq[t]++
+		}
+		ix.postings[t] = append(ps, posting{doc: doc, tf: float64(c) / float64(len(toks))})
+	}
+}
+
+// Len returns the number of distinct documents in the index.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.numDocs
+}
+
+// Labels returns the normalized labels stored for doc.
+func (ix *Index) Labels(doc int) []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.labels[doc]
+}
+
+// Hit is one search result: a document and its retrieval score.
+type Hit struct {
+	Doc   int
+	Score float64
+}
+
+// Search returns up to k documents whose labels best match the query label,
+// scored by TF-IDF over shared tokens. If no document shares an exact token
+// with the query, a fuzzy pass admits index tokens within Levenshtein
+// distance 1 of a query token (distance-penalized), which keeps recall up
+// for misspelled long-tail labels.
+func (ix *Index) Search(label string, k int) []Hit {
+	toks := strsim.Tokens(label)
+	if len(toks) == 0 || k <= 0 {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	scores := make(map[int]float64)
+	matched := false
+	for _, t := range toks {
+		if ps, ok := ix.postings[t]; ok {
+			matched = true
+			idf := ix.idf(t)
+			for _, p := range ps {
+				scores[p.doc] += p.tf * idf
+			}
+		}
+	}
+	if !matched {
+		// Fuzzy fallback: scan the vocabulary for near tokens. Short
+		// tokens are excluded (an edit on a 1-3 letter token changes its
+		// identity), and the vocabulary scan is bounded by token length
+		// difference before paying for an edit-distance computation.
+		for _, t := range toks {
+			if len(t) < 4 {
+				continue
+			}
+			for vt, ps := range ix.postings {
+				if absInt(len(vt)-len(t)) > 1 {
+					continue
+				}
+				if strsim.Levenshtein(vt, t) == 1 {
+					idf := ix.idf(vt)
+					for _, p := range ps {
+						scores[p.doc] += 0.5 * p.tf * idf
+					}
+				}
+			}
+		}
+	}
+	if len(scores) == 0 {
+		return nil
+	}
+	hits := make([]Hit, 0, len(scores))
+	for doc, s := range scores {
+		hits = append(hits, Hit{Doc: doc, Score: s})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Doc < hits[j].Doc
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// SearchLabels returns the distinct normalized labels of the top-k hits for
+// the query. Blocking uses this to assign rows to label blocks.
+func (ix *Index) SearchLabels(label string, k int) []string {
+	hits := ix.Search(label, k)
+	seen := make(map[string]bool)
+	var out []string
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	for _, h := range hits {
+		for _, l := range ix.labels[h.Doc] {
+			if !seen[l] {
+				seen[l] = true
+				out = append(out, l)
+			}
+		}
+	}
+	return out
+}
+
+func (ix *Index) idf(tok string) float64 {
+	df := ix.docFreq[tok]
+	if df == 0 {
+		return 0
+	}
+	// Smoothed IDF; rare tokens weigh more.
+	return 1 + float64(ix.numDocs)/float64(df+1)
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,170 @@
+package index
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndSearchExact(t *testing.T) {
+	ix := New()
+	ix.Add(1, "Tom Brady")
+	ix.Add(2, "Peyton Manning")
+	ix.Add(3, "Eli Manning")
+
+	hits := ix.Search("Tom Brady", 10)
+	if len(hits) == 0 || hits[0].Doc != 1 {
+		t.Fatalf("exact search hits = %v", hits)
+	}
+	hits = ix.Search("Manning", 10)
+	if len(hits) != 2 {
+		t.Fatalf("shared-token search = %v, want 2 hits", hits)
+	}
+}
+
+func TestSearchRanking(t *testing.T) {
+	ix := New()
+	ix.Add(1, "Brady")          // full token match on a short label
+	ix.Add(2, "Tom Brady Jr X") // same token diluted by label length
+	hits := ix.Search("Brady", 10)
+	if len(hits) != 2 {
+		t.Fatalf("hits = %v", hits)
+	}
+	if hits[0].Doc != 1 {
+		t.Errorf("shorter label should rank first: %v", hits)
+	}
+}
+
+func TestSearchTopK(t *testing.T) {
+	ix := New()
+	for i := 0; i < 50; i++ {
+		ix.Add(i, fmt.Sprintf("Springfield %d", i))
+	}
+	hits := ix.Search("Springfield", 5)
+	if len(hits) != 5 {
+		t.Errorf("top-k = %d hits, want 5", len(hits))
+	}
+}
+
+func TestSearchFuzzy(t *testing.T) {
+	ix := New()
+	ix.Add(1, "Springfield")
+	hits := ix.Search("Sprinfield", 5) // one deletion away
+	if len(hits) != 1 || hits[0].Doc != 1 {
+		t.Errorf("fuzzy search = %v, want doc 1", hits)
+	}
+	// Two edits away: no match expected.
+	if hits := ix.Search("Sprnfeld", 5); len(hits) != 0 {
+		t.Errorf("too-far fuzzy search = %v, want none", hits)
+	}
+}
+
+func TestSearchEmptyAndZeroK(t *testing.T) {
+	ix := New()
+	ix.Add(1, "Anything")
+	if hits := ix.Search("", 5); hits != nil {
+		t.Error("empty query should return nil")
+	}
+	if hits := ix.Search("Anything", 0); hits != nil {
+		t.Error("k=0 should return nil")
+	}
+	if hits := ix.Search("!!!", 5); hits != nil {
+		t.Error("punctuation-only query should return nil")
+	}
+}
+
+func TestMultipleLabelsPerDoc(t *testing.T) {
+	ix := New()
+	ix.Add(7, "New York")
+	ix.Add(7, "NYC")
+	if ix.Len() != 1 {
+		t.Errorf("Len = %d, want 1", ix.Len())
+	}
+	if ls := ix.Labels(7); len(ls) != 2 {
+		t.Errorf("Labels = %v", ls)
+	}
+	hits := ix.Search("NYC", 5)
+	if len(hits) != 1 || hits[0].Doc != 7 {
+		t.Errorf("alias search = %v", hits)
+	}
+}
+
+func TestSearchLabels(t *testing.T) {
+	ix := New()
+	ix.Add(1, "Springfield")
+	ix.Add(2, "Springfield Heights")
+	labels := ix.SearchLabels("springfield", 10)
+	if len(labels) != 2 {
+		t.Errorf("SearchLabels = %v", labels)
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	ix := New()
+	ix.Add(5, "Alpha")
+	ix.Add(3, "Alpha")
+	for i := 0; i < 5; i++ {
+		hits := ix.Search("Alpha", 10)
+		if len(hits) != 2 || hits[0].Doc != 3 {
+			t.Fatalf("tie break should order by doc ID: %v", hits)
+		}
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	ix := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ix.Add(i, fmt.Sprintf("label %d alpha", i))
+		}(i)
+	}
+	wg.Wait()
+	if ix.Len() != 100 {
+		t.Errorf("Len = %d, want 100", ix.Len())
+	}
+	if hits := ix.Search("alpha", 200); len(hits) != 100 {
+		t.Errorf("search after concurrent add = %d hits", len(hits))
+	}
+}
+
+func TestSelfRetrievalProperty(t *testing.T) {
+	// Any indexed label must retrieve its own document.
+	f := func(words []string) bool {
+		ix := New()
+		label := ""
+		for i, w := range words {
+			if i >= 4 {
+				break
+			}
+			if len(w) > 8 {
+				w = w[:8]
+			}
+			label += " " + w
+		}
+		ix.Add(42, label)
+		if len(ix.Labels(42)) == 0 {
+			return true // label normalized to nothing; nothing to assert
+		}
+		hits := ix.Search(label, 5)
+		return len(hits) > 0 && hits[0].Doc == 42
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	ix := New()
+	for i := 0; i < 10000; i++ {
+		ix.Add(i, fmt.Sprintf("entity %d town %d", i, i%100))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search("town 42", 20)
+	}
+}

@@ -1,0 +1,138 @@
+package kb
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/dtype"
+)
+
+// jsonValue is the serialized form of a typed value.
+type jsonValue struct {
+	Kind  string  `json:"kind"`
+	Raw   string  `json:"raw,omitempty"`
+	Str   string  `json:"str,omitempty"`
+	Num   float64 `json:"num,omitempty"`
+	Year  int     `json:"year,omitempty"`
+	Month int     `json:"month,omitempty"`
+	Day   int     `json:"day,omitempty"`
+	Gran  string  `json:"gran,omitempty"`
+}
+
+// jsonInstance is the serialized form of one instance (one JSON object per
+// line, in the style of DBpedia entity dumps).
+type jsonInstance struct {
+	Class      string               `json:"class"`
+	Labels     []string             `json:"labels"`
+	Abstract   string               `json:"abstract,omitempty"`
+	Popularity float64              `json:"popularity,omitempty"`
+	Facts      map[string]jsonValue `json:"facts"`
+}
+
+var kindByName = map[string]dtype.Kind{
+	"text":              dtype.Text,
+	"nominalString":     dtype.NominalString,
+	"instanceReference": dtype.InstanceReference,
+	"date":              dtype.Date,
+	"quantity":          dtype.Quantity,
+	"nominalInteger":    dtype.NominalInteger,
+}
+
+func toJSONValue(v dtype.Value) jsonValue {
+	jv := jsonValue{
+		Kind: v.Kind.String(), Raw: v.Raw, Str: v.Str, Num: v.Num,
+		Year: v.Year, Month: v.Month, Day: v.Day,
+	}
+	if v.Kind == dtype.Date {
+		if v.Gran == dtype.GranDay {
+			jv.Gran = "day"
+		} else {
+			jv.Gran = "year"
+		}
+	}
+	return jv
+}
+
+func fromJSONValue(jv jsonValue) (dtype.Value, error) {
+	kind, ok := kindByName[jv.Kind]
+	if !ok {
+		return dtype.Value{}, fmt.Errorf("kb: unknown value kind %q", jv.Kind)
+	}
+	v := dtype.Value{
+		Kind: kind, Raw: jv.Raw, Str: jv.Str, Num: jv.Num,
+		Year: jv.Year, Month: jv.Month, Day: jv.Day,
+	}
+	if kind == dtype.Date && jv.Gran == "day" {
+		v.Gran = dtype.GranDay
+	}
+	return v, nil
+}
+
+// WriteInstances serializes all instances as newline-delimited JSON.
+// Classes and schemas are part of the ontology and are not serialized;
+// loading requires a KB constructed with the same ontology.
+func (kb *KB) WriteInstances(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, in := range kb.instances {
+		ji := jsonInstance{
+			Class:      string(in.Class),
+			Labels:     in.Labels,
+			Abstract:   in.Abstract,
+			Popularity: in.Popularity,
+			Facts:      make(map[string]jsonValue, len(in.Facts)),
+		}
+		for pid, v := range in.Facts {
+			ji.Facts[string(pid)] = toJSONValue(v)
+		}
+		if err := enc.Encode(&ji); err != nil {
+			return fmt.Errorf("kb: writing instance %d: %w", in.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadInstances loads newline-delimited JSON instances into the KB,
+// appending to any existing instances. Instances referencing classes
+// unknown to the ontology are rejected.
+func (kb *KB) ReadInstances(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ji jsonInstance
+		if err := json.Unmarshal(raw, &ji); err != nil {
+			return fmt.Errorf("kb: line %d: %w", line, err)
+		}
+		class := ClassID(ji.Class)
+		if kb.Class(class) == nil {
+			return fmt.Errorf("kb: line %d: unknown class %q", line, ji.Class)
+		}
+		facts := make(map[PropertyID]dtype.Value, len(ji.Facts))
+		for pid, jv := range ji.Facts {
+			v, err := fromJSONValue(jv)
+			if err != nil {
+				return fmt.Errorf("kb: line %d, property %s: %w", line, pid, err)
+			}
+			facts[PropertyID(pid)] = v
+		}
+		kb.AddInstance(&Instance{
+			Class:      class,
+			Labels:     ji.Labels,
+			Abstract:   ji.Abstract,
+			Popularity: ji.Popularity,
+			Facts:      facts,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("kb: reading instances: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package kb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dtype"
+)
+
+func TestInstanceRoundTrip(t *testing.T) {
+	src := newTestKB(t)
+	src.AddInstance(&Instance{
+		Class:  ClassSong,
+		Labels: []string{"Endless Night", "The Endless Night"},
+		Facts: map[PropertyID]dtype.Value{
+			"dbo:runtime":     dtype.NewQuantity(215),
+			"dbo:releaseDate": dtype.NewDate(1999, 4, 2),
+			"dbo:genre":       dtype.NewNominal("Rock"),
+		},
+		Abstract:   "A song.",
+		Popularity: 12.5,
+	})
+
+	var buf bytes.Buffer
+	if err := src.WriteInstances(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := New()
+	if err := dst.ReadInstances(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if dst.NumInstances() != src.NumInstances() {
+		t.Fatalf("instances %d != %d", dst.NumInstances(), src.NumInstances())
+	}
+	for i := 0; i < src.NumInstances(); i++ {
+		a, b := src.Instance(InstanceID(i)), dst.Instance(InstanceID(i))
+		if a.Class != b.Class || a.Label() != b.Label() || a.Popularity != b.Popularity {
+			t.Fatalf("instance %d metadata mismatch: %+v vs %+v", i, a, b)
+		}
+		if len(a.Facts) != len(b.Facts) {
+			t.Fatalf("instance %d facts %d != %d", i, len(a.Facts), len(b.Facts))
+		}
+		th := dtype.DefaultThresholds()
+		for pid, av := range a.Facts {
+			bv, ok := b.Facts[pid]
+			if !ok || !th.Equal(av, bv) || av.Kind != bv.Kind {
+				t.Fatalf("instance %d fact %s: %+v vs %+v", i, pid, av, bv)
+			}
+		}
+	}
+	// The loaded KB must answer candidate queries (labels re-indexed).
+	if c := dst.Candidates("Endless Night", CandidateOpts{Class: ClassSong}); len(c) == 0 {
+		t.Error("loaded instance not retrievable by label")
+	}
+}
+
+func TestDateGranularityRoundTrip(t *testing.T) {
+	src := New()
+	src.AddInstance(&Instance{
+		Class:  ClassGFPlayer,
+		Labels: []string{"X"},
+		Facts: map[PropertyID]dtype.Value{
+			"dbo:draftYear": dtype.NewYear(2001),
+			"dbo:birthDate": dtype.NewDate(1980, 2, 3),
+		},
+	})
+	var buf bytes.Buffer
+	if err := src.WriteInstances(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := New()
+	if err := dst.ReadInstances(&buf); err != nil {
+		t.Fatal(err)
+	}
+	in := dst.Instance(0)
+	if in.Facts["dbo:draftYear"].Gran != dtype.GranYear {
+		t.Error("year granularity lost")
+	}
+	if in.Facts["dbo:birthDate"].Gran != dtype.GranDay {
+		t.Error("day granularity lost")
+	}
+}
+
+func TestReadInstancesErrors(t *testing.T) {
+	k := New()
+	if err := k.ReadInstances(strings.NewReader("{bad")); err == nil {
+		t.Error("want error on malformed JSON")
+	}
+	if err := k.ReadInstances(strings.NewReader(`{"class":"dbo:Nope","labels":["x"],"facts":{}}`)); err == nil {
+		t.Error("want error on unknown class")
+	}
+	bad := `{"class":"dbo:Song","labels":["x"],"facts":{"dbo:genre":{"kind":"mystery"}}}`
+	if err := k.ReadInstances(strings.NewReader(bad)); err == nil {
+		t.Error("want error on unknown value kind")
+	}
+	// Blank lines are fine.
+	if err := k.ReadInstances(strings.NewReader("\n\n")); err != nil {
+		t.Errorf("blank input: %v", err)
+	}
+}

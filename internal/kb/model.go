@@ -1,0 +1,319 @@
+// Package kb implements the cross-domain knowledge base substrate the
+// pipeline extends. It substitutes for the DBpedia 2014 release the paper
+// uses: a class hierarchy, typed properties, instances with labels,
+// abstracts and facts, and a popularity score per instance (substituting
+// the Wikipedia page-link dataset used by the POPULARITY metric).
+//
+// The package also provides profiling (instance/fact counts and property
+// densities, Tables 1-2) and a deterministic synthetic generator that
+// reproduces the schema and density profile of the paper's three classes.
+package kb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dtype"
+	"repro/internal/index"
+)
+
+// ClassID identifies a class in the knowledge base ontology.
+type ClassID string
+
+// Well-known first-level and evaluation classes, mirroring the paper's
+// selection: one class each from Agent, Work and Place.
+const (
+	ClassThing      ClassID = "owl:Thing"
+	ClassAgent      ClassID = "dbo:Agent"
+	ClassPerson     ClassID = "dbo:Person"
+	ClassAthlete    ClassID = "dbo:Athlete"
+	ClassGFPlayer   ClassID = "dbo:GridironFootballPlayer"
+	ClassWork       ClassID = "dbo:Work"
+	ClassMusicWork  ClassID = "dbo:MusicalWork"
+	ClassSong       ClassID = "dbo:Song"
+	ClassPlace      ClassID = "dbo:Place"
+	ClassPopPlace   ClassID = "dbo:PopulatedPlace"
+	ClassSettlement ClassID = "dbo:Settlement"
+	// ClassRegion and ClassMountain exist so that table-to-class matching
+	// has realistic confusable neighbours for Settlement (§5 error
+	// analysis: "the new entity does not describe a settlement, but a
+	// different place, like a region or a mountain").
+	ClassRegion   ClassID = "dbo:Region"
+	ClassMountain ClassID = "dbo:Mountain"
+)
+
+// PropertyID identifies a property of the knowledge base schema.
+type PropertyID string
+
+// Property describes one property of a class schema.
+type Property struct {
+	ID    PropertyID
+	Label string
+	// Kind is the fine-grained data type of the property's values.
+	Kind dtype.Kind
+	// AltLabels are alternative header labels seen in the wild; the
+	// KB-Label matcher compares column headers against Label and these.
+	AltLabels []string
+}
+
+// Class is a node in the ontology with an attached property schema.
+type Class struct {
+	ID     ClassID
+	Label  string
+	Parent ClassID // empty for the root
+	// Properties lists the schema of the class (only evaluation classes
+	// carry schemas; intermediate classes have none).
+	Properties []Property
+}
+
+// InstanceID identifies an instance.
+type InstanceID int
+
+// Instance is one entity in the knowledge base.
+type Instance struct {
+	ID    InstanceID
+	Class ClassID
+	// Labels holds the primary label first, then aliases.
+	Labels []string
+	// Abstract is a short free-text description (used by the BOW
+	// entity-to-instance metric).
+	Abstract string
+	// Facts maps property to value. The model keeps one value per
+	// property, as the paper's density tables do.
+	Facts map[PropertyID]dtype.Value
+	// Popularity substitutes the count of incoming Wikipedia page links.
+	Popularity float64
+}
+
+// Label returns the primary label or "" for an unlabeled instance.
+func (in *Instance) Label() string {
+	if len(in.Labels) == 0 {
+		return ""
+	}
+	return in.Labels[0]
+}
+
+// KB is an in-memory knowledge base.
+type KB struct {
+	classes   map[ClassID]*Class
+	instances []*Instance
+	byClass   map[ClassID][]InstanceID
+	// labelIdx supports candidate selection: one label index per
+	// evaluation class plus a global one.
+	labelIdx map[ClassID]*index.Index
+	globalIx *index.Index
+}
+
+// New returns an empty knowledge base preloaded with the ontology used
+// throughout the reproduction (Thing → Agent/Work/Place → … → the three
+// evaluation classes plus the confusable Place neighbours).
+func New() *KB {
+	kb := &KB{
+		classes:  make(map[ClassID]*Class),
+		byClass:  make(map[ClassID][]InstanceID),
+		labelIdx: make(map[ClassID]*index.Index),
+		globalIx: index.New(),
+	}
+	for _, c := range defaultOntology() {
+		kb.AddClass(c)
+	}
+	return kb
+}
+
+func defaultOntology() []*Class {
+	return []*Class{
+		{ID: ClassThing, Label: "Thing"},
+		{ID: ClassAgent, Label: "Agent", Parent: ClassThing},
+		{ID: ClassPerson, Label: "Person", Parent: ClassAgent},
+		{ID: ClassAthlete, Label: "Athlete", Parent: ClassPerson},
+		{ID: ClassGFPlayer, Label: "Gridiron Football Player", Parent: ClassAthlete,
+			Properties: GFPlayerSchema()},
+		{ID: ClassWork, Label: "Work", Parent: ClassThing},
+		{ID: ClassMusicWork, Label: "Musical Work", Parent: ClassWork},
+		{ID: ClassSong, Label: "Song", Parent: ClassMusicWork, Properties: SongSchema()},
+		{ID: ClassPlace, Label: "Place", Parent: ClassThing},
+		{ID: ClassPopPlace, Label: "Populated Place", Parent: ClassPlace},
+		{ID: ClassSettlement, Label: "Settlement", Parent: ClassPopPlace,
+			Properties: SettlementSchema()},
+		{ID: ClassRegion, Label: "Region", Parent: ClassPopPlace},
+		{ID: ClassMountain, Label: "Mountain", Parent: ClassPlace},
+	}
+}
+
+// AddClass registers a class. Re-adding a class replaces it.
+func (kb *KB) AddClass(c *Class) {
+	kb.classes[c.ID] = c
+	if _, ok := kb.labelIdx[c.ID]; !ok {
+		kb.labelIdx[c.ID] = index.New()
+	}
+}
+
+// Class returns the class with the given ID, or nil.
+func (kb *KB) Class(id ClassID) *Class { return kb.classes[id] }
+
+// Classes returns all class IDs in deterministic order.
+func (kb *KB) Classes() []ClassID {
+	ids := make([]ClassID, 0, len(kb.classes))
+	for id := range kb.classes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Ancestors returns the chain of parent classes from id (exclusive) to the
+// root (inclusive).
+func (kb *KB) Ancestors(id ClassID) []ClassID {
+	var out []ClassID
+	c := kb.classes[id]
+	for c != nil && c.Parent != "" {
+		out = append(out, c.Parent)
+		c = kb.classes[c.Parent]
+	}
+	return out
+}
+
+// SharesParent reports whether class a equals b or either is an ancestor of
+// the other or they share an immediate parent. Candidate selection uses
+// this relaxed check ("must be of the class of the created entity or share
+// one parent class").
+func (kb *KB) SharesParent(a, b ClassID) bool {
+	if a == b {
+		return true
+	}
+	ancA := append([]ClassID{a}, kb.Ancestors(a)...)
+	ancB := append([]ClassID{b}, kb.Ancestors(b)...)
+	setA := make(map[ClassID]bool, len(ancA))
+	for _, x := range ancA {
+		setA[x] = true
+	}
+	for _, x := range ancB {
+		if x == ClassThing {
+			continue // everything shares Thing; too weak
+		}
+		if setA[x] {
+			return true
+		}
+	}
+	ca, cb := kb.classes[a], kb.classes[b]
+	return ca != nil && cb != nil && ca.Parent != "" && ca.Parent == cb.Parent
+}
+
+// TypeOverlap computes the paper's TYPE metric: the overlap of the
+// candidate instance's class chain with the entity's class chain, as the
+// Jaccard of the two ancestor sets (root excluded).
+func (kb *KB) TypeOverlap(a, b ClassID) float64 {
+	chain := func(id ClassID) map[ClassID]bool {
+		s := map[ClassID]bool{id: true}
+		for _, x := range kb.Ancestors(id) {
+			if x != ClassThing {
+				s[x] = true
+			}
+		}
+		return s
+	}
+	sa, sb := chain(a), chain(b)
+	inter := 0
+	for x := range sa {
+		if sb[x] {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Property looks up a property in the schema of class id (or its ancestors).
+func (kb *KB) Property(id ClassID, pid PropertyID) (Property, bool) {
+	for c := kb.classes[id]; c != nil; c = kb.classes[c.Parent] {
+		for _, p := range c.Properties {
+			if p.ID == pid {
+				return p, true
+			}
+		}
+		if c.Parent == "" {
+			break
+		}
+	}
+	return Property{}, false
+}
+
+// Schema returns the property list of class id (schema of the class itself;
+// evaluation classes carry the full schema directly).
+func (kb *KB) Schema(id ClassID) []Property {
+	if c := kb.classes[id]; c != nil {
+		return c.Properties
+	}
+	return nil
+}
+
+// AddInstance stores an instance, assigns it an ID, and indexes its labels.
+// The instance's Facts map may be nil.
+func (kb *KB) AddInstance(in *Instance) InstanceID {
+	in.ID = InstanceID(len(kb.instances))
+	if in.Facts == nil {
+		in.Facts = make(map[PropertyID]dtype.Value)
+	}
+	kb.instances = append(kb.instances, in)
+	kb.byClass[in.Class] = append(kb.byClass[in.Class], in.ID)
+	for _, l := range in.Labels {
+		kb.globalIx.Add(int(in.ID), l)
+		if ix, ok := kb.labelIdx[in.Class]; ok {
+			ix.Add(int(in.ID), l)
+		}
+	}
+	return in.ID
+}
+
+// Instance returns the instance with the given ID, or nil.
+func (kb *KB) Instance(id InstanceID) *Instance {
+	if id < 0 || int(id) >= len(kb.instances) {
+		return nil
+	}
+	return kb.instances[id]
+}
+
+// NumInstances returns the total number of instances.
+func (kb *KB) NumInstances() int { return len(kb.instances) }
+
+// InstancesOf returns the instance IDs of class id (not descendants).
+func (kb *KB) InstancesOf(id ClassID) []InstanceID { return kb.byClass[id] }
+
+// CandidateOpts configures Candidates.
+type CandidateOpts struct {
+	// K is the number of index hits to retrieve (default 20).
+	K int
+	// Class restricts candidates to instances whose class equals or
+	// shares a parent with this class; empty means no restriction.
+	Class ClassID
+}
+
+// Candidates returns candidate instances for a label using the label index,
+// applying the class restriction of §3.4.
+func (kb *KB) Candidates(label string, opts CandidateOpts) []InstanceID {
+	k := opts.K
+	if k <= 0 {
+		k = 20
+	}
+	hits := kb.globalIx.Search(label, k*3)
+	var out []InstanceID
+	for _, h := range hits {
+		in := kb.instances[h.Doc]
+		if opts.Class != "" && !kb.SharesParent(in.Class, opts.Class) {
+			continue
+		}
+		out = append(out, in.ID)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// String summarizes the KB for logging.
+func (kb *KB) String() string {
+	return fmt.Sprintf("KB{classes: %d, instances: %d}", len(kb.classes), len(kb.instances))
+}

@@ -1,0 +1,90 @@
+package kb
+
+import "repro/internal/dtype"
+
+// The three evaluation-class schemas mirror Table 2 of the paper: the
+// properties, their data types, and (in synth.go) their densities.
+
+// GFPlayerSchema returns the GridironFootballPlayer property schema.
+func GFPlayerSchema() []Property {
+	return []Property{
+		{ID: "dbo:birthDate", Label: "birth date", Kind: dtype.Date,
+			AltLabels: []string{"born", "dob", "date of birth", "birthdate"}},
+		{ID: "dbo:college", Label: "college", Kind: dtype.InstanceReference,
+			AltLabels: []string{"school", "university", "alma mater"}},
+		{ID: "dbo:birthPlace", Label: "birth place", Kind: dtype.InstanceReference,
+			AltLabels: []string{"hometown", "birthplace", "place of birth"}},
+		{ID: "dbo:team", Label: "team", Kind: dtype.InstanceReference,
+			AltLabels: []string{"club", "franchise", "nfl team"}},
+		{ID: "dbo:number", Label: "number", Kind: dtype.NominalInteger,
+			AltLabels: []string{"no", "jersey", "jersey number", "#"}},
+		{ID: "dbo:position", Label: "position", Kind: dtype.NominalString,
+			AltLabels: []string{"pos", "role"}},
+		{ID: "dbo:height", Label: "height", Kind: dtype.Quantity,
+			AltLabels: []string{"ht", "height in"}},
+		{ID: "dbo:weight", Label: "weight", Kind: dtype.Quantity,
+			AltLabels: []string{"wt", "weight lbs", "lbs"}},
+		{ID: "dbo:draftYear", Label: "draft year", Kind: dtype.Date,
+			AltLabels: []string{"drafted", "year drafted", "draft"}},
+		{ID: "dbo:draftRound", Label: "draft round", Kind: dtype.NominalInteger,
+			AltLabels: []string{"round", "rd"}},
+		{ID: "dbo:draftPick", Label: "draft pick", Kind: dtype.NominalInteger,
+			AltLabels: []string{"pick", "overall", "overall pick", "selection"}},
+	}
+}
+
+// SongSchema returns the Song property schema.
+func SongSchema() []Property {
+	return []Property{
+		{ID: "dbo:genre", Label: "genre", Kind: dtype.NominalString,
+			AltLabels: []string{"style", "music genre"}},
+		{ID: "dbo:musicalArtist", Label: "musical artist", Kind: dtype.InstanceReference,
+			AltLabels: []string{"artist", "performer", "singer", "band", "by"}},
+		{ID: "dbo:recordLabel", Label: "record label", Kind: dtype.InstanceReference,
+			AltLabels: []string{"label"}},
+		{ID: "dbo:runtime", Label: "runtime", Kind: dtype.Quantity,
+			AltLabels: []string{"length", "duration", "time"}},
+		{ID: "dbo:album", Label: "album", Kind: dtype.InstanceReference,
+			AltLabels: []string{"from album", "appears on", "record"}},
+		{ID: "dbo:writer", Label: "writer", Kind: dtype.InstanceReference,
+			AltLabels: []string{"written by", "songwriter", "composer"}},
+		{ID: "dbo:releaseDate", Label: "release date", Kind: dtype.Date,
+			AltLabels: []string{"released", "release", "year", "date"}},
+	}
+}
+
+// SettlementSchema returns the Settlement property schema.
+func SettlementSchema() []Property {
+	return []Property{
+		{ID: "dbo:country", Label: "country", Kind: dtype.InstanceReference,
+			AltLabels: []string{"nation", "state"}},
+		{ID: "dbo:isPartOf", Label: "is part of", Kind: dtype.InstanceReference,
+			AltLabels: []string{"district", "county", "region", "province", "part of"}},
+		{ID: "dbo:populationTotal", Label: "population total", Kind: dtype.Quantity,
+			AltLabels: []string{"population", "pop", "inhabitants", "residents"}},
+		{ID: "dbo:postalCode", Label: "postal code", Kind: dtype.NominalString,
+			AltLabels: []string{"zip", "zip code", "plz", "postcode"}},
+		{ID: "dbo:elevation", Label: "elevation", Kind: dtype.Quantity,
+			AltLabels: []string{"altitude", "elevation m", "height above sea level"}},
+	}
+}
+
+// EvalClasses returns the three evaluation classes in paper order.
+func EvalClasses() []ClassID {
+	return []ClassID{ClassGFPlayer, ClassSong, ClassSettlement}
+}
+
+// ClassShortName returns the paper's short display name for a class.
+func ClassShortName(id ClassID) string {
+	switch id {
+	case ClassGFPlayer:
+		return "GF-Player"
+	case ClassSong:
+		return "Song"
+	case ClassSettlement:
+		return "Settlement"
+	default:
+		c := ClassID(id)
+		return string(c)
+	}
+}

@@ -1,0 +1,72 @@
+package kb
+
+import "sort"
+
+// ClassProfile summarizes one class for Table 1: instance and fact counts.
+type ClassProfile struct {
+	Class     ClassID
+	Instances int
+	Facts     int
+}
+
+// PropertyProfile summarizes one property for Table 2: fact count and
+// density over the class's instances.
+type PropertyProfile struct {
+	Class    ClassID
+	Property PropertyID
+	Facts    int
+	Density  float64
+}
+
+// ProfileClass computes the Table 1 row for a class.
+func (kb *KB) ProfileClass(id ClassID) ClassProfile {
+	p := ClassProfile{Class: id}
+	for _, iid := range kb.byClass[id] {
+		p.Instances++
+		p.Facts += len(kb.instances[iid].Facts)
+	}
+	return p
+}
+
+// ProfileProperties computes the Table 2 rows for a class, ordered by
+// descending density (as the paper prints them). Only properties in the
+// class schema are reported.
+func (kb *KB) ProfileProperties(id ClassID) []PropertyProfile {
+	counts := make(map[PropertyID]int)
+	n := 0
+	for _, iid := range kb.byClass[id] {
+		n++
+		for pid := range kb.instances[iid].Facts {
+			counts[pid]++
+		}
+	}
+	var out []PropertyProfile
+	for _, prop := range kb.Schema(id) {
+		c := counts[prop.ID]
+		d := 0.0
+		if n > 0 {
+			d = float64(c) / float64(n)
+		}
+		out = append(out, PropertyProfile{Class: id, Property: prop.ID, Facts: c, Density: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Density != out[j].Density {
+			return out[i].Density > out[j].Density
+		}
+		return out[i].Property < out[j].Property
+	})
+	return out
+}
+
+// DensityFloor filters ProfileProperties to properties with at least the
+// given density, mirroring the paper's "initial density of at least 30%"
+// selection rule.
+func (kb *KB) DensityFloor(id ClassID, floor float64) []PropertyProfile {
+	var out []PropertyProfile
+	for _, p := range kb.ProfileProperties(id) {
+		if p.Density >= floor {
+			out = append(out, p)
+		}
+	}
+	return out
+}

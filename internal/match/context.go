@@ -1,0 +1,85 @@
+// Package match implements the schema matching step of the pipeline (§3.1):
+// data type detection, label attribute detection, table-to-class matching,
+// and attribute-to-property matching with five matchers (KB-Overlap,
+// KB-Label, KB-Duplicate, WT-Label, WT-Duplicate) aggregated by a learned
+// weighted average with per-property thresholds.
+package match
+
+import (
+	"repro/internal/dtype"
+	"repro/internal/kb"
+	"repro/internal/webtable"
+)
+
+// ColRef addresses one attribute column of one table.
+type ColRef struct {
+	Table int
+	Col   int
+}
+
+// Context carries the inputs available to the matchers. The duplicate-based
+// matchers (KB-Duplicate, WT-Duplicate) and WT-Label additionally need the
+// outputs of a previous pipeline iteration; those fields are nil during the
+// first iteration and the corresponding matchers then score zero.
+type Context struct {
+	KB     *kb.KB
+	Corpus *webtable.Corpus
+	// Class is the class the current table was matched to.
+	Class kb.ClassID
+
+	// RowInstance maps rows to existing KB instances (output of the new
+	// detection component of the previous iteration).
+	RowInstance map[webtable.RowRef]kb.InstanceID
+	// RowCluster maps rows to cluster IDs (output of the row clustering
+	// of the previous iteration).
+	RowCluster map[webtable.RowRef]int
+	// Prelim is the preliminary attribute-to-property mapping from the
+	// previous matching run.
+	Prelim map[ColRef]kb.PropertyID
+
+	// Thresholds are the data-type equivalence thresholds in effect.
+	Thresholds dtype.Thresholds
+
+	// Lazily built caches.
+	kbProfiles map[kb.ClassID]map[kb.PropertyID]*propProfile
+	wtLabels   map[kb.PropertyID]map[string]float64
+	clusterVal map[clusterPropKey][]tableValue
+}
+
+// tableValue is a parsed cell value tagged with the table it came from.
+type tableValue struct {
+	v     dtype.Value
+	table int
+}
+
+// NewContext builds a first-iteration context.
+func NewContext(k *kb.KB, corpus *webtable.Corpus) *Context {
+	return &Context{
+		KB:         k,
+		Corpus:     corpus,
+		Thresholds: dtype.DefaultThresholds(),
+	}
+}
+
+// WithIterationOutput returns a copy of the context enriched with the
+// outputs of a previous pipeline iteration, enabling the duplicate-based
+// and corpus-based matchers.
+func (c *Context) WithIterationOutput(
+	rowInstance map[webtable.RowRef]kb.InstanceID,
+	rowCluster map[webtable.RowRef]int,
+	prelim map[ColRef]kb.PropertyID,
+) *Context {
+	out := *c
+	out.RowInstance = rowInstance
+	out.RowCluster = rowCluster
+	out.Prelim = prelim
+	// Invalidate caches that depend on iteration outputs.
+	out.wtLabels = nil
+	out.clusterVal = nil
+	return &out
+}
+
+type clusterPropKey struct {
+	cluster int
+	prop    kb.PropertyID
+}

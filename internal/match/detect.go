@@ -1,0 +1,61 @@
+package match
+
+import (
+	"repro/internal/dtype"
+	"repro/internal/strsim"
+	"repro/internal/webtable"
+)
+
+// DetectColumnKinds assigns each column of the table one of the three
+// coarse detection types (Text, Date, Quantity) by majority vote over its
+// non-empty cells, and stores the result in t.ColKinds.
+func DetectColumnKinds(t *webtable.Table) []dtype.Kind {
+	kinds := make([]dtype.Kind, t.NumCols())
+	for c := 0; c < t.NumCols(); c++ {
+		counts := make(map[dtype.Kind]int)
+		for r := 0; r < t.NumRows(); r++ {
+			k := dtype.DetectKind(t.Cell(r, c))
+			if k != dtype.Unknown {
+				counts[k]++
+			}
+		}
+		best, bestN := dtype.Unknown, 0
+		// Deterministic priority on ties: Text > Date > Quantity.
+		for _, k := range []dtype.Kind{dtype.Text, dtype.Date, dtype.Quantity} {
+			if counts[k] > bestN {
+				best, bestN = k, counts[k]
+			}
+		}
+		kinds[c] = best
+	}
+	t.ColKinds = kinds
+	return kinds
+}
+
+// DetectLabelColumn finds the label attribute of a table: the column with
+// detected type Text and the highest number of unique values; ties break to
+// the leftmost column. It stores the result in t.LabelCol and returns it
+// (-1 when the table has no text column).
+func DetectLabelColumn(t *webtable.Table) int {
+	if t.ColKinds == nil {
+		DetectColumnKinds(t)
+	}
+	best, bestUnique := -1, -1
+	for c := 0; c < t.NumCols(); c++ {
+		if t.ColKinds[c] != dtype.Text {
+			continue
+		}
+		uniq := make(map[string]bool)
+		for r := 0; r < t.NumRows(); r++ {
+			if s := strsim.Normalize(t.Cell(r, c)); s != "" {
+				uniq[s] = true
+			}
+		}
+		// Strictly-greater comparison keeps the leftmost column on ties.
+		if len(uniq) > bestUnique {
+			best, bestUnique = c, len(uniq)
+		}
+	}
+	t.LabelCol = best
+	return best
+}

@@ -1,0 +1,106 @@
+package match
+
+import (
+	"testing"
+
+	"repro/internal/kb"
+	"repro/internal/webtable"
+)
+
+func TestLearnEmptyExamples(t *testing.T) {
+	w, corpus := testWorld()
+	ctx := NewContext(w.KB, corpus)
+	m := Learn(ctx, FirstIterationMatchers(), kb.ClassGFPlayer, nil, 1)
+	if m == nil || len(m.Weights) != 2 {
+		t.Fatalf("empty-example model = %+v", m)
+	}
+	// Uniform fallback weights.
+	if m.Weights[0] != 0.5 || m.Weights[1] != 0.5 {
+		t.Errorf("weights = %v, want uniform", m.Weights)
+	}
+}
+
+func TestLearnedThresholdsBlockWeakMatches(t *testing.T) {
+	w, corpus := testWorld()
+	ctx := NewContext(w.KB, corpus)
+	ctx.Class = kb.ClassGFPlayer
+	matchers := FirstIterationMatchers()
+
+	// Build examples: real position columns plus junk columns annotated
+	// as mapping to nothing.
+	var examples []Example
+	for _, tbl := range corpus.Tables {
+		if tbl.Truth == nil || tbl.Truth.Class != kb.ClassGFPlayer {
+			continue
+		}
+		DetectColumnKinds(tbl)
+		for c, pid := range tbl.Truth.ColProperty {
+			if c == 0 {
+				continue
+			}
+			examples = append(examples, Example{Table: tbl, Col: c, Want: pid})
+		}
+	}
+	if len(examples) < 8 {
+		t.Skip("not enough examples")
+	}
+	m := Learn(ctx, matchers, kb.ClassGFPlayer, examples, 2)
+
+	// A junk column (rank numbers) must not be matched to any property.
+	junk := &webtable.Table{
+		ID:       99999,
+		Headers:  []string{"Player", "Rank"},
+		Cells:    [][]string{{"Nobody Special", "1"}, {"Someone Else", "2"}},
+		LabelCol: 0,
+	}
+	DetectColumnKinds(junk)
+	got := MatchAttributes(ctx, m, matchers, junk)
+	if pid, ok := got[1]; ok && pid != "" {
+		// Rank 1,2 could plausibly hit draftRound; tolerate only that.
+		if pid != "dbo:draftRound" && pid != "dbo:draftPick" && pid != "dbo:number" {
+			t.Errorf("junk column matched to %s", pid)
+		}
+	}
+}
+
+func TestCorrespondenceScores(t *testing.T) {
+	w, corpus := testWorld()
+	ctx := NewContext(w.KB, corpus)
+	ctx.Class = kb.ClassGFPlayer
+	matchers := FirstIterationMatchers()
+	model := DefaultModel(kb.ClassGFPlayer, matchers)
+	model.DefaultThreshold = 0.4
+	tb := playerTable()
+	DetectColumnKinds(tb)
+	DetectLabelColumn(tb)
+	scored := MatchAttributesScored(ctx, model, matchers, tb)
+	for col, corr := range scored {
+		if corr.Score < model.DefaultThreshold || corr.Score > 1 {
+			t.Errorf("column %d score %v out of range", col, corr.Score)
+		}
+		if corr.Property == "" {
+			t.Errorf("column %d matched to empty property", col)
+		}
+	}
+	// Scored and unscored variants agree on the mapping.
+	plain := MatchAttributes(ctx, model, matchers, tb)
+	if len(plain) != len(scored) {
+		t.Fatalf("scored (%d) and plain (%d) mappings differ", len(scored), len(plain))
+	}
+	for col, pid := range plain {
+		if scored[col].Property != pid {
+			t.Errorf("column %d: %s vs %s", col, scored[col].Property, pid)
+		}
+	}
+}
+
+func TestDefaultModelThresholdLookup(t *testing.T) {
+	m := DefaultModel(kb.ClassSong, FirstIterationMatchers())
+	if th := m.threshold("dbo:genre"); th != m.DefaultThreshold {
+		t.Errorf("unlearned property threshold = %v", th)
+	}
+	m.PropThresholds["dbo:genre"] = 0.9
+	if th := m.threshold("dbo:genre"); th != 0.9 {
+		t.Errorf("learned property threshold = %v", th)
+	}
+}

@@ -1,0 +1,141 @@
+package match
+
+import (
+	"sort"
+
+	"repro/internal/dtype"
+	"repro/internal/kb"
+	"repro/internal/webtable"
+)
+
+// ClassMatch is the result of table-to-class matching for one table.
+type ClassMatch struct {
+	Class kb.ClassID
+	// Score aggregates the row-match and duplicate-based evidence.
+	Score float64
+	// RowInstance holds the row-to-instance matches that produced the
+	// score (used as a by-product for duplicate-based matching).
+	RowInstance map[int]kb.InstanceID
+}
+
+// MatchTableClass performs the duplicate-based table-to-class matching of
+// Ritze et al. (§3.1): row labels retrieve candidate instances; classes are
+// scored by the number of rows with a candidate; candidate classes are then
+// re-scored by how well cell values match the candidate instances' facts
+// (duplicate-based attribute-to-property matching), and the best class
+// wins. A table whose best class matches fewer than minRowFrac of its rows
+// is left unmatched (zero ClassMatch).
+func MatchTableClass(ctx *Context, t *webtable.Table, minRowFrac float64) ClassMatch {
+	if t.LabelCol < 0 {
+		DetectLabelColumn(t)
+	}
+	if t.LabelCol < 0 {
+		return ClassMatch{}
+	}
+	type rowCand struct {
+		row      int
+		instance kb.InstanceID
+	}
+	byClass := make(map[kb.ClassID][]rowCand)
+	for r := 0; r < t.NumRows(); r++ {
+		label := t.RowLabel(r)
+		if label == "" {
+			continue
+		}
+		seen := make(map[kb.ClassID]bool)
+		for _, iid := range ctx.KB.Candidates(label, kb.CandidateOpts{K: 8}) {
+			class := ctx.KB.Instance(iid).Class
+			if seen[class] {
+				continue // one candidate per class per row for the row score
+			}
+			seen[class] = true
+			byClass[class] = append(byClass[class], rowCand{row: r, instance: iid})
+		}
+	}
+	if len(byClass) == 0 {
+		return ClassMatch{}
+	}
+
+	best := ClassMatch{}
+	classes := make([]kb.ClassID, 0, len(byClass))
+	for class := range byClass {
+		classes = append(classes, class)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, class := range classes {
+		cands := byClass[class]
+		rowScore := float64(len(cands))
+		// Duplicate-based evidence: per column, count cells equal to the
+		// candidate instance's fact for the best-fitting property, then
+		// take each column's best property count.
+		dupScore := 0.0
+		schema := ctx.KB.Schema(class)
+		if len(schema) > 0 {
+			for c := 0; c < t.NumCols(); c++ {
+				if c == t.LabelCol {
+					continue
+				}
+				bestCol := 0
+				for _, prop := range schema {
+					if !typeCompatible(t.ColKinds[c], prop.Kind) {
+						continue
+					}
+					cnt := 0
+					for _, rc := range cands {
+						fact, ok := ctx.KB.Instance(rc.instance).Facts[prop.ID]
+						if !ok {
+							continue
+						}
+						v, ok := dtype.Parse(t.Cell(rc.row, c), prop.Kind)
+						if !ok {
+							continue
+						}
+						if ctx.Thresholds.Equal(v, fact) {
+							cnt++
+						}
+					}
+					if cnt > bestCol {
+						bestCol = cnt
+					}
+				}
+				dupScore += float64(bestCol)
+			}
+		}
+		score := rowScore + dupScore
+		if score > best.Score {
+			ri := make(map[int]kb.InstanceID, len(cands))
+			for _, rc := range cands {
+				if _, ok := ri[rc.row]; !ok {
+					ri[rc.row] = rc.instance
+				}
+			}
+			best = ClassMatch{Class: class, Score: score, RowInstance: ri}
+		}
+	}
+	if best.Class == "" {
+		return ClassMatch{}
+	}
+	if float64(len(best.RowInstance)) < minRowFrac*float64(t.NumRows()) {
+		return ClassMatch{}
+	}
+	return best
+}
+
+// typeCompatible implements the candidate-property blocking by data type
+// (§3.1): text attributes may match instance references, nominal strings
+// and texts; quantity attributes match quantities and nominal integers;
+// date attributes match dates, quantities and nominal integers.
+func typeCompatible(colKind, propKind dtype.Kind) bool {
+	switch colKind {
+	case dtype.Text:
+		return propKind == dtype.InstanceReference ||
+			propKind == dtype.NominalString || propKind == dtype.Text
+	case dtype.Quantity:
+		return propKind == dtype.Quantity || propKind == dtype.NominalInteger
+	case dtype.Date:
+		return propKind == dtype.Date || propKind == dtype.Quantity ||
+			propKind == dtype.NominalInteger
+	default:
+		return false
+	}
+}

@@ -1,0 +1,128 @@
+package ml
+
+import "math/rand"
+
+// Folds partitions n item indices into k folds for cross-validation. Items
+// with the same group key always land in the same fold (the paper keeps all
+// clusters of a homonym group in one fold). Groups are assigned round-robin
+// after shuffling, which keeps fold sizes even.
+//
+// groupOf may be nil, in which case every item is its own group. positive
+// marks items that should be distributed evenly across folds (the paper
+// "evenly split[s] new clusters"); it may be nil.
+func Folds(n, k int, seed int64, groupOf func(i int) string, positive func(i int) bool) [][]int {
+	if k <= 0 {
+		k = 3
+	}
+	rng := rand.New(rand.NewSource(seed + 3))
+	// Collect groups.
+	groups := make(map[string][]int)
+	var order []string
+	for i := 0; i < n; i++ {
+		g := ""
+		if groupOf != nil {
+			g = groupOf(i)
+		}
+		if g == "" {
+			g = "item-" + itoa(i)
+		}
+		if _, ok := groups[g]; !ok {
+			order = append(order, g)
+		}
+		groups[g] = append(groups[g], i)
+	}
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+	folds := make([][]int, k)
+	// Distribute positive-containing groups first, round-robin, so each
+	// fold receives a similar number of positives.
+	hasPos := func(g string) bool {
+		if positive == nil {
+			return false
+		}
+		for _, i := range groups[g] {
+			if positive(i) {
+				return true
+			}
+		}
+		return false
+	}
+	next := 0
+	for _, g := range order {
+		if hasPos(g) {
+			folds[next%k] = append(folds[next%k], groups[g]...)
+			next++
+		}
+	}
+	// Remaining groups go to the currently smallest fold.
+	for _, g := range order {
+		if hasPos(g) {
+			continue
+		}
+		smallest := 0
+		for f := 1; f < k; f++ {
+			if len(folds[f]) < len(folds[smallest]) {
+				smallest = f
+			}
+		}
+		folds[smallest] = append(folds[smallest], groups[g]...)
+	}
+	return folds
+}
+
+// TrainTest returns the training indices (all folds except test) and the
+// test fold.
+func TrainTest(folds [][]int, test int) (train, testIdx []int) {
+	for f, idx := range folds {
+		if f == test {
+			testIdx = append(testIdx, idx...)
+		} else {
+			train = append(train, idx...)
+		}
+	}
+	return train, testIdx
+}
+
+// Upsample balances a binary-labeled dataset by repeating minority samples
+// until both label counts match ("in all cases we upsample to balance the
+// number of matching and non-matching row pairs"). isPositive classifies a
+// sample index; the returned slice contains indices into the original data.
+func Upsample(n int, seed int64, isPositive func(i int) bool) []int {
+	var pos, neg []int
+	for i := 0; i < n; i++ {
+		if isPositive(i) {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	out := make([]int, 0, n)
+	out = append(out, pos...)
+	out = append(out, neg...)
+	minority, target := pos, len(neg)
+	if len(neg) < len(pos) {
+		minority, target = neg, len(pos)
+	}
+	if len(minority) == 0 || len(minority) == target {
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed + 11))
+	for deficit := target - len(minority); deficit > 0; deficit-- {
+		out = append(out, minority[rng.Intn(len(minority))])
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

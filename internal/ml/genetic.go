@@ -1,0 +1,146 @@
+package ml
+
+import (
+	"math/rand"
+)
+
+// GAConfig configures the genetic algorithm used to learn weighted-average
+// weights and thresholds ("when learning weights we utilize a genetic
+// algorithm that attempts to maximize the matching performance on the
+// learning set").
+type GAConfig struct {
+	// Genes is the chromosome length (number of weights + thresholds).
+	Genes int
+	// Population size (default 60).
+	Population int
+	// Generations to evolve (default 50).
+	Generations int
+	// MutationRate is the per-gene mutation probability (default 0.15).
+	MutationRate float64
+	// CrossoverRate is the probability of crossover vs cloning (0.9).
+	CrossoverRate float64
+	// Seed makes the run deterministic.
+	Seed int64
+	// Min and Max bound the gene values (default [0, 1]).
+	Min, Max float64
+}
+
+// Optimize evolves a chromosome of cfg.Genes values in [Min, Max] that
+// maximizes fitness. It returns the best chromosome and its fitness.
+func Optimize(cfg GAConfig, fitness func(genes []float64) float64) ([]float64, float64) {
+	if cfg.Genes <= 0 {
+		return nil, 0
+	}
+	if cfg.Population <= 0 {
+		cfg.Population = 60
+	}
+	if cfg.Generations <= 0 {
+		cfg.Generations = 50
+	}
+	if cfg.MutationRate <= 0 {
+		cfg.MutationRate = 0.15
+	}
+	if cfg.CrossoverRate <= 0 {
+		cfg.CrossoverRate = 0.9
+	}
+	if cfg.Max <= cfg.Min {
+		cfg.Min, cfg.Max = 0, 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	span := cfg.Max - cfg.Min
+
+	pop := make([][]float64, cfg.Population)
+	fit := make([]float64, cfg.Population)
+	for i := range pop {
+		g := make([]float64, cfg.Genes)
+		for j := range g {
+			g[j] = cfg.Min + rng.Float64()*span
+		}
+		pop[i] = g
+		fit[i] = fitness(g)
+	}
+	bestIdx := argmax(fit)
+	best := clone(pop[bestIdx])
+	bestFit := fit[bestIdx]
+
+	next := make([][]float64, cfg.Population)
+	for gen := 0; gen < cfg.Generations; gen++ {
+		// Elitism: carry the best chromosome over unchanged.
+		next[0] = clone(best)
+		for i := 1; i < cfg.Population; i++ {
+			a := tournament(pop, fit, rng)
+			child := clone(a)
+			if rng.Float64() < cfg.CrossoverRate {
+				b := tournament(pop, fit, rng)
+				cut := rng.Intn(cfg.Genes)
+				copy(child[cut:], b[cut:])
+			}
+			for j := range child {
+				if rng.Float64() < cfg.MutationRate {
+					// Gaussian perturbation clipped into bounds.
+					child[j] += rng.NormFloat64() * 0.15 * span
+					if child[j] < cfg.Min {
+						child[j] = cfg.Min
+					}
+					if child[j] > cfg.Max {
+						child[j] = cfg.Max
+					}
+				}
+			}
+			next[i] = child
+		}
+		pop, next = next, pop
+		for i := range pop {
+			fit[i] = fitness(pop[i])
+			if fit[i] > bestFit {
+				bestFit = fit[i]
+				best = clone(pop[i])
+			}
+		}
+	}
+	return best, bestFit
+}
+
+// tournament selects the fitter of two random individuals.
+func tournament(pop [][]float64, fit []float64, rng *rand.Rand) []float64 {
+	i, j := rng.Intn(len(pop)), rng.Intn(len(pop))
+	if fit[i] >= fit[j] {
+		return pop[i]
+	}
+	return pop[j]
+}
+
+func argmax(v []float64) int {
+	best := 0
+	for i := range v {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func clone(g []float64) []float64 {
+	out := make([]float64, len(g))
+	copy(out, g)
+	return out
+}
+
+// NormalizeWeights scales a weight slice to sum to 1 (uniform if all zero).
+func NormalizeWeights(w []float64) []float64 {
+	out := make([]float64, len(w))
+	var s float64
+	for _, x := range w {
+		s += x
+	}
+	if s == 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return out
+	}
+	for i, x := range w {
+		out[i] = x / s
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+// Package ml provides the learning substrate the pipeline needs: CART
+// regression trees and a bagged random-forest regressor (substituting the
+// WEKA random forest the paper uses), a genetic-algorithm optimizer for
+// learning weighted-average weights and thresholds, k-fold utilities, and
+// class-balancing upsampling.
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// treeNode is one node of a CART regression tree.
+type treeNode struct {
+	// Leaf nodes predict value; internal nodes split on feature <= thresh.
+	feature     int
+	thresh      float64
+	value       float64
+	left, right *treeNode
+}
+
+// TreeConfig configures regression tree induction.
+type TreeConfig struct {
+	// MaxDepth limits tree depth (<=0 means unlimited).
+	MaxDepth int
+	// MinLeaf is the minimum number of samples in a leaf (default 1).
+	MinLeaf int
+	// FeatureSample, when in (0,1], is the fraction of features examined
+	// at each split (random forests use sqrt(p)/p by default).
+	FeatureSample float64
+}
+
+// buildTree grows a regression tree on rows X (features) and targets y,
+// considering only the given sample indices.
+func buildTree(X [][]float64, y []float64, idx []int, cfg TreeConfig, depth int, rng *rand.Rand) *treeNode {
+	if len(idx) == 0 {
+		return &treeNode{feature: -1}
+	}
+	mean, variance := meanVar(y, idx)
+	if variance < 1e-12 || (cfg.MaxDepth > 0 && depth >= cfg.MaxDepth) ||
+		len(idx) <= cfg.MinLeaf || len(idx) < 2 {
+		return &treeNode{feature: -1, value: mean}
+	}
+	nf := len(X[0])
+	feats := featureSubset(nf, cfg.FeatureSample, rng)
+
+	bestFeat, bestThresh, bestScore := -1, 0.0, math.Inf(1)
+	vals := make([]float64, 0, len(idx))
+	for _, f := range feats {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, X[i][f])
+		}
+		sort.Float64s(vals)
+		// Candidate thresholds: midpoints of distinct adjacent values.
+		for k := 1; k < len(vals); k++ {
+			if vals[k] == vals[k-1] {
+				continue
+			}
+			th := (vals[k] + vals[k-1]) / 2
+			score := splitSSE(X, y, idx, f, th)
+			if score < bestScore {
+				bestFeat, bestThresh, bestScore = f, th, score
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &treeNode{feature: -1, value: mean}
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if X[i][bestFeat] <= bestThresh {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) == 0 || len(ri) == 0 || len(li) < cfg.MinLeaf || len(ri) < cfg.MinLeaf {
+		return &treeNode{feature: -1, value: mean}
+	}
+	return &treeNode{
+		feature: bestFeat,
+		thresh:  bestThresh,
+		left:    buildTree(X, y, li, cfg, depth+1, rng),
+		right:   buildTree(X, y, ri, cfg, depth+1, rng),
+	}
+}
+
+// predict walks the tree for one feature vector.
+func (n *treeNode) predict(x []float64) float64 {
+	for n.left != nil {
+		if x[n.feature] <= n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// importanceInto accumulates a simple split-count importance per feature.
+func (n *treeNode) importanceInto(imp []float64) {
+	if n == nil || n.left == nil {
+		return
+	}
+	imp[n.feature]++
+	n.left.importanceInto(imp)
+	n.right.importanceInto(imp)
+}
+
+// splitSSE computes the summed squared error of a candidate split.
+func splitSSE(X [][]float64, y []float64, idx []int, f int, th float64) float64 {
+	var ln, rn int
+	var lsum, rsum, lsq, rsq float64
+	for _, i := range idx {
+		v := y[i]
+		if X[i][f] <= th {
+			ln++
+			lsum += v
+			lsq += v * v
+		} else {
+			rn++
+			rsum += v
+			rsq += v * v
+		}
+	}
+	if ln == 0 || rn == 0 {
+		return math.Inf(1)
+	}
+	// SSE = sum(y²) - n*mean².
+	lsse := lsq - lsum*lsum/float64(ln)
+	rsse := rsq - rsum*rsum/float64(rn)
+	return lsse + rsse
+}
+
+func meanVar(y []float64, idx []int) (mean, variance float64) {
+	if len(idx) == 0 {
+		return 0, 0
+	}
+	for _, i := range idx {
+		mean += y[i]
+	}
+	mean /= float64(len(idx))
+	for _, i := range idx {
+		d := y[i] - mean
+		variance += d * d
+	}
+	variance /= float64(len(idx))
+	return mean, variance
+}
+
+func featureSubset(nf int, frac float64, rng *rand.Rand) []int {
+	if frac <= 0 || frac >= 1 || rng == nil {
+		all := make([]int, nf)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	k := int(math.Ceil(frac * float64(nf)))
+	if k < 1 {
+		k = 1
+	}
+	perm := rng.Perm(nf)
+	return perm[:k]
+}

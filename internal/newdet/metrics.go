@@ -1,0 +1,190 @@
+// Package newdet implements the new detection step of the pipeline (§3.4):
+// candidate selection over a label index, six entity-to-instance similarity
+// metrics (LABEL, TYPE, BOW, ATTRIBUTE, IMPLICIT_ATT, POPULARITY), the
+// shared aggregation strategies, and the two-threshold classification into
+// new entities and existing entities with instance correspondences.
+package newdet
+
+import (
+	"sort"
+
+	"repro/internal/dtype"
+	"repro/internal/fusion"
+	"repro/internal/kb"
+	"repro/internal/strsim"
+)
+
+// Env carries the per-detection context the metrics need: the knowledge
+// base, the equivalence thresholds, and the popularity ranking of the
+// current candidate set.
+type Env struct {
+	KB         *kb.KB
+	Thresholds dtype.Thresholds
+	// PopRank maps candidate instances to their popularity-based rank
+	// score in the current candidate set (1.0 for the most popular).
+	PopRank map[kb.InstanceID]float64
+}
+
+// Metric is one entity-to-instance similarity metric.
+type Metric interface {
+	Name() string
+	Compare(env *Env, e *fusion.Entity, inst *kb.Instance) (score, confidence float64)
+}
+
+// MetricSet returns the six metrics in the ablation order of Table 8:
+// LABEL, TYPE, BOW, ATTRIBUTE, IMPLICIT_ATT, POPULARITY.
+func MetricSet() []Metric {
+	return []Metric{
+		labelMetric{}, typeMetric{}, bowMetric{},
+		attributeMetric{}, implicitMetric{}, popularityMetric{},
+	}
+}
+
+// MetricPrefix returns the first n metrics, for the ablation study.
+func MetricPrefix(n int) []Metric {
+	set := MetricSet()
+	if n > len(set) {
+		n = len(set)
+	}
+	return set[:n]
+}
+
+// LABEL: best Monge-Elkan similarity between any entity label and any
+// instance label.
+type labelMetric struct{}
+
+func (labelMetric) Name() string { return "LABEL" }
+
+func (labelMetric) Compare(env *Env, e *fusion.Entity, inst *kb.Instance) (float64, float64) {
+	best := 0.0
+	for _, el := range e.Labels {
+		for _, il := range inst.Labels {
+			if s := strsim.MongeElkanSym(el, il); s > best {
+				best = s
+			}
+		}
+	}
+	return best, 1
+}
+
+// TYPE: overlap of the candidate instance's class chain with the entity's
+// class chain.
+type typeMetric struct{}
+
+func (typeMetric) Name() string { return "TYPE" }
+
+func (typeMetric) Compare(env *Env, e *fusion.Entity, inst *kb.Instance) (float64, float64) {
+	return env.KB.TypeOverlap(e.Class, inst.Class), 1
+}
+
+// BOW: cosine similarity of the entity's term vector (union of its rows)
+// with the instance's vector built from labels, abstract and facts.
+type bowMetric struct{}
+
+func (bowMetric) Name() string { return "BOW" }
+
+func (bowMetric) Compare(env *Env, e *fusion.Entity, inst *kb.Instance) (float64, float64) {
+	iv := instanceBOW(inst)
+	return strsim.Cosine(e.BOW, iv), 1
+}
+
+func instanceBOW(inst *kb.Instance) map[string]float64 {
+	v := make(map[string]float64)
+	for _, l := range inst.Labels {
+		strsim.MergeBinary(v, strsim.BinaryTermVector(l))
+	}
+	strsim.MergeBinary(v, strsim.BinaryTermVector(inst.Abstract))
+	for _, f := range inst.Facts {
+		strsim.MergeBinary(v, strsim.BinaryTermVector(f.String()))
+	}
+	return v
+}
+
+// ATTRIBUTE: for properties with a fact on both sides, the fraction of
+// equal facts; confidence is the number of overlapping properties.
+type attributeMetric struct{}
+
+func (attributeMetric) Name() string { return "ATTRIBUTE" }
+
+func (attributeMetric) Compare(env *Env, e *fusion.Entity, inst *kb.Instance) (float64, float64) {
+	pairs, equal := 0, 0
+	for pid, v := range e.Facts {
+		fact, ok := inst.Facts[pid]
+		if !ok {
+			continue
+		}
+		pairs++
+		if env.Thresholds.Equal(v, fact) {
+			equal++
+		}
+	}
+	if pairs == 0 {
+		return 0, 0
+	}
+	return float64(equal) / float64(pairs), float64(pairs)
+}
+
+// IMPLICIT_ATT: entity-level implicit property-value combinations compared
+// against overlapping instance facts.
+type implicitMetric struct{}
+
+func (implicitMetric) Name() string { return "IMPLICIT_ATT" }
+
+func (implicitMetric) Compare(env *Env, e *fusion.Entity, inst *kb.Instance) (float64, float64) {
+	pairs := 0
+	var sim, conf float64
+	for pid, ia := range e.Implicit {
+		fact, ok := inst.Facts[pid]
+		if !ok {
+			continue
+		}
+		pairs++
+		conf += ia.Score
+		if env.Thresholds.Equal(ia.Value, fact) {
+			sim++
+		}
+	}
+	if pairs == 0 {
+		return 0, 0
+	}
+	return sim / float64(pairs), conf
+}
+
+// POPULARITY: candidates ranked by popularity; the most popular candidate
+// scores 1.0. An entity with a single candidate scores 1.0.
+type popularityMetric struct{}
+
+func (popularityMetric) Name() string { return "POPULARITY" }
+
+func (popularityMetric) Compare(env *Env, e *fusion.Entity, inst *kb.Instance) (float64, float64) {
+	if env.PopRank == nil {
+		return 0, 0
+	}
+	s, ok := env.PopRank[inst.ID]
+	if !ok {
+		return 0, 0
+	}
+	return s, 1
+}
+
+// BuildPopRank assigns rank scores 1, 1/2, 1/3, … to candidates by
+// descending popularity. A single candidate receives 1.0.
+func BuildPopRank(k *kb.KB, candidates []kb.InstanceID) map[kb.InstanceID]float64 {
+	out := make(map[kb.InstanceID]float64, len(candidates))
+	if len(candidates) == 0 {
+		return out
+	}
+	sorted := make([]kb.InstanceID, len(candidates))
+	copy(sorted, candidates)
+	sort.Slice(sorted, func(i, j int) bool {
+		pi, pj := k.Instance(sorted[i]).Popularity, k.Instance(sorted[j]).Popularity
+		if pi != pj {
+			return pi > pj
+		}
+		return sorted[i] < sorted[j]
+	})
+	for rank, iid := range sorted {
+		out[iid] = 1 / float64(rank+1)
+	}
+	return out
+}

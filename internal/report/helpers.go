@@ -1,0 +1,50 @@
+package report
+
+import (
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/webtable"
+)
+
+func rowRef(table, row int) webtable.RowRef {
+	return webtable.RowRef{Table: table, Row: row}
+}
+
+// producedClusters converts a pipeline output's clustering into row-ref
+// cluster lists.
+func producedClusters(out *core.Output) [][]webtable.RowRef {
+	res := make([][]webtable.RowRef, 0, len(out.Clustering.Clusters))
+	for _, members := range out.Clustering.Clusters {
+		refs := make([]webtable.RowRef, len(members))
+		for i, r := range members {
+			refs[i] = r.Ref
+		}
+		res = append(res, refs)
+	}
+	return res
+}
+
+// entityResults converts a pipeline output into eval.NewEntityResult pairs.
+func entityResults(out *core.Output) []eval.NewEntityResult {
+	res := make([]eval.NewEntityResult, len(out.Entities))
+	for i, e := range out.Entities {
+		refs := make([]webtable.RowRef, len(e.Rows))
+		for j, r := range e.Rows {
+			refs[j] = r.Ref
+		}
+		res[i] = eval.NewEntityResult{Rows: refs, Result: out.Detections[i]}
+	}
+	return res
+}
+
+// avg returns the mean of a float slice (0 for empty).
+func avg(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,159 @@
+// Package report regenerates every table of the paper's evaluation
+// (Tables 1-12 plus the §6 ranked evaluation) over the synthetic world.
+// The same harness backs the ltee CLI (cmd/ltee) and the repository-level
+// benchmarks (bench_test.go); EXPERIMENTS.md records paper-vs-measured for
+// each table.
+package report
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/gold"
+	"repro/internal/kb"
+	"repro/internal/webtable"
+	"repro/internal/world"
+)
+
+// Suite bundles the synthetic world, corpus and per-class gold standards,
+// caching trained models and pipeline runs across tables.
+type Suite struct {
+	World  *world.World
+	Corpus *webtable.Corpus
+	Golds  map[kb.ClassID]*gold.Standard
+	Seed   int64
+
+	mu           sync.Mutex
+	models       map[kb.ClassID]core.Models  // trained on the full gold standard
+	foldsOf      map[kb.ClassID][][]int      // 3-fold CV splits
+	byClass      map[kb.ClassID][]int        // table-to-class matching result
+	fullRuns     map[kb.ClassID]*core.Output // full-corpus pipeline runs
+	goldRuns     map[kb.ClassID]*core.Output // gold-tables pipeline runs
+	foldRunCache map[kb.ClassID][]*foldRun   // per-fold models and entities
+}
+
+// Options sizes the suite.
+type Options struct {
+	// WorldScale scales entity counts (1.0 ≈ a thousand entities).
+	WorldScale float64
+	// CorpusScale scales table counts (1.0 ≈ 800 tables).
+	CorpusScale float64
+	// Seed drives generation and learning.
+	Seed int64
+}
+
+// DefaultOptions returns the laptop-scale defaults used by the CLI and the
+// benchmarks.
+func DefaultOptions() Options {
+	return Options{WorldScale: 0.35, CorpusScale: 0.22, Seed: 1}
+}
+
+// NewSuite generates the world, corpus and gold standards.
+func NewSuite(opts Options) *Suite {
+	if opts.WorldScale <= 0 {
+		opts.WorldScale = 0.35
+	}
+	if opts.CorpusScale <= 0 {
+		opts.CorpusScale = 0.22
+	}
+	wcfg := world.DefaultConfig(opts.WorldScale)
+	wcfg.Seed = opts.Seed
+	w := world.Generate(wcfg)
+	ccfg := webtable.DefaultSynthConfig(opts.CorpusScale)
+	ccfg.Seed = opts.Seed + 100
+	corpus := webtable.Synthesize(w, ccfg)
+	s := &Suite{
+		World:  w,
+		Corpus: corpus,
+		Golds:  make(map[kb.ClassID]*gold.Standard),
+		Seed:   opts.Seed,
+
+		models:   make(map[kb.ClassID]core.Models),
+		foldsOf:  make(map[kb.ClassID][][]int),
+		byClass:  nil,
+		fullRuns: make(map[kb.ClassID]*core.Output),
+		goldRuns: make(map[kb.ClassID]*core.Output),
+	}
+	for _, class := range kb.EvalClasses() {
+		s.Golds[class] = gold.FromWorld(w, corpus, class, 0)
+	}
+	return s
+}
+
+// Config returns the default pipeline configuration for a class.
+func (s *Suite) Config(class kb.ClassID) core.Config {
+	cfg := core.DefaultConfig(s.World.KB, s.Corpus, class)
+	cfg.Seed = s.Seed
+	return cfg
+}
+
+// ModelsFor trains (once) the pipeline models of a class on the full gold
+// standard.
+func (s *Suite) ModelsFor(class kb.ClassID) core.Models {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.models[class]; ok {
+		return m
+	}
+	g := s.Golds[class]
+	all := make([]int, len(g.Clusters))
+	for i := range all {
+		all[i] = i
+	}
+	m := core.Train(s.Config(class), g, all)
+	s.models[class] = m
+	return m
+}
+
+// Folds returns (and caches) the 3-fold split of a class's gold clusters.
+func (s *Suite) Folds(class kb.ClassID) [][]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.foldsOf[class]; ok {
+		return f
+	}
+	f := s.Golds[class].Folds(3, s.Seed)
+	s.foldsOf[class] = f
+	return f
+}
+
+// TablesByClass runs (and caches) table-to-class matching over the corpus.
+func (s *Suite) TablesByClass() map[kb.ClassID][]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.byClass == nil {
+		s.byClass = core.ClassifyTables(s.World.KB, s.Corpus, 0.3)
+	}
+	return s.byClass
+}
+
+// GoldRun runs (and caches) the full two-iteration pipeline over the gold
+// tables of a class with models trained on the full gold standard.
+func (s *Suite) GoldRun(class kb.ClassID) *core.Output {
+	models := s.ModelsFor(class)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if out, ok := s.goldRuns[class]; ok {
+		return out
+	}
+	p := core.New(s.Config(class), models)
+	out := p.Run(s.Golds[class].TableIDs)
+	s.goldRuns[class] = out
+	return out
+}
+
+// FullRun runs (and caches) the pipeline over every corpus table matched to
+// the class (the §5 large-scale profiling).
+func (s *Suite) FullRun(class kb.ClassID) *core.Output {
+	byClass := s.TablesByClass()
+	models := s.ModelsFor(class)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if out, ok := s.fullRuns[class]; ok {
+		return out
+	}
+	p := core.New(s.Config(class), models)
+	out := p.Run(byClass[class])
+	s.fullRuns[class] = out
+	return out
+}

@@ -1,0 +1,125 @@
+package report
+
+import (
+	"repro/internal/core"
+	"repro/internal/kb"
+	"repro/internal/match"
+	"repro/internal/webtable"
+)
+
+// Table6Row is one iteration's attribute-to-property matching performance.
+type Table6Row struct {
+	Iteration string
+	P, R, F1  float64
+}
+
+// Table6Data measures attribute-to-property matching by iteration (paper
+// Table 6): the first iteration uses the KB-only matchers; the second adds
+// the duplicate- and corpus-based matchers fed with the first run's
+// clustering and correspondences; the third uses the second run's outputs
+// and should add almost nothing. Attribute annotations are split 2/3
+// learning, 1/3 testing, averaged over the three classes.
+func (s *Suite) Table6Data() []Table6Row {
+	type sums struct{ p, r, f []float64 }
+	rows := []sums{{}, {}, {}}
+	for _, class := range kb.EvalClasses() {
+		g := s.Golds[class]
+		n := len(g.Attributes)
+		if n == 0 {
+			continue
+		}
+		learnN := n * 2 / 3
+		learn, test := g.Attributes[:learnN], g.Attributes[learnN:]
+
+		ctx := match.NewContext(s.World.KB, s.Corpus)
+		ctx.Class = class
+
+		// Iteration 1: KB-only matchers.
+		m1 := match.Learn(ctx, match.FirstIterationMatchers(), class, learn, s.Seed)
+		p, r, f := match.EvaluateAttributes(ctx, m1, match.FirstIterationMatchers(), test)
+		rows[0].p = append(rows[0].p, p)
+		rows[0].r = append(rows[0].r, r)
+		rows[0].f = append(rows[0].f, f)
+
+		// Iteration 2: all matchers with the first pipeline run's output.
+		out1 := s.goldRunIterations(class, 1)
+		ctx2 := iterationContext(ctx, out1)
+		m2 := match.Learn(ctx2, match.AllMatchers(), class, learn, s.Seed)
+		p, r, f = match.EvaluateAttributes(ctx2, m2, match.AllMatchers(), test)
+		rows[1].p = append(rows[1].p, p)
+		rows[1].r = append(rows[1].r, r)
+		rows[1].f = append(rows[1].f, f)
+
+		// Iteration 3: all matchers with the second run's output.
+		out2 := s.goldRunIterations(class, 2)
+		ctx3 := iterationContext(ctx, out2)
+		m3 := match.Learn(ctx3, match.AllMatchers(), class, learn, s.Seed)
+		p, r, f = match.EvaluateAttributes(ctx3, m3, match.AllMatchers(), test)
+		rows[2].p = append(rows[2].p, p)
+		rows[2].r = append(rows[2].r, r)
+		rows[2].f = append(rows[2].f, f)
+	}
+	names := []string{"First", "Second", "Third"}
+	out := make([]Table6Row, 3)
+	for i := range rows {
+		out[i] = Table6Row{
+			Iteration: names[i],
+			P:         avg(rows[i].p), R: avg(rows[i].r), F1: avg(rows[i].f),
+		}
+	}
+	return out
+}
+
+// Table6 renders Table6Data.
+func (s *Suite) Table6() *TextTable {
+	t := &TextTable{
+		Title:   "Table 6: Attribute-to-property matching performance by iteration",
+		Headers: []string{"Iteration", "P", "R", "F1"},
+	}
+	for _, r := range s.Table6Data() {
+		t.Add(r.Iteration, r.P, r.R, r.F1)
+	}
+	return t
+}
+
+// goldRunIterations runs the pipeline over the gold tables with the given
+// iteration count (cached models, not cached output).
+func (s *Suite) goldRunIterations(class kb.ClassID, iterations int) *core.Output {
+	models := s.ModelsFor(class)
+	cfg := s.Config(class)
+	cfg.Iterations = iterations
+	p := core.New(cfg, models)
+	return p.Run(s.Golds[class].TableIDs)
+}
+
+// iterationContext wraps a pipeline output into a matching context carrying
+// the iteration outputs.
+func iterationContext(ctx *match.Context, out *core.Output) *match.Context {
+	prelim := make(map[match.ColRef]kb.PropertyID)
+	for tid, m := range out.Mapping {
+		for col, pid := range m {
+			prelim[match.ColRef{Table: tid, Col: col}] = pid
+		}
+	}
+	rowCluster := make(map[webtable.RowRef]int, len(out.Clustering.Assign))
+	for ref, c := range out.Clustering.Assign {
+		rowCluster[ref] = c
+	}
+	return ctx.WithIterationOutput(out.RowInstance, rowCluster, prelim)
+}
+
+// MatcherWeights reports the learned second-iteration matcher weights per
+// class (the §3.1 weight analysis).
+func (s *Suite) MatcherWeights() *TextTable {
+	t := &TextTable{
+		Title:   "Learned matcher weights (second iteration)",
+		Headers: []string{"Class", "KB-Overlap", "KB-Label", "KB-Duplicate", "WT-Label", "WT-Duplicate"},
+	}
+	for _, class := range kb.EvalClasses() {
+		m := s.ModelsFor(class).AttrSecond
+		w := make([]float64, 5)
+		copy(w, m.Weights)
+		t.Add(kb.ClassShortName(class), w[0], w[1], w[2], w[3], w[4])
+	}
+	return t
+}

@@ -1,0 +1,131 @@
+package report
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/dtype"
+	"repro/internal/eval"
+	"repro/internal/fusion"
+	"repro/internal/kb"
+	"repro/internal/newdet"
+	"repro/internal/webtable"
+)
+
+// Table8Row is one ablation step of the new detection study.
+type Table8Row struct {
+	Run        string
+	ACC        float64
+	F1Existing float64
+	F1New      float64
+	MI         float64
+}
+
+// Table8Data reproduces the new detection ablation (paper Table 8): for
+// each prefix of the metric set (LABEL, +TYPE, +BOW, +ATTRIBUTE,
+// +IMPLICIT_ATT, +POPULARITY), learn the combined aggregator and
+// thresholds on the training folds' entities and classify the test-fold
+// entities, averaging accuracy and per-class F1 over classes and folds.
+func (s *Suite) Table8Data() []Table8Row {
+	names := []string{"LABEL", "+ TYPE", "+ BOW", "+ ATTRIBUTE", "+ IMPLICIT_ATT", "+ POPULARITY"}
+	nMetrics := len(names)
+	acc := make([][]float64, nMetrics)
+	f1e := make([][]float64, nMetrics)
+	f1n := make([][]float64, nMetrics)
+	var importances [][]float64
+
+	for _, class := range kb.EvalClasses() {
+		g := s.Golds[class]
+		folds := s.Folds(class)
+		entities := s.goldEntities(class)
+		for fold := range folds {
+			train, test := splitFolds(folds, fold)
+			var trainEx, testEx []newdet.Example
+			var testIdx []int
+			for _, ci := range train {
+				if e := entities[ci]; e != nil {
+					trainEx = append(trainEx, newdet.Example{
+						Entity: e, IsNew: g.Clusters[ci].IsNew, Instance: g.Clusters[ci].Instance,
+					})
+				}
+			}
+			for _, ci := range test {
+				if e := entities[ci]; e != nil {
+					testEx = append(testEx, newdet.Example{
+						Entity: e, IsNew: g.Clusters[ci].IsNew, Instance: g.Clusters[ci].Instance,
+					})
+					testIdx = append(testIdx, ci)
+				}
+			}
+			if len(trainEx) == 0 || len(testEx) == 0 {
+				continue
+			}
+			for n := 1; n <= nMetrics; n++ {
+				metrics := newdet.MetricPrefix(n)
+				combined, _ := newdet.LearnAggregator(s.World.KB, metrics, trainEx, s.Seed)
+				det := newdet.LearnThresholds(s.World.KB, metrics, combined, trainEx, s.Seed)
+				results := make([]newdet.Result, len(testEx))
+				for i, ex := range testEx {
+					results[i] = det.Detect(ex.Entity)
+				}
+				ds := eval.EvaluateDetection(g, testIdx, results)
+				acc[n-1] = append(acc[n-1], ds.Accuracy)
+				f1e[n-1] = append(f1e[n-1], ds.F1Existing)
+				f1n[n-1] = append(f1n[n-1], ds.F1New)
+				if n == nMetrics {
+					importances = append(importances, combined.Importance())
+				}
+			}
+		}
+	}
+	mi := averageVectors(importances, nMetrics)
+	out := make([]Table8Row, nMetrics)
+	for i := range out {
+		out[i] = Table8Row{
+			Run: names[i],
+			ACC: avg(acc[i]), F1Existing: avg(f1e[i]), F1New: avg(f1n[i]),
+			MI: mi[i],
+		}
+	}
+	return out
+}
+
+// Table8 renders Table8Data.
+func (s *Suite) Table8() *TextTable {
+	t := &TextTable{
+		Title:   "Table 8: New detection ablation (averages over classes and folds)",
+		Headers: []string{"Run", "ACC", "F1-Existing", "F1-New", "MI"},
+	}
+	for _, r := range s.Table8Data() {
+		t.Add(r.Run, r.ACC, r.F1Existing, r.F1New, r.MI)
+	}
+	return t
+}
+
+// goldEntities creates one entity per gold cluster (indexed by cluster ID)
+// using the first-iteration mapping — the §3.4 evaluation setting ("before
+// we run new detection on those clusters, we create entities from them").
+func (s *Suite) goldEntities(class kb.ClassID) map[int]*fusion.Entity {
+	g := s.Golds[class]
+	rows, mapping := s.clusterRows(class)
+	rowByRef := make(map[webtable.RowRef]*cluster.Row, len(rows))
+	for _, r := range rows {
+		rowByRef[r.Ref] = r
+	}
+	src := &fusion.Sources{
+		KB: s.World.KB, Corpus: s.Corpus, Class: class,
+		Mapping: mapping, Thresholds: dtype.DefaultThresholds(),
+	}
+	out := make(map[int]*fusion.Entity, len(g.Clusters))
+	for ci, c := range g.Clusters {
+		var members []*cluster.Row
+		for _, ref := range c.Rows {
+			if r, ok := rowByRef[ref]; ok {
+				members = append(members, r)
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		out[ci] = fusion.Create(src, members)
+	}
+	return out
+}

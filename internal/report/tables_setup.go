@@ -1,0 +1,97 @@
+package report
+
+import (
+	"repro/internal/kb"
+)
+
+// Table1 reports the number of instances and facts per class (paper
+// Table 1).
+func (s *Suite) Table1() *TextTable {
+	t := &TextTable{
+		Title:   "Table 1: Number of instances and facts for selected classes",
+		Headers: []string{"Class", "Instances", "Facts"},
+	}
+	for _, class := range kb.EvalClasses() {
+		p := s.World.KB.ProfileClass(class)
+		t.Add(kb.ClassShortName(class), p.Instances, p.Facts)
+	}
+	return t
+}
+
+// Table2 reports the per-property fact counts and densities (paper
+// Table 2).
+func (s *Suite) Table2() *TextTable {
+	t := &TextTable{
+		Title:   "Table 2: Number of facts and property densities",
+		Headers: []string{"Class", "Property", "Facts", "Density"},
+	}
+	for _, class := range kb.EvalClasses() {
+		for _, p := range s.World.KB.ProfileProperties(class) {
+			t.Add(kb.ClassShortName(class), string(p.Property), p.Facts, pct(p.Density))
+		}
+	}
+	return t
+}
+
+// Table3 reports the corpus characteristics (paper Table 3).
+func (s *Suite) Table3() *TextTable {
+	st := s.Corpus.Stats()
+	t := &TextTable{
+		Title:   "Table 3: Characteristics of the web table corpus",
+		Headers: []string{"", "Average", "Median", "Min", "Max"},
+	}
+	t.Add("Rows", st.RowsAvg, st.RowsMedian, st.RowsMin, st.RowsMax)
+	t.Add("Columns", st.ColsAvg, st.ColsMedian, st.ColsMin, st.ColsMax)
+	return t
+}
+
+// Table4 reports, per class, the number of matched tables and the matched
+// and unmatched value counts (paper Table 4). A value is "matched" when its
+// row was matched to an existing KB instance and its column to a property.
+func (s *Suite) Table4() *TextTable {
+	t := &TextTable{
+		Title:   "Table 4: Tables and value correspondences per class",
+		Headers: []string{"Class", "Tables", "VMatched", "VUnmatched"},
+	}
+	byClass := s.TablesByClass()
+	for _, class := range kb.EvalClasses() {
+		out := s.FullRun(class)
+		matched, unmatched := 0, 0
+		for _, tid := range out.TableIDs {
+			tbl := s.Corpus.Table(tid)
+			mapping := out.Mapping[tid]
+			for r := 0; r < tbl.NumRows(); r++ {
+				ref := rowRef(tid, r)
+				_, rowMatched := out.RowInstance[ref]
+				for c := 0; c < tbl.NumCols(); c++ {
+					if c == tbl.LabelCol || tbl.Cell(r, c) == "" {
+						continue
+					}
+					if _, colMapped := mapping[c]; colMapped && rowMatched {
+						matched++
+					} else {
+						unmatched++
+					}
+				}
+			}
+		}
+		t.Add(kb.ClassShortName(class), len(byClass[class]), matched, unmatched)
+	}
+	return t
+}
+
+// Table5 reports the gold standard overview (paper Table 5).
+func (s *Suite) Table5() *TextTable {
+	t := &TextTable{
+		Title: "Table 5: Overview of the gold standard",
+		Headers: []string{"Class", "Tables", "Attributes", "Rows",
+			"Existing", "New", "Matched Values", "Value Groups", "Correct Present"},
+	}
+	for _, class := range kb.EvalClasses() {
+		st := s.Golds[class].Stats(s.Corpus)
+		t.Add(kb.ClassShortName(class), st.Tables, st.Attributes, st.Rows,
+			st.ExistingClusters, st.NewClusters, st.MatchedValues,
+			st.ValueGroups, st.CorrectValuePresent)
+	}
+	return t
+}

@@ -1,0 +1,44 @@
+package strsim
+
+// MongeElkan computes the Monge-Elkan similarity between two strings using
+// LevenshteinSim as the inner (token-level) similarity, exactly as the
+// paper's LABEL metrics do. The strings are tokenized with the shared
+// normalizer; for each token of a the best-matching token of b is found and
+// the scores are averaged.
+//
+// Monge-Elkan is asymmetric; Sym averages both directions and is what
+// callers should normally use.
+func MongeElkan(a, b string) float64 {
+	ta, tb := Tokens(a), Tokens(b)
+	return mongeElkanTokens(ta, tb)
+}
+
+// MongeElkanSym returns the symmetrized Monge-Elkan similarity,
+// (ME(a,b) + ME(b,a)) / 2.
+func MongeElkanSym(a, b string) float64 {
+	ta, tb := Tokens(a), Tokens(b)
+	return (mongeElkanTokens(ta, tb) + mongeElkanTokens(tb, ta)) / 2
+}
+
+func mongeElkanTokens(ta, tb []string) float64 {
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range ta {
+		best := 0.0
+		for _, y := range tb {
+			if s := LevenshteinSim(x, y); s > best {
+				best = s
+				if best == 1 {
+					break
+				}
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(ta))
+}

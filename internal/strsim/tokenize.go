@@ -1,0 +1,76 @@
+// Package strsim provides the string similarity primitives used throughout
+// the LTEE pipeline: Levenshtein and Monge-Elkan similarities for label
+// comparison, Jaccard and cosine similarities for token sets and term
+// vectors, and a shared tokenizer/normalizer.
+//
+// All similarity functions return values in [0, 1], where 1 means identical.
+package strsim
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Normalize lower-cases s, replaces any non-alphanumeric rune with a space,
+// and collapses runs of whitespace. It is the canonical label normalization
+// used by the blocking index, the BOW metrics, and the gold standard.
+func Normalize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	prevSpace := true // trim leading spaces
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+			prevSpace = false
+		default:
+			if !prevSpace {
+				b.WriteByte(' ')
+				prevSpace = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), " ")
+}
+
+// Tokens splits s into normalized word tokens. Empty input yields nil.
+func Tokens(s string) []string {
+	n := Normalize(s)
+	if n == "" {
+		return nil
+	}
+	return strings.Fields(n)
+}
+
+// TokenSet returns the set of normalized tokens of s.
+func TokenSet(s string) map[string]bool {
+	set := make(map[string]bool)
+	for _, t := range Tokens(s) {
+		set[t] = true
+	}
+	return set
+}
+
+// TermVector counts normalized token occurrences in each of the given
+// strings, producing a term-frequency vector.
+func TermVector(ss ...string) map[string]float64 {
+	v := make(map[string]float64)
+	for _, s := range ss {
+		for _, t := range Tokens(s) {
+			v[t]++
+		}
+	}
+	return v
+}
+
+// BinaryTermVector is like TermVector but records only presence (weight 1),
+// matching the paper's "bag-of-words binary term vector".
+func BinaryTermVector(ss ...string) map[string]float64 {
+	v := make(map[string]float64)
+	for _, s := range ss {
+		for _, t := range Tokens(s) {
+			v[t] = 1
+		}
+	}
+	return v
+}

@@ -1,0 +1,87 @@
+package strsim
+
+import "math"
+
+// Cosine returns the cosine similarity of two sparse vectors. Empty vectors
+// have similarity 0 unless both are empty, in which case it is 1.
+func Cosine(a, b map[string]float64) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	// Iterate the smaller map for the dot product.
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	var dot float64
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			dot += va * vb
+		}
+	}
+	if dot == 0 {
+		return 0
+	}
+	return dot / (norm(a) * norm(b))
+}
+
+func norm(v map[string]float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Jaccard returns the Jaccard similarity of two token sets.
+func Jaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	inter := 0
+	for k := range a {
+		if b[k] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// JaccardStrings tokenizes both strings and returns their Jaccard similarity.
+func JaccardStrings(a, b string) float64 {
+	return Jaccard(TokenSet(a), TokenSet(b))
+}
+
+// Merge adds src into dst (dst += src) and returns dst.
+func Merge(dst, src map[string]float64) map[string]float64 {
+	if dst == nil {
+		dst = make(map[string]float64, len(src))
+	}
+	for k, v := range src {
+		dst[k] += v
+	}
+	return dst
+}
+
+// MergeBinary sets every key of src in dst with weight 1.
+func MergeBinary(dst, src map[string]float64) map[string]float64 {
+	if dst == nil {
+		dst = make(map[string]float64, len(src))
+	}
+	for k := range src {
+		dst[k] = 1
+	}
+	return dst
+}

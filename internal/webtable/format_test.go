@@ -1,0 +1,153 @@
+package webtable
+
+import (
+	"testing"
+
+	"repro/internal/dtype"
+	"repro/internal/kb"
+)
+
+// TestSynthesizedValuesParse verifies that every non-empty value cell the
+// generator emits is parseable under the property's data type — the
+// formatting variety (mm:ss runtimes, 6'2" heights, textual dates, comma
+// separators) must stay within what internal/dtype accepts.
+func TestSynthesizedValuesParse(t *testing.T) {
+	w := testWorld()
+	c := Synthesize(w, DefaultSynthConfig(0.15))
+	checked := 0
+	for _, tb := range c.Tables {
+		if tb.Truth == nil || tb.Truth.Class == "" {
+			continue
+		}
+		for col, pid := range tb.Truth.ColProperty {
+			if pid == "" {
+				continue
+			}
+			prop, ok := w.KB.Property(tb.Truth.Class, pid)
+			if !ok {
+				t.Fatalf("provenance property %s not in schema", pid)
+			}
+			for r := 0; r < tb.NumRows(); r++ {
+				cell := tb.Cell(r, col)
+				if cell == "" {
+					continue
+				}
+				if _, ok := dtype.Parse(cell, prop.Kind); !ok {
+					t.Fatalf("table %d cell %q unparseable as %v (property %s)",
+						tb.ID, cell, prop.Kind, pid)
+				}
+				checked++
+			}
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("only %d value cells checked; corpus too sparse", checked)
+	}
+}
+
+// TestSynthesizedLabelsNonEmpty: every row of a class table has a label.
+func TestSynthesizedLabelsNonEmpty(t *testing.T) {
+	w := testWorld()
+	c := Synthesize(w, DefaultSynthConfig(0.1))
+	for _, tb := range c.Tables {
+		if tb.Truth == nil || tb.Truth.Class == "" {
+			continue
+		}
+		for r := 0; r < tb.NumRows(); r++ {
+			if tb.Cell(r, 0) == "" {
+				t.Fatalf("table %d row %d has empty label", tb.ID, r)
+			}
+		}
+	}
+}
+
+// TestWrongValueRateApproximate: with a large wrong-value rate, a sizable
+// fraction of cells disagree with the world truth; with rate zero, cells
+// agree (up to outdated-numeric noise, disabled here too).
+func TestWrongValueRateApproximate(t *testing.T) {
+	w := testWorld()
+	measure := func(wrongRate float64) float64 {
+		cfg := DefaultSynthConfig(0.15)
+		cfg.WrongValueRate = wrongRate
+		cfg.OutdatedNumericRate = 0
+		cfg.EmptyCellRate = 0
+		c := Synthesize(w, cfg)
+		th := dtype.DefaultThresholds()
+		agree, total := 0, 0
+		for _, tb := range c.Tables {
+			if tb.Truth == nil || tb.Truth.Class == "" {
+				continue
+			}
+			for col, pid := range tb.Truth.ColProperty {
+				if pid == "" {
+					continue
+				}
+				prop, _ := w.KB.Property(tb.Truth.Class, pid)
+				for r := 0; r < tb.NumRows(); r++ {
+					uid := tb.Truth.RowEntity[r]
+					if uid < 0 {
+						continue
+					}
+					truth, ok := w.Entities[uid].Truth[pid]
+					if !ok {
+						continue
+					}
+					v, ok := dtype.Parse(tb.Cell(r, col), prop.Kind)
+					if !ok {
+						continue
+					}
+					total++
+					if th.Equal(v, truth) {
+						agree++
+					}
+				}
+			}
+		}
+		if total == 0 {
+			t.Fatal("no comparable cells")
+		}
+		return float64(agree) / float64(total)
+	}
+	clean := measure(0)
+	noisy := measure(0.4)
+	if clean < 0.97 {
+		t.Errorf("noise-free corpus agreement = %.3f, want ≈ 1", clean)
+	}
+	if noisy > clean-0.2 {
+		t.Errorf("noisy corpus agreement %.3f should be well below clean %.3f", noisy, clean)
+	}
+}
+
+// TestJunkTablesStayUnmatched: junk tables carry no class provenance and no
+// column properties.
+func TestJunkTablesStayUnmatched(t *testing.T) {
+	w := testWorld()
+	c := Synthesize(w, DefaultSynthConfig(0.1))
+	junk := 0
+	for _, tb := range c.Tables {
+		if tb.Truth.Class != "" {
+			continue
+		}
+		junk++
+		for _, pid := range tb.Truth.ColProperty {
+			if pid != "" {
+				t.Fatal("junk table has a mapped column")
+			}
+		}
+		for _, uid := range tb.Truth.RowEntity {
+			if uid != -1 {
+				t.Fatal("junk table row references a world entity")
+			}
+		}
+	}
+	if junk == 0 {
+		t.Fatal("no junk tables generated")
+	}
+}
+
+// TestClassShortNamePassThrough covers the default branch.
+func TestClassShortNamePassThrough(t *testing.T) {
+	if got := kb.ClassShortName(kb.ClassRegion); got != string(kb.ClassRegion) {
+		t.Errorf("unknown class short name = %q", got)
+	}
+}

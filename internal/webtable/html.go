@@ -1,0 +1,362 @@
+package webtable
+
+import (
+	"strings"
+)
+
+// ExtractHTML parses an HTML document and extracts relational tables,
+// substituting for the WDC extraction pipeline. The parser is a small
+// hand-written tokenizer (stdlib only): it recognizes <table>, <tr>, <th>,
+// <td>, <caption>, honors colspan by cell duplication, strips nested
+// markup, and decodes common entities.
+//
+// A parsed table is kept only if it passes the relational heuristics the
+// WDC corpus applies: at least 2 columns and 1 body row after header
+// detection, a rectangular layout, and not a layout table (those typically
+// have a single giant cell or no header-like first row).
+func ExtractHTML(html string) []*Table {
+	var tables []*Table
+	for _, raw := range findTables(html) {
+		if t := parseTable(raw); t != nil {
+			tables = append(tables, t)
+		}
+	}
+	return tables
+}
+
+// findTables returns the inner HTML of every top-level <table> element.
+// Nested tables are treated as content of their parent (their markup is
+// stripped), which matches the WDC extractor's behaviour of skipping layout
+// nesting.
+func findTables(html string) []string {
+	var out []string
+	lower := strings.ToLower(html)
+	i := 0
+	for {
+		start := indexFrom(lower, "<table", i)
+		if start < 0 {
+			return out
+		}
+		open := strings.IndexByte(lower[start:], '>')
+		if open < 0 {
+			return out
+		}
+		bodyStart := start + open + 1
+		depth := 1
+		j := bodyStart
+		for depth > 0 {
+			nextOpen := indexFrom(lower, "<table", j)
+			nextClose := indexFrom(lower, "</table", j)
+			if nextClose < 0 {
+				return out // unterminated table: drop it
+			}
+			if nextOpen >= 0 && nextOpen < nextClose {
+				depth++
+				j = nextOpen + 6
+			} else {
+				depth--
+				j = nextClose + 7
+			}
+		}
+		closeStart := strings.LastIndex(lower[:j], "</table")
+		out = append(out, html[bodyStart:closeStart])
+		i = j
+	}
+}
+
+// stripNestedTables removes any <table>…</table> blocks nested inside a
+// table's inner HTML, keeping only the outer table's own rows.
+func stripNestedTables(inner string) string {
+	lower := strings.ToLower(inner)
+	if !strings.Contains(lower, "<table") {
+		return inner
+	}
+	var b strings.Builder
+	i := 0
+	for {
+		start := indexFrom(lower, "<table", i)
+		if start < 0 {
+			b.WriteString(inner[i:])
+			return b.String()
+		}
+		b.WriteString(inner[i:start])
+		depth := 1
+		j := start + 6
+		for depth > 0 {
+			nextOpen := indexFrom(lower, "<table", j)
+			nextClose := indexFrom(lower, "</table", j)
+			if nextClose < 0 {
+				return b.String() // unterminated nested table: drop rest
+			}
+			if nextOpen >= 0 && nextOpen < nextClose {
+				depth++
+				j = nextOpen + 6
+			} else {
+				depth--
+				j = nextClose + 7
+			}
+		}
+		end := strings.IndexByte(lower[j:], '>')
+		if end < 0 {
+			return b.String()
+		}
+		i = j + end + 1
+	}
+}
+
+func indexFrom(s, sub string, from int) int {
+	if from >= len(s) {
+		return -1
+	}
+	idx := strings.Index(s[from:], sub)
+	if idx < 0 {
+		return -1
+	}
+	return from + idx
+}
+
+// parseTable converts the inner HTML of a table element into a Table, or
+// nil when the element is not a relational table.
+func parseTable(inner string) *Table {
+	inner = stripNestedTables(inner)
+	caption := textBetween(inner, "<caption", "</caption>")
+	var rows [][]string
+	var headerFlags []bool
+	lower := strings.ToLower(inner)
+	i := 0
+	for {
+		trStart := indexFrom(lower, "<tr", i)
+		if trStart < 0 {
+			break
+		}
+		trOpen := strings.IndexByte(lower[trStart:], '>')
+		if trOpen < 0 {
+			break
+		}
+		cellStart := trStart + trOpen + 1
+		trEnd := indexFrom(lower, "</tr", cellStart)
+		if trEnd < 0 {
+			trEnd = len(inner)
+		}
+		rowHTML := inner[cellStart:trEnd]
+		cells, isHeader := parseRow(rowHTML)
+		if len(cells) > 0 {
+			rows = append(rows, cells)
+			headerFlags = append(headerFlags, isHeader)
+		}
+		i = trEnd + 4
+	}
+	if len(rows) < 2 {
+		return nil
+	}
+	// Header detection: the first row if it used <th>, else if every cell
+	// of the first row is non-numeric text while later rows are not.
+	headerIdx := -1
+	if headerFlags[0] {
+		headerIdx = 0
+	} else if looksLikeHeader(rows[0], rows[1:]) {
+		headerIdx = 0
+	}
+	if headerIdx != 0 {
+		return nil // relational web tables carry a header row
+	}
+	headers := rows[0]
+	body := rows[1:]
+	width := len(headers)
+	if width < 2 {
+		return nil
+	}
+	// Rectangularize: drop rows of deviating width (layout artifacts);
+	// keep the table only if most rows conform.
+	var clean [][]string
+	for _, r := range body {
+		if len(r) == width {
+			clean = append(clean, r)
+		}
+	}
+	if len(clean) == 0 || len(clean)*2 < len(body) {
+		return nil
+	}
+	t := &Table{Caption: caption, Headers: headers, Cells: clean, LabelCol: -1}
+	if err := t.Validate(); err != nil {
+		return nil
+	}
+	return t
+}
+
+// parseRow extracts the cells of a <tr> body, expanding colspan, and
+// reports whether the row used <th> cells.
+func parseRow(rowHTML string) (cells []string, isHeader bool) {
+	lower := strings.ToLower(rowHTML)
+	i := 0
+	thCount, tdCount := 0, 0
+	for {
+		thIdx := indexFrom(lower, "<th", i)
+		tdIdx := indexFrom(lower, "<td", i)
+		var start int
+		var isTH bool
+		switch {
+		case thIdx < 0 && tdIdx < 0:
+			if thCount > 0 && tdCount == 0 {
+				isHeader = true
+			}
+			return cells, isHeader
+		case tdIdx < 0 || (thIdx >= 0 && thIdx < tdIdx):
+			start, isTH = thIdx, true
+		default:
+			start, isTH = tdIdx, false
+		}
+		open := strings.IndexByte(lower[start:], '>')
+		if open < 0 {
+			return cells, isHeader
+		}
+		attrs := rowHTML[start+3 : start+open]
+		contentStart := start + open + 1
+		closeTag := "</th"
+		if !isTH {
+			closeTag = "</td"
+		}
+		end := indexFrom(lower, closeTag, contentStart)
+		nextCell := nextCellStart(lower, contentStart)
+		if end < 0 || (nextCell >= 0 && nextCell < end) {
+			end = nextCell
+		}
+		if end < 0 {
+			end = len(rowHTML)
+		}
+		text := stripTags(rowHTML[contentStart:end])
+		span := colspan(attrs)
+		for s := 0; s < span; s++ {
+			cells = append(cells, text)
+		}
+		if isTH {
+			thCount++
+		} else {
+			tdCount++
+		}
+		i = end + 1
+	}
+}
+
+func nextCellStart(lower string, from int) int {
+	th := indexFrom(lower, "<th", from)
+	td := indexFrom(lower, "<td", from)
+	switch {
+	case th < 0:
+		return td
+	case td < 0:
+		return th
+	case th < td:
+		return th
+	default:
+		return td
+	}
+}
+
+// colspan parses a colspan attribute out of a tag's attribute string.
+func colspan(attrs string) int {
+	lower := strings.ToLower(attrs)
+	idx := strings.Index(lower, "colspan")
+	if idx < 0 {
+		return 1
+	}
+	rest := lower[idx+len("colspan"):]
+	rest = strings.TrimLeft(rest, " =\"'")
+	n := 0
+	for _, r := range rest {
+		if r < '0' || r > '9' {
+			break
+		}
+		n = n*10 + int(r-'0')
+	}
+	if n < 1 || n > 100 {
+		return 1
+	}
+	return n
+}
+
+// looksLikeHeader reports whether row could be a header given the body
+// rows: all its cells are non-empty, none parse as numbers, and at least
+// one body row has a numeric cell in a column where the candidate header
+// is textual.
+func looksLikeHeader(row []string, body [][]string) bool {
+	if len(body) == 0 {
+		return false
+	}
+	for _, c := range row {
+		t := strings.TrimSpace(c)
+		if t == "" || isNumericCell(t) {
+			return false
+		}
+	}
+	return true
+}
+
+func isNumericCell(s string) bool {
+	digits := 0
+	for _, r := range s {
+		if r >= '0' && r <= '9' {
+			digits++
+		}
+	}
+	return digits*2 > len(s)
+}
+
+// textBetween extracts the text content of the first occurrence of the
+// element opened by openPrefix (e.g. "<caption") and closed by closeTag.
+func textBetween(html, openPrefix, closeTag string) string {
+	lower := strings.ToLower(html)
+	start := strings.Index(lower, openPrefix)
+	if start < 0 {
+		return ""
+	}
+	open := strings.IndexByte(lower[start:], '>')
+	if open < 0 {
+		return ""
+	}
+	contentStart := start + open + 1
+	end := indexFrom(lower, strings.ToLower(closeTag), contentStart)
+	if end < 0 {
+		return ""
+	}
+	return stripTags(html[contentStart:end])
+}
+
+// stripTags removes markup, decodes common entities, and collapses
+// whitespace.
+func stripTags(s string) string {
+	var b strings.Builder
+	depth := 0
+	for _, r := range s {
+		switch {
+		case r == '<':
+			depth++
+		case r == '>':
+			if depth > 0 {
+				depth--
+			}
+		case depth == 0:
+			b.WriteRune(r)
+		}
+	}
+	return strings.Join(strings.Fields(decodeEntities(b.String())), " ")
+}
+
+var entityReplacer = strings.NewReplacer(
+	"&amp;", "&",
+	"&lt;", "<",
+	"&gt;", ">",
+	"&quot;", `"`,
+	"&#39;", "'",
+	"&apos;", "'",
+	"&nbsp;", " ",
+	"&ndash;", "-",
+	"&mdash;", "-",
+)
+
+func decodeEntities(s string) string {
+	if !strings.Contains(s, "&") {
+		return s
+	}
+	return entityReplacer.Replace(s)
+}

@@ -1,0 +1,50 @@
+package webtable
+
+import "sort"
+
+// CorpusStats summarizes row and column counts for Table 3 of the paper:
+// average, median, min and max.
+type CorpusStats struct {
+	RowsAvg, RowsMedian   float64
+	RowsMin, RowsMax      int
+	ColsAvg, ColsMedian   float64
+	ColsMin, ColsMax      int
+	Tables, Rows, Columns int
+}
+
+// Stats computes the corpus characteristics.
+func (c *Corpus) Stats() CorpusStats {
+	var s CorpusStats
+	if len(c.Tables) == 0 {
+		return s
+	}
+	rows := make([]int, len(c.Tables))
+	cols := make([]int, len(c.Tables))
+	for i, t := range c.Tables {
+		rows[i] = t.NumRows()
+		cols[i] = t.NumCols()
+		s.Rows += rows[i]
+		s.Columns += cols[i]
+	}
+	s.Tables = len(c.Tables)
+	s.RowsAvg = float64(s.Rows) / float64(s.Tables)
+	s.ColsAvg = float64(s.Columns) / float64(s.Tables)
+	sort.Ints(rows)
+	sort.Ints(cols)
+	s.RowsMin, s.RowsMax = rows[0], rows[len(rows)-1]
+	s.ColsMin, s.ColsMax = cols[0], cols[len(cols)-1]
+	s.RowsMedian = median(rows)
+	s.ColsMedian = median(cols)
+	return s
+}
+
+func median(sorted []int) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return float64(sorted[n/2])
+	}
+	return float64(sorted[n/2-1]+sorted[n/2]) / 2
+}

@@ -1,0 +1,470 @@
+package webtable
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dtype"
+	"repro/internal/kb"
+	"repro/internal/world"
+)
+
+// SynthConfig controls the synthetic corpus generator.
+type SynthConfig struct {
+	Seed int64
+	// TablesPerClass is the number of tables generated per evaluation
+	// class. Zero entries default per DefaultSynthConfig.
+	TablesPerClass map[kb.ClassID]int
+	// JunkTables is the number of non-evaluation-class tables mixed in
+	// (product lists, schedules) that table-to-class matching must reject.
+	JunkTables int
+	// WrongValueRate is the probability that a generated cell carries a
+	// wrong value (the paper attributes 35% of fact errors to wrong or
+	// outdated table data).
+	WrongValueRate float64
+	// OutdatedNumericRate is the probability that a quantity cell is
+	// perturbed by up to ±20% (outdated population numbers etc.).
+	OutdatedNumericRate float64
+	// TypoRate is the probability that a row label carries a small typo.
+	TypoRate float64
+	// EmptyCellRate is the probability that a value cell is left empty.
+	EmptyCellRate float64
+	// ExtraColRate is the probability that a table carries an additional
+	// column that maps to no KB property (rank, notes).
+	ExtraColRate float64
+	// CrypticHeaderRate is the probability that a mapped column carries a
+	// generic header ("info", "c3") that names neither the property nor
+	// any of its alternative labels. Such columns can only be matched via
+	// value-based evidence — in particular the duplicate-based matchers
+	// of the second pipeline iteration, which is what makes the paper's
+	// Table 6 recall jump possible.
+	CrypticHeaderRate float64
+	// ImplicitTableRate is the probability that a table is built around a
+	// shared implicit property-value combination (e.g. "players of team
+	// X"), which the IMPLICIT_ATT metrics exploit.
+	ImplicitTableRate float64
+}
+
+// DefaultSynthConfig returns generator settings whose per-class table mix
+// follows the proportions of Table 4: Song has by far the most tables,
+// GF-Player and Settlement similar smaller counts. Scale multiplies table
+// counts.
+func DefaultSynthConfig(scale float64) SynthConfig {
+	s := func(n int) int {
+		v := int(float64(n) * scale)
+		if v < 3 {
+			v = 3
+		}
+		return v
+	}
+	return SynthConfig{
+		Seed: 7,
+		TablesPerClass: map[kb.ClassID]int{
+			kb.ClassGFPlayer:   s(105),
+			kb.ClassSong:       s(580),
+			kb.ClassSettlement: s(118),
+		},
+		JunkTables:          s(40),
+		WrongValueRate:      0.04,
+		OutdatedNumericRate: 0.06,
+		TypoRate:            0.03,
+		EmptyCellRate:       0.08,
+		ExtraColRate:        0.35,
+		ImplicitTableRate:   0.30,
+		CrypticHeaderRate:   0.30,
+	}
+}
+
+// webDensity gives the probability that a property appears as a column in a
+// web table of the class. The ordering mirrors Table 12 of the paper: web
+// tables emphasize positions/teams for players, artists/runtimes for songs,
+// isPartOf/postal codes for settlements, while personal properties
+// (birthDate, birthPlace) and writers/record labels are rare.
+var webDensity = map[kb.ClassID]map[kb.PropertyID]float64{
+	kb.ClassGFPlayer: {
+		"dbo:position": 0.66, "dbo:team": 0.55, "dbo:college": 0.49,
+		"dbo:weight": 0.42, "dbo:height": 0.30, "dbo:number": 0.21,
+		"dbo:birthDate": 0.18, "dbo:draftPick": 0.17, "dbo:draftRound": 0.11,
+		"dbo:draftYear": 0.05, "dbo:birthPlace": 0.02,
+	},
+	kb.ClassSong: {
+		"dbo:musicalArtist": 0.77, "dbo:runtime": 0.62, "dbo:album": 0.28,
+		"dbo:releaseDate": 0.25, "dbo:genre": 0.13, "dbo:recordLabel": 0.06,
+		"dbo:writer": 0.01,
+	},
+	kb.ClassSettlement: {
+		"dbo:isPartOf": 0.50, "dbo:postalCode": 0.28, "dbo:country": 0.21,
+		"dbo:populationTotal": 0.21, "dbo:elevation": 0.04,
+	},
+}
+
+// implicitProps lists per class the properties suitable as the shared
+// implicit attribute of a table.
+var implicitProps = map[kb.ClassID][]kb.PropertyID{
+	kb.ClassGFPlayer:   {"dbo:team", "dbo:college", "dbo:position", "dbo:draftYear"},
+	kb.ClassSong:       {"dbo:genre", "dbo:musicalArtist"},
+	kb.ClassSettlement: {"dbo:country", "dbo:isPartOf"},
+}
+
+// Synthesize generates a corpus over the world's entities.
+func Synthesize(w *world.World, cfg SynthConfig) *Corpus {
+	g := &synthesizer{w: w, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	var tables []*Table
+	for _, class := range kb.EvalClasses() {
+		n := cfg.TablesPerClass[class]
+		for i := 0; i < n; i++ {
+			if t := g.classTable(class); t != nil {
+				tables = append(tables, t)
+			}
+		}
+	}
+	for i := 0; i < cfg.JunkTables; i++ {
+		tables = append(tables, g.junkTable())
+	}
+	g.rng.Shuffle(len(tables), func(i, j int) { tables[i], tables[j] = tables[j], tables[i] })
+	return NewCorpus(tables)
+}
+
+type synthesizer struct {
+	w   *world.World
+	cfg SynthConfig
+	rng *rand.Rand
+}
+
+// classTable generates one table describing entities of the given class.
+func (g *synthesizer) classTable(class kb.ClassID) *Table {
+	ents := g.w.ByClass[class]
+	if len(ents) == 0 {
+		return nil
+	}
+	// Row count: small tables dominate (corpus median is 2), with a tail
+	// of larger tables.
+	nRows := 2 + g.rng.Intn(4)
+	if g.rng.Float64() < 0.30 {
+		nRows = 5 + g.rng.Intn(16)
+	}
+
+	var pool []*world.Entity
+	var implicitPid kb.PropertyID
+	var implicitVal dtype.Value
+	if g.rng.Float64() < g.cfg.ImplicitTableRate {
+		// Implicit-attribute table: every row shares one property value
+		// that does NOT appear as a column.
+		pids := implicitProps[class]
+		implicitPid = pids[g.rng.Intn(len(pids))]
+		seedEnt := ents[g.rng.Intn(len(ents))]
+		implicitVal = seedEnt.Truth[implicitPid]
+		th := dtype.DefaultThresholds()
+		for _, e := range ents {
+			if v, ok := e.Truth[implicitPid]; ok && th.Equal(v, implicitVal) {
+				pool = append(pool, e)
+			}
+		}
+	}
+	if len(pool) < 2 {
+		pool, implicitPid = ents, ""
+	}
+	if nRows > len(pool) {
+		nRows = len(pool)
+	}
+
+	// Sample distinct entities, weighted toward popular ones but with a
+	// floor so long-tail entities appear repeatedly across tables.
+	rows := g.sampleEntities(pool, nRows)
+
+	// Column selection by web density; the implicit property is excluded.
+	schema := g.w.KB.Schema(class)
+	var props []kb.Property
+	for _, p := range schema {
+		if p.ID == implicitPid {
+			continue
+		}
+		if g.rng.Float64() < webDensity[class][p.ID] {
+			props = append(props, p)
+		}
+	}
+	if len(props) == 0 {
+		p := schema[g.rng.Intn(len(schema))]
+		if p.ID == implicitPid && len(schema) > 1 {
+			p = schema[(g.rng.Intn(len(schema)-1)+1+indexOfProp(schema, implicitPid))%len(schema)]
+		}
+		props = []kb.Property{p}
+	}
+	if len(props) > 4 {
+		g.rng.Shuffle(len(props), func(i, j int) { props[i], props[j] = props[j], props[i] })
+		props = props[:4]
+	}
+
+	// Layout: label column usually first; optional extra unmappable col.
+	headers := []string{g.labelHeader(class)}
+	colProps := []kb.PropertyID{""}
+	for _, p := range props {
+		headers = append(headers, g.headerFor(p))
+		colProps = append(colProps, p.ID)
+	}
+	extraCol := -1
+	if g.rng.Float64() < g.cfg.ExtraColRate {
+		extraCol = len(headers)
+		headers = append(headers, pickStr(g.rng, []string{"Rank", "Notes", "Source", "Ref", "Status"}))
+		colProps = append(colProps, "")
+	}
+
+	t := &Table{
+		SourceURL: fmt.Sprintf("http://example.org/%s/%d", kb.ClassShortName(class), g.rng.Intn(1<<20)),
+		Caption:   g.caption(class, implicitPid, implicitVal),
+		Headers:   headers,
+		LabelCol:  -1,
+		Truth:     &Provenance{Class: class, ColProperty: colProps},
+	}
+	for ri, e := range rows {
+		cells := make([]string, len(headers))
+		cells[0] = g.renderLabel(e)
+		for ci, p := range props {
+			cells[ci+1] = g.renderValue(e, p)
+		}
+		if extraCol >= 0 {
+			cells[extraCol] = g.renderExtra(extraCol, ri)
+		}
+		t.Cells = append(t.Cells, cells)
+		t.Truth.RowEntity = append(t.Truth.RowEntity, e.UID)
+	}
+	return t
+}
+
+func indexOfProp(schema []kb.Property, pid kb.PropertyID) int {
+	for i, p := range schema {
+		if p.ID == pid {
+			return i
+		}
+	}
+	return 0
+}
+
+// sampleEntities draws n distinct entities, mixing popularity weighting
+// with uniform sampling so both head and tail entities recur.
+func (g *synthesizer) sampleEntities(pool []*world.Entity, n int) []*world.Entity {
+	chosen := make(map[int]bool, n)
+	out := make([]*world.Entity, 0, n)
+	for len(out) < n && len(chosen) < len(pool) {
+		var e *world.Entity
+		if g.rng.Float64() < 0.5 {
+			// Popularity-weighted pick via rejection sampling.
+			for tries := 0; tries < 4; tries++ {
+				c := pool[g.rng.Intn(len(pool))]
+				if g.rng.Float64() < c.Popularity/1000 || tries == 3 {
+					e = c
+					break
+				}
+			}
+		} else {
+			e = pool[g.rng.Intn(len(pool))]
+		}
+		if chosen[e.UID] {
+			continue
+		}
+		chosen[e.UID] = true
+		out = append(out, e)
+	}
+	return out
+}
+
+// renderLabel renders an entity's row label, sometimes using an alias or
+// injecting a typo.
+func (g *synthesizer) renderLabel(e *world.Entity) string {
+	label := e.Name
+	if len(e.Aliases) > 0 && g.rng.Float64() < 0.2 {
+		label = e.Aliases[g.rng.Intn(len(e.Aliases))]
+	}
+	if g.rng.Float64() < g.cfg.TypoRate && len(label) > 4 {
+		pos := 1 + g.rng.Intn(len(label)-2)
+		label = label[:pos] + label[pos+1:] // drop one character
+	}
+	return label
+}
+
+// renderValue renders a property value cell with formatting variety, noise
+// and gaps.
+func (g *synthesizer) renderValue(e *world.Entity, p kb.Property) string {
+	if g.rng.Float64() < g.cfg.EmptyCellRate {
+		return ""
+	}
+	v, ok := e.Truth[p.ID]
+	if !ok {
+		return ""
+	}
+	if g.rng.Float64() < g.cfg.WrongValueRate {
+		v = g.wrongValue(e, p)
+	} else if v.Kind == dtype.Quantity && g.rng.Float64() < g.cfg.OutdatedNumericRate {
+		factor := 0.8 + g.rng.Float64()*0.4
+		v = dtype.NewQuantity(float64(int(v.Num * factor)))
+	}
+	return g.format(v, p)
+}
+
+// wrongValue replaces a value with another entity's value for the same
+// property — a typical web table error.
+func (g *synthesizer) wrongValue(e *world.Entity, p kb.Property) dtype.Value {
+	pool := g.w.ByClass[e.Class]
+	for tries := 0; tries < 8; tries++ {
+		other := pool[g.rng.Intn(len(pool))]
+		if other.UID != e.UID {
+			if v, ok := other.Truth[p.ID]; ok {
+				return v
+			}
+		}
+	}
+	return e.Truth[p.ID]
+}
+
+// format renders a typed value into one of several surface formats.
+func (g *synthesizer) format(v dtype.Value, p kb.Property) string {
+	switch v.Kind {
+	case dtype.Date:
+		if v.Gran == dtype.GranYear {
+			return fmt.Sprintf("%d", v.Year)
+		}
+		switch g.rng.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%04d-%02d-%02d", v.Year, v.Month, v.Day)
+		case 1:
+			return fmt.Sprintf("%s %d, %d", monthName(v.Month), v.Day, v.Year)
+		case 2:
+			return fmt.Sprintf("%d/%d/%04d", v.Month, v.Day, v.Year)
+		default:
+			return fmt.Sprintf("%d", v.Year) // year-only rendering
+		}
+	case dtype.Quantity:
+		switch p.ID {
+		case "dbo:runtime":
+			secs := int(v.Num)
+			if g.rng.Intn(2) == 0 {
+				return fmt.Sprintf("%d:%02d", secs/60, secs%60)
+			}
+			return fmt.Sprintf("%d", secs)
+		case "dbo:height":
+			in := int(v.Num)
+			if g.rng.Intn(2) == 0 {
+				return fmt.Sprintf("%d'%d\"", in/12, in%12)
+			}
+			return fmt.Sprintf("%d", in)
+		default:
+			n := int(v.Num)
+			if n >= 10000 && g.rng.Intn(2) == 0 {
+				return withCommas(n)
+			}
+			return fmt.Sprintf("%g", v.Num)
+		}
+	case dtype.NominalInteger:
+		return fmt.Sprintf("%d", int(v.Num))
+	default:
+		return v.Raw
+	}
+}
+
+func (g *synthesizer) renderExtra(col, row int) string {
+	switch col % 3 {
+	case 0:
+		return fmt.Sprintf("%d", row+1)
+	case 1:
+		return pickStr(g.rng, []string{"ok", "tbd", "n/a", "active", "-"})
+	default:
+		return pickStr(g.rng, []string{"web", "print", "archive"})
+	}
+}
+
+// headerFor picks the canonical label, an alternative label, or — with
+// CrypticHeaderRate — a generic header that carries no label signal.
+func (g *synthesizer) headerFor(p kb.Property) string {
+	if g.rng.Float64() < g.cfg.CrypticHeaderRate {
+		return pickStr(g.rng, []string{"info", "data", "details", "value",
+			"field", "misc", "attr", "c2", "c3", "col4"})
+	}
+	if len(p.AltLabels) > 0 && g.rng.Float64() < 0.5 {
+		return p.AltLabels[g.rng.Intn(len(p.AltLabels))]
+	}
+	return p.Label
+}
+
+func (g *synthesizer) labelHeader(class kb.ClassID) string {
+	switch class {
+	case kb.ClassGFPlayer:
+		return pickStr(g.rng, []string{"Player", "Name", "Player Name"})
+	case kb.ClassSong:
+		return pickStr(g.rng, []string{"Song", "Title", "Track"})
+	default:
+		return pickStr(g.rng, []string{"Settlement", "Town", "Place", "Name"})
+	}
+}
+
+func (g *synthesizer) caption(class kb.ClassID, pid kb.PropertyID, v dtype.Value) string {
+	base := kb.ClassShortName(class) + " list"
+	if pid != "" {
+		return base + " - " + string(pid)[4:] + " " + v.String()
+	}
+	return base
+}
+
+// junkTable produces a table about none of the evaluation classes.
+func (g *synthesizer) junkTable() *Table {
+	kind := g.rng.Intn(2)
+	var t *Table
+	if kind == 0 {
+		t = &Table{
+			Caption: "Product catalog",
+			Headers: []string{"Product", "Price", "SKU"},
+			Truth:   &Provenance{Class: ""},
+		}
+		n := 2 + g.rng.Intn(6)
+		for i := 0; i < n; i++ {
+			t.Cells = append(t.Cells, []string{
+				fmt.Sprintf("Widget %c-%d", 'A'+g.rng.Intn(26), g.rng.Intn(100)),
+				fmt.Sprintf("%d.99", 5+g.rng.Intn(95)),
+				fmt.Sprintf("SKU%06d", g.rng.Intn(999999)),
+			})
+			t.Truth.RowEntity = append(t.Truth.RowEntity, -1)
+		}
+	} else {
+		t = &Table{
+			Caption: "TV schedule",
+			Headers: []string{"Time", "Show", "Channel"},
+			Truth:   &Provenance{Class: ""},
+		}
+		n := 2 + g.rng.Intn(6)
+		for i := 0; i < n; i++ {
+			t.Cells = append(t.Cells, []string{
+				fmt.Sprintf("%02d:%02d", g.rng.Intn(24), 15*g.rng.Intn(4)),
+				fmt.Sprintf("Show %c%d", 'A'+g.rng.Intn(26), g.rng.Intn(50)),
+				fmt.Sprintf("Ch %d", 1+g.rng.Intn(40)),
+			})
+			t.Truth.RowEntity = append(t.Truth.RowEntity, -1)
+		}
+	}
+	t.Truth.ColProperty = make([]kb.PropertyID, len(t.Headers))
+	t.LabelCol = -1
+	return t
+}
+
+func monthName(m int) string {
+	names := []string{"January", "February", "March", "April", "May", "June",
+		"July", "August", "September", "October", "November", "December"}
+	if m < 1 || m > 12 {
+		return "January"
+	}
+	return names[m-1]
+}
+
+func withCommas(n int) string {
+	s := fmt.Sprintf("%d", n)
+	var out []byte
+	for i, c := range []byte(s) {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out = append(out, ',')
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+func pickStr(rng *rand.Rand, pool []string) string {
+	return pool[rng.Intn(len(pool))]
+}

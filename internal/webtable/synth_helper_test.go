@@ -1,0 +1,20 @@
+package webtable
+
+import (
+	"sync"
+
+	"repro/internal/world"
+)
+
+var (
+	testWorldOnce sync.Once
+	testWorldVal  *world.World
+)
+
+// testWorld returns a shared small world for tests in this package.
+func testWorld() *world.World {
+	testWorldOnce.Do(func() {
+		testWorldVal = world.Generate(world.DefaultConfig(0.15))
+	})
+	return testWorldVal
+}

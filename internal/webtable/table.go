@@ -1,0 +1,150 @@
+// Package webtable implements the web table substrate: the relational table
+// model, a from-scratch HTML table extractor, corpus statistics (Table 3),
+// and a synthetic corpus generator that substitutes for the WDC 2012 Web
+// Table Corpus used in the paper.
+package webtable
+
+import (
+	"fmt"
+
+	"repro/internal/dtype"
+	"repro/internal/kb"
+)
+
+// Table is one relational web table. Headers holds the header row (one
+// label per attribute column); Cells holds the body rows, each with exactly
+// len(Headers) cells.
+//
+// The pipeline annotates LabelCol and ColKinds during schema matching.
+// Truth carries generation provenance; only the gold standard and the
+// evaluation may read it — pipeline components must not.
+type Table struct {
+	ID        int
+	SourceURL string
+	Caption   string
+	Headers   []string
+	Cells     [][]string
+
+	// LabelCol is the index of the label attribute, or -1 before label
+	// attribute detection has run.
+	LabelCol int
+	// ColKinds is the detected coarse data type per column (filled by
+	// schema matching).
+	ColKinds []dtype.Kind
+
+	// Truth is generation provenance (nil for parsed real tables).
+	Truth *Provenance
+}
+
+// Provenance records which world entities and KB properties a synthetic
+// table was generated from. RowEntity holds one world-entity UID per row
+// (-1 for filler rows); ColProperty holds one property ID per column (empty
+// for unmappable columns).
+type Provenance struct {
+	Class       kb.ClassID
+	RowEntity   []int
+	ColProperty []kb.PropertyID
+}
+
+// NumRows returns the number of body rows.
+func (t *Table) NumRows() int { return len(t.Cells) }
+
+// NumCols returns the number of attribute columns.
+func (t *Table) NumCols() int { return len(t.Headers) }
+
+// Cell returns the raw cell at (row, col), or "" when out of range.
+func (t *Table) Cell(row, col int) string {
+	if row < 0 || row >= len(t.Cells) {
+		return ""
+	}
+	r := t.Cells[row]
+	if col < 0 || col >= len(r) {
+		return ""
+	}
+	return r[col]
+}
+
+// RowLabel returns the raw label of a row from the detected label column,
+// or "" when the label column is unset.
+func (t *Table) RowLabel(row int) string {
+	if t.LabelCol < 0 {
+		return ""
+	}
+	return t.Cell(row, t.LabelCol)
+}
+
+// Validate checks structural invariants: at least two columns (a label and
+// one value attribute), at least one row, and rectangular cells.
+func (t *Table) Validate() error {
+	if len(t.Headers) < 2 {
+		return fmt.Errorf("webtable: table %d has %d columns, need at least 2", t.ID, len(t.Headers))
+	}
+	if len(t.Cells) == 0 {
+		return fmt.Errorf("webtable: table %d has no rows", t.ID)
+	}
+	for i, r := range t.Cells {
+		if len(r) != len(t.Headers) {
+			return fmt.Errorf("webtable: table %d row %d has %d cells, want %d",
+				t.ID, i, len(r), len(t.Headers))
+		}
+	}
+	return nil
+}
+
+// RowRef addresses a single row of a single table within a corpus. Rows are
+// the unit of clustering.
+type RowRef struct {
+	Table int // table ID
+	Row   int // row index within the table
+}
+
+// String renders the reference as "t:r".
+func (r RowRef) String() string { return fmt.Sprintf("%d:%d", r.Table, r.Row) }
+
+// Corpus is a collection of web tables with ID-based lookup.
+type Corpus struct {
+	Tables []*Table
+}
+
+// NewCorpus wraps tables into a corpus, assigning sequential IDs. Tables
+// whose label column is unknown should carry LabelCol -1 (the zero value 0
+// is a valid column index and is preserved, e.g. for WDC key columns);
+// pipeline components run label-attribute detection only on tables with
+// LabelCol < 0.
+func NewCorpus(tables []*Table) *Corpus {
+	for i, t := range tables {
+		t.ID = i
+	}
+	return &Corpus{Tables: tables}
+}
+
+// Table returns the table with the given ID, or nil.
+func (c *Corpus) Table(id int) *Table {
+	if id < 0 || id >= len(c.Tables) {
+		return nil
+	}
+	return c.Tables[id]
+}
+
+// Len returns the number of tables.
+func (c *Corpus) Len() int { return len(c.Tables) }
+
+// TotalRows returns the total number of body rows across all tables.
+func (c *Corpus) TotalRows() int {
+	n := 0
+	for _, t := range c.Tables {
+		n += t.NumRows()
+	}
+	return n
+}
+
+// Rows enumerates all row references in the corpus.
+func (c *Corpus) Rows() []RowRef {
+	out := make([]RowRef, 0, c.TotalRows())
+	for _, t := range c.Tables {
+		for r := range t.Cells {
+			out = append(out, RowRef{Table: t.ID, Row: r})
+		}
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package webtable
+
+import (
+	"testing"
+
+	"repro/internal/kb"
+)
+
+func TestTableValidate(t *testing.T) {
+	good := &Table{
+		Headers: []string{"Name", "Pos"},
+		Cells:   [][]string{{"Tom Brady", "QB"}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid table: %v", err)
+	}
+	oneCol := &Table{Headers: []string{"Name"}, Cells: [][]string{{"x"}}}
+	if err := oneCol.Validate(); err == nil {
+		t.Error("single-column table should fail validation")
+	}
+	empty := &Table{Headers: []string{"A", "B"}}
+	if err := empty.Validate(); err == nil {
+		t.Error("rowless table should fail validation")
+	}
+	ragged := &Table{
+		Headers: []string{"A", "B"},
+		Cells:   [][]string{{"1", "2"}, {"only one"}},
+	}
+	if err := ragged.Validate(); err == nil {
+		t.Error("ragged table should fail validation")
+	}
+}
+
+func TestTableAccessors(t *testing.T) {
+	tb := &Table{
+		Headers:  []string{"Name", "Pos"},
+		Cells:    [][]string{{"Tom Brady", "QB"}, {"Joe Cool", "WR"}},
+		LabelCol: 0,
+	}
+	if tb.NumRows() != 2 || tb.NumCols() != 2 {
+		t.Error("dims")
+	}
+	if tb.Cell(0, 1) != "QB" {
+		t.Error("Cell")
+	}
+	if tb.Cell(5, 0) != "" || tb.Cell(0, 5) != "" || tb.Cell(-1, -1) != "" {
+		t.Error("out-of-range cells should be empty")
+	}
+	if tb.RowLabel(1) != "Joe Cool" {
+		t.Error("RowLabel")
+	}
+	tb.LabelCol = -1
+	if tb.RowLabel(0) != "" {
+		t.Error("unset label column should yield empty label")
+	}
+}
+
+func TestCorpus(t *testing.T) {
+	c := NewCorpus([]*Table{
+		{Headers: []string{"A", "B"}, Cells: [][]string{{"1", "2"}}},
+		{Headers: []string{"A", "B"}, Cells: [][]string{{"1", "2"}, {"3", "4"}}},
+	})
+	if c.Len() != 2 || c.TotalRows() != 3 {
+		t.Fatalf("Len=%d TotalRows=%d", c.Len(), c.TotalRows())
+	}
+	if c.Table(0).ID != 0 || c.Table(1).ID != 1 {
+		t.Error("IDs should be sequential")
+	}
+	if c.Table(-1) != nil || c.Table(9) != nil {
+		t.Error("out-of-range table lookup")
+	}
+	rows := c.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("Rows = %v", rows)
+	}
+	if rows[2] != (RowRef{Table: 1, Row: 1}) {
+		t.Errorf("rows[2] = %v", rows[2])
+	}
+	if rows[2].String() != "1:1" {
+		t.Errorf("RowRef string = %q", rows[2].String())
+	}
+}
+
+func TestCorpusStats(t *testing.T) {
+	c := NewCorpus([]*Table{
+		{Headers: []string{"A", "B"}, Cells: make([][]string, 2)},
+		{Headers: []string{"A", "B", "C"}, Cells: make([][]string, 4)},
+		{Headers: []string{"A", "B"}, Cells: make([][]string, 9)},
+	})
+	s := c.Stats()
+	if s.Tables != 3 || s.Rows != 15 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.RowsMedian != 4 || s.RowsMin != 2 || s.RowsMax != 9 {
+		t.Errorf("row stats = %+v", s)
+	}
+	if s.ColsMedian != 2 || s.ColsMax != 3 {
+		t.Errorf("col stats = %+v", s)
+	}
+	if s.RowsAvg != 5 {
+		t.Errorf("RowsAvg = %v", s.RowsAvg)
+	}
+	var empty Corpus
+	if st := empty.Stats(); st.Tables != 0 {
+		t.Error("empty corpus stats should be zero")
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	if m := median([]int{1, 3}); m != 2 {
+		t.Errorf("median even = %v", m)
+	}
+	if m := median(nil); m != 0 {
+		t.Errorf("median nil = %v", m)
+	}
+}
+
+func TestProvenanceOnSyntheticTables(t *testing.T) {
+	w := testWorld()
+	c := Synthesize(w, DefaultSynthConfig(0.05))
+	for _, tb := range c.Tables {
+		if tb.Truth == nil {
+			t.Fatal("synthetic tables must carry provenance")
+		}
+		if len(tb.Truth.RowEntity) != tb.NumRows() {
+			t.Fatalf("table %d: %d row entities for %d rows",
+				tb.ID, len(tb.Truth.RowEntity), tb.NumRows())
+		}
+		if len(tb.Truth.ColProperty) != tb.NumCols() {
+			t.Fatalf("table %d: %d col properties for %d cols",
+				tb.ID, len(tb.Truth.ColProperty), tb.NumCols())
+		}
+	}
+}
+
+func TestSynthesizedCorpusShape(t *testing.T) {
+	w := testWorld()
+	cfg := DefaultSynthConfig(0.1)
+	c := Synthesize(w, cfg)
+	if c.Len() == 0 {
+		t.Fatal("empty corpus")
+	}
+	// Every class contributes tables and junk tables exist.
+	byClass := map[kb.ClassID]int{}
+	for _, tb := range c.Tables {
+		byClass[tb.Truth.Class]++
+		if err := tb.Validate(); err != nil {
+			t.Fatalf("invalid synthetic table: %v", err)
+		}
+	}
+	for _, class := range kb.EvalClasses() {
+		if byClass[class] == 0 {
+			t.Errorf("no tables for %s", class)
+		}
+	}
+	if byClass[""] == 0 {
+		t.Error("no junk tables")
+	}
+	// Song should dominate, as in Table 4.
+	if byClass[kb.ClassSong] <= byClass[kb.ClassGFPlayer] {
+		t.Errorf("song tables (%d) should outnumber player tables (%d)",
+			byClass[kb.ClassSong], byClass[kb.ClassGFPlayer])
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	w := testWorld()
+	cfg := DefaultSynthConfig(0.05)
+	a := Synthesize(w, cfg)
+	b := Synthesize(w, cfg)
+	if a.Len() != b.Len() {
+		t.Fatalf("non-deterministic corpus size: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Tables {
+		ta, tb := a.Tables[i], b.Tables[i]
+		if ta.Caption != tb.Caption || ta.NumRows() != tb.NumRows() {
+			t.Fatalf("table %d differs between runs", i)
+		}
+	}
+}
+
+func TestImplicitTablesShareHiddenValue(t *testing.T) {
+	w := testWorld()
+	cfg := DefaultSynthConfig(0.2)
+	cfg.ImplicitTableRate = 1.0
+	c := Synthesize(w, cfg)
+	found := 0
+	for _, tb := range c.Tables {
+		if tb.Truth.Class != kb.ClassGFPlayer {
+			continue
+		}
+		// With rate 1.0 most player tables should have pool >= 2 sharing
+		// an implicit property; check rows really share that value.
+		if tb.NumRows() < 2 {
+			continue
+		}
+		found++
+	}
+	if found == 0 {
+		t.Error("expected implicit player tables")
+	}
+}
+
+func BenchmarkSynthesize(b *testing.B) {
+	w := testWorld()
+	cfg := DefaultSynthConfig(0.3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Synthesize(w, cfg)
+	}
+}

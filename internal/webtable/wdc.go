@@ -1,0 +1,144 @@
+package webtable
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// wdcTable mirrors the JSON schema of the Web Data Commons web table
+// corpus: column-major relation, header row index, key (label) column
+// index, plus page metadata. Reading and writing this format lets the
+// pipeline consume real WDC dumps in place of the synthetic corpus.
+type wdcTable struct {
+	Relation       [][]string `json:"relation"`
+	PageTitle      string     `json:"pageTitle"`
+	Title          string     `json:"title"`
+	URL            string     `json:"url"`
+	HasHeader      bool       `json:"hasHeader"`
+	HeaderRowIndex int        `json:"headerRowIndex"`
+	KeyColumnIndex int        `json:"keyColumnIndex"`
+	TableType      string     `json:"tableType"`
+}
+
+// ReadWDC parses a stream of newline-delimited WDC JSON tables into a
+// corpus. Tables that are not relational (tableType other than "RELATION"
+// when set), have no header, or fail structural validation are skipped.
+// The WDC key column, when present, seeds the label attribute.
+func ReadWDC(r io.Reader) (*Corpus, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var tables []*Table
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var wt wdcTable
+		if err := json.Unmarshal(raw, &wt); err != nil {
+			return nil, fmt.Errorf("webtable: WDC line %d: %w", line, err)
+		}
+		if t := wt.toTable(); t != nil {
+			tables = append(tables, t)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("webtable: reading WDC stream: %w", err)
+	}
+	return NewCorpus(tables), nil
+}
+
+// toTable converts the column-major WDC relation into a Table, or nil when
+// the table is not usable.
+func (wt *wdcTable) toTable() *Table {
+	if wt.TableType != "" && wt.TableType != "RELATION" {
+		return nil
+	}
+	if !wt.HasHeader && wt.HeaderRowIndex < 0 {
+		return nil
+	}
+	nCols := len(wt.Relation)
+	if nCols < 2 {
+		return nil
+	}
+	nRows := len(wt.Relation[0])
+	for _, col := range wt.Relation {
+		if len(col) != nRows {
+			return nil // ragged relation
+		}
+	}
+	hdr := wt.HeaderRowIndex
+	if hdr < 0 || hdr >= nRows {
+		hdr = 0
+	}
+	headers := make([]string, nCols)
+	for c, col := range wt.Relation {
+		headers[c] = col[hdr]
+	}
+	t := &Table{
+		SourceURL: wt.URL,
+		Caption:   firstNonEmpty(wt.Title, wt.PageTitle),
+		Headers:   headers,
+		LabelCol:  -1,
+	}
+	for r := 0; r < nRows; r++ {
+		if r == hdr {
+			continue
+		}
+		row := make([]string, nCols)
+		for c := 0; c < nCols; c++ {
+			row[c] = wt.Relation[c][r]
+		}
+		t.Cells = append(t.Cells, row)
+	}
+	if err := t.Validate(); err != nil {
+		return nil
+	}
+	if wt.KeyColumnIndex >= 0 && wt.KeyColumnIndex < nCols {
+		t.LabelCol = wt.KeyColumnIndex
+	}
+	return t
+}
+
+// WriteWDC serializes a corpus as newline-delimited WDC JSON tables.
+func WriteWDC(w io.Writer, c *Corpus) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, t := range c.Tables {
+		nCols := t.NumCols()
+		relation := make([][]string, nCols)
+		for col := 0; col < nCols; col++ {
+			relation[col] = make([]string, 0, t.NumRows()+1)
+			relation[col] = append(relation[col], t.Headers[col])
+			for r := 0; r < t.NumRows(); r++ {
+				relation[col] = append(relation[col], t.Cell(r, col))
+			}
+		}
+		key := t.LabelCol
+		wt := wdcTable{
+			Relation:       relation,
+			Title:          t.Caption,
+			URL:            t.SourceURL,
+			HasHeader:      true,
+			HeaderRowIndex: 0,
+			KeyColumnIndex: key,
+			TableType:      "RELATION",
+		}
+		if err := enc.Encode(&wt); err != nil {
+			return fmt.Errorf("webtable: writing WDC table %d: %w", t.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+func firstNonEmpty(ss ...string) string {
+	for _, s := range ss {
+		if s != "" {
+			return s
+		}
+	}
+	return ""
+}

@@ -1,0 +1,145 @@
+package webtable
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const wdcSample = `{"relation":[["Player","Tom Brady","Joe Cool"],["Pos","QB","WR"]],"title":"Roster","url":"http://x.org","hasHeader":true,"headerRowIndex":0,"keyColumnIndex":0,"tableType":"RELATION"}
+{"relation":[["A","1"],["B","2"]],"hasHeader":true,"headerRowIndex":0,"keyColumnIndex":-1,"tableType":"OTHER"}
+{"relation":[["OnlyOneColumn","x","y"]],"hasHeader":true,"headerRowIndex":0,"keyColumnIndex":0,"tableType":"RELATION"}
+`
+
+func TestReadWDC(t *testing.T) {
+	c, err := ReadWDC(strings.NewReader(wdcSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("read %d tables, want 1 (non-relation and 1-col skipped)", c.Len())
+	}
+	tb := c.Table(0)
+	if tb.Caption != "Roster" || tb.SourceURL != "http://x.org" {
+		t.Errorf("metadata = %q / %q", tb.Caption, tb.SourceURL)
+	}
+	if tb.NumRows() != 2 || tb.NumCols() != 2 {
+		t.Fatalf("dims = %dx%d", tb.NumRows(), tb.NumCols())
+	}
+	if tb.Headers[1] != "Pos" || tb.Cell(0, 0) != "Tom Brady" || tb.Cell(1, 1) != "WR" {
+		t.Errorf("content: %v / %v", tb.Headers, tb.Cells)
+	}
+	if tb.LabelCol != 0 {
+		t.Errorf("key column = %d, want 0", tb.LabelCol)
+	}
+}
+
+func TestReadWDCRagged(t *testing.T) {
+	ragged := `{"relation":[["A","1","2"],["B","x"]],"hasHeader":true,"headerRowIndex":0,"tableType":"RELATION"}`
+	c, err := ReadWDC(strings.NewReader(ragged))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Error("ragged relation should be skipped")
+	}
+}
+
+func TestReadWDCBadJSON(t *testing.T) {
+	if _, err := ReadWDC(strings.NewReader("{not json}")); err == nil {
+		t.Error("want error on malformed JSON")
+	}
+}
+
+func TestReadWDCEmptyLines(t *testing.T) {
+	c, err := ReadWDC(strings.NewReader("\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Error("blank input should yield empty corpus")
+	}
+}
+
+func TestWDCRoundTrip(t *testing.T) {
+	orig := NewCorpus([]*Table{
+		{
+			Caption:   "Roster",
+			SourceURL: "http://x.org/1",
+			Headers:   []string{"Player", "Pos", "Weight"},
+			Cells: [][]string{
+				{"Tom Brady", "QB", "225"},
+				{"Joe Cool", "WR", "190"},
+			},
+			LabelCol: 0,
+		},
+		{
+			Caption:  "Towns",
+			Headers:  []string{"Town", "Population"},
+			Cells:    [][]string{{"Springfield", "30,000"}},
+			LabelCol: 0,
+		},
+	})
+	var buf bytes.Buffer
+	if err := WriteWDC(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWDC(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("round trip length %d != %d", got.Len(), orig.Len())
+	}
+	for i := range orig.Tables {
+		a, b := orig.Tables[i], got.Tables[i]
+		if a.Caption != b.Caption || a.NumRows() != b.NumRows() || a.NumCols() != b.NumCols() {
+			t.Fatalf("table %d mismatch: %+v vs %+v", i, a, b)
+		}
+		for r := 0; r < a.NumRows(); r++ {
+			for c := 0; c < a.NumCols(); c++ {
+				if a.Cell(r, c) != b.Cell(r, c) {
+					t.Fatalf("cell (%d,%d) %q != %q", r, c, a.Cell(r, c), b.Cell(r, c))
+				}
+			}
+		}
+		if a.LabelCol != b.LabelCol {
+			t.Errorf("label col %d != %d", a.LabelCol, b.LabelCol)
+		}
+	}
+}
+
+func TestWDCHeaderRowNotFirst(t *testing.T) {
+	in := `{"relation":[["x","Player","Tom"],["y","Pos","QB"]],"hasHeader":true,"headerRowIndex":1,"keyColumnIndex":0,"tableType":"RELATION"}`
+	c, err := ReadWDC(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("tables = %d", c.Len())
+	}
+	tb := c.Table(0)
+	if tb.Headers[0] != "Player" {
+		t.Errorf("headers = %v", tb.Headers)
+	}
+	if tb.NumRows() != 2 { // rows above and below the header remain
+		t.Errorf("rows = %d", tb.NumRows())
+	}
+}
+
+func BenchmarkReadWDC(b *testing.B) {
+	w := testWorld()
+	c := Synthesize(w, DefaultSynthConfig(0.1))
+	var buf bytes.Buffer
+	if err := WriteWDC(&buf, c); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadWDC(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

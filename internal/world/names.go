@@ -1,0 +1,235 @@
+package world
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/dtype"
+	"repro/internal/kb"
+)
+
+// nameGen produces class-specific names and complete truth fact sets.
+type nameGen struct {
+	class kb.ClassID
+	rng   *rand.Rand
+	used  map[string]int
+}
+
+func newNameGen(class kb.ClassID, rng *rand.Rand) *nameGen {
+	return &nameGen{class: class, rng: rng, used: make(map[string]int)}
+}
+
+// Shared vocabulary pools. They are intentionally modest in size so that
+// *some* accidental name collisions occur on top of the intentional homonym
+// groups — real web table corpora have both.
+var (
+	firstNames = []string{
+		"James", "Michael", "Robert", "John", "David", "William", "Richard",
+		"Joseph", "Thomas", "Chris", "Charles", "Daniel", "Matthew", "Anthony",
+		"Mark", "Donald", "Steven", "Paul", "Andrew", "Joshua", "Kenneth",
+		"Kevin", "Brian", "George", "Tim", "Ronald", "Edward", "Jason",
+		"Jeff", "Ryan", "Jacob", "Gary", "Nick", "Eric", "Jonathan",
+		"Stephen", "Larry", "Justin", "Scott", "Brandon", "Ben", "Frank",
+		"Greg", "Sam", "Ray", "Pat", "Alex", "Jack", "Dennis", "Jerry",
+		"Tyler", "Aaron", "Jose", "Adam", "Nathan", "Henry", "Doug", "Zach",
+		"Peter", "Kyle", "Walter", "Ethan", "Jeremy", "Harold", "Keith",
+		"Christian", "Roger", "Noah", "Gerald", "Carl", "Terry", "Sean",
+		"Austin", "Arthur", "Lawrence", "Jesse", "Dylan", "Bryan", "Joe",
+		"Jordan", "Billy", "Bruce", "Albert", "Willie", "Gabriel", "Logan",
+		"Alan", "Juan", "Wayne", "Roy", "Ralph", "Randy", "Eugene", "Vincent",
+		"Russell", "Elijah", "Louis", "Bobby", "Philip", "Johnny",
+	}
+	lastNames = []string{
+		"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+		"Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+		"Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+		"Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+		"Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+		"Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+		"Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+		"Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz",
+		"Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+		"Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan",
+		"Cooper", "Peterson", "Bailey", "Reed", "Kelly", "Howard", "Ramos",
+		"Kim", "Cox", "Ward", "Richardson", "Watson", "Brooks", "Chavez",
+		"Wood", "James", "Bennett", "Gray", "Mendoza", "Ruiz", "Hughes",
+		"Price", "Alvarez", "Castillo", "Sanders", "Patel", "Myers", "Long",
+		"Ross", "Foster", "Jimenez",
+	}
+	songAdjectives = []string{
+		"Lonely", "Endless", "Golden", "Broken", "Silent", "Midnight",
+		"Electric", "Crazy", "Sweet", "Wild", "Blue", "Burning", "Fading",
+		"Hollow", "Restless", "Shining", "Dancing", "Frozen", "Velvet",
+		"Crimson", "Distant", "Gentle", "Savage", "Neon", "Paper",
+	}
+	songNouns = []string{
+		"Heart", "Night", "Dream", "Road", "Fire", "Rain", "Love", "Light",
+		"River", "Sky", "Summer", "Shadow", "Echo", "Star", "Storm", "Wave",
+		"Memory", "Horizon", "Mirror", "Garden", "Whisper", "Flame",
+		"Morning", "City", "Ocean",
+	}
+	placePrefixes = []string{
+		"Spring", "Oak", "Maple", "River", "Lake", "Hill", "Green", "Fair",
+		"Mill", "Stone", "Pine", "Cedar", "Clear", "Glen", "Ash", "Elm",
+		"Birch", "Willow", "North", "South", "East", "West", "New", "Old",
+		"Brook", "Wood", "High", "Long", "Red", "White",
+	}
+	placeSuffixes = []string{
+		"field", "ville", "ton", "burg", "wood", "dale", "port", "ford",
+		"haven", "brook", "mont", "view", "side", "crest", "ridge", "creek",
+	}
+	colleges = []string{
+		"Alabama", "Ohio State", "Michigan", "Notre Dame", "USC", "Texas",
+		"Oklahoma", "Georgia", "LSU", "Florida", "Penn State", "Nebraska",
+		"Miami", "Clemson", "Auburn", "Tennessee", "Wisconsin", "Oregon",
+		"Iowa", "Stanford", "UCLA", "Washington", "Texas A&M", "Florida State",
+		"Boise State", "Fresno State", "Toledo", "Akron", "Ball State",
+		"Eastern Michigan",
+	}
+	nflTeams = []string{
+		"Patriots", "Packers", "Steelers", "Cowboys", "49ers", "Giants",
+		"Eagles", "Bears", "Broncos", "Raiders", "Dolphins", "Jets", "Bills",
+		"Chiefs", "Colts", "Titans", "Jaguars", "Texans", "Ravens", "Bengals",
+		"Browns", "Chargers", "Rams", "Seahawks", "Cardinals", "Falcons",
+		"Panthers", "Saints", "Buccaneers", "Vikings", "Lions", "Commanders",
+	}
+	positions = []string{"QB", "RB", "WR", "TE", "OT", "OG", "C", "DE", "DT",
+		"LB", "CB", "S", "K", "P"}
+	genres = []string{
+		"Rock", "Pop", "Country", "Hip hop", "R&B", "Jazz", "Blues", "Folk",
+		"Electronic", "Soul", "Punk", "Metal", "Reggae", "Disco", "Indie",
+	}
+	recordLabels = []string{
+		"Columbia", "Atlantic", "Capitol", "RCA", "Mercury", "Epic",
+		"Island", "Motown", "Elektra", "Geffen", "Interscope", "Def Jam",
+		"Sub Pop", "Rough Trade", "Stax",
+	}
+	artistSuffixes = []string{
+		"Band", "Trio", "Experience", "Project", "Orchestra", "Quartet",
+		"Collective", "Brothers", "Sisters", "Gang",
+	}
+	countries = []string{
+		"United States", "Germany", "France", "United Kingdom", "Italy",
+		"Spain", "Poland", "Romania", "Netherlands", "Belgium", "Greece",
+		"Portugal", "Czech Republic", "Hungary", "Sweden", "Austria",
+		"Switzerland", "Bulgaria", "Denmark", "Finland", "Slovakia", "Norway",
+		"Ireland", "Croatia",
+	}
+	regions = []string{
+		"Northern District", "Southern District", "Eastern Province",
+		"Western Province", "Central County", "Lake County", "Hill County",
+		"Coastal Region", "Valley District", "Upper County", "Lower County",
+		"Midland District", "Border Province", "Highland Region",
+		"Riverside County", "Greenfield County",
+	}
+)
+
+// name produces a fresh class-appropriate name. Collisions with previously
+// issued names are avoided by appending a disambiguating middle token —
+// except that a small collision rate is intentionally left in for songs.
+func (g *nameGen) name() string {
+	for attempt := 0; ; attempt++ {
+		var n string
+		switch g.class {
+		case kb.ClassGFPlayer:
+			n = pick(g.rng, firstNames) + " " + pick(g.rng, lastNames)
+		case kb.ClassSong:
+			n = pick(g.rng, songAdjectives) + " " + pick(g.rng, songNouns)
+		default: // Settlement
+			n = pick(g.rng, placePrefixes) + pick(g.rng, placeSuffixes)
+		}
+		if g.used[n] == 0 || attempt > 6 {
+			g.used[n]++
+			return n
+		}
+		if g.class == kb.ClassSong && g.rng.Float64() < 0.1 {
+			// Accidental homonym: reuse the title anyway.
+			g.used[n]++
+			return n
+		}
+	}
+}
+
+// alias sometimes produces an alternative surface form of a name.
+func (g *nameGen) alias(name string) string {
+	if g.rng.Float64() > 0.25 {
+		return ""
+	}
+	switch g.class {
+	case kb.ClassGFPlayer:
+		parts := strings.Fields(name)
+		if len(parts) == 2 {
+			return parts[0][:1] + ". " + parts[1]
+		}
+	case kb.ClassSong:
+		return "The " + name
+	default:
+		return name + " Town"
+	}
+	return ""
+}
+
+// truth generates a complete fact set for the class.
+func (g *nameGen) truth() map[kb.PropertyID]dtype.Value {
+	switch g.class {
+	case kb.ClassGFPlayer:
+		return g.playerTruth()
+	case kb.ClassSong:
+		return g.songTruth()
+	default:
+		return g.settlementTruth()
+	}
+}
+
+func (g *nameGen) playerTruth() map[kb.PropertyID]dtype.Value {
+	year := 1960 + g.rng.Intn(40)
+	draftYear := year + 21 + g.rng.Intn(3)
+	return map[kb.PropertyID]dtype.Value{
+		"dbo:birthDate":  dtype.NewDate(year, 1+g.rng.Intn(12), 1+g.rng.Intn(28)),
+		"dbo:college":    dtype.NewRef(pick(g.rng, colleges)),
+		"dbo:birthPlace": dtype.NewRef(pick(g.rng, placePrefixes) + pick(g.rng, placeSuffixes)),
+		"dbo:team":       dtype.NewRef(pick(g.rng, nflTeams)),
+		"dbo:number":     dtype.NewNominalInt(1 + g.rng.Intn(99)),
+		"dbo:position":   dtype.NewNominal(pick(g.rng, positions)),
+		"dbo:height":     dtype.NewQuantity(float64(68 + g.rng.Intn(12))), // inches
+		"dbo:weight":     dtype.NewQuantity(float64(180 + g.rng.Intn(140))),
+		"dbo:draftYear":  dtype.NewYear(draftYear),
+		"dbo:draftRound": dtype.NewNominalInt(1 + g.rng.Intn(7)),
+		"dbo:draftPick":  dtype.NewNominalInt(1 + g.rng.Intn(256)),
+	}
+}
+
+func (g *nameGen) songTruth() map[kb.PropertyID]dtype.Value {
+	artist := g.artistName()
+	return map[kb.PropertyID]dtype.Value{
+		"dbo:genre":         dtype.NewNominal(pick(g.rng, genres)),
+		"dbo:musicalArtist": dtype.NewRef(artist),
+		"dbo:recordLabel":   dtype.NewRef(pick(g.rng, recordLabels) + " Records"),
+		"dbo:runtime":       dtype.NewQuantity(float64(120 + g.rng.Intn(300))), // seconds
+		"dbo:album":         dtype.NewRef(pick(g.rng, songAdjectives) + " " + pick(g.rng, songNouns) + " LP"),
+		"dbo:writer":        dtype.NewRef(pick(g.rng, firstNames) + " " + pick(g.rng, lastNames)),
+		"dbo:releaseDate":   dtype.NewDate(1955+g.rng.Intn(58), 1+g.rng.Intn(12), 1+g.rng.Intn(28)),
+	}
+}
+
+func (g *nameGen) artistName() string {
+	if g.rng.Float64() < 0.4 {
+		return "The " + pick(g.rng, lastNames) + " " + pick(g.rng, artistSuffixes)
+	}
+	return pick(g.rng, firstNames) + " " + pick(g.rng, lastNames)
+}
+
+func (g *nameGen) settlementTruth() map[kb.PropertyID]dtype.Value {
+	return map[kb.PropertyID]dtype.Value{
+		"dbo:country":         dtype.NewRef(pick(g.rng, countries)),
+		"dbo:isPartOf":        dtype.NewRef(pick(g.rng, regions)),
+		"dbo:populationTotal": dtype.NewQuantity(float64(100 + g.rng.Intn(200000))),
+		"dbo:postalCode":      dtype.NewNominal(fmt.Sprintf("%05d", 10000+g.rng.Intn(89999))),
+		"dbo:elevation":       dtype.NewQuantity(float64(g.rng.Intn(2500))),
+	}
+}
+
+func pick(rng *rand.Rand, pool []string) string {
+	return pool[rng.Intn(len(pool))]
+}

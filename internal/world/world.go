@@ -1,0 +1,318 @@
+// Package world generates the deterministic synthetic universe that
+// substitutes for the paper's real-world data: the entities that exist "in
+// the world" — some of which are covered by the knowledge base (head) and
+// some of which are long-tail entities only the web tables describe.
+//
+// The same world drives three substitutes:
+//
+//   - the synthetic DBpedia (kb.KB) — head entities, facts sampled to match
+//     the paper's per-property densities (Table 2);
+//   - the synthetic web table corpus (webtable.Synthesize) — tables drawn
+//     over head and tail entities with realistic noise;
+//   - the gold standard (gold.FromWorld) — ground truth is known because
+//     every generated row records which world entity it describes.
+//
+// Everything is seeded, so runs are reproducible.
+package world
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dtype"
+	"repro/internal/kb"
+)
+
+// Entity is one entity of the synthetic world with its complete, true
+// description. KB coverage and corpus appearance are decided elsewhere.
+type Entity struct {
+	// UID is the entity's index in World.Entities.
+	UID int
+	// Class is the true class of the entity.
+	Class kb.ClassID
+	// Name is the canonical label; Aliases are alternative surface forms.
+	Name    string
+	Aliases []string
+	// Truth is the complete set of true facts.
+	Truth map[kb.PropertyID]dtype.Value
+	// InKB reports whether the entity is covered by the knowledge base.
+	InKB bool
+	// KBID is the instance ID in the KB when InKB.
+	KBID kb.InstanceID
+	// Popularity follows a Zipf-like distribution; head entities (in the
+	// KB) are drawn from the high end.
+	Popularity float64
+	// HomonymGroup is non-zero when this entity intentionally shares its
+	// name with other entities (the paper's homonym problem, worst for
+	// songs: same title, different artist, sometimes a cover version with
+	// near-identical facts).
+	HomonymGroup int
+}
+
+// ClassConfig sizes one class of the world.
+type ClassConfig struct {
+	// KBCount is the number of entities covered by the KB.
+	KBCount int
+	// NewCount is the number of long-tail entities absent from the KB.
+	NewCount int
+	// HomonymRate is the fraction of entities placed in homonym groups.
+	HomonymRate float64
+	// Densities gives the KB fact density per property (Table 2). A
+	// property missing from the map gets density 1.
+	Densities map[kb.PropertyID]float64
+}
+
+// Config sizes the whole world. Classes maps each evaluation class to its
+// configuration. Seed makes generation reproducible.
+type Config struct {
+	Seed    int64
+	Classes map[kb.ClassID]ClassConfig
+}
+
+// DefaultConfig returns a laptop-scale world whose per-class proportions
+// follow the paper: Song has the most long-tail entities (the corpus can
+// add +356%), GF-Player a substantial share (+67%), Settlement almost none
+// (+1% after accuracy correction); homonyms are most frequent for songs.
+// Scale multiplies all counts (1 ≈ hundreds of entities per class).
+func DefaultConfig(scale float64) Config {
+	s := func(n int) int {
+		v := int(math.Round(float64(n) * scale))
+		if v < 4 {
+			v = 4
+		}
+		return v
+	}
+	return Config{
+		Seed: 1,
+		Classes: map[kb.ClassID]ClassConfig{
+			kb.ClassGFPlayer: {
+				KBCount: s(210), NewCount: s(140), HomonymRate: 0.06,
+				Densities: map[kb.PropertyID]float64{
+					"dbo:birthDate": 0.9743, "dbo:college": 0.9292,
+					"dbo:birthPlace": 0.8632, "dbo:team": 0.6433,
+					"dbo:number": 0.5508, "dbo:position": 0.5417,
+					"dbo:height": 0.4847, "dbo:weight": 0.4832,
+					"dbo:draftYear": 0.3830, "dbo:draftRound": 0.3822,
+					"dbo:draftPick": 0.3819,
+				},
+			},
+			kb.ClassSong: {
+				KBCount: s(260), NewCount: s(420), HomonymRate: 0.22,
+				Densities: map[kb.PropertyID]float64{
+					"dbo:genre": 0.8954, "dbo:musicalArtist": 0.8585,
+					"dbo:recordLabel": 0.8195, "dbo:runtime": 0.8002,
+					"dbo:album": 0.7741, "dbo:writer": 0.6461,
+					"dbo:releaseDate": 0.6034,
+				},
+			},
+			kb.ClassSettlement: {
+				KBCount: s(330), NewCount: s(24), HomonymRate: 0.10,
+				Densities: map[kb.PropertyID]float64{
+					"dbo:country": 0.9251, "dbo:isPartOf": 0.8880,
+					"dbo:populationTotal": 0.6244, "dbo:postalCode": 0.3296,
+					"dbo:elevation": 0.3126,
+				},
+			},
+		},
+	}
+}
+
+// World is the generated universe plus the knowledge base built over its
+// head entities.
+type World struct {
+	KB       *kb.KB
+	Entities []*Entity
+	ByClass  map[kb.ClassID][]*Entity
+	// ByKBID maps KB instance IDs back to world entities.
+	ByKBID map[kb.InstanceID]*Entity
+	rng    *rand.Rand
+}
+
+// Generate builds a world from the configuration.
+func Generate(cfg Config) *World {
+	w := &World{
+		KB:      kb.New(),
+		ByClass: make(map[kb.ClassID][]*Entity),
+		ByKBID:  make(map[kb.InstanceID]*Entity),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for _, class := range kb.EvalClasses() {
+		cc, ok := cfg.Classes[class]
+		if !ok {
+			continue
+		}
+		w.generateClass(class, cc)
+	}
+	// A handful of confusable Place instances so table-to-class matching
+	// has realistic near-misses for Settlement.
+	w.generateConfusablePlaces()
+	return w
+}
+
+func (w *World) generateClass(class kb.ClassID, cc ClassConfig) {
+	total := cc.KBCount + cc.NewCount
+	gen := newNameGen(class, w.rng)
+	ents := make([]*Entity, 0, total)
+	homonymID := len(w.Entities) + 1
+	for i := 0; i < total; i++ {
+		e := &Entity{Class: class}
+		// Homonym groups: emit a pair (or triple for songs) sharing a
+		// name. Group members are adjacent in generation order.
+		if w.rng.Float64() < cc.HomonymRate && i+1 < total {
+			size := 2
+			if class == kb.ClassSong && w.rng.Float64() < 0.3 && i+2 < total {
+				size = 3
+			}
+			name := gen.name()
+			group := homonymID
+			homonymID++
+			for j := 0; j < size && i < total; j++ {
+				m := &Entity{Class: class, Name: name, HomonymGroup: group}
+				w.fillTruth(m, gen)
+				if class == kb.ClassSong && j > 0 && w.rng.Float64() < 0.4 {
+					// Cover version: copy runtime and writer from the
+					// first member so descriptions are highly similar.
+					first := ents[len(ents)-j]
+					if v, ok := first.Truth["dbo:runtime"]; ok {
+						m.Truth["dbo:runtime"] = v
+					}
+					if v, ok := first.Truth["dbo:writer"]; ok {
+						m.Truth["dbo:writer"] = v
+					}
+				}
+				ents = append(ents, m)
+				i++
+			}
+			i--
+			continue
+		}
+		e.Name = gen.name()
+		w.fillTruth(e, gen)
+		ents = append(ents, e)
+	}
+	// First KBCount entities become head (popular, covered by the KB);
+	// shuffle first so homonym groups straddle the head/tail boundary.
+	w.rng.Shuffle(len(ents), func(i, j int) { ents[i], ents[j] = ents[j], ents[i] })
+	for i, e := range ents {
+		e.UID = len(w.Entities)
+		rank := i + 1
+		e.Popularity = 1000 / math.Pow(float64(rank), 0.8)
+		if i < cc.KBCount {
+			e.InKB = true
+			w.addToKB(e, cc)
+		}
+		w.Entities = append(w.Entities, e)
+		w.ByClass[class] = append(w.ByClass[class], e)
+	}
+}
+
+// fillTruth populates the complete fact set of an entity.
+func (w *World) fillTruth(e *Entity, gen *nameGen) {
+	e.Truth = gen.truth()
+	if alias := gen.alias(e.Name); alias != "" {
+		e.Aliases = append(e.Aliases, alias)
+	}
+}
+
+// addToKB creates the KB instance for a head entity, sampling facts by the
+// configured per-property density. Properties are visited in sorted order:
+// each visit consumes one RNG draw, so iteration order must be fixed for
+// generation to be reproducible across processes.
+func (w *World) addToKB(e *Entity, cc ClassConfig) {
+	pids := make([]kb.PropertyID, 0, len(e.Truth))
+	for pid := range e.Truth {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	facts := make(map[kb.PropertyID]dtype.Value)
+	for _, pid := range pids {
+		density, ok := cc.Densities[pid]
+		if !ok {
+			density = 1
+		}
+		if w.rng.Float64() < density {
+			facts[pid] = e.Truth[pid]
+		}
+	}
+	labels := append([]string{e.Name}, e.Aliases...)
+	e.KBID = w.KB.AddInstance(&kb.Instance{
+		Class:      e.Class,
+		Labels:     labels,
+		Abstract:   abstract(e),
+		Facts:      facts,
+		Popularity: e.Popularity,
+	})
+	w.ByKBID[e.KBID] = e
+}
+
+// generateConfusablePlaces adds a few Region and Mountain instances whose
+// names resemble settlements.
+func (w *World) generateConfusablePlaces() {
+	gen := newNameGen(kb.ClassSettlement, w.rng)
+	for i := 0; i < 12; i++ {
+		class := kb.ClassRegion
+		suffix := " Region"
+		if i%2 == 1 {
+			class = kb.ClassMountain
+			suffix = " Peak"
+		}
+		name := gen.name() + suffix
+		id := w.KB.AddInstance(&kb.Instance{
+			Class:      class,
+			Labels:     []string{name},
+			Abstract:   "A " + string(class) + " named " + name + ".",
+			Facts:      map[kb.PropertyID]dtype.Value{},
+			Popularity: 1 + w.rng.Float64()*3,
+		})
+		e := &Entity{
+			UID: len(w.Entities), Class: class, Name: name,
+			Truth: map[kb.PropertyID]dtype.Value{}, InKB: true, KBID: id,
+		}
+		w.ByKBID[id] = e
+		w.Entities = append(w.Entities, e)
+		w.ByClass[class] = append(w.ByClass[class], e)
+	}
+}
+
+// NewEntities returns the long-tail entities of a class (those not in the
+// KB) — the ground truth for "new" detection.
+func (w *World) NewEntities(class kb.ClassID) []*Entity {
+	var out []*Entity
+	for _, e := range w.ByClass[class] {
+		if !e.InKB {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// HeadEntities returns the KB-covered entities of a class.
+func (w *World) HeadEntities(class kb.ClassID) []*Entity {
+	var out []*Entity
+	for _, e := range w.ByClass[class] {
+		if e.InKB {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func abstract(e *Entity) string {
+	pids := make([]kb.PropertyID, 0, len(e.Truth))
+	for pid := range e.Truth {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	s := e.Name + " is a " + kb.ClassShortName(e.Class) + "."
+	for _, pid := range pids {
+		s += " " + string(pid)[4:] + " " + e.Truth[pid].String() + "."
+	}
+	return s
+}
+
+// String summarizes the world.
+func (w *World) String() string {
+	return fmt.Sprintf("World{entities: %d, kb: %s}", len(w.Entities), w.KB)
+}

@@ -1,0 +1,225 @@
+package world
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kb"
+)
+
+func smallWorld() *World {
+	return Generate(DefaultConfig(0.15))
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultConfig(0.1))
+	b := Generate(DefaultConfig(0.1))
+	if len(a.Entities) != len(b.Entities) {
+		t.Fatalf("non-deterministic entity counts: %d vs %d", len(a.Entities), len(b.Entities))
+	}
+	for i := range a.Entities {
+		ea, eb := a.Entities[i], b.Entities[i]
+		if ea.Name != eb.Name {
+			t.Fatalf("entity %d differs: %q vs %q", i, ea.Name, eb.Name)
+		}
+		if ea.InKB != eb.InKB {
+			t.Fatalf("entity %d KB membership differs", i)
+		}
+	}
+	// The sampled KB facts must also be identical — fact sampling consumes
+	// RNG draws per property, which once leaked map iteration order into
+	// the generated knowledge base.
+	if a.KB.NumInstances() != b.KB.NumInstances() {
+		t.Fatalf("KB sizes differ: %d vs %d", a.KB.NumInstances(), b.KB.NumInstances())
+	}
+	for i := 0; i < a.KB.NumInstances(); i++ {
+		ia := a.KB.Instance(kb.InstanceID(i))
+		ib := b.KB.Instance(kb.InstanceID(i))
+		if len(ia.Facts) != len(ib.Facts) {
+			t.Fatalf("instance %d fact counts differ: %d vs %d", i, len(ia.Facts), len(ib.Facts))
+		}
+		for pid := range ia.Facts {
+			if _, ok := ib.Facts[pid]; !ok {
+				t.Fatalf("instance %d fact %s sampled in one run only", i, pid)
+			}
+		}
+		if ia.Abstract != ib.Abstract {
+			t.Fatalf("instance %d abstracts differ", i)
+		}
+	}
+}
+
+func TestClassCounts(t *testing.T) {
+	cfg := DefaultConfig(0.2)
+	w := Generate(cfg)
+	for _, class := range kb.EvalClasses() {
+		cc := cfg.Classes[class]
+		head := len(w.HeadEntities(class))
+		tail := len(w.NewEntities(class))
+		if head != cc.KBCount {
+			t.Errorf("%s head = %d, want %d", class, head, cc.KBCount)
+		}
+		if tail != cc.NewCount {
+			t.Errorf("%s tail = %d, want %d", class, tail, cc.NewCount)
+		}
+		if got := len(w.KB.InstancesOf(class)); got != cc.KBCount {
+			t.Errorf("%s KB instances = %d, want %d", class, got, cc.KBCount)
+		}
+	}
+}
+
+func TestTruthComplete(t *testing.T) {
+	w := smallWorld()
+	for _, class := range kb.EvalClasses() {
+		schema := w.KB.Schema(class)
+		for _, e := range w.ByClass[class] {
+			if len(e.Truth) != len(schema) {
+				t.Fatalf("%s entity %q truth has %d facts, want %d",
+					class, e.Name, len(e.Truth), len(schema))
+			}
+			for _, p := range schema {
+				v, ok := e.Truth[p.ID]
+				if !ok {
+					t.Fatalf("entity %q missing %s", e.Name, p.ID)
+				}
+				if v.Kind != p.Kind {
+					t.Fatalf("entity %q fact %s kind %v, want %v", e.Name, p.ID, v.Kind, p.Kind)
+				}
+			}
+		}
+	}
+}
+
+func TestKBDensitiesApproximate(t *testing.T) {
+	cfg := DefaultConfig(1.0)
+	w := Generate(cfg)
+	for _, class := range kb.EvalClasses() {
+		want := cfg.Classes[class].Densities
+		for _, prof := range w.KB.ProfileProperties(class) {
+			target := want[prof.Property]
+			if math.Abs(prof.Density-target) > 0.12 {
+				t.Errorf("%s %s density = %.3f, want ≈ %.3f",
+					class, prof.Property, prof.Density, target)
+			}
+		}
+	}
+}
+
+func TestDensityOrderingMatchesPaper(t *testing.T) {
+	// The paper's key density facts: Song has consistently high densities
+	// (>60%), GF-Player's personal properties are denser than its draft
+	// properties, and Settlement's postalCode/elevation are sparse.
+	w := Generate(DefaultConfig(1.0))
+	songProfs := w.KB.ProfileProperties(kb.ClassSong)
+	for _, p := range songProfs {
+		if p.Density < 0.5 {
+			t.Errorf("song property %s density %.2f — paper has all >0.60", p.Property, p.Density)
+		}
+	}
+	get := func(class kb.ClassID, pid kb.PropertyID) float64 {
+		for _, p := range w.KB.ProfileProperties(class) {
+			if p.Property == pid {
+				return p.Density
+			}
+		}
+		return -1
+	}
+	if get(kb.ClassGFPlayer, "dbo:birthDate") <= get(kb.ClassGFPlayer, "dbo:draftPick") {
+		t.Error("birthDate should be denser than draftPick for players")
+	}
+	if get(kb.ClassSettlement, "dbo:country") <= get(kb.ClassSettlement, "dbo:elevation") {
+		t.Error("country should be denser than elevation for settlements")
+	}
+}
+
+func TestHomonymGroups(t *testing.T) {
+	w := Generate(DefaultConfig(1.0))
+	groups := make(map[int][]*Entity)
+	for _, e := range w.ByClass[kb.ClassSong] {
+		if e.HomonymGroup != 0 {
+			groups[e.HomonymGroup] = append(groups[e.HomonymGroup], e)
+		}
+	}
+	if len(groups) == 0 {
+		t.Fatal("songs should have homonym groups")
+	}
+	multi := 0
+	for _, g := range groups {
+		if len(g) >= 2 {
+			multi++
+			name := g[0].Name
+			for _, e := range g[1:] {
+				if e.Name != name {
+					t.Errorf("homonym group mixes names %q and %q", name, e.Name)
+				}
+			}
+		}
+	}
+	if multi == 0 {
+		t.Error("no multi-member homonym group found")
+	}
+}
+
+func TestPopularityHeadVsTail(t *testing.T) {
+	w := Generate(DefaultConfig(0.5))
+	for _, class := range kb.EvalClasses() {
+		var headSum, tailSum float64
+		head, tail := w.HeadEntities(class), w.NewEntities(class)
+		for _, e := range head {
+			headSum += e.Popularity
+		}
+		for _, e := range tail {
+			tailSum += e.Popularity
+		}
+		if len(head) == 0 || len(tail) == 0 {
+			continue
+		}
+		if headSum/float64(len(head)) <= tailSum/float64(len(tail)) {
+			t.Errorf("%s: head entities should be more popular on average", class)
+		}
+	}
+}
+
+func TestByKBIDRoundTrip(t *testing.T) {
+	w := smallWorld()
+	for _, e := range w.Entities {
+		if !e.InKB {
+			continue
+		}
+		got := w.ByKBID[e.KBID]
+		if got != e {
+			t.Fatalf("ByKBID round trip failed for %q", e.Name)
+		}
+		in := w.KB.Instance(e.KBID)
+		if in == nil || in.Label() != e.Name {
+			t.Fatalf("KB instance for %q = %+v", e.Name, in)
+		}
+	}
+}
+
+func TestConfusablePlacesExist(t *testing.T) {
+	w := smallWorld()
+	if len(w.KB.InstancesOf(kb.ClassRegion)) == 0 {
+		t.Error("want Region instances for table-to-class confusion")
+	}
+	if len(w.KB.InstancesOf(kb.ClassMountain)) == 0 {
+		t.Error("want Mountain instances")
+	}
+}
+
+func TestScaleIsMonotonic(t *testing.T) {
+	small := Generate(DefaultConfig(0.1))
+	large := Generate(DefaultConfig(0.5))
+	if len(large.Entities) <= len(small.Entities) {
+		t.Errorf("scale 0.5 (%d entities) should exceed scale 0.1 (%d)",
+			len(large.Entities), len(small.Entities))
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	cfg := DefaultConfig(0.5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Generate(cfg)
+	}
+}
