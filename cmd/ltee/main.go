@@ -6,122 +6,205 @@
 //
 //	ltee -table 7              # print paper Table 7 (row clustering ablation)
 //	ltee -all                  # print every table (Tables 1-12 + ranked eval)
+//	ltee -all -workers 8       # generate the tables on 8 workers
 //	ltee -run GF-Player        # run the full pipeline for one class and
 //	                           # print a summary of the new entities found
 //	ltee -world 0.3 -corpus 0.2 -seed 7 -table 11
+//
+// With -workers N (default GOMAXPROCS; 1 = fully serial) the suite trains
+// per-class models concurrently and -all generates all tables in parallel,
+// printing them in order. Output is identical at every worker count.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/kb"
+	"repro/internal/par"
 	"repro/internal/report"
 )
 
+// errUsage signals a bad or missing action; unlike flag.ErrHelp (an
+// explicit -h) it exits non-zero.
+var errUsage = errors.New("usage")
+
 func main() {
-	var (
-		tableNum    = flag.Int("table", 0, "paper table to regenerate (1-13; 13 = ranked eval)")
-		all         = flag.Bool("all", false, "regenerate every table")
-		runClass    = flag.String("run", "", "run the full pipeline for a class (GF-Player, Song, Settlement)")
-		worldScale  = flag.Float64("world", 0.35, "world scale (entity counts)")
-		corpusScale = flag.Float64("corpus", 0.22, "corpus scale (table counts)")
-		seed        = flag.Int64("seed", 1, "generation and learning seed")
-		weights     = flag.Bool("weights", false, "print learned matcher weights (§3.1 analysis)")
-		ablation    = flag.Bool("ablation", false, "print the aggregation-strategy ablation (§3.2)")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// config is the parsed command line.
+type config struct {
+	tableNum    int
+	all         bool
+	runClass    string
+	worldScale  float64
+	corpusScale float64
+	seed        int64
+	workers     int
+	weights     bool
+	ablation    bool
+}
+
+// parseFlags parses the command line into a config (split from run so flag
+// handling is testable without building a suite).
+func parseFlags(args []string, stderr io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("ltee", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := &config{}
+	fs.IntVar(&cfg.tableNum, "table", 0, "paper table to regenerate (1-13; 13 = ranked eval)")
+	fs.BoolVar(&cfg.all, "all", false, "regenerate every table")
+	fs.StringVar(&cfg.runClass, "run", "", "run the full pipeline for a class (GF-Player, Song, Settlement)")
+	fs.Float64Var(&cfg.worldScale, "world", 0.35, "world scale (entity counts)")
+	fs.Float64Var(&cfg.corpusScale, "corpus", 0.22, "corpus scale (table counts)")
+	fs.Int64Var(&cfg.seed, "seed", 1, "generation and learning seed")
+	fs.IntVar(&cfg.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	fs.BoolVar(&cfg.weights, "weights", false, "print learned matcher weights (§3.1 analysis)")
+	fs.BoolVar(&cfg.ablation, "ablation", false, "print the aggregation-strategy ablation (§3.2)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if !cfg.all && cfg.tableNum == 0 && cfg.runClass == "" && !cfg.weights && !cfg.ablation {
+		fs.Usage()
+		return nil, errUsage
+	}
+	if cfg.tableNum < 0 || cfg.tableNum > 13 {
+		fmt.Fprintf(stderr, "unknown table %d (want 1-13)\n", cfg.tableNum)
+		return nil, errUsage
+	}
+	return cfg, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	cfg, err := parseFlags(args, stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return 0
+	}
+	if err != nil {
+		return 2
+	}
 
 	s := report.NewSuite(report.Options{
-		WorldScale: *worldScale, CorpusScale: *corpusScale, Seed: *seed,
+		WorldScale: cfg.worldScale, CorpusScale: cfg.corpusScale,
+		Seed: cfg.seed, Workers: cfg.workers,
 	})
-	fmt.Printf("world: %d entities, KB: %d instances, corpus: %d tables / %d rows\n\n",
+	fmt.Fprintf(stdout, "world: %d entities, KB: %d instances, corpus: %d tables / %d rows\n\n",
 		len(s.World.Entities), s.World.KB.NumInstances(), s.Corpus.Len(), s.Corpus.TotalRows())
 
 	switch {
-	case *all:
-		for n := 1; n <= 13; n++ {
-			printTable(s, n)
+	case cfg.all:
+		// Render all tables on the worker pool. Each table is delivered
+		// through its own slot and printed as soon as its ordered prefix
+		// is complete, so early tables stream out while later ones still
+		// compute and the output is identical at every worker count.
+		const nTables = 13
+		slots := make([]chan string, nTables)
+		for i := range slots {
+			slots[i] = make(chan string, 1)
 		}
-	case *tableNum > 0:
-		printTable(s, *tableNum)
-	case *weights:
-		fmt.Println(s.MatcherWeights())
-	case *ablation:
-		fmt.Println(s.AblationAggregation())
-	case *runClass != "":
-		runPipeline(s, *runClass)
-	default:
-		flag.Usage()
-		os.Exit(2)
+		go par.ForEach(cfg.workers, nTables, func(i int) {
+			slots[i] <- renderTable(s, i+1)
+		})
+		for _, slot := range slots {
+			fmt.Fprintln(stdout, <-slot)
+		}
+	case cfg.tableNum > 0:
+		fmt.Fprintln(stdout, renderTable(s, cfg.tableNum))
+	case cfg.weights:
+		fmt.Fprintln(stdout, s.MatcherWeights())
+	case cfg.ablation:
+		fmt.Fprintln(stdout, s.AblationAggregation())
+	case cfg.runClass != "":
+		if !runPipeline(s, cfg.runClass, stdout, stderr) {
+			return 2
+		}
 	}
+	return 0
 }
 
-func printTable(s *report.Suite, n int) {
+func renderTable(s *report.Suite, n int) string {
 	switch n {
 	case 1:
-		fmt.Println(s.Table1())
+		return s.Table1().String()
 	case 2:
-		fmt.Println(s.Table2())
+		return s.Table2().String()
 	case 3:
-		fmt.Println(s.Table3())
+		return s.Table3().String()
 	case 4:
-		fmt.Println(s.Table4())
+		return s.Table4().String()
 	case 5:
-		fmt.Println(s.Table5())
+		return s.Table5().String()
 	case 6:
-		fmt.Println(s.Table6())
+		return s.Table6().String()
 	case 7:
-		fmt.Println(s.Table7())
+		return s.Table7().String()
 	case 8:
-		fmt.Println(s.Table8())
+		return s.Table8().String()
 	case 9:
-		fmt.Println(s.Table9())
+		return s.Table9().String()
 	case 10:
-		fmt.Println(s.Table10())
+		return s.Table10().String()
 	case 11:
-		fmt.Println(s.Table11())
+		return s.Table11().String()
 	case 12:
-		fmt.Println(s.Table12())
+		return s.Table12().String()
 	case 13:
-		fmt.Println(s.Table13())
+		return s.Table13().String()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown table %d (want 1-13)\n", n)
-		os.Exit(2)
+		// parseFlags bounds n to 1-13; reaching this is a bug.
+		panic(fmt.Sprintf("renderTable: table %d out of range", n))
 	}
 }
 
-func runPipeline(s *report.Suite, name string) {
-	var class kb.ClassID
+// classByName resolves the user-facing class names to class IDs ("" for an
+// unknown name).
+func classByName(name string) kb.ClassID {
 	switch strings.ToLower(name) {
 	case "gf-player", "gfplayer", "player":
-		class = kb.ClassGFPlayer
+		return kb.ClassGFPlayer
 	case "song":
-		class = kb.ClassSong
+		return kb.ClassSong
 	case "settlement":
-		class = kb.ClassSettlement
+		return kb.ClassSettlement
 	default:
-		fmt.Fprintf(os.Stderr, "unknown class %q\n", name)
-		os.Exit(2)
+		return ""
+	}
+}
+
+func runPipeline(s *report.Suite, name string, stdout, stderr io.Writer) bool {
+	class := classByName(name)
+	if class == "" {
+		fmt.Fprintf(stderr, "unknown class %q\n", name)
+		return false
 	}
 	out := s.FullRun(class)
 	newEnts := out.NewEntities()
 	existing, _ := out.ExistingEntities()
-	fmt.Printf("class %s: %d tables, %d rows, %d clusters\n",
+	fmt.Fprintf(stdout, "class %s: %d tables, %d rows, %d clusters\n",
 		kb.ClassShortName(class), len(out.TableIDs), len(out.Rows), len(out.Entities))
-	fmt.Printf("existing entities: %d, new entities: %d\n\n", len(existing), len(newEnts))
+	fmt.Fprintf(stdout, "existing entities: %d, new entities: %d\n\n", len(existing), len(newEnts))
 	max := 15
 	if len(newEnts) < max {
 		max = len(newEnts)
 	}
-	fmt.Println("sample of new entities:")
+	fmt.Fprintln(stdout, "sample of new entities:")
 	for _, e := range newEnts[:max] {
-		var facts []string
-		for pid, v := range e.Facts {
-			facts = append(facts, fmt.Sprintf("%s=%s", string(pid)[4:], v))
+		// Emit facts in sorted property order so runs are byte-identical.
+		pids := make([]string, 0, len(e.Facts))
+		for pid := range e.Facts {
+			pids = append(pids, string(pid))
 		}
-		fmt.Printf("  %-28s %s\n", e.Label(), strings.Join(facts, ", "))
+		sort.Strings(pids)
+		facts := make([]string, 0, len(pids))
+		for _, pid := range pids {
+			facts = append(facts, fmt.Sprintf("%s=%s", pid[4:], e.Facts[kb.PropertyID(pid)]))
+		}
+		fmt.Fprintf(stdout, "  %-28s %s\n", e.Label(), strings.Join(facts, ", "))
 	}
+	return true
 }

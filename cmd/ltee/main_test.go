@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/kb"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	var stderr bytes.Buffer
+	cfg, err := parseFlags([]string{"-table", "3"}, &stderr)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if cfg.tableNum != 3 || cfg.all || cfg.workers != 0 {
+		t.Errorf("unexpected config: %+v", cfg)
+	}
+	if cfg.worldScale != 0.35 || cfg.corpusScale != 0.22 || cfg.seed != 1 {
+		t.Errorf("default scales wrong: %+v", cfg)
+	}
+}
+
+func TestParseFlagsAllOptions(t *testing.T) {
+	var stderr bytes.Buffer
+	cfg, err := parseFlags(
+		[]string{"-all", "-workers", "4", "-world", "0.3", "-corpus", "0.2", "-seed", "7"},
+		&stderr)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if !cfg.all || cfg.workers != 4 || cfg.worldScale != 0.3 || cfg.corpusScale != 0.2 || cfg.seed != 7 {
+		t.Errorf("unexpected config: %+v", cfg)
+	}
+}
+
+func TestParseFlagsNoAction(t *testing.T) {
+	var stderr bytes.Buffer
+	if _, err := parseFlags(nil, &stderr); err == nil {
+		t.Fatal("want usage error with no action flags")
+	}
+	if !strings.Contains(stderr.String(), "Usage") && !strings.Contains(stderr.String(), "-table") {
+		t.Errorf("usage not printed: %q", stderr.String())
+	}
+}
+
+func TestParseFlagsBadTable(t *testing.T) {
+	var stderr bytes.Buffer
+	if _, err := parseFlags([]string{"-table", "99"}, &stderr); err == nil {
+		t.Fatal("want error for out-of-range table")
+	}
+	if !strings.Contains(stderr.String(), "unknown table") {
+		t.Errorf("missing diagnostic: %q", stderr.String())
+	}
+}
+
+func TestParseFlagsUnknownFlag(t *testing.T) {
+	var stderr bytes.Buffer
+	if _, err := parseFlags([]string{"-nope"}, &stderr); err == nil {
+		t.Fatal("want error for unknown flag")
+	}
+}
+
+func TestClassByName(t *testing.T) {
+	cases := map[string]kb.ClassID{
+		"GF-Player":  kb.ClassGFPlayer,
+		"gfplayer":   kb.ClassGFPlayer,
+		"player":     kb.ClassGFPlayer,
+		"Song":       kb.ClassSong,
+		"settlement": kb.ClassSettlement,
+		"nonsense":   "",
+	}
+	for name, want := range cases {
+		if got := classByName(name); got != want {
+			t.Errorf("classByName(%q) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+// TestRunBadArgs exercises run() on the error paths that do not build a
+// suite (building one is covered by the report package tests).
+func TestRunBadArgs(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-table", "14"}, &stdout, &stderr); code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+	if code := run([]string{"-bogus"}, &stdout, &stderr); code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+}

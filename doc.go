@@ -12,7 +12,16 @@
 // internal/agg), the gold standard (internal/gold), the paper's evaluation
 // measures (internal/eval), and the table harness (internal/report).
 //
+// A shared concurrency layer (internal/par) provides the bounded worker
+// pool and memoized lazy cells behind every hot path: the pipeline fans
+// per-table schema matching and per-entity new detection out over the
+// pool, training parallelizes its per-table and per-cluster loops, the
+// greedy clusterer scores its batches on the same pool, and the report
+// harness trains per-class models and CV folds concurrently behind
+// singleflight-style cells. All fan-outs reduce in deterministic order,
+// so parallel runs are byte-identical to serial ones (workers = 1).
+//
 // The benchmarks in bench_test.go regenerate every evaluation table of the
-// paper; cmd/ltee prints them, and examples/ holds runnable end-to-end
-// scenarios.
+// paper; cmd/ltee prints them (the -workers flag drives all tables in
+// parallel), and examples/ holds runnable end-to-end scenarios.
 package repro

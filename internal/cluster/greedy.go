@@ -1,10 +1,9 @@
 package cluster
 
 import (
-	"runtime"
 	"sort"
-	"sync"
 
+	"repro/internal/par"
 	"repro/internal/webtable"
 )
 
@@ -30,7 +29,8 @@ func (c *Clustering) NumClusters() int {
 
 // Options configures the clustering run.
 type Options struct {
-	// Workers is the parallelism of the greedy pass (default NumCPU).
+	// Workers is the parallelism of the greedy pass (default GOMAXPROCS;
+	// 1 runs fully serial).
 	Workers int
 	// BatchSize is the number of rows assigned per parallel batch; larger
 	// batches are faster but make more correctable mistakes (default 64).
@@ -60,9 +60,7 @@ type clusterState struct {
 // share a cluster. It runs the parallelized greedy correlation clustering
 // and, when enabled, the KLj refinement.
 func Cluster(rows []*Row, scorer *Scorer, opts Options) *Clustering {
-	if opts.Workers <= 0 {
-		opts.Workers = runtime.NumCPU()
-	}
+	opts.Workers = par.Workers(opts.Workers)
 	if opts.BatchSize <= 0 {
 		opts.BatchSize = 64
 	}
@@ -103,19 +101,10 @@ func (c *clusterer) greedy(rows []*Row) {
 		}
 		batch := rows[start:end]
 		decisions := make([]decision, len(batch))
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, c.opts.Workers)
-		for i, row := range batch {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(i int, row *Row) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				best, score := c.bestCluster(row)
-				decisions[i] = decision{row: row, cluster: best, score: score}
-			}(i, row)
-		}
-		wg.Wait()
+		par.ForEach(c.opts.Workers, len(batch), func(i int) {
+			best, score := c.bestCluster(batch[i])
+			decisions[i] = decision{row: batch[i], cluster: best, score: score}
+		})
 		for _, d := range decisions {
 			if d.cluster >= 0 && d.score > 0 {
 				c.addToCluster(d.cluster, d.row)

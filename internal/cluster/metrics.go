@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"repro/internal/dtype"
+	"repro/internal/kb"
 	"repro/internal/strsim"
 )
 
@@ -59,10 +60,10 @@ type phiMetric struct{}
 func (phiMetric) Name() string { return "PHI" }
 
 func (phiMetric) Compare(a, b *Row) (float64, float64) {
-	if len(a.TableVec) == 0 || len(b.TableVec) == 0 {
+	if a.TableVec.Len() == 0 || b.TableVec.Len() == 0 {
 		return 0, 0
 	}
-	return strsim.Cosine(a.TableVec, b.TableVec), 1
+	return strsim.CosineSparse(a.TableVec, b.TableVec), 1
 }
 
 // ATTRIBUTE: data-type-specific equality over overlapping mapped values;
@@ -104,7 +105,10 @@ func (m implicitMetric) Compare(a, b *Row) (float64, float64) {
 	simSum, confSum := 0.0, 0.0
 	pairs := 0
 	direction := func(x, y *Row) {
-		for pid, ia := range x.Implicit {
+		// Fixed property order: confSum accumulates floats, so map
+		// iteration order must not leak into the score.
+		for _, pid := range kb.SortedPropertyIDs(x.Implicit) {
+			ia := x.Implicit[pid]
 			// Implicit vs the other table's implicit attribute.
 			if ib, ok := y.Implicit[pid]; ok {
 				pairs++

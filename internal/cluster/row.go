@@ -30,8 +30,9 @@ type Row struct {
 	// Implicit holds the implicit property-value combinations of the
 	// row's table with their confidence scores.
 	Implicit map[kb.PropertyID]ImplicitAttr
-	// TableVec is the table's PHI label-correlation vector.
-	TableVec map[string]float64
+	// TableVec is the table's PHI label-correlation vector, sorted by key
+	// so the PHI metric's accumulation order is fixed across runs.
+	TableVec strsim.SparseVec
 	// Blocks are the normalized label blocks assigned by the blocker.
 	Blocks []string
 }
@@ -115,8 +116,15 @@ func (b *Builder) Build(tableIDs []int) []*Row {
 		phi.addTable(tid, tableLabels)
 	}
 	phi.finalize()
+	// One sorted PHI vector per table, shared by all of its rows.
+	vecOf := make(map[int]strsim.SparseVec)
 	for _, r := range rows {
-		r.TableVec = phi.tableVector(r.Ref.Table)
+		v, ok := vecOf[r.Ref.Table]
+		if !ok {
+			v = strsim.ToSparse(phi.tableVector(r.Ref.Table))
+			vecOf[r.Ref.Table] = v
+		}
+		r.TableVec = v
 	}
 	assignBlocks(rows, cfg.BlockK)
 	return rows

@@ -8,6 +8,8 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/agg"
 	"repro/internal/cluster"
 	"repro/internal/dtype"
@@ -15,6 +17,7 @@ import (
 	"repro/internal/kb"
 	"repro/internal/match"
 	"repro/internal/newdet"
+	"repro/internal/par"
 	"repro/internal/webtable"
 )
 
@@ -42,6 +45,10 @@ type Config struct {
 	DedupConfig fusion.DedupConfig
 	// Seed drives all learned components.
 	Seed int64
+	// Workers bounds the worker pool of the per-table schema matching and
+	// per-entity new detection fan-outs (0 = GOMAXPROCS, 1 = serial). The
+	// parallel and serial paths produce identical output.
+	Workers int
 }
 
 // DefaultConfig returns the standard two-iteration configuration.
@@ -134,6 +141,12 @@ func New(cfg Config, models Models) *Pipeline {
 	if cfg.MinClassRowFrac <= 0 {
 		cfg.MinClassRowFrac = 0.3
 	}
+	// A single Workers knob governs the whole run: when the clustering
+	// options don't set their own pool size, they inherit it, so
+	// Workers=1 really is a fully serial pipeline.
+	if cfg.ClusterOpts.Workers == 0 {
+		cfg.ClusterOpts.Workers = cfg.Workers
+	}
 	return &Pipeline{Cfg: cfg, Models: models}
 }
 
@@ -147,10 +160,7 @@ func ClassifyTables(k *kb.KB, corpus *webtable.Corpus, minRowFrac float64) map[k
 	ctx := match.NewContext(k, corpus)
 	out := make(map[kb.ClassID][]int)
 	for _, t := range corpus.Tables {
-		match.DetectColumnKinds(t)
-		if t.LabelCol < 0 {
-			match.DetectLabelColumn(t)
-		}
+		match.EnsureDetected(t)
 		cm := match.MatchTableClass(ctx, t, minRowFrac)
 		if cm.Class == "" {
 			continue
@@ -198,6 +208,7 @@ func (p *Pipeline) Run(tableIDs []int) *Output {
 // iterate performs one full pass: schema matching → row clustering →
 // entity creation → new detection.
 func (p *Pipeline) iterate(mctx *match.Context, model *match.Model, matchers []match.Matcher, tableIDs []int) *Output {
+	tableIDs = sortedTableIDs(tableIDs)
 	out := &Output{
 		Class:       p.Cfg.Class,
 		TableIDs:    tableIDs,
@@ -205,19 +216,23 @@ func (p *Pipeline) iterate(mctx *match.Context, model *match.Model, matchers []m
 		MatchScores: make(map[fusion.ColKey]float64),
 		RowInstance: make(map[webtable.RowRef]kb.InstanceID),
 	}
-	// Schema matching: attribute-to-property correspondences per table.
-	for _, tid := range tableIDs {
+	// Schema matching: attribute-to-property correspondences per table,
+	// fanned out over the worker pool. Every worker writes only its own
+	// slot; the reduction below runs serially in table order, so the
+	// parallel path emits exactly what the serial one would.
+	scoredByTable := par.Map(p.Cfg.Workers, tableIDs, func(_, tid int) map[int]match.Correspondence {
 		t := p.Cfg.Corpus.Table(tid)
 		if t == nil {
+			return nil
+		}
+		match.EnsureDetected(t)
+		return match.MatchAttributesScored(mctx, model, matchers, t)
+	})
+	for i, tid := range tableIDs {
+		if p.Cfg.Corpus.Table(tid) == nil {
 			continue
 		}
-		if t.ColKinds == nil {
-			match.DetectColumnKinds(t)
-		}
-		if t.LabelCol < 0 {
-			match.DetectLabelColumn(t)
-		}
-		scored := match.MatchAttributesScored(mctx, model, matchers, t)
+		scored := scoredByTable[i]
 		m := make(map[int]kb.PropertyID, len(scored))
 		for col, corr := range scored {
 			m[col] = corr.Property
@@ -251,22 +266,40 @@ func (p *Pipeline) iterate(mctx *match.Context, model *match.Model, matchers []m
 		out.Entities = fusion.Deduplicate(src, out.Entities, p.Cfg.DedupConfig)
 	}
 
-	// New detection.
+	// New detection: each entity classifies independently on the pool;
+	// RowInstance is then assembled serially in entity order.
 	det := p.Models.Detector
 	if det == nil {
 		det = defaultDetector(p.Cfg.KB)
 	}
 	out.Detections = make([]newdet.Result, len(out.Entities))
+	par.ForEach(p.Cfg.Workers, len(out.Entities), func(i int) {
+		out.Detections[i] = det.Detect(out.Entities[i])
+	})
 	for i, e := range out.Entities {
-		res := det.Detect(e)
-		out.Detections[i] = res
-		if res.Matched {
+		if res := out.Detections[i]; res.Matched {
 			for _, r := range e.Rows {
 				out.RowInstance[r.Ref] = res.Instance
 			}
 		}
 	}
 	return out
+}
+
+// sortedTableIDs returns a deduplicated ascending copy of the table IDs:
+// output assembly iterates tables in this order, and the parallel matching
+// fan-out relies on distinct IDs so no two workers touch the same table.
+func sortedTableIDs(tableIDs []int) []int {
+	ids := make([]int, len(tableIDs))
+	copy(ids, tableIDs)
+	sort.Ints(ids)
+	dedup := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			dedup = append(dedup, id)
+		}
+	}
+	return dedup
 }
 
 // defaultScorer is the unlearned fallback: uniform weighted average over

@@ -165,6 +165,9 @@ func TestSecondIterationImprovesMappingRecall(t *testing.T) {
 }
 
 func TestDedupReducesEntityCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full Song runs; skipped in -short")
+	}
 	w, corpus := fixture()
 	byClass := ClassifyTables(w.KB, corpus, 0.3)
 	base := DefaultConfig(w.KB, corpus, kb.ClassSong)

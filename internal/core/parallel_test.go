@@ -1,0 +1,137 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/gold"
+	"repro/internal/kb"
+)
+
+// outputsEqual deep-compares the externally visible parts of two pipeline
+// outputs: mapping, match scores, clustering, entity labels and facts,
+// detections, and row-to-instance correspondences.
+func outputsEqual(t *testing.T, a, b *Output) {
+	t.Helper()
+	if !reflect.DeepEqual(a.TableIDs, b.TableIDs) {
+		t.Fatalf("table IDs differ: %v vs %v", a.TableIDs, b.TableIDs)
+	}
+	if !reflect.DeepEqual(a.Mapping, b.Mapping) {
+		t.Fatal("attribute mappings differ")
+	}
+	if !reflect.DeepEqual(a.MatchScores, b.MatchScores) {
+		t.Fatal("match scores differ")
+	}
+	if !reflect.DeepEqual(a.Clustering.Assign, b.Clustering.Assign) {
+		t.Fatal("cluster assignments differ")
+	}
+	if len(a.Entities) != len(b.Entities) {
+		t.Fatalf("entity counts differ: %d vs %d", len(a.Entities), len(b.Entities))
+	}
+	for i := range a.Entities {
+		if !reflect.DeepEqual(a.Entities[i].Labels, b.Entities[i].Labels) {
+			t.Fatalf("entity %d labels differ: %v vs %v",
+				i, a.Entities[i].Labels, b.Entities[i].Labels)
+		}
+		if !reflect.DeepEqual(a.Entities[i].Facts, b.Entities[i].Facts) {
+			t.Fatalf("entity %d facts differ", i)
+		}
+	}
+	if !reflect.DeepEqual(a.Detections, b.Detections) {
+		t.Fatal("detections differ")
+	}
+	if !reflect.DeepEqual(a.RowInstance, b.RowInstance) {
+		t.Fatal("row-instance correspondences differ")
+	}
+}
+
+// TestParallelMatchesSerial is the parallelism regression test: a pipeline
+// run fanned out over a worker pool must produce output identical to the
+// fully serial run for the same seed.
+func TestParallelMatchesSerial(t *testing.T) {
+	w, corpus := fixture()
+	byClass := ClassifyTables(w.KB, corpus, 0.3)
+	tables := byClass[kb.ClassGFPlayer]
+
+	serial := DefaultConfig(w.KB, corpus, kb.ClassGFPlayer)
+	serial.Iterations = 2
+	serial.Workers = 1
+	serial.ClusterOpts.Workers = 1
+	outSerial := New(serial, Models{}).Run(tables)
+
+	for _, workers := range []int{2, 8} {
+		parallel := serial
+		parallel.Workers = workers
+		parallel.ClusterOpts.Workers = workers
+		outParallel := New(parallel, Models{}).Run(tables)
+		outputsEqual(t, outSerial, outParallel)
+	}
+}
+
+// TestSameSeedTwiceIdentical verifies full-output determinism: two runs
+// with identical configuration (parallel workers included) must agree on
+// every mapping, cluster, entity and detection — map iteration order must
+// not leak into any emitted structure.
+func TestSameSeedTwiceIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full Song runs; skipped in -short (TestParallelMatchesSerial covers determinism)")
+	}
+	w, corpus := fixture()
+	byClass := ClassifyTables(w.KB, corpus, 0.3)
+	tables := byClass[kb.ClassSong]
+
+	cfg := DefaultConfig(w.KB, corpus, kb.ClassSong)
+	cfg.Iterations = 2
+	a := New(cfg, Models{}).Run(tables)
+	b := New(cfg, Models{}).Run(tables)
+	outputsEqual(t, a, b)
+}
+
+// TestTrainParallelMatchesSerial verifies that training with a worker pool
+// learns models identical to fully serial training — including the random
+// forest, which is sensitive to any float jitter in its inputs (the PHI
+// and IMPLICIT_ATT metrics accumulate in fixed key order for exactly this
+// reason).
+func TestTrainParallelMatchesSerial(t *testing.T) {
+	w, corpus := fixture()
+	g := gold.FromWorld(w, corpus, kb.ClassGFPlayer, 40)
+	all := make([]int, len(g.Clusters))
+	for i := range all {
+		all[i] = i
+	}
+	cfg := DefaultConfig(w.KB, corpus, kb.ClassGFPlayer)
+	cfg.Workers = 1
+	serial := Train(cfg, g, all)
+	cfg.Workers = 4
+	parallel := Train(cfg, g, all)
+
+	if !reflect.DeepEqual(serial.AttrFirst, parallel.AttrFirst) {
+		t.Error("first-iteration attribute models differ")
+	}
+	if !reflect.DeepEqual(serial.AttrSecond, parallel.AttrSecond) {
+		t.Error("second-iteration attribute models differ")
+	}
+	if !reflect.DeepEqual(serial.ClusterModel, parallel.ClusterModel) {
+		t.Error("cluster aggregators differ")
+	}
+	if !reflect.DeepEqual(serial.DetectorModel, parallel.DetectorModel) {
+		t.Error("detector aggregators differ")
+	}
+	if serial.Detector.NewThreshold != parallel.Detector.NewThreshold ||
+		serial.Detector.ExistThreshold != parallel.Detector.ExistThreshold {
+		t.Error("detector thresholds differ")
+	}
+}
+
+// TestSortedTableIDs covers the ID canonicalization the parallel fan-out
+// relies on (distinct IDs so no two workers share a table).
+func TestSortedTableIDs(t *testing.T) {
+	got := sortedTableIDs([]int{5, 3, 5, 1, 3})
+	want := []int{1, 3, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("sortedTableIDs = %v, want %v", got, want)
+	}
+	if out := sortedTableIDs(nil); len(out) != 0 {
+		t.Errorf("nil input: %v", out)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/kb"
 	"repro/internal/match"
 	"repro/internal/newdet"
+	"repro/internal/par"
 	"repro/internal/webtable"
 )
 
@@ -79,15 +80,16 @@ func Train(cfg Config, g *gold.Standard, trainClusters []int) Models {
 	prelim := make(map[match.ColRef]kb.PropertyID)
 	mapping := make(map[int]map[int]kb.PropertyID)
 	firstMatchers := match.FirstIterationMatchers()
-	for _, tid := range trainTables {
+	// First-iteration mapping per training table, fanned out over the pool
+	// (trainTables is sorted and duplicate-free, so each worker owns its
+	// table) and reduced serially in table order.
+	perTable := par.Map(cfg.Workers, trainTables, func(_, tid int) map[int]kb.PropertyID {
 		t := cfg.Corpus.Table(tid)
-		if t.ColKinds == nil {
-			match.DetectColumnKinds(t)
-		}
-		if t.LabelCol < 0 {
-			match.DetectLabelColumn(t)
-		}
-		m := match.MatchAttributes(ctx, models.AttrFirst, firstMatchers, t)
+		match.EnsureDetected(t)
+		return match.MatchAttributes(ctx, models.AttrFirst, firstMatchers, t)
+	})
+	for i, tid := range trainTables {
+		m := perTable[i]
 		mapping[tid] = m
 		for col, pid := range m {
 			prelim[match.ColRef{Table: tid, Col: col}] = pid
@@ -207,10 +209,12 @@ func detectionExamples(cfg Config, g *gold.Standard, trainSet map[int]bool, rows
 		Thresholds: dtype.DefaultThresholds(),
 		Scoring:    fusion.Voting,
 	}
-	var out []newdet.Example
-	for ci, c := range g.Clusters {
+	// Entity creation per training cluster runs on the pool (VOTING scoring
+	// keeps the sources read-only); the nil-filtering reduction keeps the
+	// examples in cluster order.
+	created := par.Map(cfg.Workers, g.Clusters, func(ci int, c *gold.Cluster) *newdet.Example {
 		if !trainSet[ci] {
-			continue
+			return nil
 		}
 		var members []*cluster.Row
 		for _, ref := range c.Rows {
@@ -219,10 +223,16 @@ func detectionExamples(cfg Config, g *gold.Standard, trainSet map[int]bool, rows
 			}
 		}
 		if len(members) == 0 {
-			continue
+			return nil
 		}
 		e := fusion.Create(src, members)
-		out = append(out, newdet.Example{Entity: e, IsNew: c.IsNew, Instance: c.Instance})
+		return &newdet.Example{Entity: e, IsNew: c.IsNew, Instance: c.Instance}
+	})
+	var out []newdet.Example
+	for _, ex := range created {
+		if ex != nil {
+			out = append(out, *ex)
+		}
 	}
 	return out
 }

@@ -317,3 +317,19 @@ func (kb *KB) Candidates(label string, opts CandidateOpts) []InstanceID {
 func (kb *KB) String() string {
 	return fmt.Sprintf("KB{classes: %d, instances: %d}", len(kb.classes), len(kb.instances))
 }
+
+// SortedPropertyIDs returns a property-keyed map's keys in ascending
+// order — the fixed iteration order shared by every component whose float
+// accumulations must not depend on map iteration order (the IMPLICIT_ATT
+// metrics of row clustering and new detection).
+func SortedPropertyIDs[V any](m map[PropertyID]V) []PropertyID {
+	if len(m) == 0 {
+		return nil
+	}
+	pids := make([]PropertyID, 0, len(m))
+	for pid := range m {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	return pids
+}

@@ -127,16 +127,20 @@ func Learn(ctx *Context, matchers []Matcher, class kb.ClassID, examples []Exampl
 	// Precompute matcher scores per (example, property) once; the GA then
 	// only re-aggregates.
 	schema := ctx.KB.Schema(class)
+	type propScores struct {
+		pid kb.PropertyID
+		row []float64 // per matcher
+	}
 	type scored struct {
 		want   kb.PropertyID
-		scores map[kb.PropertyID][]float64 // per candidate property, per matcher
+		scores []propScores // candidate properties in schema order
 	}
 	data := make([]scored, 0, len(examples))
 	for _, ex := range examples {
 		if ex.Table.ColKinds == nil {
 			DetectColumnKinds(ex.Table)
 		}
-		sc := scored{want: ex.Want, scores: make(map[kb.PropertyID][]float64)}
+		sc := scored{want: ex.Want}
 		for _, prop := range schema {
 			if !typeCompatible(ex.Table.ColKinds[ex.Col], prop.Kind) {
 				continue
@@ -145,20 +149,22 @@ func Learn(ctx *Context, matchers []Matcher, class kb.ClassID, examples []Exampl
 			for i, mt := range matchers {
 				row[i] = mt.Score(&ctx2, ex.Table, ex.Col, prop)
 			}
-			sc.scores[prop.ID] = row
+			sc.scores = append(sc.scores, propScores{pid: prop.ID, row: row})
 		}
 		data = append(data, sc)
 	}
 
+	// Candidates are visited in schema order so exact score ties resolve
+	// identically on every run (map iteration order must not leak in).
 	aggregate := func(weights []float64, sc scored) (kb.PropertyID, float64) {
 		best, bestS := kb.PropertyID(""), 0.0
-		for pid, row := range sc.scores {
+		for _, ps := range sc.scores {
 			var s float64
-			for i := range row {
-				s += weights[i] * row[i]
+			for i := range ps.row {
+				s += weights[i] * ps.row[i]
 			}
 			if s > bestS {
-				bestS, best = s, pid
+				bestS, best = s, ps.pid
 			}
 		}
 		return best, bestS

@@ -6,6 +6,8 @@
 package match
 
 import (
+	"sync"
+
 	"repro/internal/dtype"
 	"repro/internal/kb"
 	"repro/internal/webtable"
@@ -40,9 +42,22 @@ type Context struct {
 	// Thresholds are the data-type equivalence thresholds in effect.
 	Thresholds dtype.Thresholds
 
-	// Lazily built caches.
+	// caches holds the lazily built matcher caches behind a mutex, so
+	// matching may run for many tables concurrently over one context. The
+	// pointer is shared by shallow copies of the context (e.g. the copy
+	// Learn takes), never across iteration boundaries.
+	caches *ctxCaches
+}
+
+// ctxCaches bundles the lazily built caches of one matching context. All
+// three are built exactly once under mu and are read-only afterwards;
+// readers take the shared lock so cache hits on the matching hot path do
+// not serialize the worker pool.
+type ctxCaches struct {
+	mu         sync.RWMutex
 	kbProfiles map[kb.ClassID]map[kb.PropertyID]*propProfile
 	wtLabels   map[kb.PropertyID]map[string]float64
+	wtDone     bool
 	clusterVal map[clusterPropKey][]tableValue
 }
 
@@ -58,6 +73,7 @@ func NewContext(k *kb.KB, corpus *webtable.Corpus) *Context {
 		KB:         k,
 		Corpus:     corpus,
 		Thresholds: dtype.DefaultThresholds(),
+		caches:     &ctxCaches{},
 	}
 }
 
@@ -73,10 +89,33 @@ func (c *Context) WithIterationOutput(
 	out.RowInstance = rowInstance
 	out.RowCluster = rowCluster
 	out.Prelim = prelim
-	// Invalidate caches that depend on iteration outputs.
-	out.wtLabels = nil
-	out.clusterVal = nil
+	// Fresh caches for the parts that depend on iteration outputs (label
+	// statistics, cluster value pool); the KB property profiles depend
+	// only on the immutable KB and carry over. They are copied into the
+	// new cache struct rather than aliased, so each context's mutex
+	// guards its own maps.
+	out.caches = c.caches.deriveWithProfiles()
 	return &out
+}
+
+// deriveWithProfiles returns a fresh cache struct seeded with a copy of
+// the already-built KB property profiles (the profiles themselves are
+// immutable once built and safe to share).
+func (cc *ctxCaches) deriveWithProfiles() *ctxCaches {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	nc := &ctxCaches{}
+	if cc.kbProfiles != nil {
+		nc.kbProfiles = make(map[kb.ClassID]map[kb.PropertyID]*propProfile, len(cc.kbProfiles))
+		for class, byProp := range cc.kbProfiles {
+			m := make(map[kb.PropertyID]*propProfile, len(byProp))
+			for pid, p := range byProp {
+				m[pid] = p
+			}
+			nc.kbProfiles[class] = m
+		}
+	}
+	return nc
 }
 
 type clusterPropKey struct {

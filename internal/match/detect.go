@@ -6,6 +6,21 @@ import (
 	"repro/internal/webtable"
 )
 
+// EnsureDetected runs column-kind and label-attribute detection on a
+// table unless both have already run. The skip-when-done guards are
+// load-bearing for concurrency: once a corpus is prepared (e.g. by
+// report.Suite), EnsureDetected never writes, so tables may be shared
+// across worker pools. Callers that touch a table before matching should
+// go through this instead of hand-rolling the guard pair.
+func EnsureDetected(t *webtable.Table) {
+	if t.ColKinds == nil {
+		DetectColumnKinds(t)
+	}
+	if t.LabelCol < 0 {
+		DetectLabelColumn(t)
+	}
+}
+
 // DetectColumnKinds assigns each column of the table one of the three
 // coarse detection types (Text, Date, Quantity) by majority vote over its
 // non-empty cells, and stores the result in t.ColKinds.

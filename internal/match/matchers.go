@@ -47,15 +47,25 @@ type propProfile struct {
 }
 
 func (c *Context) profile(class kb.ClassID, pid kb.PropertyID) *propProfile {
-	if c.kbProfiles == nil {
-		c.kbProfiles = make(map[kb.ClassID]map[kb.PropertyID]*propProfile)
+	cc := c.caches
+	// Fast path: cache hit under the shared lock.
+	cc.mu.RLock()
+	if p, ok := cc.kbProfiles[class][pid]; ok {
+		cc.mu.RUnlock()
+		return p
 	}
-	if byProp, ok := c.kbProfiles[class]; ok {
+	cc.mu.RUnlock()
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.kbProfiles == nil {
+		cc.kbProfiles = make(map[kb.ClassID]map[kb.PropertyID]*propProfile)
+	}
+	if byProp, ok := cc.kbProfiles[class]; ok {
 		if p, ok := byProp[pid]; ok {
 			return p
 		}
 	} else {
-		c.kbProfiles[class] = make(map[kb.PropertyID]*propProfile)
+		cc.kbProfiles[class] = make(map[kb.PropertyID]*propProfile)
 	}
 	prop, ok := c.KB.Property(class, pid)
 	if !ok {
@@ -91,7 +101,7 @@ func (c *Context) profile(class kb.ClassID, pid kb.PropertyID) *propProfile {
 			p.strs[v.Str] = true
 		}
 	}
-	c.kbProfiles[class][pid] = p
+	cc.kbProfiles[class][pid] = p
 	return p
 }
 
@@ -230,8 +240,18 @@ func (c *Context) wtLabelStats() map[kb.PropertyID]map[string]float64 {
 	if c.Prelim == nil {
 		return nil
 	}
-	if c.wtLabels != nil {
-		return c.wtLabels
+	cc := c.caches
+	cc.mu.RLock()
+	if cc.wtDone {
+		stats := cc.wtLabels
+		cc.mu.RUnlock()
+		return stats
+	}
+	cc.mu.RUnlock()
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.wtDone {
+		return cc.wtLabels
 	}
 	// count[label][prop] = number of columns with that header mapped to prop.
 	count := make(map[string]map[kb.PropertyID]int)
@@ -260,7 +280,8 @@ func (c *Context) wtLabelStats() map[kb.PropertyID]map[string]float64 {
 			stats[pid][label] = float64(n) / float64(totals[label])
 		}
 	}
-	c.wtLabels = stats
+	cc.wtLabels = stats
+	cc.wtDone = true
 	return stats
 }
 
@@ -311,8 +332,18 @@ func (wtDuplicate) Score(ctx *Context, t *webtable.Table, col int, prop kb.Prope
 // whose column is preliminarily mapped to that property, together with the
 // table each value came from.
 func (c *Context) clusterValues() map[clusterPropKey][]tableValue {
-	if c.clusterVal != nil {
-		return c.clusterVal
+	cc := c.caches
+	cc.mu.RLock()
+	if cc.clusterVal != nil {
+		pool := cc.clusterVal
+		cc.mu.RUnlock()
+		return pool
+	}
+	cc.mu.RUnlock()
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.clusterVal != nil {
+		return cc.clusterVal
 	}
 	pool := make(map[clusterPropKey][]tableValue)
 	for ref, pid := range c.Prelim {
@@ -335,6 +366,6 @@ func (c *Context) clusterValues() map[clusterPropKey][]tableValue {
 			}
 		}
 	}
-	c.clusterVal = pool
+	cc.clusterVal = pool
 	return pool
 }

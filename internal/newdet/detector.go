@@ -74,7 +74,10 @@ func (d *Detector) BestCandidate(e *fusion.Entity) (kb.InstanceID, float64) {
 	if len(cands) == 0 {
 		return -1, 0
 	}
-	env := &Env{KB: d.KB, Thresholds: d.Thresholds, PopRank: BuildPopRank(d.KB, cands)}
+	env := &Env{
+		KB: d.KB, Thresholds: d.Thresholds,
+		PopRank: BuildPopRank(d.KB, cands), ImplicitOrder: ImplicitOrder(e),
+	}
 	best, bestScore := kb.InstanceID(-1), -2.0
 	for _, iid := range cands {
 		s := d.Score(env, e, d.KB.Instance(iid))
@@ -148,7 +151,10 @@ func LearnAggregator(k *kb.KB, metrics []Metric, examples []Example, seed int64)
 		if len(cands) == 0 {
 			continue
 		}
-		env := &Env{KB: k, Thresholds: d.Thresholds, PopRank: BuildPopRank(k, cands)}
+		env := &Env{
+			KB: k, Thresholds: d.Thresholds,
+			PopRank: BuildPopRank(k, cands), ImplicitOrder: ImplicitOrder(ex.Entity),
+		}
 		for _, c := range cands {
 			f := agg.Features{
 				Scores: make([]float64, len(metrics)),

@@ -23,6 +23,18 @@ type Env struct {
 	// PopRank maps candidate instances to their popularity-based rank
 	// score in the current candidate set (1.0 for the most popular).
 	PopRank map[kb.InstanceID]float64
+	// ImplicitOrder caches the current entity's implicit property IDs in
+	// ascending order (see ImplicitOrder), so the IMPLICIT_ATT metric
+	// sorts once per entity instead of once per candidate. Nil means
+	// "compute on demand".
+	ImplicitOrder []kb.PropertyID
+}
+
+// ImplicitOrder returns an entity's implicit property IDs in ascending
+// order — the fixed accumulation order the IMPLICIT_ATT metric needs so
+// map iteration order cannot leak into its confidence sum.
+func ImplicitOrder(e *fusion.Entity) []kb.PropertyID {
+	return kb.SortedPropertyIDs(e.Implicit)
 }
 
 // Metric is one entity-to-instance similarity metric.
@@ -133,7 +145,14 @@ func (implicitMetric) Name() string { return "IMPLICIT_ATT" }
 func (implicitMetric) Compare(env *Env, e *fusion.Entity, inst *kb.Instance) (float64, float64) {
 	pairs := 0
 	var sim, conf float64
-	for pid, ia := range e.Implicit {
+	// Fixed property order: conf accumulates floats, so map iteration
+	// order must not leak into the score.
+	pids := env.ImplicitOrder
+	if pids == nil {
+		pids = ImplicitOrder(e)
+	}
+	for _, pid := range pids {
+		ia := e.Implicit[pid]
 		fact, ok := inst.Facts[pid]
 		if !ok {
 			continue

@@ -1,0 +1,121 @@
+// Package par provides the shared bounded worker pool and memoization
+// primitives used across the pipeline (internal/core), the clusterer
+// (internal/cluster) and the evaluation harness (internal/report).
+//
+// The pool primitives (ForEach, Map) fan work out over a fixed number of
+// workers and leave result placement to the caller by index, so a parallel
+// run reduces to exactly the same output as the serial one. Workers <= 1
+// always takes a plain serial loop with no goroutines, which keeps the
+// serial path trivially debuggable and byte-identical by construction.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the default pool size: one worker per usable CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Workers normalizes a requested worker count: values <= 0 select
+// DefaultWorkers.
+func Workers(n int) int {
+	if n <= 0 {
+		return DefaultWorkers()
+	}
+	return n
+}
+
+// ForEach invokes fn(i) for every i in [0, n), distributing the calls over
+// at most workers goroutines, and returns when all calls have finished.
+// With workers <= 1 (or n <= 1) the calls run serially, in index order, on
+// the calling goroutine.
+//
+// fn must confine its writes to index-distinct locations (slot i of a
+// results slice); the caller then reduces the slots in index order, making
+// the parallel and serial paths produce identical output.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map applies fn to every element of items on a pool of at most workers
+// goroutines and returns the results in input order.
+func Map[T, R any](workers int, items []T, fn func(i int, item T) R) []R {
+	out := make([]R, len(items))
+	ForEach(workers, len(items), func(i int) {
+		out[i] = fn(i, items[i])
+	})
+	return out
+}
+
+// Cell is a lazily computed, memoized value: the first Get computes it
+// exactly once and concurrent Gets block until that computation finishes
+// and then share its result (singleflight semantics).
+//
+// The zero value is ready to use.
+type Cell[T any] struct {
+	once sync.Once
+	val  T
+}
+
+// Get returns the memoized value, computing it with compute on first use.
+func (c *Cell[T]) Get(compute func() T) T {
+	c.once.Do(func() { c.val = compute() })
+	return c.val
+}
+
+// Group memoizes one Cell per key: each key's value is computed exactly
+// once, while distinct keys compute concurrently. The group mutex guards
+// only the cell map, never a computation, so a slow key does not block the
+// others.
+//
+// The zero value is ready to use.
+type Group[K comparable, V any] struct {
+	mu    sync.Mutex
+	cells map[K]*Cell[V]
+}
+
+// Get returns the memoized value for key, computing it with compute on the
+// key's first use.
+func (g *Group[K, V]) Get(key K, compute func() V) V {
+	g.mu.Lock()
+	if g.cells == nil {
+		g.cells = make(map[K]*Cell[V])
+	}
+	c := g.cells[key]
+	if c == nil {
+		c = &Cell[V]{}
+		g.cells[key] = c
+	}
+	g.mu.Unlock()
+	return c.Get(compute)
+}

@@ -1,0 +1,104 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 100
+		hits := make([]int32, n)
+		ForEach(workers, n, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	ForEach(4, 0, func(int) { called = true })
+	ForEach(4, -1, func(int) { called = true })
+	if called {
+		t.Error("fn called for empty range")
+	}
+}
+
+func TestForEachSerialOrder(t *testing.T) {
+	var got []int
+	ForEach(1, 5, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("serial order broken: %v", got)
+		}
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	in := []int{5, 3, 9, 1, 7, 2}
+	for _, workers := range []int{1, 4} {
+		out := Map(workers, in, func(i, v int) int { return v * v })
+		for i, v := range out {
+			if v != in[i]*in[i] {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Error("non-positive requests must normalize to >= 1")
+	}
+	if Workers(5) != 5 {
+		t.Error("positive requests pass through")
+	}
+}
+
+func TestCellComputesOnce(t *testing.T) {
+	var c Cell[int]
+	var calls atomic.Int32
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			if v := c.Get(func() int { calls.Add(1); return 42 }); v != 42 {
+				t.Error("wrong value")
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if calls.Load() != 1 {
+		t.Errorf("compute ran %d times", calls.Load())
+	}
+}
+
+func TestGroupPerKeyMemoization(t *testing.T) {
+	var g Group[string, int]
+	var calls atomic.Int32
+	done := make(chan struct{})
+	keys := []string{"a", "b", "a", "b", "a", "b"}
+	for _, k := range keys {
+		k := k
+		go func() {
+			defer func() { done <- struct{}{} }()
+			g.Get(k, func() int {
+				calls.Add(1)
+				return len(k)
+			})
+		}()
+	}
+	for range keys {
+		<-done
+	}
+	if calls.Load() != 2 {
+		t.Errorf("compute ran %d times, want once per key", calls.Load())
+	}
+}

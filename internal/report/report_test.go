@@ -4,7 +4,12 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/kb"
 )
+
+// kbEvalClass0 returns the first evaluation class.
+func kbEvalClass0() kb.ClassID { return kb.EvalClasses()[0] }
 
 var (
 	suiteOnce sync.Once
@@ -18,6 +23,46 @@ func testSuite() *Suite {
 		suiteVal = NewSuite(Options{WorldScale: 0.18, CorpusScale: 0.10, Seed: 1})
 	})
 	return suiteVal
+}
+
+// TestSuiteConcurrentAccess drives the suite's memoized cells from many
+// goroutines at once: the cheap tables, the fold splits and the
+// table-to-class matching must each compute once and produce identical
+// results for every caller (this is the -race exercise for the per-class
+// lazy cells that replaced the coarse suite mutex).
+func TestSuiteConcurrentAccess(t *testing.T) {
+	s := testSuite()
+	byClassFirst := s.TablesByClass()
+	done := make(chan string, 24)
+	for i := 0; i < 8; i++ {
+		go func() {
+			done <- s.Table1().String()
+		}()
+		go func() {
+			s.Folds(kbEvalClass0())
+			done <- ""
+		}()
+		go func() {
+			if len(s.TablesByClass()) != len(byClassFirst) {
+				done <- "tables-by-class mismatch"
+				return
+			}
+			done <- ""
+		}()
+	}
+	var table1 string
+	for i := 0; i < 24; i++ {
+		msg := <-done
+		switch {
+		case msg == "":
+		case msg == "tables-by-class mismatch":
+			t.Error(msg)
+		case table1 == "":
+			table1 = msg
+		case msg != table1:
+			t.Error("Table1 rendered differently across goroutines")
+		}
+	}
 }
 
 func TestTable1(t *testing.T) {
@@ -54,6 +99,9 @@ func TestTable5(t *testing.T) {
 }
 
 func TestTable6IterationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pipeline models; skipped in -short")
+	}
 	s := testSuite()
 	rows := s.Table6Data()
 	if len(rows) != 3 {
@@ -74,6 +122,9 @@ func TestTable6IterationShape(t *testing.T) {
 }
 
 func TestTable7AblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pipeline models; skipped in -short")
+	}
 	s := testSuite()
 	rows := s.Table7Data()
 	if len(rows) != 6 {
@@ -100,6 +151,9 @@ func TestTable7AblationShape(t *testing.T) {
 }
 
 func TestTable8AblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pipeline models; skipped in -short")
+	}
 	s := testSuite()
 	rows := s.Table8Data()
 	if len(rows) != 6 {
@@ -114,6 +168,9 @@ func TestTable8AblationShape(t *testing.T) {
 }
 
 func TestTable9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pipeline models; skipped in -short")
+	}
 	s := testSuite()
 	rows := s.Table9Data()
 	if len(rows) != 7 { // 3 classes × 2 conditions + average
@@ -129,6 +186,9 @@ func TestTable9Shape(t *testing.T) {
 }
 
 func TestTable10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pipeline models; skipped in -short")
+	}
 	s := testSuite()
 	rows := s.Table10Data()
 	if len(rows) != 10 { // 3 classes × 3 conditions + average
@@ -144,6 +204,9 @@ func TestTable10Shape(t *testing.T) {
 }
 
 func TestTable11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pipeline models; skipped in -short")
+	}
 	s := testSuite()
 	rows := s.Table11Data()
 	if len(rows) != 3 {
@@ -180,6 +243,9 @@ func TestTable11Shape(t *testing.T) {
 }
 
 func TestTable12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pipeline models; skipped in -short")
+	}
 	s := testSuite()
 	tbl := s.Table12()
 	if len(tbl.Rows) != 11+7+5 {
@@ -188,6 +254,9 @@ func TestTable12Shape(t *testing.T) {
 }
 
 func TestRankedData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pipeline models; skipped in -short")
+	}
 	s := testSuite()
 	rs := s.RankedData()
 	if rs.MAP < 0 || rs.MAP > 1 || rs.P5 < 0 || rs.P5 > 1 {
@@ -229,6 +298,9 @@ func minF(xs ...float64) float64 {
 }
 
 func TestTable4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pipeline models; skipped in -short")
+	}
 	s := testSuite()
 	tbl := s.Table4()
 	if len(tbl.Rows) != 3 {
@@ -237,6 +309,9 @@ func TestTable4Shape(t *testing.T) {
 }
 
 func TestMatcherWeights(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains pipeline models; skipped in -short")
+	}
 	s := testSuite()
 	tbl := s.MatcherWeights()
 	if len(tbl.Rows) != 3 {

@@ -6,30 +6,48 @@
 package report
 
 import (
-	"sync"
-
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/gold"
 	"repro/internal/kb"
+	"repro/internal/match"
+	"repro/internal/par"
 	"repro/internal/webtable"
 	"repro/internal/world"
 )
 
 // Suite bundles the synthetic world, corpus and per-class gold standards,
 // caching trained models and pipeline runs across tables.
+//
+// Every cache is a per-class memoized lazy cell: the first caller of a
+// (cache, class) pair computes it exactly once while concurrent callers
+// for the same class wait and share the result, and independent classes
+// train and run concurrently. This replaces the coarse suite-wide mutex
+// that used to serialize all training; all table generators may therefore
+// run in parallel (cmd/ltee -workers drives them that way).
 type Suite struct {
 	World  *world.World
 	Corpus *webtable.Corpus
 	Golds  map[kb.ClassID]*gold.Standard
 	Seed   int64
+	// Workers bounds the worker pools of the suite and its pipeline runs
+	// (0 = GOMAXPROCS, 1 = serial).
+	Workers int
 
-	mu           sync.Mutex
-	models       map[kb.ClassID]core.Models  // trained on the full gold standard
-	foldsOf      map[kb.ClassID][][]int      // 3-fold CV splits
-	byClass      map[kb.ClassID][]int        // table-to-class matching result
-	fullRuns     map[kb.ClassID]*core.Output // full-corpus pipeline runs
-	goldRuns     map[kb.ClassID]*core.Output // gold-tables pipeline runs
-	foldRunCache map[kb.ClassID][]*foldRun   // per-fold models and entities
+	prepared     par.Cell[struct{}]
+	models       par.Group[kb.ClassID, core.Models]  // trained on the full gold standard
+	foldsOf      par.Group[kb.ClassID, [][]int]      // 3-fold CV splits
+	byClass      par.Cell[map[kb.ClassID][]int]      // table-to-class matching result
+	fullRuns     par.Group[kb.ClassID, *core.Output] // full-corpus pipeline runs
+	goldRuns     par.Group[kb.ClassID, *core.Output] // gold-tables pipeline runs
+	rowsOf       par.Group[kb.ClassID, classRows]    // prepared rows + first-iteration mapping
+	foldRunCache par.Group[kb.ClassID, []*foldRun]   // per-fold models and entities
+}
+
+// classRows carries the memoized output of clusterRows for one class.
+type classRows struct {
+	rows    []*cluster.Row
+	mapping map[int]map[int]kb.PropertyID
 }
 
 // Options sizes the suite.
@@ -40,6 +58,8 @@ type Options struct {
 	CorpusScale float64
 	// Seed drives generation and learning.
 	Seed int64
+	// Workers bounds the suite's worker pools (0 = GOMAXPROCS, 1 = serial).
+	Workers int
 }
 
 // DefaultOptions returns the laptop-scale defaults used by the CLI and the
@@ -63,16 +83,11 @@ func NewSuite(opts Options) *Suite {
 	ccfg.Seed = opts.Seed + 100
 	corpus := webtable.Synthesize(w, ccfg)
 	s := &Suite{
-		World:  w,
-		Corpus: corpus,
-		Golds:  make(map[kb.ClassID]*gold.Standard),
-		Seed:   opts.Seed,
-
-		models:   make(map[kb.ClassID]core.Models),
-		foldsOf:  make(map[kb.ClassID][][]int),
-		byClass:  nil,
-		fullRuns: make(map[kb.ClassID]*core.Output),
-		goldRuns: make(map[kb.ClassID]*core.Output),
+		World:   w,
+		Corpus:  corpus,
+		Golds:   make(map[kb.ClassID]*gold.Standard),
+		Seed:    opts.Seed,
+		Workers: opts.Workers,
 	}
 	for _, class := range kb.EvalClasses() {
 		s.Golds[class] = gold.FromWorld(w, corpus, class, 0)
@@ -80,80 +95,83 @@ func NewSuite(opts Options) *Suite {
 	return s
 }
 
+// prepare runs column-kind and label-attribute detection over the whole
+// corpus once (parallel over tables, each table owned by one worker).
+// Afterwards the pipeline's per-table detection guards never write, so
+// per-class work can safely touch the shared corpus concurrently.
+func (s *Suite) prepare() {
+	s.prepared.Get(func() struct{} {
+		par.ForEach(s.Workers, len(s.Corpus.Tables), func(i int) {
+			t := s.Corpus.Tables[i]
+			match.EnsureDetected(t)
+		})
+		return struct{}{}
+	})
+}
+
 // Config returns the default pipeline configuration for a class.
 func (s *Suite) Config(class kb.ClassID) core.Config {
 	cfg := core.DefaultConfig(s.World.KB, s.Corpus, class)
 	cfg.Seed = s.Seed
+	cfg.Workers = s.Workers
+	cfg.ClusterOpts.Workers = s.Workers
 	return cfg
 }
 
+// clusterOptions returns the default clustering options bounded by the
+// suite's worker pool (so workers=1 really is fully serial).
+func (s *Suite) clusterOptions() cluster.Options {
+	opts := cluster.NewOptions()
+	opts.Workers = s.Workers
+	return opts
+}
+
 // ModelsFor trains (once) the pipeline models of a class on the full gold
-// standard.
+// standard. Distinct classes train concurrently.
 func (s *Suite) ModelsFor(class kb.ClassID) core.Models {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if m, ok := s.models[class]; ok {
-		return m
-	}
-	g := s.Golds[class]
-	all := make([]int, len(g.Clusters))
-	for i := range all {
-		all[i] = i
-	}
-	m := core.Train(s.Config(class), g, all)
-	s.models[class] = m
-	return m
+	return s.models.Get(class, func() core.Models {
+		s.prepare()
+		g := s.Golds[class]
+		all := make([]int, len(g.Clusters))
+		for i := range all {
+			all[i] = i
+		}
+		return core.Train(s.Config(class), g, all)
+	})
 }
 
 // Folds returns (and caches) the 3-fold split of a class's gold clusters.
 func (s *Suite) Folds(class kb.ClassID) [][]int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if f, ok := s.foldsOf[class]; ok {
-		return f
-	}
-	f := s.Golds[class].Folds(3, s.Seed)
-	s.foldsOf[class] = f
-	return f
+	return s.foldsOf.Get(class, func() [][]int {
+		return s.Golds[class].Folds(3, s.Seed)
+	})
 }
 
 // TablesByClass runs (and caches) table-to-class matching over the corpus.
 func (s *Suite) TablesByClass() map[kb.ClassID][]int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.byClass == nil {
-		s.byClass = core.ClassifyTables(s.World.KB, s.Corpus, 0.3)
-	}
-	return s.byClass
+	return s.byClass.Get(func() map[kb.ClassID][]int {
+		s.prepare()
+		return core.ClassifyTables(s.World.KB, s.Corpus, 0.3)
+	})
 }
 
 // GoldRun runs (and caches) the full two-iteration pipeline over the gold
 // tables of a class with models trained on the full gold standard.
 func (s *Suite) GoldRun(class kb.ClassID) *core.Output {
-	models := s.ModelsFor(class)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if out, ok := s.goldRuns[class]; ok {
-		return out
-	}
-	p := core.New(s.Config(class), models)
-	out := p.Run(s.Golds[class].TableIDs)
-	s.goldRuns[class] = out
-	return out
+	return s.goldRuns.Get(class, func() *core.Output {
+		models := s.ModelsFor(class)
+		p := core.New(s.Config(class), models)
+		return p.Run(s.Golds[class].TableIDs)
+	})
 }
 
 // FullRun runs (and caches) the pipeline over every corpus table matched to
 // the class (the §5 large-scale profiling).
 func (s *Suite) FullRun(class kb.ClassID) *core.Output {
-	byClass := s.TablesByClass()
-	models := s.ModelsFor(class)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if out, ok := s.fullRuns[class]; ok {
-		return out
-	}
-	p := core.New(s.Config(class), models)
-	out := p.Run(byClass[class])
-	s.fullRuns[class] = out
-	return out
+	return s.fullRuns.Get(class, func() *core.Output {
+		byClass := s.TablesByClass()
+		models := s.ModelsFor(class)
+		p := core.New(s.Config(class), models)
+		return p.Run(byClass[class])
+	})
 }

@@ -1,11 +1,14 @@
 package report
 
 import (
+	"sort"
+
 	"repro/internal/cluster"
 	"repro/internal/eval"
 	"repro/internal/gold"
 	"repro/internal/kb"
 	"repro/internal/match"
+	"repro/internal/par"
 	"repro/internal/webtable"
 )
 
@@ -65,7 +68,7 @@ func (s *Suite) Table7Data() []Table7Row {
 			for n := 1; n <= nMetrics; n++ {
 				metrics := cluster.MetricPrefix(n)
 				scorer, combined := cluster.LearnScorer(metrics, pairs, s.Seed)
-				cl := cluster.Cluster(testRows, scorer, cluster.NewOptions())
+				cl := cluster.Cluster(testRows, scorer, s.clusterOptions())
 				var produced [][]webtable.RowRef
 				for _, members := range cl.Clusters {
 					refs := make([]webtable.RowRef, len(members))
@@ -108,29 +111,32 @@ func (s *Suite) Table7() *TextTable {
 	return t
 }
 
-// clusterRows builds (and memoizes per call) the prepared rows of a class's
-// gold tables using the first-iteration attribute mapping.
+// clusterRows builds (and caches per class) the prepared rows of a class's
+// gold tables using the first-iteration attribute mapping. The matching
+// fan-out runs on the suite's worker pool with an ordered reduction.
 func (s *Suite) clusterRows(class kb.ClassID) ([]*cluster.Row, map[int]map[int]kb.PropertyID) {
-	g := s.Golds[class]
-	models := s.ModelsFor(class)
-	ctx := match.NewContext(s.World.KB, s.Corpus)
-	ctx.Class = class
-	firstMatchers := match.FirstIterationMatchers()
-	mapping := make(map[int]map[int]kb.PropertyID)
-	for _, tid := range g.TableIDs {
-		t := s.Corpus.Table(tid)
-		if t.ColKinds == nil {
-			match.DetectColumnKinds(t)
+	cr := s.rowsOf.Get(class, func() classRows {
+		s.prepare()
+		g := s.Golds[class]
+		models := s.ModelsFor(class)
+		ctx := match.NewContext(s.World.KB, s.Corpus)
+		ctx.Class = class
+		firstMatchers := match.FirstIterationMatchers()
+		perTable := par.Map(s.Workers, g.TableIDs, func(_, tid int) map[int]kb.PropertyID {
+			t := s.Corpus.Table(tid)
+			match.EnsureDetected(t)
+			return match.MatchAttributes(ctx, models.AttrFirst, firstMatchers, t)
+		})
+		mapping := make(map[int]map[int]kb.PropertyID, len(g.TableIDs))
+		for i, tid := range g.TableIDs {
+			mapping[tid] = perTable[i]
 		}
-		if t.LabelCol < 0 {
-			match.DetectLabelColumn(t)
+		builder := &cluster.Builder{
+			KB: s.World.KB, Corpus: s.Corpus, Class: class, Mapping: mapping,
 		}
-		mapping[tid] = match.MatchAttributes(ctx, models.AttrFirst, firstMatchers, t)
-	}
-	builder := &cluster.Builder{
-		KB: s.World.KB, Corpus: s.Corpus, Class: class, Mapping: mapping,
-	}
-	return builder.Build(g.TableIDs), mapping
+		return classRows{rows: builder.Build(g.TableIDs), mapping: mapping}
+	})
+	return cr.rows, cr.mapping
 }
 
 // trainingPairs builds labeled row pairs from the training clusters.
@@ -161,19 +167,33 @@ func trainingPairs(g *gold.Standard, trainSet map[int]bool, rows []*cluster.Row)
 		seen[key] = true
 		pairs = append(pairs, cluster.PairExample{A: a, B: b, Match: m})
 	}
+	// Visit clusters and blocks in sorted order: pair order feeds the
+	// learners, so map iteration order must not leak into the models.
 	byCluster := make(map[int][]*cluster.Row)
 	for _, r := range annotated {
 		ci := g.RowCluster[r.Ref]
 		byCluster[ci] = append(byCluster[ci], r)
 	}
-	for _, members := range byCluster {
+	cids := make([]int, 0, len(byCluster))
+	for ci := range byCluster {
+		cids = append(cids, ci)
+	}
+	sort.Ints(cids)
+	for _, ci := range cids {
+		members := byCluster[ci]
 		for i := 0; i < len(members); i++ {
 			for j := i + 1; j < len(members); j++ {
 				add(members[i], members[j], true)
 			}
 		}
 	}
-	for _, members := range byBlock {
+	blockNames := make([]string, 0, len(byBlock))
+	for b := range byBlock {
+		blockNames = append(blockNames, b)
+	}
+	sort.Strings(blockNames)
+	for _, b := range blockNames {
+		members := byBlock[b]
 		for i := 0; i < len(members) && len(pairs) < 3000; i++ {
 			for j := i + 1; j < len(members); j++ {
 				if g.RowCluster[members[i].Ref] != g.RowCluster[members[j].Ref] {
@@ -278,7 +298,7 @@ func (s *Suite) AblationAggregation() *TextTable {
 				if len(testRows) == 0 {
 					continue
 				}
-				cl := cluster.Cluster(testRows, scorer, cluster.NewOptions())
+				cl := cluster.Cluster(testRows, scorer, s.clusterOptions())
 				var produced [][]webtable.RowRef
 				for _, members := range cl.Clusters {
 					refs := make([]webtable.RowRef, len(members))

@@ -9,6 +9,7 @@ import (
 	"repro/internal/gold"
 	"repro/internal/kb"
 	"repro/internal/newdet"
+	"repro/internal/par"
 	"repro/internal/webtable"
 )
 
@@ -162,94 +163,88 @@ type foldRun struct {
 }
 
 // foldRuns trains per-fold models and materializes the fold's entities and
-// detections (cached per class).
+// detections (cached per class). The three CV folds are independent and
+// train concurrently on the suite's worker pool.
 func (s *Suite) foldRuns(class kb.ClassID) []*foldRun {
-	s.mu.Lock()
-	if s.foldRunCache == nil {
-		s.foldRunCache = make(map[kb.ClassID][]*foldRun)
-	}
-	if frs, ok := s.foldRunCache[class]; ok {
-		s.mu.Unlock()
-		return frs
-	}
-	s.mu.Unlock()
+	return s.foldRunCache.Get(class, func() []*foldRun {
+		g := s.Golds[class]
+		folds := s.Folds(class)
+		rows, _ := s.clusterRows(class)
+		rowByRef := make(map[webtable.RowRef]*cluster.Row, len(rows))
+		for _, r := range rows {
+			rowByRef[r.Ref] = r
+		}
+		return par.Map(s.Workers, folds, func(fold int, _ []int) *foldRun {
+			return s.runFold(class, g, folds, fold, rowByRef)
+		})
+	})
+}
 
-	g := s.Golds[class]
-	folds := s.Folds(class)
-	rows, _ := s.clusterRows(class)
-	rowByRef := make(map[webtable.RowRef]*cluster.Row, len(rows))
-	for _, r := range rows {
-		rowByRef[r.Ref] = r
+// runFold trains one CV fold's models and materializes its entities and
+// detections.
+func (s *Suite) runFold(class kb.ClassID, g *gold.Standard, folds [][]int, fold int, rowByRef map[webtable.RowRef]*cluster.Row) *foldRun {
+	train, test := splitFolds(folds, fold)
+	models := core.Train(s.Config(class), g, train)
+	fr := &foldRun{
+		suite: s, class: class,
+		testGold: g.Subset(test), testIdx: test, models: models,
 	}
-	var frs []*foldRun
-	for fold := range folds {
-		train, test := splitFolds(folds, fold)
-		models := core.Train(s.Config(class), g, train)
-		fr := &foldRun{
-			suite: s, class: class,
-			testGold: g.Subset(test), testIdx: test, models: models,
-		}
-		// Final mapping for the fold: apply the second-iteration model
-		// with iteration outputs from a 1-iteration pipeline run.
-		out := core.New(withIterations(s.Config(class), 2), models).Run(g.TableIDs)
-		fr.mapping = out.Mapping
-		fr.scores = out.MatchScores
-		fr.rowInst = out.RowInstance
+	// Final mapping for the fold: apply the second-iteration model
+	// with iteration outputs from a 1-iteration pipeline run.
+	out := core.New(withIterations(s.Config(class), 2), models).Run(g.TableIDs)
+	fr.mapping = out.Mapping
+	fr.scores = out.MatchScores
+	fr.rowInst = out.RowInstance
 
-		// Gold clustering condition: entities from the test gold clusters.
-		src := &fusion.Sources{
-			KB: s.World.KB, Corpus: s.Corpus, Class: class,
-			Mapping: fr.mapping, Thresholds: dtype.DefaultThresholds(),
-		}
-		fr.gsEntities = make(map[int]*fusion.Entity)
-		fr.gsDetect = make(map[int]newdet.Result)
-		for subID, c := range fr.testGold.Clusters {
-			var members []*cluster.Row
-			for _, ref := range c.Rows {
-				if r, ok := rowByRef[ref]; ok {
-					members = append(members, r)
-				}
-			}
-			if len(members) == 0 {
-				continue
-			}
-			e := fusion.Create(src, members)
-			fr.gsEntities[subID] = e
-			fr.gsDetect[subID] = models.Detector.Detect(e)
-			fr.gsResults = append(fr.gsResults, eval.NewEntityResult{
-				Rows: c.Rows, Result: fr.gsDetect[subID],
-			})
-		}
-
-		// Learned clustering condition: cluster the test rows.
-		var testRows []*cluster.Row
-		for _, c := range fr.testGold.Clusters {
-			for _, ref := range c.Rows {
-				if r, ok := rowByRef[ref]; ok {
-					testRows = append(testRows, r)
-				}
-			}
-		}
-		cl := cluster.Cluster(testRows, models.ClusterScorer, cluster.NewOptions())
-		fr.allClusters = cl.Clusters
-		fr.allEntities = fusion.CreateAll(src, cl)
-		fr.allDetect = make([]newdet.Result, len(fr.allEntities))
-		for i, e := range fr.allEntities {
-			fr.allDetect[i] = models.Detector.Detect(e)
-			var refs []webtable.RowRef
-			for _, r := range e.Rows {
-				refs = append(refs, r.Ref)
-			}
-			fr.allResults = append(fr.allResults, eval.NewEntityResult{
-				Rows: refs, Result: fr.allDetect[i],
-			})
-		}
-		frs = append(frs, fr)
+	// Gold clustering condition: entities from the test gold clusters.
+	src := &fusion.Sources{
+		KB: s.World.KB, Corpus: s.Corpus, Class: class,
+		Mapping: fr.mapping, Thresholds: dtype.DefaultThresholds(),
 	}
-	s.mu.Lock()
-	s.foldRunCache[class] = frs
-	s.mu.Unlock()
-	return frs
+	fr.gsEntities = make(map[int]*fusion.Entity)
+	fr.gsDetect = make(map[int]newdet.Result)
+	for subID, c := range fr.testGold.Clusters {
+		var members []*cluster.Row
+		for _, ref := range c.Rows {
+			if r, ok := rowByRef[ref]; ok {
+				members = append(members, r)
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		e := fusion.Create(src, members)
+		fr.gsEntities[subID] = e
+		fr.gsDetect[subID] = models.Detector.Detect(e)
+		fr.gsResults = append(fr.gsResults, eval.NewEntityResult{
+			Rows: c.Rows, Result: fr.gsDetect[subID],
+		})
+	}
+
+	// Learned clustering condition: cluster the test rows.
+	var testRows []*cluster.Row
+	for _, c := range fr.testGold.Clusters {
+		for _, ref := range c.Rows {
+			if r, ok := rowByRef[ref]; ok {
+				testRows = append(testRows, r)
+			}
+		}
+	}
+	cl := cluster.Cluster(testRows, models.ClusterScorer, s.clusterOptions())
+	fr.allClusters = cl.Clusters
+	fr.allEntities = fusion.CreateAll(src, cl)
+	fr.allDetect = make([]newdet.Result, len(fr.allEntities))
+	for i, e := range fr.allEntities {
+		fr.allDetect[i] = models.Detector.Detect(e)
+		var refs []webtable.RowRef
+		for _, r := range e.Rows {
+			refs = append(refs, r.Ref)
+		}
+		fr.allResults = append(fr.allResults, eval.NewEntityResult{
+			Rows: refs, Result: fr.allDetect[i],
+		})
+	}
+	return fr
 }
 
 // factsInput assembles the entity list and is-new flags for one Table 10

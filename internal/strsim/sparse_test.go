@@ -1,0 +1,71 @@
+package strsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestToSparseSorted(t *testing.T) {
+	v := ToSparse(map[string]float64{"c": 3, "a": 1, "b": 2})
+	if v.Len() != 3 {
+		t.Fatalf("len = %d", v.Len())
+	}
+	for i := 1; i < v.Len(); i++ {
+		if v.Elems[i-1].K >= v.Elems[i].K {
+			t.Fatalf("not sorted: %v", v)
+		}
+	}
+	if ToSparse(nil).Len() != 0 || ToSparse(map[string]float64{}).Len() != 0 {
+		t.Error("empty input must yield an empty vector")
+	}
+}
+
+// TestCosineSparseHandBuilt covers the zero-norm fallback for vectors
+// assembled without ToSparse.
+func TestCosineSparseHandBuilt(t *testing.T) {
+	a := SparseVec{Elems: []KV{{K: "x", V: 2}}}
+	b := SparseVec{Elems: []KV{{K: "x", V: 3}}}
+	if got := CosineSparse(a, b); math.Abs(got-1) > 1e-12 {
+		t.Errorf("parallel hand-built vectors: cosine = %v, want 1", got)
+	}
+}
+
+func TestCosineSparseMatchesCosine(t *testing.T) {
+	cases := []struct{ a, b map[string]float64 }{
+		{map[string]float64{"x": 1, "y": 1}, map[string]float64{"x": 1, "z": 1}},
+		{map[string]float64{"x": 0.5, "y": 0.25, "z": 0.125}, map[string]float64{"y": 0.25, "z": 2}},
+		{map[string]float64{"x": 1}, map[string]float64{"y": 1}},
+		{nil, nil},
+		{map[string]float64{"x": 1}, nil},
+	}
+	for _, c := range cases {
+		got := CosineSparse(ToSparse(c.a), ToSparse(c.b))
+		want := Cosine(c.a, c.b)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("CosineSparse(%v, %v) = %v, Cosine = %v", c.a, c.b, got, want)
+		}
+	}
+}
+
+// TestCosineSparseOrderStable is the determinism property the sparse form
+// exists for: identical vector content gives bit-identical scores no
+// matter how the source maps were built or iterated.
+func TestCosineSparseOrderStable(t *testing.T) {
+	a := map[string]float64{"aa": 0.3, "bb": 0.7, "cc": 0.11, "dd": 0.23, "ee": 0.31}
+	b := map[string]float64{"aa": 0.17, "cc": 0.5, "ee": 0.29, "ff": 0.41}
+	ref := CosineSparse(ToSparse(a), ToSparse(b))
+	for i := 0; i < 50; i++ {
+		// Rebuild the maps so iteration order inside ToSparse varies.
+		a2 := make(map[string]float64, len(a))
+		for k, v := range a {
+			a2[k] = v
+		}
+		b2 := make(map[string]float64, len(b))
+		for k, v := range b {
+			b2[k] = v
+		}
+		if got := CosineSparse(ToSparse(a2), ToSparse(b2)); got != ref {
+			t.Fatalf("iteration %d: %v != %v", i, got, ref)
+		}
+	}
+}
