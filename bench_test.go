@@ -220,6 +220,67 @@ func BenchmarkCorpusSynthesis(b *testing.B) {
 	}
 }
 
+// --- Incremental ingestion benchmarks ---
+//
+// The pair BenchmarkIngestBatch / BenchmarkFullRerun quantifies the win of
+// the incremental engine: when the corpus grows by one batch, ingesting
+// just that batch against the retained state must do measurably less work
+// than re-running the whole pipeline from scratch over the grown corpus.
+
+// ingestSetup returns the gold tables of the class split at the midpoint
+// and an engine that has already ingested the first half.
+func ingestSetup(b *testing.B) (base *core.Engine, firstHalf, secondHalf []int) {
+	b.Helper()
+	s := suite()
+	models := s.ModelsFor(kb.ClassGFPlayer)
+	tables := s.Golds[kb.ClassGFPlayer].TableIDs
+	if len(tables) < 2 {
+		b.Skip("not enough tables at bench scale")
+	}
+	half := len(tables) / 2
+	cfg := s.Config(kb.ClassGFPlayer)
+	cfg.Iterations = 1
+	base = core.NewEngine(cfg, models)
+	base.WriteBack = false // keep the shared bench KB pristine
+	base.Ingest(tables[:half])
+	return base, tables[:half], tables[half:]
+}
+
+// BenchmarkIngestBatch measures ingesting the second half of the corpus
+// into an engine that retains the first half's state (each iteration forks
+// the pre-loaded engine, so retained state is reused, not rebuilt).
+func BenchmarkIngestBatch(b *testing.B) {
+	base, _, second := ingestSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := base.Fork()
+		out, _ := eng.Ingest(second)
+		if len(out.Entities) == 0 {
+			b.Fatal("no entities")
+		}
+	}
+}
+
+// BenchmarkFullRerun measures the from-scratch alternative on the same
+// grown corpus: a full pipeline run over both halves.
+func BenchmarkFullRerun(b *testing.B) {
+	s := suite()
+	models := s.ModelsFor(kb.ClassGFPlayer)
+	tables := s.Golds[kb.ClassGFPlayer].TableIDs
+	cfg := s.Config(kb.ClassGFPlayer)
+	cfg.Iterations = 1
+	p := core.New(cfg, models)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := p.Run(tables)
+		if len(out.Entities) == 0 {
+			b.Fatal("no entities")
+		}
+	}
+}
+
 // --- Ablation benchmarks for the design choices called out in DESIGN.md ---
 
 // benchClusterAblation clusters the corpus rows of the Song class (the

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -23,14 +24,28 @@ import (
 )
 
 func main() {
-	dir := flag.String("dir", "", "extract every .html/.htm file in this directory")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	files := flag.Args()
+// run executes the extraction (split from main so the command is testable:
+// flags, file collection, extraction and corpus output all go through it).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ltee-extract", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "", "extract every .html/.htm file in this directory")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	files := fs.Args()
 	if *dir != "" {
 		entries, err := os.ReadDir(*dir)
 		if err != nil {
-			fatal("reading %s: %v", *dir, err)
+			fmt.Fprintf(stderr, "ltee-extract: reading %s: %v\n", *dir, err)
+			return 1
 		}
 		for _, e := range entries {
 			name := strings.ToLower(e.Name())
@@ -41,15 +56,16 @@ func main() {
 		sort.Strings(files)
 	}
 	if len(files) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: ltee-extract [-dir DIR] [file.html ...]")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: ltee-extract [-dir DIR] [file.html ...]")
+		return 2
 	}
 
 	var tables []*webtable.Table
 	for _, f := range files {
 		data, err := os.ReadFile(f)
 		if err != nil {
-			fatal("reading %s: %v", f, err)
+			fmt.Fprintf(stderr, "ltee-extract: reading %s: %v\n", f, err)
+			return 1
 		}
 		extracted := webtable.ExtractHTML(string(data))
 		for _, t := range extracted {
@@ -57,19 +73,16 @@ func main() {
 				t.SourceURL = "file://" + f
 			}
 		}
-		fmt.Fprintf(os.Stderr, "%s: %d relational table(s)\n", f, len(extracted))
+		fmt.Fprintf(stderr, "%s: %d relational table(s)\n", f, len(extracted))
 		tables = append(tables, extracted...)
 	}
 	corpus := webtable.NewCorpus(tables)
-	if err := webtable.WriteWDC(os.Stdout, corpus); err != nil {
-		fatal("writing corpus: %v", err)
+	if err := webtable.WriteWDC(stdout, corpus); err != nil {
+		fmt.Fprintf(stderr, "ltee-extract: writing corpus: %v\n", err)
+		return 1
 	}
 	st := corpus.Stats()
-	fmt.Fprintf(os.Stderr, "wrote %d tables (%d rows, avg %.1f cols)\n",
+	fmt.Fprintf(stderr, "wrote %d tables (%d rows, avg %.1f cols)\n",
 		st.Tables, st.Rows, st.ColsAvg)
-}
-
-func fatal(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "ltee-extract: "+format+"\n", args...)
-	os.Exit(1)
+	return 0
 }

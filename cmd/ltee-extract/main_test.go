@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/webtable"
+)
+
+const samplePage = `<html><body>
+<h1>Quarterbacks</h1>
+<table>
+<tr><th>Player</th><th>Team</th><th>Position</th></tr>
+<tr><td>Tom Brady</td><td>Patriots</td><td>QB</td></tr>
+<tr><td>Drew Brees</td><td>Saints</td><td>QB</td></tr>
+<tr><td>Aaron Rodgers</td><td>Packers</td><td>QB</td></tr>
+</table>
+<table><tr><td>layout only</td></tr></table>
+</body></html>`
+
+func writeSample(t *testing.T, dir, name string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(samplePage), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunExtractsFiles(t *testing.T) {
+	dir := t.TempDir()
+	page := writeSample(t, dir, "page1.html")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{page}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+	}
+	corpus, err := webtable.ReadWDC(&stdout)
+	if err != nil {
+		t.Fatalf("output is not a WDC corpus: %v", err)
+	}
+	if corpus.Len() != 1 {
+		t.Fatalf("extracted %d tables, want 1 (layout table dropped)", corpus.Len())
+	}
+	tb := corpus.Tables[0]
+	if len(tb.Headers) != 3 || tb.Headers[0] != "Player" {
+		t.Errorf("headers = %v", tb.Headers)
+	}
+	if tb.NumRows() != 3 {
+		t.Errorf("rows = %d, want 3", tb.NumRows())
+	}
+	if !strings.HasPrefix(tb.SourceURL, "file://") {
+		t.Errorf("source URL not stamped: %q", tb.SourceURL)
+	}
+	if !strings.Contains(stderr.String(), "wrote 1 tables") {
+		t.Errorf("summary missing: %q", stderr.String())
+	}
+}
+
+func TestRunExtractsDirectory(t *testing.T) {
+	dir := t.TempDir()
+	writeSample(t, dir, "b.html")
+	writeSample(t, dir, "a.htm")
+	if err := os.WriteFile(filepath.Join(dir, "skip.txt"), []byte("not html"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-dir", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+	}
+	corpus, err := webtable.ReadWDC(&stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corpus.Len() != 2 {
+		t.Errorf("extracted %d tables, want 2", corpus.Len())
+	}
+	// Files are processed in sorted order: a.htm before b.html.
+	msgs := stderr.String()
+	if ia, ib := strings.Index(msgs, "a.htm"), strings.Index(msgs, "b.html"); ia < 0 || ib < 0 || ia > ib {
+		t.Errorf("directory files not processed in sorted order: %q", msgs)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	// No inputs at all is a usage error.
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no inputs: exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "usage:") {
+		t.Errorf("usage not printed: %q", stderr.String())
+	}
+	// Missing file and missing directory fail cleanly.
+	stderr.Reset()
+	if code := run([]string{"/nonexistent/page.html"}, &stdout, &stderr); code != 1 {
+		t.Errorf("missing file: exit code = %d, want 1", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"-dir", "/nonexistent"}, &stdout, &stderr); code != 1 {
+		t.Errorf("missing dir: exit code = %d, want 1", code)
+	}
+	// Unknown flags are reported as usage errors.
+	stderr.Reset()
+	if code := run([]string{"-bogus"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag: exit code = %d, want 2", code)
+	}
+}

@@ -9,6 +9,11 @@
 //	ltee -all -workers 8       # generate the tables on 8 workers
 //	ltee -run GF-Player        # run the full pipeline for one class and
 //	                           # print a summary of the new entities found
+//	ltee -run Song -ingest-batches 4
+//	                           # stream the class's tables through the
+//	                           # incremental engine in 4 batches, writing
+//	                           # new entities back into the KB after each
+//	                           # epoch and printing per-epoch KB growth
 //	ltee -world 0.3 -corpus 0.2 -seed 7 -table 11
 //
 // With -workers N (default GOMAXPROCS; 1 = fully serial) the suite trains
@@ -25,6 +30,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/kb"
 	"repro/internal/par"
 	"repro/internal/report"
@@ -40,15 +46,16 @@ func main() {
 
 // config is the parsed command line.
 type config struct {
-	tableNum    int
-	all         bool
-	runClass    string
-	worldScale  float64
-	corpusScale float64
-	seed        int64
-	workers     int
-	weights     bool
-	ablation    bool
+	tableNum      int
+	all           bool
+	runClass      string
+	ingestBatches int
+	worldScale    float64
+	corpusScale   float64
+	seed          int64
+	workers       int
+	weights       bool
+	ablation      bool
 }
 
 // parseFlags parses the command line into a config (split from run so flag
@@ -60,6 +67,7 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.IntVar(&cfg.tableNum, "table", 0, "paper table to regenerate (1-13; 13 = ranked eval)")
 	fs.BoolVar(&cfg.all, "all", false, "regenerate every table")
 	fs.StringVar(&cfg.runClass, "run", "", "run the full pipeline for a class (GF-Player, Song, Settlement)")
+	fs.IntVar(&cfg.ingestBatches, "ingest-batches", 0, "with -run: stream the class's tables through the incremental engine in N batches, writing new entities back to the KB per epoch")
 	fs.Float64Var(&cfg.worldScale, "world", 0.35, "world scale (entity counts)")
 	fs.Float64Var(&cfg.corpusScale, "corpus", 0.22, "corpus scale (table counts)")
 	fs.Int64Var(&cfg.seed, "seed", 1, "generation and learning seed")
@@ -68,6 +76,14 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.BoolVar(&cfg.ablation, "ablation", false, "print the aggregation-strategy ablation (§3.2)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
+	}
+	if cfg.ingestBatches < 0 {
+		fmt.Fprintf(stderr, "-ingest-batches must be positive (got %d)\n", cfg.ingestBatches)
+		return nil, errUsage
+	}
+	if cfg.ingestBatches > 0 && cfg.runClass == "" {
+		fmt.Fprintln(stderr, "-ingest-batches requires -run CLASS")
+		return nil, errUsage
 	}
 	if !cfg.all && cfg.tableNum == 0 && cfg.runClass == "" && !cfg.weights && !cfg.ablation {
 		fs.Usage()
@@ -119,6 +135,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, s.MatcherWeights())
 	case cfg.ablation:
 		fmt.Fprintln(stdout, s.AblationAggregation())
+	case cfg.runClass != "" && cfg.ingestBatches > 0:
+		if !runIngest(s, cfg.runClass, cfg.ingestBatches, stdout, stderr) {
+			return 2
+		}
 	case cfg.runClass != "":
 		if !runPipeline(s, cfg.runClass, stdout, stderr) {
 			return 2
@@ -174,6 +194,42 @@ func classByName(name string) kb.ClassID {
 	default:
 		return ""
 	}
+}
+
+// runIngest streams the class's corpus tables through the incremental
+// ingestion engine in the given number of batches, printing per-epoch KB
+// growth: tables ingested, entities, new detections, and instances written
+// back into the knowledge base.
+func runIngest(s *report.Suite, name string, batches int, stdout, stderr io.Writer) bool {
+	class := classByName(name)
+	if class == "" {
+		fmt.Fprintf(stderr, "unknown class %q\n", name)
+		return false
+	}
+	tables := s.TablesByClass()[class]
+	if len(tables) == 0 {
+		fmt.Fprintf(stderr, "no corpus tables matched to %s\n", kb.ClassShortName(class))
+		return false
+	}
+	if batches > len(tables) {
+		batches = len(tables)
+	}
+	models := s.ModelsFor(class)
+	eng := core.NewEngine(s.Config(class), models)
+	before := s.World.KB.NumInstances()
+	fmt.Fprintf(stdout, "incremental ingest: %d %s tables in %d batches (KB starts at %d instances)\n",
+		len(tables), kb.ClassShortName(class), batches, before)
+	for i := 0; i < batches; i++ {
+		lo, hi := i*len(tables)/batches, (i+1)*len(tables)/batches
+		_, st := eng.Ingest(tables[lo:hi])
+		fmt.Fprintf(stdout,
+			"epoch %d: +%d tables (%d total) -> %d entities (%d new, %d matched), wrote %d instances, KB now %d\n",
+			st.Epoch, st.BatchTables, st.TotalTables,
+			st.Entities, st.NewEntities, st.Matched, st.WrittenBack, st.KBInstances)
+	}
+	fmt.Fprintf(stdout, "\nKB grew by %d instances over %d epochs (provenance %s)\n",
+		s.World.KB.NumInstances()-before, eng.Epoch(), kb.ProvenanceIngest)
+	return true
 }
 
 func runPipeline(s *report.Suite, name string, stdout, stderr io.Writer) bool {

@@ -89,3 +89,65 @@ func TestRunBadArgs(t *testing.T) {
 		t.Errorf("exit code = %d, want 2", code)
 	}
 }
+
+func TestParseFlagsIngestBatches(t *testing.T) {
+	var stderr bytes.Buffer
+	cfg, err := parseFlags([]string{"-run", "Song", "-ingest-batches", "3"}, &stderr)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if cfg.ingestBatches != 3 || cfg.runClass != "Song" {
+		t.Errorf("unexpected config: %+v", cfg)
+	}
+	// -ingest-batches without -run is a usage error.
+	if _, err := parseFlags([]string{"-ingest-batches", "3"}, &stderr); err == nil {
+		t.Error("want usage error for -ingest-batches without -run")
+	}
+	if !strings.Contains(stderr.String(), "requires -run") {
+		t.Errorf("missing diagnostic: %q", stderr.String())
+	}
+	// Negative batch counts are rejected.
+	stderr.Reset()
+	if _, err := parseFlags([]string{"-run", "Song", "-ingest-batches", "-1"}, &stderr); err == nil {
+		t.Error("want usage error for negative -ingest-batches")
+	}
+}
+
+// TestRunIngestBatchesEndToEnd exercises the streaming path end-to-end on
+// a tiny world: every epoch must be reported, and the KB must grow.
+func TestRunIngestBatchesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite build; skipped in -short")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-run", "GF-Player", "-ingest-batches", "2",
+		"-world", "0.15", "-corpus", "0.08",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"incremental ingest:", "epoch 1:", "epoch 2:", "KB grew by"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunIngestUnknownClass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite build; skipped in -short")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-run", "nonsense", "-ingest-batches", "2",
+		"-world", "0.15", "-corpus", "0.08",
+	}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown class") {
+		t.Errorf("missing diagnostic: %q", stderr.String())
+	}
+}

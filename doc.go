@@ -14,12 +14,41 @@
 //
 // A shared concurrency layer (internal/par) provides the bounded worker
 // pool and memoized lazy cells behind every hot path: the pipeline fans
-// per-table schema matching and per-entity new detection out over the
-// pool, training parallelizes its per-table and per-cluster loops, the
-// greedy clusterer scores its batches on the same pool, and the report
-// harness trains per-class models and CV folds concurrently behind
-// singleflight-style cells. All fan-outs reduce in deterministic order,
-// so parallel runs are byte-identical to serial ones (workers = 1).
+// per-table schema matching, table-to-class matching and per-entity new
+// detection out over the pool, training parallelizes its per-table and
+// per-cluster loops, the greedy clusterer scores its batches on the same
+// pool, and the report harness trains per-class models and CV folds
+// concurrently behind singleflight-style cells. All fan-outs reduce in
+// deterministic order, so parallel runs are byte-identical to serial ones
+// (workers = 1).
+//
+// # Incremental ingestion
+//
+// Beyond the paper's one-shot batch (core.Pipeline.Run), core.Engine
+// closes the knowledge-base completion loop for continuously arriving
+// tables. Engine.Ingest accepts a table batch, runs the pipeline
+// iterations scoped to the batch while clustering its rows against the
+// retained state of all earlier batches, and then writes every entity
+// classified as new back into the KB as a first-class instance carrying
+// kb.ProvenanceIngest and the ingest epoch. Each Ingest call is one epoch:
+//
+//   - kb.KB supports safe concurrent post-construction growth and bumps a
+//     monotonic Version on every mutation;
+//   - match.Context property profiles and newdet.Detector candidate
+//     lookups key their caches on that version, so they invalidate and
+//     rebuild over the grown KB between epochs;
+//   - cluster.Incremental retains the block index and grows the clustering
+//     with each batch's rows instead of re-clustering from scratch;
+//   - index.Index serves lookups concurrently while later batches add
+//     postings.
+//
+// Rows arriving in a later batch therefore match the instances discovered
+// earlier instead of re-creating them. Ingesting the whole corpus as one
+// batch reproduces Pipeline.Run bit-for-bit; Pipeline is a thin wrapper
+// over a single-use Engine with write-back disabled. The CLI exercises the
+// streaming path with "ltee -run CLASS -ingest-batches N", printing KB
+// growth per epoch, and BenchmarkIngestBatch vs BenchmarkFullRerun tracks
+// the incremental speedup.
 //
 // The benchmarks in bench_test.go regenerate every evaluation table of the
 // paper; cmd/ltee prints them (the -workers flag drives all tables in

@@ -121,7 +121,7 @@ func TestBlocksShareLabel(t *testing.T) {
 		mkRow(1, 0, "Springfield", nil),
 		mkRow(2, 0, "Oakville", nil),
 	}
-	assignBlocks(rows, 4)
+	NewBlockIndex().Assign(rows, 4)
 	shared := func(a, b *Row) bool {
 		set := make(map[string]bool)
 		for _, bl := range a.Blocks {

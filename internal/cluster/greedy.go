@@ -58,21 +58,13 @@ type clusterState struct {
 
 // Cluster partitions the rows so that rows describing the same instance
 // share a cluster. It runs the parallelized greedy correlation clustering
-// and, when enabled, the KLj refinement.
+// and, when enabled, the KLj refinement. It is the one-shot form of the
+// Incremental clusterer: a single Add over a fresh Incremental produces
+// exactly the same clustering.
 func Cluster(rows []*Row, scorer *Scorer, opts Options) *Clustering {
-	opts.Workers = par.Workers(opts.Workers)
-	if opts.BatchSize <= 0 {
-		opts.BatchSize = 64
-	}
-	if opts.MaxKLjRounds <= 0 {
-		opts.MaxKLjRounds = 4
-	}
-	st := &clusterer{scorer: scorer, opts: opts, blockIndex: make(map[string]map[int]bool)}
-	st.greedy(rows)
-	if opts.KLj {
-		st.klj()
-	}
-	return st.result()
+	inc := NewIncremental(scorer, opts)
+	inc.Add(rows)
+	return inc.Result()
 }
 
 type clusterer struct {

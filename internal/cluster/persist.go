@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"repro/internal/index"
+	"repro/internal/strsim"
+)
+
+// BlockIndex assigns label blocks to rows. It persists across Build calls:
+// the incremental ingestion engine keeps one per class so a batch's rows
+// block against every label seen in earlier batches too — a fuzzy label
+// variant arriving later still lands in the block of the original label
+// and gets compared with its retained cluster. A fresh BlockIndex used for
+// a single Build reproduces the one-shot blocking exactly.
+type BlockIndex struct {
+	ix       *index.Index
+	labelDoc map[string]int
+	// labels lists the normalized labels in doc-ID order, so Clone can
+	// rebuild an identical index deterministically.
+	labels []string
+}
+
+// NewBlockIndex returns an empty block index.
+func NewBlockIndex() *BlockIndex {
+	return &BlockIndex{ix: index.New(), labelDoc: make(map[string]int)}
+}
+
+// Assign indexes the rows' labels (skipping those already present) and
+// assigns each row the blocks of its top-k most similar labels over
+// everything indexed so far. A row always belongs at least to its own
+// label block.
+func (bi *BlockIndex) Assign(rows []*Row, k int) {
+	for _, r := range rows {
+		if _, ok := bi.labelDoc[r.NormLabel]; !ok {
+			doc := len(bi.labels)
+			bi.labelDoc[r.NormLabel] = doc
+			bi.labels = append(bi.labels, r.NormLabel)
+			bi.ix.Add(doc, r.NormLabel)
+		}
+	}
+	// The result cache lives per call: a later Assign sees more labels and
+	// must not serve block lists computed against fewer.
+	cache := make(map[string][]string)
+	for _, r := range rows {
+		if blocks, ok := cache[r.NormLabel]; ok {
+			r.Blocks = blocks
+			continue
+		}
+		blocks := bi.ix.SearchLabels(r.NormLabel, k)
+		found := false
+		for _, bl := range blocks {
+			if bl == r.NormLabel {
+				found = true
+				break
+			}
+		}
+		if !found {
+			blocks = append(blocks, r.NormLabel)
+		}
+		cache[r.NormLabel] = blocks
+		r.Blocks = blocks
+	}
+}
+
+// Clone returns an independent copy (engine forks must not cross-pollinate
+// each other's label universes).
+func (bi *BlockIndex) Clone() *BlockIndex {
+	nc := NewBlockIndex()
+	for doc, l := range bi.labels {
+		nc.labelDoc[l] = doc
+		nc.labels = append(nc.labels, l)
+		nc.ix.Add(doc, l)
+	}
+	return nc
+}
+
+// PhiModel is a corpus-wide PHI label-correlation model that persists
+// across Build calls. The one-shot pipeline computes PHI statistics over
+// the tables of a single Build; under incremental ingestion that would
+// leave each epoch's rows carrying vectors from incompatible batch-local
+// probability spaces. The engine instead keeps one PhiModel per class:
+// every Build extends it with the batch's tables and re-finalizes over all
+// tables seen so far, and Refresh then realigns the retained rows'
+// TableVec to the same model, so cross-epoch pair scores always compare
+// vectors from one distribution.
+type PhiModel struct {
+	m *phiModel
+}
+
+// NewPhiModel returns an empty model.
+func NewPhiModel() *PhiModel {
+	return &PhiModel{m: newPhiModel()}
+}
+
+// Clone returns an independent copy of the accumulated statistics (label
+// slices are shared; they are immutable once added).
+func (pm *PhiModel) Clone() *PhiModel {
+	nc := newPhiModel()
+	for id, labels := range pm.m.tables {
+		nc.tables[id] = labels
+	}
+	for l, ts := range pm.m.labelTables {
+		set := make(map[int]bool, len(ts))
+		for t := range ts {
+			set[t] = true
+		}
+		nc.labelTables[l] = set
+	}
+	return &PhiModel{m: nc}
+}
+
+// Refresh recomputes the TableVec of the given rows from the current
+// model. It requires a preceding Build (which finalizes the model); the
+// engine calls it for the retained rows after each batch extends the
+// statistics.
+func (pm *PhiModel) Refresh(rows []*Row) {
+	assignVectors(pm.m, rows)
+}
+
+// assignVectors computes one sorted PHI vector per distinct table and
+// shares it across the table's rows.
+func assignVectors(phi *phiModel, rows []*Row) {
+	vecOf := make(map[int]strsim.SparseVec)
+	for _, r := range rows {
+		v, ok := vecOf[r.Ref.Table]
+		if !ok {
+			v = strsim.ToSparse(phi.tableVector(r.Ref.Table))
+			vecOf[r.Ref.Table] = v
+		}
+		r.TableVec = v
+	}
+}
+
+// compact drops clusters emptied by KLj merges/moves and rebuilds the
+// block bookkeeping from live membership, so a long-lived incremental
+// clusterer's state tracks its live rows instead of its whole history.
+// Relative cluster order is preserved, keeping ID-ordered tie-breaks and
+// the materialized Result identical to the uncompacted state.
+func (c *clusterer) compact() {
+	live := c.clusters[:0]
+	for _, cl := range c.clusters {
+		if len(cl.rows) == 0 {
+			continue
+		}
+		live = append(live, cl)
+	}
+	// Trim the tail so dropped clusterStates are not retained by the
+	// backing array.
+	tail := c.clusters[len(live):]
+	for i := range tail {
+		tail[i] = nil
+	}
+	c.clusters = live
+	c.blockIndex = make(map[string]map[int]bool, len(c.blockIndex))
+	for ci, cl := range c.clusters {
+		cl.blocks = make(map[string]bool, len(cl.blocks))
+		for _, r := range cl.rows {
+			for _, b := range r.Blocks {
+				cl.blocks[b] = true
+				if c.blockIndex[b] == nil {
+					c.blockIndex[b] = make(map[int]bool)
+				}
+				c.blockIndex[b][ci] = true
+			}
+		}
+	}
+}

@@ -10,7 +10,6 @@ import (
 	"sort"
 
 	"repro/internal/dtype"
-	"repro/internal/index"
 	"repro/internal/kb"
 	"repro/internal/strsim"
 	"repro/internal/webtable"
@@ -68,6 +67,15 @@ type Builder struct {
 	// Mapping[tableID][col] = property.
 	Mapping map[int]map[int]kb.PropertyID
 	Config  BuildConfig
+	// Blocks, when set, persists the blocking label index across Build
+	// calls so later batches block against every label seen so far (the
+	// incremental engine's mode). Nil builds a fresh per-call index, the
+	// one-shot pipeline behavior.
+	Blocks *BlockIndex
+	// Phi, when set, persists the PHI statistics across Build calls: each
+	// Build extends them with its tables and re-finalizes over everything
+	// seen so far. Nil keeps the statistics local to the call.
+	Phi *PhiModel
 }
 
 // Build prepares the rows of the given tables (identified by table ID).
@@ -83,7 +91,11 @@ func (b *Builder) Build(tableIDs []int) []*Row {
 		cfg.BlockK = 6
 	}
 
-	phi := newPhiModel()
+	pm := b.Phi
+	if pm == nil {
+		pm = NewPhiModel()
+	}
+	phi := pm.m
 	var rows []*Row
 	for _, tid := range tableIDs {
 		t := b.Corpus.Table(tid)
@@ -117,16 +129,12 @@ func (b *Builder) Build(tableIDs []int) []*Row {
 	}
 	phi.finalize()
 	// One sorted PHI vector per table, shared by all of its rows.
-	vecOf := make(map[int]strsim.SparseVec)
-	for _, r := range rows {
-		v, ok := vecOf[r.Ref.Table]
-		if !ok {
-			v = strsim.ToSparse(phi.tableVector(r.Ref.Table))
-			vecOf[r.Ref.Table] = v
-		}
-		r.TableVec = v
+	assignVectors(phi, rows)
+	bi := b.Blocks
+	if bi == nil {
+		bi = NewBlockIndex()
 	}
-	assignBlocks(rows, cfg.BlockK)
+	bi.Assign(rows, cfg.BlockK)
 	return rows
 }
 
@@ -262,38 +270,3 @@ func (b *Builder) implicitAttrs(t *webtable.Table, cfg BuildConfig) map[kb.Prope
 	return out
 }
 
-// assignBlocks builds a label index over the rows and assigns each row the
-// blocks (normalized labels) of its top-k most similar labels.
-func assignBlocks(rows []*Row, k int) {
-	ix := index.New()
-	labelDoc := make(map[string]int)
-	for _, r := range rows {
-		doc, ok := labelDoc[r.NormLabel]
-		if !ok {
-			doc = len(labelDoc)
-			labelDoc[r.NormLabel] = doc
-			ix.Add(doc, r.NormLabel)
-		}
-	}
-	cache := make(map[string][]string)
-	for _, r := range rows {
-		if blocks, ok := cache[r.NormLabel]; ok {
-			r.Blocks = blocks
-			continue
-		}
-		blocks := ix.SearchLabels(r.NormLabel, k)
-		// A row always belongs at least to its own label block.
-		found := false
-		for _, bl := range blocks {
-			if bl == r.NormLabel {
-				found = true
-				break
-			}
-		}
-		if !found {
-			blocks = append(blocks, r.NormLabel)
-		}
-		cache[r.NormLabel] = blocks
-		r.Blocks = blocks
-	}
-}

@@ -5,6 +5,11 @@
 // creation, and new detection, iterating twice: the second iteration uses
 // the row clusters and entity-to-instance correspondences of the first run
 // to refine the schema mapping with the duplicate-based matchers.
+//
+// Two entry points share the implementation: Pipeline runs one-shot
+// batches (the paper's setting), and Engine ingests table batches
+// incrementally, writing newly discovered entities back into the KB after
+// each epoch so later batches match against them.
 package core
 
 import (
@@ -12,7 +17,6 @@ import (
 
 	"repro/internal/agg"
 	"repro/internal/cluster"
-	"repro/internal/dtype"
 	"repro/internal/fusion"
 	"repro/internal/kb"
 	"repro/internal/match"
@@ -127,7 +131,9 @@ func (o *Output) ExistingEntities() ([]*fusion.Entity, []kb.InstanceID) {
 	return es, ids
 }
 
-// Pipeline executes the LTEE process for one class.
+// Pipeline executes the LTEE process for one class as a one-shot batch: a
+// thin wrapper over a single-use Engine with write-back disabled, so a Run
+// leaves the knowledge base untouched.
 type Pipeline struct {
 	Cfg    Config
 	Models Models
@@ -135,154 +141,47 @@ type Pipeline struct {
 
 // New assembles a pipeline.
 func New(cfg Config, models Models) *Pipeline {
-	if cfg.Iterations <= 0 {
-		cfg.Iterations = 2
-	}
-	if cfg.MinClassRowFrac <= 0 {
-		cfg.MinClassRowFrac = 0.3
-	}
-	// A single Workers knob governs the whole run: when the clustering
-	// options don't set their own pool size, they inherit it, so
-	// Workers=1 really is a fully serial pipeline.
-	if cfg.ClusterOpts.Workers == 0 {
-		cfg.ClusterOpts.Workers = cfg.Workers
-	}
-	return &Pipeline{Cfg: cfg, Models: models}
+	return &Pipeline{Cfg: normalizeConfig(cfg), Models: models}
 }
 
 // ClassifyTables runs data-type detection, label-attribute detection and
 // table-to-class matching over the whole corpus and returns the table IDs
-// matched to each class.
+// matched to each class, using the default worker pool.
 func ClassifyTables(k *kb.KB, corpus *webtable.Corpus, minRowFrac float64) map[kb.ClassID][]int {
+	return ClassifyTablesParallel(k, corpus, minRowFrac, 0)
+}
+
+// ClassifyTablesParallel is ClassifyTables with an explicit worker pool
+// size (0 = GOMAXPROCS, 1 = serial). Tables are matched concurrently —
+// each worker owns its table, so the in-place detection annotations are
+// race-free — and reduced in corpus order, making the output identical at
+// every worker count.
+func ClassifyTablesParallel(k *kb.KB, corpus *webtable.Corpus, minRowFrac float64, workers int) map[kb.ClassID][]int {
 	if minRowFrac <= 0 {
 		minRowFrac = 0.3
 	}
 	ctx := match.NewContext(k, corpus)
-	out := make(map[kb.ClassID][]int)
-	for _, t := range corpus.Tables {
+	classes := par.Map(workers, corpus.Tables, func(_ int, t *webtable.Table) kb.ClassID {
 		match.EnsureDetected(t)
-		cm := match.MatchTableClass(ctx, t, minRowFrac)
-		if cm.Class == "" {
-			continue
+		return match.MatchTableClass(ctx, t, minRowFrac).Class
+	})
+	out := make(map[kb.ClassID][]int)
+	for i, t := range corpus.Tables {
+		if class := classes[i]; class != "" {
+			out[class] = append(out[class], t.ID)
 		}
-		out[cm.Class] = append(out[cm.Class], t.ID)
 	}
 	return out
 }
 
 // Run executes the configured number of pipeline iterations over the given
 // tables (all already matched to the pipeline's class) and returns the
-// final output.
+// final output. Run delegates to a fresh Engine ingesting everything as
+// one batch; the KB is not modified.
 func (p *Pipeline) Run(tableIDs []int) *Output {
-	ctx := match.NewContext(p.Cfg.KB, p.Cfg.Corpus)
-	ctx.Class = p.Cfg.Class
-
-	var out *Output
-	for it := 0; it < p.Cfg.Iterations; it++ {
-		model := p.Models.AttrFirst
-		matchers := match.FirstIterationMatchers()
-		mctx := ctx
-		if it > 0 && out != nil {
-			model = p.Models.AttrSecond
-			matchers = match.AllMatchers()
-			prelim := make(map[match.ColRef]kb.PropertyID)
-			for tid, m := range out.Mapping {
-				for col, pid := range m {
-					prelim[match.ColRef{Table: tid, Col: col}] = pid
-				}
-			}
-			rowCluster := make(map[webtable.RowRef]int, len(out.Clustering.Assign))
-			for ref, c := range out.Clustering.Assign {
-				rowCluster[ref] = c
-			}
-			mctx = ctx.WithIterationOutput(out.RowInstance, rowCluster, prelim)
-		}
-		if model == nil {
-			model = match.DefaultModel(p.Cfg.Class, matchers)
-		}
-		out = p.iterate(mctx, model, matchers, tableIDs)
-	}
-	return out
-}
-
-// iterate performs one full pass: schema matching → row clustering →
-// entity creation → new detection.
-func (p *Pipeline) iterate(mctx *match.Context, model *match.Model, matchers []match.Matcher, tableIDs []int) *Output {
-	tableIDs = sortedTableIDs(tableIDs)
-	out := &Output{
-		Class:       p.Cfg.Class,
-		TableIDs:    tableIDs,
-		Mapping:     make(map[int]map[int]kb.PropertyID),
-		MatchScores: make(map[fusion.ColKey]float64),
-		RowInstance: make(map[webtable.RowRef]kb.InstanceID),
-	}
-	// Schema matching: attribute-to-property correspondences per table,
-	// fanned out over the worker pool. Every worker writes only its own
-	// slot; the reduction below runs serially in table order, so the
-	// parallel path emits exactly what the serial one would.
-	scoredByTable := par.Map(p.Cfg.Workers, tableIDs, func(_, tid int) map[int]match.Correspondence {
-		t := p.Cfg.Corpus.Table(tid)
-		if t == nil {
-			return nil
-		}
-		match.EnsureDetected(t)
-		return match.MatchAttributesScored(mctx, model, matchers, t)
-	})
-	for i, tid := range tableIDs {
-		if p.Cfg.Corpus.Table(tid) == nil {
-			continue
-		}
-		scored := scoredByTable[i]
-		m := make(map[int]kb.PropertyID, len(scored))
-		for col, corr := range scored {
-			m[col] = corr.Property
-			out.MatchScores[fusion.ColKey{Table: tid, Col: col}] = corr.Score
-		}
-		out.Mapping[tid] = m
-	}
-
-	// Row clustering.
-	builder := &cluster.Builder{
-		KB: p.Cfg.KB, Corpus: p.Cfg.Corpus, Class: p.Cfg.Class,
-		Mapping: out.Mapping,
-	}
-	out.Rows = builder.Build(tableIDs)
-	scorer := p.Models.ClusterScorer
-	if scorer == nil {
-		scorer = defaultScorer()
-	}
-	out.Clustering = cluster.Cluster(out.Rows, scorer, p.Cfg.ClusterOpts)
-
-	// Entity creation.
-	src := &fusion.Sources{
-		KB: p.Cfg.KB, Corpus: p.Cfg.Corpus, Class: p.Cfg.Class,
-		Mapping:     out.Mapping,
-		Thresholds:  dtype.DefaultThresholds(),
-		Scoring:     p.Cfg.Scoring,
-		MatchScores: out.MatchScores,
-	}
-	out.Entities = fusion.CreateAll(src, out.Clustering)
-	if p.Cfg.Dedup {
-		out.Entities = fusion.Deduplicate(src, out.Entities, p.Cfg.DedupConfig)
-	}
-
-	// New detection: each entity classifies independently on the pool;
-	// RowInstance is then assembled serially in entity order.
-	det := p.Models.Detector
-	if det == nil {
-		det = defaultDetector(p.Cfg.KB)
-	}
-	out.Detections = make([]newdet.Result, len(out.Entities))
-	par.ForEach(p.Cfg.Workers, len(out.Entities), func(i int) {
-		out.Detections[i] = det.Detect(out.Entities[i])
-	})
-	for i, e := range out.Entities {
-		if res := out.Detections[i]; res.Matched {
-			for _, r := range e.Rows {
-				out.RowInstance[r.Ref] = res.Instance
-			}
-		}
-	}
+	e := NewEngine(p.Cfg, p.Models)
+	e.WriteBack = false
+	out, _ := e.Ingest(tableIDs)
 	return out
 }
 

@@ -1,0 +1,405 @@
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/dtype"
+	"repro/internal/fusion"
+	"repro/internal/kb"
+	"repro/internal/match"
+	"repro/internal/newdet"
+	"repro/internal/par"
+	"repro/internal/strsim"
+	"repro/internal/webtable"
+)
+
+// Engine is the long-lived incremental ingestion engine for one class: it
+// accepts table batches over time via Ingest and maintains persistent state
+// between batches — the learned models, the attribute mapping and match
+// scores of every ingested table, the prepared rows, the grown row
+// clustering (with its block index), and the set of instances written back
+// to the KB.
+//
+// After each batch, entities classified as new are written back into the
+// knowledge base as first-class instances carrying kb.ProvenanceIngest and
+// the ingest epoch, so the next batch's candidate retrieval, property
+// profiles and new detection see them: rows describing an entity
+// discovered earlier match it instead of re-creating it. Ingesting the
+// full corpus in a single batch reproduces Pipeline.Run bit-for-bit
+// (Pipeline is a thin wrapper over a single-use Engine).
+//
+// An Engine is not safe for concurrent use; Fork provides an independent
+// copy for speculative or parallel ingestion experiments.
+type Engine struct {
+	Cfg    Config
+	Models Models
+	// WriteBack controls whether entities detected as new are added to the
+	// KB after each batch. It defaults to true for engines built with
+	// NewEngine; Pipeline.Run disables it to keep the one-shot pipeline
+	// side-effect free.
+	WriteBack bool
+
+	scorer   *cluster.Scorer
+	detector *newdet.Detector
+
+	epoch    int
+	ingested map[int]bool
+	tableIDs []int
+	mapping  map[int]map[int]kb.PropertyID
+	scores   map[fusion.ColKey]float64
+	rows     []*cluster.Row
+	clusters *cluster.Incremental
+	// blocks persists the blocking label index across epochs: a batch's
+	// rows block against every label seen so far, so a fuzzy variant of an
+	// earlier label still reaches its retained cluster.
+	blocks *cluster.BlockIndex
+	// phi persists the PHI statistics across epochs; after each batch
+	// extends them, the retained rows' vectors are refreshed so every
+	// cross-epoch pair score compares vectors from one model.
+	phi  *cluster.PhiModel
+	last *Output
+	// written maps an entity signature (class + normalized primary label)
+	// to the instance written back for it, preventing duplicate write-backs
+	// when a cluster persists across epochs without being re-matched.
+	written map[string]kb.InstanceID
+}
+
+// IngestStats summarizes one Ingest call for logging and monitoring.
+type IngestStats struct {
+	// Epoch is the 1-based ingest epoch this batch ran as.
+	Epoch int
+	// BatchTables is the number of not-yet-ingested tables in the batch.
+	BatchTables int
+	// TotalTables is the number of tables ingested so far.
+	TotalTables int
+	// Entities is the total number of entities after this batch.
+	Entities int
+	// NewEntities is how many of them are classified as new.
+	NewEntities int
+	// Matched is how many are matched to existing KB instances (including
+	// instances written back by earlier epochs).
+	Matched int
+	// WrittenBack is the number of instances this epoch added to the KB.
+	WrittenBack int
+	// KBInstances is the KB instance count after write-back.
+	KBInstances int
+}
+
+// NewEngine builds an incremental ingestion engine with write-back enabled.
+func NewEngine(cfg Config, models Models) *Engine {
+	cfg = normalizeConfig(cfg)
+	scorer := models.ClusterScorer
+	if scorer == nil {
+		scorer = defaultScorer()
+	}
+	detector := models.Detector
+	if detector == nil {
+		detector = defaultDetector(cfg.KB)
+	}
+	return &Engine{
+		Cfg:       cfg,
+		Models:    models,
+		WriteBack: true,
+		scorer:    scorer,
+		detector:  detector,
+		ingested:  make(map[int]bool),
+		mapping:   make(map[int]map[int]kb.PropertyID),
+		scores:    make(map[fusion.ColKey]float64),
+		clusters:  cluster.NewIncremental(scorer, cfg.ClusterOpts),
+		blocks:    cluster.NewBlockIndex(),
+		phi:       cluster.NewPhiModel(),
+		written:   make(map[string]kb.InstanceID),
+	}
+}
+
+// Epoch returns the number of Ingest calls completed.
+func (e *Engine) Epoch() int { return e.epoch }
+
+// TableIDs returns a copy of the IDs of all tables ingested so far.
+func (e *Engine) TableIDs() []int {
+	out := make([]int, len(e.tableIDs))
+	copy(out, e.tableIDs)
+	return out
+}
+
+// Last returns the output of the most recent Ingest (nil before the first).
+func (e *Engine) Last() *Output { return e.last }
+
+// Fork returns an independent copy of the engine: Ingest on the fork never
+// affects the original's state. The knowledge base, corpus, models, caches
+// and retained Row objects are shared — fork with WriteBack disabled
+// unless the forked ingest should really grow the shared KB, and do not
+// Ingest on a fork and its original concurrently (each Ingest refreshes
+// the shared rows' PHI vectors from its own statistics).
+func (e *Engine) Fork() *Engine {
+	f := *e
+	f.ingested = make(map[int]bool, len(e.ingested))
+	for tid := range e.ingested {
+		f.ingested[tid] = true
+	}
+	f.tableIDs = append([]int(nil), e.tableIDs...)
+	// Per-table maps and score entries are immutable once merged, so a
+	// shallow copy of the outer maps suffices.
+	f.mapping = make(map[int]map[int]kb.PropertyID, len(e.mapping))
+	for tid, m := range e.mapping {
+		f.mapping[tid] = m
+	}
+	f.scores = make(map[fusion.ColKey]float64, len(e.scores))
+	for k, v := range e.scores {
+		f.scores[k] = v
+	}
+	f.rows = append([]*cluster.Row(nil), e.rows...)
+	f.clusters = e.clusters.Clone()
+	f.blocks = e.blocks.Clone()
+	f.phi = e.phi.Clone()
+	f.written = make(map[string]kb.InstanceID, len(e.written))
+	for sig, id := range e.written {
+		f.written[sig] = id
+	}
+	return &f
+}
+
+// Ingest processes one batch of tables (all matched to the engine's class):
+// it runs the configured number of pipeline iterations scoped to the
+// batch's not-yet-ingested tables, clusters their rows against the
+// retained state, re-creates and re-detects entities over everything
+// ingested so far, persists the grown state, and (unless WriteBack is
+// off) writes entities classified as new back into the KB.
+//
+// The returned Output always covers all tables ingested so far, so a
+// single full-corpus batch is exactly a Pipeline.Run.
+func (e *Engine) Ingest(batch []int) (*Output, IngestStats) {
+	newIDs := e.newTableIDs(batch)
+	e.epoch++
+
+	// A fresh matching context per epoch: the KB may have grown since the
+	// previous batch (write-back), and the context's profiles key their
+	// validity on the KB version.
+	ctx := match.NewContext(e.Cfg.KB, e.Cfg.Corpus)
+	ctx.Class = e.Cfg.Class
+
+	var out *Output
+	var grown *cluster.Incremental
+	for it := 0; it < e.Cfg.Iterations; it++ {
+		model := e.Models.AttrFirst
+		matchers := match.FirstIterationMatchers()
+		mctx := ctx
+		if it > 0 && out != nil {
+			model = e.Models.AttrSecond
+			matchers = match.AllMatchers()
+			prelim := make(map[match.ColRef]kb.PropertyID)
+			for tid, m := range out.Mapping {
+				for col, pid := range m {
+					prelim[match.ColRef{Table: tid, Col: col}] = pid
+				}
+			}
+			rowCluster := make(map[webtable.RowRef]int, len(out.Clustering.Assign))
+			for ref, c := range out.Clustering.Assign {
+				rowCluster[ref] = c
+			}
+			mctx = ctx.WithIterationOutput(out.RowInstance, rowCluster, prelim)
+		}
+		if model == nil {
+			model = match.DefaultModel(e.Cfg.Class, matchers)
+		}
+		out, grown = e.iterate(mctx, model, matchers, newIDs)
+	}
+
+	// Persist the grown state of the final iteration.
+	e.clusters = grown
+	e.rows = out.Rows
+	e.mapping = out.Mapping
+	e.scores = out.MatchScores
+	for _, tid := range newIDs {
+		e.ingested[tid] = true
+	}
+	e.tableIDs = out.TableIDs
+	e.last = out
+
+	written := 0
+	if e.WriteBack {
+		written = e.writeBack(out)
+	}
+	stats := IngestStats{
+		Epoch:       e.epoch,
+		BatchTables: len(newIDs),
+		TotalTables: len(e.tableIDs),
+		Entities:    len(out.Entities),
+		NewEntities: len(out.NewEntities()),
+		WrittenBack: written,
+		KBInstances: e.Cfg.KB.NumInstances(),
+	}
+	for _, d := range out.Detections {
+		if d.Matched {
+			stats.Matched++
+		}
+	}
+	return out, stats
+}
+
+// iterate performs one pass of the epoch: schema matching over the new
+// tables, row building for them, incremental clustering against a clone of
+// the retained state, then entity creation and new detection over the full
+// ingested set. With empty retained state and newIDs covering the whole
+// corpus this is exactly one pre-refactor pipeline iteration.
+func (e *Engine) iterate(mctx *match.Context, model *match.Model, matchers []match.Matcher, newIDs []int) (*Output, *cluster.Incremental) {
+	allIDs := sortedTableIDs(append(append([]int(nil), e.tableIDs...), newIDs...))
+	out := &Output{
+		Class:       e.Cfg.Class,
+		TableIDs:    allIDs,
+		Mapping:     make(map[int]map[int]kb.PropertyID, len(e.mapping)+len(newIDs)),
+		MatchScores: make(map[fusion.ColKey]float64, len(e.scores)),
+		RowInstance: make(map[webtable.RowRef]kb.InstanceID),
+	}
+	// Retained tables keep the mapping and scores of their own final
+	// iteration; only the batch's tables are (re-)matched.
+	for tid, m := range e.mapping {
+		out.Mapping[tid] = m
+	}
+	for key, s := range e.scores {
+		out.MatchScores[key] = s
+	}
+
+	// Schema matching: attribute-to-property correspondences per new table,
+	// fanned out over the worker pool. Every worker writes only its own
+	// slot; the reduction below runs serially in table order, so the
+	// parallel path emits exactly what the serial one would.
+	scoredByTable := par.Map(e.Cfg.Workers, newIDs, func(_, tid int) map[int]match.Correspondence {
+		t := e.Cfg.Corpus.Table(tid)
+		if t == nil {
+			return nil
+		}
+		match.EnsureDetected(t)
+		return match.MatchAttributesScored(mctx, model, matchers, t)
+	})
+	for i, tid := range newIDs {
+		if e.Cfg.Corpus.Table(tid) == nil {
+			continue
+		}
+		scored := scoredByTable[i]
+		m := make(map[int]kb.PropertyID, len(scored))
+		for col, corr := range scored {
+			m[col] = corr.Property
+			out.MatchScores[fusion.ColKey{Table: tid, Col: col}] = corr.Score
+		}
+		out.Mapping[tid] = m
+	}
+
+	// Row building for the new tables; retained rows are reused as built
+	// (their tables' mapping did not change). Blocking and PHI statistics
+	// persist across epochs: new rows block against every label seen so
+	// far, and after the batch extends the PHI model the retained rows'
+	// vectors are refreshed so all pair scores compare within one model.
+	builder := &cluster.Builder{
+		KB: e.Cfg.KB, Corpus: e.Cfg.Corpus, Class: e.Cfg.Class,
+		Mapping: out.Mapping,
+		Blocks:  e.blocks,
+		Phi:     e.phi,
+	}
+	newRows := builder.Build(newIDs)
+	e.phi.Refresh(e.rows)
+	allRows := make([]*cluster.Row, 0, len(e.rows)+len(newRows))
+	allRows = append(allRows, e.rows...)
+	allRows = append(allRows, newRows...)
+	out.Rows = allRows
+
+	// Incremental clustering: grow a clone of the retained state with the
+	// batch's rows (the clone keeps the persistent baseline intact while
+	// the epoch's iterations each re-cluster the batch under a refined
+	// mapping).
+	grown := e.clusters.Clone()
+	grown.Add(newRows)
+	out.Clustering = grown.Result()
+
+	// Entity creation over every cluster, retained and new.
+	src := &fusion.Sources{
+		KB: e.Cfg.KB, Corpus: e.Cfg.Corpus, Class: e.Cfg.Class,
+		Mapping:     out.Mapping,
+		Thresholds:  dtype.DefaultThresholds(),
+		Scoring:     e.Cfg.Scoring,
+		MatchScores: out.MatchScores,
+	}
+	out.Entities = fusion.CreateAll(src, out.Clustering)
+	if e.Cfg.Dedup {
+		out.Entities = fusion.Deduplicate(src, out.Entities, e.Cfg.DedupConfig)
+	}
+
+	// New detection: each entity classifies independently on the pool;
+	// RowInstance is then assembled serially in entity order.
+	out.Detections = make([]newdet.Result, len(out.Entities))
+	par.ForEach(e.Cfg.Workers, len(out.Entities), func(i int) {
+		out.Detections[i] = e.detector.Detect(out.Entities[i])
+	})
+	for i, ent := range out.Entities {
+		if res := out.Detections[i]; res.Matched {
+			for _, r := range ent.Rows {
+				out.RowInstance[r.Ref] = res.Instance
+			}
+		}
+	}
+	return out, grown
+}
+
+// writeBack adds every entity classified as new to the KB as a first-class
+// instance with provenance and the current epoch, skipping signatures
+// already written by an earlier epoch. It returns the number written.
+func (e *Engine) writeBack(out *Output) int {
+	n := 0
+	for i, ent := range out.Entities {
+		if !out.Detections[i].IsNew {
+			continue
+		}
+		sig := entitySignature(ent)
+		if _, done := e.written[sig]; done {
+			continue
+		}
+		facts := make(map[kb.PropertyID]dtype.Value, len(ent.Facts))
+		for pid, v := range ent.Facts {
+			facts[pid] = v
+		}
+		id := e.Cfg.KB.AddInstance(&kb.Instance{
+			Class:       ent.Class,
+			Labels:      append([]string(nil), ent.Labels...),
+			Facts:       facts,
+			Provenance:  kb.ProvenanceIngest,
+			IngestEpoch: e.epoch,
+		})
+		e.written[sig] = id
+		n++
+	}
+	return n
+}
+
+// entitySignature identifies an entity across epochs for write-back
+// deduplication: its class plus its normalized primary label.
+func entitySignature(ent *fusion.Entity) string {
+	return string(ent.Class) + "\x00" + strsim.Normalize(ent.Label())
+}
+
+// newTableIDs returns the batch's table IDs that have not been ingested
+// yet, sorted and deduplicated.
+func (e *Engine) newTableIDs(batch []int) []int {
+	fresh := make([]int, 0, len(batch))
+	for _, tid := range batch {
+		if !e.ingested[tid] {
+			fresh = append(fresh, tid)
+		}
+	}
+	return sortedTableIDs(fresh)
+}
+
+// normalizeConfig applies the Config defaults shared by New and NewEngine.
+func normalizeConfig(cfg Config) Config {
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 2
+	}
+	if cfg.MinClassRowFrac <= 0 {
+		cfg.MinClassRowFrac = 0.3
+	}
+	// A single Workers knob governs the whole run: when the clustering
+	// options don't set their own pool size, they inherit it, so
+	// Workers=1 really is a fully serial pipeline.
+	if cfg.ClusterOpts.Workers == 0 {
+		cfg.ClusterOpts.Workers = cfg.Workers
+	}
+	return cfg
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/kb"
+	"repro/internal/webtable"
+	"repro/internal/world"
+)
+
+// engineFixture generates a private world and corpus: engine tests grow
+// the KB via write-back and must not pollute the shared test fixture.
+func engineFixture(t *testing.T) (*world.World, *webtable.Corpus) {
+	t.Helper()
+	w := world.Generate(world.DefaultConfig(0.2))
+	c := webtable.Synthesize(w, webtable.DefaultSynthConfig(0.12))
+	return w, c
+}
+
+// splitBatches cuts the table IDs into n roughly equal contiguous batches.
+func splitBatches(tables []int, n int) [][]int {
+	out := make([][]int, 0, n)
+	for i := 0; i < n; i++ {
+		lo, hi := i*len(tables)/n, (i+1)*len(tables)/n
+		out = append(out, tables[lo:hi])
+	}
+	return out
+}
+
+// TestEngineSingleBatchMatchesPipeline is the refactor's equivalence
+// criterion: ingesting the full corpus as one batch must produce output
+// identical to Pipeline.Run in every emitted structure.
+func TestEngineSingleBatchMatchesPipeline(t *testing.T) {
+	w, corpus := fixture()
+	byClass := ClassifyTables(w.KB, corpus, 0.3)
+	tables := byClass[kb.ClassGFPlayer]
+
+	cfg := DefaultConfig(w.KB, corpus, kb.ClassGFPlayer)
+	cfg.Iterations = 2
+	want := New(cfg, Models{}).Run(tables)
+
+	eng := NewEngine(cfg, Models{})
+	eng.WriteBack = false
+	got, stats := eng.Ingest(tables)
+	outputsEqual(t, want, got)
+
+	if stats.Epoch != 1 || stats.TotalTables != len(sortedTableIDs(tables)) {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.WrittenBack != 0 {
+		t.Errorf("write-back disabled but %d instances written", stats.WrittenBack)
+	}
+	if eng.Epoch() != 1 {
+		t.Errorf("Epoch = %d", eng.Epoch())
+	}
+}
+
+// TestEngineMultiBatchWriteBack is the write-back criterion: after a
+// two-batch ingest, every batch-1 new entity is present in the KB with
+// provenance and epoch, is matchable through candidate retrieval, and
+// batch 2's detection matches entities to those written-back instances.
+func TestEngineMultiBatchWriteBack(t *testing.T) {
+	w, corpus := engineFixture(t)
+	byClass := ClassifyTables(w.KB, corpus, 0.3)
+	tables := byClass[kb.ClassGFPlayer]
+	if len(tables) < 2 {
+		t.Fatal("need at least two player tables")
+	}
+	cfg := DefaultConfig(w.KB, corpus, kb.ClassGFPlayer)
+	cfg.Iterations = 1
+	eng := NewEngine(cfg, Models{})
+
+	before := w.KB.NumInstances()
+	batches := splitBatches(tables, 2)
+	out1, st1 := eng.Ingest(batches[0])
+	if st1.WrittenBack == 0 {
+		t.Fatal("batch 1 wrote nothing back")
+	}
+	if got := w.KB.NumInstances(); got != before+st1.WrittenBack {
+		t.Fatalf("KB grew by %d, stats say %d", got-before, st1.WrittenBack)
+	}
+	if st1.KBInstances != before+st1.WrittenBack {
+		t.Errorf("stats.KBInstances = %d, want %d", st1.KBInstances, before+st1.WrittenBack)
+	}
+	// Sequential IDs: the epoch-1 write-backs are exactly [before, after).
+	writtenSet := make(map[kb.InstanceID]bool)
+	for id := before; id < before+st1.WrittenBack; id++ {
+		in := w.KB.Instance(kb.InstanceID(id))
+		if in.Provenance != kb.ProvenanceIngest {
+			t.Fatalf("instance %d: provenance %q", id, in.Provenance)
+		}
+		if in.IngestEpoch != 1 {
+			t.Fatalf("instance %d: epoch %d, want 1", id, in.IngestEpoch)
+		}
+		if in.Class != kb.ClassGFPlayer {
+			t.Fatalf("instance %d: class %s", id, in.Class)
+		}
+		writtenSet[kb.InstanceID(id)] = true
+		// Matchable: candidate retrieval by the instance's own label must
+		// find it.
+		cands := w.KB.Candidates(in.Label(), kb.CandidateOpts{K: 20, Class: kb.ClassGFPlayer})
+		found := false
+		for _, c := range cands {
+			if c == kb.InstanceID(id) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("written instance %d (%q) not retrievable as candidate", id, in.Label())
+		}
+	}
+	// Every batch-1 new entity is covered by a write-back (same count, as
+	// signatures within one epoch's new set are distinct or merged).
+	if st1.WrittenBack > len(out1.NewEntities()) {
+		t.Errorf("wrote %d > %d new entities", st1.WrittenBack, len(out1.NewEntities()))
+	}
+
+	out2, st2 := eng.Ingest(batches[1])
+	if st2.Epoch != 2 || st2.TotalTables != len(sortedTableIDs(tables)) {
+		t.Errorf("stats after batch 2 = %+v", st2)
+	}
+	// Batch 2 must match entities against the instances batch 1 wrote.
+	matchedToWritten := 0
+	for i := range out2.Entities {
+		if d := out2.Detections[i]; d.Matched && writtenSet[d.Instance] {
+			matchedToWritten++
+		}
+	}
+	if matchedToWritten == 0 {
+		t.Error("no batch-2 entity matched a batch-1 write-back")
+	}
+	// Write-back dedup: epoch-2 instances carry epoch 2, and no signature
+	// is written twice.
+	for id := before + st1.WrittenBack; id < w.KB.NumInstances(); id++ {
+		in := w.KB.Instance(kb.InstanceID(id))
+		if in.IngestEpoch != 2 {
+			t.Errorf("instance %d: epoch %d, want 2", id, in.IngestEpoch)
+		}
+	}
+	if len(eng.written) != st1.WrittenBack+st2.WrittenBack {
+		t.Errorf("written signatures %d != %d+%d",
+			len(eng.written), st1.WrittenBack, st2.WrittenBack)
+	}
+}
+
+// TestEngineIncrementalConvergesToFull sanity-checks the streaming path:
+// a three-batch ingest ends with all tables covered, detections parallel
+// to entities, and a final output whose shape matches a one-shot run's
+// (every table mapped, every row clustered).
+func TestEngineIncrementalConvergesToFull(t *testing.T) {
+	w, corpus := engineFixture(t)
+	byClass := ClassifyTables(w.KB, corpus, 0.3)
+	tables := byClass[kb.ClassSettlement]
+	if len(tables) < 3 {
+		t.Fatal("need at least three settlement tables")
+	}
+	cfg := DefaultConfig(w.KB, corpus, kb.ClassSettlement)
+	cfg.Iterations = 1
+	eng := NewEngine(cfg, Models{})
+
+	var out *Output
+	for _, b := range splitBatches(tables, 3) {
+		out, _ = eng.Ingest(b)
+	}
+	if !reflect.DeepEqual(out.TableIDs, sortedTableIDs(tables)) {
+		t.Errorf("final TableIDs %v != all tables", out.TableIDs)
+	}
+	if len(out.Detections) != len(out.Entities) {
+		t.Fatal("detections not parallel to entities")
+	}
+	if len(out.Rows) == 0 || len(out.Clustering.Assign) != len(out.Rows) {
+		t.Errorf("rows %d, assigned %d", len(out.Rows), len(out.Clustering.Assign))
+	}
+	for _, tid := range out.TableIDs {
+		if corpus.Table(tid) != nil {
+			if _, ok := out.Mapping[tid]; !ok {
+				t.Errorf("table %d has no mapping in final output", tid)
+			}
+		}
+	}
+	if eng.Last() != out {
+		t.Error("Last() does not return the final output")
+	}
+	// Re-ingesting already-seen tables is a no-op batch.
+	_, st := eng.Ingest(tables[:1])
+	if st.BatchTables != 0 {
+		t.Errorf("re-ingest counted %d new tables", st.BatchTables)
+	}
+}
+
+// TestEngineFork verifies fork isolation: ingesting on a fork leaves the
+// original engine's state and epoch untouched.
+func TestEngineFork(t *testing.T) {
+	w, corpus := engineFixture(t)
+	byClass := ClassifyTables(w.KB, corpus, 0.3)
+	tables := byClass[kb.ClassGFPlayer]
+	if len(tables) < 2 {
+		t.Fatal("need at least two player tables")
+	}
+	cfg := DefaultConfig(w.KB, corpus, kb.ClassGFPlayer)
+	cfg.Iterations = 1
+	base := NewEngine(cfg, Models{})
+	base.WriteBack = false
+	batches := splitBatches(tables, 2)
+	base.Ingest(batches[0])
+	baseTables := base.TableIDs()
+
+	fork := base.Fork()
+	forkOut, _ := fork.Ingest(batches[1])
+	if base.Epoch() != 1 || fork.Epoch() != 2 {
+		t.Errorf("epochs: base %d fork %d", base.Epoch(), fork.Epoch())
+	}
+	if !reflect.DeepEqual(base.TableIDs(), baseTables) {
+		t.Error("fork ingest changed the base engine's tables")
+	}
+	if len(forkOut.TableIDs) != len(sortedTableIDs(tables)) {
+		t.Errorf("fork covers %d tables, want %d",
+			len(forkOut.TableIDs), len(sortedTableIDs(tables)))
+	}
+	// The fork's own state diverged; the base can still ingest its batch
+	// and arrive at the same table coverage.
+	baseOut, _ := base.Ingest(batches[1])
+	if !reflect.DeepEqual(baseOut.TableIDs, forkOut.TableIDs) {
+		t.Error("base and fork disagree on final table coverage")
+	}
+}

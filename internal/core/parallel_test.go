@@ -123,6 +123,28 @@ func TestTrainParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestClassifyTablesParallelMatchesSerial is the determinism regression
+// test for the parallelized table-to-class matching: the per-table fan-out
+// must produce the same class assignment (same tables, same order) at
+// every worker count.
+func TestClassifyTablesParallelMatchesSerial(t *testing.T) {
+	w, corpus := fixture()
+	serial := ClassifyTablesParallel(w.KB, corpus, 0.3, 1)
+	if len(serial) == 0 {
+		t.Fatal("serial classification empty")
+	}
+	for _, workers := range []int{2, 8} {
+		got := ClassifyTablesParallel(w.KB, corpus, 0.3, workers)
+		if !reflect.DeepEqual(serial, got) {
+			t.Errorf("workers=%d: classification differs from serial", workers)
+		}
+	}
+	// The default entry point is the parallel path.
+	if got := ClassifyTables(w.KB, corpus, 0.3); !reflect.DeepEqual(serial, got) {
+		t.Error("ClassifyTables differs from serial ClassifyTablesParallel")
+	}
+}
+
 // TestSortedTableIDs covers the ID canonicalization the parallel fan-out
 // relies on (distinct IDs so no two workers share a table).
 func TestSortedTableIDs(t *testing.T) {

@@ -16,8 +16,11 @@ import (
 
 // Index is an inverted token index over string labels. Each added label is
 // associated with a caller-chosen document ID; several labels may share an
-// ID (e.g. an instance with multiple labels). Add may be called
-// concurrently; Search must not run concurrently with Add.
+// ID (e.g. an instance with multiple labels). All methods are safe for
+// concurrent use: Add takes the write lock, Search/SearchLabels/Labels/Len
+// take the read lock, so lookups may run while later batches add postings
+// (each lookup observes a consistent snapshot — either before or after any
+// concurrent Add, never a torn one).
 type Index struct {
 	mu       sync.RWMutex
 	postings map[string][]posting // token -> docs containing it
@@ -74,11 +77,18 @@ func (ix *Index) Len() int {
 	return ix.numDocs
 }
 
-// Labels returns the normalized labels stored for doc.
+// Labels returns the normalized labels stored for doc. The returned slice
+// is a copy the caller may retain while concurrent Adds extend the doc.
 func (ix *Index) Labels(doc int) []string {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return ix.labels[doc]
+	ls := ix.labels[doc]
+	if ls == nil {
+		return nil
+	}
+	out := make([]string, len(ls))
+	copy(out, ls)
+	return out
 }
 
 // Hit is one search result: a document and its retrieval score.

@@ -131,6 +131,69 @@ func TestConcurrentAdd(t *testing.T) {
 	}
 }
 
+// TestConcurrentAddSearch exercises the full concurrency contract under
+// the race detector: Search, SearchLabels, Labels and Len run while other
+// goroutines add postings — the mode the incremental ingestion engine
+// relies on (lookups keep serving while later batches grow the index).
+func TestConcurrentAddSearch(t *testing.T) {
+	ix := New()
+	for i := 0; i < 20; i++ {
+		ix.Add(i, fmt.Sprintf("seed town %d", i))
+	}
+	const writers, readers, perWriter = 4, 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				doc := 100 + w*perWriter + i
+				ix.Add(doc, fmt.Sprintf("grown town %d alpha", doc))
+				ix.Add(doc, fmt.Sprintf("alias %d", doc)) // multi-label doc
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if hits := ix.Search("town", 50); len(hits) < 20 {
+					t.Errorf("seed docs lost mid-growth: %d hits", len(hits))
+					return
+				}
+				ix.Search("grwn", 5) // fuzzy path scans the vocabulary
+				ix.SearchLabels("seed town 3", 4)
+				ix.Labels(5)
+				ix.Len()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got, want := ix.Len(), 20+writers*perWriter; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	// Everything added concurrently is retrievable afterwards.
+	hits := ix.Search("alias 142", 5)
+	if len(hits) == 0 || hits[0].Doc != 142 {
+		t.Errorf("post-growth search = %v, want doc 142", hits)
+	}
+}
+
+func TestLabelsReturnsCopy(t *testing.T) {
+	ix := New()
+	ix.Add(1, "Alpha Beta")
+	ls := ix.Labels(1)
+	if len(ls) != 1 {
+		t.Fatalf("Labels = %v", ls)
+	}
+	ls[0] = "mutated"
+	if again := ix.Labels(1); again[0] != "alpha beta" {
+		t.Errorf("Labels returned internal storage: %v", again)
+	}
+}
+
 func TestSelfRetrievalProperty(t *testing.T) {
 	// Any indexed label must retrieve its own document.
 	f := func(words []string) bool {

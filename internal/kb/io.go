@@ -29,6 +29,10 @@ type jsonInstance struct {
 	Abstract   string               `json:"abstract,omitempty"`
 	Popularity float64              `json:"popularity,omitempty"`
 	Facts      map[string]jsonValue `json:"facts"`
+	// Provenance and epoch survive serialization so a dumped KB keeps the
+	// audit trail of which instances the ingestion engine wrote back.
+	Provenance  string `json:"provenance,omitempty"`
+	IngestEpoch int    `json:"ingestEpoch,omitempty"`
 }
 
 var kindByName = map[string]dtype.Kind{
@@ -74,15 +78,21 @@ func fromJSONValue(jv jsonValue) (dtype.Value, error) {
 // Classes and schemas are part of the ontology and are not serialized;
 // loading requires a KB constructed with the same ontology.
 func (kb *KB) WriteInstances(w io.Writer) error {
+	kb.mu.RLock()
+	instances := make([]*Instance, len(kb.instances))
+	copy(instances, kb.instances)
+	kb.mu.RUnlock()
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	for _, in := range kb.instances {
+	for _, in := range instances {
 		ji := jsonInstance{
-			Class:      string(in.Class),
-			Labels:     in.Labels,
-			Abstract:   in.Abstract,
-			Popularity: in.Popularity,
-			Facts:      make(map[string]jsonValue, len(in.Facts)),
+			Class:       string(in.Class),
+			Labels:      in.Labels,
+			Abstract:    in.Abstract,
+			Popularity:  in.Popularity,
+			Facts:       make(map[string]jsonValue, len(in.Facts)),
+			Provenance:  in.Provenance,
+			IngestEpoch: in.IngestEpoch,
 		}
 		for pid, v := range in.Facts {
 			ji.Facts[string(pid)] = toJSONValue(v)
@@ -124,11 +134,13 @@ func (kb *KB) ReadInstances(r io.Reader) error {
 			facts[PropertyID(pid)] = v
 		}
 		kb.AddInstance(&Instance{
-			Class:      class,
-			Labels:     ji.Labels,
-			Abstract:   ji.Abstract,
-			Popularity: ji.Popularity,
-			Facts:      facts,
+			Class:       class,
+			Labels:      ji.Labels,
+			Abstract:    ji.Abstract,
+			Popularity:  ji.Popularity,
+			Facts:       facts,
+			Provenance:  ji.Provenance,
+			IngestEpoch: ji.IngestEpoch,
 		})
 	}
 	if err := sc.Err(); err != nil {

@@ -55,6 +55,28 @@ func TestInstanceRoundTrip(t *testing.T) {
 	}
 }
 
+func TestProvenanceRoundTrip(t *testing.T) {
+	k := New()
+	k.AddInstance(&Instance{
+		Class:       ClassSong,
+		Labels:      []string{"New Tune"},
+		Provenance:  ProvenanceIngest,
+		IngestEpoch: 2,
+	})
+	var buf bytes.Buffer
+	if err := k.WriteInstances(&buf); err != nil {
+		t.Fatal(err)
+	}
+	k2 := New()
+	if err := k2.ReadInstances(&buf); err != nil {
+		t.Fatal(err)
+	}
+	in := k2.Instance(0)
+	if in.Provenance != ProvenanceIngest || in.IngestEpoch != 2 {
+		t.Errorf("provenance lost in round trip: %q epoch %d", in.Provenance, in.IngestEpoch)
+	}
+}
+
 func TestDateGranularityRoundTrip(t *testing.T) {
 	src := New()
 	src.AddInstance(&Instance{

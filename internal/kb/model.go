@@ -7,11 +7,20 @@
 // The package also provides profiling (instance/fact counts and property
 // densities, Tables 1-2) and a deterministic synthetic generator that
 // reproduces the schema and density profile of the paper's three classes.
+//
+// A KB supports safe concurrent post-construction growth: AddInstance and
+// AddClass may run while other goroutines read or search, and every
+// mutation bumps a monotonic Version counter that downstream caches
+// (match.Context profiles, newdet.Detector candidates) key their validity
+// on. Instances written back by the incremental ingestion engine carry a
+// Provenance marker and the ingest epoch that created them.
 package kb
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dtype"
 	"repro/internal/index"
@@ -41,6 +50,11 @@ const (
 	ClassRegion   ClassID = "dbo:Region"
 	ClassMountain ClassID = "dbo:Mountain"
 )
+
+// ProvenanceIngest marks instances written back into the KB by the
+// incremental ingestion engine (core.Engine), as opposed to seed instances
+// loaded or generated at construction time (empty provenance).
+const ProvenanceIngest = "ltee:ingest"
 
 // PropertyID identifies a property of the knowledge base schema.
 type PropertyID string
@@ -83,6 +97,12 @@ type Instance struct {
 	Facts map[PropertyID]dtype.Value
 	// Popularity substitutes the count of incoming Wikipedia page links.
 	Popularity float64
+	// Provenance records how the instance entered the KB: empty for seed
+	// instances, ProvenanceIngest for pipeline write-back.
+	Provenance string
+	// IngestEpoch is the ingestion epoch that wrote the instance back
+	// (0 for seed instances).
+	IngestEpoch int
 }
 
 // Label returns the primary label or "" for an unlabeled instance.
@@ -93,8 +113,13 @@ func (in *Instance) Label() string {
 	return in.Labels[0]
 }
 
-// KB is an in-memory knowledge base.
+// KB is an in-memory knowledge base. The zero value is not usable; call
+// New. All methods are safe for concurrent use, including growth via
+// AddInstance/AddClass while readers search (an Instance must be treated
+// as immutable once added).
 type KB struct {
+	mu        sync.RWMutex
+	version   atomic.Uint64
 	classes   map[ClassID]*Class
 	instances []*Instance
 	byClass   map[ClassID][]InstanceID
@@ -140,23 +165,37 @@ func defaultOntology() []*Class {
 	}
 }
 
+// Version returns a monotonic counter bumped on every mutation of the KB
+// (AddInstance, AddClass). Caches built over KB contents record the version
+// they were built at and must invalidate when it changes.
+func (kb *KB) Version() uint64 { return kb.version.Load() }
+
 // AddClass registers a class. Re-adding a class replaces it.
 func (kb *KB) AddClass(c *Class) {
+	kb.mu.Lock()
 	kb.classes[c.ID] = c
 	if _, ok := kb.labelIdx[c.ID]; !ok {
 		kb.labelIdx[c.ID] = index.New()
 	}
+	kb.mu.Unlock()
+	kb.version.Add(1)
 }
 
 // Class returns the class with the given ID, or nil.
-func (kb *KB) Class(id ClassID) *Class { return kb.classes[id] }
+func (kb *KB) Class(id ClassID) *Class {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	return kb.classes[id]
+}
 
 // Classes returns all class IDs in deterministic order.
 func (kb *KB) Classes() []ClassID {
+	kb.mu.RLock()
 	ids := make([]ClassID, 0, len(kb.classes))
 	for id := range kb.classes {
 		ids = append(ids, id)
 	}
+	kb.mu.RUnlock()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
@@ -164,6 +203,12 @@ func (kb *KB) Classes() []ClassID {
 // Ancestors returns the chain of parent classes from id (exclusive) to the
 // root (inclusive).
 func (kb *KB) Ancestors(id ClassID) []ClassID {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	return kb.ancestorsLocked(id)
+}
+
+func (kb *KB) ancestorsLocked(id ClassID) []ClassID {
 	var out []ClassID
 	c := kb.classes[id]
 	for c != nil && c.Parent != "" {
@@ -178,11 +223,17 @@ func (kb *KB) Ancestors(id ClassID) []ClassID {
 // this relaxed check ("must be of the class of the created entity or share
 // one parent class").
 func (kb *KB) SharesParent(a, b ClassID) bool {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	return kb.sharesParentLocked(a, b)
+}
+
+func (kb *KB) sharesParentLocked(a, b ClassID) bool {
 	if a == b {
 		return true
 	}
-	ancA := append([]ClassID{a}, kb.Ancestors(a)...)
-	ancB := append([]ClassID{b}, kb.Ancestors(b)...)
+	ancA := append([]ClassID{a}, kb.ancestorsLocked(a)...)
+	ancB := append([]ClassID{b}, kb.ancestorsLocked(b)...)
 	setA := make(map[ClassID]bool, len(ancA))
 	for _, x := range ancA {
 		setA[x] = true
@@ -203,9 +254,11 @@ func (kb *KB) SharesParent(a, b ClassID) bool {
 // candidate instance's class chain with the entity's class chain, as the
 // Jaccard of the two ancestor sets (root excluded).
 func (kb *KB) TypeOverlap(a, b ClassID) float64 {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
 	chain := func(id ClassID) map[ClassID]bool {
 		s := map[ClassID]bool{id: true}
-		for _, x := range kb.Ancestors(id) {
+		for _, x := range kb.ancestorsLocked(id) {
 			if x != ClassThing {
 				s[x] = true
 			}
@@ -228,6 +281,8 @@ func (kb *KB) TypeOverlap(a, b ClassID) float64 {
 
 // Property looks up a property in the schema of class id (or its ancestors).
 func (kb *KB) Property(id ClassID, pid PropertyID) (Property, bool) {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
 	for c := kb.classes[id]; c != nil; c = kb.classes[c.Parent] {
 		for _, p := range c.Properties {
 			if p.ID == pid {
@@ -244,6 +299,8 @@ func (kb *KB) Property(id ClassID, pid PropertyID) (Property, bool) {
 // Schema returns the property list of class id (schema of the class itself;
 // evaluation classes carry the full schema directly).
 func (kb *KB) Schema(id ClassID) []Property {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
 	if c := kb.classes[id]; c != nil {
 		return c.Properties
 	}
@@ -251,25 +308,35 @@ func (kb *KB) Schema(id ClassID) []Property {
 }
 
 // AddInstance stores an instance, assigns it an ID, and indexes its labels.
-// The instance's Facts map may be nil.
+// The instance's Facts map may be nil. Safe to call while other goroutines
+// read or search the KB: the instance becomes visible to ID lookups before
+// its labels enter the indexes, so a concurrent search never retrieves a
+// document without a backing instance.
 func (kb *KB) AddInstance(in *Instance) InstanceID {
+	kb.mu.Lock()
 	in.ID = InstanceID(len(kb.instances))
 	if in.Facts == nil {
 		in.Facts = make(map[PropertyID]dtype.Value)
 	}
 	kb.instances = append(kb.instances, in)
 	kb.byClass[in.Class] = append(kb.byClass[in.Class], in.ID)
+	classIx := kb.labelIdx[in.Class]
+	kb.mu.Unlock()
+
 	for _, l := range in.Labels {
 		kb.globalIx.Add(int(in.ID), l)
-		if ix, ok := kb.labelIdx[in.Class]; ok {
-			ix.Add(int(in.ID), l)
+		if classIx != nil {
+			classIx.Add(int(in.ID), l)
 		}
 	}
+	kb.version.Add(1)
 	return in.ID
 }
 
 // Instance returns the instance with the given ID, or nil.
 func (kb *KB) Instance(id InstanceID) *Instance {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
 	if id < 0 || int(id) >= len(kb.instances) {
 		return nil
 	}
@@ -277,10 +344,22 @@ func (kb *KB) Instance(id InstanceID) *Instance {
 }
 
 // NumInstances returns the total number of instances.
-func (kb *KB) NumInstances() int { return len(kb.instances) }
+func (kb *KB) NumInstances() int {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	return len(kb.instances)
+}
 
-// InstancesOf returns the instance IDs of class id (not descendants).
-func (kb *KB) InstancesOf(id ClassID) []InstanceID { return kb.byClass[id] }
+// InstancesOf returns the instance IDs of class id (not descendants), in
+// insertion order. The returned slice is a copy the caller may retain.
+func (kb *KB) InstancesOf(id ClassID) []InstanceID {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	ids := kb.byClass[id]
+	out := make([]InstanceID, len(ids))
+	copy(out, ids)
+	return out
+}
 
 // CandidateOpts configures Candidates.
 type CandidateOpts struct {
@@ -299,10 +378,15 @@ func (kb *KB) Candidates(label string, opts CandidateOpts) []InstanceID {
 		k = 20
 	}
 	hits := kb.globalIx.Search(label, k*3)
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
 	var out []InstanceID
 	for _, h := range hits {
+		if h.Doc < 0 || h.Doc >= len(kb.instances) {
+			continue
+		}
 		in := kb.instances[h.Doc]
-		if opts.Class != "" && !kb.SharesParent(in.Class, opts.Class) {
+		if opts.Class != "" && !kb.sharesParentLocked(in.Class, opts.Class) {
 			continue
 		}
 		out = append(out, in.ID)
@@ -315,6 +399,8 @@ func (kb *KB) Candidates(label string, opts CandidateOpts) []InstanceID {
 
 // String summarizes the KB for logging.
 func (kb *KB) String() string {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
 	return fmt.Sprintf("KB{classes: %d, instances: %d}", len(kb.classes), len(kb.instances))
 }
 

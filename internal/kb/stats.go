@@ -20,6 +20,8 @@ type PropertyProfile struct {
 
 // ProfileClass computes the Table 1 row for a class.
 func (kb *KB) ProfileClass(id ClassID) ClassProfile {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
 	p := ClassProfile{Class: id}
 	for _, iid := range kb.byClass[id] {
 		p.Instances++
@@ -32,6 +34,7 @@ func (kb *KB) ProfileClass(id ClassID) ClassProfile {
 // descending density (as the paper prints them). Only properties in the
 // class schema are reported.
 func (kb *KB) ProfileProperties(id ClassID) []PropertyProfile {
+	kb.mu.RLock()
 	counts := make(map[PropertyID]int)
 	n := 0
 	for _, iid := range kb.byClass[id] {
@@ -40,6 +43,7 @@ func (kb *KB) ProfileProperties(id ClassID) []PropertyProfile {
 			counts[pid]++
 		}
 	}
+	kb.mu.RUnlock()
 	var out []PropertyProfile
 	for _, prop := range kb.Schema(id) {
 		c := counts[prop.ID]

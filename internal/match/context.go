@@ -50,11 +50,18 @@ type Context struct {
 }
 
 // ctxCaches bundles the lazily built caches of one matching context. All
-// three are built exactly once under mu and are read-only afterwards;
-// readers take the shared lock so cache hits on the matching hot path do
-// not serialize the worker pool.
+// three are built under mu; readers take the shared lock so cache hits on
+// the matching hot path do not serialize the worker pool.
+//
+// The KB property profiles depend on the KB's instances, which may grow
+// between ingest epochs (the engine writes new entities back). kbVersion
+// records the kb.Version the profiles were built at; a version mismatch
+// drops them so they are rebuilt over the grown KB. The KB must not grow
+// while a matching pass is in flight — the engine only writes back after
+// its iterations complete, so invalidation happens between passes.
 type ctxCaches struct {
 	mu         sync.RWMutex
+	kbVersion  uint64
 	kbProfiles map[kb.ClassID]map[kb.PropertyID]*propProfile
 	wtLabels   map[kb.PropertyID]map[string]float64
 	wtDone     bool
@@ -100,11 +107,12 @@ func (c *Context) WithIterationOutput(
 
 // deriveWithProfiles returns a fresh cache struct seeded with a copy of
 // the already-built KB property profiles (the profiles themselves are
-// immutable once built and safe to share).
+// immutable once built and safe to share). The recorded KB version carries
+// over, so a stale profile set is still dropped on first use.
 func (cc *ctxCaches) deriveWithProfiles() *ctxCaches {
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
-	nc := &ctxCaches{}
+	nc := &ctxCaches{kbVersion: cc.kbVersion}
 	if cc.kbProfiles != nil {
 		nc.kbProfiles = make(map[kb.ClassID]map[kb.PropertyID]*propProfile, len(cc.kbProfiles))
 		for class, byProp := range cc.kbProfiles {

@@ -1,6 +1,8 @@
 package newdet
 
 import (
+	"sync"
+
 	"repro/internal/agg"
 	"repro/internal/dtype"
 	"repro/internal/fusion"
@@ -39,6 +41,23 @@ type Detector struct {
 	CandidateK int
 	// Thresholds are the data-type equivalence thresholds.
 	Thresholds dtype.Thresholds
+
+	// candMu guards the per-(class, label) candidate cache. Detect runs
+	// concurrently on the pipeline's worker pool, and the same entity
+	// labels recur across ingest epochs; the cache is keyed on the KB
+	// version so it extends naturally when the engine writes new instances
+	// back — a grown KB drops the cache and later lookups see the
+	// write-backs as candidates.
+	candMu      sync.Mutex
+	candVersion uint64
+	candCache   map[candKey][]kb.InstanceID
+}
+
+// candKey addresses one candidate lookup: the entity class (the §3.4 class
+// restriction) and the raw label queried.
+type candKey struct {
+	class kb.ClassID
+	label string
 }
 
 // NewDetector returns a detector with the full metric set, the given
@@ -101,16 +120,13 @@ func (d *Detector) Score(env *Env, e *fusion.Entity, inst *kb.Instance) float64 
 }
 
 // candidates finds candidate instances for all entity labels with the class
-// restriction of §3.4 (same class or sharing a parent class).
+// restriction of §3.4 (same class or sharing a parent class). Per-label
+// lookups are memoized until the KB grows.
 func (d *Detector) candidates(e *fusion.Entity) []kb.InstanceID {
-	k := d.CandidateK
-	if k <= 0 {
-		k = 20
-	}
 	seen := make(map[kb.InstanceID]bool)
 	var out []kb.InstanceID
 	for _, label := range e.Labels {
-		for _, iid := range d.KB.Candidates(label, kb.CandidateOpts{K: k, Class: e.Class}) {
+		for _, iid := range d.labelCandidates(e.Class, label) {
 			if !seen[iid] {
 				seen[iid] = true
 				out = append(out, iid)
@@ -118,6 +134,39 @@ func (d *Detector) candidates(e *fusion.Entity) []kb.InstanceID {
 		}
 	}
 	return out
+}
+
+// labelCandidates returns the cached candidate list for one (class, label)
+// pair, recomputing it when the KB version moved (engine write-back).
+func (d *Detector) labelCandidates(class kb.ClassID, label string) []kb.InstanceID {
+	k := d.CandidateK
+	if k <= 0 {
+		k = 20
+	}
+	ver := d.KB.Version()
+	key := candKey{class: class, label: label}
+	d.candMu.Lock()
+	if d.candVersion != ver {
+		d.candCache = nil
+		d.candVersion = ver
+	}
+	cached, ok := d.candCache[key]
+	d.candMu.Unlock()
+	if ok {
+		return cached
+	}
+	cands := d.KB.Candidates(label, kb.CandidateOpts{K: k, Class: class})
+	d.candMu.Lock()
+	// Re-check the version: a concurrent write-back between the lookup and
+	// the store must not poison the fresh cache with a stale list.
+	if d.candVersion == ver {
+		if d.candCache == nil {
+			d.candCache = make(map[candKey][]kb.InstanceID)
+		}
+		d.candCache[key] = cands
+	}
+	d.candMu.Unlock()
+	return cands
 }
 
 // Example is one labeled entity for learning: the entity plus its correct

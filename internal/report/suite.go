@@ -151,7 +151,7 @@ func (s *Suite) Folds(class kb.ClassID) [][]int {
 func (s *Suite) TablesByClass() map[kb.ClassID][]int {
 	return s.byClass.Get(func() map[kb.ClassID][]int {
 		s.prepare()
-		return core.ClassifyTables(s.World.KB, s.Corpus, 0.3)
+		return core.ClassifyTablesParallel(s.World.KB, s.Corpus, 0.3, s.Workers)
 	})
 }
 
