@@ -1,6 +1,12 @@
 package repro
 
 import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
 	"sync"
 	"testing"
 
@@ -8,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kb"
 	"repro/internal/report"
+	"repro/internal/serve"
 	"repro/internal/webtable"
 	"repro/internal/world"
 )
@@ -350,3 +357,98 @@ func BenchmarkAblationIterations2(b *testing.B) { benchIterations(b, 2) }
 
 // BenchmarkAblationIterations3 runs a third iteration (the paper: no gain).
 func BenchmarkAblationIterations3(b *testing.B) { benchIterations(b, 3) }
+
+// serveBench holds the shared serving fixture: one grown KB served by two
+// servers that differ only in response caching, so the cached and uncached
+// paths measure the same retrieval work.
+var (
+	serveBenchOnce     sync.Once
+	serveBenchErr      error
+	serveBenchCached   *serve.Server
+	serveBenchUncached *serve.Server
+	serveBenchLookup   string
+	serveBenchSearch   string
+)
+
+func serveBenchSetup(b *testing.B) (cached, uncached *serve.Server) {
+	b.Helper()
+	serveBenchOnce.Do(func() {
+		w := world.Generate(world.DefaultConfig(0.2))
+		c := webtable.Synthesize(w, webtable.DefaultSynthConfig(0.12))
+		tables := core.ClassifyTables(w.KB, c, 0.3)[kb.ClassGFPlayer]
+		cfg := core.DefaultConfig(w.KB, c, kb.ClassGFPlayer)
+		cfg.Iterations = 1
+		writerEngine := core.NewEngine(cfg, core.Models{})
+		readerEngine := core.NewEngine(cfg, core.Models{})
+
+		var err error
+		serveBenchCached, err = serve.New(serve.Config{
+			KB: w.KB, Corpus: c,
+			Engines: map[kb.ClassID]*core.Engine{kb.ClassGFPlayer: writerEngine},
+		})
+		if err != nil {
+			serveBenchErr = err
+			return
+		}
+		// Grow the KB by one epoch so lookups hit ingested instances too.
+		body, _ := json.Marshal(serve.IngestRequest{Class: "GF-Player", Tables: tables})
+		req := httptest.NewRequest(http.MethodPost, "/v1/ingest?wait=1", strings.NewReader(string(body)))
+		rec := httptest.NewRecorder()
+		serveBenchCached.Handler().ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			serveBenchErr = fmt.Errorf("bench ingest = %d: %s", rec.Code, rec.Body.String())
+			return
+		}
+		// The uncached server shares the grown KB; CacheEntries < 0
+		// disables its response cache entirely.
+		serveBenchUncached, err = serve.New(serve.Config{
+			KB: w.KB, Corpus: c,
+			Engines:      map[kb.ClassID]*core.Engine{kb.ClassGFPlayer: readerEngine},
+			CacheEntries: -1,
+		})
+		if err != nil {
+			serveBenchErr = err
+			return
+		}
+		serveBenchLookup = fmt.Sprintf("/v1/instances/%d", w.KB.NumInstances()-1)
+		label := w.KB.Instance(0).Label()
+		serveBenchSearch = "/v1/search?q=" + url.QueryEscape(label) + "&class=GF-Player"
+	})
+	if serveBenchErr != nil {
+		b.Fatalf("serve bench fixture: %v", serveBenchErr)
+	}
+	return serveBenchCached, serveBenchUncached
+}
+
+func benchServeGet(b *testing.B, s *serve.Server, target string) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodGet, target, nil)
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("GET %s = %d", target, rec.Code)
+		}
+	}
+}
+
+// BenchmarkServeLookup measures entity lookup by instance ID through the
+// serving stack: the cached path (LRU keyed on kb.Version) against the
+// uncached path that renders from the KB every time. The first serving
+// latency numbers of the repo; the cached figure must come in under the
+// uncached one.
+func BenchmarkServeLookup(b *testing.B) {
+	cached, uncached := serveBenchSetup(b)
+	b.Run("cached", func(b *testing.B) { benchServeGet(b, cached, serveBenchLookup) })
+	b.Run("uncached", func(b *testing.B) { benchServeGet(b, uncached, serveBenchLookup) })
+}
+
+// BenchmarkServeSearch measures fuzzy label search through the serving
+// stack, cached vs uncached.
+func BenchmarkServeSearch(b *testing.B) {
+	cached, uncached := serveBenchSetup(b)
+	b.Run("cached", func(b *testing.B) { benchServeGet(b, cached, serveBenchSearch) })
+	b.Run("uncached", func(b *testing.B) { benchServeGet(b, uncached, serveBenchSearch) })
+}

@@ -1,0 +1,227 @@
+// Command ltee-serve runs the long-running KB query/ingest server: it
+// generates the synthetic world and corpus, builds one incremental
+// ingestion engine per served class, and exposes the serve API over HTTP —
+// entity lookup, fuzzy label search, per-class/per-epoch stats, async
+// ingestion, and snapshot persistence.
+//
+// Usage:
+//
+//	ltee-serve -addr :8080 -snapshot ./kbdata
+//	ltee-serve -classes GF-Player,Song -train -workers 8
+//
+// Endpoints (all JSON):
+//
+//	GET  /healthz                        liveness
+//	GET  /v1/classes                     served classes + epochs
+//	GET  /v1/classes/{class}/entities    entities of the last epoch (?new=1)
+//	GET  /v1/instances/{id}              entity lookup by instance ID
+//	GET  /v1/search?q=&class=&k=         fuzzy label search
+//	GET  /v1/stats                       KB/cache/ingest statistics
+//	POST /v1/ingest                      {"class","tables","auto","raw"} (?wait=1)
+//	GET  /v1/jobs/{id}                   async job status
+//	POST /v1/snapshot                    persist KB discoveries (?wait=1)
+//
+// With -snapshot DIR the server loads any existing snapshot at startup
+// (warm start: earlier discoveries and epoch counters survive restarts)
+// and saves a final snapshot on SIGINT/SIGTERM before shutting down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kb"
+	"repro/internal/report"
+	"repro/internal/serve"
+)
+
+func main() {
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		close(stop)
+	}()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil, stop))
+}
+
+// config is the parsed command line.
+type config struct {
+	addr         string
+	classes      []kb.ClassID
+	snapshotDir  string
+	worldScale   float64
+	corpusScale  float64
+	seed         int64
+	workers      int
+	iterations   int
+	train        bool
+	cacheEntries int
+}
+
+// parseFlags parses the command line into a config (split from run so flag
+// handling is testable without building a suite).
+func parseFlags(args []string, stderr io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("ltee-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := &config{}
+	var classes string
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&classes, "classes", "GF-Player,Song,Settlement", "comma-separated classes to serve")
+	fs.StringVar(&cfg.snapshotDir, "snapshot", "", "snapshot directory (enables warm start and persistence)")
+	fs.Float64Var(&cfg.worldScale, "world", 0.35, "world scale (entity counts)")
+	fs.Float64Var(&cfg.corpusScale, "corpus", 0.22, "corpus scale (table counts)")
+	fs.Int64Var(&cfg.seed, "seed", 1, "generation and learning seed")
+	fs.IntVar(&cfg.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	fs.IntVar(&cfg.iterations, "iterations", 2, "pipeline iterations per ingest epoch")
+	fs.BoolVar(&cfg.train, "train", false, "train the learned models at startup (slower start, better matching)")
+	fs.IntVar(&cfg.cacheEntries, "cache", 1024, "response cache entries (negative disables)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if cfg.iterations < 1 {
+		fmt.Fprintf(stderr, "-iterations must be at least 1 (got %d)\n", cfg.iterations)
+		return nil, errors.New("usage")
+	}
+	for _, name := range strings.Split(classes, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		class := classByName(name)
+		if class == "" {
+			fmt.Fprintf(stderr, "unknown class %q (want GF-Player, Song, or Settlement)\n", name)
+			return nil, errors.New("usage")
+		}
+		cfg.classes = append(cfg.classes, class)
+	}
+	if len(cfg.classes) == 0 {
+		fmt.Fprintln(stderr, "-classes must name at least one class")
+		return nil, errors.New("usage")
+	}
+	return cfg, nil
+}
+
+// classByName resolves the user-facing class names to class IDs ("" for an
+// unknown name).
+func classByName(name string) kb.ClassID {
+	switch strings.ToLower(name) {
+	case "gf-player", "gfplayer", "player":
+		return kb.ClassGFPlayer
+	case "song":
+		return kb.ClassSong
+	case "settlement":
+		return kb.ClassSettlement
+	default:
+		return ""
+	}
+}
+
+// run builds the world, engines and server, listens on cfg.addr, and
+// blocks until stop closes (then snapshots, if configured, and shuts
+// down). ready, when non-nil, receives the bound listen address once the
+// server accepts connections — tests use it to find the port.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-chan struct{}) int {
+	cfg, err := parseFlags(args, stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return 0
+	}
+	if err != nil {
+		return 2
+	}
+
+	s := report.NewSuite(report.Options{
+		WorldScale: cfg.worldScale, CorpusScale: cfg.corpusScale,
+		Seed: cfg.seed, Workers: cfg.workers,
+	})
+	fmt.Fprintf(stdout, "world: %d entities, KB: %d instances, corpus: %d tables / %d rows\n",
+		len(s.World.Entities), s.World.KB.NumInstances(), s.Corpus.Len(), s.Corpus.TotalRows())
+
+	byClass := s.TablesByClass()
+	engines := make(map[kb.ClassID]*core.Engine, len(cfg.classes))
+	tables := make(map[kb.ClassID][]int, len(cfg.classes))
+	for _, class := range cfg.classes {
+		ecfg := s.Config(class)
+		ecfg.Iterations = cfg.iterations
+		models := core.Models{}
+		if cfg.train {
+			models = s.ModelsFor(class)
+		}
+		engines[class] = core.NewEngine(ecfg, models)
+		tables[class] = byClass[class]
+		fmt.Fprintf(stdout, "class %s: %d corpus tables, %d KB instances\n",
+			kb.ClassShortName(class), len(byClass[class]), len(s.World.KB.InstancesOf(class)))
+	}
+
+	srv, err := serve.New(serve.Config{
+		KB:           s.World.KB,
+		Corpus:       s.Corpus,
+		Engines:      engines,
+		Tables:       tables,
+		SnapshotDir:  cfg.snapshotDir,
+		WorldKey:     fmt.Sprintf("world=%g corpus=%g seed=%d", cfg.worldScale, cfg.corpusScale, cfg.seed),
+		CacheEntries: cfg.cacheEntries,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "ltee-serve: %v\n", err)
+		return 1
+	}
+	if srv.Warm != nil {
+		fmt.Fprintf(stdout, "warm start: %d ingested instances restored, epochs %v\n",
+			srv.Warm.Instances, srv.Warm.Epochs)
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "ltee-serve: %v\n", err)
+		srv.Close()
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(stdout, "listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case <-stop:
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "ltee-serve: %v\n", err)
+		srv.Close()
+		return 1
+	}
+
+	// Graceful shutdown: stop accepting traffic and drain in-flight
+	// handlers first, then snapshot — an ingest acknowledged to a client
+	// during the drain window is therefore always included in the final
+	// snapshot (the writer loop is still running until Close).
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stderr, "ltee-serve: shutdown: %v\n", err)
+	}
+	if cfg.snapshotDir != "" {
+		if m, serr := srv.Snapshot(); serr != nil {
+			fmt.Fprintf(stderr, "ltee-serve: final snapshot: %v\n", serr)
+		} else {
+			fmt.Fprintf(stdout, "snapshot saved: %d ingested instances, epochs %v\n", m.Instances, m.Epochs)
+		}
+	}
+	srv.Close()
+	fmt.Fprintln(stdout, "bye")
+	return 0
+}

@@ -1,0 +1,232 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/kb"
+	"repro/internal/serve"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	var stderr bytes.Buffer
+	cfg, err := parseFlags(nil, &stderr)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if cfg.addr != ":8080" || cfg.train || cfg.iterations != 2 || cfg.cacheEntries != 1024 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+	if len(cfg.classes) != 3 {
+		t.Errorf("default classes = %v", cfg.classes)
+	}
+}
+
+func TestParseFlagsClasses(t *testing.T) {
+	var stderr bytes.Buffer
+	cfg, err := parseFlags([]string{"-classes", "song, player"}, &stderr)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(cfg.classes) != 2 || cfg.classes[0] != kb.ClassSong || cfg.classes[1] != kb.ClassGFPlayer {
+		t.Errorf("classes = %v", cfg.classes)
+	}
+}
+
+func TestParseFlagsErrors(t *testing.T) {
+	cases := [][]string{
+		{"-classes", "Nope"},
+		{"-classes", ""},
+		{"-iterations", "0"},
+		{"-nope"},
+	}
+	for _, args := range cases {
+		var stderr bytes.Buffer
+		if _, err := parseFlags(args, &stderr); err == nil {
+			t.Errorf("parseFlags(%v) should fail", args)
+		}
+	}
+}
+
+// serverProc is one run() invocation under test.
+type serverProc struct {
+	addr   string
+	stop   chan struct{}
+	exited chan int
+	stdout *bytes.Buffer
+}
+
+// startServer launches run() with the given extra args and waits until it
+// listens.
+func startServer(t *testing.T, snapshotDir string) *serverProc {
+	t.Helper()
+	p := &serverProc{
+		stop:   make(chan struct{}),
+		exited: make(chan int, 1),
+		stdout: &bytes.Buffer{},
+	}
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-classes", "GF-Player",
+		"-world", "0.2", "-corpus", "0.12",
+		"-iterations", "1",
+		"-snapshot", snapshotDir,
+	}
+	ready := make(chan string, 1)
+	var stderr bytes.Buffer
+	go func() {
+		p.exited <- run(args, p.stdout, &stderr, ready, p.stop)
+	}()
+	select {
+	case p.addr = <-ready:
+	case code := <-p.exited:
+		t.Fatalf("server exited early with %d: %s", code, stderr.String())
+	case <-time.After(120 * time.Second):
+		t.Fatal("server did not become ready")
+	}
+	return p
+}
+
+// shutdown closes the server and asserts a clean exit.
+func (p *serverProc) shutdown(t *testing.T) {
+	t.Helper()
+	close(p.stop)
+	select {
+	case code := <-p.exited:
+		if code != 0 {
+			t.Fatalf("server exited with %d", code)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+// get fetches a URL and decodes the JSON body into out (when non-nil).
+func (p *serverProc) get(t *testing.T, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get("http://" + p.addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("GET %s: decoding %q: %v", path, body, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// post sends a JSON body and decodes the response.
+func (p *serverProc) post(t *testing.T, path, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post("http://"+p.addr+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("POST %s: decoding %q: %v", path, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestLteeServeEndToEnd is the CI smoke test: start the server, query it,
+// ingest a batch, snapshot, restart, and re-query the persisted
+// discoveries over real HTTP.
+func TestLteeServeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end server test is not short")
+	}
+	dir := t.TempDir()
+	p := startServer(t, dir)
+
+	var health map[string]string
+	if code := p.get(t, "/healthz", &health); code != 200 || health["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", code, health)
+	}
+	var classes []serve.ClassView
+	p.get(t, "/v1/classes", &classes)
+	if len(classes) != 1 || classes[0].CorpusTables == 0 || classes[0].Epoch != 0 {
+		t.Fatalf("classes = %+v", classes)
+	}
+
+	// Ingest every classified table in one epoch.
+	var jv serve.JobView
+	body := fmt.Sprintf(`{"class":"GF-Player","auto":%d}`, classes[0].CorpusTables)
+	if code := p.post(t, "/v1/ingest?wait=1", body, &jv); code != 200 || jv.Status != "done" {
+		t.Fatalf("ingest = %d %+v", code, jv)
+	}
+	if jv.Stats == nil || jv.Stats.Epoch != 1 || jv.Stats.WrittenBack == 0 {
+		t.Fatalf("ingest stats = %+v", jv.Stats)
+	}
+	writtenID := jv.Stats.KBInstances - jv.Stats.WrittenBack
+
+	// Query a discovery directly and through fuzzy search.
+	var inst serve.InstanceView
+	if code := p.get(t, fmt.Sprintf("/v1/instances/%d", writtenID), &inst); code != 200 {
+		t.Fatalf("instance lookup = %d", code)
+	}
+	if inst.Provenance != kb.ProvenanceIngest {
+		t.Fatalf("instance = %+v", inst)
+	}
+	var sv serve.SearchView
+	q := strings.ReplaceAll(inst.Labels[0], " ", "+")
+	p.get(t, "/v1/search?q="+q+"&class=GF-Player", &sv)
+	found := false
+	for _, h := range sv.Hits {
+		if h.ID == inst.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("search for %q missed instance %d: %+v", inst.Labels[0], inst.ID, sv.Hits)
+	}
+
+	// Snapshot explicitly, then shut down (which snapshots again).
+	var snap serve.JobView
+	if code := p.post(t, "/v1/snapshot?wait=1", "", &snap); code != 200 || snap.Status != "done" {
+		t.Fatalf("snapshot = %d %+v", code, snap)
+	}
+	p.shutdown(t)
+	if !strings.Contains(p.stdout.String(), "snapshot saved") {
+		t.Errorf("shutdown did not snapshot: %q", p.stdout.String())
+	}
+
+	// Restart: the discovery and the epoch counter survive.
+	p2 := startServer(t, dir)
+	defer p2.shutdown(t)
+	if !strings.Contains(p2.stdout.String(), "warm start") {
+		t.Fatalf("no warm start logged: %q", p2.stdout.String())
+	}
+	var inst2 serve.InstanceView
+	if code := p2.get(t, fmt.Sprintf("/v1/instances/%d", writtenID), &inst2); code != 200 {
+		t.Fatalf("warm lookup = %d", code)
+	}
+	if inst2.Labels[0] != inst.Labels[0] {
+		t.Errorf("warm label %q, want %q", inst2.Labels[0], inst.Labels[0])
+	}
+	p2.get(t, "/v1/classes", &classes)
+	if classes[0].Epoch != 1 {
+		t.Errorf("warm epoch = %d, want 1", classes[0].Epoch)
+	}
+	// Auto ingestion keeps advancing after the restart: the manifest
+	// recorded the ingested table IDs, so re-requesting every classified
+	// table resolves to nothing new and must not burn an epoch.
+	if code := p2.post(t, "/v1/ingest?wait=1", body, &jv); code != 200 || jv.Status != "done" {
+		t.Fatalf("post-restart auto ingest = %d %+v", code, jv)
+	}
+	if jv.Stats == nil || jv.Stats.BatchTables != 0 || jv.Stats.Epoch != 1 {
+		t.Errorf("post-restart auto ingest re-picked old tables: %+v", jv.Stats)
+	}
+}

@@ -50,6 +50,23 @@
 // growth per epoch, and BenchmarkIngestBatch vs BenchmarkFullRerun tracks
 // the incremental speedup.
 //
+// # Serving
+//
+// internal/serve wraps one Engine per class in a long-running HTTP/JSON
+// server (cmd/ltee-serve): entity lookup by instance ID, fuzzy label
+// search over the inverted index, per-class/per-epoch statistics, and
+// asynchronous ingestion. All mutation funnels through a single-writer
+// job loop; concurrent readers rely on the KB's lock-free growth
+// guarantees, the Engine's copy-returning accessors (Epoch, TableIDs,
+// History, Last), and an LRU response cache keyed on kb.Version so hot
+// lookups skip retrieval until the KB actually changes. With a snapshot
+// directory configured, the server persists its discoveries atomically
+// (kb.SaveSnapshot: write-backs as NDJSON plus a manifest with per-class
+// epochs, temp-file + rename) and warm-starts from them after a restart,
+// resuming each engine's epoch sequence via Engine.Resume instead of
+// re-ingesting. BenchmarkServeLookup and BenchmarkServeSearch establish
+// the serving-path latency numbers, cached vs uncached.
+//
 // The benchmarks in bench_test.go regenerate every evaluation table of the
 // paper; cmd/ltee prints them (the -workers flag drives all tables in
 // parallel), and examples/ holds runnable end-to-end scenarios.

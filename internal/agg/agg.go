@@ -163,7 +163,14 @@ func LearnForest(examples []Example, nMetrics int, seed int64) *ForestAggregator
 		{Trees: 30, BagFraction: 0.8, Seed: seed},
 		{Trees: 30, BagFraction: 1.0, Seed: seed},
 	}
-	return &ForestAggregator{Forest: ml.TuneForest(X, y, grid), nMetrics: nMetrics}
+	forest, err := ml.TuneForest(X, y, grid)
+	if err != nil {
+		// Degenerate learning set (upsampling can only shrink to empty when
+		// the input was empty, but guard anyway): fall back to no forest;
+		// Combined degrades to the weighted average alone.
+		return nil
+	}
+	return &ForestAggregator{Forest: forest, nMetrics: nMetrics}
 }
 
 // Combined aggregates the weighted average and the random forest with a

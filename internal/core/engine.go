@@ -1,6 +1,10 @@
 package core
 
 import (
+	"fmt"
+	"sort"
+	"sync"
+
 	"repro/internal/cluster"
 	"repro/internal/dtype"
 	"repro/internal/fusion"
@@ -27,8 +31,13 @@ import (
 // full corpus in a single batch reproduces Pipeline.Run bit-for-bit
 // (Pipeline is a thin wrapper over a single-use Engine).
 //
-// An Engine is not safe for concurrent use; Fork provides an independent
-// copy for speculative or parallel ingestion experiments.
+// Ingest must run on a single writer goroutine at a time (the serve layer
+// funnels all batches through one ingest loop), but the published-state
+// accessors — Epoch, TableIDs, Last, History — are safe to call from
+// concurrent readers while an Ingest is in flight: they take a read lock
+// and return copies, so an HTTP handler can never observe a later epoch's
+// in-place mutation of retained state. Fork provides an independent copy
+// for speculative or parallel ingestion experiments.
 type Engine struct {
 	Cfg    Config
 	Models Models
@@ -41,7 +50,17 @@ type Engine struct {
 	scorer   *cluster.Scorer
 	detector *newdet.Detector
 
+	// mu guards the published state read by concurrent accessors (epoch,
+	// tableIDs, last, history) and the cross-epoch in-place refresh of
+	// retained rows' PHI vectors. Ingest itself stays single-writer.
+	mu sync.RWMutex
+	// epoch counts *completed* epochs; it is published together with last
+	// and history in one critical section at the end of Ingest, so a
+	// concurrent reader never sees the new epoch number paired with the
+	// previous epoch's output. cur is the in-flight epoch (writer-only).
 	epoch    int
+	cur      int
+	history  []IngestStats
 	ingested map[int]bool
 	tableIDs []int
 	mapping  map[int]map[int]kb.PropertyID
@@ -111,27 +130,235 @@ func NewEngine(cfg Config, models Models) *Engine {
 	}
 }
 
-// Epoch returns the number of Ingest calls completed.
-func (e *Engine) Epoch() int { return e.epoch }
+// Epoch returns the number of Ingest calls completed (plus any resumed
+// base epoch). Safe to call while an Ingest is in flight.
+func (e *Engine) Epoch() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.epoch
+}
 
-// TableIDs returns a copy of the IDs of all tables ingested so far.
+// IngestedIDs returns the sorted IDs of every table the engine considers
+// ingested, including tables restored by Resume that are not part of any
+// retained output. This is the set a serving layer consults when picking
+// not-yet-ingested tables. Writer-context only: call it from the same
+// goroutine that runs Ingest (unlike the published-state accessors it
+// reads the writer's working set).
+func (e *Engine) IngestedIDs() []int {
+	ids := make([]int, 0, len(e.ingested))
+	for tid := range e.ingested {
+		ids = append(ids, tid)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// TableIDs returns a copy of the IDs of all tables processed into the
+// retained output since this engine started (tables restored by Resume are
+// excluded; see IngestedIDs). Safe to call while an Ingest is in flight.
 func (e *Engine) TableIDs() []int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	out := make([]int, len(e.tableIDs))
 	copy(out, e.tableIDs)
 	return out
 }
 
-// Last returns the output of the most recent Ingest (nil before the first).
-func (e *Engine) Last() *Output { return e.last }
+// History returns a copy of the IngestStats of every completed epoch in
+// order. Safe to call while an Ingest is in flight.
+func (e *Engine) History() []IngestStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]IngestStats(nil), e.history...)
+}
+
+// Published returns one consistent snapshot of the published counters:
+// completed epochs, ingested table IDs, and per-epoch history. Reading
+// them through separate accessors could interleave with an epoch's
+// publication and pair a new epoch count with the previous history.
+func (e *Engine) Published() (epoch int, tableIDs []int, history []IngestStats) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	tableIDs = make([]int, len(e.tableIDs))
+	copy(tableIDs, e.tableIDs)
+	return e.epoch, tableIDs, append([]IngestStats(nil), e.history...)
+}
+
+// Last returns the output of the most recent Ingest (nil before the
+// first), as a defensive copy that is safe to retain while later epochs
+// run: the engine refreshes retained rows' PHI vectors in place each
+// batch, so handing out the internal Output would let a concurrent reader
+// observe a later epoch's mutation. Row structs are value-copied and the
+// entities re-pointed at the copies; the maps inside each Row (BOW,
+// Values, Implicit) are immutable after row building and stay shared.
+func (e *Engine) Last() *Output {
+	out, _ := e.LastWithEpoch()
+	return out
+}
+
+// LastEntities returns copies of the most recent epoch's entities (with
+// Rows omitted — member rows alias engine-internal state that later
+// epochs refresh in place), their detections, and the completed-epoch
+// count, all from one consistent read. Entity maps (Facts, BOW, Implicit)
+// are rebuilt fresh each epoch and never mutated afterwards, so sharing
+// them is safe; this is the cheap accessor for read paths that only
+// render entities and must not pay Last()'s full deep copy.
+func (e *Engine) LastEntities() ([]*fusion.Entity, []newdet.Result, int) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.last == nil {
+		return nil, nil, e.epoch
+	}
+	ents := make([]*fusion.Entity, len(e.last.Entities))
+	for i, ent := range e.last.Entities {
+		ec := *ent
+		ec.Rows = nil
+		ents[i] = &ec
+	}
+	return ents, append([]newdet.Result(nil), e.last.Detections...), e.epoch
+}
+
+// LastWithEpoch returns Last() plus the completed-epoch count from the
+// same consistent read, so a caller can label the output with the epoch
+// that actually produced it.
+func (e *Engine) LastWithEpoch() (*Output, int) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.last == nil {
+		return nil, e.epoch
+	}
+	return snapshotOutput(e.last), e.epoch
+}
+
+// snapshotOutput deep-copies an Output far enough that no later Ingest can
+// mutate anything reachable from the copy. Must be called with e.mu held
+// (read or write): it reads Row.TableVec fields that Ingest refreshes under
+// the write lock.
+func snapshotOutput(o *Output) *Output {
+	cp := &Output{
+		Class:       o.Class,
+		TableIDs:    append([]int(nil), o.TableIDs...),
+		Mapping:     make(map[int]map[int]kb.PropertyID, len(o.Mapping)),
+		MatchScores: make(map[fusion.ColKey]float64, len(o.MatchScores)),
+		RowInstance: make(map[webtable.RowRef]kb.InstanceID, len(o.RowInstance)),
+		Detections:  append([]newdet.Result(nil), o.Detections...),
+	}
+	// Inner mapping maps are immutable once an epoch merges them; sharing
+	// them is safe, only the outer map is rebuilt per epoch.
+	for tid, m := range o.Mapping {
+		cp.Mapping[tid] = m
+	}
+	for k, v := range o.MatchScores {
+		cp.MatchScores[k] = v
+	}
+	for k, v := range o.RowInstance {
+		cp.RowInstance[k] = v
+	}
+	rowCopy := make(map[*cluster.Row]*cluster.Row, len(o.Rows))
+	copyRow := func(r *cluster.Row) *cluster.Row {
+		if rc, ok := rowCopy[r]; ok {
+			return rc
+		}
+		rc := *r
+		rowCopy[r] = &rc
+		return &rc
+	}
+	cp.Rows = make([]*cluster.Row, len(o.Rows))
+	for i, r := range o.Rows {
+		cp.Rows[i] = copyRow(r)
+	}
+	if o.Clustering != nil {
+		cl := &cluster.Clustering{
+			Assign:   make(map[webtable.RowRef]int, len(o.Clustering.Assign)),
+			Clusters: make([][]*cluster.Row, len(o.Clustering.Clusters)),
+		}
+		for ref, c := range o.Clustering.Assign {
+			cl.Assign[ref] = c
+		}
+		for ci, rows := range o.Clustering.Clusters {
+			members := make([]*cluster.Row, len(rows))
+			for i, r := range rows {
+				members[i] = copyRow(r)
+			}
+			cl.Clusters[ci] = members
+		}
+		cp.Clustering = cl
+	}
+	cp.Entities = make([]*fusion.Entity, len(o.Entities))
+	for i, ent := range o.Entities {
+		ec := *ent
+		ec.Rows = make([]*cluster.Row, len(ent.Rows))
+		for j, r := range ent.Rows {
+			ec.Rows[j] = copyRow(r)
+		}
+		cp.Entities[i] = &ec
+	}
+	return cp
+}
+
+// Resume prepares a freshly constructed engine to continue from a KB
+// snapshot: it seeds the epoch counter (so later write-backs carry
+// monotonically increasing epochs), marks tableIDs as already ingested
+// (their entities live on as KB write-backs; the tables themselves are
+// not re-processed), and rebuilds the write-back signature set from the
+// instances already in the KB carrying kb.ProvenanceIngest, so an entity
+// discovered before the snapshot is not written back again after a
+// restart. It must be called before the first Ingest.
+func (e *Engine) Resume(epoch int, tableIDs []int) error {
+	if epoch < 0 {
+		return fmt.Errorf("core: Resume epoch %d is negative", epoch)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.epoch != 0 || len(e.ingested) > 0 {
+		return fmt.Errorf("core: Resume on an engine that already ingested (epoch %d)", e.epoch)
+	}
+	e.epoch = epoch
+	for _, tid := range tableIDs {
+		// Tables appended after startup (inline raw ingests) are not part
+		// of the regenerated corpus; marking their IDs ingested would make
+		// the engine silently drop whichever future table is assigned the
+		// same ID, so only IDs backed by a corpus table are restored.
+		if e.Cfg.Corpus.Table(tid) == nil {
+			continue
+		}
+		e.ingested[tid] = true
+	}
+	for _, iid := range e.Cfg.KB.InstancesOf(e.Cfg.Class) {
+		in := e.Cfg.KB.Instance(iid)
+		if in == nil || in.Provenance != kb.ProvenanceIngest {
+			continue
+		}
+		sig := instanceSignature(in.Class, in.Label())
+		if _, done := e.written[sig]; !done {
+			e.written[sig] = iid
+		}
+	}
+	return nil
+}
 
 // Fork returns an independent copy of the engine: Ingest on the fork never
 // affects the original's state. The knowledge base, corpus, models, caches
 // and retained Row objects are shared — fork with WriteBack disabled
 // unless the forked ingest should really grow the shared KB, and do not
-// Ingest on a fork and its original concurrently (each Ingest refreshes
-// the shared rows' PHI vectors from its own statistics).
+// run Ingest on a fork concurrently with Ingest OR the accessors of the
+// original (and vice versa): the shared Row objects are guarded by each
+// engine's own lock, so the concurrent-accessor guarantee holds only
+// within one engine, not across the fork boundary.
 func (e *Engine) Fork() *Engine {
-	f := *e
+	e.mu.RLock()
+	f := &Engine{
+		Cfg:       e.Cfg,
+		Models:    e.Models,
+		WriteBack: e.WriteBack,
+		scorer:    e.scorer,
+		detector:  e.detector,
+		epoch:     e.epoch,
+		cur:       e.cur,
+		history:   append([]IngestStats(nil), e.history...),
+		last:      e.last,
+	}
+	e.mu.RUnlock()
 	f.ingested = make(map[int]bool, len(e.ingested))
 	for tid := range e.ingested {
 		f.ingested[tid] = true
@@ -155,7 +382,7 @@ func (e *Engine) Fork() *Engine {
 	for sig, id := range e.written {
 		f.written[sig] = id
 	}
-	return &f
+	return f
 }
 
 // Ingest processes one batch of tables (all matched to the engine's class):
@@ -169,7 +396,7 @@ func (e *Engine) Fork() *Engine {
 // single full-corpus batch is exactly a Pipeline.Run.
 func (e *Engine) Ingest(batch []int) (*Output, IngestStats) {
 	newIDs := e.newTableIDs(batch)
-	e.epoch++
+	e.cur = e.epoch + 1
 
 	// A fresh matching context per epoch: the KB may have grown since the
 	// previous batch (write-back), and the context's profiles key their
@@ -204,7 +431,9 @@ func (e *Engine) Ingest(batch []int) (*Output, IngestStats) {
 		out, grown = e.iterate(mctx, model, matchers, newIDs)
 	}
 
-	// Persist the grown state of the final iteration.
+	// Persist the grown state of the final iteration. The published fields
+	// (tableIDs, last, history) are swapped under the write lock so the
+	// concurrent accessors never see a half-updated epoch.
 	e.clusters = grown
 	e.rows = out.Rows
 	e.mapping = out.Mapping
@@ -212,17 +441,15 @@ func (e *Engine) Ingest(batch []int) (*Output, IngestStats) {
 	for _, tid := range newIDs {
 		e.ingested[tid] = true
 	}
-	e.tableIDs = out.TableIDs
-	e.last = out
 
 	written := 0
 	if e.WriteBack {
 		written = e.writeBack(out)
 	}
 	stats := IngestStats{
-		Epoch:       e.epoch,
+		Epoch:       e.cur,
 		BatchTables: len(newIDs),
-		TotalTables: len(e.tableIDs),
+		TotalTables: len(out.TableIDs),
 		Entities:    len(out.Entities),
 		NewEntities: len(out.NewEntities()),
 		WrittenBack: written,
@@ -233,6 +460,12 @@ func (e *Engine) Ingest(batch []int) (*Output, IngestStats) {
 			stats.Matched++
 		}
 	}
+	e.mu.Lock()
+	e.epoch = e.cur
+	e.tableIDs = out.TableIDs
+	e.last = out
+	e.history = append(e.history, stats)
+	e.mu.Unlock()
 	return out, stats
 }
 
@@ -296,7 +529,12 @@ func (e *Engine) iterate(mctx *match.Context, model *match.Model, matchers []mat
 		Phi:     e.phi,
 	}
 	newRows := builder.Build(newIDs)
+	// The refresh rewrites retained rows' TableVec in place; concurrent
+	// Last() snapshots read those fields under the read lock, so the
+	// mutation takes the write lock.
+	e.mu.Lock()
 	e.phi.Refresh(e.rows)
+	e.mu.Unlock()
 	allRows := make([]*cluster.Row, 0, len(e.rows)+len(newRows))
 	allRows = append(allRows, e.rows...)
 	allRows = append(allRows, newRows...)
@@ -361,7 +599,7 @@ func (e *Engine) writeBack(out *Output) int {
 			Labels:      append([]string(nil), ent.Labels...),
 			Facts:       facts,
 			Provenance:  kb.ProvenanceIngest,
-			IngestEpoch: e.epoch,
+			IngestEpoch: e.cur,
 		})
 		e.written[sig] = id
 		n++
@@ -372,7 +610,15 @@ func (e *Engine) writeBack(out *Output) int {
 // entitySignature identifies an entity across epochs for write-back
 // deduplication: its class plus its normalized primary label.
 func entitySignature(ent *fusion.Entity) string {
-	return string(ent.Class) + "\x00" + strsim.Normalize(ent.Label())
+	return instanceSignature(ent.Class, ent.Label())
+}
+
+// instanceSignature is the one signature format shared by write-back
+// deduplication and Resume's restoration of the written set — if they
+// ever diverged, every pre-snapshot entity would be re-written after a
+// restart.
+func instanceSignature(class kb.ClassID, label string) string {
+	return string(class) + "\x00" + strsim.Normalize(label)
 }
 
 // newTableIDs returns the batch's table IDs that have not been ingested

@@ -179,13 +179,107 @@ func TestEngineIncrementalConvergesToFull(t *testing.T) {
 			}
 		}
 	}
-	if eng.Last() != out {
-		t.Error("Last() does not return the final output")
+	// Last returns a defensive copy equal to the final output, not the
+	// internal pointer (concurrent handlers must not alias retained rows).
+	last := eng.Last()
+	if last == out {
+		t.Error("Last() must not return the internal output pointer")
+	}
+	outputsEqual(t, out, last)
+	for i := range out.Rows {
+		if last.Rows[i] == out.Rows[i] {
+			t.Fatalf("Last() row %d aliases the engine's retained row", i)
+		}
+		if !reflect.DeepEqual(last.Rows[i].TableVec, out.Rows[i].TableVec) {
+			t.Fatalf("Last() row %d copy diverged", i)
+		}
 	}
 	// Re-ingesting already-seen tables is a no-op batch.
 	_, st := eng.Ingest(tables[:1])
 	if st.BatchTables != 0 {
 		t.Errorf("re-ingest counted %d new tables", st.BatchTables)
+	}
+}
+
+// TestEngineHistoryAndResume covers the serving-layer contract: History
+// returns per-epoch stats copies, and a fresh engine resumed from a KB that
+// already holds write-backs continues the epoch sequence without
+// re-writing entities discovered before the restart.
+func TestEngineHistoryAndResume(t *testing.T) {
+	w, corpus := engineFixture(t)
+	byClass := ClassifyTables(w.KB, corpus, 0.3)
+	tables := byClass[kb.ClassGFPlayer]
+	if len(tables) < 2 {
+		t.Fatal("need at least two player tables")
+	}
+	cfg := DefaultConfig(w.KB, corpus, kb.ClassGFPlayer)
+	cfg.Iterations = 1
+	eng := NewEngine(cfg, Models{})
+
+	batches := splitBatches(tables, 2)
+	_, st1 := eng.Ingest(batches[0])
+	hist := eng.History()
+	if len(hist) != 1 || hist[0] != st1 {
+		t.Fatalf("history after one epoch = %+v", hist)
+	}
+	// Mutating the returned copy must not affect the engine.
+	hist[0].Epoch = 99
+	if eng.History()[0].Epoch != 1 {
+		t.Error("History() leaked internal state")
+	}
+
+	// A fresh engine over the grown KB resumes the epoch sequence and does
+	// not duplicate the earlier write-backs.
+	resumed := NewEngine(cfg, Models{})
+	if err := resumed.Resume(eng.Epoch(), nil); err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if resumed.Epoch() != 1 {
+		t.Fatalf("resumed epoch = %d, want 1", resumed.Epoch())
+	}
+	if len(resumed.written) != st1.WrittenBack {
+		t.Fatalf("resumed written set = %d signatures, want %d", len(resumed.written), st1.WrittenBack)
+	}
+	before := w.KB.NumInstances()
+	out, st2 := resumed.Ingest(batches[0])
+	if st2.Epoch != 2 {
+		t.Errorf("epoch after resumed ingest = %d, want 2", st2.Epoch)
+	}
+	// Same batch, same KB: every entity written back before the restart is
+	// recognized by signature, so nothing is written twice.
+	if st2.WrittenBack != 0 {
+		t.Errorf("resumed ingest re-wrote %d instances", st2.WrittenBack)
+	}
+	if got := w.KB.NumInstances(); got != before {
+		t.Errorf("KB grew by %d on resumed re-ingest", got-before)
+	}
+	if len(out.Entities) == 0 {
+		t.Error("resumed ingest produced no entities")
+	}
+
+	// Resuming with the ingested table set marks those tables done: they
+	// are skipped by later batches and reported by IngestedIDs (but not by
+	// TableIDs, which covers only this engine's own outputs).
+	resumed2 := NewEngine(cfg, Models{})
+	if err := resumed2.Resume(eng.Epoch(), eng.IngestedIDs()); err != nil {
+		t.Fatalf("Resume with tables: %v", err)
+	}
+	if got, want := resumed2.IngestedIDs(), eng.IngestedIDs(); !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed IngestedIDs = %v, want %v", got, want)
+	}
+	if len(resumed2.TableIDs()) != 0 {
+		t.Errorf("resumed TableIDs = %v, want empty", resumed2.TableIDs())
+	}
+	if got := resumed2.newTableIDs(batches[0]); len(got) != 0 {
+		t.Errorf("restored tables not skipped: %v", got)
+	}
+
+	// Resume after ingesting is a contract violation.
+	if err := resumed.Resume(3, nil); err == nil {
+		t.Error("Resume on a used engine should fail")
+	}
+	if err := NewEngine(cfg, Models{}).Resume(-1, nil); err == nil {
+		t.Error("negative Resume epoch should fail")
 	}
 }
 

@@ -1,6 +1,7 @@
 package dtype
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -246,14 +247,25 @@ func TestSimilaritySymmetryProperty(t *testing.T) {
 	}
 }
 
+// mustFuse fuses or fails the test: the happy-path tests all use non-empty
+// groups, so an error is a test bug.
+func mustFuse(t *testing.T, values []Value, weights []float64) Value {
+	t.Helper()
+	v, err := Fuse(values, weights)
+	if err != nil {
+		t.Fatalf("Fuse: %v", err)
+	}
+	return v
+}
+
 func TestFuseMajority(t *testing.T) {
 	vals := []Value{NewText("a"), NewText("b"), NewText("a")}
-	got := Fuse(vals, nil)
+	got := mustFuse(t, vals, nil)
 	if got.Str != "a" {
 		t.Errorf("majority = %q, want a", got.Str)
 	}
 	// Weighted: b outweighs two a's.
-	got = Fuse(vals, []float64{1, 3, 1})
+	got = mustFuse(t, vals, []float64{1, 3, 1})
 	if got.Str != "b" {
 		t.Errorf("weighted majority = %q, want b", got.Str)
 	}
@@ -262,7 +274,7 @@ func TestFuseMajority(t *testing.T) {
 func TestFuseMajorityTieDeterministic(t *testing.T) {
 	vals := []Value{NewText("x"), NewText("y")}
 	for i := 0; i < 10; i++ {
-		if got := Fuse(vals, nil); got.Str != "x" {
+		if got := mustFuse(t, vals, nil); got.Str != "x" {
 			t.Fatalf("tie should break to first-seen, got %q", got.Str)
 		}
 	}
@@ -270,12 +282,12 @@ func TestFuseMajorityTieDeterministic(t *testing.T) {
 
 func TestFuseWeightedMedian(t *testing.T) {
 	vals := []Value{NewQuantity(1), NewQuantity(100), NewQuantity(3)}
-	got := Fuse(vals, nil)
+	got := mustFuse(t, vals, nil)
 	if got.Num != 3 {
 		t.Errorf("median = %v, want 3", got.Num)
 	}
 	// Heavy weight drags the median.
-	got = Fuse(vals, []float64{10, 1, 1})
+	got = mustFuse(t, vals, []float64{10, 1, 1})
 	if got.Num != 1 {
 		t.Errorf("weighted median = %v, want 1", got.Num)
 	}
@@ -283,7 +295,7 @@ func TestFuseWeightedMedian(t *testing.T) {
 
 func TestFuseDatesPrefersDayGranularity(t *testing.T) {
 	vals := []Value{NewYear(1995), NewDate(1995, 8, 3), NewYear(1995)}
-	got := Fuse(vals, nil)
+	got := mustFuse(t, vals, nil)
 	if got.Gran != GranDay || got.Month != 8 {
 		t.Errorf("fused date = %+v, want day granularity", got)
 	}
@@ -291,22 +303,29 @@ func TestFuseDatesPrefersDayGranularity(t *testing.T) {
 
 func TestFuseNominalNoFusion(t *testing.T) {
 	vals := []Value{NewNominal("US"), NewNominal("US")}
-	if got := Fuse(vals, nil); got.Str != "us" {
+	if got := mustFuse(t, vals, nil); got.Str != "us" {
 		t.Errorf("nominal fuse = %+v", got)
 	}
 	ints := []Value{NewNominalInt(7)}
-	if got := Fuse(ints, nil); got.Num != 7 {
+	if got := mustFuse(t, ints, nil); got.Num != 7 {
 		t.Errorf("nominal int fuse = %+v", got)
 	}
 }
 
-func TestFusePanicsOnEmpty(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("Fuse on empty group should panic")
-		}
-	}()
-	Fuse(nil, nil)
+// TestFuseDegenerateInput is the crash-vector regression test: a
+// long-running server derives fusion groups from user-supplied ingest
+// batches, so empty or inconsistent input must return an error instead of
+// panicking.
+func TestFuseDegenerateInput(t *testing.T) {
+	if _, err := Fuse(nil, nil); !errors.Is(err, ErrEmptyGroup) {
+		t.Errorf("empty group error = %v, want ErrEmptyGroup", err)
+	}
+	if _, err := Fuse([]Value{}, []float64{}); !errors.Is(err, ErrEmptyGroup) {
+		t.Errorf("empty slices error = %v, want ErrEmptyGroup", err)
+	}
+	if _, err := Fuse([]Value{NewText("a")}, []float64{1, 2}); err == nil {
+		t.Error("mismatched weights should return an error")
+	}
 }
 
 func TestValueString(t *testing.T) {

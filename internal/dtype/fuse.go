@@ -1,6 +1,13 @@
 package dtype
 
-import "sort"
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrEmptyGroup is returned by Fuse for an empty value group.
+var ErrEmptyGroup = errors.New("dtype: Fuse on empty group")
 
 // Fuse merges a group of equal values into a single fused value (§3.3 step
 // 4). Weights parallel values; a nil weights slice means uniform weights.
@@ -10,11 +17,16 @@ import "sort"
 //   - NominalString and NominalInteger need no fusion (all group members are
 //     equal) and return the first value.
 //
-// Fuse panics on an empty group; callers group first, and groups are never
-// empty.
-func Fuse(values []Value, weights []float64) Value {
+// An empty group returns ErrEmptyGroup and a non-nil weights slice whose
+// length differs from values returns an error: a long-running server feeds
+// Fuse data derived from user-supplied ingest batches, so degenerate input
+// must surface as an error instead of a process-killing panic.
+func Fuse(values []Value, weights []float64) (Value, error) {
 	if len(values) == 0 {
-		panic("dtype: Fuse on empty group")
+		return Value{}, ErrEmptyGroup
+	}
+	if weights != nil && len(weights) != len(values) {
+		return Value{}, fmt.Errorf("dtype: Fuse got %d weights for %d values", len(weights), len(values))
 	}
 	if weights == nil {
 		weights = make([]float64, len(values))
@@ -24,13 +36,13 @@ func Fuse(values []Value, weights []float64) Value {
 	}
 	switch values[0].Kind {
 	case NominalString, NominalInteger:
-		return values[0]
+		return values[0], nil
 	case Quantity:
-		return weightedMedianBy(values, weights, func(v Value) float64 { return v.Num })
+		return weightedMedianBy(values, weights, func(v Value) float64 { return v.Num }), nil
 	case Date:
-		return fuseDates(values, weights)
+		return fuseDates(values, weights), nil
 	default: // Text, InstanceReference
-		return weightedMajority(values, weights)
+		return weightedMajority(values, weights), nil
 	}
 }
 

@@ -242,7 +242,12 @@ func Create(src *Sources, rows []*cluster.Row) *Entity {
 				best = g
 			}
 		}
-		e.Facts[pid] = dtype.Fuse(best.values, best.weights)
+		// Groups are built above and never empty, so a Fuse error can only
+		// mean malformed candidate assembly; skip the fact rather than
+		// crash — one bad property must not take a serving process down.
+		if v, err := dtype.Fuse(best.values, best.weights); err == nil {
+			e.Facts[pid] = v
+		}
 	}
 	return e
 }

@@ -3,8 +3,8 @@
 // (§3.2) and candidate selection for new detection (§3.4).
 //
 // Labels are tokenized with the shared normalizer; postings are scored with
-// TF-IDF, and fuzzy retrieval additionally admits tokens within edit
-// distance one for labels with no exact-token overlap.
+// TF-IDF, and fuzzy retrieval additionally admits index tokens within edit
+// distance one of any query token that has no exact posting of its own.
 package index
 
 import (
@@ -26,7 +26,11 @@ type Index struct {
 	postings map[string][]posting // token -> docs containing it
 	docFreq  map[string]int       // token -> number of distinct docs
 	labels   map[int][]string     // doc -> normalized labels
-	numDocs  int
+	// byLen buckets the vocabulary by token length so the per-token fuzzy
+	// fallback scans only near-length tokens instead of the whole
+	// vocabulary (the fallback sits on the hot Candidates path).
+	byLen   map[int][]string
+	numDocs int
 }
 
 type posting struct {
@@ -40,6 +44,7 @@ func New() *Index {
 		postings: make(map[string][]posting),
 		docFreq:  make(map[string]int),
 		labels:   make(map[int][]string),
+		byLen:    make(map[int][]string),
 	}
 }
 
@@ -60,13 +65,25 @@ func (ix *Index) Add(doc int, label string) {
 		ix.numDocs++
 	}
 	ix.labels[doc] = append(ix.labels[doc], norm)
-	for t, c := range counts {
+	// Insert tokens in sorted order: the byLen buckets drive the order of
+	// the fuzzy pass's float accumulation, which must not inherit Go's
+	// randomized map iteration (the repo's outputs are bit-identical
+	// across runs).
+	ts := make([]string, 0, len(counts))
+	for t := range counts {
+		ts = append(ts, t)
+	}
+	sort.Strings(ts)
+	for _, t := range ts {
 		// Count each doc once per token for document frequency.
 		ps := ix.postings[t]
 		if len(ps) == 0 || ps[len(ps)-1].doc != doc {
 			ix.docFreq[t]++
 		}
-		ix.postings[t] = append(ps, posting{doc: doc, tf: float64(c) / float64(len(toks))})
+		if len(ps) == 0 {
+			ix.byLen[len(t)] = append(ix.byLen[len(t)], t)
+		}
+		ix.postings[t] = append(ps, posting{doc: doc, tf: float64(counts[t]) / float64(len(toks))})
 	}
 }
 
@@ -98,10 +115,11 @@ type Hit struct {
 }
 
 // Search returns up to k documents whose labels best match the query label,
-// scored by TF-IDF over shared tokens. If no document shares an exact token
-// with the query, a fuzzy pass admits index tokens within Levenshtein
-// distance 1 of a query token (distance-penalized), which keeps recall up
-// for misspelled long-tail labels.
+// scored by TF-IDF over shared tokens. Query tokens without any exact
+// posting fall back individually to a fuzzy pass that admits index tokens
+// within Levenshtein distance 1 (distance-penalized), which keeps recall up
+// for misspelled long-tail labels even when the query's other tokens match
+// exactly — "beatles yeserday" still reaches the documents of "yesterday".
 func (ix *Index) Search(label string, k int) []Hit {
 	toks := strsim.Tokens(label)
 	if len(toks) == 0 || k <= 0 {
@@ -111,34 +129,28 @@ func (ix *Index) Search(label string, k int) []Hit {
 	defer ix.mu.RUnlock()
 
 	scores := make(map[int]float64)
-	matched := false
 	for _, t := range toks {
 		if ps, ok := ix.postings[t]; ok {
-			matched = true
 			idf := ix.idf(t)
 			for _, p := range ps {
 				scores[p.doc] += p.tf * idf
 			}
+			continue
 		}
-	}
-	if !matched {
-		// Fuzzy fallback: scan the vocabulary for near tokens. Short
-		// tokens are excluded (an edit on a 1-3 letter token changes its
-		// identity), and the vocabulary scan is bounded by token length
-		// difference before paying for an edit-distance computation.
-		for _, t := range toks {
-			if len(t) < 4 {
-				continue
-			}
-			for vt, ps := range ix.postings {
-				if absInt(len(vt)-len(t)) > 1 {
+		// Fuzzy fallback, per token: scan the near-length vocabulary
+		// buckets for tokens within edit distance one. Short tokens are
+		// excluded (an edit on a 1-3 letter token changes its identity).
+		if len(t) < 4 {
+			continue
+		}
+		for l := len(t) - 1; l <= len(t)+1; l++ {
+			for _, vt := range ix.byLen[l] {
+				if strsim.Levenshtein(vt, t) != 1 {
 					continue
 				}
-				if strsim.Levenshtein(vt, t) == 1 {
-					idf := ix.idf(vt)
-					for _, p := range ps {
-						scores[p.doc] += 0.5 * p.tf * idf
-					}
+				idf := ix.idf(vt)
+				for _, p := range ix.postings[vt] {
+					scores[p.doc] += 0.5 * p.tf * idf
 				}
 			}
 		}
@@ -188,11 +200,4 @@ func (ix *Index) idf(tok string) float64 {
 	}
 	// Smoothed IDF; rare tokens weigh more.
 	return 1 + float64(ix.numDocs)/float64(df+1)
-}
-
-func absInt(x int) int {
-	if x < 0 {
-		return -x
-	}
-	return x
 }

@@ -60,6 +60,34 @@ func TestSearchFuzzy(t *testing.T) {
 	}
 }
 
+// TestSearchFuzzyPerToken is the recall regression test for the
+// all-or-nothing fallback bug: the fuzzy pass used to run only when *no*
+// query token had exact postings, so a query mixing an exact token with a
+// misspelled one ("beatles yeserday") never fuzzy-expanded the misspelled
+// token and lost exactly the long-tail labels the fallback exists for.
+func TestSearchFuzzyPerToken(t *testing.T) {
+	ix := New()
+	ix.Add(1, "Yesterday")        // the intended target, reachable only fuzzily
+	ix.Add(2, "Beatles for Sale") // shares the exact token "beatles"
+
+	hits := ix.Search("beatles yeserday", 10)
+	found := make(map[int]bool)
+	for _, h := range hits {
+		found[h.Doc] = true
+	}
+	if !found[2] {
+		t.Errorf("exact token lost: hits = %v", hits)
+	}
+	if !found[1] {
+		t.Errorf("misspelled token not fuzzy-expanded (pre-fix behavior): hits = %v", hits)
+	}
+	// The fully exact query still ranks its exact hits without interference.
+	hits = ix.Search("beatles for sale", 10)
+	if len(hits) == 0 || hits[0].Doc != 2 {
+		t.Errorf("exact query = %v, want doc 2 first", hits)
+	}
+}
+
 func TestSearchEmptyAndZeroK(t *testing.T) {
 	ix := New()
 	ix.Add(1, "Anything")

@@ -78,10 +78,30 @@ func fromJSONValue(jv jsonValue) (dtype.Value, error) {
 // Classes and schemas are part of the ontology and are not serialized;
 // loading requires a KB constructed with the same ontology.
 func (kb *KB) WriteInstances(w io.Writer) error {
+	return kb.WriteInstancesIf(w, nil)
+}
+
+// WriteInstancesIf serializes the instances for which keep returns true
+// (all of them when keep is nil) as newline-delimited JSON, in insertion
+// order. Snapshot persistence uses the same filter to dump only the
+// instances the ingestion engine wrote back, so a restart can regenerate
+// the seed world and replay just the discoveries on top.
+func (kb *KB) WriteInstancesIf(w io.Writer, keep func(*Instance) bool) error {
 	kb.mu.RLock()
-	instances := make([]*Instance, len(kb.instances))
-	copy(instances, kb.instances)
+	instances := make([]*Instance, 0, len(kb.instances))
+	for _, in := range kb.instances {
+		if keep == nil || keep(in) {
+			instances = append(instances, in)
+		}
+	}
 	kb.mu.RUnlock()
+	return writeInstanceList(w, instances)
+}
+
+// writeInstanceList serializes an already-collected instance list; the
+// caller owns the consistency of the collection (instances are immutable
+// once added, so no lock is needed here).
+func writeInstanceList(w io.Writer, instances []*Instance) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for _, in := range instances {

@@ -370,9 +370,47 @@ type CandidateOpts struct {
 	Class ClassID
 }
 
+// SearchHit pairs a retrieved instance with its label-index retrieval
+// score (TF-IDF over shared tokens, fuzzy-expanded per token).
+type SearchHit struct {
+	Instance InstanceID
+	Score    float64
+}
+
+// SearchInstances returns up to opts.K instances whose labels best match
+// the query via the global label index, with retrieval scores, applying
+// the class restriction of §3.4. The serve layer's fuzzy search endpoint
+// is a thin wrapper over this.
+//
+// The class filter is applied to the global top 3·K hits (the paper's
+// bounded candidate-selection heuristic, shared with Candidates so serving
+// and pipeline retrieval agree): a class whose matches all rank below
+// 3·K other-class hits for the query can come back empty even though
+// matching instances exist.
+func (kb *KB) SearchInstances(label string, opts CandidateOpts) []SearchHit {
+	var out []SearchHit
+	kb.filteredHits(label, opts, func(in *Instance, score float64) {
+		out = append(out, SearchHit{Instance: in.ID, Score: score})
+	})
+	return out
+}
+
 // Candidates returns candidate instances for a label using the label index,
-// applying the class restriction of §3.4.
+// applying the class restriction of §3.4. It shares the retrieval walk
+// with SearchInstances but emits IDs directly — this is the pipeline's
+// hottest retrieval path (blocking, implicit attributes, new detection),
+// so it must not pay for scored hits it would throw away.
 func (kb *KB) Candidates(label string, opts CandidateOpts) []InstanceID {
+	var out []InstanceID
+	kb.filteredHits(label, opts, func(in *Instance, _ float64) {
+		out = append(out, in.ID)
+	})
+	return out
+}
+
+// filteredHits walks the top class-filtered index hits for label, calling
+// visit for each of up to opts.K surviving instances.
+func (kb *KB) filteredHits(label string, opts CandidateOpts, visit func(*Instance, float64)) {
 	k := opts.K
 	if k <= 0 {
 		k = 20
@@ -380,7 +418,7 @@ func (kb *KB) Candidates(label string, opts CandidateOpts) []InstanceID {
 	hits := kb.globalIx.Search(label, k*3)
 	kb.mu.RLock()
 	defer kb.mu.RUnlock()
-	var out []InstanceID
+	n := 0
 	for _, h := range hits {
 		if h.Doc < 0 || h.Doc >= len(kb.instances) {
 			continue
@@ -389,12 +427,12 @@ func (kb *KB) Candidates(label string, opts CandidateOpts) []InstanceID {
 		if opts.Class != "" && !kb.sharesParentLocked(in.Class, opts.Class) {
 			continue
 		}
-		out = append(out, in.ID)
-		if len(out) == k {
+		visit(in, h.Score)
+		n++
+		if n == k {
 			break
 		}
 	}
-	return out
 }
 
 // String summarizes the KB for logging.

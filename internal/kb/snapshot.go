@@ -1,0 +1,182 @@
+package kb
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot file names inside a snapshot directory. The manifest is written
+// last and atomically, so its presence marks a complete snapshot.
+const (
+	snapshotInstancesFile = "instances.ndjson"
+	snapshotManifestFile  = "manifest.json"
+)
+
+// ErrNoSnapshot is returned by LoadSnapshot when the directory holds no
+// complete snapshot (no manifest).
+var ErrNoSnapshot = errors.New("kb: no snapshot manifest")
+
+// Manifest describes a KB snapshot: how many seed instances the world had
+// when it was taken (a restart must regenerate the identical seed world
+// before loading), how many ingested instances the snapshot holds, the KB
+// version at save time, and the completed ingest epoch per class so
+// resumed engines continue the epoch sequence.
+type Manifest struct {
+	// SeedInstances is the number of non-ingested (seed) instances in the
+	// KB at save time. LoadSnapshot refuses to load over a KB whose seed
+	// size differs: the snapshot's discoveries were made against that world.
+	SeedInstances int `json:"seedInstances"`
+	// Instances is the number of ingested instances in the snapshot file.
+	Instances int `json:"instances"`
+	// KBVersion is the KB's mutation counter at save time (diagnostic;
+	// version counters restart from the reloaded state's own mutations).
+	KBVersion uint64 `json:"kbVersion"`
+	// WorldKey identifies the deterministic seed world the snapshot was
+	// taken against (the caller encodes generation seed and scales).
+	// Loaders that know their own world key must refuse a mismatch: the
+	// seed-count check alone cannot tell two same-sized worlds apart, and
+	// loading discoveries onto a different world silently misaligns every
+	// label, signature and table ID.
+	WorldKey string `json:"worldKey,omitempty"`
+	// Epochs maps class ID to the number of completed ingest epochs.
+	Epochs map[string]int `json:"epochs,omitempty"`
+	// Tables maps class ID to the corpus table IDs ingested so far, so a
+	// resumed engine does not re-ingest (and "auto" ingestion does not
+	// re-pick) tables processed before the snapshot.
+	Tables map[string][]int `json:"tables,omitempty"`
+}
+
+// SaveSnapshot persists the KB's ingested instances (Provenance ==
+// ProvenanceIngest) plus a manifest into dir, creating it if needed. meta
+// carries the caller-owned manifest fields (Epochs, Tables); the counts
+// and KB version are filled in here. Both files are written to temporary
+// names and renamed into place — instances first, manifest last — so a
+// crash mid-save never leaves a directory that LoadSnapshot would accept
+// with torn contents.
+func (kb *KB) SaveSnapshot(dir string, meta Manifest) (Manifest, error) {
+	m := Manifest{KBVersion: kb.Version(), WorldKey: meta.WorldKey, Epochs: meta.Epochs, Tables: meta.Tables}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Manifest{}, fmt.Errorf("kb: creating snapshot dir: %w", err)
+	}
+
+	// Collect the instance set and the counts under one lock section, so
+	// the manifest can never disagree with the instances file when the KB
+	// grows concurrently with the save.
+	kb.mu.RLock()
+	snap := make([]*Instance, 0, len(kb.instances))
+	for _, in := range kb.instances {
+		if in.Provenance == ProvenanceIngest {
+			snap = append(snap, in)
+		}
+	}
+	m.SeedInstances = len(kb.instances) - len(snap)
+	kb.mu.RUnlock()
+	m.Instances = len(snap)
+
+	instPath := filepath.Join(dir, snapshotInstancesFile)
+	if err := atomicWrite(instPath, func(f *os.File) error {
+		return writeInstanceList(f, snap)
+	}); err != nil {
+		return Manifest{}, err
+	}
+
+	raw, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return Manifest{}, fmt.Errorf("kb: encoding manifest: %w", err)
+	}
+	raw = append(raw, '\n')
+	manPath := filepath.Join(dir, snapshotManifestFile)
+	if err := atomicWrite(manPath, func(f *os.File) error {
+		_, werr := f.Write(raw)
+		return werr
+	}); err != nil {
+		return Manifest{}, err
+	}
+	return m, nil
+}
+
+// atomicWrite writes path via a temporary sibling file and a rename, with
+// an fsync before the rename so the content is durable when the name is.
+func atomicWrite(path string, fill func(*os.File) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("kb: creating temp file for %s: %w", path, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := fill(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("kb: writing %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("kb: syncing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("kb: closing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("kb: committing %s: %w", path, err)
+	}
+	// Fsync the parent directory so the rename itself is durable — without
+	// it a power loss can roll back the name while keeping the content (or
+	// the reverse), breaking the instances-then-manifest commit ordering.
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("kb: opening dir of %s: %w", path, err)
+	}
+	defer dir.Close()
+	if err := dir.Sync(); err != nil {
+		return fmt.Errorf("kb: syncing dir of %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadManifest reads the manifest of a snapshot directory without loading
+// instances. A missing manifest returns ErrNoSnapshot.
+func ReadManifest(dir string) (Manifest, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, snapshotManifestFile))
+	if errors.Is(err, fs.ErrNotExist) {
+		return Manifest{}, ErrNoSnapshot
+	}
+	if err != nil {
+		return Manifest{}, fmt.Errorf("kb: reading manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return Manifest{}, fmt.Errorf("kb: decoding manifest: %w", err)
+	}
+	return m, nil
+}
+
+// LoadSnapshot appends a snapshot's ingested instances to the KB and
+// returns its manifest. The KB must hold exactly the seed world the
+// snapshot was taken against (same seed instance count, no ingested
+// instances yet); a mismatch returns an error rather than silently
+// duplicating or misaligning instance IDs. A directory without a manifest
+// returns ErrNoSnapshot, which callers treat as a cold start.
+func (kb *KB) LoadSnapshot(dir string) (Manifest, error) {
+	m, err := ReadManifest(dir)
+	if err != nil {
+		return Manifest{}, err
+	}
+	if got := kb.NumInstances(); got != m.SeedInstances {
+		return Manifest{}, fmt.Errorf("kb: snapshot expects %d seed instances, KB has %d (world mismatch?)",
+			m.SeedInstances, got)
+	}
+	f, err := os.Open(filepath.Join(dir, snapshotInstancesFile))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("kb: opening snapshot instances: %w", err)
+	}
+	defer f.Close()
+	if err := kb.ReadInstances(f); err != nil {
+		return Manifest{}, err
+	}
+	if got := kb.NumInstances() - m.SeedInstances; got != m.Instances {
+		return Manifest{}, fmt.Errorf("kb: snapshot manifest lists %d instances, file held %d", m.Instances, got)
+	}
+	return m, nil
+}

@@ -1,0 +1,148 @@
+package kb
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dtype"
+)
+
+// seedPlusIngested builds a KB with two seed instances and two ingested
+// write-backs, mirroring a server's state after an epoch.
+func seedPlusIngested(t *testing.T) *KB {
+	t.Helper()
+	k := New()
+	k.AddInstance(&Instance{Class: ClassSong, Labels: []string{"Seed Song"}})
+	k.AddInstance(&Instance{Class: ClassGFPlayer, Labels: []string{"Seed Player"}})
+	k.AddInstance(&Instance{
+		Class:  ClassSong,
+		Labels: []string{"Found Tune"},
+		Facts: map[PropertyID]dtype.Value{
+			"dbo:runtime": dtype.NewQuantity(200),
+		},
+		Provenance:  ProvenanceIngest,
+		IngestEpoch: 1,
+	})
+	k.AddInstance(&Instance{
+		Class:       ClassSong,
+		Labels:      []string{"Second Find"},
+		Provenance:  ProvenanceIngest,
+		IngestEpoch: 2,
+	})
+	return k
+}
+
+func TestSnapshotSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	src := seedPlusIngested(t)
+
+	m, err := src.SaveSnapshot(dir, Manifest{
+		Epochs: map[string]int{string(ClassSong): 2},
+		Tables: map[string][]int{string(ClassSong): {3, 7}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SeedInstances != 2 || m.Instances != 2 {
+		t.Fatalf("manifest = %+v, want 2 seed / 2 ingested", m)
+	}
+	if m.Epochs[string(ClassSong)] != 2 {
+		t.Fatalf("manifest epochs = %v", m.Epochs)
+	}
+	if got := m.Tables[string(ClassSong)]; len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Fatalf("manifest tables = %v", m.Tables)
+	}
+
+	// A restart regenerates the seed world, then loads the discoveries.
+	dst := New()
+	dst.AddInstance(&Instance{Class: ClassSong, Labels: []string{"Seed Song"}})
+	dst.AddInstance(&Instance{Class: ClassGFPlayer, Labels: []string{"Seed Player"}})
+	lm, err := dst.LoadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm.Instances != 2 || lm.Epochs[string(ClassSong)] != 2 || len(lm.Tables[string(ClassSong)]) != 2 {
+		t.Fatalf("loaded manifest = %+v", lm)
+	}
+
+	// Full-KB serialization must be byte-identical to the unsnapshotted KB.
+	var want, got bytes.Buffer
+	if err := src.WriteInstances(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.WriteInstances(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Error("reloaded KB serialization differs from the original")
+	}
+	// The reloaded discoveries answer label-index queries (caches rebuilt
+	// over the restored state).
+	hits := dst.SearchInstances("Found Tune", CandidateOpts{Class: ClassSong})
+	if len(hits) == 0 || dst.Instance(hits[0].Instance).Label() != "Found Tune" {
+		t.Errorf("reloaded instance not retrievable: %v", hits)
+	}
+	if dst.Instance(2).Provenance != ProvenanceIngest || dst.Instance(2).IngestEpoch != 1 {
+		t.Error("reloaded instance lost provenance or epoch")
+	}
+}
+
+func TestSnapshotSeedMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := seedPlusIngested(t).SaveSnapshot(dir, Manifest{}); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong world: one seed instance instead of two.
+	dst := New()
+	dst.AddInstance(&Instance{Class: ClassSong, Labels: []string{"Seed Song"}})
+	if _, err := dst.LoadSnapshot(dir); err == nil {
+		t.Error("seed-count mismatch should be rejected")
+	}
+}
+
+func TestSnapshotMissingIsErrNoSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := New().LoadSnapshot(dir); !errors.Is(err, ErrNoSnapshot) {
+		t.Errorf("empty dir error = %v, want ErrNoSnapshot", err)
+	}
+	if _, err := ReadManifest(dir); !errors.Is(err, ErrNoSnapshot) {
+		t.Errorf("ReadManifest error = %v, want ErrNoSnapshot", err)
+	}
+}
+
+func TestSnapshotOverwriteAndNoTempLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	k := seedPlusIngested(t)
+	if _, err := k.SaveSnapshot(dir, Manifest{Epochs: map[string]int{string(ClassSong): 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// A later save overwrites atomically.
+	k.AddInstance(&Instance{
+		Class: ClassSong, Labels: []string{"Third Find"},
+		Provenance: ProvenanceIngest, IngestEpoch: 3,
+	})
+	m, err := k.SaveSnapshot(dir, Manifest{Epochs: map[string]int{string(ClassSong): 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Instances != 3 {
+		t.Fatalf("second save manifest = %+v", m)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Errorf("snapshot dir holds %v, want exactly instances + manifest", names)
+	}
+	if _, err := ReadManifest(filepath.Join(dir)); err != nil {
+		t.Fatal(err)
+	}
+}

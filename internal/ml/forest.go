@@ -1,9 +1,15 @@
 package ml
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 )
+
+// ErrNoTrainingData is returned when forest training receives an empty
+// sample matrix.
+var ErrNoTrainingData = errors.New("ml: forest training needs a non-empty sample matrix")
 
 // ForestConfig configures random forest regression training.
 type ForestConfig struct {
@@ -28,13 +34,26 @@ type Forest struct {
 }
 
 // TrainForest fits a random forest on X (rows of features) and y (targets).
-// It panics on empty or inconsistent input; callers construct datasets
-// programmatically.
-func TrainForest(X [][]float64, y []float64, cfg ForestConfig) *Forest {
-	if len(X) == 0 || len(X) != len(y) {
-		panic("ml: TrainForest needs non-empty X with matching y")
+// Empty, featureless, or inconsistently sized input returns an error rather
+// than panicking: training sets can derive from user-supplied ingest
+// batches, and a degenerate batch must not take a long-running process
+// down.
+func TrainForest(X [][]float64, y []float64, cfg ForestConfig) (*Forest, error) {
+	if len(X) == 0 {
+		return nil, ErrNoTrainingData
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("ml: TrainForest got %d samples but %d targets", len(X), len(y))
 	}
 	nf := len(X[0])
+	if nf == 0 {
+		return nil, errors.New("ml: TrainForest needs at least one feature")
+	}
+	for i, row := range X {
+		if len(row) != nf {
+			return nil, fmt.Errorf("ml: TrainForest sample %d has %d features, want %d", i, len(row), nf)
+		}
+	}
 	if cfg.Trees <= 0 {
 		cfg.Trees = 40
 	}
@@ -94,7 +113,7 @@ func TrainForest(X [][]float64, y []float64, cfg ForestConfig) *Forest {
 		f.oobError = sse / float64(cnt)
 	}
 	normalize(f.importance)
-	return f
+	return f, nil
 }
 
 // Predict returns the forest's prediction (mean over trees) for x.
@@ -126,19 +145,23 @@ func (f *Forest) NumFeatures() int { return f.nFeatures }
 // TuneForest trains forests over the given candidate configurations and
 // returns the one with the lowest out-of-bag error, mirroring the paper's
 // hyperparameter selection "using the out-of-bag error with different
-// out-of-bag rates on the learning set".
-func TuneForest(X [][]float64, y []float64, candidates []ForestConfig) *Forest {
+// out-of-bag rates on the learning set". It propagates TrainForest's error
+// on degenerate input.
+func TuneForest(X [][]float64, y []float64, candidates []ForestConfig) (*Forest, error) {
 	if len(candidates) == 0 {
 		return TrainForest(X, y, ForestConfig{})
 	}
 	var best *Forest
 	for _, cfg := range candidates {
-		f := TrainForest(X, y, cfg)
+		f, err := TrainForest(X, y, cfg)
+		if err != nil {
+			return nil, err
+		}
 		if best == nil || f.oobError < best.oobError {
 			best = f
 		}
 	}
-	return best
+	return best, nil
 }
 
 func normalize(v []float64) {

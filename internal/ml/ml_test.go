@@ -1,11 +1,23 @@
 package ml
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
 )
+
+// mustTrain trains or fails the test: happy-path tests use well-formed
+// datasets, so an error is a test bug.
+func mustTrain(t testing.TB, X [][]float64, y []float64, cfg ForestConfig) *Forest {
+	t.Helper()
+	f, err := TrainForest(X, y, cfg)
+	if err != nil {
+		t.Fatalf("TrainForest: %v", err)
+	}
+	return f
+}
 
 // makeRegression builds a dataset where y depends on features 0 and 1 only.
 func makeRegression(n int, seed int64) ([][]float64, []float64) {
@@ -22,7 +34,7 @@ func makeRegression(n int, seed int64) ([][]float64, []float64) {
 
 func TestForestLearnsSignal(t *testing.T) {
 	X, y := makeRegression(400, 5)
-	f := TrainForest(X, y, ForestConfig{Trees: 30, Seed: 1})
+	f := mustTrain(t, X, y, ForestConfig{Trees: 30, Seed: 1})
 	var sse, variance float64
 	var mean float64
 	for _, v := range y {
@@ -42,7 +54,7 @@ func TestForestLearnsSignal(t *testing.T) {
 
 func TestForestImportanceFindsSignalFeatures(t *testing.T) {
 	X, y := makeRegression(400, 6)
-	f := TrainForest(X, y, ForestConfig{Trees: 40, Seed: 2})
+	f := mustTrain(t, X, y, ForestConfig{Trees: 40, Seed: 2})
 	imp := f.Importance()
 	if len(imp) != 4 {
 		t.Fatalf("importance dims = %d", len(imp))
@@ -62,8 +74,8 @@ func TestForestImportanceFindsSignalFeatures(t *testing.T) {
 
 func TestForestDeterministic(t *testing.T) {
 	X, y := makeRegression(100, 7)
-	a := TrainForest(X, y, ForestConfig{Trees: 10, Seed: 3})
-	b := TrainForest(X, y, ForestConfig{Trees: 10, Seed: 3})
+	a := mustTrain(t, X, y, ForestConfig{Trees: 10, Seed: 3})
+	b := mustTrain(t, X, y, ForestConfig{Trees: 10, Seed: 3})
 	for i := 0; i < 10; i++ {
 		x := X[i]
 		if a.Predict(x) != b.Predict(x) {
@@ -74,7 +86,7 @@ func TestForestDeterministic(t *testing.T) {
 
 func TestForestOOBError(t *testing.T) {
 	X, y := makeRegression(300, 8)
-	f := TrainForest(X, y, ForestConfig{Trees: 30, Seed: 4})
+	f := mustTrain(t, X, y, ForestConfig{Trees: 30, Seed: 4})
 	if f.OOBError() <= 0 {
 		t.Error("OOB error should be positive on noisy data")
 	}
@@ -90,26 +102,41 @@ func TestTuneForestPicksLowerOOB(t *testing.T) {
 	X, y := makeRegression(200, 9)
 	weak := ForestConfig{Trees: 2, Tree: TreeConfig{MaxDepth: 1}, Seed: 5}
 	strong := ForestConfig{Trees: 30, Seed: 5}
-	tuned := TuneForest(X, y, []ForestConfig{weak, strong})
-	solo := TrainForest(X, y, weak)
+	tuned, err := TuneForest(X, y, []ForestConfig{weak, strong})
+	if err != nil {
+		t.Fatalf("TuneForest: %v", err)
+	}
+	solo := mustTrain(t, X, y, weak)
 	if tuned.OOBError() > solo.OOBError() {
 		t.Errorf("tuning picked worse config: %v > %v", tuned.OOBError(), solo.OOBError())
 	}
 }
 
-func TestTrainForestPanicsOnBadInput(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("want panic on empty input")
-		}
-	}()
-	TrainForest(nil, nil, ForestConfig{})
+// TestTrainForestDegenerateInput is the crash-vector regression test:
+// training sets can derive from user-supplied ingest batches, so empty or
+// inconsistent input must return an error instead of panicking.
+func TestTrainForestDegenerateInput(t *testing.T) {
+	if _, err := TrainForest(nil, nil, ForestConfig{}); !errors.Is(err, ErrNoTrainingData) {
+		t.Errorf("empty input error = %v, want ErrNoTrainingData", err)
+	}
+	if _, err := TrainForest([][]float64{{1}}, []float64{1, 2}, ForestConfig{}); err == nil {
+		t.Error("mismatched X/y should return an error")
+	}
+	if _, err := TrainForest([][]float64{{}}, []float64{1}, ForestConfig{}); err == nil {
+		t.Error("featureless samples should return an error")
+	}
+	if _, err := TrainForest([][]float64{{1, 2}, {3}}, []float64{1, 2}, ForestConfig{}); err == nil {
+		t.Error("ragged samples should return an error")
+	}
+	if _, err := TuneForest(nil, nil, nil); !errors.Is(err, ErrNoTrainingData) {
+		t.Error("TuneForest should propagate the training error")
+	}
 }
 
 func TestForestConstantTarget(t *testing.T) {
 	X := [][]float64{{0}, {1}, {2}}
 	y := []float64{5, 5, 5}
-	f := TrainForest(X, y, ForestConfig{Trees: 5, Seed: 1})
+	f := mustTrain(t, X, y, ForestConfig{Trees: 5, Seed: 1})
 	if got := f.Predict([]float64{0.5}); math.Abs(got-5) > 1e-9 {
 		t.Errorf("constant target prediction = %v", got)
 	}
@@ -118,7 +145,7 @@ func TestForestConstantTarget(t *testing.T) {
 func TestForestPredictionWithinRange(t *testing.T) {
 	// Regression trees cannot extrapolate beyond observed targets.
 	X, y := makeRegression(200, 10)
-	f := TrainForest(X, y, ForestConfig{Trees: 20, Seed: 11})
+	f := mustTrain(t, X, y, ForestConfig{Trees: 20, Seed: 11})
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for _, v := range y {
 		lo = math.Min(lo, v)
@@ -311,7 +338,7 @@ func BenchmarkTrainForest(b *testing.B) {
 
 func BenchmarkForestPredict(b *testing.B) {
 	X, y := makeRegression(300, 21)
-	f := TrainForest(X, y, ForestConfig{Trees: 30, Seed: 1})
+	f := mustTrain(b, X, y, ForestConfig{Trees: 30, Seed: 1})
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a mutex-guarded LRU over rendered response bodies, keyed on
+// the KB version plus a canonical request key. Keying on kb.Version means
+// entries never need explicit invalidation: every KB mutation (ingest
+// write-back, snapshot load) bumps the version, later requests form new
+// keys, and the stale generation ages out through normal LRU eviction.
+// Hot lookups therefore skip retrieval entirely between KB mutations.
+type lruCache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List
+	items  map[cacheKey]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type cacheKey struct {
+	version uint64
+	key     string
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	body []byte
+}
+
+// newLRUCache returns a cache holding up to capacity entries; a
+// non-positive capacity disables caching (every get misses, put is a
+// no-op), which the benchmarks use to measure the uncached path.
+func newLRUCache(capacity int) *lruCache {
+	c := &lruCache{cap: capacity}
+	if capacity > 0 {
+		c.ll = list.New()
+		c.items = make(map[cacheKey]*list.Element, capacity)
+	}
+	return c
+}
+
+// get returns the cached body for (version, key) and whether it was
+// present, promoting a hit to most-recently-used.
+func (c *lruCache) get(version uint64, key string) ([]byte, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[cacheKey{version, key}]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under (version, key), evicting the least-recently-used
+// entry when full. The caller must not mutate body afterwards.
+func (c *lruCache) put(version uint64, key string, body []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	ck := cacheKey{version, key}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[ck]; ok {
+		el.Value.(*cacheEntry).body = body
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[ck] = c.ll.PushFront(&cacheEntry{key: ck, body: body})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).key)
+	}
+}
+
+// stats returns cumulative hit/miss counts and the current entry count.
+func (c *lruCache) stats() (hits, misses uint64, entries int) {
+	if c.cap <= 0 {
+		return 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestLRUCacheVersionKeying(t *testing.T) {
+	c := newLRUCache(4)
+	c.put(1, "a", []byte("v1"))
+	if got, ok := c.get(1, "a"); !ok || !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("get(1,a) = %q, %v", got, ok)
+	}
+	// A newer KB version never sees the old generation's entry.
+	if _, ok := c.get(2, "a"); ok {
+		t.Fatal("version 2 served a version-1 body")
+	}
+	c.put(2, "a", []byte("v2"))
+	if got, _ := c.get(2, "a"); !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("get(2,a) = %q", got)
+	}
+	// The old entry is still addressable until evicted.
+	if got, _ := c.get(1, "a"); !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("get(1,a) after new version = %q", got)
+	}
+	hits, misses, entries := c.stats()
+	if hits != 3 || misses != 1 || entries != 2 {
+		t.Errorf("stats = %d hits, %d misses, %d entries", hits, misses, entries)
+	}
+}
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRUCache(2)
+	c.put(1, "a", []byte("a"))
+	c.put(1, "b", []byte("b"))
+	c.get(1, "a") // promote a
+	c.put(1, "c", []byte("c"))
+	if _, ok := c.get(1, "b"); ok {
+		t.Error("least-recently-used entry b survived eviction")
+	}
+	if _, ok := c.get(1, "a"); !ok {
+		t.Error("promoted entry a was evicted")
+	}
+	if _, ok := c.get(1, "c"); !ok {
+		t.Error("new entry c missing")
+	}
+	// Overwriting an existing key must not grow the cache.
+	c.put(1, "a", []byte("a2"))
+	if _, _, entries := c.stats(); entries != 2 {
+		t.Errorf("entries = %d, want 2", entries)
+	}
+	if got, _ := c.get(1, "a"); !bytes.Equal(got, []byte("a2")) {
+		t.Errorf("overwrite lost: %q", got)
+	}
+}
+
+func TestLRUCacheDisabled(t *testing.T) {
+	c := newLRUCache(0)
+	c.put(1, "a", []byte("x"))
+	if _, ok := c.get(1, "a"); ok {
+		t.Error("disabled cache served an entry")
+	}
+	if h, m, e := c.stats(); h != 0 || m != 0 || e != 0 {
+		t.Errorf("disabled stats = %d/%d/%d", h, m, e)
+	}
+}

@@ -1,0 +1,979 @@
+// Package serve exposes a live knowledge base over a long-running
+// HTTP/JSON API: entity lookup by instance ID, fuzzy label search backed
+// by the inverted label index, per-class/per-epoch ingestion statistics,
+// and an asynchronous ingest endpoint that queues table batches through a
+// single-writer ingest loop while reads stay lock-free on the
+// concurrent-safe KB.
+//
+// # Concurrency model
+//
+// All mutation — engine ingestion, corpus appends, snapshot writes —
+// happens on one writer goroutine consuming a job queue; POST /v1/ingest
+// and POST /v1/snapshot enqueue jobs and return immediately (add ?wait=1
+// to block until the job finishes). Read endpoints touch only structures
+// that are safe under concurrent growth: the KB (RWMutex + monotonic
+// Version), the engines' copy-returning accessors, and an LRU response
+// cache keyed on kb.Version so hot lookups skip retrieval entirely and
+// can never serve a pre-mutation body for a post-mutation version.
+//
+// # Snapshot persistence
+//
+// With a snapshot directory configured, the server warm-starts by loading
+// the instances earlier runs wrote back (kb.LoadSnapshot) and resuming
+// each engine's epoch counter from the manifest, so discoveries survive a
+// restart without re-ingesting their tables. POST /v1/snapshot persists
+// the current state atomically (temp file + rename, manifest last).
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kb"
+	"repro/internal/webtable"
+)
+
+// Config assembles a server over a live KB, its corpus, and one
+// incremental ingestion engine per served class.
+type Config struct {
+	KB     *kb.KB
+	Corpus *webtable.Corpus
+	// Engines maps each served class to its engine. Engines must be
+	// freshly constructed (not yet ingested) when SnapshotDir warm-starts
+	// them.
+	Engines map[kb.ClassID]*core.Engine
+	// Tables optionally lists the corpus tables matched to each class
+	// (core.ClassifyTables output). It backs the ingest request's "auto"
+	// mode, which ingests the next N not-yet-ingested tables of a class
+	// without the client knowing corpus IDs.
+	Tables map[kb.ClassID][]int
+	// SnapshotDir enables snapshot persistence when non-empty: New loads
+	// any existing snapshot from it, and POST /v1/snapshot saves into it.
+	SnapshotDir string
+	// WorldKey identifies the deterministic world this server was built
+	// over (generation seed and scales, encoded by the caller). It is
+	// stamped into snapshots and checked at warm start: discoveries made
+	// against a different world must not be loaded onto this one.
+	WorldKey string
+	// CacheEntries bounds the response cache (default 1024; negative
+	// disables caching).
+	CacheEntries int
+	// QueueDepth bounds the pending ingest/snapshot job queue (default 64).
+	QueueDepth int
+}
+
+// Server is the HTTP serving layer. Construct with New, expose via
+// Handler, and Close when done.
+type Server struct {
+	kb      *kb.KB
+	corpus  *webtable.Corpus
+	engines map[kb.ClassID]*core.Engine
+	tables  map[kb.ClassID][]int
+	// baseTables is the corpus length at construction: tables with IDs at
+	// or beyond it were appended by inline raw ingests and do not exist in
+	// a regenerated corpus, so snapshots must not record them as ingested.
+	baseTables  int
+	snapshotDir string
+	worldKey    string
+	cache       *lruCache
+	mux         *http.ServeMux
+	// Warm holds the manifest loaded at startup (nil on a cold start).
+	Warm *kb.Manifest
+
+	jobMu   sync.Mutex
+	jobs    map[int64]*job
+	retired []int64 // finished job IDs in completion order, oldest first
+	nextJob int64
+	closed  bool
+	// poisoned records classes whose engine panicked mid-ingest; their
+	// retained state can no longer be trusted, so further ingests for them
+	// are refused until the process restarts.
+	poisoned map[kb.ClassID]string
+
+	queue      chan *job
+	writerDone chan struct{}
+	closeOnce  sync.Once
+}
+
+const (
+	jobIngest   = "ingest"
+	jobSnapshot = "snapshot"
+
+	statusQueued  = "queued"
+	statusRunning = "running"
+	statusDone    = "done"
+	statusFailed  = "failed"
+
+	// maxRetainedJobs bounds how many finished jobs stay queryable via
+	// GET /v1/jobs/{id}; older ones are evicted so a long-running server
+	// does not leak a job record per request.
+	maxRetainedJobs = 256
+)
+
+// job is one unit of single-writer work plus its externally visible state.
+type job struct {
+	// Mutable state, guarded by Server.jobMu.
+	id       int64
+	kind     string
+	status   string
+	errMsg   string
+	stats    *core.IngestStats
+	manifest *kb.Manifest
+
+	// Inputs, immutable after enqueue.
+	class  kb.ClassID
+	tables []int
+	auto   int
+	raw    []*webtable.Table
+
+	done chan struct{}
+}
+
+// JobView is the JSON rendering of a job.
+type JobView struct {
+	ID       int64             `json:"id"`
+	Kind     string            `json:"kind"`
+	Class    string            `json:"class,omitempty"`
+	Status   string            `json:"status"`
+	Error    string            `json:"error,omitempty"`
+	Stats    *core.IngestStats `json:"stats,omitempty"`
+	Manifest *kb.Manifest      `json:"manifest,omitempty"`
+}
+
+// New builds a server, warm-starts from the snapshot directory when one is
+// configured and holds a snapshot, and starts the single-writer ingest
+// loop. Callers must Close the server to stop the loop.
+func New(cfg Config) (*Server, error) {
+	if cfg.KB == nil || cfg.Corpus == nil {
+		return nil, errors.New("serve: Config needs a KB and a Corpus")
+	}
+	if len(cfg.Engines) == 0 {
+		return nil, errors.New("serve: Config needs at least one class engine")
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 1024
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	s := &Server{
+		kb:          cfg.KB,
+		corpus:      cfg.Corpus,
+		engines:     make(map[kb.ClassID]*core.Engine, len(cfg.Engines)),
+		snapshotDir: cfg.SnapshotDir,
+		worldKey:    cfg.WorldKey,
+		cache:       newLRUCache(cfg.CacheEntries),
+		jobs:        make(map[int64]*job),
+		poisoned:    make(map[kb.ClassID]string),
+		queue:       make(chan *job, cfg.QueueDepth),
+		writerDone:  make(chan struct{}),
+	}
+	for class, eng := range cfg.Engines {
+		s.engines[class] = eng
+	}
+	s.baseTables = cfg.Corpus.Len()
+	s.tables = make(map[kb.ClassID][]int, len(cfg.Tables))
+	for class, ids := range cfg.Tables {
+		s.tables[class] = append([]int(nil), ids...)
+	}
+
+	if s.snapshotDir != "" {
+		m, err := s.kb.LoadSnapshot(s.snapshotDir)
+		switch {
+		case errors.Is(err, kb.ErrNoSnapshot):
+			// Cold start; the first POST /v1/snapshot creates the files.
+		case err != nil:
+			return nil, fmt.Errorf("serve: warm start: %w", err)
+		default:
+			if m.WorldKey != "" && s.worldKey != "" && m.WorldKey != s.worldKey {
+				return nil, fmt.Errorf("serve: snapshot was taken against world %q, this server runs %q — refusing to mix discoveries across worlds",
+					m.WorldKey, s.worldKey)
+			}
+			s.Warm = &m
+			for class, eng := range s.engines {
+				if rerr := eng.Resume(m.Epochs[string(class)], m.Tables[string(class)]); rerr != nil {
+					return nil, fmt.Errorf("serve: resuming %s: %w", class, rerr)
+				}
+			}
+		}
+	}
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/classes", s.handleClasses)
+	s.mux.HandleFunc("GET /v1/classes/{class}/entities", s.handleEntities)
+	s.mux.HandleFunc("GET /v1/instances/{id}", s.handleInstance)
+	s.mux.HandleFunc("GET /v1/search", s.handleSearch)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
+
+	go s.writer()
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops accepting jobs, drains the queue, and waits for the writer
+// loop to exit. Safe to call more than once.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.jobMu.Lock()
+		s.closed = true
+		s.jobMu.Unlock()
+		close(s.queue)
+		<-s.writerDone
+	})
+}
+
+// Snapshot synchronously persists the current state through the writer
+// loop (so it never interleaves with an ingest) and returns the manifest.
+// A momentarily full job queue is retried while the writer drains it —
+// the shutdown path must not lose the final snapshot to pending ingests
+// that are about to complete anyway.
+func (s *Server) Snapshot() (kb.Manifest, error) {
+	if s.snapshotDir == "" {
+		return kb.Manifest{}, errors.New("serve: no snapshot directory configured")
+	}
+	var j *job
+	for {
+		var err error
+		j, err = s.enqueue(&job{kind: jobSnapshot})
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, errQueueFull) {
+			return kb.Manifest{}, err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	<-j.done
+	v := s.viewJob(j)
+	if v.Status != statusDone {
+		return kb.Manifest{}, fmt.Errorf("serve: snapshot failed: %s", v.Error)
+	}
+	return *v.Manifest, nil
+}
+
+// ---- single-writer loop ----
+
+func (s *Server) writer() {
+	defer close(s.writerDone)
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job on the writer goroutine. A panic escaping the
+// engine (the crash vector a degenerate user batch could open) fails the
+// job instead of taking the server down.
+func (s *Server) runJob(j *job) {
+	s.setJob(j, func(j *job) { j.status = statusRunning })
+	defer func() {
+		if r := recover(); r != nil {
+			s.setJob(j, func(j *job) {
+				j.status = statusFailed
+				j.errMsg = fmt.Sprintf("panic: %v", r)
+			})
+		}
+		s.retireJob(j)
+		close(j.done)
+	}()
+	switch j.kind {
+	case jobIngest:
+		s.runIngest(j)
+	case jobSnapshot:
+		s.runSnapshot(j)
+	}
+}
+
+// retireJob frees a finished job's inputs (raw table payloads can be
+// large) and evicts the oldest finished jobs beyond the retention bound.
+func (s *Server) retireJob(j *job) {
+	s.jobMu.Lock()
+	j.tables = nil
+	j.raw = nil
+	s.retired = append(s.retired, j.id)
+	for len(s.retired) > maxRetainedJobs {
+		delete(s.jobs, s.retired[0])
+		s.retired = s.retired[1:]
+	}
+	s.jobMu.Unlock()
+}
+
+func (s *Server) runIngest(j *job) {
+	// Admission control re-checked at execution time: a job enqueued just
+	// before a predecessor poisoned the class must not run on the
+	// corrupted engine state.
+	s.jobMu.Lock()
+	reason, bad := s.poisoned[j.class]
+	s.jobMu.Unlock()
+	if bad {
+		s.setJob(j, func(j *job) {
+			j.status = statusFailed
+			j.errMsg = fmt.Sprintf("class refuses ingests after an engine panic: %s", reason)
+		})
+		return
+	}
+	eng := s.engines[j.class]
+	// IngestedIDs (not TableIDs) so tables restored from a snapshot count
+	// as done: "auto" must keep advancing after a warm restart.
+	ingested := make(map[int]bool)
+	for _, id := range eng.IngestedIDs() {
+		ingested[id] = true
+	}
+	ids := make([]int, 0, len(j.tables)+len(j.raw))
+	for _, id := range j.tables {
+		if s.corpus.Table(id) == nil {
+			s.setJob(j, func(j *job) {
+				j.status = statusFailed
+				j.errMsg = fmt.Sprintf("unknown corpus table %d", id)
+			})
+			return
+		}
+		ids = append(ids, id)
+	}
+	// Auto mode: the next j.auto not-yet-ingested classified tables.
+	if j.auto > 0 {
+		picked := 0
+		for _, id := range s.tables[j.class] {
+			if picked == j.auto {
+				break
+			}
+			if !ingested[id] {
+				ids = append(ids, id)
+				picked++
+			}
+		}
+	}
+	// A batch that resolves to nothing new never reaches the engine: an
+	// epoch re-runs entity creation and detection over everything retained,
+	// so a no-op request must not be able to burn that work (or inflate
+	// epoch counters) for free.
+	fresh := false
+	for _, id := range ids {
+		if !ingested[id] {
+			fresh = true
+			break
+		}
+	}
+	if !fresh && len(j.raw) == 0 {
+		// TotalTables mirrors the engine's own stats semantics (tables in
+		// the retained output, excluding Resume-restored ones) so the
+		// counter never moves backwards between a no-op and a real epoch.
+		stats := core.IngestStats{
+			Epoch:       eng.Epoch(),
+			TotalTables: len(eng.TableIDs()),
+			KBInstances: s.kb.NumInstances(),
+		}
+		s.setJob(j, func(j *job) {
+			j.status = statusDone
+			j.stats = &stats
+		})
+		return
+	}
+	// Raw tables join the corpus only on the writer goroutine: Append is
+	// not safe against concurrent readers, and no read endpoint touches
+	// the corpus.
+	preLen := s.corpus.Len()
+	for _, t := range j.raw {
+		ids = append(ids, s.corpus.Append(t))
+	}
+	// Contain an engine panic here rather than in runJob's backstop: the
+	// appended raw tables are rolled back so a client retry cannot
+	// duplicate them, and the class is poisoned — the engine's retained
+	// state (and the rolled-back table IDs it may have absorbed into its
+	// blocking/PHI statistics) can no longer be trusted, so further
+	// ingests for this class are refused until a restart.
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		s.corpus.Tables = s.corpus.Tables[:preLen]
+		s.jobMu.Lock()
+		s.poisoned[j.class] = fmt.Sprintf("%v", r)
+		s.jobMu.Unlock()
+		s.setJob(j, func(j *job) {
+			j.status = statusFailed
+			j.errMsg = fmt.Sprintf("ingest panic (class now refuses ingests): %v", r)
+		})
+	}()
+	_, stats := eng.Ingest(ids)
+	s.setJob(j, func(j *job) {
+		j.status = statusDone
+		j.stats = &stats
+	})
+}
+
+func (s *Server) runSnapshot(j *job) {
+	meta := kb.Manifest{
+		WorldKey: s.worldKey,
+		Epochs:   make(map[string]int, len(s.engines)),
+		Tables:   make(map[string][]int, len(s.engines)),
+	}
+	for class, eng := range s.engines {
+		meta.Epochs[string(class)] = eng.Epoch()
+		ids := make([]int, 0)
+		for _, id := range eng.IngestedIDs() {
+			if id < s.baseTables {
+				ids = append(ids, id)
+			}
+		}
+		meta.Tables[string(class)] = ids
+	}
+	m, err := s.kb.SaveSnapshot(s.snapshotDir, meta)
+	if err != nil {
+		s.setJob(j, func(j *job) {
+			j.status = statusFailed
+			j.errMsg = err.Error()
+		})
+		return
+	}
+	s.setJob(j, func(j *job) {
+		j.status = statusDone
+		j.manifest = &m
+	})
+}
+
+// ---- job bookkeeping ----
+
+// enqueue registers a job and submits it to the writer loop.
+func (s *Server) enqueue(j *job) (*job, error) {
+	j.done = make(chan struct{})
+	s.jobMu.Lock()
+	if s.closed {
+		s.jobMu.Unlock()
+		return nil, errors.New("serve: server is shut down")
+	}
+	s.nextJob++
+	j.id = s.nextJob
+	j.status = statusQueued
+	s.jobs[j.id] = j
+	// Submit while still holding jobMu: Close sets closed and closes the
+	// queue under the same lock order, so the send cannot race a close.
+	select {
+	case s.queue <- j:
+		s.jobMu.Unlock()
+		return j, nil
+	default:
+		delete(s.jobs, j.id)
+		s.jobMu.Unlock()
+		return nil, errQueueFull
+	}
+}
+
+// errQueueFull distinguishes backpressure (retryable) from shutdown.
+var errQueueFull = errors.New("serve: ingest queue is full")
+
+func (s *Server) setJob(j *job, mutate func(*job)) {
+	s.jobMu.Lock()
+	mutate(j)
+	s.jobMu.Unlock()
+}
+
+func (s *Server) viewJob(j *job) JobView {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	v := JobView{
+		ID:     j.id,
+		Kind:   j.kind,
+		Status: j.status,
+		Error:  j.errMsg,
+	}
+	if j.class != "" {
+		v.Class = string(j.class)
+	}
+	if j.stats != nil {
+		st := *j.stats
+		v.Stats = &st
+	}
+	if j.manifest != nil {
+		m := *j.manifest
+		v.Manifest = &m
+	}
+	return v
+}
+
+// ---- read endpoints ----
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// ClassView is one served class in GET /v1/classes.
+type ClassView struct {
+	Class     string `json:"class"`
+	ShortName string `json:"shortName"`
+	Epoch     int    `json:"epoch"`
+	// Tables counts the tables ingested so far; CorpusTables the classified
+	// tables known to the server (the pool "auto" ingestion draws from).
+	Tables       int `json:"tables"`
+	CorpusTables int `json:"corpusTables"`
+	KBInstances  int `json:"kbInstances"`
+}
+
+func (s *Server) handleClasses(w http.ResponseWriter, _ *http.Request) {
+	classes := make([]kb.ClassID, 0, len(s.engines))
+	for class := range s.engines {
+		classes = append(classes, class)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	out := make([]ClassView, 0, len(classes))
+	for _, class := range classes {
+		epoch, tableIDs, _ := s.engines[class].Published()
+		out = append(out, ClassView{
+			Class:        string(class),
+			ShortName:    kb.ClassShortName(class),
+			Epoch:        epoch,
+			Tables:       len(tableIDs),
+			CorpusTables: len(s.tables[class]),
+			KBInstances:  len(s.kb.InstancesOf(class)),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// EntityView is one entity of a class's most recent epoch output.
+// Instance is a pointer because 0 is a valid instance ID that omitempty
+// on a plain int would silently drop.
+type EntityView struct {
+	Label    string              `json:"label"`
+	Labels   []string            `json:"labels"`
+	IsNew    bool                `json:"isNew"`
+	Matched  bool                `json:"matched"`
+	Instance *int                `json:"instance,omitempty"`
+	Facts    map[string]FactView `json:"facts"`
+}
+
+// EntitiesView is the GET /v1/classes/{class}/entities response.
+type EntitiesView struct {
+	Class    string       `json:"class"`
+	Epoch    int          `json:"epoch"`
+	Entities []EntityView `json:"entities"`
+}
+
+// handleEntities lists the entities of the class's most recent ingest
+// epoch (?new=1 restricts to entities classified as new). It reads the
+// engine through LastEntities(), whose defensive copies are what make
+// this safe while the writer loop runs a later epoch.
+func (s *Server) handleEntities(w http.ResponseWriter, r *http.Request) {
+	class, ok := s.resolveClass(r.PathValue("class"), true)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("class %q is not served", r.PathValue("class")))
+		return
+	}
+	onlyNew := isTrue(r.URL.Query().Get("new"))
+	// Cache the rendered body like the other read endpoints. kb.Version
+	// alone is not a sufficient key — an epoch with zero write-backs
+	// changes the output without touching the KB — so the epoch joins the
+	// key.
+	entitiesKey := func(epoch int) string {
+		return fmt.Sprintf("e|%s|%v|%d", class, onlyNew, epoch)
+	}
+	version := s.kb.Version()
+	if body, ok := s.cache.get(version, entitiesKey(s.engines[class].Epoch())); ok {
+		writeCached(w, http.StatusOK, body)
+		return
+	}
+	ents, dets, epoch := s.engines[class].LastEntities()
+	view := EntitiesView{Class: string(class), Epoch: epoch, Entities: []EntityView{}}
+	for i, ent := range ents {
+		det := dets[i]
+		if onlyNew && !det.IsNew {
+			continue
+		}
+		ev := EntityView{
+			Label:   ent.Label(),
+			Labels:  append([]string(nil), ent.Labels...),
+			IsNew:   det.IsNew,
+			Matched: det.Matched,
+			Facts:   make(map[string]FactView, len(ent.Facts)),
+		}
+		if det.Matched {
+			iid := int(det.Instance)
+			ev.Instance = &iid
+		}
+		for pid, v := range ent.Facts {
+			ev.Facts[string(pid)] = FactView{Kind: v.Kind.String(), Value: v.String()}
+		}
+		view.Entities = append(view.Entities, ev)
+	}
+	// Store under the epoch the render actually observed (it may have
+	// advanced past the key probed above); the body is self-consistent.
+	body := mustMarshal(view)
+	s.cache.put(version, entitiesKey(epoch), body)
+	writeCached(w, http.StatusOK, body)
+}
+
+// FactView renders one typed fact.
+type FactView struct {
+	Kind  string `json:"kind"`
+	Value string `json:"value"`
+}
+
+// InstanceView is the JSON rendering of a KB instance.
+type InstanceView struct {
+	ID          int                 `json:"id"`
+	Class       string              `json:"class"`
+	Labels      []string            `json:"labels"`
+	Abstract    string              `json:"abstract,omitempty"`
+	Popularity  float64             `json:"popularity,omitempty"`
+	Provenance  string              `json:"provenance,omitempty"`
+	IngestEpoch int                 `json:"ingestEpoch,omitempty"`
+	Facts       map[string]FactView `json:"facts"`
+}
+
+func (s *Server) handleInstance(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "instance ID must be an integer")
+		return
+	}
+	version := s.kb.Version()
+	key := "i|" + r.PathValue("id")
+	if body, ok := s.cache.get(version, key); ok {
+		writeCached(w, http.StatusOK, body)
+		return
+	}
+	in := s.kb.Instance(kb.InstanceID(id))
+	if in == nil {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("no instance %d", id))
+		return
+	}
+	view := InstanceView{
+		ID:          int(in.ID),
+		Class:       string(in.Class),
+		Labels:      append([]string(nil), in.Labels...),
+		Abstract:    in.Abstract,
+		Popularity:  in.Popularity,
+		Provenance:  in.Provenance,
+		IngestEpoch: in.IngestEpoch,
+		Facts:       make(map[string]FactView, len(in.Facts)),
+	}
+	for pid, v := range in.Facts {
+		view.Facts[string(pid)] = FactView{Kind: v.Kind.String(), Value: v.String()}
+	}
+	body := mustMarshal(view)
+	s.cache.put(version, key, body)
+	writeCached(w, http.StatusOK, body)
+}
+
+// SearchHitView is one fuzzy search result.
+type SearchHitView struct {
+	ID         int     `json:"id"`
+	Label      string  `json:"label"`
+	Class      string  `json:"class"`
+	Score      float64 `json:"score"`
+	Provenance string  `json:"provenance,omitempty"`
+}
+
+// SearchView is the GET /v1/search response.
+type SearchView struct {
+	Query     string          `json:"query"`
+	Class     string          `json:"class,omitempty"`
+	KBVersion uint64          `json:"kbVersion"`
+	Hits      []SearchHitView `json:"hits"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if strings.TrimSpace(q) == "" {
+		writeErr(w, http.StatusBadRequest, "missing query parameter q")
+		return
+	}
+	var class kb.ClassID
+	if name := r.URL.Query().Get("class"); name != "" {
+		resolved, ok := s.resolveClass(name, false)
+		if !ok {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("unknown class %q", name))
+			return
+		}
+		class = resolved
+	}
+	k := 10
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 || n > 100 {
+			writeErr(w, http.StatusBadRequest, "k must be an integer in [1, 100]")
+			return
+		}
+		k = n
+	}
+	version := s.kb.Version()
+	key := fmt.Sprintf("s|%s|%d|%s", class, k, q)
+	if body, ok := s.cache.get(version, key); ok {
+		writeCached(w, http.StatusOK, body)
+		return
+	}
+	hits := s.kb.SearchInstances(q, kb.CandidateOpts{K: k, Class: class})
+	view := SearchView{Query: q, Class: string(class), KBVersion: version, Hits: []SearchHitView{}}
+	for _, h := range hits {
+		in := s.kb.Instance(h.Instance)
+		if in == nil {
+			continue
+		}
+		view.Hits = append(view.Hits, SearchHitView{
+			ID:         int(in.ID),
+			Label:      in.Label(),
+			Class:      string(in.Class),
+			Score:      h.Score,
+			Provenance: in.Provenance,
+		})
+	}
+	body := mustMarshal(view)
+	s.cache.put(version, key, body)
+	writeCached(w, http.StatusOK, body)
+}
+
+// CacheStatsView reports response-cache effectiveness.
+type CacheStatsView struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Entries  int    `json:"entries"`
+	Capacity int    `json:"capacity"`
+}
+
+// ClassStatsView is the per-class section of GET /v1/stats.
+type ClassStatsView struct {
+	Epoch   int                `json:"epoch"`
+	Tables  int                `json:"tables"`
+	History []core.IngestStats `json:"history"`
+}
+
+// StatsView is the GET /v1/stats response.
+type StatsView struct {
+	KBVersion   uint64                    `json:"kbVersion"`
+	KBInstances int                       `json:"kbInstances"`
+	Cache       CacheStatsView            `json:"cache"`
+	Classes     map[string]ClassStatsView `json:"classes"`
+	Jobs        map[string]int            `json:"jobs"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	view := StatsView{
+		KBVersion:   s.kb.Version(),
+		KBInstances: s.kb.NumInstances(),
+		Classes:     make(map[string]ClassStatsView, len(s.engines)),
+		Jobs:        map[string]int{},
+	}
+	hits, misses, entries := s.cache.stats()
+	view.Cache = CacheStatsView{Hits: hits, Misses: misses, Entries: entries, Capacity: s.cache.cap}
+	for class, eng := range s.engines {
+		epoch, tableIDs, hist := eng.Published()
+		if hist == nil {
+			hist = []core.IngestStats{}
+		}
+		view.Classes[string(class)] = ClassStatsView{
+			Epoch:   epoch,
+			Tables:  len(tableIDs),
+			History: hist,
+		}
+	}
+	s.jobMu.Lock()
+	for _, j := range s.jobs {
+		view.Jobs[j.status]++
+	}
+	s.jobMu.Unlock()
+	writeJSON(w, http.StatusOK, view)
+}
+
+// ---- write endpoints ----
+
+// RawTable is an inline table in an ingest request. LabelCol is optional;
+// unset means the pipeline's label-attribute detection decides.
+type RawTable struct {
+	Caption  string     `json:"caption,omitempty"`
+	Headers  []string   `json:"headers"`
+	Rows     [][]string `json:"rows"`
+	LabelCol *int       `json:"labelCol,omitempty"`
+}
+
+// IngestRequest is the POST /v1/ingest body: a class plus any mix of
+// corpus table IDs, an "auto" count (the next N not-yet-ingested tables
+// the server has classified for the class), and inline raw tables.
+type IngestRequest struct {
+	Class  string     `json:"class"`
+	Tables []int      `json:"tables,omitempty"`
+	Auto   int        `json:"auto,omitempty"`
+	Raw    []RawTable `json:"raw,omitempty"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	class, ok := s.resolveClass(req.Class, true)
+	if !ok {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("class %q is not served", req.Class))
+		return
+	}
+	s.jobMu.Lock()
+	reason, bad := s.poisoned[class]
+	s.jobMu.Unlock()
+	if bad {
+		writeErr(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("class %s refuses ingests after an engine panic (%s); restart the server", class, reason))
+		return
+	}
+	raw := make([]*webtable.Table, 0, len(req.Raw))
+	for i, rt := range req.Raw {
+		t := &webtable.Table{
+			Caption:  rt.Caption,
+			Headers:  append([]string(nil), rt.Headers...),
+			Cells:    rt.Rows,
+			LabelCol: -1,
+		}
+		if rt.LabelCol != nil {
+			if *rt.LabelCol < 0 || *rt.LabelCol >= len(rt.Headers) {
+				writeErr(w, http.StatusBadRequest, fmt.Sprintf("raw table %d: labelCol %d out of range", i, *rt.LabelCol))
+				return
+			}
+			t.LabelCol = *rt.LabelCol
+		}
+		if err := t.Validate(); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("raw table %d: %v", i, err))
+			return
+		}
+		raw = append(raw, t)
+	}
+	if req.Auto < 0 {
+		writeErr(w, http.StatusBadRequest, "auto must be non-negative")
+		return
+	}
+	j, err := s.enqueue(&job{
+		kind:   jobIngest,
+		class:  class,
+		tables: append([]int(nil), req.Tables...),
+		auto:   req.Auto,
+		raw:    raw,
+	})
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	s.respondJob(w, r, j, http.StatusAccepted)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.snapshotDir == "" {
+		writeErr(w, http.StatusConflict, "no snapshot directory configured")
+		return
+	}
+	j, err := s.enqueue(&job{kind: jobSnapshot})
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	s.respondJob(w, r, j, http.StatusAccepted)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "job ID must be an integer")
+		return
+	}
+	s.jobMu.Lock()
+	j := s.jobs[id]
+	s.jobMu.Unlock()
+	if j == nil {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("no job %d", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.viewJob(j))
+}
+
+// respondJob renders a freshly enqueued job, waiting for completion first
+// when the request carries ?wait=1 (capped by the request context).
+func (s *Server) respondJob(w http.ResponseWriter, r *http.Request, j *job, code int) {
+	if isTrue(r.URL.Query().Get("wait")) {
+		select {
+		case <-j.done:
+			code = http.StatusOK
+		case <-r.Context().Done():
+			// Fall through and report the job as it currently is.
+		}
+	}
+	writeJSON(w, code, s.viewJob(j))
+}
+
+// ---- helpers ----
+
+// resolveClass maps a class ID or paper short name ("Song", "GF-Player")
+// to a class; servedOnly restricts resolution to classes with engines.
+func (s *Server) resolveClass(name string, servedOnly bool) (kb.ClassID, bool) {
+	if id := kb.ClassID(name); s.kb.Class(id) != nil {
+		if !servedOnly {
+			return id, true
+		}
+		_, ok := s.engines[id]
+		return id, ok
+	}
+	for _, class := range s.kb.Classes() {
+		if !strings.EqualFold(kb.ClassShortName(class), name) {
+			continue
+		}
+		if !servedOnly {
+			return class, true
+		}
+		_, ok := s.engines[class]
+		return class, ok
+	}
+	return "", false
+}
+
+// maxRequestBody caps POST bodies (inline raw tables included): a
+// long-running server must not be OOM-able by one unbounded upload.
+const maxRequestBody = 8 << 20
+
+// decodeBody strictly decodes a JSON request body into dst, bounded by
+// maxRequestBody.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	writeCached(w, code, mustMarshal(v))
+}
+
+func writeCached(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(body)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func mustMarshal(v any) []byte {
+	body, err := json.Marshal(v)
+	if err != nil {
+		// Every view type here marshals by construction; an error is a
+		// programming bug worth failing loudly on.
+		panic(fmt.Sprintf("serve: marshaling response: %v", err))
+	}
+	return append(body, '\n')
+}
+
+func isTrue(v string) bool {
+	return v == "1" || strings.EqualFold(v, "true")
+}

@@ -118,6 +118,16 @@ func NewCorpus(tables []*Table) *Corpus {
 	return &Corpus{Tables: tables}
 }
 
+// Append adds a table to the corpus, assigning it the next sequential ID,
+// and returns that ID. Append is not safe for concurrent use with readers
+// of the corpus: the serve layer calls it only from its single-writer
+// ingest loop, immediately before handing the new ID to the engine.
+func (c *Corpus) Append(t *Table) int {
+	t.ID = len(c.Tables)
+	c.Tables = append(c.Tables, t)
+	return t.ID
+}
+
 // Table returns the table with the given ID, or nil.
 func (c *Corpus) Table(id int) *Table {
 	if id < 0 || id >= len(c.Tables) {
