@@ -10,6 +10,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/bench"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/kb"
@@ -445,10 +446,22 @@ func BenchmarkServeLookup(b *testing.B) {
 	b.Run("uncached", func(b *testing.B) { benchServeGet(b, uncached, serveBenchLookup) })
 }
 
-// BenchmarkServeSearch measures fuzzy label search through the serving
-// stack, cached vs uncached.
+// BenchmarkServeSearch measures fuzzy label search (a query with one
+// misspelled token, so the index's fuzzy fallback runs on every cache
+// miss) through the serving stack: warm (LRU response cache hit), cold
+// (cache disabled, deletion-neighborhood posting index), and oldscan
+// (cache disabled, reference length-bucketed vocabulary scan). These are
+// the tracked serve-layer numbers of BENCH_hotpath.json; see also
+// internal/bench.
 func BenchmarkServeSearch(b *testing.B) {
-	cached, uncached := serveBenchSetup(b)
-	b.Run("cached", func(b *testing.B) { benchServeGet(b, cached, serveBenchSearch) })
-	b.Run("uncached", func(b *testing.B) { benchServeGet(b, uncached, serveBenchSearch) })
+	b.Run("warm", bench.ServeSearchWarm)
+	b.Run("cold", bench.ServeSearchCold)
+	b.Run("oldscan", bench.ServeSearchOldScan)
+}
+
+// BenchmarkClusterGreedy measures the parallel greedy correlation
+// clustering (blocking on, KLj off) over prepared rows — the per-pair
+// similarity scoring hot path. Tracked in BENCH_hotpath.json.
+func BenchmarkClusterGreedy(b *testing.B) {
+	bench.ClusterGreedy(b)
 }

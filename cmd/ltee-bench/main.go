@@ -1,0 +1,193 @@
+// Command ltee-bench runs the repo's tracked hot-path benchmarks in
+// process (via testing.Benchmark) and emits machine-readable
+// BENCH_hotpath.json — ns/op, B/op and allocs/op per benchmark — so the
+// repo carries a perf trajectory and CI can hold every PR to it.
+//
+// Usage:
+//
+//	ltee-bench                             # full run, writes BENCH_hotpath.json
+//	ltee-bench -short                      # CI smoke: tiny benchtime
+//	ltee-bench -baseline BENCH_hotpath.json
+//	                                       # compare allocs/op against a
+//	                                       # previous run; exit 1 on regression
+//	ltee-bench -run 'ServeSearch' -out -   # subset, JSON to stdout
+//
+// The -baseline file is simply a previous output file: any tracked
+// benchmark present in both runs whose allocs/op exceeds the baseline by
+// more than -slack (default 25%) fails the run. allocs/op is the compared
+// metric because it is stable across machines; ns/op is recorded for
+// trend-reading, not gating.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the BENCH_hotpath.json document.
+type Report struct {
+	GeneratedBy string   `json:"generated_by"`
+	BenchTime   string   `json:"benchtime"`
+	Benchmarks  []Result `json:"benchmarks"`
+	// Baseline echoes the compared baseline results (when -baseline was
+	// given), so one file records before and after side by side.
+	Baseline []Result `json:"baseline,omitempty"`
+	// Regressions lists benchmarks whose allocs/op regressed beyond the
+	// slack; non-empty means the run failed.
+	Regressions []string `json:"regressions,omitempty"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ltee-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "BENCH_hotpath.json", "output file (- for stdout)")
+	baselineFile := fs.String("baseline", "", "previous BENCH_hotpath.json to gate allocs/op against")
+	benchtime := fs.String("benchtime", "", "testing benchtime (e.g. 1s, 100x); default 1s, or 20ms with -short")
+	short := fs.Bool("short", false, "smoke mode: minimal benchtime for CI")
+	slack := fs.Float64("slack", 0.25, "allowed fractional allocs/op increase over the baseline")
+	runPat := fs.String("run", "", "only run benchmarks matching this regexp")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	bt := *benchtime
+	if bt == "" {
+		bt = "1s"
+		if *short {
+			bt = "20ms"
+		}
+	}
+	// Register the testing flags (test.benchtime drives
+	// testing.Benchmark); in a test binary they already exist.
+	if flag.Lookup("test.benchtime") == nil {
+		testing.Init()
+	}
+	if err := flag.Set("test.benchtime", bt); err != nil {
+		fmt.Fprintf(stderr, "bad -benchtime %q: %v\n", bt, err)
+		return 2
+	}
+
+	var filter *regexp.Regexp
+	if *runPat != "" {
+		re, err := regexp.Compile(*runPat)
+		if err != nil {
+			fmt.Fprintf(stderr, "bad -run pattern: %v\n", err)
+			return 2
+		}
+		filter = re
+	}
+
+	report := Report{GeneratedBy: "ltee-bench", BenchTime: bt}
+	for _, nb := range bench.All() {
+		if filter != nil && !filter.MatchString(nb.Name) {
+			continue
+		}
+		fmt.Fprintf(stderr, "running %-22s ", nb.Name)
+		r := testing.Benchmark(nb.Fn)
+		res := Result{
+			Name:        nb.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		fmt.Fprintf(stderr, "%12.0f ns/op %12d B/op %10d allocs/op\n",
+			res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		report.Benchmarks = append(report.Benchmarks, res)
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "no benchmarks matched")
+		return 2
+	}
+
+	if *baselineFile != "" {
+		base, err := loadReport(*baselineFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "baseline: %v\n", err)
+			return 2
+		}
+		report.Baseline = base.Benchmarks
+		report.Regressions = regressions(report.Benchmarks, base.Benchmarks, *slack)
+	}
+
+	body, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "marshal: %v\n", err)
+		return 1
+	}
+	body = append(body, '\n')
+	if *out == "-" {
+		stdout.Write(body)
+	} else if err := os.WriteFile(*out, body, 0o644); err != nil {
+		fmt.Fprintf(stderr, "write %s: %v\n", *out, err)
+		return 1
+	}
+
+	if len(report.Regressions) > 0 {
+		for _, r := range report.Regressions {
+			fmt.Fprintf(stderr, "REGRESSION: %s\n", r)
+		}
+		return 1
+	}
+	return 0
+}
+
+// loadReport reads a previous output file for baseline comparison.
+func loadReport(path string) (*Report, error) {
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(body, &r); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// regressions compares allocs/op per benchmark against the baseline,
+// returning a message per benchmark exceeding baseline·(1+slack).
+// Benchmarks missing on either side are skipped (new benchmarks are not
+// regressions; removed ones are caught in review).
+func regressions(cur, base []Result, slack float64) []string {
+	baseBy := make(map[string]Result, len(base))
+	for _, r := range base {
+		baseBy[r.Name] = r
+	}
+	var out []string
+	for _, r := range cur {
+		b, ok := baseBy[r.Name]
+		if !ok {
+			continue
+		}
+		limit := float64(b.AllocsPerOp) * (1 + slack)
+		if float64(r.AllocsPerOp) > limit {
+			out = append(out, fmt.Sprintf("%s: %d allocs/op > baseline %d (+%.0f%% slack)",
+				r.Name, r.AllocsPerOp, b.AllocsPerOp, slack*100))
+		}
+	}
+	return out
+}

@@ -24,6 +24,10 @@
 // With -snapshot DIR the server loads any existing snapshot at startup
 // (warm start: earlier discoveries and epoch counters survive restarts)
 // and saves a final snapshot on SIGINT/SIGTERM before shutting down.
+//
+// With -pprof the net/http/pprof endpoints are mounted under
+// /debug/pprof/ so the live server can be profiled
+// (go tool pprof http://host/debug/pprof/profile?seconds=10).
 package main
 
 import (
@@ -34,6 +38,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -69,6 +74,7 @@ type config struct {
 	iterations   int
 	train        bool
 	cacheEntries int
+	pprof        bool
 }
 
 // parseFlags parses the command line into a config (split from run so flag
@@ -88,6 +94,7 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.IntVar(&cfg.iterations, "iterations", 2, "pipeline iterations per ingest epoch")
 	fs.BoolVar(&cfg.train, "train", false, "train the learned models at startup (slower start, better matching)")
 	fs.IntVar(&cfg.cacheEntries, "cache", 1024, "response cache entries (negative disables)")
+	fs.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof endpoints under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -189,7 +196,23 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		srv.Close()
 		return 1
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if cfg.pprof {
+		// Mount the pprof endpoints next to the API (off by default:
+		// profiles expose internals, so they are opt-in). Profile the
+		// live server with e.g.
+		//   go tool pprof http://localhost:8080/debug/pprof/profile?seconds=10
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", handler)
+		handler = outer
+		fmt.Fprintln(stdout, "pprof enabled at /debug/pprof/")
+	}
+	httpSrv := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 	fmt.Fprintf(stdout, "listening on %s\n", ln.Addr())

@@ -77,6 +77,9 @@ func startServer(t *testing.T, snapshotDir string) *serverProc {
 		"-world", "0.2", "-corpus", "0.12",
 		"-iterations", "1",
 		"-snapshot", snapshotDir,
+		// All API assertions below run through the pprof outer mux, so
+		// the delegation to the serve handler is covered too.
+		"-pprof",
 	}
 	ready := make(chan string, 1)
 	var stderr bytes.Buffer
@@ -154,6 +157,12 @@ func TestLteeServeEndToEnd(t *testing.T) {
 	var health map[string]string
 	if code := p.get(t, "/healthz", &health); code != 200 || health["status"] != "ok" {
 		t.Fatalf("healthz = %d %v", code, health)
+	}
+	// -pprof mounts the profiling index next to the API.
+	if resp, err := http.Get("http://" + p.addr + "/debug/pprof/"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("pprof index: %v %v", err, resp)
+	} else {
+		resp.Body.Close()
 	}
 	var classes []serve.ClassView
 	p.get(t, "/v1/classes", &classes)

@@ -15,6 +15,8 @@
 //	                           # new entities back into the KB after each
 //	                           # epoch and printing per-epoch KB growth
 //	ltee -world 0.3 -corpus 0.2 -seed 7 -table 11
+//	ltee -all -cpuprofile cpu.pprof -memprofile mem.pprof
+//	                           # profile a full run (see README "Performance")
 //
 // With -workers N (default GOMAXPROCS; 1 = fully serial) the suite trains
 // per-class models concurrently and -all generates all tables in parallel,
@@ -27,6 +29,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -56,6 +60,8 @@ type config struct {
 	workers       int
 	weights       bool
 	ablation      bool
+	cpuProfile    string
+	memProfile    string
 }
 
 // parseFlags parses the command line into a config (split from run so flag
@@ -74,6 +80,8 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.IntVar(&cfg.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	fs.BoolVar(&cfg.weights, "weights", false, "print learned matcher weights (§3.1 analysis)")
 	fs.BoolVar(&cfg.ablation, "ablation", false, "print the aggregation-strategy ablation (§3.2)")
+	fs.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -103,6 +111,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if err != nil {
 		return 2
+	}
+
+	// Profiling hooks (-cpuprofile / -memprofile): hot-path work in this
+	// repo is profile-driven, not guessed — see README "Performance".
+	if cfg.cpuProfile != "" {
+		f, ferr := os.Create(cfg.cpuProfile)
+		if ferr != nil {
+			fmt.Fprintf(stderr, "cpuprofile: %v\n", ferr)
+			return 2
+		}
+		defer f.Close()
+		if perr := pprof.StartCPUProfile(f); perr != nil {
+			fmt.Fprintf(stderr, "cpuprofile: %v\n", perr)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if cfg.memProfile != "" {
+		defer func() {
+			f, ferr := os.Create(cfg.memProfile)
+			if ferr != nil {
+				fmt.Fprintf(stderr, "memprofile: %v\n", ferr)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live heap
+			if perr := pprof.WriteHeapProfile(f); perr != nil {
+				fmt.Fprintf(stderr, "memprofile: %v\n", perr)
+			}
+		}()
 	}
 
 	s := report.NewSuite(report.Options{

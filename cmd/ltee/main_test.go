@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -149,5 +151,42 @@ func TestRunIngestUnknownClass(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "unknown class") {
 		t.Errorf("missing diagnostic: %q", stderr.String())
+	}
+}
+
+// TestRunWritesProfiles exercises the -cpuprofile/-memprofile hooks: both
+// files must exist and be non-empty after a small run.
+func TestRunWritesProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite build; skipped in -short")
+	}
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-table", "1", "-world", "0.15", "-corpus", "0.08",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestRunBadProfilePath: an unwritable profile path is a usage error, not
+// a panic.
+func TestRunBadProfilePath(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-table", "1", "-cpuprofile", "/nonexistent-dir/x.pprof"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
 	}
 }

@@ -67,6 +67,19 @@
 // re-ingesting. BenchmarkServeLookup and BenchmarkServeSearch establish
 // the serving-path latency numbers, cached vs uncached.
 //
+// # Performance
+//
+// internal/strsim is the allocation-free, memoizing similarity kernel
+// every stage bottoms out in: pooled ASCII-fast Levenshtein, the banded
+// bounded variants, interned tokens with a Monge-Elkan pair memo, and
+// PreparedLabel forms threaded through cluster, match, newdet and the
+// label index (whose fuzzy fallback runs on a single-deletion
+// neighborhood index). Optimized kernels are provably equivalent to the
+// retained naive references. cmd/ltee-bench runs the tracked hot-path
+// benchmarks and emits BENCH_hotpath.json, gated in CI against
+// bench_baseline.json; cmd/ltee takes -cpuprofile/-memprofile and
+// cmd/ltee-serve mounts net/http/pprof behind -pprof.
+//
 // The benchmarks in bench_test.go regenerate every evaluation table of the
 // paper; cmd/ltee prints them (the -workers flag drives all tables in
 // parallel), and examples/ holds runnable end-to-end scenarios.

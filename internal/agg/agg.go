@@ -7,6 +7,7 @@ package agg
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/ml"
 )
@@ -25,9 +26,32 @@ type Example struct {
 }
 
 // Aggregator maps a feature vector to a normalized match score in [-1, 1].
+//
+// Contract: Score must not retain or mutate f's slices after returning —
+// the scoring hot paths (cluster.Scorer.Pair, newdet.Detector.Score)
+// recycle feature vectors through BorrowFeatures/ReturnFeatures.
 type Aggregator interface {
 	Score(f Features) float64
 }
+
+// featuresPool backs BorrowFeatures/ReturnFeatures.
+var featuresPool = sync.Pool{New: func() any { return new(Features) }}
+
+// BorrowFeatures returns a pooled feature vector with n slots per side
+// (contents unspecified; callers overwrite every slot). Pair-scoring hot
+// paths wrap an Aggregator.Score call in BorrowFeatures/ReturnFeatures;
+// the Aggregator contract above is what makes the recycling safe.
+func BorrowFeatures(n int) *Features {
+	f := featuresPool.Get().(*Features)
+	if cap(f.Scores) < n {
+		f.Scores, f.Confs = make([]float64, n), make([]float64, n)
+	}
+	f.Scores, f.Confs = f.Scores[:n], f.Confs[:n]
+	return f
+}
+
+// ReturnFeatures recycles f; the caller must not touch it afterwards.
+func ReturnFeatures(f *Features) { featuresPool.Put(f) }
 
 // WeightedAverage aggregates metric scores by a learned weighted average
 // with a learned decision threshold. Confidences are not considered (as in
@@ -121,15 +145,37 @@ type ForestAggregator struct {
 	nMetrics int
 }
 
+// fvPool recycles the flattened feature vectors of ForestAggregator.Score
+// (Forest.Predict only reads them), keeping the scoring hot path
+// allocation-free. Package-level rather than per-aggregator so learned
+// models stay plain comparable data (determinism tests DeepEqual them).
+var fvPool = sync.Pool{New: func() any { return new([]float64) }}
+
 // Score predicts the normalized match score.
 func (fa *ForestAggregator) Score(f Features) float64 {
-	return clamp(fa.Forest.Predict(featureVector(f, fa.nMetrics)))
+	n := 2 * fa.nMetrics
+	xp := fvPool.Get().(*[]float64)
+	if cap(*xp) < n {
+		*xp = make([]float64, n)
+	}
+	x := (*xp)[:n]
+	fillFeatureVector(x, f, fa.nMetrics)
+	v := clamp(fa.Forest.Predict(x))
+	*xp = x
+	fvPool.Put(xp)
+	return v
 }
 
 // featureVector lays out [score_0, conf_0, score_1, conf_1, ...].
 func featureVector(f Features, nMetrics int) []float64 {
 	x := make([]float64, 2*nMetrics)
+	fillFeatureVector(x, f, nMetrics)
+	return x
+}
+
+func fillFeatureVector(x []float64, f Features, nMetrics int) {
 	for i := 0; i < nMetrics; i++ {
+		x[2*i], x[2*i+1] = 0, 0
 		if i < len(f.Scores) {
 			x[2*i] = f.Scores[i]
 		}
@@ -137,7 +183,6 @@ func featureVector(f Features, nMetrics int) []float64 {
 			x[2*i+1] = f.Confs[i]
 		}
 	}
-	return x
 }
 
 // LearnForest trains the forest aggregator, selecting hyperparameters by

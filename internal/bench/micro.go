@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/strsim"
+)
+
+// microLabels is a deterministic mix of the label shapes the pipeline
+// compares: short/long, ASCII and non-ASCII, near-duplicates and
+// unrelated strings.
+var microLabels = []string{
+	"Aaron Rodgers",
+	"Aron Rodgers (QB)",
+	"Green Bay Packers",
+	"green bay packers 2010",
+	"Yesterday",
+	"Yeserday — The Beatles",
+	"São Paulo",
+	"Sao Paolo settlement",
+	"Zürich",
+	"zurich (kanton)",
+	"The Long and Winding Road",
+	"long & winding road",
+}
+
+// Levenshtein measures the raw edit-distance kernel over all label pairs.
+func Levenshtein(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range microLabels {
+			for _, y := range microLabels {
+				strsim.Levenshtein(x, y)
+			}
+		}
+	}
+}
+
+// LevenshteinSim measures the normalized similarity over all label pairs.
+func LevenshteinSim(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range microLabels {
+			for _, y := range microLabels {
+				strsim.LevenshteinSim(x, y)
+			}
+		}
+	}
+}
+
+// MongeElkanSym measures the symmetric Monge-Elkan similarity (the LABEL
+// metrics' kernel) over all label pairs.
+func MongeElkanSym(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range microLabels {
+			for _, y := range microLabels {
+				strsim.MongeElkanSym(x, y)
+			}
+		}
+	}
+}
+
+// TermVector measures term-vector construction plus cosine over all label
+// pairs (the BOW metrics' kernel shape).
+func TermVector(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range microLabels {
+			vx := strsim.BinaryTermVector(x)
+			for _, y := range microLabels {
+				strsim.Cosine(vx, strsim.BinaryTermVector(y))
+			}
+		}
+	}
+}

@@ -1,0 +1,10 @@
+package bench
+
+import "repro/internal/index"
+
+// useScanFuzzy forces the label index onto the reference length-bucketed
+// fuzzy scan and returns a restore func.
+func useScanFuzzy() func() {
+	index.SetScanFuzzy(true)
+	return func() { index.SetScanFuzzy(false) }
+}

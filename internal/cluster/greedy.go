@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/par"
 	"repro/internal/webtable"
@@ -74,6 +75,18 @@ type clusterer struct {
 	// blockIndex maps a block label to the set of cluster IDs whose rows
 	// carry that block.
 	blockIndex map[string]map[int]bool
+	// scratch recycles the candidate-gathering state of bestCluster
+	// across rows and worker goroutines.
+	scratch sync.Pool
+}
+
+// bestScratch is the per-call working state of bestCluster: a visited set
+// and the sorted candidate list. Reused via clusterer.scratch; seen is
+// cleared on the way out (by the candidates just gathered, so clearing is
+// O(candidates)).
+type bestScratch struct {
+	seen map[int]bool
+	cand []int
 }
 
 // greedy sequentially applies batches; scores within a batch are computed
@@ -112,26 +125,8 @@ func (c *clusterer) greedy(rows []*Row) {
 // Candidates are visited in ascending cluster ID so that score ties resolve
 // deterministically (map iteration order must not leak into the result).
 func (c *clusterer) bestCluster(row *Row) (int, float64) {
-	var candidates []int
-	if c.opts.Blocking {
-		seen := make(map[int]bool)
-		for _, b := range row.Blocks {
-			for ci := range c.blockIndex[b] {
-				if !seen[ci] {
-					seen[ci] = true
-					candidates = append(candidates, ci)
-				}
-			}
-		}
-		sort.Ints(candidates)
-	} else {
-		candidates = make([]int, len(c.clusters))
-		for ci := range candidates {
-			candidates[ci] = ci
-		}
-	}
 	best, bestScore := -1, 0.0
-	for _, ci := range candidates {
+	score := func(ci int) {
 		cl := c.clusters[ci]
 		var sum float64
 		for _, other := range cl.rows {
@@ -141,6 +136,34 @@ func (c *clusterer) bestCluster(row *Row) (int, float64) {
 			best, bestScore = ci, sum
 		}
 	}
+	if !c.opts.Blocking {
+		// Without blocking every cluster is a candidate; iterate
+		// directly, already in ascending ID order.
+		for ci := range c.clusters {
+			score(ci)
+		}
+		return best, bestScore
+	}
+	sc, _ := c.scratch.Get().(*bestScratch)
+	if sc == nil {
+		sc = &bestScratch{seen: make(map[int]bool, 64)}
+	}
+	cand := sc.cand[:0]
+	for _, b := range row.Blocks {
+		for ci := range c.blockIndex[b] {
+			if !sc.seen[ci] {
+				sc.seen[ci] = true
+				cand = append(cand, ci)
+			}
+		}
+	}
+	sort.Ints(cand)
+	for _, ci := range cand {
+		delete(sc.seen, ci)
+		score(ci)
+	}
+	sc.cand = cand
+	c.scratch.Put(sc)
 	return best, bestScore
 }
 

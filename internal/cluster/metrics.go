@@ -36,20 +36,33 @@ func MetricPrefix(n int) []Metric {
 }
 
 // LABEL: Monge-Elkan similarity (Levenshtein inner) of the row labels.
+// Builder-prepared rows compare their interned token forms (no
+// re-tokenization, memoized token pairs); hand-built rows fall back to the
+// string kernel, which computes exactly the same values.
 type labelMetric struct{}
 
 func (labelMetric) Name() string { return "LABEL" }
 
 func (labelMetric) Compare(a, b *Row) (float64, float64) {
+	if a.Prep != nil && b.Prep != nil {
+		return a.Prep.MongeElkanSym(b.Prep), 1
+	}
 	return strsim.MongeElkanSym(a.NormLabel, b.NormLabel), 1
 }
 
 // BOW: cosine similarity of the binary term vectors over all row cells.
+// Builder-prepared rows carry their vector in sorted sparse form with the
+// norm cached, so the cosine is a merge join with no hashing; the values
+// are exactly the map-based ones (binary weights make every accumulation
+// order-independent).
 type bowMetric struct{}
 
 func (bowMetric) Name() string { return "BOW" }
 
 func (bowMetric) Compare(a, b *Row) (float64, float64) {
+	if a.bowPrepared && b.bowPrepared {
+		return strsim.CosineSparse(a.bowVec, b.bowVec), 1
+	}
 	return strsim.Cosine(a.BOW, b.BOW), 1
 }
 
@@ -106,8 +119,13 @@ func (m implicitMetric) Compare(a, b *Row) (float64, float64) {
 	pairs := 0
 	direction := func(x, y *Row) {
 		// Fixed property order: confSum accumulates floats, so map
-		// iteration order must not leak into the score.
-		for _, pid := range kb.SortedPropertyIDs(x.Implicit) {
+		// iteration order must not leak into the score. Builder-prepared
+		// rows carry the order precomputed per table.
+		order := x.implicitOrder
+		if order == nil && len(x.Implicit) > 0 {
+			order = kb.SortedPropertyIDs(x.Implicit)
+		}
+		for _, pid := range order {
 			ia := x.Implicit[pid]
 			// Implicit vs the other table's implicit attribute.
 			if ib, ok := y.Implicit[pid]; ok {

@@ -34,6 +34,19 @@ type Row struct {
 	TableVec strsim.SparseVec
 	// Blocks are the normalized label blocks assigned by the blocker.
 	Blocks []string
+	// Prep is the prepared (tokenized and interned) form of NormLabel,
+	// set by Builder.Build so the LABEL metric never re-tokenizes. Nil
+	// for hand-built rows; the metrics fall back to the string kernels.
+	Prep *strsim.PreparedLabel
+	// bowVec is BOW in sorted sparse form with its norm cached, set with
+	// bowPrepared by Builder.Build; the BOW metric then runs an
+	// allocation-free merge join instead of hashing map keys per pair.
+	bowVec      strsim.SparseVec
+	bowPrepared bool
+	// implicitOrder is kb.SortedPropertyIDs(Implicit), computed once per
+	// table (rows of a table share the Implicit map) so the IMPLICIT_ATT
+	// metric does not sort property IDs on every pair comparison.
+	implicitOrder []kb.PropertyID
 }
 
 // ImplicitAttr is one implicit property-value combination derived for a
@@ -103,6 +116,7 @@ func (b *Builder) Build(tableIDs []int) []*Row {
 			continue
 		}
 		implicit := b.implicitAttrs(t, cfg)
+		implicitOrder := kb.SortedPropertyIDs(implicit)
 		var tableLabels []string
 		for r := 0; r < t.NumRows(); r++ {
 			label := t.RowLabel(r)
@@ -111,12 +125,17 @@ func (b *Builder) Build(tableIDs []int) []*Row {
 				continue
 			}
 			tableLabels = append(tableLabels, norm)
+			bow := rowBOW(t, r)
 			row := &Row{
-				Ref:       webtable.RowRef{Table: tid, Row: r},
-				Label:     label,
-				NormLabel: norm,
-				BOW:       rowBOW(t, r),
-				Implicit:  implicit,
+				Ref:           webtable.RowRef{Table: tid, Row: r},
+				Label:         label,
+				NormLabel:     norm,
+				BOW:           bow,
+				Implicit:      implicit,
+				Prep:          strsim.PrepareCached(norm),
+				bowVec:        strsim.ToSparse(bow),
+				bowPrepared:   true,
+				implicitOrder: implicitOrder,
 			}
 			if m := b.Mapping[tid]; m != nil {
 				row.Values = extractValues(b.KB, b.Class, t, r, m)
@@ -269,4 +288,3 @@ func (b *Builder) implicitAttrs(t *webtable.Table, cfg BuildConfig) map[kb.Prope
 	}
 	return out
 }
-

@@ -6,27 +6,40 @@ import (
 
 // Scorer combines a metric set with an aggregator into the row similarity
 // function used by the clustering algorithms: a normalized score in
-// [-1, 1], positive meaning "same instance".
+// [-1, 1], positive meaning "same instance". Pair is safe for concurrent
+// use (the greedy pass scores batches in parallel) and allocation-free:
+// feature vectors cycle through a pool, which agg.Aggregator's contract
+// (Score must not retain the slices) makes safe.
 type Scorer struct {
 	Metrics []Metric
 	Agg     agg.Aggregator
 }
 
-// Features evaluates all metrics on a pair.
+// Features evaluates all metrics on a pair. The result is freshly
+// allocated and may be retained (learning keeps features in Examples);
+// the scoring hot path is Pair, which recycles its vectors instead.
 func (s *Scorer) Features(a, b *Row) agg.Features {
 	f := agg.Features{
 		Scores: make([]float64, len(s.Metrics)),
 		Confs:  make([]float64, len(s.Metrics)),
 	}
+	s.featuresInto(&f, a, b)
+	return f
+}
+
+func (s *Scorer) featuresInto(f *agg.Features, a, b *Row) {
 	for i, m := range s.Metrics {
 		f.Scores[i], f.Confs[i] = m.Compare(a, b)
 	}
-	return f
 }
 
 // Pair returns the aggregated, normalized similarity of two rows.
 func (s *Scorer) Pair(a, b *Row) float64 {
-	return s.Agg.Score(s.Features(a, b))
+	f := agg.BorrowFeatures(len(s.Metrics))
+	s.featuresInto(f, a, b)
+	score := s.Agg.Score(*f)
+	agg.ReturnFeatures(f)
+	return score
 }
 
 // PairExample is a labeled row pair for learning the aggregators.

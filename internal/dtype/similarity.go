@@ -52,9 +52,13 @@ func (t Thresholds) Similarity(a, b Value) float64 {
 	case ka == Quantity && kb == Quantity:
 		return quantitySim(a.Num, b.Num, t.QuantityTol)
 	case ka == InstanceReference || kb == InstanceReference:
-		return strsim.MongeElkanSym(a.Str, b.Str)
+		// Value strings recur across rows and instances (the same fact
+		// values are compared over and over by the ATTRIBUTE and
+		// IMPLICIT_ATT metrics); the prepared-label cache tokenizes each
+		// distinct string once per process.
+		return strsim.MongeElkanSymCached(a.Str, b.Str)
 	default: // Text vs Text
-		return strsim.MongeElkanSym(a.Str, b.Str)
+		return strsim.MongeElkanSymCached(a.Str, b.Str)
 	}
 }
 

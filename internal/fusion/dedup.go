@@ -113,8 +113,9 @@ func Deduplicate(src *Sources, entities []*Entity, cfg DedupConfig) []*Entity {
 func mergeable(src *Sources, a, b *Entity, cfg DedupConfig) bool {
 	best := 0.0
 	for _, la := range a.Labels {
+		pa := strsim.PrepareCached(la)
 		for _, lb := range b.Labels {
-			if s := strsim.MongeElkanSym(la, lb); s > best {
+			if s := pa.MongeElkanSym(strsim.PrepareCached(lb)); s > best {
 				best = s
 			}
 		}

@@ -1,0 +1,125 @@
+package index
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// randASCIIWord generates a lowercase word of 4-10 letters.
+func randASCIIWord(rng *rand.Rand) string {
+	n := 4 + rng.Intn(7)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(6)) // narrow alphabet → many near-misses
+	}
+	return string(b)
+}
+
+// TestFuzzyMatchesAgreeWithScan proves the deletion-neighborhood index
+// retrieves exactly the distance-1 vocabulary the reference scan did (on
+// ASCII vocabularies, where the scan's byte-length buckets are exact).
+func TestFuzzyMatchesAgreeWithScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ix := New()
+	for i := 0; i < 400; i++ {
+		ix.Add(i, randASCIIWord(rng)+" "+randASCIIWord(rng))
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	for i := 0; i < 500; i++ {
+		q := randASCIIWord(rng)
+		if _, exact := ix.postings[q]; exact {
+			continue // Search would not fall back for this token
+		}
+		fast := ix.fuzzyMatches(q)
+		slow := ix.scanMatches(q)
+		sort.Strings(slow)
+		if len(fast) == 0 && len(slow) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(fast, slow) {
+			t.Fatalf("fuzzyMatches(%q) = %v, scan = %v", q, fast, slow)
+		}
+	}
+}
+
+// TestSearchEquivalentAcrossStrategies proves full Search retrieval is
+// unchanged by the deletion index: same documents, same scores (to float
+// accumulation-order rounding), same ranking.
+func TestSearchEquivalentAcrossStrategies(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	ix := New()
+	words := make([]string, 0, 300)
+	for i := 0; i < 300; i++ {
+		w := randASCIIWord(rng)
+		words = append(words, w)
+		ix.Add(i, fmt.Sprintf("%s %s %d", w, randASCIIWord(rng), i%17))
+	}
+	for i := 0; i < 200; i++ {
+		// Query with one misspelled vocabulary word, so the fuzzy path
+		// carries the score.
+		w := words[rng.Intn(len(words))]
+		q := w[:len(w)-1] + "zq"
+		got := ix.Search(q, 10)
+		SetScanFuzzy(true)
+		want := ix.Search(q, 10)
+		SetScanFuzzy(false)
+		if len(got) != len(want) {
+			t.Fatalf("Search(%q): %d hits via deletion index, %d via scan", q, len(got), len(want))
+		}
+		for j := range got {
+			if got[j].Doc != want[j].Doc {
+				t.Fatalf("Search(%q) hit %d: doc %d vs %d", q, j, got[j].Doc, want[j].Doc)
+			}
+			if math.Abs(got[j].Score-want[j].Score) > 1e-9 {
+				t.Fatalf("Search(%q) hit %d: score %v vs %v", q, j, got[j].Score, want[j].Score)
+			}
+		}
+	}
+}
+
+// TestFuzzyUnicodeRecall documents the recall improvement over the scan:
+// a one-rune substitution that changes the byte length by two (ASCII →
+// 3-byte rune) was invisible to the byte-length-bucketed scan but is
+// found by the deletion-neighborhood index.
+func TestFuzzyUnicodeRecall(t *testing.T) {
+	ix := New()
+	ix.Add(1, "tok東yo sights")     // vocab token "tok東yo"
+	hits := ix.Search("tokayo", 5) // one substitution away, byte length 6 vs 8
+	found := false
+	for _, h := range hits {
+		if h.Doc == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("deletion index did not find the multi-byte substitution neighbor")
+	}
+}
+
+// BenchmarkFuzzySearch measures a fuzzy (misspelled-token) search through
+// both strategies at a realistic vocabulary size.
+func BenchmarkFuzzySearch(b *testing.B) {
+	ix := New()
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 10000; i++ {
+		ix.Add(i, randASCIIWord(rng)+" "+randASCIIWord(rng))
+	}
+	run := func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ix.Search("abcdzq misspeled", 20)
+		}
+	}
+	b.Run("deletion-index", run)
+	b.Run("scan", func(b *testing.B) {
+		SetScanFuzzy(true)
+		defer SetScanFuzzy(false)
+		run(b)
+	})
+}

@@ -10,9 +10,22 @@ package index
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
+	"unicode/utf8"
 
 	"repro/internal/strsim"
 )
+
+// scanFuzzy, when set, forces Search's fuzzy fallback onto the reference
+// length-bucketed vocabulary scan instead of the deletion-neighborhood
+// posting index. It exists for benchmarks (quantifying the index win) and
+// equivalence tests (both strategies must retrieve the same documents);
+// production code never sets it.
+var scanFuzzy atomic.Bool
+
+// SetScanFuzzy toggles the reference fuzzy-scan fallback. Benchmark and
+// test knob only.
+func SetScanFuzzy(v bool) { scanFuzzy.Store(v) }
 
 // Index is an inverted token index over string labels. Each added label is
 // associated with a caller-chosen document ID; several labels may share an
@@ -26,12 +39,30 @@ type Index struct {
 	postings map[string][]posting // token -> docs containing it
 	docFreq  map[string]int       // token -> number of distinct docs
 	labels   map[int][]string     // doc -> normalized labels
-	// byLen buckets the vocabulary by token length so the per-token fuzzy
-	// fallback scans only near-length tokens instead of the whole
-	// vocabulary (the fallback sits on the hot Candidates path).
-	byLen   map[int][]string
-	numDocs int
+	// byLen buckets the vocabulary by token length. It backs the
+	// reference fuzzy scan (SetScanFuzzy), kept so benchmarks and
+	// equivalence tests can compare strategies.
+	byLen map[int][]string
+	// delNeighbors is the single-deletion neighborhood index behind the
+	// fuzzy fallback (the SymSpell construction): every vocabulary token
+	// is filed under itself and each of its one-rune-deleted variants.
+	// Two tokens within edit distance one necessarily share an entry
+	// (equal, one a deletion of the other, or both deleting down to the
+	// same variant on a substitution), so a query token reaches its
+	// distance-1 vocabulary in O(|token|) map lookups plus a
+	// bounded-Levenshtein verification per candidate — instead of
+	// scanning every near-length vocabulary token. On ASCII vocabularies
+	// it retrieves exactly the tokens the reference scan did; on
+	// multi-byte vocabularies it additionally finds distance-1 tokens
+	// whose byte length differs by more than one (which the
+	// byte-length-bucketed scan missed).
+	delNeighbors map[string][]string
+	numDocs      int
 }
+
+// minFuzzyQueryLen is the minimum query-token byte length for the fuzzy
+// fallback (an edit on a 1-3 letter token changes its identity).
+const minFuzzyQueryLen = 4
 
 type posting struct {
 	doc int
@@ -41,10 +72,11 @@ type posting struct {
 // New returns an empty index.
 func New() *Index {
 	return &Index{
-		postings: make(map[string][]posting),
-		docFreq:  make(map[string]int),
-		labels:   make(map[int][]string),
-		byLen:    make(map[int][]string),
+		postings:     make(map[string][]posting),
+		docFreq:      make(map[string]int),
+		labels:       make(map[int][]string),
+		byLen:        make(map[int][]string),
+		delNeighbors: make(map[string][]string),
 	}
 }
 
@@ -82,6 +114,7 @@ func (ix *Index) Add(doc int, label string) {
 		}
 		if len(ps) == 0 {
 			ix.byLen[len(t)] = append(ix.byLen[len(t)], t)
+			ix.indexDeletions(t)
 		}
 		ix.postings[t] = append(ps, posting{doc: doc, tf: float64(counts[t]) / float64(len(toks))})
 	}
@@ -137,21 +170,20 @@ func (ix *Index) Search(label string, k int) []Hit {
 			}
 			continue
 		}
-		// Fuzzy fallback, per token: scan the near-length vocabulary
-		// buckets for tokens within edit distance one. Short tokens are
-		// excluded (an edit on a 1-3 letter token changes its identity).
-		if len(t) < 4 {
+		// Fuzzy fallback, per token: admit vocabulary tokens within edit
+		// distance one, distance-penalized. Short tokens are excluded
+		// (an edit on a 1-3 letter token changes its identity). The
+		// candidates come from the deletion-neighborhood index (or the
+		// reference scan when SetScanFuzzy is forced), verified with the
+		// bounded Levenshtein, and are accumulated in sorted order so
+		// float summation order is fixed across runs.
+		if len(t) < minFuzzyQueryLen {
 			continue
 		}
-		for l := len(t) - 1; l <= len(t)+1; l++ {
-			for _, vt := range ix.byLen[l] {
-				if strsim.Levenshtein(vt, t) != 1 {
-					continue
-				}
-				idf := ix.idf(vt)
-				for _, p := range ix.postings[vt] {
-					scores[p.doc] += 0.5 * p.tf * idf
-				}
+		for _, vt := range ix.fuzzyMatches(t) {
+			idf := ix.idf(vt)
+			for _, p := range ix.postings[vt] {
+				scores[p.doc] += 0.5 * p.tf * idf
 			}
 		}
 	}
@@ -187,6 +219,91 @@ func (ix *Index) SearchLabels(label string, k int) []string {
 			if !seen[l] {
 				seen[l] = true
 				out = append(out, l)
+			}
+		}
+	}
+	return out
+}
+
+// indexDeletions files a new vocabulary token under itself and each of
+// its one-rune deletions. Adjacent equal runes produce identical variants
+// and are emitted once. The caller holds the write lock.
+func (ix *Index) indexDeletions(t string) {
+	ix.delNeighbors[t] = append(ix.delNeighbors[t], t)
+	var prev rune = -1
+	for bi, r := range t {
+		if r == prev {
+			continue
+		}
+		prev = r
+		v := t[:bi] + t[bi+utf8.RuneLen(r):]
+		ix.delNeighbors[v] = append(ix.delNeighbors[v], t)
+	}
+}
+
+// fuzzyMatches returns the vocabulary tokens within edit distance exactly
+// one of query token t, sorted (fixed float accumulation order for the
+// caller). With SetScanFuzzy forced it runs the reference length-bucketed
+// scan instead, in the scan's historical bucket order. The caller holds
+// the read lock.
+func (ix *Index) fuzzyMatches(t string) []string {
+	if scanFuzzy.Load() {
+		return ix.scanMatches(t)
+	}
+	// Gather candidate tokens sharing a deletion-neighborhood entry with
+	// t: the entry of t itself (insertions into t and t's own postings —
+	// the latter cannot occur, Search only falls back for tokens without
+	// postings) and the entries of t's one-rune deletions (deletions and
+	// substitutions).
+	var cand []string
+	collect := func(list []string) {
+		for _, vt := range list {
+			dup := false
+			for _, c := range cand {
+				if c == vt {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				cand = append(cand, vt)
+			}
+		}
+	}
+	collect(ix.delNeighbors[t])
+	vbuf := make([]byte, 0, 64)
+	var prev rune = -1
+	for bi, r := range t {
+		if r == prev {
+			continue
+		}
+		prev = r
+		vbuf = append(vbuf[:0], t[:bi]...)
+		vbuf = append(vbuf, t[bi+utf8.RuneLen(r):]...)
+		collect(ix.delNeighbors[string(vbuf)])
+	}
+	// Verify: sharing a deletion variant bounds the distance by two, not
+	// one ("ab" and "ba" share "a"), so each candidate is checked with
+	// the bounded kernel.
+	matches := cand[:0]
+	for _, vt := range cand {
+		if vt != t && strsim.LevenshteinBounded(vt, t, 1) == 1 {
+			matches = append(matches, vt)
+		}
+	}
+	sort.Strings(matches)
+	return matches
+}
+
+// scanMatches is the pre-optimization fuzzy fallback: scan the
+// byte-length buckets within ±1 of the query token and keep distance-1
+// tokens, in bucket insertion order.
+func (ix *Index) scanMatches(t string) []string {
+	var out []string
+	for l := len(t) - 1; l <= len(t)+1; l++ {
+		for _, vt := range ix.byLen[l] {
+			if strsim.LevenshteinBounded(vt, t, 1) == 1 {
+				out = append(out, vt)
 			}
 		}
 	}

@@ -172,9 +172,12 @@ func (kbLabel) Score(ctx *Context, t *webtable.Table, col int, prop kb.Property)
 	if header == "" {
 		return 0
 	}
-	best := strsim.MongeElkanSym(header, prop.Label)
+	// Headers and property labels recur across tables and candidates;
+	// prepare each once per process instead of re-tokenizing per pair.
+	h := strsim.PrepareCached(header)
+	best := h.MongeElkanSym(strsim.PrepareCached(prop.Label))
 	for _, alt := range prop.AltLabels {
-		if s := strsim.MongeElkanSym(header, alt); s > best {
+		if s := h.MongeElkanSym(strsim.PrepareCached(alt)); s > best {
 			best = s
 		}
 	}

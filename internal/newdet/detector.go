@@ -8,6 +8,7 @@ import (
 	"repro/internal/fusion"
 	"repro/internal/kb"
 	"repro/internal/ml"
+	"repro/internal/strsim"
 )
 
 // Result is the classification of one entity.
@@ -51,6 +52,31 @@ type Detector struct {
 	candMu      sync.Mutex
 	candVersion uint64
 	candCache   map[candKey][]kb.InstanceID
+
+	// bowMu guards the per-instance sparse BOW cache. Instances are
+	// immutable once added and IDs are never reused, so entries never
+	// invalidate; the cache grows with the distinct candidates scored.
+	bowMu    sync.RWMutex
+	bowCache map[kb.InstanceID]strsim.SparseVec
+}
+
+// instanceBOW returns the instance's term vector in sorted sparse form,
+// cached per instance ID.
+func (d *Detector) instanceBOW(inst *kb.Instance) strsim.SparseVec {
+	d.bowMu.RLock()
+	v, ok := d.bowCache[inst.ID]
+	d.bowMu.RUnlock()
+	if ok {
+		return v
+	}
+	v = strsim.ToSparse(instanceBOW(inst))
+	d.bowMu.Lock()
+	if d.bowCache == nil {
+		d.bowCache = make(map[kb.InstanceID]strsim.SparseVec, 256)
+	}
+	d.bowCache[inst.ID] = v
+	d.bowMu.Unlock()
+	return v
 }
 
 // candKey addresses one candidate lookup: the entity class (the §3.4 class
@@ -95,8 +121,9 @@ func (d *Detector) BestCandidate(e *fusion.Entity) (kb.InstanceID, float64) {
 	}
 	env := &Env{
 		KB: d.KB, Thresholds: d.Thresholds,
-		PopRank: BuildPopRank(d.KB, cands), ImplicitOrder: ImplicitOrder(e),
+		PopRank: BuildPopRank(d.KB, cands),
 	}
+	env.PrepareEnv(d, e)
 	best, bestScore := kb.InstanceID(-1), -2.0
 	for _, iid := range cands {
 		s := d.Score(env, e, d.KB.Instance(iid))
@@ -109,14 +136,13 @@ func (d *Detector) BestCandidate(e *fusion.Entity) (kb.InstanceID, float64) {
 
 // Score aggregates all metrics for one entity-instance pair.
 func (d *Detector) Score(env *Env, e *fusion.Entity, inst *kb.Instance) float64 {
-	f := agg.Features{
-		Scores: make([]float64, len(d.Metrics)),
-		Confs:  make([]float64, len(d.Metrics)),
-	}
+	f := agg.BorrowFeatures(len(d.Metrics))
 	for i, m := range d.Metrics {
 		f.Scores[i], f.Confs[i] = m.Compare(env, e, inst)
 	}
-	return d.Agg.Score(f)
+	score := d.Agg.Score(*f)
+	agg.ReturnFeatures(f)
+	return score
 }
 
 // candidates finds candidate instances for all entity labels with the class
@@ -202,8 +228,9 @@ func LearnAggregator(k *kb.KB, metrics []Metric, examples []Example, seed int64)
 		}
 		env := &Env{
 			KB: k, Thresholds: d.Thresholds,
-			PopRank: BuildPopRank(k, cands), ImplicitOrder: ImplicitOrder(ex.Entity),
+			PopRank: BuildPopRank(k, cands),
 		}
+		env.PrepareEnv(d, ex.Entity)
 		for _, c := range cands {
 			f := agg.Features{
 				Scores: make([]float64, len(metrics)),

@@ -28,6 +28,37 @@ type Env struct {
 	// sorts once per entity instead of once per candidate. Nil means
 	// "compute on demand".
 	ImplicitOrder []kb.PropertyID
+	// EntityPreps caches the prepared forms of the entity's labels
+	// (parallel to e.Labels), so the LABEL metric tokenizes the entity
+	// once per detection instead of once per candidate label. Nil means
+	// "use the string kernel".
+	EntityPreps []*strsim.PreparedLabel
+	// EntityBOW caches the entity's term vector in sorted sparse form.
+	// Valid only when InstBOW is also set (the two sides of the BOW
+	// cosine must use the same representation).
+	EntityBOW strsim.SparseVec
+	// InstBOW returns the (cached) sparse term vector of an instance;
+	// nil means the BOW metric rebuilds the instance vector per call.
+	InstBOW func(*kb.Instance) strsim.SparseVec
+}
+
+// PrepareEnv fills the per-entity caches of env (implicit order, prepared
+// labels, sparse entity BOW) and wires the detector-level instance vector
+// cache when d is non-nil. Detector entry points call it once per entity;
+// hand-built Envs in tests may skip it and the metrics fall back to the
+// reference paths.
+func (env *Env) PrepareEnv(d *Detector, e *fusion.Entity) {
+	env.ImplicitOrder = ImplicitOrder(e)
+	if len(e.Labels) > 0 {
+		env.EntityPreps = make([]*strsim.PreparedLabel, len(e.Labels))
+		for i, l := range e.Labels {
+			env.EntityPreps[i] = strsim.PrepareCached(l)
+		}
+	}
+	if d != nil {
+		env.EntityBOW = strsim.ToSparse(e.BOW)
+		env.InstBOW = d.instanceBOW
+	}
 }
 
 // ImplicitOrder returns an entity's implicit property IDs in ascending
@@ -69,6 +100,20 @@ func (labelMetric) Name() string { return "LABEL" }
 
 func (labelMetric) Compare(env *Env, e *fusion.Entity, inst *kb.Instance) (float64, float64) {
 	best := 0.0
+	if env.EntityPreps != nil {
+		// Prepared path: the entity side was tokenized once per
+		// detection; instance labels are prepared once per process
+		// (instances are immutable and their labels recur across
+		// detections).
+		for _, ep := range env.EntityPreps {
+			for _, il := range inst.Labels {
+				if s := ep.MongeElkanSym(strsim.PrepareCached(il)); s > best {
+					best = s
+				}
+			}
+		}
+		return best, 1
+	}
 	for _, el := range e.Labels {
 		for _, il := range inst.Labels {
 			if s := strsim.MongeElkanSym(el, il); s > best {
@@ -96,6 +141,12 @@ type bowMetric struct{}
 func (bowMetric) Name() string { return "BOW" }
 
 func (bowMetric) Compare(env *Env, e *fusion.Entity, inst *kb.Instance) (float64, float64) {
+	if env.InstBOW != nil {
+		// Prepared path: both sides in sorted sparse form (the instance
+		// vector cached per instance), cosine as a merge join. Binary
+		// weights make the values exactly equal to the map-based path.
+		return strsim.CosineSparse(env.EntityBOW, env.InstBOW(inst)), 1
+	}
 	iv := instanceBOW(inst)
 	return strsim.Cosine(e.BOW, iv), 1
 }

@@ -18,6 +18,17 @@ type lruCache struct {
 	items  map[cacheKey]*list.Element
 	hits   uint64
 	misses uint64
+	// perEndpoint breaks hits/misses down by the endpoint tag the
+	// handlers pass to get, so /v1/stats can show which read path a
+	// cache actually serves (the search index work of this repo is
+	// invisible in an aggregate counter once lookups dominate).
+	perEndpoint map[string]*endpointCounts
+}
+
+// endpointCounts is the per-endpoint slice of the hit/miss counters.
+type endpointCounts struct {
+	hits   uint64
+	misses uint64
 }
 
 type cacheKey struct {
@@ -38,24 +49,33 @@ func newLRUCache(capacity int) *lruCache {
 	if capacity > 0 {
 		c.ll = list.New()
 		c.items = make(map[cacheKey]*list.Element, capacity)
+		c.perEndpoint = make(map[string]*endpointCounts, 4)
 	}
 	return c
 }
 
 // get returns the cached body for (version, key) and whether it was
-// present, promoting a hit to most-recently-used.
-func (c *lruCache) get(version uint64, key string) ([]byte, bool) {
+// present, promoting a hit to most-recently-used. endpoint tags the
+// calling read path for the per-endpoint hit/miss breakdown.
+func (c *lruCache) get(endpoint string, version uint64, key string) ([]byte, bool) {
 	if c.cap <= 0 {
 		return nil, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	ec := c.perEndpoint[endpoint]
+	if ec == nil {
+		ec = &endpointCounts{}
+		c.perEndpoint[endpoint] = ec
+	}
 	el, ok := c.items[cacheKey{version, key}]
 	if !ok {
 		c.misses++
+		ec.misses++
 		return nil, false
 	}
 	c.hits++
+	ec.hits++
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).body, true
 }
@@ -90,4 +110,18 @@ func (c *lruCache) stats() (hits, misses uint64, entries int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.ll.Len()
+}
+
+// endpointStats returns a copy of the per-endpoint hit/miss counts.
+func (c *lruCache) endpointStats() map[string]endpointCounts {
+	if c.cap <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]endpointCounts, len(c.perEndpoint))
+	for ep, ec := range c.perEndpoint {
+		out[ep] = *ec
+	}
+	return out
 }

@@ -8,19 +8,19 @@ import (
 func TestLRUCacheVersionKeying(t *testing.T) {
 	c := newLRUCache(4)
 	c.put(1, "a", []byte("v1"))
-	if got, ok := c.get(1, "a"); !ok || !bytes.Equal(got, []byte("v1")) {
+	if got, ok := c.get("test", 1, "a"); !ok || !bytes.Equal(got, []byte("v1")) {
 		t.Fatalf("get(1,a) = %q, %v", got, ok)
 	}
 	// A newer KB version never sees the old generation's entry.
-	if _, ok := c.get(2, "a"); ok {
+	if _, ok := c.get("test", 2, "a"); ok {
 		t.Fatal("version 2 served a version-1 body")
 	}
 	c.put(2, "a", []byte("v2"))
-	if got, _ := c.get(2, "a"); !bytes.Equal(got, []byte("v2")) {
+	if got, _ := c.get("test", 2, "a"); !bytes.Equal(got, []byte("v2")) {
 		t.Fatalf("get(2,a) = %q", got)
 	}
 	// The old entry is still addressable until evicted.
-	if got, _ := c.get(1, "a"); !bytes.Equal(got, []byte("v1")) {
+	if got, _ := c.get("test", 1, "a"); !bytes.Equal(got, []byte("v1")) {
 		t.Fatalf("get(1,a) after new version = %q", got)
 	}
 	hits, misses, entries := c.stats()
@@ -33,15 +33,15 @@ func TestLRUCacheEviction(t *testing.T) {
 	c := newLRUCache(2)
 	c.put(1, "a", []byte("a"))
 	c.put(1, "b", []byte("b"))
-	c.get(1, "a") // promote a
+	c.get("test", 1, "a") // promote a
 	c.put(1, "c", []byte("c"))
-	if _, ok := c.get(1, "b"); ok {
+	if _, ok := c.get("test", 1, "b"); ok {
 		t.Error("least-recently-used entry b survived eviction")
 	}
-	if _, ok := c.get(1, "a"); !ok {
+	if _, ok := c.get("test", 1, "a"); !ok {
 		t.Error("promoted entry a was evicted")
 	}
-	if _, ok := c.get(1, "c"); !ok {
+	if _, ok := c.get("test", 1, "c"); !ok {
 		t.Error("new entry c missing")
 	}
 	// Overwriting an existing key must not grow the cache.
@@ -49,7 +49,7 @@ func TestLRUCacheEviction(t *testing.T) {
 	if _, _, entries := c.stats(); entries != 2 {
 		t.Errorf("entries = %d, want 2", entries)
 	}
-	if got, _ := c.get(1, "a"); !bytes.Equal(got, []byte("a2")) {
+	if got, _ := c.get("test", 1, "a"); !bytes.Equal(got, []byte("a2")) {
 		t.Errorf("overwrite lost: %q", got)
 	}
 }
@@ -57,10 +57,28 @@ func TestLRUCacheEviction(t *testing.T) {
 func TestLRUCacheDisabled(t *testing.T) {
 	c := newLRUCache(0)
 	c.put(1, "a", []byte("x"))
-	if _, ok := c.get(1, "a"); ok {
+	if _, ok := c.get("test", 1, "a"); ok {
 		t.Error("disabled cache served an entry")
 	}
 	if h, m, e := c.stats(); h != 0 || m != 0 || e != 0 {
 		t.Errorf("disabled stats = %d/%d/%d", h, m, e)
+	}
+}
+
+func TestCachePerEndpointStats(t *testing.T) {
+	c := newLRUCache(8)
+	c.get("search", 1, "q") // miss
+	c.put(1, "q", []byte("x"))
+	c.get("search", 1, "q")          // hit
+	c.get("instances", 1, "missing") // miss
+	eps := c.endpointStats()
+	if s := eps["search"]; s.hits != 1 || s.misses != 1 {
+		t.Fatalf("search stats = %+v, want 1 hit 1 miss", s)
+	}
+	if s := eps["instances"]; s.hits != 0 || s.misses != 1 {
+		t.Fatalf("instances stats = %+v, want 0 hits 1 miss", s)
+	}
+	if disabled := newLRUCache(-1).endpointStats(); disabled != nil {
+		t.Fatal("disabled cache should report nil endpoint stats")
 	}
 }

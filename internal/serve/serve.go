@@ -582,7 +582,7 @@ func (s *Server) handleEntities(w http.ResponseWriter, r *http.Request) {
 		return fmt.Sprintf("e|%s|%v|%d", class, onlyNew, epoch)
 	}
 	version := s.kb.Version()
-	if body, ok := s.cache.get(version, entitiesKey(s.engines[class].Epoch())); ok {
+	if body, ok := s.cache.get("entities", version, entitiesKey(s.engines[class].Epoch())); ok {
 		writeCached(w, http.StatusOK, body)
 		return
 	}
@@ -642,7 +642,7 @@ func (s *Server) handleInstance(w http.ResponseWriter, r *http.Request) {
 	}
 	version := s.kb.Version()
 	key := "i|" + r.PathValue("id")
-	if body, ok := s.cache.get(version, key); ok {
+	if body, ok := s.cache.get("instances", version, key); ok {
 		writeCached(w, http.StatusOK, body)
 		return
 	}
@@ -712,7 +712,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	version := s.kb.Version()
 	key := fmt.Sprintf("s|%s|%d|%s", class, k, q)
-	if body, ok := s.cache.get(version, key); ok {
+	if body, ok := s.cache.get("search", version, key); ok {
 		writeCached(w, http.StatusOK, body)
 		return
 	}
@@ -736,12 +736,21 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	writeCached(w, http.StatusOK, body)
 }
 
-// CacheStatsView reports response-cache effectiveness.
+// CacheStatsView reports response-cache effectiveness, overall and broken
+// down by read endpoint (entities, instances, search), so the hit rate of
+// the fuzzy-search path is visible independently of lookups.
 type CacheStatsView struct {
-	Hits     uint64 `json:"hits"`
-	Misses   uint64 `json:"misses"`
-	Entries  int    `json:"entries"`
-	Capacity int    `json:"capacity"`
+	Hits     uint64                       `json:"hits"`
+	Misses   uint64                       `json:"misses"`
+	Entries  int                          `json:"entries"`
+	Capacity int                          `json:"capacity"`
+	ByPath   map[string]EndpointStatsView `json:"byPath,omitempty"`
+}
+
+// EndpointStatsView is one endpoint's slice of the cache counters.
+type EndpointStatsView struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
 }
 
 // ClassStatsView is the per-class section of GET /v1/stats.
@@ -769,6 +778,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	hits, misses, entries := s.cache.stats()
 	view.Cache = CacheStatsView{Hits: hits, Misses: misses, Entries: entries, Capacity: s.cache.cap}
+	if byPath := s.cache.endpointStats(); len(byPath) > 0 {
+		view.Cache.ByPath = make(map[string]EndpointStatsView, len(byPath))
+		for ep, ec := range byPath {
+			view.Cache.ByPath[ep] = EndpointStatsView{Hits: ec.hits, Misses: ec.misses}
+		}
+	}
 	for class, eng := range s.engines {
 		epoch, tableIDs, hist := eng.Published()
 		if hist == nil {

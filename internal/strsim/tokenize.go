@@ -4,6 +4,35 @@
 // vectors, and a shared tokenizer/normalizer.
 //
 // All similarity functions return values in [0, 1], where 1 means identical.
+//
+// # Hot-path kernels
+//
+// Every stage of the pipeline — blocking, clustering, matching, new
+// detection, fuzzy search — bottoms out in this package, so the kernels
+// are built to be allocation-free and to never repeat work:
+//
+//   - Levenshtein / LevenshteinSim use pooled DP rows, an ASCII fast path
+//     (no rune decoding), and common prefix/suffix trimming. Rune lengths
+//     are computed once and shared between the distance and its
+//     normalization.
+//   - LevenshteinBounded and LevenshteinSimBounded are the kernels for
+//     bounded checks and best-candidate searches: a banded DP abandons
+//     pairs that cannot beat the caller's floor (or max distance), so
+//     high floors cost O(k·n) instead of O(n²).
+//   - MongeElkan / MongeElkanSym run on interned token IDs with a sharded
+//     memo of token-pair similarities: the corpus vocabulary is
+//     heavy-tailed, so the same token pairs recur millions of times.
+//   - PreparedLabel (via Prepare or the process-wide PrepareCached)
+//     normalizes, tokenizes, interns, and vectorizes a label exactly once
+//     per lifetime; use it whenever the same string is compared more than
+//     once. TermVec returns the label's sorted binary term vector for
+//     merge-join cosines (CosineSparse).
+//
+// The pre-optimization implementations are retained as unexported
+// reference functions, and randomized equivalence tests
+// (kernel_test.go) prove the optimized kernels return exactly — bit for
+// bit — the reference values, so callers can switch freely between the
+// prepared and plain entry points without output drift.
 package strsim
 
 import (
