@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -250,7 +251,7 @@ func ingestSetup(b *testing.B) (base *core.Engine, firstHalf, secondHalf []int) 
 	cfg.Iterations = 1
 	base = core.NewEngine(cfg, models)
 	base.WriteBack = false // keep the shared bench KB pristine
-	base.Ingest(tables[:half])
+	base.Ingest(context.Background(), tables[:half])
 	return base, tables[:half], tables[half:]
 }
 
@@ -263,7 +264,7 @@ func BenchmarkIngestBatch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng := base.Fork()
-		out, _ := eng.Ingest(second)
+		out, _, _ := eng.Ingest(context.Background(), second)
 		if len(out.Entities) == 0 {
 			b.Fatal("no entities")
 		}
@@ -282,7 +283,7 @@ func BenchmarkFullRerun(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out := p.Run(tables)
+		out, _ := p.Run(context.Background(), tables)
 		if len(out.Entities) == 0 {
 			b.Fatal("no entities")
 		}
@@ -306,7 +307,7 @@ func benchClusterAblation(b *testing.B, blocking, klj bool) {
 	b.ResetTimer()
 	var clusters int
 	for i := 0; i < b.N; i++ {
-		out := p.Run(tables)
+		out, _ := p.Run(context.Background(), tables)
 		clusters = out.Clustering.NumClusters()
 	}
 	b.ReportMetric(float64(clusters), "clusters")
@@ -324,7 +325,7 @@ func benchIterations(b *testing.B, iters int) {
 	b.ResetTimer()
 	var mapped int
 	for i := 0; i < b.N; i++ {
-		out := p.Run(tables)
+		out, _ := p.Run(context.Background(), tables)
 		mapped = 0
 		for _, m := range out.Mapping {
 			mapped += len(m)
@@ -376,7 +377,8 @@ func serveBenchSetup(b *testing.B) (cached, uncached *serve.Server) {
 	serveBenchOnce.Do(func() {
 		w := world.Generate(world.DefaultConfig(0.2))
 		c := webtable.Synthesize(w, webtable.DefaultSynthConfig(0.12))
-		tables := core.ClassifyTables(w.KB, c, 0.3)[kb.ClassGFPlayer]
+		byClass, _ := core.ClassifyTables(context.Background(), w.KB, c, 0.3, 0)
+		tables := byClass[kb.ClassGFPlayer]
 		cfg := core.DefaultConfig(w.KB, c, kb.ClassGFPlayer)
 		cfg.Iterations = 1
 		writerEngine := core.NewEngine(cfg, core.Models{})

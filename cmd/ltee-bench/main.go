@@ -12,6 +12,10 @@
 //	                                       # previous run; exit 1 on regression
 //	ltee-bench -run 'ServeSearch' -out -   # subset, JSON to stdout
 //
+// Unlike the other binaries, ltee-bench deliberately imports
+// internal/bench — the repo's tracked benchmark corpus is internal
+// tooling, not public API.
+//
 // The -baseline file is simply a previous output file: any tracked
 // benchmark present in both runs whose allocs/op exceeds the baseline by
 // more than -slack (default 25%) fails the run. allocs/op is the compared
@@ -70,6 +74,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err == flag.ErrHelp {
 			return 0
 		}
+		return 2
+	}
+	if *slack < 0 {
+		fmt.Fprintf(stderr, "-slack must be >= 0 (a fractional allowance; got %g)\n", *slack)
+		fs.Usage()
+		return 2
+	}
+	if *out == "" {
+		fmt.Fprintln(stderr, "-out must name a file (or - for stdout)")
+		fs.Usage()
 		return 2
 	}
 

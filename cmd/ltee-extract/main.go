@@ -9,6 +9,7 @@
 //
 // Each relational table found becomes one JSON line; layout tables,
 // header-less tables and tables with fewer than two columns are dropped.
+// The command is built entirely on the public ltee API (repro/ltee/webtable).
 package main
 
 import (
@@ -20,7 +21,7 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/webtable"
+	"repro/ltee/webtable"
 )
 
 func main() {

@@ -7,7 +7,7 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/webtable"
+	"repro/ltee/webtable"
 )
 
 const samplePage = `<html><body>

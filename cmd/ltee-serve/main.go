@@ -2,7 +2,8 @@
 // generates the synthetic world and corpus, builds one incremental
 // ingestion engine per served class, and exposes the serve API over HTTP —
 // entity lookup, fuzzy label search, per-class/per-epoch stats, async
-// ingestion, and snapshot persistence.
+// ingestion with cancellable jobs, and snapshot persistence. It is built
+// entirely on the public ltee API (repro/ltee and friends).
 //
 // Usage:
 //
@@ -11,19 +12,26 @@
 //
 // Endpoints (all JSON):
 //
-//	GET  /healthz                        liveness
-//	GET  /v1/classes                     served classes + epochs
-//	GET  /v1/classes/{class}/entities    entities of the last epoch (?new=1)
-//	GET  /v1/instances/{id}              entity lookup by instance ID
-//	GET  /v1/search?q=&class=&k=         fuzzy label search
-//	GET  /v1/stats                       KB/cache/ingest statistics
-//	POST /v1/ingest                      {"class","tables","auto","raw"} (?wait=1)
-//	GET  /v1/jobs/{id}                   async job status
-//	POST /v1/snapshot                    persist KB discoveries (?wait=1)
+//	GET    /healthz                        liveness
+//	GET    /v1/classes                     served classes + epochs
+//	GET    /v1/classes/{class}/entities    entities of the last epoch (?new=1)
+//	GET    /v1/instances/{id}              entity lookup by instance ID
+//	GET    /v1/search?q=&class=&k=         fuzzy label search
+//	GET    /v1/stats                       KB/cache/ingest statistics
+//	POST   /v1/ingest                      {"class","tables","auto","raw"} (?wait=1)
+//	GET    /v1/jobs/{id}                   async job status (+ current stage)
+//	DELETE /v1/jobs/{id}                   cancel a queued or running job
+//	POST   /v1/snapshot                    persist KB discoveries (?wait=1)
 //
 // With -snapshot DIR the server loads any existing snapshot at startup
 // (warm start: earlier discoveries and epoch counters survive restarts)
 // and saves a final snapshot on SIGINT/SIGTERM before shutting down.
+//
+// Shutdown is context-respecting end to end: on a signal the HTTP server
+// drains in-flight requests, a final snapshot is taken, and the job writer
+// is given a bounded grace period — if it is still mid-ingest when the
+// deadline expires, the epoch is cancelled cooperatively and nothing of it
+// is committed.
 //
 // With -pprof the net/http/pprof endpoints are mounted under
 // /debug/pprof/ so the live server can be profiled
@@ -45,21 +53,19 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/kb"
-	"repro/internal/report"
-	"repro/internal/serve"
+	"repro/ltee"
+	"repro/ltee/kb"
+	"repro/ltee/scenario"
+	"repro/ltee/serve"
 )
 
 func main() {
-	stop := make(chan struct{})
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	go func() {
-		<-sig
-		close(stop)
-	}()
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil, stop))
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	// Restore the default handler once the first signal lands, so a second
+	// Ctrl-C force-kills instead of being swallowed during a slow drain.
+	go func() { <-ctx.Done(); stop() }()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr, nil))
 }
 
 // config is the parsed command line.
@@ -74,11 +80,14 @@ type config struct {
 	iterations   int
 	train        bool
 	cacheEntries int
+	drainFor     time.Duration
+	progress     bool
 	pprof        bool
 }
 
 // parseFlags parses the command line into a config (split from run so flag
-// handling is testable without building a suite).
+// handling is testable without building a suite). Out-of-range values
+// produce a diagnostic plus the usage text.
 func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs := flag.NewFlagSet("ltee-serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -94,13 +103,31 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.IntVar(&cfg.iterations, "iterations", 2, "pipeline iterations per ingest epoch")
 	fs.BoolVar(&cfg.train, "train", false, "train the learned models at startup (slower start, better matching)")
 	fs.IntVar(&cfg.cacheEntries, "cache", 1024, "response cache entries (negative disables)")
+	fs.DurationVar(&cfg.drainFor, "drain", 30*time.Second, "shutdown grace period before an in-flight ingest is cancelled")
+	fs.BoolVar(&cfg.progress, "progress", false, "log per-stage ingest progress to stdout")
 	fs.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof endpoints under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
-	if cfg.iterations < 1 {
-		fmt.Fprintf(stderr, "-iterations must be at least 1 (got %d)\n", cfg.iterations)
+	fail := func(format string, args ...any) (*config, error) {
+		fmt.Fprintf(stderr, format+"\n", args...)
+		fs.Usage()
 		return nil, errors.New("usage")
+	}
+	if cfg.iterations < 1 {
+		return fail("-iterations must be at least 1 (got %d)", cfg.iterations)
+	}
+	if cfg.workers < 0 {
+		return fail("-workers must be >= 0 (0 = GOMAXPROCS, 1 = serial; got %d)", cfg.workers)
+	}
+	if cfg.worldScale <= 0 {
+		return fail("-world must be positive (got %g)", cfg.worldScale)
+	}
+	if cfg.corpusScale <= 0 {
+		return fail("-corpus must be positive (got %g)", cfg.corpusScale)
+	}
+	if cfg.drainFor <= 0 {
+		return fail("-drain must be positive (got %s)", cfg.drainFor)
 	}
 	for _, name := range strings.Split(classes, ",") {
 		name = strings.TrimSpace(name)
@@ -109,14 +136,12 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 		}
 		class := classByName(name)
 		if class == "" {
-			fmt.Fprintf(stderr, "unknown class %q (want GF-Player, Song, or Settlement)\n", name)
-			return nil, errors.New("usage")
+			return fail("unknown class %q (want GF-Player, Song, or Settlement)", name)
 		}
 		cfg.classes = append(cfg.classes, class)
 	}
 	if len(cfg.classes) == 0 {
-		fmt.Fprintln(stderr, "-classes must name at least one class")
-		return nil, errors.New("usage")
+		return fail("-classes must name at least one class")
 	}
 	return cfg, nil
 }
@@ -137,10 +162,10 @@ func classByName(name string) kb.ClassID {
 }
 
 // run builds the world, engines and server, listens on cfg.addr, and
-// blocks until stop closes (then snapshots, if configured, and shuts
-// down). ready, when non-nil, receives the bound listen address once the
-// server accepts connections — tests use it to find the port.
-func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-chan struct{}) int {
+// blocks until ctx is cancelled (then snapshots, if configured, and shuts
+// down gracefully). ready, when non-nil, receives the bound listen address
+// once the server accepts connections — tests use it to find the port.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	cfg, err := parseFlags(args, stderr)
 	if errors.Is(err, flag.ErrHelp) {
 		return 0
@@ -149,7 +174,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		return 2
 	}
 
-	s := report.NewSuite(report.Options{
+	s := scenario.NewSuite(scenario.Options{
 		WorldScale: cfg.worldScale, CorpusScale: cfg.corpusScale,
 		Seed: cfg.seed, Workers: cfg.workers,
 	})
@@ -157,16 +182,29 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		len(s.World.Entities), s.World.KB.NumInstances(), s.Corpus.Len(), s.Corpus.TotalRows())
 
 	byClass := s.TablesByClass()
-	engines := make(map[kb.ClassID]*core.Engine, len(cfg.classes))
+	engines := make(map[kb.ClassID]*ltee.Engine, len(cfg.classes))
 	tables := make(map[kb.ClassID][]int, len(cfg.classes))
 	for _, class := range cfg.classes {
-		ecfg := s.Config(class)
-		ecfg.Iterations = cfg.iterations
-		models := core.Models{}
-		if cfg.train {
-			models = s.ModelsFor(class)
+		opts := []ltee.Option{
+			ltee.WithSeed(cfg.seed),
+			ltee.WithWorkers(cfg.workers),
+			ltee.WithIterations(cfg.iterations),
 		}
-		engines[class] = core.NewEngine(ecfg, models)
+		if cfg.train {
+			opts = append(opts, ltee.WithModels(s.ModelsFor(class)))
+		}
+		if cfg.progress {
+			opts = append(opts, ltee.WithProgress(func(ev ltee.Event) {
+				fmt.Fprintf(stdout, "progress %s: epoch %d it %d %s (%d units)\n",
+					kb.ClassShortName(ev.Class), ev.Epoch, ev.Iteration, ev.Stage, ev.Count)
+			}))
+		}
+		eng, eerr := ltee.NewEngine(s.World.KB, s.Corpus, class, opts...)
+		if eerr != nil {
+			fmt.Fprintf(stderr, "ltee-serve: %v\n", eerr)
+			return 1
+		}
+		engines[class] = eng
 		tables[class] = byClass[class]
 		fmt.Fprintf(stdout, "class %s: %d corpus tables, %d KB instances\n",
 			kb.ClassShortName(class), len(byClass[class]), len(s.World.KB.InstancesOf(class)))
@@ -221,7 +259,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 	}
 
 	select {
-	case <-stop:
+	case <-ctx.Done():
 	case err := <-serveErr:
 		fmt.Fprintf(stderr, "ltee-serve: %v\n", err)
 		srv.Close()
@@ -231,20 +269,53 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 	// Graceful shutdown: stop accepting traffic and drain in-flight
 	// handlers first, then snapshot — an ingest acknowledged to a client
 	// during the drain window is therefore always included in the final
-	// snapshot (the writer loop is still running until Close).
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	// snapshot (the writer loop is still running until Shutdown).
+	drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	if err := httpSrv.Shutdown(ctx); err != nil {
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		fmt.Fprintf(stderr, "ltee-serve: shutdown: %v\n", err)
 	}
 	if cfg.snapshotDir != "" {
-		if m, serr := srv.Snapshot(); serr != nil {
-			fmt.Fprintf(stderr, "ltee-serve: final snapshot: %v\n", serr)
+		// The final snapshot goes through the same single-writer queue as
+		// pending ingests, so it too is bounded by the -drain grace: jobs
+		// ahead of it get that long to finish, then they are cancelled
+		// cooperatively (committing nothing) so the snapshot runs next —
+		// an in-flight ingest must not be able to hold the shutdown (and
+		// the snapshot) hostage indefinitely.
+		type snapResult struct {
+			m   kb.Manifest
+			err error
+		}
+		snapCh := make(chan snapResult, 1)
+		go func() {
+			m, serr := srv.Snapshot()
+			snapCh <- snapResult{m, serr}
+		}()
+		var res snapResult
+		select {
+		case res = <-snapCh:
+		case <-time.After(cfg.drainFor):
+			// Cancel without closing: the server stays open so the
+			// snapshot still gets its queue slot even if the queue was
+			// packed solid through the whole grace period.
+			fmt.Fprintf(stderr, "ltee-serve: drain grace (%s) expired; cancelling in-flight jobs to take the final snapshot\n", cfg.drainFor)
+			srv.CancelActiveJobs()
+			res = <-snapCh
+		}
+		if res.err != nil {
+			fmt.Fprintf(stderr, "ltee-serve: final snapshot: %v\n", res.err)
 		} else {
-			fmt.Fprintf(stdout, "snapshot saved: %d ingested instances, epochs %v\n", m.Instances, m.Epochs)
+			fmt.Fprintf(stdout, "snapshot saved: %d ingested instances, epochs %v\n", res.m.Instances, res.m.Epochs)
 		}
 	}
-	srv.Close()
+	// Bounded job drain (no-op if the snapshot path already shut down):
+	// pending ingests get -drain to finish; past that they are cancelled
+	// cooperatively and nothing of theirs commits.
+	jobCtx, cancelJobs := context.WithTimeout(context.Background(), cfg.drainFor)
+	defer cancelJobs()
+	if err := srv.Shutdown(jobCtx); err != nil {
+		fmt.Fprintf(stderr, "ltee-serve: cancelled pending jobs after %s drain: %v\n", cfg.drainFor, err)
+	}
 	fmt.Fprintln(stdout, "bye")
 	return 0
 }

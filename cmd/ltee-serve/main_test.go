@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -10,8 +11,8 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/kb"
-	"repro/internal/serve"
+	"repro/ltee/kb"
+	"repro/ltee/serve"
 )
 
 func TestParseFlagsDefaults(t *testing.T) {
@@ -57,7 +58,7 @@ func TestParseFlagsErrors(t *testing.T) {
 // serverProc is one run() invocation under test.
 type serverProc struct {
 	addr   string
-	stop   chan struct{}
+	cancel context.CancelFunc
 	exited chan int
 	stdout *bytes.Buffer
 }
@@ -66,8 +67,9 @@ type serverProc struct {
 // listens.
 func startServer(t *testing.T, snapshotDir string) *serverProc {
 	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
 	p := &serverProc{
-		stop:   make(chan struct{}),
+		cancel: cancel,
 		exited: make(chan int, 1),
 		stdout: &bytes.Buffer{},
 	}
@@ -84,7 +86,7 @@ func startServer(t *testing.T, snapshotDir string) *serverProc {
 	ready := make(chan string, 1)
 	var stderr bytes.Buffer
 	go func() {
-		p.exited <- run(args, p.stdout, &stderr, ready, p.stop)
+		p.exited <- run(ctx, args, p.stdout, &stderr, ready)
 	}()
 	select {
 	case p.addr = <-ready:
@@ -99,7 +101,7 @@ func startServer(t *testing.T, snapshotDir string) *serverProc {
 // shutdown closes the server and asserts a clean exit.
 func (p *serverProc) shutdown(t *testing.T) {
 	t.Helper()
-	close(p.stop)
+	p.cancel()
 	select {
 	case code := <-p.exited:
 		if code != 0 {
@@ -237,5 +239,135 @@ func TestLteeServeEndToEnd(t *testing.T) {
 	}
 	if jv.Stats == nil || jv.Stats.BatchTables != 0 || jv.Stats.Epoch != 1 {
 		t.Errorf("post-restart auto ingest re-picked old tables: %+v", jv.Stats)
+	}
+}
+
+// del issues a DELETE and decodes the response.
+func (p *serverProc) del(t *testing.T, path string, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, "http://"+p.addr+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("DELETE %s: decoding %q: %v", path, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestLteeServeJobCancelOverHTTP drives DELETE /v1/jobs/{id} through the
+// real TCP stack: cancelling a finished job conflicts, and cancelling an
+// in-flight ingest ends it as "cancelled" without committing an epoch.
+func TestLteeServeJobCancelOverHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end server test is not short")
+	}
+	p := startServer(t, t.TempDir())
+	defer p.shutdown(t)
+
+	var classes []serve.ClassView
+	p.get(t, "/v1/classes", &classes)
+	if len(classes) != 1 || classes[0].CorpusTables < 2 {
+		t.Fatalf("classes = %+v", classes)
+	}
+
+	// A finished job cannot be cancelled.
+	var done serve.JobView
+	if code := p.post(t, "/v1/ingest?wait=1", `{"class":"GF-Player","auto":1}`, &done); code != 200 || done.Status != "done" {
+		t.Fatalf("warm-up ingest = %d %+v", code, done)
+	}
+	if code := p.del(t, fmt.Sprintf("/v1/jobs/%d", done.ID), nil); code != http.StatusConflict {
+		t.Errorf("DELETE finished job = %d, want 409", code)
+	}
+
+	// Cancel an in-flight ingest: submit async, cancel immediately, and
+	// wait for the terminal state.
+	var jv serve.JobView
+	body := fmt.Sprintf(`{"class":"GF-Player","auto":%d}`, classes[0].CorpusTables)
+	if code := p.post(t, "/v1/ingest", body, &jv); code != http.StatusAccepted {
+		t.Fatalf("async ingest = %d", code)
+	}
+	var epochBefore int
+	p.get(t, "/v1/classes", &classes)
+	epochBefore = classes[0].Epoch
+
+	code := p.del(t, fmt.Sprintf("/v1/jobs/%d", jv.ID), &jv)
+	if code == http.StatusConflict {
+		// The ingest finished before the DELETE landed — legal on a tiny
+		// world. The job must then be in a terminal state already.
+		p.get(t, fmt.Sprintf("/v1/jobs/%d", jv.ID), &jv)
+		if jv.Status != "done" && jv.Status != "failed" {
+			t.Fatalf("409 for non-terminal job: %+v", jv)
+		}
+		return
+	}
+	if code != http.StatusOK && code != http.StatusAccepted {
+		t.Fatalf("DELETE running job = %d", code)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		p.get(t, fmt.Sprintf("/v1/jobs/%d", jv.ID), &jv)
+		if jv.Status == "cancelled" || jv.Status == "done" || jv.Status == "failed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q after cancel", jv.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The race between cancel and completion is inherent; both terminal
+	// states are legal, but a cancelled job must not have committed.
+	p.get(t, "/v1/classes", &classes)
+	switch jv.Status {
+	case "cancelled":
+		if classes[0].Epoch != epochBefore {
+			t.Errorf("cancelled ingest committed an epoch: %d -> %d", epochBefore, classes[0].Epoch)
+		}
+		// The engine stays healthy: a fresh ingest still works.
+		var again serve.JobView
+		if code := p.post(t, "/v1/ingest?wait=1", `{"class":"GF-Player","auto":1}`, &again); code != 200 || again.Status != "done" {
+			t.Fatalf("post-cancel ingest = %d %+v", code, again)
+		}
+	case "done":
+		// epochBefore may already include this job's commit: the engine
+		// publishes its epoch at Ingest's commit point, slightly before
+		// the job status flips to done, so both values are legal here.
+		if got := classes[0].Epoch; got != epochBefore && got != epochBefore+1 {
+			t.Errorf("done job but epoch %d, want %d or %d", got, epochBefore, epochBefore+1)
+		}
+	default:
+		t.Fatalf("job ended %+v", jv)
+	}
+}
+
+// TestParseFlagsRejectsNonsense: out-of-range numeric flags are usage
+// errors with diagnostics.
+func TestParseFlagsRejectsNonsense(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-workers", "-1"}, "-workers must be >= 0"},
+		{[]string{"-world", "0"}, "-world must be positive"},
+		{[]string{"-corpus", "-2"}, "-corpus must be positive"},
+		{[]string{"-drain", "-1s"}, "-drain must be positive"},
+	}
+	for _, tc := range cases {
+		var stderr bytes.Buffer
+		if _, err := parseFlags(tc.args, &stderr); err == nil {
+			t.Errorf("parseFlags(%v): want error", tc.args)
+			continue
+		}
+		if !strings.Contains(stderr.String(), tc.want) {
+			t.Errorf("parseFlags(%v): diagnostic %q missing %q", tc.args, stderr.String(), tc.want)
+		}
 	}
 }

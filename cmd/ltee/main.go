@@ -1,6 +1,7 @@
 // Command ltee runs the LTEE reproduction: it generates the synthetic
 // world and web table corpus, trains the pipeline, and regenerates any of
-// the paper's evaluation tables.
+// the paper's evaluation tables. It is built entirely on the public ltee
+// API (repro/ltee and friends).
 //
 // Usage:
 //
@@ -9,11 +10,10 @@
 //	ltee -all -workers 8       # generate the tables on 8 workers
 //	ltee -run GF-Player        # run the full pipeline for one class and
 //	                           # print a summary of the new entities found
-//	ltee -run Song -ingest-batches 4
+//	ltee -run Song -ingest-batches 4 -progress
 //	                           # stream the class's tables through the
-//	                           # incremental engine in 4 batches, writing
-//	                           # new entities back into the KB after each
-//	                           # epoch and printing per-epoch KB growth
+//	                           # incremental engine in 4 batches, printing
+//	                           # per-epoch KB growth and per-stage progress
 //	ltee -world 0.3 -corpus 0.2 -seed 7 -table 11
 //	ltee -all -cpuprofile cpu.pprof -memprofile mem.pprof
 //	                           # profile a full run (see README "Performance")
@@ -21,23 +21,32 @@
 // With -workers N (default GOMAXPROCS; 1 = fully serial) the suite trains
 // per-class models concurrently and -all generates all tables in parallel,
 // printing them in order. Output is identical at every worker count.
+//
+// Interrupting the epoch loop of a streaming ingest (-ingest-batches)
+// with Ctrl-C cancels it cooperatively: the in-flight epoch unwinds at
+// its next checkpoint without committing anything, and a second Ctrl-C
+// force-kills. Everywhere else — the other modes, and the classification/
+// training that precedes the epoch loop — the default signal behavior is
+// kept: Ctrl-C terminates immediately.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"syscall"
 
-	"repro/internal/core"
-	"repro/internal/kb"
-	"repro/internal/par"
-	"repro/internal/report"
+	"repro/ltee"
+	"repro/ltee/kb"
+	"repro/ltee/scenario"
 )
 
 // errUsage signals a bad or missing action; unlike flag.ErrHelp (an
@@ -45,7 +54,7 @@ import (
 var errUsage = errors.New("usage")
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	os.Exit(run(context.Background(), os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // config is the parsed command line.
@@ -60,12 +69,15 @@ type config struct {
 	workers       int
 	weights       bool
 	ablation      bool
+	progress      bool
 	cpuProfile    string
 	memProfile    string
 }
 
 // parseFlags parses the command line into a config (split from run so flag
-// handling is testable without building a suite).
+// handling is testable without building a suite). Out-of-range values
+// produce a diagnostic on stderr plus the usage text, never silent
+// misbehavior.
 func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs := flag.NewFlagSet("ltee", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -80,31 +92,46 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.IntVar(&cfg.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	fs.BoolVar(&cfg.weights, "weights", false, "print learned matcher weights (§3.1 analysis)")
 	fs.BoolVar(&cfg.ablation, "ablation", false, "print the aggregation-strategy ablation (§3.2)")
+	fs.BoolVar(&cfg.progress, "progress", false, "print per-stage pipeline progress to stderr (requires -run)")
 	fs.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
-	if cfg.ingestBatches < 0 {
-		fmt.Fprintf(stderr, "-ingest-batches must be positive (got %d)\n", cfg.ingestBatches)
+	fail := func(format string, args ...any) (*config, error) {
+		fmt.Fprintf(stderr, format+"\n", args...)
+		fs.Usage()
 		return nil, errUsage
 	}
+	if cfg.workers < 0 {
+		return fail("-workers must be >= 0 (0 = GOMAXPROCS, 1 = serial; got %d)", cfg.workers)
+	}
+	if cfg.worldScale <= 0 {
+		return fail("-world must be positive (got %g)", cfg.worldScale)
+	}
+	if cfg.corpusScale <= 0 {
+		return fail("-corpus must be positive (got %g)", cfg.corpusScale)
+	}
+	if cfg.ingestBatches < 0 {
+		return fail("-ingest-batches must be positive (got %d)", cfg.ingestBatches)
+	}
 	if cfg.ingestBatches > 0 && cfg.runClass == "" {
-		fmt.Fprintln(stderr, "-ingest-batches requires -run CLASS")
-		return nil, errUsage
+		return fail("-ingest-batches requires -run CLASS")
+	}
+	if cfg.progress && cfg.runClass == "" {
+		return fail("-progress requires -run CLASS (the table modes emit no stage events)")
+	}
+	if cfg.tableNum < 0 || cfg.tableNum > 13 {
+		return fail("unknown table %d (want 1-13)", cfg.tableNum)
 	}
 	if !cfg.all && cfg.tableNum == 0 && cfg.runClass == "" && !cfg.weights && !cfg.ablation {
 		fs.Usage()
 		return nil, errUsage
 	}
-	if cfg.tableNum < 0 || cfg.tableNum > 13 {
-		fmt.Fprintf(stderr, "unknown table %d (want 1-13)\n", cfg.tableNum)
-		return nil, errUsage
-	}
 	return cfg, nil
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	cfg, err := parseFlags(args, stderr)
 	if errors.Is(err, flag.ErrHelp) {
 		return 0
@@ -143,7 +170,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
-	s := report.NewSuite(report.Options{
+	s := scenario.NewSuite(scenario.Options{
 		WorldScale: cfg.worldScale, CorpusScale: cfg.corpusScale,
 		Seed: cfg.seed, Workers: cfg.workers,
 	})
@@ -161,9 +188,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for i := range slots {
 			slots[i] = make(chan string, 1)
 		}
-		go par.ForEach(cfg.workers, nTables, func(i int) {
-			slots[i] <- renderTable(s, i+1)
-		})
+		workers := cfg.workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		sem := make(chan struct{}, workers)
+		for i := range slots {
+			go func(i int) {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				slots[i] <- renderTable(s, i+1)
+			}(i)
+		}
 		for _, slot := range slots {
 			fmt.Fprintln(stdout, <-slot)
 		}
@@ -174,18 +210,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case cfg.ablation:
 		fmt.Fprintln(stdout, s.AblationAggregation())
 	case cfg.runClass != "" && cfg.ingestBatches > 0:
-		if !runIngest(s, cfg.runClass, cfg.ingestBatches, stdout, stderr) {
+		if !runIngest(ctx, s, cfg, stdout, stderr) {
 			return 2
 		}
 	case cfg.runClass != "":
-		if !runPipeline(s, cfg.runClass, stdout, stderr) {
+		if !runPipeline(s, cfg, stdout, stderr) {
 			return 2
 		}
 	}
 	return 0
 }
 
-func renderTable(s *report.Suite, n int) string {
+func renderTable(s *scenario.Suite, n int) string {
 	switch n {
 	case 1:
 		return s.Table1().String()
@@ -234,14 +270,36 @@ func classByName(name string) kb.ClassID {
 	}
 }
 
+// progressPrinter renders ltee progress events as per-stage lines.
+func progressPrinter(stderr io.Writer) func(ltee.Event) {
+	return func(ev ltee.Event) {
+		switch {
+		case ev.Iteration > 0:
+			fmt.Fprintf(stderr, "  [epoch %d it %d] %-9s %d units\n", ev.Epoch, ev.Iteration, ev.Stage, ev.Count)
+		case ev.Epoch > 0:
+			fmt.Fprintf(stderr, "  [epoch %d]      %-9s %d units\n", ev.Epoch, ev.Stage, ev.Count)
+		default:
+			fmt.Fprintf(stderr, "  [%s%s] %d units\n", ev.Stage, trainDetail(ev), ev.Count)
+		}
+	}
+}
+
+func trainDetail(ev ltee.Event) string {
+	if ev.Detail == "" {
+		return ""
+	}
+	return ":" + ev.Detail
+}
+
 // runIngest streams the class's corpus tables through the incremental
 // ingestion engine in the given number of batches, printing per-epoch KB
 // growth: tables ingested, entities, new detections, and instances written
-// back into the knowledge base.
-func runIngest(s *report.Suite, name string, batches int, stdout, stderr io.Writer) bool {
-	class := classByName(name)
+// back into the knowledge base. Cancelling ctx (Ctrl-C) abandons the
+// in-flight epoch without committing it.
+func runIngest(ctx context.Context, s *scenario.Suite, cfg *config, stdout, stderr io.Writer) bool {
+	class := classByName(cfg.runClass)
 	if class == "" {
-		fmt.Fprintf(stderr, "unknown class %q\n", name)
+		fmt.Fprintf(stderr, "unknown class %q\n", cfg.runClass)
 		return false
 	}
 	tables := s.TablesByClass()[class]
@@ -249,17 +307,42 @@ func runIngest(s *report.Suite, name string, batches int, stdout, stderr io.Writ
 		fmt.Fprintf(stderr, "no corpus tables matched to %s\n", kb.ClassShortName(class))
 		return false
 	}
+	batches := cfg.ingestBatches
 	if batches > len(tables) {
 		batches = len(tables)
 	}
-	models := s.ModelsFor(class)
-	eng := core.NewEngine(s.Config(class), models)
+	opts := []ltee.Option{
+		ltee.WithModels(s.ModelsFor(class)),
+		ltee.WithSeed(s.Seed),
+		ltee.WithWorkers(cfg.workers),
+	}
+	if cfg.progress {
+		opts = append(opts, ltee.WithProgress(progressPrinter(stderr)))
+	}
+	eng, err := ltee.NewEngine(s.World.KB, s.Corpus, class, opts...)
+	if err != nil {
+		fmt.Fprintf(stderr, "ltee: %v\n", err)
+		return false
+	}
+	// Capture the interrupt signal only now, around the cancellable ingest
+	// loop: the first Ctrl-C cancels the context (the epoch unwinds at its
+	// next checkpoint, committing nothing) and stop() then restores the
+	// default handler so a second Ctrl-C force-kills. The classification
+	// and training above — and every non-ingest mode — never capture the
+	// signal at all, so Ctrl-C terminates them immediately, as before.
+	ctx, stop := signal.NotifyContext(ctx, syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go func() { <-ctx.Done(); stop() }()
 	before := s.World.KB.NumInstances()
 	fmt.Fprintf(stdout, "incremental ingest: %d %s tables in %d batches (KB starts at %d instances)\n",
 		len(tables), kb.ClassShortName(class), batches, before)
 	for i := 0; i < batches; i++ {
 		lo, hi := i*len(tables)/batches, (i+1)*len(tables)/batches
-		_, st := eng.Ingest(tables[lo:hi])
+		_, st, err := eng.Ingest(ctx, tables[lo:hi])
+		if err != nil {
+			fmt.Fprintf(stderr, "ingest cancelled during epoch %d: %v (nothing committed for this epoch)\n", i+1, err)
+			return false
+		}
 		fmt.Fprintf(stdout,
 			"epoch %d: +%d tables (%d total) -> %d entities (%d new, %d matched), wrote %d instances, KB now %d\n",
 			st.Epoch, st.BatchTables, st.TotalTables,
@@ -270,13 +353,36 @@ func runIngest(s *report.Suite, name string, batches int, stdout, stderr io.Writ
 	return true
 }
 
-func runPipeline(s *report.Suite, name string, stdout, stderr io.Writer) bool {
-	class := classByName(name)
+func runPipeline(s *scenario.Suite, cfg *config, stdout, stderr io.Writer) bool {
+	class := classByName(cfg.runClass)
 	if class == "" {
-		fmt.Fprintf(stderr, "unknown class %q\n", name)
+		fmt.Fprintf(stderr, "unknown class %q\n", cfg.runClass)
 		return false
 	}
-	out := s.FullRun(class)
+	var out *ltee.Output
+	if cfg.progress {
+		// The suite's cached FullRun carries no progress hook, so the
+		// -progress path builds the identical pipeline through the public
+		// constructor (same models, seed and workers — the output is the
+		// same) and attaches the callback.
+		p, err := ltee.NewPipeline(s.World.KB, s.Corpus, class,
+			ltee.WithModels(s.ModelsFor(class)),
+			ltee.WithSeed(s.Seed),
+			ltee.WithWorkers(cfg.workers),
+			ltee.WithProgress(progressPrinter(stderr)),
+		)
+		if err != nil {
+			fmt.Fprintf(stderr, "ltee: %v\n", err)
+			return false
+		}
+		out, err = p.Run(context.Background(), s.TablesByClass()[class])
+		if err != nil {
+			fmt.Fprintf(stderr, "ltee: %v\n", err)
+			return false
+		}
+	} else {
+		out = s.FullRun(class)
+	}
 	newEnts := out.NewEntities()
 	existing, _ := out.ExistingEntities()
 	fmt.Fprintf(stdout, "class %s: %d tables, %d rows, %d clusters\n",

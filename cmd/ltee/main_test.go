@@ -2,12 +2,13 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
-	"repro/internal/kb"
+	"repro/ltee/kb"
 )
 
 func TestParseFlagsDefaults(t *testing.T) {
@@ -84,10 +85,10 @@ func TestClassByName(t *testing.T) {
 // suite (building one is covered by the report package tests).
 func TestRunBadArgs(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-table", "14"}, &stdout, &stderr); code != 2 {
+	if code := run(context.Background(), []string{"-table", "14"}, &stdout, &stderr); code != 2 {
 		t.Errorf("exit code = %d, want 2", code)
 	}
-	if code := run([]string{"-bogus"}, &stdout, &stderr); code != 2 {
+	if code := run(context.Background(), []string{"-bogus"}, &stdout, &stderr); code != 2 {
 		t.Errorf("exit code = %d, want 2", code)
 	}
 }
@@ -122,7 +123,7 @@ func TestRunIngestBatchesEndToEnd(t *testing.T) {
 		t.Skip("full suite build; skipped in -short")
 	}
 	var stdout, stderr bytes.Buffer
-	code := run([]string{
+	code := run(context.Background(), []string{
 		"-run", "GF-Player", "-ingest-batches", "2",
 		"-world", "0.15", "-corpus", "0.08",
 	}, &stdout, &stderr)
@@ -142,7 +143,7 @@ func TestRunIngestUnknownClass(t *testing.T) {
 		t.Skip("full suite build; skipped in -short")
 	}
 	var stdout, stderr bytes.Buffer
-	code := run([]string{
+	code := run(context.Background(), []string{
 		"-run", "nonsense", "-ingest-batches", "2",
 		"-world", "0.15", "-corpus", "0.08",
 	}, &stdout, &stderr)
@@ -164,7 +165,7 @@ func TestRunWritesProfiles(t *testing.T) {
 	cpu := filepath.Join(dir, "cpu.pprof")
 	mem := filepath.Join(dir, "mem.pprof")
 	var stdout, stderr bytes.Buffer
-	code := run([]string{
+	code := run(context.Background(), []string{
 		"-table", "1", "-world", "0.15", "-corpus", "0.08",
 		"-cpuprofile", cpu, "-memprofile", mem,
 	}, &stdout, &stderr)
@@ -186,7 +187,73 @@ func TestRunWritesProfiles(t *testing.T) {
 // a panic.
 func TestRunBadProfilePath(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-table", "1", "-cpuprofile", "/nonexistent-dir/x.pprof"}, &stdout, &stderr); code != 2 {
+	if code := run(context.Background(), []string{"-table", "1", "-cpuprofile", "/nonexistent-dir/x.pprof"}, &stdout, &stderr); code != 2 {
 		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+// TestParseFlagsRejectsNonsense: negative or zero-nonsense numeric flags
+// are usage errors with a diagnostic, not silent misbehavior.
+func TestParseFlagsRejectsNonsense(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-table", "1", "-workers", "-2"}, "-workers must be >= 0"},
+		{[]string{"-table", "1", "-world", "0"}, "-world must be positive"},
+		{[]string{"-table", "1", "-world", "-0.5"}, "-world must be positive"},
+		{[]string{"-table", "1", "-corpus", "0"}, "-corpus must be positive"},
+	}
+	for _, tc := range cases {
+		var stderr bytes.Buffer
+		if _, err := parseFlags(tc.args, &stderr); err == nil {
+			t.Errorf("parseFlags(%v): want error", tc.args)
+			continue
+		}
+		if !strings.Contains(stderr.String(), tc.want) {
+			t.Errorf("parseFlags(%v): diagnostic %q missing %q", tc.args, stderr.String(), tc.want)
+		}
+		if !strings.Contains(stderr.String(), "Usage") {
+			t.Errorf("parseFlags(%v): usage text not printed", tc.args)
+		}
+	}
+}
+
+// TestRunIngestCancelledContext: an already-cancelled context aborts the
+// streaming ingest without committing an epoch.
+func TestRunIngestCancelledContext(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite build; skipped in -short")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var stdout, stderr bytes.Buffer
+	code := run(ctx, []string{
+		"-run", "GF-Player", "-ingest-batches", "2",
+		"-world", "0.15", "-corpus", "0.08",
+	}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "cancelled") {
+		t.Errorf("missing cancellation diagnostic: %q", stderr.String())
+	}
+	if strings.Contains(stdout.String(), "epoch 1:") {
+		t.Errorf("cancelled run still reported a committed epoch:\n%s", stdout.String())
+	}
+}
+
+// TestParseFlagsProgressRequiresRun: -progress in a mode with no stage
+// events is a usage error, not a silently ignored flag.
+func TestParseFlagsProgressRequiresRun(t *testing.T) {
+	var stderr bytes.Buffer
+	if _, err := parseFlags([]string{"-table", "1", "-progress"}, &stderr); err == nil {
+		t.Fatal("want usage error for -progress without -run")
+	}
+	if !strings.Contains(stderr.String(), "-progress requires -run") {
+		t.Errorf("missing diagnostic: %q", stderr.String())
+	}
+	if _, err := parseFlags([]string{"-run", "Song", "-progress"}, &stderr); err != nil {
+		t.Fatalf("-run with -progress rejected: %v", err)
 	}
 }

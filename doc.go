@@ -1,86 +1,85 @@
 // Package repro reproduces "Extending Cross-Domain Knowledge Bases with
-// Long Tail Entities using Web Table Data" (Oulabi & Bizer, EDBT 2019).
+// Long Tail Entities using Web Table Data" (Oulabi & Bizer, EDBT 2019)
+// and grows it into an incremental, servable long-tail entity extraction
+// system.
 //
-// The library lives under internal/: internal/core is the four-step LTEE
-// pipeline (schema matching, row clustering, entity creation, new
-// detection, run for two iterations), and the surrounding packages are the
-// substrates it depends on — a knowledge base (internal/kb), a web table
-// model with HTML extraction and a synthetic corpus (internal/webtable), a
-// synthetic world of head and long-tail entities (internal/world), typed
-// values (internal/dtype), string similarity (internal/strsim), an inverted
-// label index (internal/index), learning machinery (internal/ml,
-// internal/agg), the gold standard (internal/gold), the paper's evaluation
-// measures (internal/eval), and the table harness (internal/report).
+// # Public API
 //
-// A shared concurrency layer (internal/par) provides the bounded worker
-// pool and memoized lazy cells behind every hot path: the pipeline fans
-// per-table schema matching, table-to-class matching and per-entity new
-// detection out over the pool, training parallelizes its per-table and
-// per-cluster loops, the greedy clusterer scores its batches on the same
-// pool, and the report harness trains per-class models and CV folds
-// concurrently behind singleflight-style cells. All fan-outs reduce in
-// deterministic order, so parallel runs are byte-identical to serial ones
-// (workers = 1).
+// Everything importable lives under ltee/ — the versioned public surface:
+//
+//   - ltee: Engine/Pipeline construction via functional options
+//     (WithWorkers, WithWriteBack, WithDedup, WithSeed, WithProgress, ...),
+//     table-to-class matching, progress events, and the v1 stability
+//     contract (see ltee.APIVersion).
+//   - ltee/kb: the knowledge base — classes, instances, concurrent
+//     growth, fuzzy search.
+//   - ltee/webtable: the relational web-table model, HTML extraction, and
+//     the WDC corpus format.
+//   - ltee/dtype: typed values and comparison thresholds.
+//   - ltee/scenario: the reproduction harness — deterministic synthetic
+//     world, corpus, gold standards, trained models, and every evaluation
+//     table of the paper.
+//   - ltee/serve: the embeddable HTTP query/ingest server.
+//   - ltee/cluster, ltee/agg, ltee/newdet, ltee/strsim, ltee/eval:
+//     research-surface re-exports for clustering and detection studies.
+//
+// The minimal flow (see the package example and examples/quickstart):
+//
+//	byClass, _ := ltee.ClassifyTables(ctx, k, corpus)
+//	eng, err := ltee.NewEngine(k, corpus, kb.ClassGFPlayer, ltee.WithWorkers(8))
+//	out, stats, err := eng.Ingest(ctx, byClass[kb.ClassGFPlayer])
+//
+// # Cancellation
+//
+// Every long-running entry point takes a context.Context and cancels
+// cooperatively: checkpoints sit at stage boundaries, inside the
+// per-table and per-entity fan-outs, and between clustering batches and
+// refinement rounds. A cancelled Ingest commits nothing — engine state
+// and knowledge base are untouched, and the same batch can simply be
+// retried. The serving layer exposes cancellation over HTTP as
+// DELETE /v1/jobs/{id} and a deadline-bounded Shutdown.
+//
+// # The paper's pipeline
+//
+// The implementation under internal/ realizes the four-step LTEE process
+// (schema matching, row clustering, entity creation, new detection, run
+// for two iterations) over substrates built from scratch: a knowledge
+// base with a class hierarchy and typed facts, a web-table model with
+// HTML extraction and a synthetic corpus, string-similarity kernels, an
+// inverted label index, learned matchers/scorers/detectors, the gold
+// standard, and the paper's evaluation measures. internal/par provides
+// the bounded worker pool behind every fan-out; all reductions are
+// deterministic, so parallel runs are byte-identical to serial ones.
 //
 // # Incremental ingestion
 //
-// Beyond the paper's one-shot batch (core.Pipeline.Run), core.Engine
-// closes the knowledge-base completion loop for continuously arriving
-// tables. Engine.Ingest accepts a table batch, runs the pipeline
-// iterations scoped to the batch while clustering its rows against the
-// retained state of all earlier batches, and then writes every entity
-// classified as new back into the KB as a first-class instance carrying
-// kb.ProvenanceIngest and the ingest epoch. Each Ingest call is one epoch:
-//
-//   - kb.KB supports safe concurrent post-construction growth and bumps a
-//     monotonic Version on every mutation;
-//   - match.Context property profiles and newdet.Detector candidate
-//     lookups key their caches on that version, so they invalidate and
-//     rebuild over the grown KB between epochs;
-//   - cluster.Incremental retains the block index and grows the clustering
-//     with each batch's rows instead of re-clustering from scratch;
-//   - index.Index serves lookups concurrently while later batches add
-//     postings.
-//
-// Rows arriving in a later batch therefore match the instances discovered
-// earlier instead of re-creating them. Ingesting the whole corpus as one
-// batch reproduces Pipeline.Run bit-for-bit; Pipeline is a thin wrapper
-// over a single-use Engine with write-back disabled. The CLI exercises the
-// streaming path with "ltee -run CLASS -ingest-batches N", printing KB
-// growth per epoch, and BenchmarkIngestBatch vs BenchmarkFullRerun tracks
-// the incremental speedup.
+// Beyond the paper's one-shot batch (ltee.Pipeline), ltee.Engine closes
+// the knowledge-base completion loop for continuously arriving tables:
+// each Ingest call is one epoch that matches, clusters and detects the
+// batch against all retained state, then writes entities classified as
+// new back into the KB (kb.ProvenanceIngest) so later batches match
+// against earlier discoveries. Ingesting the whole corpus as one batch
+// reproduces Pipeline.Run bit-for-bit.
 //
 // # Serving
 //
-// internal/serve wraps one Engine per class in a long-running HTTP/JSON
-// server (cmd/ltee-serve): entity lookup by instance ID, fuzzy label
-// search over the inverted index, per-class/per-epoch statistics, and
-// asynchronous ingestion. All mutation funnels through a single-writer
-// job loop; concurrent readers rely on the KB's lock-free growth
-// guarantees, the Engine's copy-returning accessors (Epoch, TableIDs,
-// History, Last), and an LRU response cache keyed on kb.Version so hot
-// lookups skip retrieval until the KB actually changes. With a snapshot
-// directory configured, the server persists its discoveries atomically
-// (kb.SaveSnapshot: write-backs as NDJSON plus a manifest with per-class
-// epochs, temp-file + rename) and warm-starts from them after a restart,
-// resuming each engine's epoch sequence via Engine.Resume instead of
-// re-ingesting. BenchmarkServeLookup and BenchmarkServeSearch establish
-// the serving-path latency numbers, cached vs uncached.
+// ltee/serve wraps one engine per class in a long-running HTTP/JSON
+// server (cmd/ltee-serve): entity lookup, fuzzy label search,
+// per-class/per-epoch statistics, asynchronous ingestion jobs —
+// queryable, stage-annotated, and cancellable via DELETE /v1/jobs/{id} —
+// and atomic snapshot persistence with warm restarts.
 //
 // # Performance
 //
-// internal/strsim is the allocation-free, memoizing similarity kernel
-// every stage bottoms out in: pooled ASCII-fast Levenshtein, the banded
+// The similarity hot path is an allocation-free, memoizing kernel
+// (ltee/strsim re-exports it): pooled ASCII-fast Levenshtein, banded
 // bounded variants, interned tokens with a Monge-Elkan pair memo, and
-// PreparedLabel forms threaded through cluster, match, newdet and the
-// label index (whose fuzzy fallback runs on a single-deletion
-// neighborhood index). Optimized kernels are provably equivalent to the
-// retained naive references. cmd/ltee-bench runs the tracked hot-path
-// benchmarks and emits BENCH_hotpath.json, gated in CI against
-// bench_baseline.json; cmd/ltee takes -cpuprofile/-memprofile and
-// cmd/ltee-serve mounts net/http/pprof behind -pprof.
+// prepared label forms threaded through clustering, matching, detection
+// and the label index (whose fuzzy fallback runs on a single-deletion
+// neighborhood index). cmd/ltee-bench tracks the hot-path benchmarks in
+// BENCH_hotpath.json, gated in CI against bench_baseline.json.
 //
-// The benchmarks in bench_test.go regenerate every evaluation table of the
-// paper; cmd/ltee prints them (the -workers flag drives all tables in
-// parallel), and examples/ holds runnable end-to-end scenarios.
+// The benchmarks in bench_test.go regenerate every evaluation table of
+// the paper; cmd/ltee prints them, and examples/ holds runnable
+// end-to-end scenarios built exclusively on the public API.
 package repro

@@ -1,17 +1,20 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"sort"
 
-	"repro/internal/core"
-	"repro/internal/dtype"
-	"repro/internal/kb"
-	"repro/internal/webtable"
+	"repro/ltee"
+	"repro/ltee/dtype"
+	"repro/ltee/kb"
+	"repro/ltee/webtable"
 )
 
-// Example demonstrates the minimal end-to-end flow: a knowledge base, a
-// few web tables, and the two-iteration pipeline producing new entities.
+// Example demonstrates the minimal end-to-end flow on the public API: a
+// knowledge base, a few web tables, and the two-iteration pipeline
+// producing new entities.
 func Example() {
 	k := kb.New()
 	k.AddInstance(&kb.Instance{
@@ -43,9 +46,19 @@ func Example() {
 		},
 	})
 
-	byClass := core.ClassifyTables(k, corpus, 0.3)
-	cfg := core.DefaultConfig(k, corpus, kb.ClassGFPlayer)
-	out := core.New(cfg, core.Models{}).Run(byClass[kb.ClassGFPlayer])
+	ctx := context.Background()
+	byClass, err := ltee.ClassifyTables(ctx, k, corpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := ltee.NewPipeline(k, corpus, kb.ClassGFPlayer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := p.Run(ctx, byClass[kb.ClassGFPlayer])
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var lines []string
 	for i, e := range out.Entities {

@@ -1,4 +1,5 @@
-// Football: the GF-Player scenario of the paper at laptop scale.
+// Football: the GF-Player scenario of the paper at laptop scale, on the
+// public ltee API.
 //
 // The example generates a synthetic world of football players (some in the
 // knowledge base, some long-tail), a corpus of roster/draft web tables over
@@ -16,15 +17,15 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/dtype"
-	"repro/internal/eval"
-	"repro/internal/fusion"
-	"repro/internal/kb"
-	"repro/internal/report"
+	"repro/ltee"
+	"repro/ltee/dtype"
+	"repro/ltee/eval"
+	"repro/ltee/kb"
+	"repro/ltee/scenario"
 )
 
 func main() {
-	s := report.NewSuite(report.Options{WorldScale: 0.25, CorpusScale: 0.15, Seed: 42})
+	s := scenario.NewSuite(scenario.Options{WorldScale: 0.25, CorpusScale: 0.15, Seed: 42})
 	class := kb.ClassGFPlayer
 
 	prof := s.World.KB.ProfileClass(class)
@@ -40,7 +41,7 @@ func main() {
 	// Fact accuracy against the world truth (the paper reports 0.95 for
 	// GF-Player fact accuracy in Table 11).
 	th := dtype.DefaultThresholds()
-	acc := eval.FactAccuracy(newEnts, func(e *fusion.Entity) map[string]dtype.Value {
+	acc := eval.FactAccuracy(newEnts, func(e *ltee.Entity) map[string]dtype.Value {
 		for _, we := range s.World.NewEntities(class) {
 			if we.Name == e.Label() {
 				out := make(map[string]dtype.Value, len(we.Truth))

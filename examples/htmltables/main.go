@@ -1,10 +1,11 @@
-// HTML tables: from raw HTML pages to new knowledge base entities.
+// HTML tables: from raw HTML pages to new knowledge base entities, using
+// only the public ltee API.
 //
 // The WDC corpus the paper uses was extracted from Common Crawl HTML. This
 // example exercises the same path end to end: raw HTML pages are parsed by
-// the from-scratch extractor in internal/webtable, relational tables are
-// kept, layout tables are rejected, and the resulting corpus feeds the
-// pipeline against a small knowledge base.
+// the from-scratch extractor in ltee/webtable, relational tables are kept,
+// layout tables are rejected, and the resulting corpus feeds the pipeline
+// against a small knowledge base.
 //
 // Run with:
 //
@@ -12,12 +13,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"repro/internal/core"
-	"repro/internal/dtype"
-	"repro/internal/kb"
-	"repro/internal/webtable"
+	"repro/ltee"
+	"repro/ltee/dtype"
+	"repro/ltee/kb"
+	"repro/ltee/webtable"
 )
 
 var pages = []string{
@@ -70,9 +73,19 @@ func main() {
 	}
 
 	// 3. Classify tables and run the pipeline.
-	byClass := core.ClassifyTables(k, corpus, 0.3)
-	cfg := core.DefaultConfig(k, corpus, kb.ClassGFPlayer)
-	out := core.New(cfg, core.Models{}).Run(byClass[kb.ClassGFPlayer])
+	ctx := context.Background()
+	byClass, err := ltee.ClassifyTables(ctx, k, corpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := ltee.NewPipeline(k, corpus, kb.ClassGFPlayer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := p.Run(ctx, byClass[kb.ClassGFPlayer])
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("pipeline results:")
 	for i, e := range out.Entities {

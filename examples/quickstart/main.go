@@ -1,5 +1,5 @@
 // Quickstart: extend a tiny knowledge base with long-tail entities from a
-// handful of hand-written web tables.
+// handful of hand-written web tables, using only the public ltee API.
 //
 // The example builds a knowledge base with three known football players,
 // three small web tables that mention both known and unknown players, and
@@ -14,12 +14,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"repro/internal/core"
-	"repro/internal/dtype"
-	"repro/internal/kb"
-	"repro/internal/webtable"
+	"repro/ltee"
+	"repro/ltee/dtype"
+	"repro/ltee/kb"
+	"repro/ltee/webtable"
 )
 
 func main() {
@@ -83,10 +85,21 @@ func main() {
 	})
 
 	// 3. Run the two-iteration pipeline with unlearned defaults (the
-	// defaults are plenty for clean tables; real corpora use core.Train).
-	cfg := core.DefaultConfig(k, corpus, kb.ClassGFPlayer)
-	byClass := core.ClassifyTables(k, corpus, 0.3)
-	out := core.New(cfg, core.Models{}).Run(byClass[kb.ClassGFPlayer])
+	// defaults are plenty for clean tables; real corpora use trained
+	// models via ltee.WithModels).
+	ctx := context.Background()
+	byClass, err := ltee.ClassifyTables(ctx, k, corpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := ltee.NewPipeline(k, corpus, kb.ClassGFPlayer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := p.Run(ctx, byClass[kb.ClassGFPlayer])
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// 4. Report.
 	fmt.Printf("processed %d tables, %d rows, %d entities\n\n",

@@ -1,4 +1,5 @@
-// Settlements: the class where almost everything already exists.
+// Settlements: the class where almost everything already exists — on the
+// public ltee API.
 //
 // Wikipedia deems any legally recognized place notable, so DBpedia's
 // Settlement coverage is nearly complete — the paper finds only a +1%
@@ -20,19 +21,18 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/agg"
-	"repro/internal/cluster"
-	"repro/internal/dtype"
-	"repro/internal/fusion"
-	"repro/internal/kb"
-	"repro/internal/newdet"
-	"repro/internal/report"
-	"repro/internal/strsim"
-	"repro/internal/world"
+	"repro/ltee"
+	"repro/ltee/agg"
+	"repro/ltee/cluster"
+	"repro/ltee/dtype"
+	"repro/ltee/kb"
+	"repro/ltee/newdet"
+	"repro/ltee/scenario"
+	"repro/ltee/strsim"
 )
 
 func main() {
-	s := report.NewSuite(report.Options{WorldScale: 0.25, CorpusScale: 0.15, Seed: 11})
+	s := scenario.NewSuite(scenario.Options{WorldScale: 0.25, CorpusScale: 0.15, Seed: 11})
 	class := kb.ClassSettlement
 
 	fmt.Printf("world: %d settlements in the KB, %d long-tail settlements\n\n",
@@ -43,22 +43,24 @@ func main() {
 	// and create two versions of the entity a web table would yield: one
 	// agreeing with the KB, one with an outdated population (±18%) and a
 	// different isPartOf.
-	var head *world.Entity
-	for _, e := range s.World.HeadEntities(class) {
+	heads := s.World.HeadEntities(class)
+	headIdx := -1
+	for i, e := range heads {
 		inst := s.World.KB.Instance(e.KBID)
 		_, hasPop := inst.Facts["dbo:populationTotal"]
 		_, hasPart := inst.Facts["dbo:isPartOf"]
 		if hasPop && hasPart {
-			head = e
+			headIdx = i
 			break
 		}
 	}
+	head := heads[headIdx]
 	inst := s.World.KB.Instance(head.KBID)
 	pop := head.Truth["dbo:populationTotal"].Num
 	region := head.Truth["dbo:isPartOf"]
 
-	mk := func(pop float64, part dtype.Value) *fusion.Entity {
-		return &fusion.Entity{
+	mk := func(pop float64, part dtype.Value) *ltee.Entity {
+		return &ltee.Entity{
 			Class:  class,
 			Labels: []string{head.Name},
 			Facts: map[kb.PropertyID]dtype.Value{
@@ -97,7 +99,7 @@ func main() {
 		len(out.Entities), len(out.NewEntities()))
 }
 
-func detector(s *report.Suite) *newdet.Detector {
+func detector(s *scenario.Suite) *newdet.Detector {
 	metrics := newdet.MetricSet()
 	w := make([]float64, len(metrics))
 	for i := range w {

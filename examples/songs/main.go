@@ -1,4 +1,5 @@
-// Songs: the hardest class of the paper — homonyms and cover versions.
+// Songs: the hardest class of the paper — homonyms and cover versions —
+// on the public ltee API.
 //
 // Song titles collide constantly: different songs by different artists
 // share a name, and cover versions even share runtime and writer. The
@@ -17,18 +18,18 @@ package main
 
 import (
 	"fmt"
+	"sort"
 
-	"repro/internal/agg"
-	"repro/internal/cluster"
-	"repro/internal/eval"
-	"repro/internal/kb"
-	"repro/internal/match"
-	"repro/internal/report"
-	"repro/internal/webtable"
+	"repro/ltee/agg"
+	"repro/ltee/cluster"
+	"repro/ltee/eval"
+	"repro/ltee/kb"
+	"repro/ltee/scenario"
+	"repro/ltee/webtable"
 )
 
 func main() {
-	s := report.NewSuite(report.Options{WorldScale: 0.25, CorpusScale: 0.15, Seed: 7})
+	s := scenario.NewSuite(scenario.Options{WorldScale: 0.25, CorpusScale: 0.15, Seed: 7})
 	class := kb.ClassSong
 	g := s.Golds[class]
 
@@ -39,31 +40,25 @@ func main() {
 		byName[e.Name] = append(byName[e.Name], artist)
 	}
 	fmt.Println("homonym titles in the world (same title, different artists):")
+	// Sorted order so the sample is the same every run (map iteration
+	// order used to make this listing nondeterministic).
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	shown := 0
-	for name, artists := range byName {
-		if len(artists) > 1 && shown < 5 {
+	for _, name := range names {
+		if artists := byName[name]; len(artists) > 1 && shown < 5 {
 			fmt.Printf("  %-20s by %v\n", name, artists)
 			shown++
 		}
 	}
 
-	// Prepare rows with the learned first-iteration mapping.
+	// Rows of the gold tables, prepared with the learned first-iteration
+	// mapping (the same rows every clustering study in the suite uses).
 	models := s.ModelsFor(class)
-	ctx := match.NewContext(s.World.KB, s.Corpus)
-	ctx.Class = class
-	mapping := make(map[int]map[int]kb.PropertyID)
-	for _, tid := range g.TableIDs {
-		t := s.Corpus.Table(tid)
-		if t.ColKinds == nil {
-			match.DetectColumnKinds(t)
-		}
-		if t.LabelCol < 0 {
-			match.DetectLabelColumn(t)
-		}
-		mapping[tid] = match.MatchAttributes(ctx, models.AttrFirst, match.FirstIterationMatchers(), t)
-	}
-	builder := &cluster.Builder{KB: s.World.KB, Corpus: s.Corpus, Class: class, Mapping: mapping}
-	rows := builder.Build(g.TableIDs)
+	rows := s.ClusterRows(class)
 
 	goldRows := make([][]webtable.RowRef, len(g.Clusters))
 	for i, c := range g.Clusters {

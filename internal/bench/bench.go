@@ -10,6 +10,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -74,7 +75,8 @@ func pipeFixture(b *testing.B) *pipeFix {
 	pipeOnce.Do(func() {
 		w := world.Generate(world.DefaultConfig(0.2))
 		c := webtable.Synthesize(w, webtable.DefaultSynthConfig(0.12))
-		tables := core.ClassifyTables(w.KB, c, 0.3)[kb.ClassGFPlayer]
+		byClass, _ := core.ClassifyTables(context.Background(), w.KB, c, 0.3, 0)
+		tables := byClass[kb.ClassGFPlayer]
 		builder := &cluster.Builder{KB: w.KB, Corpus: c, Class: kb.ClassGFPlayer}
 		rows := builder.Build(tables)
 		n := len(cluster.MetricSet())
@@ -138,7 +140,7 @@ func ingestFixture(b *testing.B) *ingestFix {
 		eng := core.NewEngine(cfg, core.Models{})
 		eng.WriteBack = false // keep the shared fixture KB pristine
 		half := len(f.tables) / 2
-		eng.Ingest(f.tables[:half])
+		eng.Ingest(context.Background(), f.tables[:half])
 		ingest = &ingestFix{base: eng, second: f.tables[half:]}
 	})
 	if ingestErr != nil {
@@ -155,7 +157,7 @@ func IngestBatch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng := f.base.Fork()
-		out, _ := eng.Ingest(f.second)
+		out, _, _ := eng.Ingest(context.Background(), f.second)
 		if len(out.Entities) == 0 {
 			b.Fatal("no entities")
 		}

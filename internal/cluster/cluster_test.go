@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -190,7 +191,7 @@ func TestKLjSplitsNegativeRows(t *testing.T) {
 	st := &clusterer{scorer: s, opts: Options{Blocking: true, MaxKLjRounds: 2}, blockIndex: map[string]map[int]bool{}}
 	ci := st.newCluster(a)
 	st.addToCluster(ci, b)
-	st.klj()
+	st.klj(context.Background())
 	res := st.result()
 	if res.NumClusters() != 2 {
 		t.Errorf("KLj should split same-table pair: %d clusters", res.NumClusters())

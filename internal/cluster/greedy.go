@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -64,7 +65,7 @@ type clusterState struct {
 // exactly the same clustering.
 func Cluster(rows []*Row, scorer *Scorer, opts Options) *Clustering {
 	inc := NewIncremental(scorer, opts)
-	inc.Add(rows)
+	inc.Add(context.Background(), rows)
 	return inc.Result()
 }
 
@@ -92,14 +93,19 @@ type bestScratch struct {
 // greedy sequentially applies batches; scores within a batch are computed
 // in parallel against a snapshot of the clusters, so batch members cannot
 // see each other — the "errors during clustering" the paper accepts and
-// repairs with KLj.
-func (c *clusterer) greedy(rows []*Row) {
+// repairs with KLj. Cancellation is checked once per batch: a batch whose
+// scores were computed is still applied in full, so the state never holds a
+// half-applied batch.
+func (c *clusterer) greedy(ctx context.Context, rows []*Row) error {
 	type decision struct {
 		row     *Row
 		cluster int // -1: create new
 		score   float64
 	}
 	for start := 0; start < len(rows); start += c.opts.BatchSize {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		end := start + c.opts.BatchSize
 		if end > len(rows) {
 			end = len(rows)
@@ -118,6 +124,7 @@ func (c *clusterer) greedy(rows []*Row) {
 			}
 		}
 	}
+	return nil
 }
 
 // bestCluster finds the cluster with the highest summed similarity to the

@@ -1,6 +1,10 @@
 package cluster
 
-import "repro/internal/par"
+import (
+	"context"
+
+	"repro/internal/par"
+)
 
 // Incremental is a clusterer that accepts rows in batches and retains its
 // working state — the cluster membership lists and the block index — so a
@@ -40,19 +44,29 @@ func NewIncremental(scorer *Scorer, opts Options) *Incremental {
 // assignment of each new row to its best existing-or-new cluster, then the
 // KLj refinement when enabled. Adding an empty batch leaves the state
 // untouched.
-func (inc *Incremental) Add(rows []*Row) {
+//
+// Cancellation checkpoints sit between greedy batches and between KLj
+// rounds; a non-nil error means the clusterer state is torn mid-refinement
+// and the caller must discard it (the ingestion engine always Adds to a
+// clone, so abandoning the clone is enough).
+func (inc *Incremental) Add(ctx context.Context, rows []*Row) error {
 	if len(rows) == 0 {
-		return
+		return nil
 	}
-	inc.c.greedy(rows)
+	if err := inc.c.greedy(ctx, rows); err != nil {
+		return err
+	}
 	if inc.c.opts.KLj {
-		inc.c.klj()
+		if err := inc.c.klj(ctx); err != nil {
+			return err
+		}
 	}
 	// Compact after every batch so retained state tracks live rows, not
 	// history: KLj-emptied clusters and their stale block entries would
 	// otherwise accumulate across epochs (and be deep-copied by every
 	// Clone). Order-preserving, so the materialized Result is unchanged.
 	inc.c.compact()
+	return nil
 }
 
 // Clone returns an independent deep copy of the clusterer state: Adds on

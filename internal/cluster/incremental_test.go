@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -38,7 +39,7 @@ func TestIncrementalOneShotEqualsCluster(t *testing.T) {
 		want := Cluster(rows, labelScorer(), opts)
 
 		inc := NewIncremental(labelScorer(), opts)
-		inc.Add(rows)
+		inc.Add(context.Background(), rows)
 		got := inc.Result()
 		if !reflect.DeepEqual(want.Assign, got.Assign) {
 			t.Errorf("klj=%v: one-shot incremental differs from Cluster", klj)
@@ -58,7 +59,7 @@ func TestIncrementalGrowth(t *testing.T) {
 		mkRow(0, 0, "Tom Brady", nil),
 		mkRow(0, 1, "Eli Manning", nil),
 	}
-	inc.Add(batch1)
+	inc.Add(context.Background(), batch1)
 	if n := inc.Result().NumClusters(); n != 2 {
 		t.Fatalf("batch 1: %d clusters, want 2", n)
 	}
@@ -70,7 +71,7 @@ func TestIncrementalGrowth(t *testing.T) {
 		mkRow(1, 0, "Tom Brady", nil),      // joins the existing Brady cluster
 		mkRow(1, 1, "Russell Wilson", nil), // genuinely new
 	}
-	inc.Add(batch2)
+	inc.Add(context.Background(), batch2)
 	out := inc.Result()
 	if n := out.NumClusters(); n != 3 {
 		t.Fatalf("after batch 2: %d clusters, want 3", n)
@@ -105,8 +106,8 @@ func TestPersistentBlocksReachEarlierLabels(t *testing.T) {
 	opts := NewOptions()
 	opts.Workers = 1
 	inc := NewIncremental(labelScorer(), opts)
-	inc.Add(first)
-	inc.Add(second)
+	inc.Add(context.Background(), first)
+	inc.Add(context.Background(), second)
 	out := inc.Result()
 	if out.Assign[first[0].Ref] != out.Assign[second[0].Ref] {
 		t.Error("fuzzy cross-batch variant did not reach the retained cluster")
@@ -176,7 +177,7 @@ func TestIncrementalCompactsEmptyClusters(t *testing.T) {
 	inc := NewIncremental(labelScorer(), opts)
 	// Same batch, so the parallel greedy snapshot makes each row its own
 	// cluster; KLj then merges them, emptying one.
-	inc.Add([]*Row{mkRow(0, 0, "Tom Brady", nil), mkRow(1, 0, "Tom Brady", nil)})
+	inc.Add(context.Background(), []*Row{mkRow(0, 0, "Tom Brady", nil), mkRow(1, 0, "Tom Brady", nil)})
 	if got := inc.Result().NumClusters(); got != 1 {
 		t.Fatalf("clusters = %d, want 1", got)
 	}
@@ -197,9 +198,9 @@ func TestIncrementalAddEmptyIsNoop(t *testing.T) {
 	opts := NewOptions()
 	opts.Workers = 1
 	inc := NewIncremental(labelScorer(), opts)
-	inc.Add([]*Row{mkRow(0, 0, "Tom Brady", nil)})
+	inc.Add(context.Background(), []*Row{mkRow(0, 0, "Tom Brady", nil)})
 	before := inc.Result()
-	inc.Add(nil)
+	inc.Add(context.Background(), nil)
 	after := inc.Result()
 	if !reflect.DeepEqual(before.Assign, after.Assign) {
 		t.Error("empty Add changed the clustering")
@@ -213,11 +214,11 @@ func TestIncrementalClone(t *testing.T) {
 	opts.Workers = 1
 	base := NewIncremental(labelScorer(), opts)
 	seed := mkRow(0, 0, "Tom Brady", nil)
-	base.Add([]*Row{seed})
+	base.Add(context.Background(), []*Row{seed})
 
 	fork := base.Clone()
 	joiner := mkRow(1, 0, "Tom Brady", nil)
-	fork.Add([]*Row{joiner, mkRow(1, 1, "Drew Brees", nil)})
+	fork.Add(context.Background(), []*Row{joiner, mkRow(1, 1, "Drew Brees", nil)})
 
 	if got := base.NumRows(); got != 1 {
 		t.Errorf("clone add leaked into base: %d rows", got)
@@ -260,8 +261,8 @@ func TestIncrementalMultiBatchCloseToOneShot(t *testing.T) {
 
 	inc := NewIncremental(labelScorer(), opts)
 	half := len(rows) / 2
-	inc.Add(rows[:half])
-	inc.Add(rows[half:])
+	inc.Add(context.Background(), rows[:half])
+	inc.Add(context.Background(), rows[half:])
 	grown := inc.Result()
 
 	if got, want := len(grown.Assign), len(full.Assign); got != want {

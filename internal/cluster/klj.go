@@ -1,6 +1,9 @@
 package cluster
 
-import "sort"
+import (
+	"context"
+	"sort"
+)
 
 // klj runs the Kernighan-Lin-with-joins refinement (§3.2): cluster pairs
 // sharing a block are compared and individual rows are moved between them
@@ -8,9 +11,14 @@ import "sort"
 // clustering fitness (the sum of pairwise similarities within clusters).
 // Each cluster is also compared against an empty set, so that splitting
 // rows out of a cluster is possible. Rounds repeat until no operation
-// improves the fitness or MaxKLjRounds is reached.
-func (c *clusterer) klj() {
+// improves the fitness or MaxKLjRounds is reached. Cancellation is checked
+// once per round; between rounds the state is a valid (just unrefined)
+// clustering.
+func (c *clusterer) klj(ctx context.Context) error {
 	for round := 0; round < c.opts.MaxKLjRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		improved := false
 		// Candidate cluster pairs: sharing a block (or all pairs when
 		// blocking is off).
@@ -40,9 +48,10 @@ func (c *clusterer) klj() {
 			}
 		}
 		if !improved {
-			return
+			return nil
 		}
 	}
+	return nil
 }
 
 // candidatePairs enumerates cluster ID pairs that share at least one block,

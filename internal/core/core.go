@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/agg"
@@ -53,6 +54,10 @@ type Config struct {
 	// per-entity new detection fan-outs (0 = GOMAXPROCS, 1 = serial). The
 	// parallel and serial paths produce identical output.
 	Workers int
+	// Progress, when non-nil, receives an Event at the start of every
+	// pipeline stage (see Event for the callback contract). Progress never
+	// affects the pipeline output.
+	Progress func(Event)
 }
 
 // DefaultConfig returns the standard two-iteration configuration.
@@ -146,43 +151,49 @@ func New(cfg Config, models Models) *Pipeline {
 
 // ClassifyTables runs data-type detection, label-attribute detection and
 // table-to-class matching over the whole corpus and returns the table IDs
-// matched to each class, using the default worker pool.
-func ClassifyTables(k *kb.KB, corpus *webtable.Corpus, minRowFrac float64) map[kb.ClassID][]int {
-	return ClassifyTablesParallel(k, corpus, minRowFrac, 0)
-}
-
-// ClassifyTablesParallel is ClassifyTables with an explicit worker pool
-// size (0 = GOMAXPROCS, 1 = serial). Tables are matched concurrently —
-// each worker owns its table, so the in-place detection annotations are
-// race-free — and reduced in corpus order, making the output identical at
-// every worker count.
-func ClassifyTablesParallel(k *kb.KB, corpus *webtable.Corpus, minRowFrac float64, workers int) map[kb.ClassID][]int {
+// matched to each class. Tables are matched concurrently on a pool of at
+// most workers goroutines (0 = GOMAXPROCS, 1 = serial) — each worker owns
+// its table, so the in-place detection annotations are race-free — and
+// reduced in corpus order, making the output identical at every worker
+// count. Cancelling ctx stops the fan-out between tables and returns the
+// context's error.
+func ClassifyTables(ctx context.Context, k *kb.KB, corpus *webtable.Corpus, minRowFrac float64, workers int) (map[kb.ClassID][]int, error) {
 	if minRowFrac <= 0 {
 		minRowFrac = 0.3
 	}
-	ctx := match.NewContext(k, corpus)
-	classes := par.Map(workers, corpus.Tables, func(_ int, t *webtable.Table) kb.ClassID {
+	mctx := match.NewContext(k, corpus)
+	classes, err := par.MapCtx(ctx, workers, corpus.Tables, func(_ int, t *webtable.Table) kb.ClassID {
 		match.EnsureDetected(t)
-		return match.MatchTableClass(ctx, t, minRowFrac).Class
+		return match.MatchTableClass(mctx, t, minRowFrac).Class
 	})
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[kb.ClassID][]int)
 	for i, t := range corpus.Tables {
 		if class := classes[i]; class != "" {
 			out[class] = append(out[class], t.ID)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Run executes the configured number of pipeline iterations over the given
 // tables (all already matched to the pipeline's class) and returns the
 // final output. Run delegates to a fresh Engine ingesting everything as
 // one batch; the KB is not modified.
-func (p *Pipeline) Run(tableIDs []int) *Output {
+//
+// Cancelling ctx makes Run return the context's error at the next
+// checkpoint (see Engine.Ingest); the one-shot engine is discarded, so a
+// cancelled Run has no effect at all.
+func (p *Pipeline) Run(ctx context.Context, tableIDs []int) (*Output, error) {
 	e := NewEngine(p.Cfg, p.Models)
 	e.WriteBack = false
-	out, _ := e.Ingest(tableIDs)
-	return out
+	out, _, err := e.Ingest(ctx, tableIDs)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // sortedTableIDs returns a deduplicated ascending copy of the table IDs:

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -25,9 +26,16 @@ func fixture() (*world.World, *webtable.Corpus) {
 	return fw, fc
 }
 
+// classify is the test shorthand for ClassifyTables with the default pool
+// and no cancellation (the error path cannot fire under Background).
+func classify(k *kb.KB, corpus *webtable.Corpus) map[kb.ClassID][]int {
+	byClass, _ := ClassifyTables(context.Background(), k, corpus, 0.3, 0)
+	return byClass
+}
+
 func TestClassifyTables(t *testing.T) {
 	w, corpus := fixture()
-	byClass := ClassifyTables(w.KB, corpus, 0.3)
+	byClass := classify(w.KB, corpus)
 	for _, class := range kb.EvalClasses() {
 		if len(byClass[class]) == 0 {
 			t.Errorf("no tables classified as %s", class)
@@ -57,11 +65,11 @@ func TestClassifyTables(t *testing.T) {
 
 func TestPipelineUnlearnedRuns(t *testing.T) {
 	w, corpus := fixture()
-	byClass := ClassifyTables(w.KB, corpus, 0.3)
+	byClass := classify(w.KB, corpus)
 	cfg := DefaultConfig(w.KB, corpus, kb.ClassGFPlayer)
 	cfg.Iterations = 1
 	p := New(cfg, Models{})
-	out := p.Run(byClass[kb.ClassGFPlayer])
+	out, _ := p.Run(context.Background(), byClass[kb.ClassGFPlayer])
 	if out == nil || len(out.Entities) == 0 {
 		t.Fatal("pipeline produced no entities")
 	}
@@ -88,7 +96,7 @@ func TestTrainAndRunEndToEnd(t *testing.T) {
 	for i := range all {
 		all[i] = i
 	}
-	models := Train(cfg, g, all)
+	models, _ := Train(context.Background(), cfg, g, all)
 	if models.AttrFirst == nil || models.AttrSecond == nil {
 		t.Fatal("attribute models not learned")
 	}
@@ -97,7 +105,7 @@ func TestTrainAndRunEndToEnd(t *testing.T) {
 	}
 
 	p := New(cfg, models)
-	out := p.Run(g.TableIDs)
+	out, _ := p.Run(context.Background(), g.TableIDs)
 	if len(out.Entities) == 0 {
 		t.Fatal("no entities")
 	}
@@ -143,12 +151,12 @@ func TestSecondIterationImprovesMappingRecall(t *testing.T) {
 	for i := range all {
 		all[i] = i
 	}
-	models := Train(cfg, g, all)
+	models, _ := Train(context.Background(), cfg, g, all)
 
 	run := func(iters int) int {
 		cfg2 := cfg
 		cfg2.Iterations = iters
-		out := New(cfg2, models).Run(g.TableIDs)
+		out, _ := New(cfg2, models).Run(context.Background(), g.TableIDs)
 		mapped := 0
 		for _, m := range out.Mapping {
 			mapped += len(m)
@@ -169,14 +177,14 @@ func TestDedupReducesEntityCount(t *testing.T) {
 		t.Skip("two full Song runs; skipped in -short")
 	}
 	w, corpus := fixture()
-	byClass := ClassifyTables(w.KB, corpus, 0.3)
+	byClass := classify(w.KB, corpus)
 	base := DefaultConfig(w.KB, corpus, kb.ClassSong)
 	base.Iterations = 1
-	plain := New(base, Models{}).Run(byClass[kb.ClassSong])
+	plain, _ := New(base, Models{}).Run(context.Background(), byClass[kb.ClassSong])
 
 	deduped := base
 	deduped.Dedup = true
-	withDedup := New(deduped, Models{}).Run(byClass[kb.ClassSong])
+	withDedup, _ := New(deduped, Models{}).Run(context.Background(), byClass[kb.ClassSong])
 
 	if len(withDedup.Entities) > len(plain.Entities) {
 		t.Errorf("dedup increased entities: %d > %d",

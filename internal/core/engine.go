@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -394,22 +395,42 @@ func (e *Engine) Fork() *Engine {
 //
 // The returned Output always covers all tables ingested so far, so a
 // single full-corpus batch is exactly a Pipeline.Run.
-func (e *Engine) Ingest(batch []int) (*Output, IngestStats) {
+//
+// Cancelling ctx makes Ingest return the context's error at the next
+// cooperative checkpoint — checkpoints sit at every stage boundary, inside
+// the per-table and per-entity fan-outs, and between clustering batches
+// and refinement rounds. A cancelled epoch commits nothing: the published
+// state (epoch counter, history, retained output) is untouched and no
+// entity reaches the KB, so re-issuing the same batch later runs it as a
+// fresh epoch. The persistent blocking and PHI statistics may already
+// include the abandoned batch's tables; both are idempotent under
+// re-addition, so the retry reproduces what an uncancelled run would have
+// produced.
+func (e *Engine) Ingest(ctx context.Context, batch []int) (*Output, IngestStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, IngestStats{}, err
+	}
 	newIDs := e.newTableIDs(batch)
 	e.cur = e.epoch + 1
 
 	// A fresh matching context per epoch: the KB may have grown since the
 	// previous batch (write-back), and the context's profiles key their
 	// validity on the KB version.
-	ctx := match.NewContext(e.Cfg.KB, e.Cfg.Corpus)
-	ctx.Class = e.Cfg.Class
+	mc := match.NewContext(e.Cfg.KB, e.Cfg.Corpus)
+	mc.Class = e.Cfg.Class
 
 	var out *Output
 	var grown *cluster.Incremental
 	for it := 0; it < e.Cfg.Iterations; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, IngestStats{}, err
+		}
 		model := e.Models.AttrFirst
 		matchers := match.FirstIterationMatchers()
-		mctx := ctx
+		mctx := mc
 		if it > 0 && out != nil {
 			model = e.Models.AttrSecond
 			matchers = match.AllMatchers()
@@ -423,12 +444,22 @@ func (e *Engine) Ingest(batch []int) (*Output, IngestStats) {
 			for ref, c := range out.Clustering.Assign {
 				rowCluster[ref] = c
 			}
-			mctx = ctx.WithIterationOutput(out.RowInstance, rowCluster, prelim)
+			mctx = mc.WithIterationOutput(out.RowInstance, rowCluster, prelim)
 		}
 		if model == nil {
 			model = match.DefaultModel(e.Cfg.Class, matchers)
 		}
-		out, grown = e.iterate(mctx, model, matchers, newIDs)
+		var err error
+		out, grown, err = e.iterate(ctx, it+1, mctx, model, matchers, newIDs)
+		if err != nil {
+			return nil, IngestStats{}, err
+		}
+	}
+
+	// Last checkpoint before the commit point: past here the epoch is
+	// published atomically, so cancellation no longer applies.
+	if err := ctx.Err(); err != nil {
+		return nil, IngestStats{}, err
 	}
 
 	// Persist the grown state of the final iteration. The published fields
@@ -444,6 +475,7 @@ func (e *Engine) Ingest(batch []int) (*Output, IngestStats) {
 
 	written := 0
 	if e.WriteBack {
+		e.Cfg.emit(Event{Epoch: e.cur, Stage: StageWriteBack, Count: len(out.NewEntities())})
 		written = e.writeBack(out)
 	}
 	stats := IngestStats{
@@ -466,7 +498,7 @@ func (e *Engine) Ingest(batch []int) (*Output, IngestStats) {
 	e.last = out
 	e.history = append(e.history, stats)
 	e.mu.Unlock()
-	return out, stats
+	return out, stats, nil
 }
 
 // iterate performs one pass of the epoch: schema matching over the new
@@ -474,7 +506,11 @@ func (e *Engine) Ingest(batch []int) (*Output, IngestStats) {
 // the retained state, then entity creation and new detection over the full
 // ingested set. With empty retained state and newIDs covering the whole
 // corpus this is exactly one pre-refactor pipeline iteration.
-func (e *Engine) iterate(mctx *match.Context, model *match.Model, matchers []match.Matcher, newIDs []int) (*Output, *cluster.Incremental) {
+//
+// it is the 1-based iteration number, used only for progress events.
+// Cancellation mid-iterate abandons the pass before anything is committed;
+// see Ingest for the consistency argument.
+func (e *Engine) iterate(ctx context.Context, it int, mctx *match.Context, model *match.Model, matchers []match.Matcher, newIDs []int) (*Output, *cluster.Incremental, error) {
 	allIDs := sortedTableIDs(append(append([]int(nil), e.tableIDs...), newIDs...))
 	out := &Output{
 		Class:       e.Cfg.Class,
@@ -496,7 +532,8 @@ func (e *Engine) iterate(mctx *match.Context, model *match.Model, matchers []mat
 	// fanned out over the worker pool. Every worker writes only its own
 	// slot; the reduction below runs serially in table order, so the
 	// parallel path emits exactly what the serial one would.
-	scoredByTable := par.Map(e.Cfg.Workers, newIDs, func(_, tid int) map[int]match.Correspondence {
+	e.Cfg.emit(Event{Epoch: e.cur, Iteration: it, Stage: StageMatch, Count: len(newIDs)})
+	scoredByTable, err := par.MapCtx(ctx, e.Cfg.Workers, newIDs, func(_, tid int) map[int]match.Correspondence {
 		t := e.Cfg.Corpus.Table(tid)
 		if t == nil {
 			return nil
@@ -504,6 +541,9 @@ func (e *Engine) iterate(mctx *match.Context, model *match.Model, matchers []mat
 		match.EnsureDetected(t)
 		return match.MatchAttributesScored(mctx, model, matchers, t)
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	for i, tid := range newIDs {
 		if e.Cfg.Corpus.Table(tid) == nil {
 			continue
@@ -522,6 +562,7 @@ func (e *Engine) iterate(mctx *match.Context, model *match.Model, matchers []mat
 	// persist across epochs: new rows block against every label seen so
 	// far, and after the batch extends the PHI model the retained rows'
 	// vectors are refreshed so all pair scores compare within one model.
+	e.Cfg.emit(Event{Epoch: e.cur, Iteration: it, Stage: StageBuild, Count: len(newIDs)})
 	builder := &cluster.Builder{
 		KB: e.Cfg.KB, Corpus: e.Cfg.Corpus, Class: e.Cfg.Class,
 		Mapping: out.Mapping,
@@ -544,11 +585,18 @@ func (e *Engine) iterate(mctx *match.Context, model *match.Model, matchers []mat
 	// batch's rows (the clone keeps the persistent baseline intact while
 	// the epoch's iterations each re-cluster the batch under a refined
 	// mapping).
+	e.Cfg.emit(Event{Epoch: e.cur, Iteration: it, Stage: StageCluster, Count: len(newRows)})
 	grown := e.clusters.Clone()
-	grown.Add(newRows)
+	if err := grown.Add(ctx, newRows); err != nil {
+		return nil, nil, err
+	}
 	out.Clustering = grown.Result()
 
 	// Entity creation over every cluster, retained and new.
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	e.Cfg.emit(Event{Epoch: e.cur, Iteration: it, Stage: StageFuse, Count: len(out.Clustering.Clusters)})
 	src := &fusion.Sources{
 		KB: e.Cfg.KB, Corpus: e.Cfg.Corpus, Class: e.Cfg.Class,
 		Mapping:     out.Mapping,
@@ -563,10 +611,13 @@ func (e *Engine) iterate(mctx *match.Context, model *match.Model, matchers []mat
 
 	// New detection: each entity classifies independently on the pool;
 	// RowInstance is then assembled serially in entity order.
+	e.Cfg.emit(Event{Epoch: e.cur, Iteration: it, Stage: StageDetect, Count: len(out.Entities)})
 	out.Detections = make([]newdet.Result, len(out.Entities))
-	par.ForEach(e.Cfg.Workers, len(out.Entities), func(i int) {
+	if err := par.ForEachCtx(ctx, e.Cfg.Workers, len(out.Entities), func(i int) {
 		out.Detections[i] = e.detector.Detect(out.Entities[i])
-	})
+	}); err != nil {
+		return nil, nil, err
+	}
 	for i, ent := range out.Entities {
 		if res := out.Detections[i]; res.Matched {
 			for _, r := range ent.Rows {
@@ -574,7 +625,7 @@ func (e *Engine) iterate(mctx *match.Context, model *match.Model, matchers []mat
 			}
 		}
 	}
-	return out, grown
+	return out, grown, nil
 }
 
 // writeBack adds every entity classified as new to the KB as a first-class

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -33,16 +34,16 @@ func splitBatches(tables []int, n int) [][]int {
 // identical to Pipeline.Run in every emitted structure.
 func TestEngineSingleBatchMatchesPipeline(t *testing.T) {
 	w, corpus := fixture()
-	byClass := ClassifyTables(w.KB, corpus, 0.3)
+	byClass := classify(w.KB, corpus)
 	tables := byClass[kb.ClassGFPlayer]
 
 	cfg := DefaultConfig(w.KB, corpus, kb.ClassGFPlayer)
 	cfg.Iterations = 2
-	want := New(cfg, Models{}).Run(tables)
+	want, _ := New(cfg, Models{}).Run(context.Background(), tables)
 
 	eng := NewEngine(cfg, Models{})
 	eng.WriteBack = false
-	got, stats := eng.Ingest(tables)
+	got, stats, _ := eng.Ingest(context.Background(), tables)
 	outputsEqual(t, want, got)
 
 	if stats.Epoch != 1 || stats.TotalTables != len(sortedTableIDs(tables)) {
@@ -62,7 +63,7 @@ func TestEngineSingleBatchMatchesPipeline(t *testing.T) {
 // batch 2's detection matches entities to those written-back instances.
 func TestEngineMultiBatchWriteBack(t *testing.T) {
 	w, corpus := engineFixture(t)
-	byClass := ClassifyTables(w.KB, corpus, 0.3)
+	byClass := classify(w.KB, corpus)
 	tables := byClass[kb.ClassGFPlayer]
 	if len(tables) < 2 {
 		t.Fatal("need at least two player tables")
@@ -73,7 +74,7 @@ func TestEngineMultiBatchWriteBack(t *testing.T) {
 
 	before := w.KB.NumInstances()
 	batches := splitBatches(tables, 2)
-	out1, st1 := eng.Ingest(batches[0])
+	out1, st1, _ := eng.Ingest(context.Background(), batches[0])
 	if st1.WrittenBack == 0 {
 		t.Fatal("batch 1 wrote nothing back")
 	}
@@ -116,7 +117,7 @@ func TestEngineMultiBatchWriteBack(t *testing.T) {
 		t.Errorf("wrote %d > %d new entities", st1.WrittenBack, len(out1.NewEntities()))
 	}
 
-	out2, st2 := eng.Ingest(batches[1])
+	out2, st2, _ := eng.Ingest(context.Background(), batches[1])
 	if st2.Epoch != 2 || st2.TotalTables != len(sortedTableIDs(tables)) {
 		t.Errorf("stats after batch 2 = %+v", st2)
 	}
@@ -150,7 +151,7 @@ func TestEngineMultiBatchWriteBack(t *testing.T) {
 // (every table mapped, every row clustered).
 func TestEngineIncrementalConvergesToFull(t *testing.T) {
 	w, corpus := engineFixture(t)
-	byClass := ClassifyTables(w.KB, corpus, 0.3)
+	byClass := classify(w.KB, corpus)
 	tables := byClass[kb.ClassSettlement]
 	if len(tables) < 3 {
 		t.Fatal("need at least three settlement tables")
@@ -161,7 +162,7 @@ func TestEngineIncrementalConvergesToFull(t *testing.T) {
 
 	var out *Output
 	for _, b := range splitBatches(tables, 3) {
-		out, _ = eng.Ingest(b)
+		out, _, _ = eng.Ingest(context.Background(), b)
 	}
 	if !reflect.DeepEqual(out.TableIDs, sortedTableIDs(tables)) {
 		t.Errorf("final TableIDs %v != all tables", out.TableIDs)
@@ -195,7 +196,7 @@ func TestEngineIncrementalConvergesToFull(t *testing.T) {
 		}
 	}
 	// Re-ingesting already-seen tables is a no-op batch.
-	_, st := eng.Ingest(tables[:1])
+	_, st, _ := eng.Ingest(context.Background(), tables[:1])
 	if st.BatchTables != 0 {
 		t.Errorf("re-ingest counted %d new tables", st.BatchTables)
 	}
@@ -207,7 +208,7 @@ func TestEngineIncrementalConvergesToFull(t *testing.T) {
 // re-writing entities discovered before the restart.
 func TestEngineHistoryAndResume(t *testing.T) {
 	w, corpus := engineFixture(t)
-	byClass := ClassifyTables(w.KB, corpus, 0.3)
+	byClass := classify(w.KB, corpus)
 	tables := byClass[kb.ClassGFPlayer]
 	if len(tables) < 2 {
 		t.Fatal("need at least two player tables")
@@ -217,7 +218,7 @@ func TestEngineHistoryAndResume(t *testing.T) {
 	eng := NewEngine(cfg, Models{})
 
 	batches := splitBatches(tables, 2)
-	_, st1 := eng.Ingest(batches[0])
+	_, st1, _ := eng.Ingest(context.Background(), batches[0])
 	hist := eng.History()
 	if len(hist) != 1 || hist[0] != st1 {
 		t.Fatalf("history after one epoch = %+v", hist)
@@ -241,7 +242,7 @@ func TestEngineHistoryAndResume(t *testing.T) {
 		t.Fatalf("resumed written set = %d signatures, want %d", len(resumed.written), st1.WrittenBack)
 	}
 	before := w.KB.NumInstances()
-	out, st2 := resumed.Ingest(batches[0])
+	out, st2, _ := resumed.Ingest(context.Background(), batches[0])
 	if st2.Epoch != 2 {
 		t.Errorf("epoch after resumed ingest = %d, want 2", st2.Epoch)
 	}
@@ -287,7 +288,7 @@ func TestEngineHistoryAndResume(t *testing.T) {
 // original engine's state and epoch untouched.
 func TestEngineFork(t *testing.T) {
 	w, corpus := engineFixture(t)
-	byClass := ClassifyTables(w.KB, corpus, 0.3)
+	byClass := classify(w.KB, corpus)
 	tables := byClass[kb.ClassGFPlayer]
 	if len(tables) < 2 {
 		t.Fatal("need at least two player tables")
@@ -297,11 +298,11 @@ func TestEngineFork(t *testing.T) {
 	base := NewEngine(cfg, Models{})
 	base.WriteBack = false
 	batches := splitBatches(tables, 2)
-	base.Ingest(batches[0])
+	base.Ingest(context.Background(), batches[0])
 	baseTables := base.TableIDs()
 
 	fork := base.Fork()
-	forkOut, _ := fork.Ingest(batches[1])
+	forkOut, _, _ := fork.Ingest(context.Background(), batches[1])
 	if base.Epoch() != 1 || fork.Epoch() != 2 {
 		t.Errorf("epochs: base %d fork %d", base.Epoch(), fork.Epoch())
 	}
@@ -314,7 +315,7 @@ func TestEngineFork(t *testing.T) {
 	}
 	// The fork's own state diverged; the base can still ingest its batch
 	// and arrive at the same table coverage.
-	baseOut, _ := base.Ingest(batches[1])
+	baseOut, _, _ := base.Ingest(context.Background(), batches[1])
 	if !reflect.DeepEqual(baseOut.TableIDs, forkOut.TableIDs) {
 		t.Error("base and fork disagree on final table coverage")
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/kb"
@@ -31,13 +32,13 @@ func TestPipelineOverWDCRoundTrip(t *testing.T) {
 		}
 	}
 
-	byClass := ClassifyTables(w.KB, loaded, 0.3)
+	byClass := classify(w.KB, loaded)
 	if len(byClass[kb.ClassGFPlayer]) == 0 {
 		t.Fatal("no player tables classified after round trip")
 	}
 	cfg := DefaultConfig(w.KB, loaded, kb.ClassGFPlayer)
 	cfg.Iterations = 1
-	out := New(cfg, Models{}).Run(byClass[kb.ClassGFPlayer])
+	out, _ := New(cfg, Models{}).Run(context.Background(), byClass[kb.ClassGFPlayer])
 	if len(out.Entities) == 0 {
 		t.Fatal("no entities from round-tripped corpus")
 	}
@@ -51,11 +52,11 @@ func TestPipelineOverWDCRoundTrip(t *testing.T) {
 // because batch decisions are applied in order).
 func TestPipelineDeterministic(t *testing.T) {
 	w, corpus := fixture()
-	byClass := ClassifyTables(w.KB, corpus, 0.3)
+	byClass := classify(w.KB, corpus)
 	cfg := DefaultConfig(w.KB, corpus, kb.ClassGFPlayer)
 	cfg.Iterations = 1
-	a := New(cfg, Models{}).Run(byClass[kb.ClassGFPlayer])
-	b := New(cfg, Models{}).Run(byClass[kb.ClassGFPlayer])
+	a, _ := New(cfg, Models{}).Run(context.Background(), byClass[kb.ClassGFPlayer])
+	b, _ := New(cfg, Models{}).Run(context.Background(), byClass[kb.ClassGFPlayer])
 	if len(a.Entities) != len(b.Entities) {
 		t.Fatalf("entity counts differ: %d vs %d", len(a.Entities), len(b.Entities))
 	}
@@ -73,10 +74,10 @@ func TestPipelineDeterministic(t *testing.T) {
 // TestOutputAccessors covers NewEntities/ExistingEntities partitioning.
 func TestOutputAccessors(t *testing.T) {
 	w, corpus := fixture()
-	byClass := ClassifyTables(w.KB, corpus, 0.3)
+	byClass := classify(w.KB, corpus)
 	cfg := DefaultConfig(w.KB, corpus, kb.ClassSettlement)
 	cfg.Iterations = 1
-	out := New(cfg, Models{}).Run(byClass[kb.ClassSettlement])
+	out, _ := New(cfg, Models{}).Run(context.Background(), byClass[kb.ClassSettlement])
 	newN := len(out.NewEntities())
 	exist, _ := out.ExistingEntities()
 	abstained := 0
@@ -95,7 +96,7 @@ func TestOutputAccessors(t *testing.T) {
 func TestEmptyTableList(t *testing.T) {
 	w, corpus := fixture()
 	cfg := DefaultConfig(w.KB, corpus, kb.ClassSong)
-	out := New(cfg, Models{}).Run(nil)
+	out, _ := New(cfg, Models{}).Run(context.Background(), nil)
 	if len(out.Entities) != 0 || len(out.Rows) != 0 {
 		t.Errorf("empty run produced %d entities", len(out.Entities))
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -50,20 +51,20 @@ func outputsEqual(t *testing.T, a, b *Output) {
 // fully serial run for the same seed.
 func TestParallelMatchesSerial(t *testing.T) {
 	w, corpus := fixture()
-	byClass := ClassifyTables(w.KB, corpus, 0.3)
+	byClass := classify(w.KB, corpus)
 	tables := byClass[kb.ClassGFPlayer]
 
 	serial := DefaultConfig(w.KB, corpus, kb.ClassGFPlayer)
 	serial.Iterations = 2
 	serial.Workers = 1
 	serial.ClusterOpts.Workers = 1
-	outSerial := New(serial, Models{}).Run(tables)
+	outSerial, _ := New(serial, Models{}).Run(context.Background(), tables)
 
 	for _, workers := range []int{2, 8} {
 		parallel := serial
 		parallel.Workers = workers
 		parallel.ClusterOpts.Workers = workers
-		outParallel := New(parallel, Models{}).Run(tables)
+		outParallel, _ := New(parallel, Models{}).Run(context.Background(), tables)
 		outputsEqual(t, outSerial, outParallel)
 	}
 }
@@ -77,13 +78,13 @@ func TestSameSeedTwiceIdentical(t *testing.T) {
 		t.Skip("two full Song runs; skipped in -short (TestParallelMatchesSerial covers determinism)")
 	}
 	w, corpus := fixture()
-	byClass := ClassifyTables(w.KB, corpus, 0.3)
+	byClass := classify(w.KB, corpus)
 	tables := byClass[kb.ClassSong]
 
 	cfg := DefaultConfig(w.KB, corpus, kb.ClassSong)
 	cfg.Iterations = 2
-	a := New(cfg, Models{}).Run(tables)
-	b := New(cfg, Models{}).Run(tables)
+	a, _ := New(cfg, Models{}).Run(context.Background(), tables)
+	b, _ := New(cfg, Models{}).Run(context.Background(), tables)
 	outputsEqual(t, a, b)
 }
 
@@ -101,9 +102,9 @@ func TestTrainParallelMatchesSerial(t *testing.T) {
 	}
 	cfg := DefaultConfig(w.KB, corpus, kb.ClassGFPlayer)
 	cfg.Workers = 1
-	serial := Train(cfg, g, all)
+	serial, _ := Train(context.Background(), cfg, g, all)
 	cfg.Workers = 4
-	parallel := Train(cfg, g, all)
+	parallel, _ := Train(context.Background(), cfg, g, all)
 
 	if !reflect.DeepEqual(serial.AttrFirst, parallel.AttrFirst) {
 		t.Error("first-iteration attribute models differ")
@@ -129,19 +130,19 @@ func TestTrainParallelMatchesSerial(t *testing.T) {
 // every worker count.
 func TestClassifyTablesParallelMatchesSerial(t *testing.T) {
 	w, corpus := fixture()
-	serial := ClassifyTablesParallel(w.KB, corpus, 0.3, 1)
+	serial, _ := ClassifyTables(context.Background(), w.KB, corpus, 0.3, 1)
 	if len(serial) == 0 {
 		t.Fatal("serial classification empty")
 	}
 	for _, workers := range []int{2, 8} {
-		got := ClassifyTablesParallel(w.KB, corpus, 0.3, workers)
+		got, _ := ClassifyTables(context.Background(), w.KB, corpus, 0.3, workers)
 		if !reflect.DeepEqual(serial, got) {
 			t.Errorf("workers=%d: classification differs from serial", workers)
 		}
 	}
 	// The default entry point is the parallel path.
-	if got := ClassifyTables(w.KB, corpus, 0.3); !reflect.DeepEqual(serial, got) {
-		t.Error("ClassifyTables differs from serial ClassifyTablesParallel")
+	if got := classify(w.KB, corpus); !reflect.DeepEqual(serial, got) {
+		t.Error("default-pool ClassifyTables differs from serial")
 	}
 }
 

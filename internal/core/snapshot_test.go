@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/kb"
@@ -32,7 +33,7 @@ func TestEngineSnapshotRoundTrip(t *testing.T) {
 	// Run A: the unsnapshotted baseline. N epochs on a fresh world.
 	wA := world.Generate(world.DefaultConfig(0.2))
 	cA := webtable.Synthesize(wA, webtable.DefaultSynthConfig(0.12))
-	tablesA := ClassifyTables(wA.KB, cA, 0.3)[kb.ClassGFPlayer]
+	tablesA := classify(wA.KB, cA)[kb.ClassGFPlayer]
 	if len(tablesA) < preEpochs+1 {
 		t.Fatal("need at least three player tables")
 	}
@@ -41,7 +42,7 @@ func TestEngineSnapshotRoundTrip(t *testing.T) {
 	engA := NewEngine(cfgA, Models{})
 	batches := splitBatches(tablesA, preEpochs+1)
 	for i := 0; i < preEpochs; i++ {
-		engA.Ingest(batches[i])
+		engA.Ingest(context.Background(), batches[i])
 	}
 
 	// Save a snapshot of the grown KB.
@@ -82,8 +83,8 @@ func TestEngineSnapshotRoundTrip(t *testing.T) {
 	// also proves the kb.Version-keyed caches (match profiles, detector
 	// candidates) rebuilt correctly over the restored KB — a stale cache
 	// would change candidate sets and diverge the outputs.
-	outA, stA := engA2.Ingest(batches[preEpochs])
-	outB, stB := engB.Ingest(batches[preEpochs])
+	outA, stA, _ := engA2.Ingest(context.Background(), batches[preEpochs])
+	outB, stB, _ := engB.Ingest(context.Background(), batches[preEpochs])
 	if stA != stB {
 		t.Fatalf("ingest stats diverged:\n  unsnapshotted %+v\n  restored      %+v", stA, stB)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/cluster"
@@ -18,7 +19,15 @@ import (
 // clusters whose indices appear in trainClusters (the learning folds of the
 // cross-validation). Passing all cluster indices trains on the full gold
 // standard.
-func Train(cfg Config, g *gold.Standard, trainClusters []int) Models {
+//
+// Cancelling ctx abandons training at the next phase boundary (or inside
+// the per-table fan-outs) and returns the context's error; the partial
+// Models are discarded. Train has no side effects, so a cancelled call can
+// simply be retried.
+func Train(ctx context.Context, cfg Config, g *gold.Standard, trainClusters []int) (Models, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	trainSet := make(map[int]bool, len(trainClusters))
 	for _, i := range trainClusters {
 		trainSet[i] = true
@@ -55,10 +64,14 @@ func Train(cfg Config, g *gold.Standard, trainClusters []int) Models {
 		}
 	}
 
-	ctx := match.NewContext(cfg.KB, cfg.Corpus)
-	ctx.Class = cfg.Class
+	mc := match.NewContext(cfg.KB, cfg.Corpus)
+	mc.Class = cfg.Class
 	models := Models{}
-	models.AttrFirst = match.Learn(ctx, match.FirstIterationMatchers(), cfg.Class, attrs, cfg.Seed)
+	cfg.emit(Event{Stage: StageTrain, Detail: "attr-first", Count: len(attrs)})
+	models.AttrFirst = match.Learn(mc, match.FirstIterationMatchers(), cfg.Class, attrs, cfg.Seed)
+	if err := ctx.Err(); err != nil {
+		return Models{}, err
+	}
 
 	// Iteration outputs for the second-iteration model come from the gold
 	// annotations (standing in for a first pipeline run on the learning
@@ -83,11 +96,14 @@ func Train(cfg Config, g *gold.Standard, trainClusters []int) Models {
 	// First-iteration mapping per training table, fanned out over the pool
 	// (trainTables is sorted and duplicate-free, so each worker owns its
 	// table) and reduced serially in table order.
-	perTable := par.Map(cfg.Workers, trainTables, func(_, tid int) map[int]kb.PropertyID {
+	perTable, err := par.MapCtx(ctx, cfg.Workers, trainTables, func(_, tid int) map[int]kb.PropertyID {
 		t := cfg.Corpus.Table(tid)
 		match.EnsureDetected(t)
-		return match.MatchAttributes(ctx, models.AttrFirst, firstMatchers, t)
+		return match.MatchAttributes(mc, models.AttrFirst, firstMatchers, t)
 	})
+	if err != nil {
+		return Models{}, err
+	}
 	for i, tid := range trainTables {
 		m := perTable[i]
 		mapping[tid] = m
@@ -95,8 +111,12 @@ func Train(cfg Config, g *gold.Standard, trainClusters []int) Models {
 			prelim[match.ColRef{Table: tid, Col: col}] = pid
 		}
 	}
-	ctx2 := ctx.WithIterationOutput(rowInstance, rowCluster, prelim)
-	models.AttrSecond = match.Learn(ctx2, match.AllMatchers(), cfg.Class, attrs, cfg.Seed)
+	cfg.emit(Event{Stage: StageTrain, Detail: "attr-second", Count: len(attrs)})
+	mc2 := mc.WithIterationOutput(rowInstance, rowCluster, prelim)
+	models.AttrSecond = match.Learn(mc2, match.AllMatchers(), cfg.Class, attrs, cfg.Seed)
+	if err := ctx.Err(); err != nil {
+		return Models{}, err
+	}
 
 	// Row clustering: build rows for the training tables with the
 	// first-iteration mapping and learn the combined aggregator from gold
@@ -106,15 +126,23 @@ func Train(cfg Config, g *gold.Standard, trainClusters []int) Models {
 	}
 	rows := builder.Build(trainTables)
 	pairs := labeledPairs(g, trainSet, rows, 4000)
+	cfg.emit(Event{Stage: StageTrain, Detail: "cluster-scorer", Count: len(pairs)})
 	models.ClusterScorer, models.ClusterModel = cluster.LearnScorer(cluster.MetricSet(), pairs, cfg.Seed)
+	if err := ctx.Err(); err != nil {
+		return Models{}, err
+	}
 
 	// New detection: entities created from the gold training clusters,
 	// labeled with the gold new/existing annotations.
-	examples := detectionExamples(cfg, g, trainSet, rows, mapping)
+	examples, err := detectionExamples(ctx, cfg, g, trainSet, rows, mapping)
+	if err != nil {
+		return Models{}, err
+	}
+	cfg.emit(Event{Stage: StageTrain, Detail: "detector", Count: len(examples)})
 	detAgg, _ := newdet.LearnAggregator(cfg.KB, newdet.MetricSet(), examples, cfg.Seed)
 	models.DetectorModel = detAgg
 	models.Detector = newdet.LearnThresholds(cfg.KB, newdet.MetricSet(), detAgg, examples, cfg.Seed)
-	return models
+	return models, nil
 }
 
 // labeledPairs generates labeled row pairs from the gold clustering:
@@ -198,7 +226,7 @@ func labeledPairs(g *gold.Standard, trainSet map[int]bool, rows []*cluster.Row, 
 
 // detectionExamples creates entities from the gold training clusters and
 // labels them with the gold annotations.
-func detectionExamples(cfg Config, g *gold.Standard, trainSet map[int]bool, rows []*cluster.Row, mapping map[int]map[int]kb.PropertyID) []newdet.Example {
+func detectionExamples(ctx context.Context, cfg Config, g *gold.Standard, trainSet map[int]bool, rows []*cluster.Row, mapping map[int]map[int]kb.PropertyID) ([]newdet.Example, error) {
 	rowByRef := make(map[webtable.RowRef]*cluster.Row, len(rows))
 	for _, r := range rows {
 		rowByRef[r.Ref] = r
@@ -212,7 +240,7 @@ func detectionExamples(cfg Config, g *gold.Standard, trainSet map[int]bool, rows
 	// Entity creation per training cluster runs on the pool (VOTING scoring
 	// keeps the sources read-only); the nil-filtering reduction keeps the
 	// examples in cluster order.
-	created := par.Map(cfg.Workers, g.Clusters, func(ci int, c *gold.Cluster) *newdet.Example {
+	created, err := par.MapCtx(ctx, cfg.Workers, g.Clusters, func(ci int, c *gold.Cluster) *newdet.Example {
 		if !trainSet[ci] {
 			return nil
 		}
@@ -228,11 +256,14 @@ func detectionExamples(cfg Config, g *gold.Standard, trainSet map[int]bool, rows
 		e := fusion.Create(src, members)
 		return &newdet.Example{Entity: e, IsNew: c.IsNew, Instance: c.Instance}
 	})
+	if err != nil {
+		return nil, err
+	}
 	var out []newdet.Example
 	for _, ex := range created {
 		if ex != nil {
 			out = append(out, *ex)
 		}
 	}
-	return out
+	return out, nil
 }

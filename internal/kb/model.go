@@ -17,6 +17,7 @@
 package kb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -387,12 +388,26 @@ type SearchHit struct {
 // and pipeline retrieval agree): a class whose matches all rank below
 // 3·K other-class hits for the query can come back empty even though
 // matching instances exist.
-func (kb *KB) SearchInstances(label string, opts CandidateOpts) []SearchHit {
+//
+// Cancelling ctx (a caller's HTTP request context, typically) makes the
+// search return the context's error before the index walk and before the
+// hit-filtering pass; a nil ctx means no cancellation.
+func (kb *KB) SearchInstances(ctx context.Context, label string, opts CandidateOpts) ([]SearchHit, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	var out []SearchHit
-	kb.filteredHits(label, opts, func(in *Instance, score float64) {
+	kb.filteredHits(ctx, label, opts, func(in *Instance, score float64) {
 		out = append(out, SearchHit{Instance: in.ID, Score: score})
 	})
-	return out
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // Candidates returns candidate instances for a label using the label index,
@@ -402,18 +417,23 @@ func (kb *KB) SearchInstances(label string, opts CandidateOpts) []SearchHit {
 // so it must not pay for scored hits it would throw away.
 func (kb *KB) Candidates(label string, opts CandidateOpts) []InstanceID {
 	var out []InstanceID
-	kb.filteredHits(label, opts, func(in *Instance, _ float64) {
+	kb.filteredHits(nil, label, opts, func(in *Instance, _ float64) {
 		out = append(out, in.ID)
 	})
 	return out
 }
 
 // filteredHits walks the top class-filtered index hits for label, calling
-// visit for each of up to opts.K surviving instances.
-func (kb *KB) filteredHits(label string, opts CandidateOpts, visit func(*Instance, float64)) {
+// visit for each of up to opts.K surviving instances. A non-nil cancelled
+// ctx skips the index walk entirely (the pipeline's Candidates path passes
+// nil and pays nothing).
+func (kb *KB) filteredHits(ctx context.Context, label string, opts CandidateOpts, visit func(*Instance, float64)) {
 	k := opts.K
 	if k <= 0 {
 		k = 20
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return
 	}
 	hits := kb.globalIx.Search(label, k*3)
 	kb.mu.RLock()

@@ -2,6 +2,7 @@ package kb
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -9,6 +10,16 @@ import (
 
 	"repro/internal/dtype"
 )
+
+// mustSearch runs an uncancellable SearchInstances.
+func mustSearch(t *testing.T, k *KB, q string, opts CandidateOpts) []SearchHit {
+	t.Helper()
+	hits, err := k.SearchInstances(context.Background(), q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hits
+}
 
 // seedPlusIngested builds a KB with two seed instances and two ingested
 // write-backs, mirroring a server's state after an epoch.
@@ -81,7 +92,7 @@ func TestSnapshotSaveLoadRoundTrip(t *testing.T) {
 	}
 	// The reloaded discoveries answer label-index queries (caches rebuilt
 	// over the restored state).
-	hits := dst.SearchInstances("Found Tune", CandidateOpts{Class: ClassSong})
+	hits := mustSearch(t, dst, "Found Tune", CandidateOpts{Class: ClassSong})
 	if len(hits) == 0 || dst.Instance(hits[0].Instance).Label() != "Found Tune" {
 		t.Errorf("reloaded instance not retrievable: %v", hits)
 	}

@@ -7,9 +7,16 @@
 // run reduces to exactly the same output as the serial one. Workers <= 1
 // always takes a plain serial loop with no goroutines, which keeps the
 // serial path trivially debuggable and byte-identical by construction.
+//
+// The Ctx variants (ForEachCtx, MapCtx) add cooperative cancellation:
+// workers stop claiming new indexes once the context is cancelled, so a
+// fan-out over heavyweight items (tables, entities) unwinds within one
+// item's worth of work. They are the checkpoint substrate behind the
+// public API's context threading (ltee.Engine.Ingest and friends).
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -36,8 +43,34 @@ func Workers(n int) int {
 // results slice); the caller then reduces the slots in index order, making
 // the parallel and serial paths produce identical output.
 func ForEach(workers, n int, fn func(i int)) {
+	ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: every worker checks
+// the context before claiming the next index and stops claiming once it is
+// cancelled. Indexes already claimed run to completion (fn is never
+// interrupted mid-call), so the caller's per-slot writes stay well-formed;
+// the slots of unclaimed indexes keep their zero values and the caller must
+// discard the whole result set when an error is returned.
+//
+// The returned error is nil when all n calls ran, ctx.Err() otherwise. A
+// context that can never be cancelled (ctx.Done() == nil, e.g.
+// context.Background()) adds no per-index overhead.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return nil
+	}
+	done := ctx.Done()
+	cancelled := func() bool {
+		if done == nil {
+			return false
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
 	}
 	workers = Workers(workers)
 	if workers > n {
@@ -45,36 +78,57 @@ func ForEach(workers, n int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if cancelled() {
+				return ctx.Err()
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
-	var next atomic.Int64
+	var next, completed atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for {
+				if cancelled() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
 				fn(i)
+				completed.Add(1)
 			}
 		}()
 	}
 	wg.Wait()
+	// A cancellation arriving after the last call finished is not a failed
+	// fan-out: every slot is filled, so the caller may use the results.
+	if int(completed.Load()) == n {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // Map applies fn to every element of items on a pool of at most workers
 // goroutines and returns the results in input order.
 func Map[T, R any](workers int, items []T, fn func(i int, item T) R) []R {
+	out, _ := MapCtx(context.Background(), workers, items, fn)
+	return out
+}
+
+// MapCtx is Map with cooperative cancellation (see ForEachCtx). On a
+// non-nil error the returned slice is partial — slots whose index was never
+// claimed hold zero values — and must be discarded.
+func MapCtx[T, R any](ctx context.Context, workers int, items []T, fn func(i int, item T) R) ([]R, error) {
 	out := make([]R, len(items))
-	ForEach(workers, len(items), func(i int) {
+	err := ForEachCtx(ctx, workers, len(items), func(i int) {
 		out[i] = fn(i, items[i])
 	})
-	return out
+	return out, err
 }
 
 // Cell is a lazily computed, memoized value: the first Get computes it

@@ -1,6 +1,9 @@
 package par
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"sync/atomic"
 	"testing"
 )
@@ -100,5 +103,63 @@ func TestGroupPerKeyMemoization(t *testing.T) {
 	}
 	if calls.Load() != 2 {
 		t.Errorf("compute ran %d times, want once per key", calls.Load())
+	}
+}
+
+func TestForEachCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := 0
+	err := ForEachCtx(ctx, 1, 100, func(i int) { ran++ })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Errorf("pre-cancelled serial fan-out ran %d items", ran)
+	}
+}
+
+func TestForEachCtxCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForEachCtx(ctx, 4, 10000, func(i int) {
+		if ran.Add(1) == 50 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 10000 {
+		t.Errorf("cancellation did not stop the fan-out (%d ran)", n)
+	}
+}
+
+func TestForEachCtxCompletesDespiteLateCancel(t *testing.T) {
+	// A cancellation that lands after the last item completed is not a
+	// failed fan-out.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	if err := ForEachCtx(ctx, 4, 100, func(i int) { ran.Add(1) }); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 100 {
+		t.Errorf("ran %d of 100", ran.Load())
+	}
+}
+
+func TestMapCtxMatchesMap(t *testing.T) {
+	items := make([]int, 500)
+	for i := range items {
+		items[i] = i
+	}
+	want := Map(4, items, func(_, v int) int { return v * v })
+	got, err := MapCtx(context.Background(), 4, items, func(_, v int) int { return v * v })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("MapCtx diverged from Map")
 	}
 }

@@ -6,6 +6,8 @@
 package report
 
 import (
+	"context"
+
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/gold"
@@ -136,7 +138,10 @@ func (s *Suite) ModelsFor(class kb.ClassID) core.Models {
 		for i := range all {
 			all[i] = i
 		}
-		return core.Train(s.Config(class), g, all)
+		// The suite is never cancelled (background context), so Train's
+		// only error path cannot fire.
+		models, _ := core.Train(context.Background(), s.Config(class), g, all)
+		return models
 	})
 }
 
@@ -151,7 +156,8 @@ func (s *Suite) Folds(class kb.ClassID) [][]int {
 func (s *Suite) TablesByClass() map[kb.ClassID][]int {
 	return s.byClass.Get(func() map[kb.ClassID][]int {
 		s.prepare()
-		return core.ClassifyTablesParallel(s.World.KB, s.Corpus, 0.3, s.Workers)
+		byClass, _ := core.ClassifyTables(context.Background(), s.World.KB, s.Corpus, 0.3, s.Workers)
+		return byClass
 	})
 }
 
@@ -161,7 +167,8 @@ func (s *Suite) GoldRun(class kb.ClassID) *core.Output {
 	return s.goldRuns.Get(class, func() *core.Output {
 		models := s.ModelsFor(class)
 		p := core.New(s.Config(class), models)
-		return p.Run(s.Golds[class].TableIDs)
+		out, _ := p.Run(context.Background(), s.Golds[class].TableIDs)
+		return out
 	})
 }
 
@@ -172,6 +179,7 @@ func (s *Suite) FullRun(class kb.ClassID) *core.Output {
 		byClass := s.TablesByClass()
 		models := s.ModelsFor(class)
 		p := core.New(s.Config(class), models)
-		return p.Run(byClass[class])
+		out, _ := p.Run(context.Background(), byClass[class])
+		return out
 	})
 }

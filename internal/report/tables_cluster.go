@@ -111,6 +111,16 @@ func (s *Suite) Table7() *TextTable {
 	return t
 }
 
+// ClusterRows returns the prepared rows of the class's gold tables,
+// built with the learned first-iteration attribute mapping — the input a
+// clustering study (e.g. examples/songs) feeds to cluster.Cluster with
+// different scorers. The rows are cached per class; callers must treat
+// them as read-only.
+func (s *Suite) ClusterRows(class kb.ClassID) []*cluster.Row {
+	rows, _ := s.clusterRows(class)
+	return rows
+}
+
 // clusterRows builds (and caches per class) the prepared rows of a class's
 // gold tables using the first-iteration attribute mapping. The matching
 // fan-out runs on the suite's worker pool with an ordered reduction.

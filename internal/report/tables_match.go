@@ -1,6 +1,8 @@
 package report
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/kb"
 	"repro/internal/match"
@@ -89,7 +91,8 @@ func (s *Suite) goldRunIterations(class kb.ClassID, iterations int) *core.Output
 	cfg := s.Config(class)
 	cfg.Iterations = iterations
 	p := core.New(cfg, models)
-	return p.Run(s.Golds[class].TableIDs)
+	out, _ := p.Run(context.Background(), s.Golds[class].TableIDs)
+	return out
 }
 
 // iterationContext wraps a pipeline output into a matching context carrying

@@ -1,6 +1,8 @@
 package report
 
 import (
+	"context"
+
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dtype"
@@ -184,14 +186,14 @@ func (s *Suite) foldRuns(class kb.ClassID) []*foldRun {
 // detections.
 func (s *Suite) runFold(class kb.ClassID, g *gold.Standard, folds [][]int, fold int, rowByRef map[webtable.RowRef]*cluster.Row) *foldRun {
 	train, test := splitFolds(folds, fold)
-	models := core.Train(s.Config(class), g, train)
+	models, _ := core.Train(context.Background(), s.Config(class), g, train)
 	fr := &foldRun{
 		suite: s, class: class,
 		testGold: g.Subset(test), testIdx: test, models: models,
 	}
 	// Final mapping for the fold: apply the second-iteration model
 	// with iteration outputs from a 1-iteration pipeline run.
-	out := core.New(withIterations(s.Config(class), 2), models).Run(g.TableIDs)
+	out, _ := core.New(withIterations(s.Config(class), 2), models).Run(context.Background(), g.TableIDs)
 	fr.mapping = out.Mapping
 	fr.scores = out.MatchScores
 	fr.rowInst = out.RowInstance

@@ -1,0 +1,350 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/kb"
+)
+
+// httpDo drives a real HTTP request (over the TCP loopback of an
+// httptest.Server) and decodes the JSON response.
+func httpDo(t *testing.T, client *http.Client, method, url, body string, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: decoding %q: %v", method, url, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestServeDeleteJobOverHTTP exercises DELETE /v1/jobs/{id} over a real
+// HTTP server: unknown and finished jobs are rejected, and an in-flight
+// ingest cancelled mid-batch ends as "cancelled" without committing an
+// epoch, leaving the engine healthy for further ingests.
+func TestServeDeleteJobOverHTTP(t *testing.T) {
+	s, tables := newTestServer(t, "")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	if code := httpDo(t, c, http.MethodDelete, ts.URL+"/v1/jobs/999", "", nil); code != 404 {
+		t.Errorf("DELETE unknown job = %d, want 404", code)
+	}
+	if code := httpDo(t, c, http.MethodDelete, ts.URL+"/v1/jobs/abc", "", nil); code != 400 {
+		t.Errorf("DELETE bad job id = %d, want 400", code)
+	}
+
+	// Finished jobs conflict.
+	var done JobView
+	body, _ := json.Marshal(IngestRequest{Class: "GF-Player", Tables: tables[:1]})
+	if code := httpDo(t, c, http.MethodPost, ts.URL+"/v1/ingest?wait=1", string(body), &done); code != 200 || done.Status != statusDone {
+		t.Fatalf("warm-up ingest = %d %+v", code, done)
+	}
+	if code := httpDo(t, c, http.MethodDelete, ts.URL+fmt.Sprintf("/v1/jobs/%d", done.ID), "", nil); code != 409 {
+		t.Errorf("DELETE finished job = %d, want 409", code)
+	}
+
+	// Cancel an in-flight ingest. The remaining tables give the epoch
+	// enough work that the DELETE usually lands mid-flight; both terminal
+	// states are legal, but a cancelled job must not have committed.
+	epochBefore := s.engines[kb.ClassGFPlayer].Epoch()
+	kbBefore := s.kb.NumInstances()
+	body, _ = json.Marshal(IngestRequest{Class: "GF-Player", Tables: tables[1:]})
+	var jv JobView
+	if code := httpDo(t, c, http.MethodPost, ts.URL+"/v1/ingest", string(body), &jv); code != http.StatusAccepted {
+		t.Fatalf("async ingest = %d", code)
+	}
+	delCode := httpDo(t, c, http.MethodDelete, ts.URL+fmt.Sprintf("/v1/jobs/%d", jv.ID), "", &jv)
+	if delCode != http.StatusOK && delCode != http.StatusAccepted && delCode != http.StatusConflict {
+		t.Fatalf("DELETE running job = %d", delCode)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for jv.Status == statusQueued || jv.Status == statusRunning {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q after cancel", jv.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+		httpDo(t, c, http.MethodGet, ts.URL+fmt.Sprintf("/v1/jobs/%d", jv.ID), "", &jv)
+	}
+	switch jv.Status {
+	case statusCancelled:
+		if got := s.engines[kb.ClassGFPlayer].Epoch(); got != epochBefore {
+			t.Errorf("cancelled job committed an epoch: %d -> %d", epochBefore, got)
+		}
+		if got := s.kb.NumInstances(); got != kbBefore {
+			t.Errorf("cancelled job grew the KB: %d -> %d", kbBefore, got)
+		}
+	case statusDone:
+		// The ingest won the race; that is a legal outcome.
+	default:
+		t.Fatalf("job ended %+v", jv)
+	}
+
+	// The class is not poisoned by cancellation: a fresh ingest works.
+	var again JobView
+	body, _ = json.Marshal(IngestRequest{Class: "GF-Player", Tables: tables})
+	if code := httpDo(t, c, http.MethodPost, ts.URL+"/v1/ingest?wait=1", string(body), &again); code != 200 || again.Status != statusDone {
+		t.Fatalf("post-cancel ingest = %d %+v", code, again)
+	}
+}
+
+// TestServeDeleteQueuedJob: a job cancelled while still queued never runs.
+func TestServeDeleteQueuedJob(t *testing.T) {
+	s, tables := newTestServer(t, "")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	// Occupy the writer with a long job, then queue a second one and
+	// cancel it before it can start.
+	body, _ := json.Marshal(IngestRequest{Class: "GF-Player", Tables: tables})
+	var running, queued JobView
+	if code := httpDo(t, c, http.MethodPost, ts.URL+"/v1/ingest", string(body), &running); code != http.StatusAccepted {
+		t.Fatalf("first ingest = %d", code)
+	}
+	if code := httpDo(t, c, http.MethodPost, ts.URL+"/v1/ingest", string(body), &queued); code != http.StatusAccepted {
+		t.Fatalf("second ingest = %d", code)
+	}
+	code := httpDo(t, c, http.MethodDelete, ts.URL+fmt.Sprintf("/v1/jobs/%d", queued.ID), "", &queued)
+	// The second job is cancelled while queued (200) unless the first
+	// finished so fast that it already ran (then 200/202/409 are possible).
+	if code == http.StatusOK && queued.Status == statusCancelled {
+		// Wait for the writer to skip it, then confirm it stayed cancelled.
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			var cur JobView
+			httpDo(t, c, http.MethodGet, ts.URL+fmt.Sprintf("/v1/jobs/%d", queued.ID), "", &cur)
+			if cur.Status != statusCancelled {
+				t.Fatalf("queued-cancelled job changed status: %+v", cur)
+			}
+			var first JobView
+			httpDo(t, c, http.MethodGet, ts.URL+fmt.Sprintf("/v1/jobs/%d", running.ID), "", &first)
+			if first.Status == statusDone || first.Status == statusFailed {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("first job never finished")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+// TestServeShutdownDeadline: Shutdown with an expired deadline cancels the
+// in-flight ingest cooperatively instead of waiting for the queue to
+// drain, and the writer exits.
+func TestServeShutdownDeadline(t *testing.T) {
+	s, tables := newTestServer(t, "")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	body, _ := json.Marshal(IngestRequest{Class: "GF-Player", Tables: tables})
+	var jv JobView
+	if code := httpDo(t, c, http.MethodPost, ts.URL+"/v1/ingest", string(body), &jv); code != http.StatusAccepted {
+		t.Fatalf("async ingest = %d", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := s.Shutdown(ctx)
+	if took := time.Since(start); took > 30*time.Second {
+		t.Fatalf("Shutdown took %s despite expired deadline", took)
+	}
+	// err is nil when the job finished inside the grace period, the
+	// context error when the drain was cut short; both leave the writer
+	// stopped.
+	if err != nil && err != context.DeadlineExceeded {
+		t.Fatalf("Shutdown err = %v", err)
+	}
+	httpDo(t, c, http.MethodGet, ts.URL+fmt.Sprintf("/v1/jobs/%d", jv.ID), "", &jv)
+	if jv.Status == statusQueued || jv.Status == statusRunning {
+		t.Fatalf("job still %q after Shutdown returned", jv.Status)
+	}
+	// Post-shutdown ingests are refused, reads still work.
+	if code := httpDo(t, c, http.MethodPost, ts.URL+"/v1/ingest", string(body), nil); code != http.StatusServiceUnavailable {
+		t.Errorf("post-shutdown ingest = %d, want 503", code)
+	}
+	if code := httpDo(t, c, http.MethodGet, ts.URL+"/healthz", "", nil); code != 200 {
+		t.Error("post-shutdown health check failed")
+	}
+}
+
+// TestServeCancelledRawIngestKeepsCorpusIDs: a cancelled ingest carrying
+// inline raw tables must NOT truncate the corpus — the engine may already
+// have absorbed those tables' labels into its persistent blocking/PHI
+// statistics keyed by table ID, and rebinding the IDs to later uploads
+// with different content would corrupt later epochs. The appended tables
+// stay in the corpus and the next upload gets fresh IDs.
+func TestServeCancelledRawIngestKeepsCorpusIDs(t *testing.T) {
+	s, tables := newTestServer(t, "")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+	preLen := s.corpus.Len()
+
+	// An ingest mixing a raw table with the full corpus batch (enough
+	// work that the DELETE can land mid-flight).
+	req := IngestRequest{
+		Class:  "GF-Player",
+		Tables: tables,
+		Raw: []RawTable{{
+			Caption: "upload A",
+			Headers: []string{"Player", "Position"},
+			Rows:    [][]string{{"Zebulon Quirk", "QB"}, {"Abner Yost", "TE"}},
+		}},
+	}
+	body, _ := json.Marshal(req)
+	var jv JobView
+	if code := httpDo(t, c, http.MethodPost, ts.URL+"/v1/ingest", string(body), &jv); code != http.StatusAccepted {
+		t.Fatalf("async ingest = %d", code)
+	}
+	httpDo(t, c, http.MethodDelete, ts.URL+fmt.Sprintf("/v1/jobs/%d", jv.ID), "", nil)
+	deadline := time.Now().Add(60 * time.Second)
+	for jv.Status == statusQueued || jv.Status == statusRunning {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", jv.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+		httpDo(t, c, http.MethodGet, ts.URL+fmt.Sprintf("/v1/jobs/%d", jv.ID), "", &jv)
+	}
+
+	switch jv.Status {
+	case statusCancelled:
+		// The appended raw table keeps its corpus slot.
+		if got := s.corpus.Len(); got != preLen+1 {
+			t.Errorf("corpus length after cancelled raw ingest = %d, want %d (table must stay appended)", got, preLen+1)
+		}
+		if !strings.Contains(jv.Error, "remain appended") {
+			t.Errorf("cancelled job error does not explain the retained raw tables: %q", jv.Error)
+		}
+	case statusDone:
+		if got := s.corpus.Len(); got != preLen+1 {
+			t.Errorf("corpus length after done raw ingest = %d, want %d", got, preLen+1)
+		}
+	default:
+		t.Fatalf("job ended %+v", jv)
+	}
+
+	// A later upload gets a fresh ID — never a reused one.
+	req2 := IngestRequest{
+		Class: "GF-Player",
+		Raw: []RawTable{{
+			Caption: "upload B",
+			Headers: []string{"Player", "Position"},
+			Rows:    [][]string{{"Barnaby Quill", "K"}, {"Tom Brady", "QB"}},
+		}},
+	}
+	body, _ = json.Marshal(req2)
+	var jv2 JobView
+	if code := httpDo(t, c, http.MethodPost, ts.URL+"/v1/ingest?wait=1", string(body), &jv2); code != 200 || jv2.Status != statusDone {
+		t.Fatalf("second raw ingest = %d %+v", code, jv2)
+	}
+	if got := s.corpus.Len(); got != preLen+2 {
+		t.Errorf("corpus length after second upload = %d, want %d (fresh ID, no reuse)", got, preLen+2)
+	}
+}
+
+// TestServeCancelActiveJobsFreesQueueForSnapshot: with the writer busy and
+// jobs queued, CancelActiveJobs (the shutdown path's drain-expiry action)
+// unblocks the queue without closing the server, so a pending Snapshot
+// still completes — closing instead would fail it with "server is shut
+// down" and lose the final snapshot.
+func TestServeCancelActiveJobsFreesQueueForSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s, tables := newTestServer(t, dir)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	// One running ingest plus a few queued behind it.
+	body, _ := json.Marshal(IngestRequest{Class: "GF-Player", Tables: tables})
+	for i := 0; i < 3; i++ {
+		if code := httpDo(t, c, http.MethodPost, ts.URL+"/v1/ingest", string(body), nil); code != http.StatusAccepted {
+			t.Fatalf("ingest %d = %d", i, code)
+		}
+	}
+
+	snapCh := make(chan error, 1)
+	go func() {
+		_, err := s.Snapshot()
+		snapCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the snapshot enqueue behind the ingests
+	s.CancelActiveJobs()
+	select {
+	case err := <-snapCh:
+		if err != nil {
+			t.Fatalf("snapshot after CancelActiveJobs: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("snapshot still blocked after CancelActiveJobs")
+	}
+	// The server is still open: a fresh ingest is accepted and runs.
+	var jv JobView
+	body, _ = json.Marshal(IngestRequest{Class: "GF-Player", Tables: tables[:1]})
+	if code := httpDo(t, c, http.MethodPost, ts.URL+"/v1/ingest?wait=1", string(body), &jv); code != 200 || jv.Status != statusDone {
+		t.Fatalf("post-cancel ingest = %d %+v", code, jv)
+	}
+}
+
+// TestServeDeleteQueuedSnapshotRefused: snapshots are not cancellable —
+// queued or running — so one client's DELETE cannot kill another client's
+// pending snapshot.
+func TestServeDeleteQueuedSnapshotRefused(t *testing.T) {
+	s, tables := newTestServer(t, t.TempDir())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	// Occupy the writer so the snapshot queues behind the ingest.
+	body, _ := json.Marshal(IngestRequest{Class: "GF-Player", Tables: tables})
+	if code := httpDo(t, c, http.MethodPost, ts.URL+"/v1/ingest", string(body), nil); code != http.StatusAccepted {
+		t.Fatalf("ingest = %d", code)
+	}
+	var snap JobView
+	if code := httpDo(t, c, http.MethodPost, ts.URL+"/v1/snapshot", "", &snap); code != http.StatusAccepted {
+		t.Fatalf("snapshot enqueue = %d", code)
+	}
+	if code := httpDo(t, c, http.MethodDelete, ts.URL+fmt.Sprintf("/v1/jobs/%d", snap.ID), "", nil); code != http.StatusConflict {
+		t.Errorf("DELETE queued/running snapshot = %d, want 409", code)
+	}
+	// The snapshot still completes once the writer reaches it.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		httpDo(t, c, http.MethodGet, ts.URL+fmt.Sprintf("/v1/jobs/%d", snap.ID), "", &snap)
+		if snap.Status == statusDone {
+			break
+		}
+		if snap.Status == statusFailed || snap.Status == statusCancelled {
+			t.Fatalf("snapshot ended %+v", snap)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("snapshot stuck in %q", snap.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

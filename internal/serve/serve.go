@@ -16,6 +16,18 @@
 // cache keyed on kb.Version so hot lookups skip retrieval entirely and
 // can never serve a pre-mutation body for a post-mutation version.
 //
+// # Cancellation
+//
+// Every ingest job carries its own context. DELETE /v1/jobs/{id} cancels
+// it: a queued job is skipped by the writer, a running one unwinds at the
+// engine's next cooperative checkpoint and ends with status "cancelled" —
+// the epoch commits nothing, the engine stays healthy, and the class
+// accepts further ingests (unlike a panic, which poisons it). While a job
+// runs, GET /v1/jobs/{id} reports the pipeline stage it most recently
+// entered, fed by the engines' progress events. Shutdown(ctx) extends the
+// same mechanism to process exit: the queue drains until the deadline,
+// then everything still pending or running is cancelled cooperatively.
+//
 // # Snapshot persistence
 //
 // With a snapshot directory configured, the server warm-starts by loading
@@ -26,6 +38,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -93,6 +106,9 @@ type Server struct {
 	retired []int64 // finished job IDs in completion order, oldest first
 	nextJob int64
 	closed  bool
+	// current is the job the writer goroutine is executing right now; the
+	// engines' progress hooks attribute their stage updates to it.
+	current *job
 	// poisoned records classes whose engine panicked mid-ingest; their
 	// retained state can no longer be trusted, so further ingests for them
 	// are refused until the process restarts.
@@ -107,10 +123,11 @@ const (
 	jobIngest   = "ingest"
 	jobSnapshot = "snapshot"
 
-	statusQueued  = "queued"
-	statusRunning = "running"
-	statusDone    = "done"
-	statusFailed  = "failed"
+	statusQueued    = "queued"
+	statusRunning   = "running"
+	statusDone      = "done"
+	statusFailed    = "failed"
+	statusCancelled = "cancelled"
 
 	// maxRetainedJobs bounds how many finished jobs stay queryable via
 	// GET /v1/jobs/{id}; older ones are evicted so a long-running server
@@ -124,6 +141,7 @@ type job struct {
 	id       int64
 	kind     string
 	status   string
+	stage    string // current pipeline stage while running (progress events)
 	errMsg   string
 	stats    *core.IngestStats
 	manifest *kb.Manifest
@@ -134,15 +152,23 @@ type job struct {
 	auto   int
 	raw    []*webtable.Table
 
+	// ctx is cancelled by DELETE /v1/jobs/{id} and by a deadline-expired
+	// Shutdown; the engine's cooperative checkpoints observe it.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	done chan struct{}
 }
 
-// JobView is the JSON rendering of a job.
+// JobView is the JSON rendering of a job. Stage is only set while the job
+// is running and names the pipeline stage most recently entered
+// ("i2/detect": detection during the epoch's second iteration).
 type JobView struct {
 	ID       int64             `json:"id"`
 	Kind     string            `json:"kind"`
 	Class    string            `json:"class,omitempty"`
 	Status   string            `json:"status"`
+	Stage    string            `json:"stage,omitempty"`
 	Error    string            `json:"error,omitempty"`
 	Stats    *core.IngestStats `json:"stats,omitempty"`
 	Manifest *kb.Manifest      `json:"manifest,omitempty"`
@@ -178,6 +204,17 @@ func New(cfg Config) (*Server, error) {
 	}
 	for class, eng := range cfg.Engines {
 		s.engines[class] = eng
+		// Chain a progress hook onto the engine so an in-flight ingest
+		// job's current stage is visible via GET /v1/jobs/{id}. Engines
+		// are owned by the server once handed over, and ingests run only
+		// on the writer goroutine, so mutating Cfg here cannot race.
+		prev := eng.Cfg.Progress
+		eng.Cfg.Progress = func(ev core.Event) {
+			s.noteStage(ev)
+			if prev != nil {
+				prev(ev)
+			}
+		}
 	}
 	s.baseTables = cfg.Corpus.Len()
 	s.tables = make(map[kb.ClassID][]int, len(cfg.Tables))
@@ -215,6 +252,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 
 	go s.writer()
@@ -224,16 +262,73 @@ func New(cfg Config) (*Server, error) {
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops accepting jobs, drains the queue, and waits for the writer
-// loop to exit. Safe to call more than once.
+// Close stops accepting jobs, drains the queue fully, and waits for the
+// writer loop to exit. Safe to call more than once. Shutdown is the
+// deadline-bounded form.
 func (s *Server) Close() {
+	s.Shutdown(context.Background())
+}
+
+// Shutdown stops accepting jobs and waits for the writer loop to drain the
+// queue. If ctx expires first, every still-pending or running job is
+// cancelled — the running ingest unwinds at its next cooperative
+// checkpoint without committing its epoch — and Shutdown returns the
+// context's error once the writer has exited. Shutdown with a background
+// context is exactly Close. Safe to call more than once and concurrently.
+func (s *Server) Shutdown(ctx context.Context) error {
 	s.closeOnce.Do(func() {
 		s.jobMu.Lock()
 		s.closed = true
 		s.jobMu.Unlock()
 		close(s.queue)
-		<-s.writerDone
 	})
+	select {
+	case <-s.writerDone:
+		return nil
+	case <-ctx.Done():
+	}
+	// Both channels may have been ready at once (select picks randomly):
+	// a server whose writer already drained must report a clean shutdown
+	// even under an expired context.
+	select {
+	case <-s.writerDone:
+		return nil
+	default:
+	}
+	// Deadline expired with work still in flight: cancel everything the
+	// writer has not finished — queued jobs are marked cancelled so the
+	// writer skips them outright (a queued raw-table ingest must not get
+	// to mutate the corpus mid-shutdown), the running one unwinds at its
+	// next checkpoint — then wait for the writer to exit (bounded by the
+	// engine's checkpoint interval, not by remaining queue depth).
+	s.CancelActiveJobs()
+	<-s.writerDone
+	return ctx.Err()
+}
+
+// CancelActiveJobs cancels every queued or running cancellable job
+// (ingests; snapshots are not cancellable) without shutting the server
+// down: the writer skips the cancelled queue entries and a running ingest
+// unwinds at its next cooperative checkpoint, committing nothing. The
+// shutdown path uses this to free the single-writer queue for a final
+// Snapshot when its drain grace expires — closing the server instead
+// would fail a Snapshot still waiting for a queue slot.
+func (s *Server) CancelActiveJobs() {
+	s.jobMu.Lock()
+	for _, j := range s.jobs {
+		if j.cancel == nil {
+			continue
+		}
+		switch j.status {
+		case statusQueued:
+			j.status = statusCancelled
+			j.errMsg = "cancelled while queued"
+			j.cancel()
+		case statusRunning:
+			j.cancel()
+		}
+	}
+	s.jobMu.Unlock()
 }
 
 // Snapshot synchronously persists the current state through the writer
@@ -276,15 +371,32 @@ func (s *Server) writer() {
 
 // runJob executes one job on the writer goroutine. A panic escaping the
 // engine (the crash vector a degenerate user batch could open) fails the
-// job instead of taking the server down.
+// job instead of taking the server down. Jobs cancelled while still queued
+// are skipped entirely.
 func (s *Server) runJob(j *job) {
-	s.setJob(j, func(j *job) { j.status = statusRunning })
+	s.jobMu.Lock()
+	if j.status == statusCancelled {
+		s.jobMu.Unlock()
+		s.retireJob(j)
+		close(j.done)
+		return
+	}
+	j.status = statusRunning
+	s.current = j
+	s.jobMu.Unlock()
 	defer func() {
 		if r := recover(); r != nil {
 			s.setJob(j, func(j *job) {
 				j.status = statusFailed
 				j.errMsg = fmt.Sprintf("panic: %v", r)
 			})
+		}
+		s.jobMu.Lock()
+		s.current = nil
+		j.stage = ""
+		s.jobMu.Unlock()
+		if j.cancel != nil {
+			j.cancel() // release the context's resources
 		}
 		s.retireJob(j)
 		close(j.done)
@@ -295,6 +407,21 @@ func (s *Server) runJob(j *job) {
 	case jobSnapshot:
 		s.runSnapshot(j)
 	}
+}
+
+// noteStage records the pipeline stage an in-flight ingest just entered,
+// for GET /v1/jobs/{id}. Called from the engines' progress hooks, which
+// fire on the writer goroutine while s.current is set.
+func (s *Server) noteStage(ev core.Event) {
+	s.jobMu.Lock()
+	if s.current != nil {
+		if ev.Iteration > 0 {
+			s.current.stage = fmt.Sprintf("i%d/%s", ev.Iteration, ev.Stage)
+		} else {
+			s.current.stage = string(ev.Stage)
+		}
+	}
+	s.jobMu.Unlock()
 }
 
 // retireJob frees a finished job's inputs (raw table payloads can be
@@ -409,7 +536,37 @@ func (s *Server) runIngest(j *job) {
 			j.errMsg = fmt.Sprintf("ingest panic (class now refuses ingests): %v", r)
 		})
 	}()
-	_, stats := eng.Ingest(ids)
+	ctx := j.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	_, stats, err := eng.Ingest(ctx, ids)
+	if err != nil {
+		// A cancelled epoch committed nothing (the engine publishes
+		// atomically at its end), so the class stays healthy — unlike a
+		// panic, cancellation does not poison it. Appended raw tables are
+		// NOT rolled back: the engine may already have absorbed their
+		// labels into its persistent blocking/PHI statistics (keyed by
+		// table ID), and truncating the corpus would rebind those IDs to
+		// future tables with different content, corrupting later epochs.
+		// The tables stay appended and un-ingested; a retry references
+		// them by ID instead of re-uploading.
+		rawMsg := ""
+		if len(j.raw) > 0 {
+			rawIDs := ids[len(ids)-len(j.raw):]
+			rawMsg = fmt.Sprintf("; the %d uploaded raw tables remain appended as corpus IDs %v (not ingested) — retry with {\"tables\": %v}", len(j.raw), rawIDs, rawIDs)
+		}
+		s.setJob(j, func(j *job) {
+			if errors.Is(err, context.Canceled) {
+				j.status = statusCancelled
+				j.errMsg = "cancelled before completing; no epoch was committed" + rawMsg
+			} else {
+				j.status = statusFailed
+				j.errMsg = err.Error() + rawMsg
+			}
+		})
+		return
+	}
 	s.setJob(j, func(j *job) {
 		j.status = statusDone
 		j.stats = &stats
@@ -489,6 +646,7 @@ func (s *Server) viewJob(j *job) JobView {
 		ID:     j.id,
 		Kind:   j.kind,
 		Status: j.status,
+		Stage:  j.stage,
 		Error:  j.errMsg,
 	}
 	if j.class != "" {
@@ -716,7 +874,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeCached(w, http.StatusOK, body)
 		return
 	}
-	hits := s.kb.SearchInstances(q, kb.CandidateOpts{K: k, Class: class})
+	hits, err := s.kb.SearchInstances(r.Context(), q, kb.CandidateOpts{K: k, Class: class})
+	if err != nil {
+		// The client went away mid-search; there is no one left to answer.
+		return
+	}
 	view := SearchView{Query: q, Class: string(class), KBVersion: version, Hits: []SearchHitView{}}
 	for _, h := range hits {
 		in := s.kb.Instance(h.Instance)
@@ -868,14 +1030,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "auto must be non-negative")
 		return
 	}
+	// The job's context is independent of the HTTP request's: an async
+	// ingest must survive its submitting request. DELETE /v1/jobs/{id}
+	// (and a deadline-expired Shutdown) cancel it.
+	jctx, cancel := context.WithCancel(context.Background())
 	j, err := s.enqueue(&job{
 		kind:   jobIngest,
 		class:  class,
 		tables: append([]int(nil), req.Tables...),
 		auto:   req.Auto,
 		raw:    raw,
+		ctx:    jctx,
+		cancel: cancel,
 	})
 	if err != nil {
+		cancel()
 		writeErr(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
@@ -909,6 +1078,55 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.viewJob(j))
+}
+
+// handleJobCancel implements DELETE /v1/jobs/{id}: a queued job is marked
+// cancelled and will be skipped by the writer; a running job has its
+// context cancelled and unwinds at the engine's next cooperative
+// checkpoint (poll GET /v1/jobs/{id}, or pass ?wait=1 to block until it
+// has fully stopped). Finished jobs cannot be cancelled (409).
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "job ID must be an integer")
+		return
+	}
+	s.jobMu.Lock()
+	j := s.jobs[id]
+	var status string
+	cancellable := false
+	if j != nil {
+		status = j.status
+		// Only jobs carrying a cancel func are cancellable (ingests);
+		// snapshots are not, queued or running.
+		cancellable = j.cancel != nil
+		if status == statusQueued && cancellable {
+			j.status = statusCancelled
+			j.errMsg = "cancelled while queued"
+		}
+		// A running job's status flips to cancelled only once the engine
+		// has actually unwound, so a poller never sees "cancelled" while
+		// the writer is still inside Ingest.
+	}
+	s.jobMu.Unlock()
+	if j == nil {
+		writeErr(w, http.StatusNotFound, fmt.Sprintf("no job %d", id))
+		return
+	}
+	if !cancellable && (status == statusQueued || status == statusRunning) {
+		writeErr(w, http.StatusConflict, fmt.Sprintf("job %d (%s) cannot be cancelled", id, j.kind))
+		return
+	}
+	switch status {
+	case statusQueued:
+		j.cancel()
+		writeJSON(w, http.StatusOK, s.viewJob(j))
+	case statusRunning:
+		j.cancel()
+		s.respondJob(w, r, j, http.StatusAccepted)
+	default:
+		writeErr(w, http.StatusConflict, fmt.Sprintf("job %d already finished (%s)", id, status))
+	}
 }
 
 // respondJob renders a freshly enqueued job, waiting for completion first

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -22,7 +23,8 @@ func fixture(t testing.TB) (*world.World, *webtable.Corpus, []int) {
 	t.Helper()
 	w := world.Generate(world.DefaultConfig(0.2))
 	c := webtable.Synthesize(w, webtable.DefaultSynthConfig(0.12))
-	tables := core.ClassifyTables(w.KB, c, 0.3)[kb.ClassGFPlayer]
+	byClass, _ := core.ClassifyTables(context.Background(), w.KB, c, 0.3, 0)
+	tables := byClass[kb.ClassGFPlayer]
 	if len(tables) < 2 {
 		t.Fatal("fixture needs at least two GF-Player tables")
 	}

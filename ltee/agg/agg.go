@@ -1,0 +1,25 @@
+// Package agg re-exports the score aggregators that combine similarity
+// metrics into one decision score: the weighted average and the random
+// forest, behind a common interface.
+//
+// This is a research-surface package with best-effort stability; it is not
+// part of the v1 contract (see package ltee).
+package agg
+
+import (
+	"repro/internal/agg"
+)
+
+// Aggregator combines per-metric similarity features into one score.
+type Aggregator = agg.Aggregator
+
+// Features is the per-metric feature vector an Aggregator consumes.
+type Features = agg.Features
+
+// WeightedAverage is the THRESHOLD-style aggregator: a weighted average of
+// the metric scores shifted around a decision threshold.
+type WeightedAverage = agg.WeightedAverage
+
+// Combined is the learned aggregator used by the trained pipeline (random
+// forest with feature importances).
+type Combined = agg.Combined

@@ -1,0 +1,49 @@
+// Package dtype is the public surface of the typed-value model: the Value
+// type carried by KB facts and fused entity descriptions, its
+// constructors, and the similarity thresholds used when comparing values.
+//
+// Every identifier is a re-export of the internal implementation; the
+// types are identical, so values flow freely between this package and the
+// rest of the public ltee API. This package is part of the v1 stability
+// contract (see package ltee).
+package dtype
+
+import (
+	"repro/internal/dtype"
+)
+
+// Value is one typed value: a kind plus the raw string and its parsed
+// forms.
+type Value = dtype.Value
+
+// Kind enumerates the value types of §2 (text, nominal, quantity, date,
+// reference, ...).
+type Kind = dtype.Kind
+
+// Thresholds bundles the per-kind similarity thresholds used when two
+// values are compared for agreement.
+type Thresholds = dtype.Thresholds
+
+// DefaultThresholds returns the thresholds of the paper's configuration.
+func DefaultThresholds() Thresholds { return dtype.DefaultThresholds() }
+
+// NewText returns a free-text value.
+func NewText(s string) Value { return dtype.NewText(s) }
+
+// NewNominal returns a nominal (categorical) value.
+func NewNominal(s string) Value { return dtype.NewNominal(s) }
+
+// NewNominalInt returns a nominal value from an integer code.
+func NewNominalInt(n int) Value { return dtype.NewNominalInt(n) }
+
+// NewRef returns a reference value (a link to another entity by label).
+func NewRef(label string) Value { return dtype.NewRef(label) }
+
+// NewQuantity returns a numeric quantity.
+func NewQuantity(x float64) Value { return dtype.NewQuantity(x) }
+
+// NewYear returns a year-granularity date.
+func NewYear(y int) Value { return dtype.NewYear(y) }
+
+// NewDate returns a day-granularity date.
+func NewDate(y, m, d int) Value { return dtype.NewDate(y, m, d) }

@@ -1,0 +1,30 @@
+// Package eval re-exports the paper's evaluation measures: the
+// Hassanzadeh clustering scores, fact precision/recall, and new-instance
+// detection metrics.
+//
+// This is a research-surface package: it exists so studies (see
+// examples/songs, examples/football) can run on public imports only, and
+// its surface may evolve with the internals (best-effort stability; not
+// part of the v1 contract — see package ltee).
+package eval
+
+import (
+	"repro/internal/eval"
+)
+
+// ClusterScores are the Hassanzadeh clustering quality measures (PCP, AR,
+// and their F1).
+type ClusterScores = eval.ClusterScores
+
+// PRF is a precision/recall/F1 triple.
+type PRF = eval.PRF
+
+// DetectionScores summarize a new-detection evaluation.
+type DetectionScores = eval.DetectionScores
+
+// EvaluateClustering scores a produced clustering against gold clusters.
+var EvaluateClustering = eval.EvaluateClustering
+
+// FactAccuracy measures the fraction of produced facts agreeing with a
+// truth oracle.
+var FactAccuracy = eval.FactAccuracy

@@ -1,0 +1,50 @@
+package ltee_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoInternalImportsInPublicConsumers enforces the external-consumer
+// guarantee: the root example, every example program, the binaries that
+// claim to be built on the public API (ltee, ltee-serve, ltee-extract —
+// ltee-bench legitimately reaches into internal/bench, the repo's
+// benchmark corpus), and the user-facing docs must reference only the
+// public ltee packages. If this test fails, one of them leaks a
+// repro/internal import path — exactly what an external module could
+// never compile against.
+func TestNoInternalImportsInPublicConsumers(t *testing.T) {
+	root := ".." // repo root, relative to the ltee package directory
+	var targets []string
+	for _, f := range []string{
+		"example_test.go", "doc.go", "README.md",
+		"cmd/ltee/main.go", "cmd/ltee-serve/main.go", "cmd/ltee-extract/main.go",
+	} {
+		targets = append(targets, filepath.Join(root, f))
+	}
+	err := filepath.WalkDir(filepath.Join(root, "examples"), func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			targets = append(targets, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range targets {
+		body, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading %s: %v", path, err)
+		}
+		for i, line := range strings.Split(string(body), "\n") {
+			if strings.Contains(line, "repro/internal") {
+				t.Errorf("%s:%d references an internal package: %s", path, i+1, strings.TrimSpace(line))
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Package kb is the public surface of the knowledge-base substrate: a
+// class hierarchy, typed properties, and instances with labels, abstracts,
+// facts and popularity, safe for concurrent post-construction growth.
+//
+// Every identifier here is a re-export of the implementation in the
+// repository's internal tree; the types are identical (Go type aliases),
+// so values flow freely between this package and the rest of the public
+// ltee API. This package is part of the v1 stability contract (see package
+// ltee).
+package kb
+
+import (
+	"repro/internal/kb"
+)
+
+// KB is the knowledge base. Construct with New (or take one from a
+// scenario.Suite's world) and grow it with AddClass/AddInstance; reads,
+// searches and growth may run concurrently.
+type KB = kb.KB
+
+// New returns an empty knowledge base with the default class hierarchy.
+func New() *KB { return kb.New() }
+
+// ClassID identifies an ontology class ("dbo:Song").
+type ClassID = kb.ClassID
+
+// PropertyID identifies a typed property ("dbo:weight").
+type PropertyID = kb.PropertyID
+
+// InstanceID identifies an instance in the KB.
+type InstanceID = kb.InstanceID
+
+// Instance is one knowledge-base entity: labels, facts, provenance.
+type Instance = kb.Instance
+
+// Property is one schema property of a class.
+type Property = kb.Property
+
+// Class is one ontology class.
+type Class = kb.Class
+
+// The evaluation classes of the paper, plus the confusable Place
+// subclasses used as distractors.
+const (
+	ClassGFPlayer   = kb.ClassGFPlayer
+	ClassSong       = kb.ClassSong
+	ClassSettlement = kb.ClassSettlement
+	ClassRegion     = kb.ClassRegion
+	ClassMountain   = kb.ClassMountain
+)
+
+// ProvenanceIngest marks instances written back into the KB by the
+// incremental ingestion engine (as opposed to seed instances).
+const ProvenanceIngest = kb.ProvenanceIngest
+
+// EvalClasses returns the paper's three evaluation classes.
+func EvalClasses() []ClassID { return kb.EvalClasses() }
+
+// ClassShortName maps a class ID to the paper's short name ("GF-Player").
+func ClassShortName(id ClassID) string { return kb.ClassShortName(id) }
+
+// CandidateOpts configures SearchInstances and Candidates.
+type CandidateOpts = kb.CandidateOpts
+
+// SearchHit is one scored retrieval result of KB.SearchInstances.
+type SearchHit = kb.SearchHit
+
+// Manifest describes a persisted KB snapshot (see KB.SaveSnapshot).
+type Manifest = kb.Manifest
+
+// ClassProfile and PropertyProfile summarize a class for profiling
+// (KB.ProfileClass, KB.ProfileProperties).
+type (
+	ClassProfile    = kb.ClassProfile
+	PropertyProfile = kb.PropertyProfile
+)

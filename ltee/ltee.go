@@ -1,0 +1,172 @@
+// Package ltee is the public API of the long-tail entity extraction
+// system: a reproduction of "Extending Cross-Domain Knowledge Bases with
+// Long Tail Entities using Web Table Data" (Oulabi & Bizer, EDBT 2019)
+// grown into an incremental, servable engine.
+//
+// # The v1 contract
+//
+// This package and its subpackages under ltee/ are the importable surface
+// of the repository; everything under internal/ is implementation and can
+// change without notice. Within a major API version (APIVersion) the
+// exported identifiers of ltee, ltee/kb, ltee/webtable, ltee/dtype,
+// ltee/scenario and ltee/serve are stable: existing signatures keep
+// compiling and behavior changes only in documented, compatible ways. The
+// remaining subpackages (ltee/cluster, ltee/agg, ltee/newdet, ltee/strsim,
+// ltee/eval) re-export research internals for experimentation and carry no
+// stability promise beyond best effort. A generated listing of the whole
+// exported surface is checked in under ltee/testdata and guarded by a test,
+// so no breaking change lands unreviewed.
+//
+// # Construction
+//
+// Engines and pipelines are built from a knowledge base, a corpus, and a
+// class, configured with functional options instead of a positional config
+// struct:
+//
+//	eng, err := ltee.NewEngine(k, corpus, kb.ClassSong,
+//		ltee.WithWorkers(8),
+//		ltee.WithDedup(),
+//		ltee.WithProgress(func(ev ltee.Event) { log.Println(ev.Stage) }),
+//	)
+//
+// Pipeline (one-shot, side-effect free) and Engine (incremental, writes
+// discoveries back into the KB) share one implementation; see their method
+// docs for the semantics.
+//
+// # Cancellation
+//
+// Every long-running entry point takes a context.Context and honors it
+// cooperatively: Engine.Ingest, Pipeline.Run and ClassifyTables check for
+// cancellation at every stage boundary, inside the per-table and
+// per-entity fan-outs, and between clustering batches and refinement
+// rounds. A cancelled Ingest commits nothing — the engine's published
+// state and the knowledge base are exactly as before the call, and
+// re-issuing the same batch later behaves as if the cancelled call never
+// happened. The serving layer (ltee/serve) exposes the same mechanism over
+// HTTP as DELETE /v1/jobs/{id} and a deadline-bounded Server.Shutdown.
+package ltee
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/fusion"
+	"repro/internal/newdet"
+
+	"repro/ltee/kb"
+	"repro/ltee/webtable"
+)
+
+// APIVersion names the major version of the public API's stability
+// contract.
+const APIVersion = "v1"
+
+// Engine is the long-lived incremental ingestion engine for one class:
+// Ingest accepts table batches over time, retains the clustering and
+// matching state between batches, and writes entities detected as new back
+// into the knowledge base so later batches match against them.
+//
+// Engine is a transparent alias of the implementation type, so its Cfg
+// and WriteBack fields are reachable directly. They are an advanced
+// escape hatch: mutating them after construction bypasses the eager
+// validation the options perform (the constructor-error guarantee covers
+// NewEngine/NewPipeline/ClassifyTables arguments only) and must not race
+// an in-flight Ingest. Prefer expressing configuration through Options.
+type Engine = core.Engine
+
+// Pipeline executes the paper's one-shot batch setting: Run processes a
+// set of tables through the configured iterations and leaves the knowledge
+// base untouched.
+type Pipeline = core.Pipeline
+
+// Output is the result of a pipeline run or ingest epoch: the final
+// mapping, rows, clustering, fused entities and their detections.
+type Output = core.Output
+
+// Models bundles the learned pipeline components; the zero value selects
+// unlearned uniform-weight defaults (fine for clean tables, see
+// scenario.Suite.ModelsFor for training on the synthetic gold standard).
+type Models = core.Models
+
+// IngestStats summarizes one ingest epoch.
+type IngestStats = core.IngestStats
+
+// Event is one progress notification delivered to a WithProgress callback.
+type Event = core.Event
+
+// Stage names the pipeline stage an Event reports.
+type Stage = core.Stage
+
+// The stages reported by progress events, in epoch order.
+const (
+	StageClassify  = core.StageClassify
+	StageMatch     = core.StageMatch
+	StageBuild     = core.StageBuild
+	StageCluster   = core.StageCluster
+	StageFuse      = core.StageFuse
+	StageDetect    = core.StageDetect
+	StageWriteBack = core.StageWriteBack
+	StageTrain     = core.StageTrain
+)
+
+// Entity is one fused entity description produced by the pipeline.
+type Entity = fusion.Entity
+
+// Detection is the new-detection verdict for one entity.
+type Detection = newdet.Result
+
+// ScoringMethod selects how candidate fact values are scored during
+// fusion.
+type ScoringMethod = fusion.ScoringMethod
+
+// DedupConfig tunes the post-clustering entity deduplication enabled by
+// WithDedup; the zero value is the default configuration.
+type DedupConfig = fusion.DedupConfig
+
+// Voting is the default fusion scoring method (every candidate value
+// scores 1).
+const Voting = fusion.Voting
+
+// NewEngine builds an incremental ingestion engine for one class with
+// write-back enabled (use WithWriteBack(false) for a side-effect-free
+// engine). The knowledge base and corpus must be non-nil and the class
+// must exist in the KB's ontology.
+func NewEngine(k *kb.KB, corpus *webtable.Corpus, class kb.ClassID, opts ...Option) (*Engine, error) {
+	cfg, err := buildConfig(k, corpus, class, opts)
+	if err != nil {
+		return nil, err
+	}
+	eng := core.NewEngine(cfg.core, cfg.models)
+	eng.WriteBack = cfg.writeBack
+	return eng, nil
+}
+
+// NewPipeline builds a one-shot pipeline for one class. Pipelines never
+// write back into the knowledge base, so WithWriteBack is rejected here.
+func NewPipeline(k *kb.KB, corpus *webtable.Corpus, class kb.ClassID, opts ...Option) (*Pipeline, error) {
+	cfg, err := buildConfig(k, corpus, class, opts)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.writeBackSet {
+		return nil, errWriteBackPipeline
+	}
+	return core.New(cfg.core, cfg.models), nil
+}
+
+// ClassifyTables runs data-type detection, label-attribute detection and
+// table-to-class matching over the whole corpus and returns the table IDs
+// matched to each class — the step that decides which tables feed which
+// engine. It honors WithWorkers, WithMinClassRowFrac and WithProgress;
+// other options are rejected. Cancelling ctx stops the fan-out between
+// tables.
+func ClassifyTables(ctx context.Context, k *kb.KB, corpus *webtable.Corpus, opts ...Option) (map[kb.ClassID][]int, error) {
+	cfg, err := buildClassifyConfig(k, corpus, opts)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.core.Progress != nil {
+		cfg.core.Progress(Event{Stage: StageClassify, Count: corpus.Len()})
+	}
+	return core.ClassifyTables(ctx, k, corpus, cfg.core.MinClassRowFrac, cfg.core.Workers)
+}

@@ -1,0 +1,167 @@
+package ltee_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/ltee"
+	"repro/ltee/dtype"
+	"repro/ltee/kb"
+	"repro/ltee/webtable"
+)
+
+// tinyFixture is a two-table micro-world shared by the facade tests.
+func tinyFixture() (*kb.KB, *webtable.Corpus) {
+	k := kb.New()
+	k.AddInstance(&kb.Instance{
+		Class:  kb.ClassGFPlayer,
+		Labels: []string{"Tom Brady"},
+		Facts: map[kb.PropertyID]dtype.Value{
+			"dbo:position": dtype.NewNominal("QB"),
+			"dbo:weight":   dtype.NewQuantity(225),
+		},
+		Popularity: 100,
+	})
+	corpus := webtable.NewCorpus([]*webtable.Table{
+		{
+			LabelCol: -1,
+			Headers:  []string{"Player", "Position", "Weight"},
+			Cells: [][]string{
+				{"Tom Brady", "QB", "225"},
+				{"Ulysses Drake", "TE", "250"},
+			},
+		},
+		{
+			LabelCol: -1,
+			Headers:  []string{"Name", "Pos"},
+			Cells: [][]string{
+				{"Ulysses Drake", "TE"},
+				{"Tom Brady", "QB"},
+			},
+		},
+	})
+	return k, corpus
+}
+
+// TestFacadeEndToEnd: the public construction path — ClassifyTables plus
+// NewPipeline/NewEngine with options — runs the tiny scenario end to end
+// and the engine's single batch equals the pipeline run.
+func TestFacadeEndToEnd(t *testing.T) {
+	k, corpus := tinyFixture()
+	ctx := context.Background()
+
+	byClass, err := ltee.ClassifyTables(ctx, k, corpus, ltee.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := byClass[kb.ClassGFPlayer]
+	if len(tables) != 2 {
+		t.Fatalf("classified tables = %v", byClass)
+	}
+
+	p, err := ltee.NewPipeline(k, corpus, kb.ClassGFPlayer, ltee.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Run(ctx, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Entities) != 2 {
+		t.Fatalf("entities = %d, want 2", len(want.Entities))
+	}
+
+	var events []ltee.Event
+	eng, err := ltee.NewEngine(k, corpus, kb.ClassGFPlayer,
+		ltee.WithWorkers(1),
+		ltee.WithWriteBack(false),
+		ltee.WithProgress(func(ev ltee.Event) { events = append(events, ev) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := eng.Ingest(ctx, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.WrittenBack != 0 {
+		t.Errorf("WithWriteBack(false) engine wrote %d instances", stats.WrittenBack)
+	}
+	if !reflect.DeepEqual(want.Mapping, got.Mapping) || len(want.Entities) != len(got.Entities) {
+		t.Error("engine batch diverged from pipeline run")
+	}
+	if len(events) == 0 {
+		t.Error("WithProgress callback never fired")
+	}
+}
+
+// TestOptionValidation: every nonsense option value surfaces as a
+// constructor error naming the option.
+func TestOptionValidation(t *testing.T) {
+	k, corpus := tinyFixture()
+	cases := []struct {
+		name string
+		opt  ltee.Option
+		want string
+	}{
+		{"workers", ltee.WithWorkers(-1), "WithWorkers(-1)"},
+		{"iterations", ltee.WithIterations(0), "WithIterations(0)"},
+		{"minfrac-zero", ltee.WithMinClassRowFrac(0), "WithMinClassRowFrac(0)"},
+		{"minfrac-big", ltee.WithMinClassRowFrac(1.5), "WithMinClassRowFrac(1.5)"},
+		{"progress-nil", ltee.WithProgress(nil), "WithProgress(nil)"},
+		{"cluster-workers", ltee.WithClusterOptions(ltee.ClusterOptions{Workers: -2}), "Workers -2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ltee.NewEngine(k, corpus, kb.ClassGFPlayer, tc.opt)
+			if err == nil {
+				t.Fatalf("NewEngine accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name the option (%q)", err, tc.want)
+			}
+		})
+	}
+
+	if _, err := ltee.NewEngine(nil, corpus, kb.ClassGFPlayer); err == nil {
+		t.Error("nil KB accepted")
+	}
+	if _, err := ltee.NewEngine(k, nil, kb.ClassGFPlayer); err == nil {
+		t.Error("nil corpus accepted")
+	}
+	if _, err := ltee.NewEngine(k, corpus, "dbo:Nope"); err == nil {
+		t.Error("unknown class accepted")
+	}
+	if _, err := ltee.NewPipeline(k, corpus, kb.ClassGFPlayer, ltee.WithWriteBack(true)); err == nil {
+		t.Error("NewPipeline accepted WithWriteBack")
+	}
+	if _, err := ltee.ClassifyTables(context.Background(), k, corpus, ltee.WithIterations(3)); err == nil {
+		t.Error("ClassifyTables accepted WithIterations")
+	}
+}
+
+// TestFacadeCancellation: the public Ingest honors context cancellation
+// with the documented no-commit semantics.
+func TestFacadeCancellation(t *testing.T) {
+	k, corpus := tinyFixture()
+	tables := []int{0, 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng, err := ltee.NewEngine(k, corpus, kb.ClassGFPlayer, ltee.WithWriteBack(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.Ingest(ctx, tables); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if eng.Epoch() != 0 {
+		t.Error("cancelled ingest committed an epoch")
+	}
+	out, _, err := eng.Ingest(context.Background(), tables)
+	if err != nil || len(out.Entities) == 0 {
+		t.Fatalf("retry failed: %v", err)
+	}
+}

@@ -1,0 +1,35 @@
+// Package newdet re-exports the new-detection classifier: deciding, for a
+// fused entity, whether it matches an existing KB instance or describes a
+// formerly unknown long-tail entity.
+//
+// This is a research-surface package with best-effort stability; it is not
+// part of the v1 contract (see package ltee).
+package newdet
+
+import (
+	"repro/internal/agg"
+	"repro/internal/kb"
+	"repro/internal/newdet"
+)
+
+// Detector classifies entities as new or existing against a knowledge
+// base.
+type Detector = newdet.Detector
+
+// Result is one classification verdict (also aliased as ltee.Detection).
+type Result = newdet.Result
+
+// Env carries the comparison environment of the entity-to-instance
+// metrics.
+type Env = newdet.Env
+
+// Metric is one entity-to-instance similarity metric.
+type Metric = newdet.Metric
+
+// NewDetector builds a detector over the KB with the given aggregator.
+func NewDetector(k *kb.KB, aggr agg.Aggregator) *Detector {
+	return newdet.NewDetector(k, aggr)
+}
+
+// MetricSet returns the full entity-to-instance metric set of the paper.
+func MetricSet() []Metric { return newdet.MetricSet() }

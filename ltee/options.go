@@ -1,0 +1,233 @@
+package ltee
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+
+	"repro/ltee/kb"
+	"repro/ltee/webtable"
+)
+
+// Option configures NewEngine, NewPipeline or ClassifyTables. Options
+// validate eagerly: an out-of-range value surfaces as a constructor error
+// naming the option, never as silent misbehavior at run time.
+type Option func(*config) error
+
+// ClusterOptions configures the row clustering algorithms (see
+// WithClusterOptions). The zero value is NOT the default configuration:
+// it disables label blocking and KLj refinement (both on by default).
+// Start from NewClusterOptions and tweak individual fields.
+type ClusterOptions = cluster.Options
+
+// NewClusterOptions returns the default clustering options: parallel
+// greedy assignment with label blocking and KLj refinement. Tweak fields
+// on the returned value and pass it to WithClusterOptions.
+func NewClusterOptions() ClusterOptions { return cluster.NewOptions() }
+
+// config accumulates the applied options on top of the defaults.
+type config struct {
+	core         core.Config
+	models       Models
+	writeBack    bool
+	writeBackSet bool
+	// classify marks the ClassifyTables context, which accepts only the
+	// subset of options that affect table-to-class matching.
+	classify bool
+}
+
+var errWriteBackPipeline = errors.New("ltee: WithWriteBack does not apply to NewPipeline (pipelines never write back)")
+
+// buildConfig applies opts over the default two-iteration configuration.
+func buildConfig(k *kb.KB, corpus *webtable.Corpus, class kb.ClassID, opts []Option) (*config, error) {
+	if k == nil {
+		return nil, errors.New("ltee: knowledge base must not be nil")
+	}
+	if corpus == nil {
+		return nil, errors.New("ltee: corpus must not be nil")
+	}
+	if k.Class(class) == nil {
+		return nil, fmt.Errorf("ltee: class %q does not exist in the knowledge base", class)
+	}
+	cfg := &config{core: core.DefaultConfig(k, corpus, class), writeBack: true}
+	for _, opt := range opts {
+		if err := opt(cfg); err != nil {
+			return nil, err
+		}
+	}
+	return cfg, nil
+}
+
+// buildClassifyConfig applies the ClassifyTables-compatible subset of opts.
+func buildClassifyConfig(k *kb.KB, corpus *webtable.Corpus, opts []Option) (*config, error) {
+	if k == nil {
+		return nil, errors.New("ltee: knowledge base must not be nil")
+	}
+	if corpus == nil {
+		return nil, errors.New("ltee: corpus must not be nil")
+	}
+	cfg := &config{core: core.Config{MinClassRowFrac: 0.3}, classify: true}
+	for _, opt := range opts {
+		if err := opt(cfg); err != nil {
+			return nil, err
+		}
+	}
+	return cfg, nil
+}
+
+// classifyOnly guards options that have no effect on ClassifyTables.
+func classifyOnly(cfg *config, name string) error {
+	if cfg.classify {
+		return fmt.Errorf("ltee: %s does not apply to ClassifyTables", name)
+	}
+	return nil
+}
+
+// WithWorkers bounds every worker pool of the run: the per-table matching
+// and per-entity detection fan-outs and the clustering batches. 0 (the
+// default) uses one worker per CPU, 1 runs fully serial; output is
+// identical at every worker count. Negative values are rejected.
+func WithWorkers(n int) Option {
+	return func(cfg *config) error {
+		if n < 0 {
+			return fmt.Errorf("ltee: WithWorkers(%d): worker count must be >= 0 (0 = one per CPU, 1 = serial)", n)
+		}
+		cfg.core.Workers = n
+		return nil
+	}
+}
+
+// WithIterations sets the number of pipeline iterations per run or ingest
+// epoch (default 2; the paper found a third iteration adds nothing).
+func WithIterations(n int) Option {
+	return func(cfg *config) error {
+		if err := classifyOnly(cfg, "WithIterations"); err != nil {
+			return err
+		}
+		if n < 1 {
+			return fmt.Errorf("ltee: WithIterations(%d): at least one iteration is required", n)
+		}
+		cfg.core.Iterations = n
+		return nil
+	}
+}
+
+// WithSeed sets the seed driving every learned component (default 1).
+func WithSeed(seed int64) Option {
+	return func(cfg *config) error {
+		if err := classifyOnly(cfg, "WithSeed"); err != nil {
+			return err
+		}
+		cfg.core.Seed = seed
+		return nil
+	}
+}
+
+// WithScoring selects the fusion value-scoring method (default Voting).
+func WithScoring(m ScoringMethod) Option {
+	return func(cfg *config) error {
+		if err := classifyOnly(cfg, "WithScoring"); err != nil {
+			return err
+		}
+		cfg.core.Scoring = m
+		return nil
+	}
+}
+
+// WithMinClassRowFrac sets the minimum fraction of rows with a KB
+// candidate for a table to be matched to a class (default 0.3). Must be in
+// (0, 1].
+func WithMinClassRowFrac(f float64) Option {
+	return func(cfg *config) error {
+		if f <= 0 || f > 1 {
+			return fmt.Errorf("ltee: WithMinClassRowFrac(%g): fraction must be in (0, 1]", f)
+		}
+		cfg.core.MinClassRowFrac = f
+		return nil
+	}
+}
+
+// WithDedup enables the post-clustering entity deduplication extension
+// (§5 lessons learned) with its default configuration; pass a DedupConfig
+// to tune it. More than one config is rejected.
+func WithDedup(dc ...DedupConfig) Option {
+	return func(cfg *config) error {
+		if err := classifyOnly(cfg, "WithDedup"); err != nil {
+			return err
+		}
+		if len(dc) > 1 {
+			return fmt.Errorf("ltee: WithDedup: at most one DedupConfig (got %d)", len(dc))
+		}
+		cfg.core.Dedup = true
+		if len(dc) == 1 {
+			cfg.core.DedupConfig = dc[0]
+		}
+		return nil
+	}
+}
+
+// WithClusterOptions replaces the row clustering options wholesale. Build
+// the value with NewClusterOptions and modify fields from there — a zero
+// ClusterOptions silently turns off blocking and KLj refinement, which is
+// almost never what you want.
+func WithClusterOptions(o ClusterOptions) Option {
+	return func(cfg *config) error {
+		if err := classifyOnly(cfg, "WithClusterOptions"); err != nil {
+			return err
+		}
+		if o.Workers < 0 {
+			return fmt.Errorf("ltee: WithClusterOptions: Workers %d must be >= 0", o.Workers)
+		}
+		if o.BatchSize < 0 {
+			return fmt.Errorf("ltee: WithClusterOptions: BatchSize %d must be >= 0", o.BatchSize)
+		}
+		if o.MaxKLjRounds < 0 {
+			return fmt.Errorf("ltee: WithClusterOptions: MaxKLjRounds %d must be >= 0", o.MaxKLjRounds)
+		}
+		cfg.core.ClusterOpts = o
+		return nil
+	}
+}
+
+// WithModels supplies trained pipeline models (scenario.Suite.ModelsFor
+// trains them on the synthetic gold standard). Without this option the
+// unlearned uniform-weight defaults are used.
+func WithModels(m Models) Option {
+	return func(cfg *config) error {
+		if err := classifyOnly(cfg, "WithModels"); err != nil {
+			return err
+		}
+		cfg.models = m
+		return nil
+	}
+}
+
+// WithWriteBack controls whether an engine writes entities detected as new
+// back into the knowledge base after each epoch (default true). Only valid
+// for NewEngine.
+func WithWriteBack(on bool) Option {
+	return func(cfg *config) error {
+		if err := classifyOnly(cfg, "WithWriteBack"); err != nil {
+			return err
+		}
+		cfg.writeBack = on
+		cfg.writeBackSet = true
+		return nil
+	}
+}
+
+// WithProgress registers a callback receiving an Event at the start of
+// every pipeline stage. The callback runs on the pipeline goroutine: it
+// must be fast, must not call back into the engine, and never affects the
+// output.
+func WithProgress(fn func(Event)) Option {
+	return func(cfg *config) error {
+		if fn == nil {
+			return errors.New("ltee: WithProgress(nil): callback must not be nil")
+		}
+		cfg.core.Progress = fn
+		return nil
+	}
+}

@@ -1,0 +1,41 @@
+// Package scenario is the public surface of the reproduction harness: a
+// deterministic synthetic world (knowledge base + long-tail entities), a
+// synthesized web-table corpus over it, per-class gold standards, and the
+// cached trained models and pipeline runs behind every evaluation table of
+// the paper.
+//
+// A Suite is the quickest route to a fully wired system:
+//
+//	s := scenario.NewSuite(scenario.Options{WorldScale: 0.25, CorpusScale: 0.15, Seed: 42})
+//	out := s.FullRun(kb.ClassGFPlayer)         // trained models, whole corpus
+//	models := s.ModelsFor(kb.ClassSong)        // feed ltee.WithModels
+//	tables := s.TablesByClass()[kb.ClassSong]  // feed Engine.Ingest
+//
+// Every identifier is a re-export of the internal implementation; the
+// types are identical, so Suite outputs flow directly into the ltee
+// constructors. This package is part of the v1 stability contract (see
+// package ltee).
+package scenario
+
+import (
+	"repro/internal/report"
+)
+
+// Suite bundles the synthetic world, corpus and per-class gold standards,
+// caching trained models and pipeline runs across uses. All methods are
+// safe for concurrent use; distinct classes train and run concurrently.
+type Suite = report.Suite
+
+// Options sizes a Suite: world scale (entity counts), corpus scale (table
+// counts), the generation/learning seed, and the worker pool bound.
+type Options = report.Options
+
+// TextTable is a rendered evaluation table (Suite.Table1 ... Table13).
+type TextTable = report.TextTable
+
+// NewSuite generates the world, corpus and gold standards.
+func NewSuite(opts Options) *Suite { return report.NewSuite(opts) }
+
+// DefaultOptions returns the laptop-scale defaults used by the CLI and the
+// benchmarks.
+func DefaultOptions() Options { return report.DefaultOptions() }

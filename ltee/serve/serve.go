@@ -1,0 +1,51 @@
+// Package serve is the public surface of the HTTP serving layer: a
+// long-running KB query/ingest server over one incremental engine per
+// class — entity lookup, fuzzy label search, per-class statistics, async
+// ingestion jobs with cancellation (DELETE /v1/jobs/{id}), and snapshot
+// persistence with warm starts.
+//
+// Every identifier is a re-export of the internal implementation; the
+// types are identical, so engines built with ltee.NewEngine plug straight
+// into Config.Engines. This package is part of the v1 stability contract
+// (see package ltee).
+package serve
+
+import (
+	"repro/internal/serve"
+)
+
+// Config assembles a server over a live KB, its corpus, and one engine per
+// served class.
+type Config = serve.Config
+
+// Server is the HTTP serving layer. Construct with New, expose via
+// Handler, stop with Shutdown (deadline-bounded) or Close (full drain).
+type Server = serve.Server
+
+// JobView is the JSON rendering of an async job (GET /v1/jobs/{id}).
+type JobView = serve.JobView
+
+// The JSON view types of the read endpoints.
+type (
+	ClassView         = serve.ClassView
+	EntitiesView      = serve.EntitiesView
+	EntityView        = serve.EntityView
+	FactView          = serve.FactView
+	InstanceView      = serve.InstanceView
+	SearchView        = serve.SearchView
+	SearchHitView     = serve.SearchHitView
+	StatsView         = serve.StatsView
+	ClassStatsView    = serve.ClassStatsView
+	CacheStatsView    = serve.CacheStatsView
+	EndpointStatsView = serve.EndpointStatsView
+)
+
+// The request types of the write endpoints.
+type (
+	IngestRequest = serve.IngestRequest
+	RawTable      = serve.RawTable
+)
+
+// New builds a server, warm-starts from the snapshot directory when one is
+// configured, and starts the single-writer ingest loop.
+func New(cfg Config) (*Server, error) { return serve.New(cfg) }

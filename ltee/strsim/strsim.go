@@ -1,0 +1,27 @@
+// Package strsim re-exports the string-similarity kernel the whole
+// pipeline bottoms out in: normalization, tokenization, term vectors, and
+// the Levenshtein / Monge-Elkan similarities.
+//
+// This is a research-surface package with best-effort stability; it is not
+// part of the v1 contract (see package ltee).
+package strsim
+
+import (
+	"repro/internal/strsim"
+)
+
+// Normalize lower-cases, strips diacritics and collapses whitespace.
+var Normalize = strsim.Normalize
+
+// Tokens splits a label into normalized tokens.
+var Tokens = strsim.Tokens
+
+// BinaryTermVector builds a binary bag-of-words vector over the tokens of
+// the given strings.
+var BinaryTermVector = strsim.BinaryTermVector
+
+// LevenshteinSim is the normalized Levenshtein similarity in [0, 1].
+var LevenshteinSim = strsim.LevenshteinSim
+
+// MongeElkanSym is the symmetric Monge-Elkan token-set similarity.
+var MongeElkanSym = strsim.MongeElkanSym

@@ -1,0 +1,318 @@
+package ltee_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateSurface = flag.Bool("update", false, "rewrite testdata/api_surface.txt from the current source")
+
+// surfaceFile is the checked-in golden listing of the public API surface.
+const surfaceFile = "testdata/api_surface.txt"
+
+// TestPublicAPISurface is the breaking-change gate: the exported surface
+// of repro/ltee and every subpackage — package-level identifiers with
+// their signatures, plus the exported method sets and struct fields of
+// every aliased implementation type — is generated from the source and
+// compared against the checked-in golden listing. A PR that adds, renames,
+// removes or re-signs an exported identifier must regenerate the file
+// (go test ./ltee -run TestPublicAPISurface -update) and have the diff
+// reviewed; CI fails on an unreviewed mismatch.
+func TestPublicAPISurface(t *testing.T) {
+	got := strings.Join(currentSurface(t), "\n") + "\n"
+	if *updateSurface {
+		if err := os.MkdirAll(filepath.Dir(surfaceFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(surfaceFile, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", surfaceFile)
+		return
+	}
+	wantBytes, err := os.ReadFile(surfaceFile)
+	if err != nil {
+		t.Fatalf("missing golden surface listing (run with -update to create): %v", err)
+	}
+	want := string(wantBytes)
+	if got != want {
+		t.Errorf("public API surface changed.\nIf the change is intentional and reviewed, regenerate with:\n  go test ./ltee -run TestPublicAPISurface -update\n\n%s", surfaceDiff(want, got))
+	}
+}
+
+// surfaceGen walks the ltee packages and expands alias targets into the
+// internal packages they re-export.
+type surfaceGen struct {
+	t *testing.T
+	// pkgCache caches parsed package directories (repo-relative path ->
+	// fileset + files).
+	pkgCache map[string]*parsedPkg
+	lines    []string
+}
+
+type parsedPkg struct {
+	fset  *token.FileSet
+	files []*ast.File
+}
+
+func currentSurface(t *testing.T) []string {
+	t.Helper()
+	g := &surfaceGen{t: t, pkgCache: map[string]*parsedPkg{}}
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if d.Name() == "testdata" {
+			return filepath.SkipDir
+		}
+		pkgPath := "ltee"
+		if path != "." {
+			pkgPath = "ltee/" + filepath.ToSlash(path)
+		}
+		g.walkPackage(pkgPath, path)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(g.lines)
+	// Dedup (a type aliased twice, e.g. via two packages, lists once).
+	out := g.lines[:0]
+	for i, l := range g.lines {
+		if i == 0 || l != g.lines[i-1] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// walkPackage records the exported surface of one ltee package directory.
+func (g *surfaceGen) walkPackage(pkgPath, dir string) {
+	p := g.parseDir(dir)
+	for _, f := range p.files {
+		imports := importMap(f)
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil && ast.IsExported(d.Name.Name) {
+					g.add("%s func %s %s", pkgPath, d.Name.Name, exprString(p.fset, d.Type))
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if !ast.IsExported(sp.Name.Name) {
+							continue
+						}
+						g.add("%s type %s", pkgPath, sp.Name.Name)
+						g.expandAlias(pkgPath, sp, imports)
+					case *ast.ValueSpec:
+						kind := "var"
+						if d.Tok == token.CONST {
+							kind = "const"
+						}
+						for _, name := range sp.Names {
+							if ast.IsExported(name.Name) {
+								g.add("%s %s %s", pkgPath, kind, name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// expandAlias resolves `type X = pkg.Y` to the implementation package and
+// records Y's exported methods and struct fields under X — they ARE the
+// public surface of the alias, and a silent signature change there is a
+// breaking change of the public API.
+func (g *surfaceGen) expandAlias(pkgPath string, sp *ast.TypeSpec, imports map[string]string) {
+	if !sp.Assign.IsValid() {
+		return // a defined type, not an alias; its own decls are walked
+	}
+	sel, ok := sp.Type.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	pkgIdent, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	dir, ok := repoDir(imports[pkgIdent.Name])
+	if !ok {
+		return
+	}
+	target := g.parseDir(dir)
+	targetName := sel.Sel.Name
+	for _, f := range target.files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv != nil && ast.IsExported(d.Name.Name) && receiverName(d) == targetName {
+					g.add("%s type %s method %s %s", pkgPath, sp.Name.Name, d.Name.Name, exprString(target.fset, d.Type))
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || ts.Name.Name != targetName {
+						continue
+					}
+					switch tt := ts.Type.(type) {
+					case *ast.StructType:
+						for _, field := range tt.Fields.List {
+							for _, name := range field.Names {
+								if ast.IsExported(name.Name) {
+									g.add("%s type %s field %s %s", pkgPath, sp.Name.Name, name.Name, exprString(target.fset, field.Type))
+								}
+							}
+						}
+					case *ast.InterfaceType:
+						for _, m := range tt.Methods.List {
+							for _, name := range m.Names {
+								if ast.IsExported(name.Name) {
+									g.add("%s type %s method %s %s", pkgPath, sp.Name.Name, name.Name, exprString(target.fset, m.Type))
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// repoDir maps a repro/... import path to a directory relative to the
+// ltee package (the test's working directory).
+func repoDir(importPath string) (string, bool) {
+	switch {
+	case strings.HasPrefix(importPath, "repro/internal/"):
+		return filepath.Join("..", filepath.FromSlash(strings.TrimPrefix(importPath, "repro/"))), true
+	case strings.HasPrefix(importPath, "repro/ltee/"):
+		return filepath.FromSlash(strings.TrimPrefix(importPath, "repro/ltee/")), true
+	default:
+		return "", false
+	}
+}
+
+func (g *surfaceGen) parseDir(dir string) *parsedPkg {
+	if p, ok := g.pkgCache[dir]; ok {
+		return p
+	}
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		g.t.Fatalf("parsing %s: %v", dir, err)
+	}
+	p := &parsedPkg{fset: fset}
+	for _, pkg := range pkgs {
+		// Deterministic file order (map iteration otherwise).
+		names := make([]string, 0, len(pkg.Files))
+		for name := range pkg.Files {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			p.files = append(p.files, pkg.Files[name])
+		}
+	}
+	g.pkgCache[dir] = p
+	return p
+}
+
+func (g *surfaceGen) add(format string, args ...any) {
+	g.lines = append(g.lines, fmt.Sprintf(format, args...))
+}
+
+// importMap maps local package names to import paths for one file.
+func importMap(f *ast.File) map[string]string {
+	out := map[string]string{}
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path[strings.LastIndex(path, "/")+1:]
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		out[name] = path
+	}
+	return out
+}
+
+// receiverName returns the base type name of a method's receiver.
+func receiverName(d *ast.FuncDecl) string {
+	if len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// exprString renders a type expression (or signature) as source text.
+func exprString(fset *token.FileSet, expr ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, expr); err != nil {
+		return fmt.Sprintf("<unprintable: %v>", err)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+// surfaceDiff renders a sorted line diff of the two listings.
+func surfaceDiff(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(strings.TrimSpace(want), "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(strings.TrimSpace(got), "\n") {
+		gotSet[l] = true
+	}
+	var removed, added []string
+	for l := range wantSet {
+		if !gotSet[l] {
+			removed = append(removed, l)
+		}
+	}
+	for l := range gotSet {
+		if !wantSet[l] {
+			added = append(added, l)
+		}
+	}
+	sort.Strings(removed)
+	sort.Strings(added)
+	var b strings.Builder
+	for _, l := range removed {
+		fmt.Fprintf(&b, "  removed: %s\n", l)
+	}
+	for _, l := range added {
+		fmt.Fprintf(&b, "  added:   %s\n", l)
+	}
+	out := b.String()
+	if out == "" {
+		out = "  (ordering or formatting difference)\n"
+	}
+	return out
+}

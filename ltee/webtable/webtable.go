@@ -1,0 +1,45 @@
+// Package webtable is the public surface of the web-table model: the
+// relational Table/Corpus types the pipeline consumes, the from-scratch
+// HTML table extractor, and the WDC JSON corpus format.
+//
+// Every identifier is a re-export (type alias or thin wrapper) of the
+// internal implementation; the types are identical, so values flow freely
+// between this package and the rest of the public ltee API. This package
+// is part of the v1 stability contract (see package ltee).
+package webtable
+
+import (
+	"io"
+
+	"repro/internal/webtable"
+)
+
+// Table is one relational web table: headers, cells, an optional caption
+// and label column (-1 lets the pipeline's detection decide).
+type Table = webtable.Table
+
+// Corpus is an ordered collection of tables addressed by ID.
+type Corpus = webtable.Corpus
+
+// RowRef addresses one row of one corpus table.
+type RowRef = webtable.RowRef
+
+// CorpusStats summarizes a corpus (Corpus.Stats).
+type CorpusStats = webtable.CorpusStats
+
+// Provenance records where a table was extracted from.
+type Provenance = webtable.Provenance
+
+// NewCorpus builds a corpus from tables, assigning sequential IDs.
+func NewCorpus(tables []*Table) *Corpus { return webtable.NewCorpus(tables) }
+
+// ExtractHTML parses raw HTML and returns every relational table found,
+// rejecting layout tables, header-less tables and tables with fewer than
+// two columns.
+func ExtractHTML(html string) []*Table { return webtable.ExtractHTML(html) }
+
+// ReadWDC reads a corpus in the WDC JSON-lines format.
+func ReadWDC(r io.Reader) (*Corpus, error) { return webtable.ReadWDC(r) }
+
+// WriteWDC writes the corpus in the WDC JSON-lines format.
+func WriteWDC(w io.Writer, c *Corpus) error { return webtable.WriteWDC(w, c) }
