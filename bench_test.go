@@ -43,7 +43,8 @@ func BenchmarkTable01(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if got := s.Table1(); len(got.Rows) != 3 {
+		got, err := s.Table1(context.Background())
+		if err != nil || len(got.Rows) != 3 {
 			b.Fatal("bad table 1")
 		}
 	}
@@ -55,7 +56,8 @@ func BenchmarkTable02(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if got := s.Table2(); len(got.Rows) == 0 {
+		got, err := s.Table2(context.Background())
+		if err != nil || len(got.Rows) == 0 {
 			b.Fatal("bad table 2")
 		}
 	}
@@ -67,7 +69,8 @@ func BenchmarkTable03(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if got := s.Table3(); len(got.Rows) != 2 {
+		got, err := s.Table3(context.Background())
+		if err != nil || len(got.Rows) != 2 {
 			b.Fatal("bad table 3")
 		}
 	}
@@ -79,7 +82,8 @@ func BenchmarkTable04(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if got := s.Table4(); len(got.Rows) != 3 {
+		got, err := s.Table4(context.Background())
+		if err != nil || len(got.Rows) != 3 {
 			b.Fatal("bad table 4")
 		}
 	}
@@ -91,7 +95,8 @@ func BenchmarkTable05(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if got := s.Table5(); len(got.Rows) != 3 {
+		got, err := s.Table5(context.Background())
+		if err != nil || len(got.Rows) != 3 {
 			b.Fatal("bad table 5")
 		}
 	}
@@ -103,7 +108,8 @@ func BenchmarkTable06(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if got := s.Table6Data(); len(got) != 3 {
+		got, err := s.Table6Data(context.Background())
+		if err != nil || len(got) != 3 {
 			b.Fatal("bad table 6")
 		}
 	}
@@ -115,7 +121,8 @@ func BenchmarkTable07(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if got := s.Table7Data(); len(got) != 6 {
+		got, err := s.Table7Data(context.Background())
+		if err != nil || len(got) != 6 {
 			b.Fatal("bad table 7")
 		}
 	}
@@ -127,7 +134,8 @@ func BenchmarkTable08(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if got := s.Table8Data(); len(got) != 6 {
+		got, err := s.Table8Data(context.Background())
+		if err != nil || len(got) != 6 {
 			b.Fatal("bad table 8")
 		}
 	}
@@ -139,7 +147,8 @@ func BenchmarkTable09(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if got := s.Table9Data(); len(got) != 7 {
+		got, err := s.Table9Data(context.Background())
+		if err != nil || len(got) != 7 {
 			b.Fatal("bad table 9")
 		}
 	}
@@ -151,7 +160,8 @@ func BenchmarkTable10(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if got := s.Table10Data(); len(got) != 10 {
+		got, err := s.Table10Data(context.Background())
+		if err != nil || len(got) != 10 {
 			b.Fatal("bad table 10")
 		}
 	}
@@ -163,7 +173,8 @@ func BenchmarkTable11(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if got := s.Table11Data(); len(got) != 3 {
+		got, err := s.Table11Data(context.Background())
+		if err != nil || len(got) != 3 {
 			b.Fatal("bad table 11")
 		}
 	}
@@ -175,7 +186,8 @@ func BenchmarkTable12(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if got := s.Table12(); len(got.Rows) == 0 {
+		got, err := s.Table12(context.Background())
+		if err != nil || len(got.Rows) == 0 {
 			b.Fatal("bad table 12")
 		}
 	}
@@ -187,8 +199,8 @@ func BenchmarkRankedEval(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rs := s.RankedData()
-		if rs.MAP < 0 || rs.MAP > 1 {
+		rs, err := s.RankedData(context.Background())
+		if err != nil || rs.MAP < 0 || rs.MAP > 1 {
 			b.Fatal("bad ranked eval")
 		}
 	}
@@ -198,12 +210,14 @@ func BenchmarkRankedEval(b *testing.B) {
 // the gold tables of the Song class (the hardest class).
 func BenchmarkPipelineEndToEnd(b *testing.B) {
 	s := suite()
-	s.ModelsFor(kb.ClassSong) // train outside the timed region
+	if _, err := s.ModelsFor(context.Background(), kb.ClassSong); err != nil { // train outside the timed region
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out := s.GoldRun(kb.ClassSong)
-		if len(out.Entities) == 0 {
+		out, err := s.GoldRun(context.Background(), kb.ClassSong)
+		if err != nil || len(out.Entities) == 0 {
 			b.Fatal("no entities")
 		}
 	}
@@ -241,7 +255,10 @@ func BenchmarkCorpusSynthesis(b *testing.B) {
 func ingestSetup(b *testing.B) (base *core.Engine, firstHalf, secondHalf []int) {
 	b.Helper()
 	s := suite()
-	models := s.ModelsFor(kb.ClassGFPlayer)
+	models, err := s.ModelsFor(context.Background(), kb.ClassGFPlayer)
+	if err != nil {
+		b.Fatal(err)
+	}
 	tables := s.Golds[kb.ClassGFPlayer].TableIDs
 	if len(tables) < 2 {
 		b.Skip("not enough tables at bench scale")
@@ -275,7 +292,10 @@ func BenchmarkIngestBatch(b *testing.B) {
 // grown corpus: a full pipeline run over both halves.
 func BenchmarkFullRerun(b *testing.B) {
 	s := suite()
-	models := s.ModelsFor(kb.ClassGFPlayer)
+	models, err := s.ModelsFor(context.Background(), kb.ClassGFPlayer)
+	if err != nil {
+		b.Fatal(err)
+	}
 	tables := s.Golds[kb.ClassGFPlayer].TableIDs
 	cfg := s.Config(kb.ClassGFPlayer)
 	cfg.Iterations = 1
@@ -297,7 +317,10 @@ func BenchmarkFullRerun(b *testing.B) {
 // KLj settings, reporting quality alongside time.
 func benchClusterAblation(b *testing.B, blocking, klj bool) {
 	s := suite()
-	models := s.ModelsFor(kb.ClassSong)
+	models, err := s.ModelsFor(context.Background(), kb.ClassSong)
+	if err != nil {
+		b.Fatal(err)
+	}
 	cfg := s.Config(kb.ClassSong)
 	cfg.ClusterOpts = cluster.Options{Blocking: blocking, KLj: klj, BatchSize: 64, MaxKLjRounds: 4}
 	cfg.Iterations = 1
@@ -316,7 +339,10 @@ func benchClusterAblation(b *testing.B, blocking, klj bool) {
 // benchIterations measures the full pipeline at the given iteration count.
 func benchIterations(b *testing.B, iters int) {
 	s := suite()
-	models := s.ModelsFor(kb.ClassGFPlayer)
+	models, err := s.ModelsFor(context.Background(), kb.ClassGFPlayer)
+	if err != nil {
+		b.Fatal(err)
+	}
 	cfg := s.Config(kb.ClassGFPlayer)
 	cfg.Iterations = iters
 	p := core.New(cfg, models)

@@ -1,0 +1,62 @@
+// Command ltee-lint runs the repository's project-specific static
+// analyzers (internal/lint) over the given package patterns — a
+// multichecker enforcing the determinism, cancellation, aliasing, pool and
+// import-boundary invariants that earlier PRs established by hand:
+//
+//	go run ./cmd/ltee-lint ./...
+//
+// It prints one line per finding and exits 1 when any finding survives the
+// //lteelint:ignore directives (see internal/lint for the directive
+// grammar), 2 on a load or usage error, 0 when the tree is clean.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ltee-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	dir := fs.String("C", ".", "run as if started in `dir` (the module root)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: ltee-lint [-C dir] [-list] [packages]\n\n"+
+			"Runs the project analyzers over the packages (default ./...).\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := lint.Run(*dir, patterns, lint.All())
+	if err != nil {
+		fmt.Fprintf(stderr, "ltee-lint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "ltee-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

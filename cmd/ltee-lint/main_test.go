@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, errOut.String())
+	}
+	for _, name := range []string{"sortedrange", "ctxflow", "aliasret", "poolput", "internalboundary"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("run(-nope) = %d, want 2", code)
+	}
+}
+
+func TestCleanPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped under -short")
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-C", "../..", "./internal/par"}, &out, &errOut); code != 0 {
+		t.Fatalf("run(./internal/par) = %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+}

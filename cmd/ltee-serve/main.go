@@ -181,7 +181,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 	fmt.Fprintf(stdout, "world: %d entities, KB: %d instances, corpus: %d tables / %d rows\n",
 		len(s.World.Entities), s.World.KB.NumInstances(), s.Corpus.Len(), s.Corpus.TotalRows())
 
-	byClass := s.TablesByClass()
+	byClass, err := s.TablesByClass(ctx)
+	if err != nil {
+		fmt.Fprintln(stderr, "ltee-serve:", err)
+		return 2
+	}
 	engines := make(map[kb.ClassID]*ltee.Engine, len(cfg.classes))
 	tables := make(map[kb.ClassID][]int, len(cfg.classes))
 	for _, class := range cfg.classes {
@@ -191,7 +195,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 			ltee.WithIterations(cfg.iterations),
 		}
 		if cfg.train {
-			opts = append(opts, ltee.WithModels(s.ModelsFor(class)))
+			models, err := s.ModelsFor(ctx, class)
+			if err != nil {
+				fmt.Fprintln(stderr, "ltee-serve:", err)
+				return 2
+			}
+			opts = append(opts, ltee.WithModels(models))
 		}
 		if cfg.progress {
 			opts = append(opts, ltee.WithProgress(func(ev ltee.Event) {

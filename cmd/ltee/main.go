@@ -184,9 +184,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		// is complete, so early tables stream out while later ones still
 		// compute and the output is identical at every worker count.
 		const nTables = 13
-		slots := make([]chan string, nTables)
+		type rendered struct {
+			text string
+			err  error
+		}
+		slots := make([]chan rendered, nTables)
 		for i := range slots {
-			slots[i] = make(chan string, 1)
+			slots[i] = make(chan rendered, 1)
 		}
 		workers := cfg.workers
 		if workers <= 0 {
@@ -197,62 +201,89 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			go func(i int) {
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				slots[i] <- renderTable(s, i+1)
+				text, err := renderTable(ctx, s, i+1)
+				slots[i] <- rendered{text, err}
 			}(i)
 		}
-		for _, slot := range slots {
-			fmt.Fprintln(stdout, <-slot)
+		for i, slot := range slots {
+			r := <-slot
+			if r.err != nil {
+				fmt.Fprintf(stderr, "ltee: table %d: %v\n", i+1, r.err)
+				return 2
+			}
+			fmt.Fprintln(stdout, r.text)
 		}
 	case cfg.tableNum > 0:
-		fmt.Fprintln(stdout, renderTable(s, cfg.tableNum))
+		text, err := renderTable(ctx, s, cfg.tableNum)
+		if err != nil {
+			fmt.Fprintf(stderr, "ltee: table %d: %v\n", cfg.tableNum, err)
+			return 2
+		}
+		fmt.Fprintln(stdout, text)
 	case cfg.weights:
-		fmt.Fprintln(stdout, s.MatcherWeights())
+		t, err := s.MatcherWeights(ctx)
+		if err != nil {
+			fmt.Fprintln(stderr, "ltee:", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, t)
 	case cfg.ablation:
-		fmt.Fprintln(stdout, s.AblationAggregation())
+		t, err := s.AblationAggregation(ctx)
+		if err != nil {
+			fmt.Fprintln(stderr, "ltee:", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, t)
 	case cfg.runClass != "" && cfg.ingestBatches > 0:
 		if !runIngest(ctx, s, cfg, stdout, stderr) {
 			return 2
 		}
 	case cfg.runClass != "":
-		if !runPipeline(s, cfg, stdout, stderr) {
+		if !runPipeline(ctx, s, cfg, stdout, stderr) {
 			return 2
 		}
 	}
 	return 0
 }
 
-func renderTable(s *scenario.Suite, n int) string {
+func renderTable(ctx context.Context, s *scenario.Suite, n int) (string, error) {
+	var t *scenario.TextTable
+	var err error
 	switch n {
 	case 1:
-		return s.Table1().String()
+		t, err = s.Table1(ctx)
 	case 2:
-		return s.Table2().String()
+		t, err = s.Table2(ctx)
 	case 3:
-		return s.Table3().String()
+		t, err = s.Table3(ctx)
 	case 4:
-		return s.Table4().String()
+		t, err = s.Table4(ctx)
 	case 5:
-		return s.Table5().String()
+		t, err = s.Table5(ctx)
 	case 6:
-		return s.Table6().String()
+		t, err = s.Table6(ctx)
 	case 7:
-		return s.Table7().String()
+		t, err = s.Table7(ctx)
 	case 8:
-		return s.Table8().String()
+		t, err = s.Table8(ctx)
 	case 9:
-		return s.Table9().String()
+		t, err = s.Table9(ctx)
 	case 10:
-		return s.Table10().String()
+		t, err = s.Table10(ctx)
 	case 11:
-		return s.Table11().String()
+		t, err = s.Table11(ctx)
 	case 12:
-		return s.Table12().String()
+		t, err = s.Table12(ctx)
 	case 13:
-		return s.Table13().String()
+		t, err = s.Table13(ctx)
 	default:
 		// parseFlags bounds n to 1-13; reaching this is a bug.
 		panic(fmt.Sprintf("renderTable: table %d out of range", n))
 	}
+	if err != nil {
+		return "", err
+	}
+	return t.String(), nil
 }
 
 // classByName resolves the user-facing class names to class IDs ("" for an
@@ -291,6 +322,17 @@ func trainDetail(ev ltee.Event) string {
 	return ":" + ev.Detail
 }
 
+// reportIngestSetupErr prints a classification/training failure ahead of
+// the epoch loop, naming cancellation explicitly so an interrupted ingest
+// reads as cancelled rather than broken.
+func reportIngestSetupErr(stderr io.Writer, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(stderr, "ingest cancelled during setup: %v (nothing committed)\n", err)
+		return
+	}
+	fmt.Fprintf(stderr, "ltee: %v\n", err)
+}
+
 // runIngest streams the class's corpus tables through the incremental
 // ingestion engine in the given number of batches, printing per-epoch KB
 // growth: tables ingested, entities, new detections, and instances written
@@ -302,7 +344,12 @@ func runIngest(ctx context.Context, s *scenario.Suite, cfg *config, stdout, stde
 		fmt.Fprintf(stderr, "unknown class %q\n", cfg.runClass)
 		return false
 	}
-	tables := s.TablesByClass()[class]
+	byClass, err := s.TablesByClass(ctx)
+	if err != nil {
+		reportIngestSetupErr(stderr, err)
+		return false
+	}
+	tables := byClass[class]
 	if len(tables) == 0 {
 		fmt.Fprintf(stderr, "no corpus tables matched to %s\n", kb.ClassShortName(class))
 		return false
@@ -311,8 +358,13 @@ func runIngest(ctx context.Context, s *scenario.Suite, cfg *config, stdout, stde
 	if batches > len(tables) {
 		batches = len(tables)
 	}
+	models, err := s.ModelsFor(ctx, class)
+	if err != nil {
+		reportIngestSetupErr(stderr, err)
+		return false
+	}
 	opts := []ltee.Option{
-		ltee.WithModels(s.ModelsFor(class)),
+		ltee.WithModels(models),
 		ltee.WithSeed(s.Seed),
 		ltee.WithWorkers(cfg.workers),
 	}
@@ -353,7 +405,7 @@ func runIngest(ctx context.Context, s *scenario.Suite, cfg *config, stdout, stde
 	return true
 }
 
-func runPipeline(s *scenario.Suite, cfg *config, stdout, stderr io.Writer) bool {
+func runPipeline(ctx context.Context, s *scenario.Suite, cfg *config, stdout, stderr io.Writer) bool {
 	class := classByName(cfg.runClass)
 	if class == "" {
 		fmt.Fprintf(stderr, "unknown class %q\n", cfg.runClass)
@@ -365,8 +417,13 @@ func runPipeline(s *scenario.Suite, cfg *config, stdout, stderr io.Writer) bool 
 		// -progress path builds the identical pipeline through the public
 		// constructor (same models, seed and workers — the output is the
 		// same) and attaches the callback.
+		models, err := s.ModelsFor(ctx, class)
+		if err != nil {
+			fmt.Fprintf(stderr, "ltee: %v\n", err)
+			return false
+		}
 		p, err := ltee.NewPipeline(s.World.KB, s.Corpus, class,
-			ltee.WithModels(s.ModelsFor(class)),
+			ltee.WithModels(models),
 			ltee.WithSeed(s.Seed),
 			ltee.WithWorkers(cfg.workers),
 			ltee.WithProgress(progressPrinter(stderr)),
@@ -375,13 +432,23 @@ func runPipeline(s *scenario.Suite, cfg *config, stdout, stderr io.Writer) bool 
 			fmt.Fprintf(stderr, "ltee: %v\n", err)
 			return false
 		}
-		out, err = p.Run(context.Background(), s.TablesByClass()[class])
+		byClass, err := s.TablesByClass(ctx)
+		if err != nil {
+			fmt.Fprintf(stderr, "ltee: %v\n", err)
+			return false
+		}
+		out, err = p.Run(ctx, byClass[class])
 		if err != nil {
 			fmt.Fprintf(stderr, "ltee: %v\n", err)
 			return false
 		}
 	} else {
-		out = s.FullRun(class)
+		var err error
+		out, err = s.FullRun(ctx, class)
+		if err != nil {
+			fmt.Fprintf(stderr, "ltee: %v\n", err)
+			return false
+		}
 	}
 	newEnts := out.NewEntities()
 	existing, _ := out.ExistingEntities()

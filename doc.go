@@ -82,4 +82,19 @@
 // The benchmarks in bench_test.go regenerate every evaluation table of
 // the paper; cmd/ltee prints them, and examples/ holds runnable
 // end-to-end scenarios built exclusively on the public API.
+//
+// # Static analysis
+//
+// The invariants above — deterministic reductions, an unbroken
+// cancellation chain, mutex-guarded state that never leaks, pooled
+// buffers that always return, and the internal/ import boundary — are
+// enforced mechanically by five project-specific analyzers (internal/lint:
+// sortedrange, ctxflow, aliasret, poolput, internalboundary). CI runs
+// them over the whole tree via the cmd/ltee-lint multichecker:
+//
+//	go run ./cmd/ltee-lint ./...
+//
+// A justified exception is suppressed in place with
+// "//lteelint:ignore <analyzer> <reason>" on the line above the finding;
+// the reason is mandatory and unused directives are themselves findings.
 package repro

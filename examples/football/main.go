@@ -14,7 +14,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"sort"
 
 	"repro/ltee"
@@ -32,7 +34,10 @@ func main() {
 	fmt.Printf("knowledge base: %d players with %d facts\n", prof.Instances, prof.Facts)
 	fmt.Printf("world long tail: %d players not in the KB\n\n", len(s.World.NewEntities(class)))
 
-	out := s.FullRun(class)
+	out, err := s.FullRun(context.Background(), class)
+	if err != nil {
+		log.Fatal(err)
+	}
 	newEnts := out.NewEntities()
 	existing, _ := out.ExistingEntities()
 	fmt.Printf("pipeline over %d tables: %d existing entities, %d new entities\n",

@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"sort"
 
 	"repro/ltee"
 	"repro/ltee/dtype"
@@ -97,8 +98,13 @@ func main() {
 			status = "EXISTING"
 		}
 		fmt.Printf("  %s %-20s facts=%d rows=%d\n", status, e.Label(), len(e.Facts), len(e.Rows))
-		for pid, v := range e.Facts {
-			fmt.Printf("             %-10s = %s\n", string(pid)[4:], v)
+		pids := make([]string, 0, len(e.Facts))
+		for pid := range e.Facts {
+			pids = append(pids, string(pid))
+		}
+		sort.Strings(pids)
+		for _, pid := range pids {
+			fmt.Printf("             %-10s = %s\n", pid[4:], e.Facts[kb.PropertyID(pid)])
 		}
 	}
 }

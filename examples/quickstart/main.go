@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"sort"
 
 	"repro/ltee"
 	"repro/ltee/dtype"
@@ -113,8 +114,13 @@ func main() {
 				e.Label(), inst.Label(), res.BestScore)
 		case res.IsNew:
 			fmt.Printf("NEW       %-16s rows=%d facts:\n", e.Label(), len(e.Rows))
-			for pid, v := range e.Facts {
-				fmt.Printf("            %-14s = %s\n", string(pid)[4:], v)
+			pids := make([]string, 0, len(e.Facts))
+			for pid := range e.Facts {
+				pids = append(pids, string(pid))
+			}
+			sort.Strings(pids)
+			for _, pid := range pids {
+				fmt.Printf("            %-14s = %s\n", pid[4:], e.Facts[kb.PropertyID(pid)])
 			}
 		default:
 			fmt.Printf("UNSURE    %-16s (score %.2f)\n", e.Label(), res.BestScore)

@@ -19,7 +19,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"repro/ltee"
 	"repro/ltee/agg"
@@ -94,7 +96,10 @@ func main() {
 	}
 
 	// Full run: the headline number — settlements yield almost nothing.
-	out := s.FullRun(class)
+	out, err := s.FullRun(context.Background(), class)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nfull pipeline run: %d entities, %d new (paper: Settlement gains ~+1%%)\n",
 		len(out.Entities), len(out.NewEntities()))
 }

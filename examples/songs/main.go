@@ -17,7 +17,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"sort"
 
 	"repro/ltee/agg"
@@ -57,8 +59,15 @@ func main() {
 
 	// Rows of the gold tables, prepared with the learned first-iteration
 	// mapping (the same rows every clustering study in the suite uses).
-	models := s.ModelsFor(class)
-	rows := s.ClusterRows(class)
+	ctx := context.Background()
+	models, err := s.ModelsFor(ctx, class)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := s.ClusterRows(ctx, class)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	goldRows := make([][]webtable.RowRef, len(g.Clusters))
 	for i, c := range g.Clusters {

@@ -157,6 +157,7 @@ func IngestBatch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng := f.base.Fork()
+		//lteelint:ignore ctxflow benchmark body; testing.B carries no context and the run must not be cancellable
 		out, _, _ := eng.Ingest(context.Background(), f.second)
 		if len(out.Entities) == 0 {
 			b.Fatal("no entities")

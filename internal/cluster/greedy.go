@@ -59,13 +59,22 @@ type clusterState struct {
 }
 
 // Cluster partitions the rows so that rows describing the same instance
-// share a cluster. It runs the parallelized greedy correlation clustering
-// and, when enabled, the KLj refinement. It is the one-shot form of the
-// Incremental clusterer: a single Add over a fresh Incremental produces
-// exactly the same clustering.
+// share a cluster. It is the context-free convenience form of ClusterCtx
+// for callers with nothing to cancel.
 func Cluster(rows []*Row, scorer *Scorer, opts Options) *Clustering {
+	//lteelint:ignore ctxflow ClusterCtx is the cancellable form; this wrapper exists for callers with no context
+	return ClusterCtx(context.Background(), rows, scorer, opts)
+}
+
+// ClusterCtx partitions the rows so that rows describing the same instance
+// share a cluster, honouring ctx's cancellation between batches. It runs
+// the parallelized greedy correlation clustering and, when enabled, the
+// KLj refinement. It is the one-shot form of the Incremental clusterer: a
+// single Add over a fresh Incremental produces exactly the same
+// clustering.
+func ClusterCtx(ctx context.Context, rows []*Row, scorer *Scorer, opts Options) *Clustering {
 	inc := NewIncremental(scorer, opts)
-	inc.Add(context.Background(), rows)
+	inc.Add(ctx, rows)
 	return inc.Result()
 }
 

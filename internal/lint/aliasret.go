@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AliasRet enforces the aliasing discipline of mutex-guarded types (the
+// PR 3 Engine-audit class): a method on a type that carries a mutex must
+// not return one of its map or slice fields directly (the caller would
+// read it unguarded while the owner keeps mutating it — copy under the
+// lock instead), nor hand out a pointer into the guarded struct; and a
+// mutex-carrying struct must never be copied by value (`c := *e` smuggles
+// the lock — the historical Engine.Fork bug), including via value
+// receivers.
+var AliasRet = &Analyzer{
+	Name: "aliasret",
+	Doc: "flags mutex-guarded methods returning internal maps/slices or interior " +
+		"pointers without copying, and struct copies that smuggle a sync.Mutex",
+	Run: runAliasRet,
+}
+
+func runAliasRet(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil {
+				continue
+			}
+			checkReceiver(pass, fd)
+		}
+		checkDerefCopies(pass, f)
+	}
+	return nil
+}
+
+// checkReceiver inspects one method of a mutex-carrying type.
+func checkReceiver(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	recvField := fd.Recv.List[0]
+	recvType := info.TypeOf(recvField.Type)
+	if recvType == nil {
+		return
+	}
+	base := recvType
+	if ptr, ok := base.Underlying().(*types.Pointer); ok {
+		base = ptr.Elem()
+	} else if typeHasMutex(base) {
+		pass.Reportf(recvField.Pos(),
+			"method %s copies its mutex-carrying receiver %s by value; use a pointer receiver",
+			fd.Name.Name, types.TypeString(base, types.RelativeTo(pass.Pkg)))
+	}
+	if !typeHasMutex(base) {
+		return
+	}
+	if len(recvField.Names) == 0 {
+		return // anonymous receiver cannot leak fields by name
+	}
+	recvObj := objectOf(info, recvField.Names[0])
+	if recvObj == nil {
+		return
+	}
+	typeName := types.TypeString(base, types.RelativeTo(pass.Pkg))
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			res := ast.Unparen(res)
+			// return &s.f — a pointer into the guarded struct.
+			if un, ok := res.(*ast.UnaryExpr); ok && un.Op == token.AND {
+				if sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr); ok && rootedAt(info, sel, recvObj) {
+					pass.Reportf(res.Pos(),
+						"%s returns a pointer into mutex-guarded %s; copy the value instead", fd.Name.Name, typeName)
+				}
+				continue
+			}
+			// return s.f with map/slice f — aliases guarded internals.
+			sel, ok := res.(*ast.SelectorExpr)
+			if !ok || !rootedAt(info, sel, recvObj) {
+				continue
+			}
+			switch info.TypeOf(sel).Underlying().(type) {
+			case *types.Map, *types.Slice:
+				pass.Reportf(res.Pos(),
+					"%s returns internal %s of mutex-guarded %s without copying; the caller reads it unguarded",
+					fd.Name.Name, exprText(sel), typeName)
+			}
+		}
+		return true
+	})
+}
+
+// rootedAt reports whether the selector chain bottoms out at obj
+// (s.a.b rooted at s).
+func rootedAt(info *types.Info, sel *ast.SelectorExpr, obj types.Object) bool {
+	id := rootIdent(sel)
+	return id != nil && objectOf(info, id) == obj
+}
+
+// checkDerefCopies flags value copies made by dereferencing a pointer to a
+// mutex-carrying struct (`c := *e`, `return *e`, `f(*e)` — each copies the
+// lock along with the state it guards).
+func checkDerefCopies(pass *Pass, f *ast.File) {
+	info := pass.TypesInfo
+	walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+		star, ok := n.(*ast.StarExpr)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[star]
+		if !ok || !tv.IsValue() {
+			return true // *T in type position
+		}
+		if !typeHasMutex(tv.Type) {
+			return true
+		}
+		if !isValueCopyContext(star, stack) {
+			return true
+		}
+		pass.Reportf(star.Pos(), "*%s copies mutex-carrying %s by value (the lock is smuggled along); copy the guarded state explicitly instead",
+			exprText(star.X), types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+		return true
+	})
+}
+
+// isValueCopyContext reports whether the deref is used as a whole value
+// (copied) rather than as a place (selected, indexed, assigned through, or
+// re-addressed).
+func isValueCopyContext(star *ast.StarExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	// Skip parens between the deref and its real context.
+	i := len(stack) - 1
+	for i >= 0 {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			i--
+			continue
+		}
+		break
+	}
+	if i < 0 {
+		return false
+	}
+	switch parent := stack[i].(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return false // (*p).f / (*p)[i]: access through, no copy
+	case *ast.UnaryExpr:
+		return parent.Op != token.AND // &*p re-addresses, no copy
+	case *ast.StarExpr:
+		return false // **p: inner deref is a place
+	case *ast.AssignStmt:
+		for _, lhs := range parent.Lhs {
+			if ast.Unparen(lhs) == star {
+				return false // *p = v stores through the pointer
+			}
+		}
+		return true
+	}
+	return true
+}

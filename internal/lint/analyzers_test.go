@@ -1,0 +1,51 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// Each fixture package includes one case reproducing the exact historical
+// bug its analyzer exists to catch: PHI's map-order float accumulation
+// (PR 1), the severed report context (PR 5), the Engine.Fork mutex copy
+// (PR 3), the kernel pool leak (PR 4), and an internal import on the
+// public surface (the CI grep this suite replaces).
+
+func TestSortedRange(t *testing.T) {
+	linttest.Run(t, "testdata", lint.SortedRange, "sortedrange")
+}
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, "testdata", lint.CtxFlow, "ctxflow", "ctxflowmain")
+}
+
+func TestAliasRet(t *testing.T) {
+	linttest.Run(t, "testdata", lint.AliasRet, "aliasret")
+}
+
+func TestPoolPut(t *testing.T) {
+	linttest.Run(t, "testdata", lint.PoolPut, "poolput")
+}
+
+func TestInternalBoundary(t *testing.T) {
+	linttest.Run(t, "testdata", lint.InternalBoundary,
+		"repro", "repro/examples/demo", "repro/cmd/ltee", "repro/cmd/ltee-bench", "repro/ltee/kb")
+}
+
+func TestAllListsEveryAnalyzer(t *testing.T) {
+	want := []string{"sortedrange", "ctxflow", "aliasret", "poolput", "internalboundary"}
+	all := lint.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("%s has no Doc", a.Name)
+		}
+	}
+}

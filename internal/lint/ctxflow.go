@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CtxFlow flags context.Background() / context.TODO() calls that sever the
+// cancellation chain the public API threads end to end (the PR 5
+// invariant): in non-main, non-test packages, a fresh root context is
+// wrong whenever a context.Context is already in scope, and an exported
+// function that needs a context should accept one as its first parameter
+// rather than minting its own.
+//
+// The standard nil-guard fallback
+//
+//	if ctx == nil { ctx = context.Background() }
+//
+// is recognized and exempt.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "flags context.Background()/context.TODO() where a context is in scope " +
+		"or an exported function should accept one ctx-first",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		// Binaries are where root contexts are legitimately born.
+		return nil
+	}
+	for _, f := range pass.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := rootCtxCall(pass, call)
+			if name == "" {
+				return true
+			}
+			if isNilGuardFallback(pass, call, stack) {
+				return true
+			}
+			inScope := false
+			var outermost *ast.FuncDecl
+			for _, a := range stack {
+				switch fn := a.(type) {
+				case *ast.FuncDecl:
+					outermost = fn
+					if funcHasCtxParam(pass.TypesInfo, fn.Type) {
+						inScope = true
+					}
+				case *ast.FuncLit:
+					if funcHasCtxParam(pass.TypesInfo, fn.Type) {
+						inScope = true
+					}
+				}
+			}
+			switch {
+			case inScope:
+				pass.Reportf(call.Pos(),
+					"context.%s severs the in-scope cancellation chain; use (or derive from) the context already available here", name)
+			case outermost != nil && outermost.Name.IsExported() &&
+				!funcHasCtxFirstParam(pass.TypesInfo, outermost.Type):
+				pass.Reportf(call.Pos(),
+					"exported %s calls context.%s; accept a context.Context as its first parameter and thread it through instead",
+					outermost.Name.Name, name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// rootCtxCall returns "Background" or "TODO" when call is
+// context.Background() or context.TODO(), "" otherwise.
+func rootCtxCall(pass *Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if n := fn.Name(); n == "Background" || n == "TODO" {
+		return n
+	}
+	return ""
+}
+
+// isNilGuardFallback recognizes `if ctx == nil { ctx = context.Background() }`:
+// the call is the sole RHS of an assignment to a context variable, inside
+// an if whose condition tests that same variable against nil.
+func isNilGuardFallback(pass *Pass, call *ast.CallExpr, stack []ast.Node) bool {
+	info := pass.TypesInfo
+	var assigned ast.Expr
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch st := stack[i].(type) {
+		case *ast.AssignStmt:
+			if assigned != nil {
+				continue
+			}
+			if len(st.Lhs) != 1 || len(st.Rhs) != 1 || ast.Unparen(st.Rhs[0]) != call {
+				return false
+			}
+			if !isContextType(info.TypeOf(st.Lhs[0])) {
+				return false
+			}
+			assigned = st.Lhs[0]
+		case *ast.IfStmt:
+			if assigned == nil {
+				continue
+			}
+			if cond, ok := ast.Unparen(st.Cond).(*ast.BinaryExpr); ok && cond.Op == token.EQL {
+				for _, pair := range [2][2]ast.Expr{{cond.X, cond.Y}, {cond.Y, cond.X}} {
+					v, null := ast.Unparen(pair[0]), ast.Unparen(pair[1])
+					if id, ok := null.(*ast.Ident); !ok || id.Name != "nil" {
+						continue
+					}
+					vID, ok1 := v.(*ast.Ident)
+					aID, ok2 := ast.Unparen(assigned).(*ast.Ident)
+					if ok1 && ok2 && objectOf(info, vID) != nil && objectOf(info, vID) == objectOf(info, aID) {
+						return true
+					}
+				}
+			}
+			return false
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}

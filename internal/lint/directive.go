@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment. The full grammar is
+//
+//	//lteelint:ignore <analyzer> <reason>
+//
+// where <analyzer> names one analyzer from All() and <reason> is free text
+// explaining why the finding is acceptable (required — an unreviewable
+// bare suppression is rejected). The directive suppresses findings of that
+// analyzer on the directive's own line and on the line immediately below
+// it, so it works both as a trailing comment and on its own line above the
+// flagged statement.
+const directivePrefix = "lteelint:"
+
+// A directive is one parsed //lteelint:ignore comment.
+type directive struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// collectDirectives extracts the suppression directives of a package.
+// Malformed directives (wrong verb, unknown analyzer, missing reason) are
+// returned as findings of the pseudo-analyzer "lteelint".
+func collectDirectives(pkg *Package, known map[string]bool) ([]*directive, []Diagnostic) {
+	var dirs []*directive
+	var diags []Diagnostic
+	bad := func(pos token.Position, format string, args ...any) {
+		diags = append(diags, Diagnostic{Analyzer: "lteelint", Pos: pos, Message: fmt.Sprintf(format, args...)})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments cannot carry directives
+				}
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(text, directivePrefix)
+				verb, args, _ := strings.Cut(rest, " ")
+				if verb != "ignore" {
+					bad(pos, "unknown lteelint directive %q (only %q is supported)", verb, "ignore")
+					continue
+				}
+				name, reason, _ := strings.Cut(strings.TrimSpace(args), " ")
+				reason = strings.TrimSpace(reason)
+				if name == "" {
+					bad(pos, "lteelint:ignore needs an analyzer name and a reason")
+					continue
+				}
+				if !known[name] {
+					bad(pos, "lteelint:ignore names unknown analyzer %q", name)
+					continue
+				}
+				if reason == "" {
+					bad(pos, "lteelint:ignore %s needs a reason", name)
+					continue
+				}
+				dirs = append(dirs, &directive{pos: pos, analyzer: name, reason: reason})
+			}
+		}
+	}
+	return dirs, diags
+}
+
+// ApplyDirectives filters diags through the package's //lteelint:ignore
+// directives. It returns the surviving findings plus directive findings:
+// malformed directives and directives that suppressed nothing (stale
+// suppressions must be deleted, not accumulated).
+func ApplyDirectives(pkg *Package, diags []Diagnostic) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	dirs, out := collectDirectives(pkg, known)
+	byLine := map[string][]*directive{}
+	key := func(file string, line int, analyzer string) string {
+		return fmt.Sprintf("%s:%d:%s", file, line, analyzer)
+	}
+	for _, d := range dirs {
+		byLine[key(d.pos.Filename, d.pos.Line, d.analyzer)] = append(byLine[key(d.pos.Filename, d.pos.Line, d.analyzer)], d)
+	}
+	for _, d := range diags {
+		suppressed := false
+		for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+			for _, dir := range byLine[key(d.Pos.Filename, line, d.Analyzer)] {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, dir := range dirs {
+		if !dir.used {
+			out = append(out, Diagnostic{
+				Analyzer: "lteelint",
+				Pos:      dir.pos,
+				Message:  fmt.Sprintf("unused lteelint:ignore directive for %s (no finding here; delete it)", dir.analyzer),
+			})
+		}
+	}
+	return out
+}

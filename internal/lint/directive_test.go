@@ -1,0 +1,67 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestDirectives drives the //lteelint:ignore machinery over the suppress
+// fixture: a justified suppression vanishes, a stale one and two
+// malformed ones surface as lteelint findings, and a malformed one does
+// not suppress the finding below it.
+func TestDirectives(t *testing.T) {
+	src, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := lint.NewLoader(".")
+	loader.SrcRoot = src
+	pkg, err := loader.Load("suppress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzer(lint.CtxFlow, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags = lint.ApplyDirectives(pkg, diags)
+
+	want := []struct{ analyzer, substr string }{
+		{"ctxflow", "severs the in-scope cancellation chain"}, // NoReason's body: bad directive must not suppress
+		{"lteelint", "needs a reason"},
+		{"lteelint", `names unknown analyzer "nosuchcheck"`},
+		{"lteelint", "unused lteelint:ignore directive for ctxflow"},
+	}
+	for _, w := range want {
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == w.analyzer && strings.Contains(d.Message, w.substr) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing expected finding [%s] ~%q in:\n%s", w.analyzer, w.substr, render(diags))
+		}
+	}
+	if len(diags) != len(want) {
+		t.Errorf("got %d findings, want %d:\n%s", len(diags), len(want), render(diags))
+	}
+	for _, d := range diags {
+		if d.Analyzer == "ctxflow" && strings.Contains(d.Message, "Detach") {
+			t.Errorf("justified suppression did not apply: %s", d)
+		}
+	}
+}
+
+func render(diags []lint.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// walkStack traverses the AST depth-first, invoking fn with each node and
+// the stack of its ancestors (outermost first, excluding n itself). fn
+// returning false prunes the subtree under n.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// objectOf resolves an identifier to its object (use or definition).
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// rootIdent returns the base identifier of a selector/index/deref chain
+// (the s of s.a.b[i]), or nil when the expression is not rooted at one.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isNamed reports whether t (after alias resolution) is the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return t != nil && isNamed(t, "context", "Context")
+}
+
+// typeHasMutex reports whether a value of type t embeds lock state directly
+// (a sync.Mutex or sync.RWMutex field, possibly nested in value-typed
+// struct fields), so that copying the value would copy the lock. Locks
+// reached only through pointers, maps or slices are shared, not copied, and
+// do not count.
+func typeHasMutex(t types.Type) bool {
+	return hasMutex(t, make(map[types.Type]bool), 0)
+}
+
+func hasMutex(t types.Type, seen map[types.Type]bool, depth int) bool {
+	if t == nil || depth > 8 || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if isNamed(t, "sync", "Mutex") || isNamed(t, "sync", "RWMutex") {
+		return true
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if hasMutex(st.Field(i).Type(), seen, depth+1) {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingFuncBody returns the body of the innermost function literal or
+// declaration on the stack, or nil.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// funcHasCtxParam reports whether any parameter of ft has type
+// context.Context.
+func funcHasCtxParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, f := range ft.Params.List {
+		if isContextType(info.TypeOf(f.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcHasCtxFirstParam reports whether the first parameter of ft has type
+// context.Context.
+func funcHasCtxFirstParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil || len(ft.Params.List) == 0 {
+		return false
+	}
+	return isContextType(info.TypeOf(ft.Params.List[0].Type))
+}
+
+// isPkgCall reports whether call invokes the package-level function
+// pkgPath.name (e.g. sort.Strings).
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// calleeFunc resolves the called function object, or nil (builtin, func
+// value, conversion).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := objectOf(info, id).(*types.Func)
+	return fn
+}
+
+// exprText renders an expression as source text (for diagnostics).
+func exprText(e ast.Expr) string { return types.ExprString(e) }
+
+// mentionsObject reports whether the expression subtree references obj.
+func mentionsObject(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objectOf(info, id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"strings"
+)
+
+// InternalBoundary enforces the public-consumer guarantee as a real
+// import-graph check (replacing the grep over source text that CI used
+// through PR 5): every package that claims to sit on the public API — the
+// examples, the root documentation package, and the public binaries — must
+// not import repro/internal. The ltee/ tree is the sanctioned bridge (its
+// alias packages re-export the internal implementations and are exactly
+// what an external module would import).
+var InternalBoundary = &Analyzer{
+	Name: "internalboundary",
+	Doc:  "flags repro/internal imports in public consumers (examples, root package, public binaries)",
+	Run:  runInternalBoundary,
+}
+
+// boundaryModule is the module path; fixture trees mirror it.
+const boundaryModule = "repro"
+
+// boundaryExemptCmds are binaries that legitimately reach into internal
+// packages: the benchmark runner (drives internal/bench, the repository's
+// benchmark corpus) and the lint driver itself (internal/lint is the
+// analysis framework, not product surface).
+var boundaryExemptCmds = map[string]bool{
+	boundaryModule + "/cmd/ltee-bench": true,
+	boundaryModule + "/cmd/ltee-lint":  true,
+}
+
+func runInternalBoundary(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !isPublicConsumer(path) {
+		return nil
+	}
+	internal := boundaryModule + "/internal"
+	for _, f := range pass.Files {
+		for _, spec := range f.Imports {
+			imp := strings.Trim(spec.Path.Value, `"`)
+			if imp == internal || strings.HasPrefix(imp, internal+"/") {
+				pass.Reportf(spec.Pos(),
+					"public consumer %s must not import %s; use the public %s/ltee packages instead",
+					path, imp, boundaryModule)
+			}
+		}
+	}
+	return nil
+}
+
+// isPublicConsumer reports whether a package promises to compile against
+// the public surface only.
+func isPublicConsumer(path string) bool {
+	switch {
+	case path == boundaryModule:
+		return true // the root documentation package
+	case strings.HasPrefix(path, boundaryModule+"/examples/"):
+		return true
+	case strings.HasPrefix(path, boundaryModule+"/cmd/"):
+		return !boundaryExemptCmds[path]
+	}
+	return false
+}

@@ -1,0 +1,99 @@
+// Package lint implements the repository's project-specific static
+// analyzers: mechanical enforcement of the determinism, cancellation and
+// aliasing invariants that earlier PRs established by hand and that code
+// review kept re-finding (map-iteration-order float accumulation, severed
+// context chains, mutex-guarded accessors leaking their internals, pooled
+// values escaping their pool).
+//
+// The framework mirrors the Analyzer/Pass shapes of
+// golang.org/x/tools/go/analysis, reimplemented on the standard library
+// (go/ast, go/types) because the build is dependency-free: packages under
+// analysis are parsed and type-checked from source, their imports resolved
+// through the compiler's export data via `go list -export`.
+//
+// The analyzers are run by cmd/ltee-lint (a multichecker: `go run
+// ./cmd/ltee-lint ./...`) and unit-tested against testdata fixtures with
+// linttest, an analysistest-style harness.
+//
+// # Suppressing a finding
+//
+// A finding can be suppressed only with a reasoned directive:
+//
+//	//lteelint:ignore <analyzer> <reason>
+//
+// The directive covers its own line and the line immediately following it,
+// must name a known analyzer, and must carry a non-empty reason; malformed
+// and unused directives are themselves reported as findings.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one analysis pass and its entry point.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in
+	// //lteelint:ignore directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run performs the analysis over one package.
+	Run func(*Pass) error
+}
+
+// A Pass carries one parsed, type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{SortedRange, CtxFlow, AliasRet, PoolPut, InternalBoundary}
+}
+
+// RunAnalyzer runs one analyzer over one loaded package and returns its raw
+// findings (before directive-based suppression; see ApplyDirectives).
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	return diags, nil
+}

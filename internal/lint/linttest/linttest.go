@@ -1,0 +1,116 @@
+// Package linttest is the analysistest-style harness for the project
+// analyzers: it loads fixture packages from a testdata/src tree (import
+// paths resolve GOPATH-style below src), runs one analyzer, applies the
+// //lteelint:ignore directives, and diffs the surviving findings against
+// `// want "regexp"` comments in the fixture source.
+//
+// A want comment sits at the end of the line it expects a finding on and
+// may carry several quoted regexps, one per expected finding:
+//
+//	sum += v // want `float accumulation`
+package linttest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// Run loads each fixture package below testdata/src, runs the analyzer,
+// and reports any mismatch between findings and want comments as test
+// errors. testdata is relative to the calling test's package directory.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	src, err := filepath.Abs(filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range pkgPaths {
+		loader := lint.NewLoader(".")
+		loader.SrcRoot = src
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		diags, err := lint.RunAnalyzer(a, pkg)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		diags = lint.ApplyDirectives(pkg, diags)
+		checkWants(t, pkg, diags)
+	}
+}
+
+// wantRe extracts the quoted regexps of a want comment: double-quoted
+// (unescaped via strconv) or backquoted (verbatim).
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// checkWants matches findings against the fixture's want comments:
+// every finding must match a want on its line, and every want must be
+// matched by exactly one finding.
+func checkWants(t *testing.T, pkg *lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), " ")
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, quoted := range wantRe.FindAllString(rest, -1) {
+					pattern := strings.Trim(quoted, "`")
+					if strings.HasPrefix(quoted, `"`) {
+						var err error
+						pattern, err = strconv.Unquote(quoted)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, quoted, err)
+						}
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+	matched := map[key][]bool{}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		res := wants[k]
+		if matched[k] == nil {
+			matched[k] = make([]bool, len(res))
+		}
+		ok := false
+		for i, re := range res {
+			if !matched[k][i] && re.MatchString(d.Message) {
+				matched[k][i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected finding: [%s] %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			if matched[k] == nil || !matched[k][i] {
+				t.Errorf("%s:%d: no finding matched want %q", k.file, k.line, re)
+			}
+		}
+	}
+}

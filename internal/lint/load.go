@@ -1,0 +1,320 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// A Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader parses and type-checks packages for analysis. Packages under
+// analysis are checked from source; their imports resolve through compiler
+// export data obtained from `go list -export` (standard library and module
+// dependencies alike), so no analysis-framework dependency is needed.
+type Loader struct {
+	// Fset positions every file the loader touches.
+	Fset *token.FileSet
+	// ModDir is the directory go list runs in: the module root for real
+	// loads, any in-module directory for fixture loads (which only need
+	// go list for standard-library export data).
+	ModDir string
+	// SrcRoot, when non-empty, resolves import paths to source
+	// directories GOPATH-style: import "a/b" loads SrcRoot/a/b. Used by
+	// the linttest fixture harness (testdata/src trees).
+	SrcRoot string
+
+	exports map[string]string // import path -> export data file
+	pkgs    map[string]*Package
+	loading map[string]bool
+	gc      types.Importer
+}
+
+// exportCache shares `go list -export` results across loaders in one
+// process (the analyzer unit tests each construct a fresh fixture loader).
+var exportCache = struct {
+	sync.Mutex
+	m map[string]string
+}{m: map[string]string{}}
+
+// NewLoader returns a loader rooted at modDir.
+func NewLoader(modDir string) *Loader {
+	l := &Loader{
+		Fset:    token.NewFileSet(),
+		ModDir:  modDir,
+		exports: map[string]string{},
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	l.gc = importer.ForCompiler(l.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return l
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+func (l *Loader) goList(args ...string) ([]listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,Error"}, args...)...)
+	cmd.Dir = l.ModDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %s: decoding: %v", strings.Join(args, " "), err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadPatterns loads the packages matching the go package patterns (e.g.
+// "./..."), type-checking each from source with dependencies resolved via
+// export data. Patterns follow `go list` semantics relative to ModDir.
+func (l *Loader) LoadPatterns(patterns ...string) ([]*Package, error) {
+	deps, err := l.goList(append([]string{"-export", "-deps"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range deps {
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	targets, err := l.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, p := range targets {
+		if p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		pkg, err := l.check(p.ImportPath, p.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// Load loads one package by import path: from SrcRoot when it resolves
+// there (fixture mode), else via go list.
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg := l.pkgs[path]; pkg != nil {
+		return pkg, nil
+	}
+	if l.SrcRoot != "" {
+		dir := filepath.Join(l.SrcRoot, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return l.loadDir(path, dir)
+		}
+	}
+	pkgs, err := l.LoadPatterns(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(pkgs) != 1 {
+		return nil, fmt.Errorf("load %q: matched %d packages", path, len(pkgs))
+	}
+	return pkgs[0], nil
+}
+
+// loadDir loads a fixture package from dir (all non-test .go files).
+func (l *Loader) loadDir(path, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load %q: no Go files in %s", path, dir)
+	}
+	return l.check(path, dir, files)
+}
+
+// check parses and type-checks one package from the given source files.
+func (l *Loader) check(path, dir string, filenames []string) (*Package, error) {
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	var files []*ast.File
+	var stdImports []string
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.Fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			p := strings.Trim(spec.Path.Value, `"`)
+			if l.exports[p] == "" && l.pkgs[p] == nil && !l.srcResolves(p) {
+				stdImports = append(stdImports, p)
+			}
+		}
+	}
+	if len(stdImports) > 0 {
+		if err := l.ensureExports(stdImports); err != nil {
+			return nil, err
+		}
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importerFunc(l.importPkg)}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func (l *Loader) srcResolves(path string) bool {
+	if l.SrcRoot == "" {
+		return false
+	}
+	fi, err := os.Stat(filepath.Join(l.SrcRoot, filepath.FromSlash(path)))
+	return err == nil && fi.IsDir()
+}
+
+// ensureExports fetches export data for import paths not yet known (the
+// standard-library imports of fixture packages).
+func (l *Loader) ensureExports(paths []string) error {
+	exportCache.Lock()
+	var missing []string
+	for _, p := range paths {
+		if p == "unsafe" || p == "C" {
+			continue
+		}
+		if f, ok := exportCache.m[p]; ok {
+			l.exports[p] = f
+		} else {
+			missing = append(missing, p)
+		}
+	}
+	exportCache.Unlock()
+	if len(missing) == 0 {
+		return nil
+	}
+	pkgs, err := l.goList(append([]string{"-export", "-deps"}, missing...)...)
+	if err != nil {
+		return err
+	}
+	exportCache.Lock()
+	defer exportCache.Unlock()
+	for _, p := range pkgs {
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+			exportCache.m[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}
+
+// importPkg resolves one import during type checking. Export data wins
+// when available: every package under analysis then sees its dependencies
+// through the same gc importer, so type identity holds across the whole
+// load (mixing one source-checked dependency into an export-data graph
+// breaks interface satisfaction). Fixture packages have no export data
+// and resolve from already-loaded packages or SrcRoot sources.
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.exports[path] != "" {
+		return l.gc.Import(path)
+	}
+	if pkg := l.pkgs[path]; pkg != nil {
+		return pkg.Types, nil
+	}
+	if l.SrcRoot != "" {
+		dir := filepath.Join(l.SrcRoot, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			pkg, err := l.loadDir(path, dir)
+			if err != nil {
+				return nil, err
+			}
+			return pkg.Types, nil
+		}
+	}
+	if err := l.ensureExports([]string{path}); err != nil {
+		return nil, err
+	}
+	return l.gc.Import(path)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,312 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PoolPut guards the allocation-free kernel's recycling discipline (the
+// PR 4 pools): a value taken from a sync.Pool with Get must reach Put on
+// every return path of the function, or be deliberately handed off (a
+// vend-from-pool helper returning it, or storage into longer-lived state).
+// The classic bug shape is an early return — an error path added later —
+// that skips the Put and silently re-inflates allocations.
+var PoolPut = &Analyzer{
+	Name: "poolput",
+	Doc:  "flags sync.Pool.Get values that miss Put on some return path of the function",
+	Run:  runPoolPut,
+}
+
+func runPoolPut(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkPoolFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// poolGet is one P.Get() call and the local variable its result binds to.
+type poolGet struct {
+	call   *ast.CallExpr
+	key    string // source text of the pool expression P
+	val    types.Object
+	stored bool // result stored straight into a field/map: ownership moved
+}
+
+func checkPoolFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	var gets []*poolGet
+	var puts []struct {
+		key string
+		pos token.Pos
+	}
+	deferPut := map[string]bool{}
+	var returns []*ast.ReturnStmt
+	escaped := map[types.Object]bool{}
+
+	// The whole declaration body is one soup: closure-local puts count for
+	// the enclosing function (a defer func(){ p.Put(x) }() is the idiom).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeferStmt:
+			for key := range poolPutsIn(info, st.Call) {
+				deferPut[key] = true
+			}
+		case *ast.CallExpr:
+			if key, ok := poolMethod(info, st, "Get"); ok {
+				gets = append(gets, &poolGet{call: st, key: key})
+			}
+			if key, ok := poolMethod(info, st, "Put"); ok {
+				puts = append(puts, struct {
+					key string
+					pos token.Pos
+				}{key, st.Pos()})
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, st)
+		}
+		return true
+	})
+	if len(gets) == 0 {
+		return
+	}
+
+	// Bind Get results to the variables they define and record handoffs
+	// (escapes into fields, maps, channels) that transfer ownership.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				if i >= len(st.Lhs) {
+					break
+				}
+				for _, g := range gets {
+					if !containsCall(rhs, g.call) {
+						continue
+					}
+					switch lhs := ast.Unparen(st.Lhs[i]).(type) {
+					case *ast.Ident:
+						if obj := objectOf(info, lhs); obj != nil {
+							g.val = obj
+						}
+					case *ast.SelectorExpr, *ast.IndexExpr:
+						g.stored = true
+					}
+				}
+				// v stored into non-local structure: ownership moves.
+				if id, ok := ast.Unparen(rhs).(*ast.Ident); ok {
+					if obj := objectOf(info, id); obj != nil && isPoolValue(gets, obj) {
+						switch ast.Unparen(st.Lhs[i]).(type) {
+						case *ast.SelectorExpr, *ast.IndexExpr:
+							escaped[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if id, ok := ast.Unparen(st.Value).(*ast.Ident); ok {
+				if obj := objectOf(info, id); obj != nil {
+					escaped[obj] = true
+				}
+			}
+		case *ast.CallExpr:
+			// Passing the value to a put/release/free/recycle-named helper
+			// counts as a Put on this path.
+			if fn := calleeFunc(info, st); fn != nil && putNamed(fn.Name()) {
+				for _, arg := range st.Args {
+					if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+						if obj := objectOf(info, id); obj != nil && isPoolValue(gets, obj) {
+							for _, g := range gets {
+								if g.val == obj {
+									puts = append(puts, struct {
+										key string
+										pos token.Pos
+									}{g.key, st.Pos()})
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	for _, g := range gets {
+		if deferPut[g.key] || g.stored || (g.val != nil && escaped[g.val]) {
+			continue
+		}
+		if directlyHandedOff(info, fd.Body, g) {
+			continue
+		}
+		putBetween := func(lo, hi token.Pos) bool {
+			for _, p := range puts {
+				if p.key == g.key && p.pos > lo && p.pos < hi {
+					return true
+				}
+			}
+			return false
+		}
+		for _, ret := range returns {
+			if ret.Pos() < g.call.Pos() {
+				continue
+			}
+			if g.val != nil && returnsValue(info, ret, g.val) {
+				continue // ownership transfers to the caller
+			}
+			if !putBetween(g.call.Pos(), ret.Pos()) {
+				pass.Reportf(g.call.Pos(),
+					"%s.Get value does not reach %s.Put before the return at line %d; Put on every path or defer it",
+					g.key, g.key, pass.Fset.Position(ret.Pos()).Line)
+				break
+			}
+		}
+		// A function body that can fall off its end is one more exit.
+		if fallsOffEnd(fd.Body) && !putBetween(g.call.Pos(), fd.Body.End()) {
+			pass.Reportf(g.call.Pos(),
+				"%s.Get value does not reach %s.Put before the function ends; Put on every path or defer it",
+				g.key, g.key)
+		}
+	}
+}
+
+// poolMethod reports whether call is P.<name>() with P a sync.Pool, and
+// returns P's source text as the pool key.
+func poolMethod(info *types.Info, call *ast.CallExpr, name string) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return "", false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return "", false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if !isNamed(t, "sync", "Pool") {
+		return "", false
+	}
+	return exprText(sel.X), true
+}
+
+// poolPutsIn collects the pool keys Put inside a deferred call: either
+// `defer P.Put(v)` directly or `defer func() { ... P.Put(v) ... }()`.
+func poolPutsIn(info *types.Info, call *ast.CallExpr) map[string]bool {
+	keys := map[string]bool{}
+	if key, ok := poolMethod(info, call, "Put"); ok {
+		keys[key] = true
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				if key, ok := poolMethod(info, c, "Put"); ok {
+					keys[key] = true
+				}
+			}
+			return true
+		})
+	}
+	return keys
+}
+
+func isPoolValue(gets []*poolGet, obj types.Object) bool {
+	for _, g := range gets {
+		if g.val == obj {
+			return true
+		}
+	}
+	return false
+}
+
+func putNamed(name string) bool {
+	n := strings.ToLower(name)
+	for _, verb := range []string{"put", "release", "free", "recycle"} {
+		if strings.Contains(n, verb) {
+			return true
+		}
+	}
+	return false
+}
+
+// directlyHandedOff reports whether the Get call's result is used without
+// being bound (returned directly or passed straight into another call):
+// the function is a vend helper and ownership moves with the value.
+func directlyHandedOff(info *types.Info, body *ast.BlockStmt, g *poolGet) bool {
+	if g.val != nil {
+		return false
+	}
+	handed := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				if containsCall(res, g.call) {
+					handed = true
+				}
+			}
+		case *ast.CallExpr:
+			if _, isGet := poolMethod(info, st, "Get"); isGet {
+				return true
+			}
+			for _, arg := range st.Args {
+				if containsCall(arg, g.call) {
+					handed = true
+				}
+			}
+		}
+		return !handed
+	})
+	return handed
+}
+
+// returnsValue reports whether ret returns obj as one of its results.
+func returnsValue(info *types.Info, ret *ast.ReturnStmt, obj types.Object) bool {
+	for _, res := range ret.Results {
+		if id, ok := ast.Unparen(res).(*ast.Ident); ok && objectOf(info, id) == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// containsCall reports whether the expression subtree contains call.
+func containsCall(e ast.Expr, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if n == ast.Node(call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// fallsOffEnd crudely reports whether control can reach the end of the
+// block (its last statement is not a return or an unconditional
+// panic/terminal statement).
+func fallsOffEnd(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return true
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return false
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return false
+			}
+		}
+	case *ast.ForStmt:
+		if last.Cond == nil {
+			return false // for {} without break... close enough
+		}
+	}
+	return true
+}

@@ -1,0 +1,23 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestRepoIsLintClean runs the full analyzer suite over the repository —
+// the same gate CI applies with `go run ./cmd/ltee-lint ./...`. Skipped
+// under -short: it type-checks every package in the module.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped under -short")
+	}
+	diags, err := lint.Run("../..", []string{"./..."}, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"sort"
+)
+
+// Run loads the packages matching the go patterns (relative to dir) and
+// runs every analyzer over each, returning the findings that survive
+// //lteelint:ignore directives, in stable (file, line, column, analyzer)
+// order. An empty result means the tree is lint-clean.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	loader := NewLoader(dir)
+	pkgs, err := loader.LoadPatterns(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			ds, err := RunAnalyzer(a, pkg)
+			if err != nil {
+				return nil, err
+			}
+			diags = append(diags, ds...)
+		}
+		all = append(all, ApplyDirectives(pkg, diags)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all, nil
+}

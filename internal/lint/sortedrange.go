@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SortedRange flags `range` loops over maps whose bodies are sensitive to
+// iteration order: accumulating floats (addition is not associative, so
+// results differ run to run — the PR 1 PHI-cosine nondeterminism), growing
+// an ordered output (append to a slice declared outside the loop that is
+// never sorted afterwards), or writing to an output stream or encoder.
+// Iterate sorted keys instead, or sort the collected result before use.
+var SortedRange = &Analyzer{
+	Name: "sortedrange",
+	Doc: "flags range-over-map bodies that accumulate floats, append to ordered output, " +
+		"or write to an encoder — map iteration order leaks into the result",
+	Run: runSortedRange,
+}
+
+func runSortedRange(pass *Pass) error {
+	for _, f := range pass.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			checkMapRange(pass, rs, enclosingFuncBody(stack))
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	info := pass.TypesInfo
+	// An object is "outer" when it was declared before the loop, so writes
+	// to it survive iterations and observe the (random) iteration order.
+	// The loop's own key/value variables sit in the range header, before
+	// rs.Body, hence the rs.Pos() bound.
+	outer := func(e ast.Expr) (types.Object, bool) {
+		id := rootIdent(e)
+		if id == nil {
+			return nil, false
+		}
+		obj := objectOf(info, id)
+		if obj == nil {
+			return nil, false
+		}
+		if obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+			return obj, false
+		}
+		return obj, true
+	}
+	isFloat := func(e ast.Expr) bool {
+		t := info.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsFloat != 0
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			checkRangeAssign(pass, rs, funcBody, st, outer, isFloat)
+		case *ast.CallExpr:
+			checkRangeWrite(pass, st, outer)
+		}
+		return true
+	})
+}
+
+func checkRangeAssign(pass *Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt, st *ast.AssignStmt,
+	outer func(ast.Expr) (types.Object, bool), isFloat func(ast.Expr) bool) {
+	info := pass.TypesInfo
+	if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+		return
+	}
+	lhs, rhs := st.Lhs[0], st.Rhs[0]
+	obj, isOuter := outer(lhs)
+	if perKeyWrite(info, rs, lhs) {
+		// m[k] += v / m[k] = append(m[k], x) with k the range key: every
+		// key is visited exactly once, so iteration order cannot leak.
+		return
+	}
+
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if isOuter && isFloat(lhs) {
+			pass.Reportf(st.Pos(),
+				"float accumulation into %s inside range over a map is order-dependent and nondeterministic; iterate sorted keys", obj.Name())
+		}
+	case token.ASSIGN, token.DEFINE:
+		// x = x + y with float x.
+		if bin, ok := ast.Unparen(rhs).(*ast.BinaryExpr); ok && isOuter && isFloat(lhs) {
+			switch bin.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+				if mentionsObject(info, bin, obj) {
+					pass.Reportf(st.Pos(),
+						"float accumulation into %s inside range over a map is order-dependent and nondeterministic; iterate sorted keys", obj.Name())
+				}
+			}
+		}
+		// x = append(x, ...) growing an outer slice.
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isOuter && isAppend(info, call) {
+			if !sortedAfter(info, funcBody, rs, obj) {
+				pass.Reportf(st.Pos(),
+					"append to %s inside range over a map records map iteration order; iterate sorted keys or sort %s before use", obj.Name(), obj.Name())
+			}
+		}
+	}
+}
+
+// checkRangeWrite flags ordered-output writes inside the loop body: fmt
+// printing to a stream and Write/Encode-style method calls on values
+// declared outside the loop.
+func checkRangeWrite(pass *Pass, call *ast.CallExpr, outer func(ast.Expr) (types.Object, bool)) {
+	info := pass.TypesInfo
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		pass.Reportf(call.Pos(),
+			"fmt.%s inside range over a map emits output in map iteration order; iterate sorted keys", fn.Name())
+		return
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+		if _, isOuter := outer(sel.X); isOuter {
+			if _, isMethod := info.Selections[sel]; isMethod {
+				pass.Reportf(call.Pos(),
+					"%s.%s inside range over a map writes in map iteration order; iterate sorted keys", exprText(sel.X), sel.Sel.Name)
+			}
+		}
+	}
+}
+
+// perKeyWrite reports whether lhs is an element write indexed by the
+// loop's own range key (m[k] with k the key variable of rs). Map keys are
+// unique, so such a write happens once per key and is deterministic no
+// matter the iteration order.
+func perKeyWrite(info *types.Info, rs *ast.RangeStmt, lhs ast.Expr) bool {
+	idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	keyID, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	keyObj := objectOf(info, keyID)
+	if keyObj == nil {
+		return false
+	}
+	id, ok := ast.Unparen(idx.Index).(*ast.Ident)
+	return ok && objectOf(info, id) == keyObj
+}
+
+func isAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := objectOf(info, id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedAfter reports whether obj is passed to a sorting call after the
+// range loop in the same function — the collect-then-sort idiom
+// (`for k := range m { keys = append(keys, k) }; sort.Strings(keys)`),
+// which is deterministic.
+func sortedAfter(info *types.Info, funcBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	if funcBody == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || found {
+			return !found
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		sorting := fn.Pkg().Path() == "sort" ||
+			(fn.Pkg().Path() == "slices" && strings.HasPrefix(fn.Name(), "Sort"))
+		if !sorting {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObject(info, arg, obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

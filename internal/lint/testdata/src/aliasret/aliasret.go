@@ -1,0 +1,72 @@
+// Package aliasret is the fixture for the aliasret analyzer. Fork
+// reproduces the historical PR 3 bug shape: the Engine audit found a
+// Fork method copying the whole struct — sync.Mutex included — so the
+// clone shared lock state with its parent.
+package aliasret
+
+import "sync"
+
+type Engine struct {
+	mu      sync.Mutex
+	epochs  []int
+	state   map[string]int
+	version int
+}
+
+// Fork is the PR 3 mutex-smuggling copy.
+func (e *Engine) Fork() *Engine {
+	clone := *e // want `copies mutex-carrying Engine by value`
+	return &clone
+}
+
+// State hands out the guarded map itself.
+func (e *Engine) State() map[string]int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.state // want `returns internal e.state of mutex-guarded Engine`
+}
+
+// Epochs aliases the guarded slice even though it returns under the lock.
+func (e *Engine) Epochs() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.epochs // want `returns internal e.epochs of mutex-guarded Engine`
+}
+
+// EpochsCopy is the required fix shape: copy under the lock.
+func (e *Engine) EpochsCopy() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]int, len(e.epochs))
+	copy(out, e.epochs)
+	return out
+}
+
+// VersionPtr leaks a pointer into the guarded struct.
+func (e *Engine) VersionPtr() *int {
+	return &e.version // want `returns a pointer into mutex-guarded Engine`
+}
+
+// Snapshot copies the receiver — and its mutex — on every call.
+func (e Engine) Snapshot() int { // want `copies its mutex-carrying receiver Engine by value`
+	return e.version
+}
+
+// Version is fine: scalar copies don't alias anything.
+func (e *Engine) Version() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.version
+}
+
+// Plain has no mutex, so aliasing its fields is the callers' business.
+type Plain struct{ xs []int }
+
+func (p *Plain) Xs() []int { return p.xs }
+
+func (p Plain) Len() int { return len(p.xs) }
+
+// access through the pointer is not a copy.
+func bump(e *Engine) {
+	(*e).version++
+}

@@ -1,0 +1,55 @@
+// Package ctxflow is the fixture for the ctxflow analyzer. Train
+// reproduces the historical PR 5 invariant violation: internal/report's
+// suite called core.Train(context.Background(), ...) from exported entry
+// points, silently severing the cancellation chain the public API threads
+// end to end.
+package ctxflow
+
+import "context"
+
+type models struct{}
+
+func train(ctx context.Context) (models, error) { return models{}, ctx.Err() }
+
+// ModelsFor is the severed-chain bug shape: an exported entry point that
+// mints its own root context instead of accepting one.
+func ModelsFor(class string) models {
+	m, _ := train(context.Background()) // want `exported ModelsFor calls context.Background`
+	return m
+}
+
+// RunAll has a context in scope and ignores it.
+func RunAll(ctx context.Context) error {
+	_, err := train(context.Background()) // want `severs the in-scope cancellation chain`
+	return err
+}
+
+// Fallback is the recognized nil-guard idiom: exempt.
+func Fallback(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	_, err := train(ctx)
+	return err
+}
+
+// Fanout's closure severs the chain of the ctx its enclosing function
+// carries.
+func Fanout(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			_, _ = train(context.TODO()) // want `severs the in-scope cancellation chain`
+		}()
+	}
+}
+
+// helper is unexported with no context anywhere in scope: allowed (the
+// root of an internal call tree that has no caller-supplied context yet).
+func helper() {
+	_, _ = train(context.Background())
+}
+
+// Threaded is the fixed shape of ModelsFor.
+func Threaded(ctx context.Context, class string) (models, error) {
+	return train(ctx)
+}

@@ -1,0 +1,14 @@
+// Package main shows the ctxflow carve-out: binaries are where root
+// contexts are legitimately created, so nothing here is flagged.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}
+
+func Serve(addr string) error {
+	return context.Background().Err()
+}

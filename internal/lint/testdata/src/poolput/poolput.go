@@ -1,0 +1,100 @@
+// Package poolput is the fixture for the poolput analyzer, guarding the
+// PR 4 allocation-free kernel discipline: every sync.Pool.Get must reach
+// a Put on every return path, or deliberately hand the value off.
+package poolput
+
+import "sync"
+
+var pool = sync.Pool{New: func() interface{} { return new([]float64) }}
+
+// leaky is the classic regression: an error path added later returns
+// before the Put and silently re-inflates allocations.
+func leaky(fail bool) int {
+	buf := pool.Get().(*[]float64) // want `does not reach pool.Put before the return at line 15`
+	if fail {
+		return 0
+	}
+	n := len(*buf)
+	pool.Put(buf)
+	return n
+}
+
+// deferred is the recommended shape.
+func deferred(fail bool) int {
+	buf := pool.Get().(*[]float64)
+	defer pool.Put(buf)
+	if fail {
+		return 0
+	}
+	return len(*buf)
+}
+
+// deferredClosure puts inside a deferred func literal.
+func deferredClosure() int {
+	buf := pool.Get().(*[]float64)
+	defer func() {
+		*buf = (*buf)[:0]
+		pool.Put(buf)
+	}()
+	return len(*buf)
+}
+
+// explicit puts on every path by hand.
+func explicit(fail bool) int {
+	buf := pool.Get().(*[]float64)
+	if fail {
+		pool.Put(buf)
+		return 0
+	}
+	n := len(*buf)
+	pool.Put(buf)
+	return n
+}
+
+// noput never returns but still leaks when control falls off the end.
+func noput() {
+	buf := pool.Get().(*[]float64) // want `does not reach pool.Put before the function ends`
+	_ = buf
+}
+
+// vend transfers ownership to the caller: exempt.
+func vend() *[]float64 {
+	return pool.Get().(*[]float64)
+}
+
+// vendBound binds first, then returns the value itself: still a handoff.
+func vendBound() *[]float64 {
+	buf := pool.Get().(*[]float64)
+	*buf = (*buf)[:0]
+	return buf
+}
+
+// release is a named helper the analyzer treats as a Put.
+func release(buf *[]float64) {
+	*buf = (*buf)[:0]
+	pool.Put(buf)
+}
+
+// viaHelper recycles through release on both paths.
+func viaHelper(fail bool) int {
+	buf := pool.Get().(*[]float64)
+	if fail {
+		release(buf)
+		return 0
+	}
+	n := len(*buf)
+	release(buf)
+	return n
+}
+
+type cache struct {
+	mu   sync.Mutex
+	slot *[]float64
+}
+
+// keep stores the value into longer-lived state: ownership moves.
+func (c *cache) keep() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.slot = pool.Get().(*[]float64)
+}

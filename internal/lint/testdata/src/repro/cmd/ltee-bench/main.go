@@ -1,0 +1,10 @@
+// The benchmark runner is exempt: it exists to drive internal packages.
+package main
+
+import (
+	ikb "repro/internal/kb"
+)
+
+func main() {
+	_ = ikb.New()
+}

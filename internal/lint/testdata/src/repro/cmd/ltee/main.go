@@ -1,0 +1,10 @@
+// The public CLI must stay on the public surface too.
+package main
+
+import (
+	ikb "repro/internal/kb" // want `public consumer repro/cmd/ltee must not import repro/internal/kb`
+)
+
+func main() {
+	_ = ikb.New()
+}

@@ -1,0 +1,9 @@
+// Package repro is the fixture's root documentation package: it promises
+// to compile against the public surface only.
+package repro
+
+import "repro/internal/kb" // want `public consumer repro must not import repro/internal/kb`
+
+// Default is the kind of convenience the root package must build from
+// public packages, not internal ones.
+var Default = kb.New()

@@ -1,0 +1,14 @@
+// The examples tree documents the public API; reaching into internal
+// packages here would teach users an import that fails outside the module.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/kb" // want `public consumer repro/examples/demo must not import repro/internal/kb`
+	pub "repro/ltee/kb"
+)
+
+func main() {
+	fmt.Println(kb.New(), pub.New())
+}

@@ -1,0 +1,8 @@
+// Package kb is the internal implementation the boundary fixture guards.
+package kb
+
+// KB is a stand-in for the real knowledge base.
+type KB struct{ N int }
+
+// New returns an empty knowledge base.
+func New() *KB { return &KB{} }

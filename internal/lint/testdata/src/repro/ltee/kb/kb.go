@@ -1,0 +1,12 @@
+// Package kb is the sanctioned public alias bridge: re-exporting
+// internal implementations is exactly its job, so the boundary check
+// leaves the ltee/ tree alone.
+package kb
+
+import ikb "repro/internal/kb"
+
+// KB re-exports the internal knowledge base.
+type KB = ikb.KB
+
+// New re-exports the internal constructor.
+func New() *KB { return ikb.New() }

@@ -1,0 +1,115 @@
+// Package sortedrange is the fixture for the sortedrange analyzer. The
+// first case reproduces the historical PR 1 bug shape: PHI cosine
+// accumulated float products in map iteration order, so parallel and
+// serial runs diverged in the low bits.
+package sortedrange
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// cosine is the PR 1 nondeterminism class: order-dependent float addition.
+func cosine(a, b map[string]float64) float64 {
+	var dot float64
+	for k, v := range a {
+		dot += v * b[k] // want `float accumulation into dot`
+	}
+	return dot
+}
+
+// cosineSorted is the required fix shape: collect keys, sort, accumulate.
+func cosineSorted(a, b map[string]float64) float64 {
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k) // collected keys are sorted below: exempt
+	}
+	sort.Strings(keys)
+	var dot float64
+	for _, k := range keys {
+		dot += a[k] * b[k]
+	}
+	return dot
+}
+
+// longForm catches the x = x + y spelling too.
+func longForm(m map[int]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum = sum + v // want `float accumulation into sum`
+	}
+	return sum
+}
+
+// counts shows integer accumulation is fine: addition of ints commutes
+// exactly.
+func counts(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// collectUnsorted appends map values in iteration order and never sorts.
+func collectUnsorted(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want `append to out inside range over a map`
+	}
+	return out
+}
+
+// collectSorted is exempt: the result is sorted before use.
+func collectSorted(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// localAccumulation is fine: acc is reset every iteration.
+func localAccumulation(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m {
+		acc := 0.0
+		for _, v := range vs {
+			acc += v
+		}
+		out[k] = acc
+	}
+	return out
+}
+
+// printInOrder emits output in map iteration order.
+func printInOrder(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt.Fprintf inside range over a map`
+	}
+}
+
+// buildOutside writes into a builder that outlives the loop.
+func buildOutside(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `b.WriteString inside range over a map`
+	}
+	return b.String()
+}
+
+// buildInside is fine: the builder is per-iteration state.
+func buildInside(m map[string][]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, parts := range m {
+		var b strings.Builder
+		for _, p := range parts {
+			b.WriteString(p)
+		}
+		out[k] = b.String()
+	}
+	return out
+}

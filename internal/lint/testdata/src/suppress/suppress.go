@@ -1,0 +1,35 @@
+// Package suppress is the fixture for the //lteelint:ignore directive
+// machinery: a justified suppression, a stale (unused) one, and two
+// malformed ones. directive_test.go asserts on the surviving findings
+// directly instead of using want comments.
+package suppress
+
+import "context"
+
+// Detach deliberately severs the chain: report jobs outlive the request
+// that spawned them.
+func Detach(ctx context.Context) context.Context {
+	//lteelint:ignore ctxflow report jobs outlive the request that spawned them
+	return jobContext(context.Background())
+}
+
+func jobContext(ctx context.Context) context.Context { return ctx }
+
+// Stale carries a directive with nothing left to suppress.
+func Stale(ctx context.Context) error {
+	//lteelint:ignore ctxflow nothing on the next line triggers ctxflow anymore
+	return ctx.Err()
+}
+
+// NoReason is missing the mandatory justification.
+func NoReason(ctx context.Context) error {
+	//lteelint:ignore ctxflow
+	_ = context.Background()
+	return nil
+}
+
+// UnknownAnalyzer names an analyzer that does not exist.
+func UnknownAnalyzer(ctx context.Context) error {
+	//lteelint:ignore nosuchcheck because reasons
+	return ctx.Err()
+}

@@ -2,6 +2,7 @@ package match
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/dtype"
 	"repro/internal/kb"
@@ -358,8 +359,22 @@ func (c *Context) clusterValues() map[clusterPropKey][]tableValue {
 	if cc.clusterVal != nil {
 		return cc.clusterVal
 	}
+	// Iterate the preliminary mapping in sorted column order so each
+	// pool's value list comes out the same every run (several columns can
+	// feed one (cluster, property) key).
+	refs := make([]ColRef, 0, len(c.Prelim))
+	for ref := range c.Prelim {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Table != refs[j].Table {
+			return refs[i].Table < refs[j].Table
+		}
+		return refs[i].Col < refs[j].Col
+	})
 	pool := make(map[clusterPropKey][]tableValue)
-	for ref, pid := range c.Prelim {
+	for _, ref := range refs {
+		pid := c.Prelim[ref]
 		tbl := c.Corpus.Table(ref.Table)
 		if tbl == nil {
 			continue

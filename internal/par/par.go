@@ -43,6 +43,7 @@ func Workers(n int) int {
 // results slice); the caller then reduces the slots in index order, making
 // the parallel and serial paths produce identical output.
 func ForEach(workers, n int, fn func(i int)) {
+	//lteelint:ignore ctxflow ForEachCtx is the cancellable form; this wrapper exists for callers with no context
 	ForEachCtx(context.Background(), workers, n, fn)
 }
 
@@ -116,6 +117,7 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(i int)) error {
 // Map applies fn to every element of items on a pool of at most workers
 // goroutines and returns the results in input order.
 func Map[T, R any](workers int, items []T, fn func(i int, item T) R) []R {
+	//lteelint:ignore ctxflow MapCtx is the cancellable form; this wrapper exists for callers with no context
 	out, _ := MapCtx(context.Background(), workers, items, fn)
 	return out
 }
@@ -168,6 +170,63 @@ func (g *Group[K, V]) Get(key K, compute func() V) V {
 	c := g.cells[key]
 	if c == nil {
 		c = &Cell[V]{}
+		g.cells[key] = c
+	}
+	g.mu.Unlock()
+	return c.Get(compute)
+}
+
+// ErrCell is a Cell for fallible (typically context-aware) computations: a
+// successful result is memoized and shared by every caller, while a failed
+// computation is returned only to the caller that ran it and is NOT
+// memoized, so the next caller retries with its own compute closure. A
+// first caller whose context is cancelled mid-computation therefore cannot
+// poison the cell for everyone else.
+//
+// Like Cell, concurrent Gets for the same cell serialize (singleflight);
+// compute must not re-enter the same cell. The zero value is ready to use.
+type ErrCell[T any] struct {
+	mu   sync.Mutex
+	done bool
+	val  T
+}
+
+// Get returns the memoized value, computing it with compute on first use.
+// A non-nil error from compute is returned without being memoized.
+func (c *ErrCell[T]) Get(compute func() (T, error)) (T, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.done {
+		v, err := compute()
+		if err != nil {
+			var zero T
+			return zero, err
+		}
+		c.val, c.done = v, true
+	}
+	return c.val, nil
+}
+
+// ErrGroup memoizes one ErrCell per key: each key's value is computed at
+// most once per success, distinct keys compute concurrently, and failures
+// are retried by later callers (see ErrCell).
+//
+// The zero value is ready to use.
+type ErrGroup[K comparable, V any] struct {
+	mu    sync.Mutex
+	cells map[K]*ErrCell[V]
+}
+
+// Get returns the memoized value for key, computing it with compute on the
+// key's first (or first successful) use.
+func (g *ErrGroup[K, V]) Get(key K, compute func() (V, error)) (V, error) {
+	g.mu.Lock()
+	if g.cells == nil {
+		g.cells = make(map[K]*ErrCell[V])
+	}
+	c := g.cells[key]
+	if c == nil {
+		c = &ErrCell[V]{}
 		g.cells[key] = c
 	}
 	g.mu.Unlock()

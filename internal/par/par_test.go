@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -161,5 +162,76 @@ func TestMapCtxMatchesMap(t *testing.T) {
 	}
 	if !reflect.DeepEqual(want, got) {
 		t.Error("MapCtx diverged from Map")
+	}
+}
+
+func TestErrCellMemoizesSuccess(t *testing.T) {
+	var c ErrCell[int]
+	calls := 0
+	compute := func() (int, error) { calls++; return 42, nil }
+	for i := 0; i < 3; i++ {
+		v, err := c.Get(compute)
+		if err != nil || v != 42 {
+			t.Fatalf("Get = %d, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+}
+
+func TestErrCellRetriesAfterFailure(t *testing.T) {
+	var c ErrCell[int]
+	boom := errors.New("boom")
+	if _, err := c.Get(func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("first Get error = %v, want boom", err)
+	}
+	// A failure must not poison the cell: the next caller retries and its
+	// success is then memoized.
+	v, err := c.Get(func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry Get = %d, %v", v, err)
+	}
+	v, err = c.Get(func() (int, error) { t.Error("recomputed after success"); return 0, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("memoized Get = %d, %v", v, err)
+	}
+}
+
+func TestErrGroupKeysIndependent(t *testing.T) {
+	var g ErrGroup[string, int]
+	boom := errors.New("boom")
+	if _, err := g.Get("a", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("a: error = %v", err)
+	}
+	if v, err := g.Get("b", func() (int, error) { return 2, nil }); err != nil || v != 2 {
+		t.Fatalf("b: Get = %d, %v", v, err)
+	}
+	// "a" failed above, so it retries; "b" stays memoized.
+	if v, err := g.Get("a", func() (int, error) { return 1, nil }); err != nil || v != 1 {
+		t.Fatalf("a retry: Get = %d, %v", v, err)
+	}
+	if v, err := g.Get("b", func() (int, error) { t.Error("b recomputed"); return 0, nil }); err != nil || v != 2 {
+		t.Fatalf("b memoized: Get = %d, %v", v, err)
+	}
+}
+
+func TestErrGroupConcurrentSameKey(t *testing.T) {
+	var g ErrGroup[int, int]
+	var computes atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := g.Get(1, func() (int, error) { computes.Add(1); return 9, nil })
+			if err != nil || v != 9 {
+				t.Errorf("Get = %d, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if computes.Load() != 1 {
+		t.Errorf("compute ran %d times, want 1", computes.Load())
 	}
 }

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -32,18 +33,28 @@ func testSuite() *Suite {
 // lazy cells that replaced the coarse suite mutex).
 func TestSuiteConcurrentAccess(t *testing.T) {
 	s := testSuite()
-	byClassFirst := s.TablesByClass()
+	ctx := context.Background()
+	byClassFirst, err := s.TablesByClass(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
 	done := make(chan string, 24)
 	for i := 0; i < 8; i++ {
 		go func() {
-			done <- s.Table1().String()
+			tbl, err := s.Table1(ctx)
+			if err != nil {
+				done <- "error: " + err.Error()
+				return
+			}
+			done <- tbl.String()
 		}()
 		go func() {
 			s.Folds(kbEvalClass0())
 			done <- ""
 		}()
 		go func() {
-			if len(s.TablesByClass()) != len(byClassFirst) {
+			byClass, err := s.TablesByClass(ctx)
+			if err != nil || len(byClass) != len(byClassFirst) {
 				done <- "tables-by-class mismatch"
 				return
 			}
@@ -55,7 +66,7 @@ func TestSuiteConcurrentAccess(t *testing.T) {
 		msg := <-done
 		switch {
 		case msg == "":
-		case msg == "tables-by-class mismatch":
+		case msg == "tables-by-class mismatch" || strings.HasPrefix(msg, "error: "):
 			t.Error(msg)
 		case table1 == "":
 			table1 = msg
@@ -66,7 +77,10 @@ func TestSuiteConcurrentAccess(t *testing.T) {
 }
 
 func TestTable1(t *testing.T) {
-	tbl := testSuite().Table1()
+	tbl, err := testSuite().Table1(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tbl.Rows) != 3 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
@@ -77,14 +91,20 @@ func TestTable1(t *testing.T) {
 
 func TestTable2DensityShape(t *testing.T) {
 	s := testSuite()
-	tbl := s.Table2()
+	tbl, err := s.Table2(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tbl.Rows) != 11+7+5 {
 		t.Fatalf("rows = %d, want full schemas", len(tbl.Rows))
 	}
 }
 
 func TestTable3(t *testing.T) {
-	tbl := testSuite().Table3()
+	tbl, err := testSuite().Table3(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tbl.Rows) != 2 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
@@ -92,7 +112,10 @@ func TestTable3(t *testing.T) {
 
 func TestTable5(t *testing.T) {
 	s := testSuite()
-	tbl := s.Table5()
+	tbl, err := s.Table5(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tbl.Rows) != 3 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
@@ -103,7 +126,10 @@ func TestTable6IterationShape(t *testing.T) {
 		t.Skip("trains pipeline models; skipped in -short")
 	}
 	s := testSuite()
-	rows := s.Table6Data()
+	rows, err := s.Table6Data(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 3 {
 		t.Fatalf("iterations = %d", len(rows))
 	}
@@ -126,7 +152,10 @@ func TestTable7AblationShape(t *testing.T) {
 		t.Skip("trains pipeline models; skipped in -short")
 	}
 	s := testSuite()
-	rows := s.Table7Data()
+	rows, err := s.Table7Data(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 6 {
 		t.Fatalf("ablation rows = %d", len(rows))
 	}
@@ -155,7 +184,10 @@ func TestTable8AblationShape(t *testing.T) {
 		t.Skip("trains pipeline models; skipped in -short")
 	}
 	s := testSuite()
-	rows := s.Table8Data()
+	rows, err := s.Table8Data(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 6 {
 		t.Fatalf("ablation rows = %d", len(rows))
 	}
@@ -172,7 +204,10 @@ func TestTable9Shape(t *testing.T) {
 		t.Skip("trains pipeline models; skipped in -short")
 	}
 	s := testSuite()
-	rows := s.Table9Data()
+	rows, err := s.Table9Data(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 7 { // 3 classes × 2 conditions + average
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -190,7 +225,10 @@ func TestTable10Shape(t *testing.T) {
 		t.Skip("trains pipeline models; skipped in -short")
 	}
 	s := testSuite()
-	rows := s.Table10Data()
+	rows, err := s.Table10Data(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 10 { // 3 classes × 3 conditions + average
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -208,7 +246,10 @@ func TestTable11Shape(t *testing.T) {
 		t.Skip("trains pipeline models; skipped in -short")
 	}
 	s := testSuite()
-	rows := s.Table11Data()
+	rows, err := s.Table11Data(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 3 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -247,7 +288,10 @@ func TestTable12Shape(t *testing.T) {
 		t.Skip("trains pipeline models; skipped in -short")
 	}
 	s := testSuite()
-	tbl := s.Table12()
+	tbl, err := s.Table12(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tbl.Rows) != 11+7+5 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
@@ -258,7 +302,10 @@ func TestRankedData(t *testing.T) {
 		t.Skip("trains pipeline models; skipped in -short")
 	}
 	s := testSuite()
-	rs := s.RankedData()
+	rs, err := s.RankedData(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rs.MAP < 0 || rs.MAP > 1 || rs.P5 < 0 || rs.P5 > 1 {
 		t.Errorf("ranked scores out of range: %+v", rs)
 	}
@@ -302,7 +349,10 @@ func TestTable4Shape(t *testing.T) {
 		t.Skip("trains pipeline models; skipped in -short")
 	}
 	s := testSuite()
-	tbl := s.Table4()
+	tbl, err := s.Table4(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tbl.Rows) != 3 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
@@ -313,7 +363,10 @@ func TestMatcherWeights(t *testing.T) {
 		t.Skip("trains pipeline models; skipped in -short")
 	}
 	s := testSuite()
-	tbl := s.MatcherWeights()
+	tbl, err := s.MatcherWeights(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tbl.Rows) != 3 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
@@ -328,7 +381,10 @@ func TestAblationAggregation(t *testing.T) {
 		t.Skip("aggregation ablation is expensive")
 	}
 	s := testSuite()
-	tbl := s.AblationAggregation()
+	tbl, err := s.AblationAggregation(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tbl.Rows) != 3 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
@@ -349,7 +405,10 @@ func TestPct(t *testing.T) {
 
 func TestTable13Rendering(t *testing.T) {
 	s := testSuite()
-	tbl := s.Table13()
+	tbl, err := s.Table13(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tbl.Rows) != 1 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}

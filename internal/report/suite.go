@@ -26,7 +26,10 @@ import (
 // for the same class wait and share the result, and independent classes
 // train and run concurrently. This replaces the coarse suite-wide mutex
 // that used to serialize all training; all table generators may therefore
-// run in parallel (cmd/ltee -workers drives them that way).
+// run in parallel (cmd/ltee -workers drives them that way). Only successes
+// are memoized: a computation that fails — in practice, context
+// cancellation — reports its error to the observing caller and leaves the
+// cell empty for the next caller to retry.
 type Suite struct {
 	World  *world.World
 	Corpus *webtable.Corpus
@@ -36,14 +39,14 @@ type Suite struct {
 	// (0 = GOMAXPROCS, 1 = serial).
 	Workers int
 
-	prepared     par.Cell[struct{}]
-	models       par.Group[kb.ClassID, core.Models]  // trained on the full gold standard
-	foldsOf      par.Group[kb.ClassID, [][]int]      // 3-fold CV splits
-	byClass      par.Cell[map[kb.ClassID][]int]      // table-to-class matching result
-	fullRuns     par.Group[kb.ClassID, *core.Output] // full-corpus pipeline runs
-	goldRuns     par.Group[kb.ClassID, *core.Output] // gold-tables pipeline runs
-	rowsOf       par.Group[kb.ClassID, classRows]    // prepared rows + first-iteration mapping
-	foldRunCache par.Group[kb.ClassID, []*foldRun]   // per-fold models and entities
+	prepared     par.ErrCell[struct{}]
+	models       par.ErrGroup[kb.ClassID, core.Models]  // trained on the full gold standard
+	foldsOf      par.Group[kb.ClassID, [][]int]         // 3-fold CV splits
+	byClass      par.ErrCell[map[kb.ClassID][]int]      // table-to-class matching result
+	fullRuns     par.ErrGroup[kb.ClassID, *core.Output] // full-corpus pipeline runs
+	goldRuns     par.ErrGroup[kb.ClassID, *core.Output] // gold-tables pipeline runs
+	rowsOf       par.ErrGroup[kb.ClassID, classRows]    // prepared rows + first-iteration mapping
+	foldRunCache par.ErrGroup[kb.ClassID, []*foldRun]   // per-fold models and entities
 }
 
 // classRows carries the memoized output of clusterRows for one class.
@@ -100,15 +103,17 @@ func NewSuite(opts Options) *Suite {
 // prepare runs column-kind and label-attribute detection over the whole
 // corpus once (parallel over tables, each table owned by one worker).
 // Afterwards the pipeline's per-table detection guards never write, so
-// per-class work can safely touch the shared corpus concurrently.
-func (s *Suite) prepare() {
-	s.prepared.Get(func() struct{} {
-		par.ForEach(s.Workers, len(s.Corpus.Tables), func(i int) {
+// per-class work can safely touch the shared corpus concurrently. A
+// cancelled preparation is not memoized: the next caller retries.
+func (s *Suite) prepare(ctx context.Context) error {
+	_, err := s.prepared.Get(func() (struct{}, error) {
+		err := par.ForEachCtx(ctx, s.Workers, len(s.Corpus.Tables), func(i int) {
 			t := s.Corpus.Tables[i]
 			match.EnsureDetected(t)
 		})
-		return struct{}{}
+		return struct{}{}, err
 	})
+	return err
 }
 
 // Config returns the default pipeline configuration for a class.
@@ -129,19 +134,19 @@ func (s *Suite) clusterOptions() cluster.Options {
 }
 
 // ModelsFor trains (once) the pipeline models of a class on the full gold
-// standard. Distinct classes train concurrently.
-func (s *Suite) ModelsFor(class kb.ClassID) core.Models {
-	return s.models.Get(class, func() core.Models {
-		s.prepare()
+// standard. Distinct classes train concurrently; a failed (for instance
+// cancelled) training is not memoized, so a later caller retries.
+func (s *Suite) ModelsFor(ctx context.Context, class kb.ClassID) (core.Models, error) {
+	return s.models.Get(class, func() (core.Models, error) {
+		if err := s.prepare(ctx); err != nil {
+			return core.Models{}, err
+		}
 		g := s.Golds[class]
 		all := make([]int, len(g.Clusters))
 		for i := range all {
 			all[i] = i
 		}
-		// The suite is never cancelled (background context), so Train's
-		// only error path cannot fire.
-		models, _ := core.Train(context.Background(), s.Config(class), g, all)
-		return models
+		return core.Train(ctx, s.Config(class), g, all)
 	})
 }
 
@@ -153,33 +158,41 @@ func (s *Suite) Folds(class kb.ClassID) [][]int {
 }
 
 // TablesByClass runs (and caches) table-to-class matching over the corpus.
-func (s *Suite) TablesByClass() map[kb.ClassID][]int {
-	return s.byClass.Get(func() map[kb.ClassID][]int {
-		s.prepare()
-		byClass, _ := core.ClassifyTables(context.Background(), s.World.KB, s.Corpus, 0.3, s.Workers)
-		return byClass
+func (s *Suite) TablesByClass(ctx context.Context) (map[kb.ClassID][]int, error) {
+	return s.byClass.Get(func() (map[kb.ClassID][]int, error) {
+		if err := s.prepare(ctx); err != nil {
+			return nil, err
+		}
+		return core.ClassifyTables(ctx, s.World.KB, s.Corpus, 0.3, s.Workers)
 	})
 }
 
 // GoldRun runs (and caches) the full two-iteration pipeline over the gold
 // tables of a class with models trained on the full gold standard.
-func (s *Suite) GoldRun(class kb.ClassID) *core.Output {
-	return s.goldRuns.Get(class, func() *core.Output {
-		models := s.ModelsFor(class)
+func (s *Suite) GoldRun(ctx context.Context, class kb.ClassID) (*core.Output, error) {
+	return s.goldRuns.Get(class, func() (*core.Output, error) {
+		models, err := s.ModelsFor(ctx, class)
+		if err != nil {
+			return nil, err
+		}
 		p := core.New(s.Config(class), models)
-		out, _ := p.Run(context.Background(), s.Golds[class].TableIDs)
-		return out
+		return p.Run(ctx, s.Golds[class].TableIDs)
 	})
 }
 
 // FullRun runs (and caches) the pipeline over every corpus table matched to
 // the class (the §5 large-scale profiling).
-func (s *Suite) FullRun(class kb.ClassID) *core.Output {
-	return s.fullRuns.Get(class, func() *core.Output {
-		byClass := s.TablesByClass()
-		models := s.ModelsFor(class)
+func (s *Suite) FullRun(ctx context.Context, class kb.ClassID) (*core.Output, error) {
+	return s.fullRuns.Get(class, func() (*core.Output, error) {
+		byClass, err := s.TablesByClass(ctx)
+		if err != nil {
+			return nil, err
+		}
+		models, err := s.ModelsFor(ctx, class)
+		if err != nil {
+			return nil, err
+		}
 		p := core.New(s.Config(class), models)
-		out, _ := p.Run(context.Background(), byClass[class])
-		return out
+		return p.Run(ctx, byClass[class])
 	})
 }

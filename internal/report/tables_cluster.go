@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/cluster"
@@ -25,7 +26,7 @@ type Table7Row struct {
 // training folds, cluster the test-fold rows, and evaluate with the
 // Hassanzadeh scores, averaging over classes and folds. The MI column is
 // the learned importance of each metric in the all-metrics aggregator.
-func (s *Suite) Table7Data() []Table7Row {
+func (s *Suite) Table7Data(ctx context.Context) ([]Table7Row, error) {
 	names := []string{"LABEL", "+ BOW", "+ PHI", "+ ATTRIBUTE", "+ IMPLICIT_ATT", "+ SAME_TABLE"}
 	nMetrics := len(names)
 	pcp := make([][]float64, nMetrics)
@@ -36,7 +37,10 @@ func (s *Suite) Table7Data() []Table7Row {
 	for _, class := range kb.EvalClasses() {
 		g := s.Golds[class]
 		folds := s.Folds(class)
-		rows, mapping := s.clusterRows(class)
+		rows, mapping, err := s.clusterRows(ctx, class)
+		if err != nil {
+			return nil, err
+		}
 		rowByRef := make(map[webtable.RowRef]*cluster.Row, len(rows))
 		for _, r := range rows {
 			rowByRef[r.Ref] = r
@@ -68,7 +72,7 @@ func (s *Suite) Table7Data() []Table7Row {
 			for n := 1; n <= nMetrics; n++ {
 				metrics := cluster.MetricPrefix(n)
 				scorer, combined := cluster.LearnScorer(metrics, pairs, s.Seed)
-				cl := cluster.Cluster(testRows, scorer, s.clusterOptions())
+				cl := cluster.ClusterCtx(ctx, testRows, scorer, s.clusterOptions())
 				var produced [][]webtable.RowRef
 				for _, members := range cl.Clusters {
 					refs := make([]webtable.RowRef, len(members))
@@ -96,47 +100,59 @@ func (s *Suite) Table7Data() []Table7Row {
 			MI: mi[i],
 		}
 	}
-	return out
+	return out, ctx.Err()
 }
 
 // Table7 renders Table7Data.
-func (s *Suite) Table7() *TextTable {
+func (s *Suite) Table7(ctx context.Context) (*TextTable, error) {
 	t := &TextTable{
 		Title:   "Table 7: Row clustering ablation (averages over classes and folds)",
 		Headers: []string{"Run", "PCP", "AR", "F1", "MI"},
 	}
-	for _, r := range s.Table7Data() {
+	rows, err := s.Table7Data(ctx)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
 		t.Add(r.Run, r.PCP, r.AR, r.F1, r.MI)
 	}
-	return t
+	return t, nil
 }
 
 // ClusterRows returns the prepared rows of the class's gold tables,
 // built with the learned first-iteration attribute mapping — the input a
-// clustering study (e.g. examples/songs) feeds to cluster.Cluster with
+// clustering study (e.g. examples/songs) feeds to cluster.ClusterCtx with
 // different scorers. The rows are cached per class; callers must treat
 // them as read-only.
-func (s *Suite) ClusterRows(class kb.ClassID) []*cluster.Row {
-	rows, _ := s.clusterRows(class)
-	return rows
+func (s *Suite) ClusterRows(ctx context.Context, class kb.ClassID) ([]*cluster.Row, error) {
+	rows, _, err := s.clusterRows(ctx, class)
+	return rows, err
 }
 
 // clusterRows builds (and caches per class) the prepared rows of a class's
 // gold tables using the first-iteration attribute mapping. The matching
 // fan-out runs on the suite's worker pool with an ordered reduction.
-func (s *Suite) clusterRows(class kb.ClassID) ([]*cluster.Row, map[int]map[int]kb.PropertyID) {
-	cr := s.rowsOf.Get(class, func() classRows {
-		s.prepare()
+func (s *Suite) clusterRows(ctx context.Context, class kb.ClassID) ([]*cluster.Row, map[int]map[int]kb.PropertyID, error) {
+	cr, err := s.rowsOf.Get(class, func() (classRows, error) {
+		if err := s.prepare(ctx); err != nil {
+			return classRows{}, err
+		}
 		g := s.Golds[class]
-		models := s.ModelsFor(class)
-		ctx := match.NewContext(s.World.KB, s.Corpus)
-		ctx.Class = class
+		models, err := s.ModelsFor(ctx, class)
+		if err != nil {
+			return classRows{}, err
+		}
+		mctx := match.NewContext(s.World.KB, s.Corpus)
+		mctx.Class = class
 		firstMatchers := match.FirstIterationMatchers()
-		perTable := par.Map(s.Workers, g.TableIDs, func(_, tid int) map[int]kb.PropertyID {
+		perTable, err := par.MapCtx(ctx, s.Workers, g.TableIDs, func(_ int, tid int) map[int]kb.PropertyID {
 			t := s.Corpus.Table(tid)
 			match.EnsureDetected(t)
-			return match.MatchAttributes(ctx, models.AttrFirst, firstMatchers, t)
+			return match.MatchAttributes(mctx, models.AttrFirst, firstMatchers, t)
 		})
+		if err != nil {
+			return classRows{}, err
+		}
 		mapping := make(map[int]map[int]kb.PropertyID, len(g.TableIDs))
 		for i, tid := range g.TableIDs {
 			mapping[tid] = perTable[i]
@@ -144,9 +160,9 @@ func (s *Suite) clusterRows(class kb.ClassID) ([]*cluster.Row, map[int]map[int]k
 		builder := &cluster.Builder{
 			KB: s.World.KB, Corpus: s.Corpus, Class: class, Mapping: mapping,
 		}
-		return classRows{rows: builder.Build(g.TableIDs), mapping: mapping}
+		return classRows{rows: builder.Build(g.TableIDs), mapping: mapping}, nil
 	})
-	return cr.rows, cr.mapping
+	return cr.rows, cr.mapping, err
 }
 
 // trainingPairs builds labeled row pairs from the training clusters.
@@ -258,7 +274,7 @@ func averageVectors(vs [][]float64, n int) []float64 {
 // AblationAggregation compares the three aggregation strategies on the full
 // metric set (§3.2: weighted average 0.81, random forest 0.82, combined
 // 0.83).
-func (s *Suite) AblationAggregation() *TextTable {
+func (s *Suite) AblationAggregation(ctx context.Context) (*TextTable, error) {
 	t := &TextTable{
 		Title:   "Ablation: clustering score aggregation strategies (F1)",
 		Headers: []string{"Aggregation", "F1"},
@@ -272,7 +288,10 @@ func (s *Suite) AblationAggregation() *TextTable {
 		for _, class := range kb.EvalClasses() {
 			g := s.Golds[class]
 			folds := s.Folds(class)
-			rows, _ := s.clusterRows(class)
+			rows, _, err := s.clusterRows(ctx, class)
+			if err != nil {
+				return nil, err
+			}
 			rowByRef := make(map[webtable.RowRef]*cluster.Row, len(rows))
 			for _, r := range rows {
 				rowByRef[r.Ref] = r
@@ -308,7 +327,7 @@ func (s *Suite) AblationAggregation() *TextTable {
 				if len(testRows) == 0 {
 					continue
 				}
-				cl := cluster.Cluster(testRows, scorer, s.clusterOptions())
+				cl := cluster.ClusterCtx(ctx, testRows, scorer, s.clusterOptions())
 				var produced [][]webtable.RowRef
 				for _, members := range cl.Clusters {
 					refs := make([]webtable.RowRef, len(members))
@@ -322,5 +341,5 @@ func (s *Suite) AblationAggregation() *TextTable {
 		}
 		t.Add(v.name, avg(f1s))
 	}
-	return t
+	return t, ctx.Err()
 }

@@ -1,6 +1,8 @@
 package report
 
 import (
+	"context"
+
 	"repro/internal/cluster"
 	"repro/internal/dtype"
 	"repro/internal/eval"
@@ -24,7 +26,7 @@ type Table8Row struct {
 // +IMPLICIT_ATT, +POPULARITY), learn the combined aggregator and
 // thresholds on the training folds' entities and classify the test-fold
 // entities, averaging accuracy and per-class F1 over classes and folds.
-func (s *Suite) Table8Data() []Table8Row {
+func (s *Suite) Table8Data(ctx context.Context) ([]Table8Row, error) {
 	names := []string{"LABEL", "+ TYPE", "+ BOW", "+ ATTRIBUTE", "+ IMPLICIT_ATT", "+ POPULARITY"}
 	nMetrics := len(names)
 	acc := make([][]float64, nMetrics)
@@ -35,7 +37,10 @@ func (s *Suite) Table8Data() []Table8Row {
 	for _, class := range kb.EvalClasses() {
 		g := s.Golds[class]
 		folds := s.Folds(class)
-		entities := s.goldEntities(class)
+		entities, err := s.goldEntities(ctx, class)
+		if err != nil {
+			return nil, err
+		}
 		for fold := range folds {
 			train, test := splitFolds(folds, fold)
 			var trainEx, testEx []newdet.Example
@@ -85,27 +90,34 @@ func (s *Suite) Table8Data() []Table8Row {
 			MI: mi[i],
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Table8 renders Table8Data.
-func (s *Suite) Table8() *TextTable {
+func (s *Suite) Table8(ctx context.Context) (*TextTable, error) {
 	t := &TextTable{
 		Title:   "Table 8: New detection ablation (averages over classes and folds)",
 		Headers: []string{"Run", "ACC", "F1-Existing", "F1-New", "MI"},
 	}
-	for _, r := range s.Table8Data() {
+	rows, err := s.Table8Data(ctx)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
 		t.Add(r.Run, r.ACC, r.F1Existing, r.F1New, r.MI)
 	}
-	return t
+	return t, nil
 }
 
 // goldEntities creates one entity per gold cluster (indexed by cluster ID)
 // using the first-iteration mapping — the §3.4 evaluation setting ("before
 // we run new detection on those clusters, we create entities from them").
-func (s *Suite) goldEntities(class kb.ClassID) map[int]*fusion.Entity {
+func (s *Suite) goldEntities(ctx context.Context, class kb.ClassID) (map[int]*fusion.Entity, error) {
 	g := s.Golds[class]
-	rows, mapping := s.clusterRows(class)
+	rows, mapping, err := s.clusterRows(ctx, class)
+	if err != nil {
+		return nil, err
+	}
 	rowByRef := make(map[webtable.RowRef]*cluster.Row, len(rows))
 	for _, r := range rows {
 		rowByRef[r.Ref] = r
@@ -127,5 +139,5 @@ func (s *Suite) goldEntities(class kb.ClassID) map[int]*fusion.Entity {
 		}
 		out[ci] = fusion.Create(src, members)
 	}
-	return out
+	return out, nil
 }

@@ -27,13 +27,17 @@ type Table9Row struct {
 // once with the gold clustering (GS) and once with the learned clustering
 // (ALL), both with the learned new detection (ALL), under 3-fold
 // cross-validation.
-func (s *Suite) Table9Data() []Table9Row {
+func (s *Suite) Table9Data(ctx context.Context) ([]Table9Row, error) {
 	var out []Table9Row
 	var avgP, avgR, avgF []float64
 	for _, class := range kb.EvalClasses() {
+		frs, err := s.foldRuns(ctx, class)
+		if err != nil {
+			return nil, err
+		}
 		for _, useGS := range []bool{true, false} {
 			var ps, rs, fs []float64
-			for _, fr := range s.foldRuns(class) {
+			for _, fr := range frs {
 				var prf eval.PRF
 				if useGS {
 					prf = eval.EvaluateNewInstancesFound(fr.testGold, fr.gsResults)
@@ -63,19 +67,23 @@ func (s *Suite) Table9Data() []Table9Row {
 		Class: "Average", Clustering: "ALL", NewDet: "ALL",
 		P: avg(avgP), R: avg(avgR), F1: avg(avgF),
 	})
-	return out
+	return out, nil
 }
 
 // Table9 renders Table9Data.
-func (s *Suite) Table9() *TextTable {
+func (s *Suite) Table9(ctx context.Context) (*TextTable, error) {
 	t := &TextTable{
 		Title:   "Table 9: New instances found evaluation",
 		Headers: []string{"Class", "Clust.", "New Det.", "P", "R", "F1"},
 	}
-	for _, r := range s.Table9Data() {
+	rows, err := s.Table9Data(ctx)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
 		t.Add(r.Class, r.Clustering, r.NewDet, r.P, r.R, r.F1)
 	}
-	return t
+	return t, nil
 }
 
 // Table10Row is one row of the facts-found evaluation.
@@ -92,16 +100,20 @@ type Table10Row struct {
 // three pipeline conditions — gold clustering + gold detection, gold
 // clustering + learned detection, learned clustering + learned detection —
 // each with the three fusion scoring methods.
-func (s *Suite) Table10Data() []Table10Row {
+func (s *Suite) Table10Data(ctx context.Context) ([]Table10Row, error) {
 	var out []Table10Row
 	scorings := []fusion.ScoringMethod{fusion.Voting, fusion.KBT, fusion.Matching}
 	avgF := make(map[fusion.ScoringMethod][]float64)
 	th := dtype.DefaultThresholds()
 	for _, class := range kb.EvalClasses() {
+		frs, err := s.foldRuns(ctx, class)
+		if err != nil {
+			return nil, err
+		}
 		type cond struct{ clust, det string }
 		for _, c := range []cond{{"GS", "GS"}, {"GS", "ALL"}, {"ALL", "ALL"}} {
 			f1s := make(map[fusion.ScoringMethod][]float64)
-			for _, fr := range s.foldRuns(class) {
+			for _, fr := range frs {
 				for _, scoring := range scorings {
 					entities, isNew := fr.factsInput(c.clust, c.det, scoring)
 					prf := eval.EvaluateFactsFound(fr.testGold, entities, isNew, th)
@@ -126,19 +138,23 @@ func (s *Suite) Table10Data() []Table10Row {
 		F1Voting: avg(avgF[fusion.Voting]), F1KBT: avg(avgF[fusion.KBT]),
 		F1Matching: avg(avgF[fusion.Matching]),
 	})
-	return out
+	return out, nil
 }
 
 // Table10 renders Table10Data.
-func (s *Suite) Table10() *TextTable {
+func (s *Suite) Table10(ctx context.Context) (*TextTable, error) {
 	t := &TextTable{
 		Title:   "Table 10: Facts found evaluation",
 		Headers: []string{"Class", "Clust.", "New Det.", "F1 VOTING", "F1 KBT", "F1 MATCHING"},
 	}
-	for _, r := range s.Table10Data() {
+	rows, err := s.Table10Data(ctx)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
 		t.Add(r.Class, r.Clustering, r.NewDet, r.F1Voting, r.F1KBT, r.F1Matching)
 	}
-	return t
+	return t, nil
 }
 
 // foldRun carries everything one CV fold needs for Tables 9 and 10.
@@ -167,33 +183,52 @@ type foldRun struct {
 // foldRuns trains per-fold models and materializes the fold's entities and
 // detections (cached per class). The three CV folds are independent and
 // train concurrently on the suite's worker pool.
-func (s *Suite) foldRuns(class kb.ClassID) []*foldRun {
-	return s.foldRunCache.Get(class, func() []*foldRun {
+func (s *Suite) foldRuns(ctx context.Context, class kb.ClassID) ([]*foldRun, error) {
+	return s.foldRunCache.Get(class, func() ([]*foldRun, error) {
 		g := s.Golds[class]
 		folds := s.Folds(class)
-		rows, _ := s.clusterRows(class)
+		rows, _, err := s.clusterRows(ctx, class)
+		if err != nil {
+			return nil, err
+		}
 		rowByRef := make(map[webtable.RowRef]*cluster.Row, len(rows))
 		for _, r := range rows {
 			rowByRef[r.Ref] = r
 		}
-		return par.Map(s.Workers, folds, func(fold int, _ []int) *foldRun {
-			return s.runFold(class, g, folds, fold, rowByRef)
-		})
+		out := make([]*foldRun, len(folds))
+		errs := make([]error, len(folds))
+		if err := par.ForEachCtx(ctx, s.Workers, len(folds), func(i int) {
+			out[i], errs[i] = s.runFold(ctx, class, g, folds, i, rowByRef)
+		}); err != nil {
+			return nil, err
+		}
+		for _, e := range errs {
+			if e != nil {
+				return nil, e
+			}
+		}
+		return out, nil
 	})
 }
 
 // runFold trains one CV fold's models and materializes its entities and
 // detections.
-func (s *Suite) runFold(class kb.ClassID, g *gold.Standard, folds [][]int, fold int, rowByRef map[webtable.RowRef]*cluster.Row) *foldRun {
+func (s *Suite) runFold(ctx context.Context, class kb.ClassID, g *gold.Standard, folds [][]int, fold int, rowByRef map[webtable.RowRef]*cluster.Row) (*foldRun, error) {
 	train, test := splitFolds(folds, fold)
-	models, _ := core.Train(context.Background(), s.Config(class), g, train)
+	models, err := core.Train(ctx, s.Config(class), g, train)
+	if err != nil {
+		return nil, err
+	}
 	fr := &foldRun{
 		suite: s, class: class,
 		testGold: g.Subset(test), testIdx: test, models: models,
 	}
 	// Final mapping for the fold: apply the second-iteration model
 	// with iteration outputs from a 1-iteration pipeline run.
-	out, _ := core.New(withIterations(s.Config(class), 2), models).Run(context.Background(), g.TableIDs)
+	out, err := core.New(withIterations(s.Config(class), 2), models).Run(ctx, g.TableIDs)
+	if err != nil {
+		return nil, err
+	}
 	fr.mapping = out.Mapping
 	fr.scores = out.MatchScores
 	fr.rowInst = out.RowInstance
@@ -232,7 +267,7 @@ func (s *Suite) runFold(class kb.ClassID, g *gold.Standard, folds [][]int, fold 
 			}
 		}
 	}
-	cl := cluster.Cluster(testRows, models.ClusterScorer, s.clusterOptions())
+	cl := cluster.ClusterCtx(ctx, testRows, models.ClusterScorer, s.clusterOptions())
 	fr.allClusters = cl.Clusters
 	fr.allEntities = fusion.CreateAll(src, cl)
 	fr.allDetect = make([]newdet.Result, len(fr.allEntities))
@@ -246,7 +281,7 @@ func (s *Suite) runFold(class kb.ClassID, g *gold.Standard, folds [][]int, fold 
 			Rows: refs, Result: fr.allDetect[i],
 		})
 	}
-	return fr
+	return fr, ctx.Err()
 }
 
 // factsInput assembles the entity list and is-new flags for one Table 10

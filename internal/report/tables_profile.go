@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dtype"
@@ -29,10 +30,13 @@ type Table11Row struct {
 // the full pipeline over every corpus table matched to a class. Where the
 // paper evaluates a stratified 50-entity sample manually, we evaluate all
 // returned entities against the world's generation provenance.
-func (s *Suite) Table11Data() []Table11Row {
+func (s *Suite) Table11Data(ctx context.Context) ([]Table11Row, error) {
 	var out []Table11Row
 	for _, class := range kb.EvalClasses() {
-		run := s.FullRun(class)
+		run, err := s.FullRun(ctx, class)
+		if err != nil {
+			return nil, err
+		}
 		row := Table11Row{Class: kb.ClassShortName(class)}
 		for _, tid := range run.TableIDs {
 			row.TotalRows += s.Corpus.Table(tid).NumRows()
@@ -63,24 +67,28 @@ func (s *Suite) Table11Data() []Table11Row {
 		row.FactAccuracy = s.newFactAccuracy(newEnts)
 		out = append(out, row)
 	}
-	return out
+	return out, nil
 }
 
 // Table11 renders Table11Data.
-func (s *Suite) Table11() *TextTable {
+func (s *Suite) Table11(ctx context.Context) (*TextTable, error) {
 	t := &TextTable{
 		Title: "Table 11: Large-scale profiling (full corpus run per class)",
 		Headers: []string{"Class", "Total Rows", "Existing", "Matched KB", "Ratio",
 			"New Entities", "New Facts", "N.Ent Acc", "N.Facts Acc"},
 	}
-	for _, r := range s.Table11Data() {
+	rows, err := s.Table11Data(ctx)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
 		t.Add(r.Class, r.TotalRows, r.ExistingEntities, r.MatchedInstances,
 			r.MatchingRatio,
 			fmt.Sprintf("%d (+%.0f%%)", r.NewEntities, 100*r.IncEntities),
 			fmt.Sprintf("%d (+%.0f%%)", r.NewFacts, 100*r.IncFacts),
 			r.EntityAccuracy, r.FactAccuracy)
 	}
-	return t
+	return t, nil
 }
 
 // worldEntityOf maps a produced entity back to the world entity the
@@ -143,13 +151,17 @@ func (s *Suite) newFactAccuracy(newEnts []*fusion.Entity) float64 {
 
 // Table12 reports the property densities of the new entities returned by
 // the full run (paper Table 12).
-func (s *Suite) Table12() *TextTable {
+func (s *Suite) Table12(ctx context.Context) (*TextTable, error) {
 	t := &TextTable{
 		Title:   "Table 12: Property densities for new entities (full run)",
 		Headers: []string{"Class", "Property", "Facts", "Density"},
 	}
 	for _, class := range kb.EvalClasses() {
-		newEnts := s.FullRun(class).NewEntities()
+		run, err := s.FullRun(ctx, class)
+		if err != nil {
+			return nil, err
+		}
+		newEnts := run.NewEntities()
 		counts := make(map[kb.PropertyID]int)
 		for _, e := range newEnts {
 			for pid := range e.Facts {
@@ -164,16 +176,19 @@ func (s *Suite) Table12() *TextTable {
 			t.Add(kb.ClassShortName(class), string(prop.ID), counts[prop.ID], pct(density))
 		}
 	}
-	return t
+	return t, nil
 }
 
 // RankedData computes the §6 set-expansion comparison: entities returned
 // as new are ranked by their distance to the closest existing instance and
 // scored with MAP@256, P@5, and P@20, averaged over the classes.
-func (s *Suite) RankedData() eval.RankedScores {
+func (s *Suite) RankedData(ctx context.Context) (eval.RankedScores, error) {
 	var maps, p5s, p20s []float64
 	for _, class := range kb.EvalClasses() {
-		run := s.GoldRun(class)
+		run, err := s.GoldRun(ctx, class)
+		if err != nil {
+			return eval.RankedScores{}, err
+		}
 		results := entityResults(run)
 		correct := make([]bool, len(run.Entities))
 		for i, e := range run.Entities {
@@ -185,16 +200,19 @@ func (s *Suite) RankedData() eval.RankedScores {
 		p5s = append(p5s, rs.P5)
 		p20s = append(p20s, rs.P20)
 	}
-	return eval.RankedScores{MAP: avg(maps), P5: avg(p5s), P20: avg(p20s), CutK: 256}
+	return eval.RankedScores{MAP: avg(maps), P5: avg(p5s), P20: avg(p20s), CutK: 256}, nil
 }
 
 // Table13 renders the ranked evaluation.
-func (s *Suite) Table13() *TextTable {
-	rs := s.RankedData()
+func (s *Suite) Table13(ctx context.Context) (*TextTable, error) {
+	rs, err := s.RankedData(ctx)
+	if err != nil {
+		return nil, err
+	}
 	t := &TextTable{
 		Title:   "Ranked evaluation (§6 set expansion comparison, cut-off 256)",
 		Headers: []string{"MAP@256", "P@5", "P@20"},
 	}
 	t.Add(rs.MAP, rs.P5, rs.P20)
-	return t
+	return t, nil
 }

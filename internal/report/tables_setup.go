@@ -1,12 +1,14 @@
 package report
 
 import (
+	"context"
+
 	"repro/internal/kb"
 )
 
 // Table1 reports the number of instances and facts per class (paper
 // Table 1).
-func (s *Suite) Table1() *TextTable {
+func (s *Suite) Table1(ctx context.Context) (*TextTable, error) {
 	t := &TextTable{
 		Title:   "Table 1: Number of instances and facts for selected classes",
 		Headers: []string{"Class", "Instances", "Facts"},
@@ -15,12 +17,12 @@ func (s *Suite) Table1() *TextTable {
 		p := s.World.KB.ProfileClass(class)
 		t.Add(kb.ClassShortName(class), p.Instances, p.Facts)
 	}
-	return t
+	return t, nil
 }
 
 // Table2 reports the per-property fact counts and densities (paper
 // Table 2).
-func (s *Suite) Table2() *TextTable {
+func (s *Suite) Table2(ctx context.Context) (*TextTable, error) {
 	t := &TextTable{
 		Title:   "Table 2: Number of facts and property densities",
 		Headers: []string{"Class", "Property", "Facts", "Density"},
@@ -30,11 +32,11 @@ func (s *Suite) Table2() *TextTable {
 			t.Add(kb.ClassShortName(class), string(p.Property), p.Facts, pct(p.Density))
 		}
 	}
-	return t
+	return t, nil
 }
 
 // Table3 reports the corpus characteristics (paper Table 3).
-func (s *Suite) Table3() *TextTable {
+func (s *Suite) Table3(ctx context.Context) (*TextTable, error) {
 	st := s.Corpus.Stats()
 	t := &TextTable{
 		Title:   "Table 3: Characteristics of the web table corpus",
@@ -42,20 +44,26 @@ func (s *Suite) Table3() *TextTable {
 	}
 	t.Add("Rows", st.RowsAvg, st.RowsMedian, st.RowsMin, st.RowsMax)
 	t.Add("Columns", st.ColsAvg, st.ColsMedian, st.ColsMin, st.ColsMax)
-	return t
+	return t, nil
 }
 
 // Table4 reports, per class, the number of matched tables and the matched
 // and unmatched value counts (paper Table 4). A value is "matched" when its
 // row was matched to an existing KB instance and its column to a property.
-func (s *Suite) Table4() *TextTable {
+func (s *Suite) Table4(ctx context.Context) (*TextTable, error) {
 	t := &TextTable{
 		Title:   "Table 4: Tables and value correspondences per class",
 		Headers: []string{"Class", "Tables", "VMatched", "VUnmatched"},
 	}
-	byClass := s.TablesByClass()
+	byClass, err := s.TablesByClass(ctx)
+	if err != nil {
+		return nil, err
+	}
 	for _, class := range kb.EvalClasses() {
-		out := s.FullRun(class)
+		out, err := s.FullRun(ctx, class)
+		if err != nil {
+			return nil, err
+		}
 		matched, unmatched := 0, 0
 		for _, tid := range out.TableIDs {
 			tbl := s.Corpus.Table(tid)
@@ -77,11 +85,11 @@ func (s *Suite) Table4() *TextTable {
 		}
 		t.Add(kb.ClassShortName(class), len(byClass[class]), matched, unmatched)
 	}
-	return t
+	return t, nil
 }
 
 // Table5 reports the gold standard overview (paper Table 5).
-func (s *Suite) Table5() *TextTable {
+func (s *Suite) Table5(ctx context.Context) (*TextTable, error) {
 	t := &TextTable{
 		Title: "Table 5: Overview of the gold standard",
 		Headers: []string{"Class", "Tables", "Attributes", "Rows",
@@ -93,5 +101,5 @@ func (s *Suite) Table5() *TextTable {
 			st.ExistingClusters, st.NewClusters, st.MatchedValues,
 			st.ValueGroups, st.CorrectValuePresent)
 	}
-	return t
+	return t, nil
 }

@@ -266,6 +266,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // writer loop to exit. Safe to call more than once. Shutdown is the
 // deadline-bounded form.
 func (s *Server) Close() {
+	//lteelint:ignore ctxflow Close is the undeadlined form; Shutdown accepts the caller's context
 	s.Shutdown(context.Background())
 }
 

@@ -1,12 +1,22 @@
 package strsim
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 )
+
+// cosineKeys recycles the sorted-key scratch of Cosine so the determinism
+// fix stays allocation-free on the BOW kernel path.
+var cosineKeys = sync.Pool{New: func() any { return new([]string) }}
 
 // Cosine returns the cosine similarity of two sparse vectors. Empty vectors
 // have similarity 0 unless both are empty, in which case it is 1.
+//
+// Accumulation runs over sorted keys: float addition is not associative,
+// so summing in map iteration order makes the low bits differ run to run
+// (CosineSparse, the hot-path form, is sorted by construction).
 func Cosine(a, b map[string]float64) float64 {
 	if len(a) == 0 && len(b) == 0 {
 		return 1
@@ -18,24 +28,36 @@ func Cosine(a, b map[string]float64) float64 {
 	if len(b) < len(a) {
 		a, b = b, a
 	}
-	var dot float64
-	for k, va := range a {
+	kp := cosineKeys.Get().(*[]string)
+	defer cosineKeys.Put(kp)
+	keys := (*kp)[:0]
+	for k := range a {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	var dot, na float64
+	for _, k := range keys {
+		va := a[k]
+		na += va * va
 		if vb, ok := b[k]; ok {
 			dot += va * vb
 		}
 	}
+	keys = keys[:0]
+	for k := range b {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	var nb float64
+	for _, k := range keys {
+		vb := b[k]
+		nb += vb * vb
+	}
+	*kp = keys
 	if dot == 0 {
 		return 0
 	}
-	return dot / (norm(a) * norm(b))
-}
-
-func norm(v map[string]float64) float64 {
-	var s float64
-	for _, x := range v {
-		s += x * x
-	}
-	return math.Sqrt(s)
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
 }
 
 // Jaccard returns the Jaccard similarity of two token sets.
@@ -101,7 +123,7 @@ func ToSparse(m map[string]float64) SparseVec {
 	for k, v := range m {
 		elems = append(elems, KV{K: k, V: v})
 	}
-	sort.Slice(elems, func(i, j int) bool { return elems[i].K < elems[j].K })
+	slices.SortFunc(elems, func(a, b KV) int { return cmp.Compare(a.K, b.K) })
 	return SparseVec{Elems: elems, norm: normElems(elems)}
 }
 

@@ -7,9 +7,9 @@
 // A Suite is the quickest route to a fully wired system:
 //
 //	s := scenario.NewSuite(scenario.Options{WorldScale: 0.25, CorpusScale: 0.15, Seed: 42})
-//	out := s.FullRun(kb.ClassGFPlayer)         // trained models, whole corpus
-//	models := s.ModelsFor(kb.ClassSong)        // feed ltee.WithModels
-//	tables := s.TablesByClass()[kb.ClassSong]  // feed Engine.Ingest
+//	out, err := s.FullRun(ctx, kb.ClassGFPlayer)   // trained models, whole corpus
+//	models, err := s.ModelsFor(ctx, kb.ClassSong)  // feed ltee.WithModels
+//	byClass, err := s.TablesByClass(ctx)           // feed Engine.Ingest
 //
 // Every identifier is a re-export of the internal implementation; the
 // types are identical, so Suite outputs flow directly into the ltee
