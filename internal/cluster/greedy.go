@@ -85,9 +85,57 @@ type clusterer struct {
 	// blockIndex maps a block label to the set of cluster IDs whose rows
 	// carry that block.
 	blockIndex map[string]map[int]bool
+	// ver holds a membership version per cluster (parallel to clusters),
+	// bumped through verTick on every row addition or removal, so equal
+	// versions always mean identical membership. KLj's no-op memos key on
+	// these versions; see klj.go for the exactness argument.
+	ver     []uint64
+	verTick uint64
+	// pairNoop records the member versions at a cluster pair's last fully
+	// no-op KLj evaluation; while both versions stand, re-evaluating the
+	// pair would provably repeat the no-op and is skipped.
+	pairNoop map[[2]int][2]uint64
+	// splitNoop records the version at a cluster's last no-op split pass.
+	splitNoop map[int]uint64
+	// pairCache memoizes directed row-pair scores for the duration of one
+	// klj call (rows and their vectors are immutable within an Add). The
+	// refinement re-reads the same products many times — a cluster's
+	// internal attachment sums are recomputed against every block
+	// neighbor, and a failed merge's cross products are immediately
+	// re-read by the move pass — so caching turns the dominant refinement
+	// cost from pairs×rereads into distinct pairs.
+	pairCache map[[2]*Row]float64
+	// moved is set by any KLj mutation (merge, move, split) since the last
+	// compact. Greedy additions keep the block bookkeeping exact
+	// incrementally and never empty a cluster, so compact is skipped while
+	// moved is unset.
+	moved bool
+	// lastKljVer snapshots each cluster's version as of its last completed
+	// KLj enumeration round (parallel to clusters; missing tail entries
+	// mean "never enumerated"). candidatePairs only walks the blocks of
+	// clusters whose version moved past this snapshot — every pair of two
+	// unmoved clusters provably carries a valid pairNoop verdict (see
+	// candidatePairs), so enumerating it would only re-skip it.
+	lastKljVer []uint64
+	// tableGen counts Add batches. Table-level row state (TableVec) may be
+	// rewritten between Adds by the engine's PHI refresh, so per-worker
+	// tablePairMemos are stamped with the generation they were filled under
+	// and cleared when it moves on.
+	tableGen uint64
+	// tableMemo is the serial KLj pass's table-pair metric memo, fresh per
+	// klj call (the parallel greedy pass uses per-scratch memos instead).
+	tableMemo *tablePairMemo
 	// scratch recycles the candidate-gathering state of bestCluster
 	// across rows and worker goroutines.
 	scratch sync.Pool
+}
+
+// bump marks cluster ci's membership as changed. Versions are draws from a
+// shared monotonic counter, never reused, so a stored version can only
+// match a cluster whose membership is unchanged since it was stored.
+func (c *clusterer) bump(ci int) {
+	c.verTick++
+	c.ver[ci] = c.verTick
 }
 
 // bestScratch is the per-call working state of bestCluster: a visited set
@@ -97,6 +145,11 @@ type clusterer struct {
 type bestScratch struct {
 	seen map[int]bool
 	cand []int
+	// memo caches table-level metric outputs for this worker; valid for
+	// the Add generation stamped in memoGen (TableVec may be rewritten
+	// between Adds).
+	memo    *tablePairMemo
+	memoGen uint64
 }
 
 // greedy sequentially applies batches; scores within a batch are computed
@@ -141,12 +194,23 @@ func (c *clusterer) greedy(ctx context.Context, rows []*Row) error {
 // Candidates are visited in ascending cluster ID so that score ties resolve
 // deterministically (map iteration order must not leak into the result).
 func (c *clusterer) bestCluster(row *Row) (int, float64) {
+	sc, _ := c.scratch.Get().(*bestScratch)
+	if sc == nil {
+		sc = &bestScratch{seen: make(map[int]bool, 64)}
+	}
+	if sc.memo == nil {
+		sc.memo = newTablePairMemo(c.scorer)
+		sc.memoGen = c.tableGen
+	} else if sc.memoGen != c.tableGen {
+		sc.memo.Reset()
+		sc.memoGen = c.tableGen
+	}
 	best, bestScore := -1, 0.0
 	score := func(ci int) {
 		cl := c.clusters[ci]
 		var sum float64
 		for _, other := range cl.rows {
-			sum += c.scorer.Pair(row, other)
+			sum += c.scorer.pairMemo(row, other, sc.memo)
 		}
 		if sum > bestScore {
 			best, bestScore = ci, sum
@@ -158,11 +222,8 @@ func (c *clusterer) bestCluster(row *Row) (int, float64) {
 		for ci := range c.clusters {
 			score(ci)
 		}
+		c.scratch.Put(sc)
 		return best, bestScore
-	}
-	sc, _ := c.scratch.Get().(*bestScratch)
-	if sc == nil {
-		sc = &bestScratch{seen: make(map[int]bool, 64)}
 	}
 	cand := sc.cand[:0]
 	for _, b := range row.Blocks {
@@ -187,12 +248,15 @@ func (c *clusterer) newCluster(row *Row) int {
 	ci := len(c.clusters)
 	cl := &clusterState{rows: []*Row{row}, blocks: make(map[string]bool)}
 	c.clusters = append(c.clusters, cl)
+	c.ver = append(c.ver, 0)
+	c.bump(ci)
 	c.indexBlocks(ci, row)
 	return ci
 }
 
 func (c *clusterer) addToCluster(ci int, row *Row) {
 	c.clusters[ci].rows = append(c.clusters[ci].rows, row)
+	c.bump(ci)
 	c.indexBlocks(ci, row)
 }
 

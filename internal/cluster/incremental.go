@@ -37,6 +37,8 @@ func NewIncremental(scorer *Scorer, opts Options) *Incremental {
 		scorer:     scorer,
 		opts:       opts,
 		blockIndex: make(map[string]map[int]bool),
+		pairNoop:   make(map[[2]int][2]uint64),
+		splitNoop:  make(map[int]uint64),
 	}}
 }
 
@@ -53,6 +55,9 @@ func (inc *Incremental) Add(ctx context.Context, rows []*Row) error {
 	if len(rows) == 0 {
 		return nil
 	}
+	// New batch: table-level row state (TableVec) may have been refreshed
+	// since the last Add, so per-worker table-pair memos must restart.
+	inc.c.tableGen++
 	if err := inc.c.greedy(ctx, rows); err != nil {
 		return err
 	}
@@ -81,6 +86,19 @@ func (inc *Incremental) Clone() *Incremental {
 		opts:       src.opts,
 		clusters:   make([]*clusterState, len(src.clusters)),
 		blockIndex: make(map[string]map[int]bool, len(src.blockIndex)),
+		ver:        append([]uint64(nil), src.ver...),
+		verTick:    src.verTick,
+		pairNoop:   make(map[[2]int][2]uint64, len(src.pairNoop)),
+		splitNoop:  make(map[int]uint64, len(src.splitNoop)),
+		moved:      src.moved,
+		lastKljVer: append([]uint64(nil), src.lastKljVer...),
+		tableGen:   src.tableGen,
+	}
+	for p, v := range src.pairNoop {
+		dst.pairNoop[p] = v
+	}
+	for ci, v := range src.splitNoop {
+		dst.splitNoop[ci] = v
 	}
 	for i, cl := range src.clusters {
 		nc := &clusterState{

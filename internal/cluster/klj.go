@@ -14,7 +14,33 @@ import (
 // improves the fitness or MaxKLjRounds is reached. Cancellation is checked
 // once per round; between rounds the state is a valid (just unrefined)
 // clustering.
+//
+// Evaluations are memoized on cluster membership versions: a pair (or a
+// split candidate) whose last evaluation was a complete no-op is skipped
+// while both members' versions are unchanged. Skipping is exact whenever
+// row similarities are stable across evaluations — an evaluation's outcome
+// depends only on the member rows, the checks happen at the pair's position
+// in the same deterministic order the unmemoized pass would use, and a
+// skipped no-op has no side effects, so the mutation sequence is identical.
+// The memos persist across Add batches; there they additionally trust
+// no-op verdicts recorded under an earlier PHI model refresh (which
+// rewrites row vectors in place and so may drift pair scores of clusters no
+// batch touched). That is the intended incremental tradeoff: refinement
+// work stays proportional to the batch's neighborhood instead of rescanning
+// all retained state each epoch, and a drifted region is re-examined as
+// soon as any operation touches one of its clusters.
 func (c *clusterer) klj(ctx context.Context) error {
+	if c.pairNoop == nil {
+		c.pairNoop = make(map[[2]int][2]uint64)
+	}
+	if c.splitNoop == nil {
+		c.splitNoop = make(map[int]uint64)
+	}
+	// Fresh per-call caches: row vectors may be rewritten between Adds
+	// (the engine's PHI refresh), so cached scores must not outlive the call.
+	c.pairCache = make(map[[2]*Row]float64)
+	c.tableMemo = newTablePairMemo(c.scorer)
+	defer func() { c.pairCache, c.tableMemo = nil, nil }()
 	for round := 0; round < c.opts.MaxKLjRounds; round++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -23,30 +49,58 @@ func (c *clusterer) klj(ctx context.Context) error {
 		// Candidate cluster pairs: sharing a block (or all pairs when
 		// blocking is off).
 		pairs := c.candidatePairs()
+		// Snapshot the versions as of this enumeration; committed only
+		// after the round completes, so a cancelled round leaves its
+		// clusters dirty and the next call re-enumerates their pairs.
+		versnap := append([]uint64(nil), c.ver...)
 		for _, p := range pairs {
 			a, b := c.clusters[p[0]], c.clusters[p[1]]
 			if len(a.rows) == 0 || len(b.rows) == 0 {
 				continue
 			}
-			if c.tryMerge(p[0], p[1]) {
-				improved = true
+			cur := [2]uint64{c.ver[p[0]], c.ver[p[1]]}
+			if c.pairNoop[p] == cur {
 				continue
 			}
-			if c.tryMoves(p[0], p[1]) {
-				improved = true
+			acted := false
+			if c.tryMerge(p[0], p[1]) {
+				improved, acted = true, true
+			} else {
+				if c.tryMoves(p[0], p[1]) {
+					improved, acted = true, true
+				}
+				if c.tryMoves(p[1], p[0]) {
+					improved, acted = true, true
+				}
 			}
-			if c.tryMoves(p[1], p[0]) {
-				improved = true
+			if acted {
+				delete(c.pairNoop, p)
+			} else {
+				c.pairNoop[p] = cur
 			}
 		}
 		// Split pass: moving a row out to a singleton improves fitness
 		// when its summed similarity to the rest of its cluster is
-		// negative.
+		// negative. Singletons created during the pass are not revisited
+		// until the next round (the range length is captured on entry).
 		for ci := range c.clusters {
+			if len(c.clusters[ci].rows) < 2 {
+				continue
+			}
+			if c.splitNoop[ci] == c.ver[ci] {
+				continue
+			}
 			if c.trySplit(ci) {
 				improved = true
+				delete(c.splitNoop, ci)
+			} else {
+				c.splitNoop[ci] = c.ver[ci]
 			}
 		}
+		// The round completed: clusters enumerated this round are clean as
+		// of the snapshot (mutations during the round bumped them past it,
+		// so they stay dirty for the next enumeration).
+		c.lastKljVer = versnap
 		if !improved {
 			return nil
 		}
@@ -54,34 +108,50 @@ func (c *clusterer) klj(ctx context.Context) error {
 	return nil
 }
 
-// candidatePairs enumerates cluster ID pairs that share at least one block,
-// in a deterministic order (KLj operations are order-sensitive, so map
-// iteration order must not leak into the refinement).
+// candidatePairs enumerates cluster ID pairs that share at least one block
+// (all pairs when blocking is off) and have at least one member whose
+// version moved since the last completed enumeration round, in a
+// deterministic order (KLj operations are order-sensitive, so map iteration
+// order must not leak into the refinement).
+//
+// Restricting to pairs with a moved member is exact: a pair of two unmoved
+// clusters was enumerated in the round lastKljVer snapshots (their block
+// sets are part of the versioned membership, so sharing a block now means
+// they shared it then), and that evaluation either acted — bumping a member
+// past the snapshot, contradiction — or recorded a pairNoop verdict at
+// versions that still stand, which the pair loop would skip anyway.
 func (c *clusterer) candidatePairs() [][2]int {
 	seen := make(map[[2]int]bool)
 	var out [][2]int
-	if !c.opts.Blocking {
-		for i := range c.clusters {
-			for j := i + 1; j < len(c.clusters); j++ {
-				out = append(out, [2]int{i, j})
-			}
+	add := func(a, b int) {
+		if a > b {
+			a, b = b, a
 		}
-		return out
+		key := [2]int{a, b}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, key)
+		}
 	}
-	for _, members := range c.blockIndex {
-		ids := make([]int, 0, len(members))
-		for ci := range members {
-			if len(c.clusters[ci].rows) > 0 {
-				ids = append(ids, ci)
-			}
+	for ci := range c.clusters {
+		if ci < len(c.lastKljVer) && c.ver[ci] == c.lastKljVer[ci] {
+			continue // unmoved since the last completed round
 		}
-		sort.Ints(ids)
-		for i := 0; i < len(ids); i++ {
-			for j := i + 1; j < len(ids); j++ {
-				key := [2]int{ids[i], ids[j]}
-				if !seen[key] {
-					seen[key] = true
-					out = append(out, key)
+		if len(c.clusters[ci].rows) == 0 {
+			continue
+		}
+		if !c.opts.Blocking {
+			for cj := range c.clusters {
+				if cj != ci && len(c.clusters[cj].rows) > 0 {
+					add(ci, cj)
+				}
+			}
+			continue
+		}
+		for b := range c.clusters[ci].blocks {
+			for cj := range c.blockIndex[b] {
+				if cj != ci && len(c.clusters[cj].rows) > 0 {
+					add(ci, cj)
 				}
 			}
 		}
@@ -102,7 +172,7 @@ func (c *clusterer) tryMerge(ai, bi int) bool {
 	var delta float64
 	for _, ra := range a.rows {
 		for _, rb := range b.rows {
-			delta += c.scorer.Pair(ra, rb)
+			delta += c.pairScore(ra, rb)
 		}
 	}
 	if delta <= 0 {
@@ -112,6 +182,8 @@ func (c *clusterer) tryMerge(ai, bi int) bool {
 		c.addToCluster(ai, rb)
 	}
 	b.rows = nil
+	c.bump(bi)
+	c.moved = true
 	return true
 }
 
@@ -125,11 +197,11 @@ func (c *clusterer) tryMoves(srci, dsti int) bool {
 		var toSrc, toDst float64
 		for _, other := range src.rows {
 			if other != row {
-				toSrc += c.scorer.Pair(row, other)
+				toSrc += c.pairScore(row, other)
 			}
 		}
 		for _, other := range dst.rows {
-			toDst += c.scorer.Pair(row, other)
+			toDst += c.pairScore(row, other)
 		}
 		if toDst > toSrc && toDst > 0 {
 			src.rows = append(src.rows[:i], src.rows[i+1:]...)
@@ -137,6 +209,10 @@ func (c *clusterer) tryMoves(srci, dsti int) bool {
 			c.addToCluster(dsti, row)
 			moved = true
 		}
+	}
+	if moved {
+		c.bump(srci)
+		c.moved = true
 	}
 	return moved
 }
@@ -154,7 +230,7 @@ func (c *clusterer) trySplit(ci int) bool {
 		var sum float64
 		for _, other := range cl.rows {
 			if other != row {
-				sum += c.scorer.Pair(row, other)
+				sum += c.pairScore(row, other)
 			}
 		}
 		if sum < 0 {
@@ -164,5 +240,22 @@ func (c *clusterer) trySplit(ci int) bool {
 			split = true
 		}
 	}
+	if split {
+		c.bump(ci)
+		c.moved = true
+	}
 	return split
+}
+
+// pairScore is Scorer.Pair through the per-call caches; identical floats,
+// each distinct directed pair computed at most once per klj call and
+// table-level metric outputs computed once per table pair.
+func (c *clusterer) pairScore(ra, rb *Row) float64 {
+	k := [2]*Row{ra, rb}
+	if v, ok := c.pairCache[k]; ok {
+		return v
+	}
+	v := c.scorer.pairMemo(ra, rb, c.tableMemo)
+	c.pairCache[k] = v
+	return v
 }

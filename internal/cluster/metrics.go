@@ -72,6 +72,10 @@ type phiMetric struct{}
 
 func (phiMetric) Name() string { return "PHI" }
 
+// TableLevel marks PHI as memoizable per table pair: Compare reads only
+// the rows' TableVec, which all rows of a table share.
+func (phiMetric) TableLevel() {}
+
 func (phiMetric) Compare(a, b *Row) (float64, float64) {
 	if a.TableVec.Len() == 0 || b.TableVec.Len() == 0 {
 		return 0, 0

@@ -1,9 +1,24 @@
 package cluster
 
 import (
+	"sync/atomic"
+
 	"repro/internal/index"
+	"repro/internal/lsh"
+	"repro/internal/par"
 	"repro/internal/strsim"
 )
+
+// scanBlocking, when set, forces block assignment onto the reference
+// full-index TF-IDF search instead of LSH retrieval plus exact re-ranking.
+// It mirrors index.SetScanFuzzy: a benchmark and equivalence-test knob that
+// lets recall be verified against the reference rather than assumed;
+// production code never sets it.
+var scanBlocking atomic.Bool
+
+// SetScanBlocking toggles the reference blocking path. Benchmark and test
+// knob only.
+func SetScanBlocking(v bool) { scanBlocking.Store(v) }
 
 // BlockIndex assigns label blocks to rows. It persists across Build calls:
 // the incremental ingestion engine keeps one per class so a batch's rows
@@ -11,17 +26,31 @@ import (
 // variant arriving later still lands in the block of the original label
 // and gets compared with its retained cluster. A fresh BlockIndex used for
 // a single Build reproduces the one-shot blocking exactly.
+//
+// Retrieval runs in two stages: the LSH index plus a bounded rare-token
+// posting walk propose a candidate set in near-constant time (see
+// internal/lsh, "Hybrid retrieval"), and the inverted index re-scores
+// exactly those candidates with the same TF-IDF floats the reference
+// search computes, so the top-k blocks are identical to the reference
+// whenever the candidates cover its top hits (the recall-equivalence
+// tests in internal/core assert they do).
 type BlockIndex struct {
 	ix       *index.Index
+	cand     *lsh.Index
 	labelDoc map[string]int
 	// labels lists the normalized labels in doc-ID order, so Clone can
-	// rebuild an identical index deterministically.
+	// rebuild an identical index deterministically and the LSH path can
+	// map scored docs back to block labels without a lock.
 	labels []string
 }
 
 // NewBlockIndex returns an empty block index.
 func NewBlockIndex() *BlockIndex {
-	return &BlockIndex{ix: index.New(), labelDoc: make(map[string]int)}
+	return &BlockIndex{
+		ix:       index.New(),
+		cand:     lsh.NewIndex(lsh.DefaultParams()),
+		labelDoc: make(map[string]int),
+	}
 }
 
 // Assign indexes the rows' labels (skipping those already present) and
@@ -35,6 +64,7 @@ func (bi *BlockIndex) Assign(rows []*Row, k int) {
 			bi.labelDoc[r.NormLabel] = doc
 			bi.labels = append(bi.labels, r.NormLabel)
 			bi.ix.Add(doc, r.NormLabel)
+			bi.cand.Add(doc, r.NormLabel)
 		}
 	}
 	// The result cache lives per call: a later Assign sees more labels and
@@ -45,7 +75,7 @@ func (bi *BlockIndex) Assign(rows []*Row, k int) {
 			r.Blocks = blocks
 			continue
 		}
-		blocks := bi.ix.SearchLabels(r.NormLabel, k)
+		blocks := bi.topLabels(r.NormLabel, k)
 		found := false
 		for _, bl := range blocks {
 			if bl == r.NormLabel {
@@ -61,15 +91,62 @@ func (bi *BlockIndex) Assign(rows []*Row, k int) {
 	}
 }
 
+// blockScoreFloor drops block labels scoring below this fraction of the
+// query's best hit. TF-IDF scores are length-normalized, so the ratio
+// separates informative blocks from incidental ones: a fuzzy variant or a
+// two-token homonym sharing a name token keeps roughly half the query's
+// own score, while a longer label sharing one common token keeps a
+// quarter or less. Without the floor, top-k always returns k blocks once
+// the corpus is large enough, and every such weak block becomes a
+// cluster-pair edge the KLj refinement must evaluate — per-epoch
+// refinement cost then grows with the label corpus instead of the batch's
+// true neighborhood.
+const blockScoreFloor = 0.35
+
+// topLabels returns the distinct labels of the top-k scored documents for
+// the query, through LSH retrieval plus exact re-ranking — or through the
+// reference full search when SetScanBlocking is forced. Both paths apply
+// blockScoreFloor to the same exact scores, so they stay float-identical
+// whenever the LSH candidates cover the reference's top hits.
+func (bi *BlockIndex) topLabels(norm string, k int) []string {
+	var hits []index.Hit
+	if scanBlocking.Load() {
+		hits = bi.ix.Search(norm, k)
+	} else {
+		docs := bi.cand.AppendQuery(nil, norm)
+		docs = bi.ix.AppendRareDocs(docs, norm, index.DefaultRareCap)
+		hits = bi.ix.ScoreDocs(norm, index.SortDedupDocs(docs))
+		if len(hits) > k {
+			hits = hits[:k]
+		}
+	}
+	var out []string
+	for _, h := range hits {
+		if h.Score < hits[0].Score*blockScoreFloor {
+			break // hits are sorted by score; everything after is weaker
+		}
+		// Each doc carries exactly one label here, so top-k docs map to
+		// (at most) k distinct labels with no dedup needed.
+		out = append(out, bi.labels[h.Doc])
+	}
+	return out
+}
+
 // Clone returns an independent copy (engine forks must not cross-pollinate
 // each other's label universes).
 func (bi *BlockIndex) Clone() *BlockIndex {
-	nc := NewBlockIndex()
+	nc := &BlockIndex{
+		ix:       index.New(),
+		cand:     bi.cand.Clone(),
+		labelDoc: make(map[string]int, len(bi.labelDoc)),
+	}
+	entries := make([]index.Entry, len(bi.labels))
 	for doc, l := range bi.labels {
 		nc.labelDoc[l] = doc
-		nc.labels = append(nc.labels, l)
-		nc.ix.Add(doc, l)
+		entries[doc] = index.Entry{Doc: doc, Label: l}
 	}
+	nc.labels = append(nc.labels, bi.labels...)
+	nc.ix.AddBatch(entries, par.DefaultWorkers())
 	return nc
 }
 
@@ -105,6 +182,17 @@ func (pm *PhiModel) Clone() *PhiModel {
 		}
 		nc.labelTables[l] = set
 	}
+	for id, ms := range pm.m.members {
+		nc.members[id] = append([]string(nil), ms...)
+	}
+	for x, ys := range pm.m.cooc {
+		m := make(map[string]int, len(ys))
+		for y, cnt := range ys {
+			m[y] = cnt
+		}
+		nc.cooc[x] = m
+	}
+	nc.coocStale = pm.m.coocStale
 	return &PhiModel{m: nc}
 }
 
@@ -134,14 +222,44 @@ func assignVectors(phi *phiModel, rows []*Row) {
 // block bookkeeping from live membership, so a long-lived incremental
 // clusterer's state tracks its live rows instead of its whole history.
 // Relative cluster order is preserved, keeping ID-ordered tie-breaks and
-// the materialized Result identical to the uncompacted state.
+// the materialized Result identical to the uncompacted state. The no-op
+// memos are carried across with their keys remapped to the compacted IDs
+// (remapping is monotonic, so pair key ordering is preserved).
+//
+// It is a no-op while no KLj mutation happened since the last compact:
+// greedy additions never empty a cluster and extend the block bookkeeping
+// incrementally, so there is nothing to rebuild.
 func (c *clusterer) compact() {
-	live := c.clusters[:0]
-	for _, cl := range c.clusters {
+	if !c.moved {
+		return
+	}
+	c.moved = false
+	remap := make([]int, len(c.clusters))
+	n := 0
+	for ci, cl := range c.clusters {
 		if len(cl.rows) == 0 {
+			remap[ci] = -1
+			continue
+		}
+		remap[ci] = n
+		n++
+	}
+	live := c.clusters[:0]
+	liveVer := c.ver[:0]
+	liveLast := make([]uint64, 0, len(c.clusters))
+	for ci, cl := range c.clusters {
+		if remap[ci] < 0 {
 			continue
 		}
 		live = append(live, cl)
+		liveVer = append(liveVer, c.ver[ci])
+		// 0 never matches a real version (verTick starts at 1), so
+		// clusters without a snapshot stay dirty after the remap.
+		if ci < len(c.lastKljVer) {
+			liveLast = append(liveLast, c.lastKljVer[ci])
+		} else {
+			liveLast = append(liveLast, 0)
+		}
 	}
 	// Trim the tail so dropped clusterStates are not retained by the
 	// backing array.
@@ -150,6 +268,24 @@ func (c *clusterer) compact() {
 		tail[i] = nil
 	}
 	c.clusters = live
+	c.ver = liveVer
+	c.lastKljVer = liveLast
+	pairNoop := make(map[[2]int][2]uint64, len(c.pairNoop))
+	for p, v := range c.pairNoop {
+		a, b := remap[p[0]], remap[p[1]]
+		if a < 0 || b < 0 {
+			continue
+		}
+		pairNoop[[2]int{a, b}] = v
+	}
+	c.pairNoop = pairNoop
+	splitNoop := make(map[int]uint64, len(c.splitNoop))
+	for ci, v := range c.splitNoop {
+		if remap[ci] >= 0 {
+			splitNoop[remap[ci]] = v
+		}
+	}
+	c.splitNoop = splitNoop
 	c.blockIndex = make(map[string]map[int]bool, len(c.blockIndex))
 	for ci, cl := range c.clusters {
 		cl.blocks = make(map[string]bool, len(cl.blocks))

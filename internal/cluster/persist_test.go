@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/strsim"
+)
+
+// blockTestRows builds rows over a shared narrow vocabulary with fuzzy
+// variants, the regime blocking exists for.
+func blockTestRows(rng *rand.Rand, n int) []*Row {
+	word := func(ln int) string {
+		b := make([]byte, ln)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(8))
+		}
+		return string(b)
+	}
+	base := make([]string, n/3+1)
+	for i := range base {
+		base[i] = fmt.Sprintf("%s %s", word(5+rng.Intn(4)), word(6+rng.Intn(4)))
+	}
+	rows := make([]*Row, 0, n)
+	for i := 0; i < n; i++ {
+		l := base[rng.Intn(len(base))]
+		switch rng.Intn(3) {
+		case 0: // exact duplicate
+		case 1: // typo in one token
+			cut := 1 + rng.Intn(len(l)-2)
+			if l[cut] != ' ' {
+				l = l[:cut] + l[cut+1:]
+			}
+		case 2: // extra qualifier token
+			l = l + " " + word(4)
+		}
+		rows = append(rows, &Row{NormLabel: strsim.Normalize(l)})
+	}
+	return rows
+}
+
+// TestBlockAssignLSHRecall compares LSH blocking against the reference
+// full-search path over two persistent Assign waves: every row keeps its
+// own-label block, the LSH path is deterministic, and its block sets cover
+// at least 95% of the reference blocks.
+func TestBlockAssignLSHRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	rows := blockTestRows(rng, 240)
+	assign := func() []*Row {
+		rs := make([]*Row, len(rows))
+		for i, r := range rows {
+			rs[i] = &Row{NormLabel: r.NormLabel}
+		}
+		bi := NewBlockIndex()
+		bi.Assign(rs[:len(rs)/2], 6)
+		bi.Assign(rs[len(rs)/2:], 6)
+		return rs
+	}
+
+	lshRows := assign()
+	lshRows2 := assign()
+	SetScanBlocking(true)
+	refRows := assign()
+	SetScanBlocking(false)
+
+	refBlocks, hitBlocks := 0, 0
+	for i := range rows {
+		if !reflect.DeepEqual(lshRows[i].Blocks, lshRows2[i].Blocks) {
+			t.Fatalf("row %d: LSH blocking not deterministic: %v vs %v", i, lshRows[i].Blocks, lshRows2[i].Blocks)
+		}
+		own := false
+		got := make(map[string]bool, len(lshRows[i].Blocks))
+		for _, b := range lshRows[i].Blocks {
+			got[b] = true
+			own = own || b == rows[i].NormLabel
+		}
+		if !own {
+			t.Fatalf("row %d lost its own-label block", i)
+		}
+		for _, b := range refRows[i].Blocks {
+			refBlocks++
+			if got[b] {
+				hitBlocks++
+			}
+		}
+	}
+	if recall := float64(hitBlocks) / float64(refBlocks); recall < 0.95 {
+		t.Fatalf("LSH block recall = %.3f over %d reference blocks, want >= 0.95", recall, refBlocks)
+	}
+}
+
+// TestBlockIndexCloneEquivalent proves a cloned index (batch-built inverted
+// index + cloned LSH buckets) assigns the same blocks as the original.
+func TestBlockIndexCloneEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	seedRows := blockTestRows(rng, 90)
+	bi := NewBlockIndex()
+	bi.Assign(seedRows, 6)
+	cl := bi.Clone()
+
+	probe := blockTestRows(rng, 40)
+	mk := func(src []*Row) []*Row {
+		rs := make([]*Row, len(src))
+		for i, r := range src {
+			rs[i] = &Row{NormLabel: r.NormLabel}
+		}
+		return rs
+	}
+	a, b := mk(probe), mk(probe)
+	bi.Assign(a, 6)
+	cl.Assign(b, 6)
+	for i := range probe {
+		if !reflect.DeepEqual(a[i].Blocks, b[i].Blocks) {
+			t.Fatalf("row %d: original blocks %v, clone blocks %v", i, a[i].Blocks, b[i].Blocks)
+		}
+	}
+	// And the clone must be isolated: new labels added to it do not appear
+	// in the original.
+	extra := []*Row{{NormLabel: "zzzz qqqq ffff"}}
+	cl.Assign(extra, 6)
+	if _, leaked := bi.labelDoc["zzzz qqqq ffff"]; leaked {
+		t.Fatal("clone Assign leaked a label into the original")
+	}
+}

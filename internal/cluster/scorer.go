@@ -42,6 +42,82 @@ func (s *Scorer) Pair(a, b *Row) float64 {
 	return score
 }
 
+// tableLevelMetric marks a Metric whose Compare output depends only on the
+// two rows' tables (not on the individual rows). Such metrics can be
+// memoized per table pair while the rows' table-level state is stable.
+type tableLevelMetric interface {
+	Metric
+	// TableLevel is a marker; implementations need no behaviour.
+	TableLevel()
+}
+
+// tablePairMemo caches the outputs of a scorer's table-level metrics per
+// (metric, tableA, tableB) key. PHI is the motivating case: its cosine
+// compares per-table vectors whose support grows with the corpus
+// vocabulary, yet every row pair drawn from the same two tables repeats
+// the identical computation. The memo is exact — values are the metrics'
+// own outputs — but it must not outlive the table-level state it caches
+// (the engine's PHI refresh rewrites TableVec between Add batches), so
+// holders reset or discard it whenever that state may have changed. Not
+// safe for concurrent use; the parallel greedy pass keeps one per worker
+// scratch.
+type tablePairMemo struct {
+	// mask flags the table-level metric indices; nil when the scorer has
+	// none (pairMemo then degenerates to Pair).
+	mask []bool
+	m    map[[3]int][2]float64
+}
+
+// newTablePairMemo returns a memo sized for the scorer's metric set.
+func newTablePairMemo(s *Scorer) *tablePairMemo {
+	var mask []bool
+	for i, m := range s.Metrics {
+		if _, ok := m.(tableLevelMetric); ok {
+			if mask == nil {
+				mask = make([]bool, len(s.Metrics))
+			}
+			mask[i] = true
+		}
+	}
+	if mask == nil {
+		return &tablePairMemo{}
+	}
+	return &tablePairMemo{mask: mask, m: make(map[[3]int][2]float64)}
+}
+
+// Reset drops all cached values (keeping the metric mask).
+func (tm *tablePairMemo) Reset() {
+	clear(tm.m)
+}
+
+// pairMemo is Pair with table-level metric outputs served from the memo.
+// The returned score is bit-identical to Pair's: cached entries are the
+// metrics' own Compare outputs, and table-level metrics return the same
+// floats for every row pair of the same two tables by definition.
+func (s *Scorer) pairMemo(a, b *Row, memo *tablePairMemo) float64 {
+	if memo == nil || memo.mask == nil {
+		return s.Pair(a, b)
+	}
+	f := agg.BorrowFeatures(len(s.Metrics))
+	for i, m := range s.Metrics {
+		if memo.mask[i] {
+			k := [3]int{i, a.Ref.Table, b.Ref.Table}
+			if v, ok := memo.m[k]; ok {
+				f.Scores[i], f.Confs[i] = v[0], v[1]
+				continue
+			}
+			sc, cf := m.Compare(a, b)
+			memo.m[k] = [2]float64{sc, cf}
+			f.Scores[i], f.Confs[i] = sc, cf
+			continue
+		}
+		f.Scores[i], f.Confs[i] = m.Compare(a, b)
+	}
+	score := s.Agg.Score(*f)
+	agg.ReturnFeatures(f)
+	return score
+}
+
 // PairExample is a labeled row pair for learning the aggregators.
 type PairExample struct {
 	A, B  *Row

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/cluster"
@@ -81,6 +83,48 @@ type Engine struct {
 	// to the instance written back for it, preventing duplicate write-backs
 	// when a cluster persists across epochs without being re-matched.
 	written map[string]kb.InstanceID
+	// entMemo and detMemo cache entity creation and detection results per
+	// cluster membership signature, so an epoch only pays for clusters the
+	// batch actually touched — the bulk of the retained state passes
+	// through unchanged, and without the memos every epoch re-fuses and
+	// re-detects all of it (the dominant super-linear term at scale).
+	// Entries are valid only while the KB version they were computed at
+	// stands, and only for clusters made entirely of retained rows; both
+	// maps are swept to the live cluster set each pass. See createEntities
+	// for the exactness argument.
+	entMemo map[string]entMemoEntry
+	detMemo map[string]detMemoEntry
+}
+
+// entMemoEntry is one memoized entity: the canonical *Entity created for a
+// cluster membership at a KB version. Entity innards (Labels, Facts, BOW,
+// Implicit) are immutable once created, so hits share them and only the
+// struct (ID, Rows) is copied fresh.
+type entMemoEntry struct {
+	kbVersion uint64
+	ent       *fusion.Entity
+}
+
+// detMemoEntry is one memoized detection result. Valid while the KB
+// version stands; the detector configuration (thresholds, aggregator,
+// metrics) is fixed for an engine's lifetime, as with all Models.
+type detMemoEntry struct {
+	kbVersion uint64
+	res       newdet.Result
+}
+
+// clusterMemoKey identifies a cluster by its member row refs. Result()
+// sorts members by Ref, so equal membership always yields equal keys.
+func clusterMemoKey(rows []*cluster.Row) string {
+	var sb strings.Builder
+	sb.Grow(len(rows) * 8)
+	for _, r := range rows {
+		sb.WriteString(strconv.Itoa(r.Ref.Table))
+		sb.WriteByte(':')
+		sb.WriteString(strconv.Itoa(r.Ref.Row))
+		sb.WriteByte(';')
+	}
+	return sb.String()
 }
 
 // IngestStats summarizes one Ingest call for logging and monitoring.
@@ -128,6 +172,8 @@ func NewEngine(cfg Config, models Models) *Engine {
 		blocks:    cluster.NewBlockIndex(),
 		phi:       cluster.NewPhiModel(),
 		written:   make(map[string]kb.InstanceID),
+		entMemo:   make(map[string]entMemoEntry),
+		detMemo:   make(map[string]detMemoEntry),
 	}
 }
 
@@ -383,6 +429,16 @@ func (e *Engine) Fork() *Engine {
 	for sig, id := range e.written {
 		f.written[sig] = id
 	}
+	// Memo entries are immutable once stored; copying the outer maps keeps
+	// the fork's sweeps from evicting the original's entries.
+	f.entMemo = make(map[string]entMemoEntry, len(e.entMemo))
+	for k, v := range e.entMemo {
+		f.entMemo[k] = v
+	}
+	f.detMemo = make(map[string]detMemoEntry, len(e.detMemo))
+	for k, v := range e.detMemo {
+		f.detMemo[k] = v
+	}
 	return f
 }
 
@@ -604,18 +660,28 @@ func (e *Engine) iterate(ctx context.Context, it int, mctx *match.Context, model
 		Scoring:     e.Cfg.Scoring,
 		MatchScores: out.MatchScores,
 	}
-	out.Entities = fusion.CreateAll(src, out.Clustering)
+	// Memoization is sound only for clusters made entirely of rows retained
+	// from earlier epochs: batch rows are rebuilt per iteration (possibly
+	// under a refined mapping), so any cluster containing one must be
+	// re-fused. Deduplicate may merge and re-fuse entities after creation,
+	// so memos are disabled outright under Dedup.
+	var retained map[*cluster.Row]bool
+	if !e.Cfg.Dedup {
+		retained = make(map[*cluster.Row]bool, len(e.rows))
+		for _, r := range e.rows {
+			retained[r] = true
+		}
+	}
+	out.Entities = e.createEntities(src, out.Clustering, retained)
 	if e.Cfg.Dedup {
 		out.Entities = fusion.Deduplicate(src, out.Entities, e.Cfg.DedupConfig)
 	}
 
-	// New detection: each entity classifies independently on the pool;
-	// RowInstance is then assembled serially in entity order.
+	// New detection: memoized like entity creation; the misses classify
+	// independently on the pool, and RowInstance is then assembled serially
+	// in entity order.
 	e.Cfg.emit(Event{Epoch: e.cur, Iteration: it, Stage: StageDetect, Count: len(out.Entities)})
-	out.Detections = make([]newdet.Result, len(out.Entities))
-	if err := par.ForEachCtx(ctx, e.Cfg.Workers, len(out.Entities), func(i int) {
-		out.Detections[i] = e.detector.Detect(out.Entities[i])
-	}); err != nil {
+	if err := e.detectEntities(ctx, out, retained); err != nil {
 		return nil, nil, err
 	}
 	for i, ent := range out.Entities {
@@ -626,6 +692,117 @@ func (e *Engine) iterate(ctx context.Context, it int, mctx *match.Context, model
 		}
 	}
 	return out, grown, nil
+}
+
+// createEntities is fusion.CreateAll with a memo over cluster membership:
+// clusters whose exact membership was already fused at the current KB
+// version reuse the stored entity instead of re-reading every member row.
+//
+// Exactness: Create derives an entity solely from its member rows (their
+// Label, BOW, Implicit, Ref, corpus cells under the mapping) and the KB —
+// never from the phi TableVec the in-place Refresh rewrites. Retained rows
+// are immutable between epochs and their tables' mapping is frozen, so for
+// an all-retained cluster the only mutable input is the KB, captured by its
+// version. Entity innards are immutable once created; a hit copies the
+// struct and re-stamps ID and Rows, exactly what CreateAll would produce.
+//
+// retained is nil when memoization is disabled (Dedup mode); then this is
+// plain CreateAll.
+func (e *Engine) createEntities(src *fusion.Sources, cl *cluster.Clustering, retained map[*cluster.Row]bool) []*fusion.Entity {
+	if retained == nil {
+		e.entMemo = make(map[string]entMemoEntry)
+		return fusion.CreateAll(src, cl)
+	}
+	kbVer := e.Cfg.KB.Version()
+	next := make(map[string]entMemoEntry, len(cl.Clusters))
+	out := make([]*fusion.Entity, 0, len(cl.Clusters))
+	for _, rows := range cl.Clusters {
+		if len(rows) == 0 {
+			continue
+		}
+		memoable := true
+		for _, r := range rows {
+			if !retained[r] {
+				memoable = false
+				break
+			}
+		}
+		if !memoable {
+			ent := fusion.Create(src, rows)
+			ent.ID = len(out)
+			out = append(out, ent)
+			continue
+		}
+		key := clusterMemoKey(rows)
+		if m, ok := e.entMemo[key]; ok && m.kbVersion == kbVer {
+			ec := *m.ent
+			ec.ID = len(out)
+			ec.Rows = rows
+			out = append(out, &ec)
+			next[key] = m
+			continue
+		}
+		ent := fusion.Create(src, rows)
+		ent.ID = len(out)
+		out = append(out, ent)
+		next[key] = entMemoEntry{kbVersion: kbVer, ent: ent}
+	}
+	e.entMemo = next
+	return out
+}
+
+// detectEntities fills out.Detections for out.Entities, reusing memoized
+// results for entities whose cluster membership was already classified at
+// the current KB version. Result is a plain value (no entity identity), the
+// detector reads only the entity's immutable innards and the KB, and the
+// detector's configuration is fixed for the engine's lifetime — so a
+// membership+version hit is exact. Misses fan out over the worker pool and
+// are written back serially.
+func (e *Engine) detectEntities(ctx context.Context, out *Output, retained map[*cluster.Row]bool) error {
+	out.Detections = make([]newdet.Result, len(out.Entities))
+	if retained == nil {
+		e.detMemo = make(map[string]detMemoEntry)
+		return par.ForEachCtx(ctx, e.Cfg.Workers, len(out.Entities), func(i int) {
+			out.Detections[i] = e.detector.Detect(out.Entities[i])
+		})
+	}
+	kbVer := e.Cfg.KB.Version()
+	next := make(map[string]detMemoEntry, len(out.Entities))
+	keys := make([]string, len(out.Entities))
+	var missIdx []int
+	for i, ent := range out.Entities {
+		memoable := true
+		for _, r := range ent.Rows {
+			if !retained[r] {
+				memoable = false
+				break
+			}
+		}
+		if !memoable {
+			missIdx = append(missIdx, i)
+			continue
+		}
+		keys[i] = clusterMemoKey(ent.Rows)
+		if m, ok := e.detMemo[keys[i]]; ok && m.kbVersion == kbVer {
+			out.Detections[i] = m.res
+			next[keys[i]] = m
+			continue
+		}
+		missIdx = append(missIdx, i)
+	}
+	if err := par.ForEachCtx(ctx, e.Cfg.Workers, len(missIdx), func(j int) {
+		i := missIdx[j]
+		out.Detections[i] = e.detector.Detect(out.Entities[i])
+	}); err != nil {
+		return err
+	}
+	for _, i := range missIdx {
+		if keys[i] != "" {
+			next[keys[i]] = detMemoEntry{kbVersion: kbVer, res: out.Detections[i]}
+		}
+	}
+	e.detMemo = next
+	return nil
 }
 
 // writeBack adds every entity classified as new to the KB as a first-class

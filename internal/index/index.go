@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"unicode/utf8"
 
+	"repro/internal/par"
 	"repro/internal/strsim"
 )
 
@@ -56,8 +57,26 @@ type Index struct {
 	// multi-byte vocabularies it additionally finds distance-1 tokens
 	// whose byte length differs by more than one (which the
 	// byte-length-bucketed scan missed).
-	delNeighbors map[string][]string
+	//
+	// The index is sharded by the variant's first byte so AddBatch can
+	// build it in parallel: each worker owns a disjoint set of shards, so
+	// no shard is ever written by two goroutines. Shards need no locks of
+	// their own — ix.mu already excludes every reader while any writer
+	// (Add, AddBatch) holds the write lock.
+	delNeighbors [delShardCount]map[string][]string
 	numDocs      int
+}
+
+// delShardCount is the number of first-byte shards of delNeighbors.
+const delShardCount = 256
+
+// delShardOf returns the shard index of a deletion variant (the empty
+// variant of single-rune tokens lands in shard 0).
+func delShardOf(v string) int {
+	if len(v) == 0 {
+		return 0
+	}
+	return int(v[0])
 }
 
 // minFuzzyQueryLen is the minimum query-token byte length for the fuzzy
@@ -72,11 +91,10 @@ type posting struct {
 // New returns an empty index.
 func New() *Index {
 	return &Index{
-		postings:     make(map[string][]posting),
-		docFreq:      make(map[string]int),
-		labels:       make(map[int][]string),
-		byLen:        make(map[int][]string),
-		delNeighbors: make(map[string][]string),
+		postings: make(map[string][]posting),
+		docFreq:  make(map[string]int),
+		labels:   make(map[int][]string),
+		byLen:    make(map[int][]string),
 	}
 }
 
@@ -118,6 +136,94 @@ func (ix *Index) Add(doc int, label string) {
 		}
 		ix.postings[t] = append(ps, posting{doc: doc, tf: float64(counts[t]) / float64(len(toks))})
 	}
+}
+
+// Entry is one (document, label) pair for AddBatch.
+type Entry struct {
+	Doc   int
+	Label string
+}
+
+// AddBatch indexes a batch of labels, equivalent to calling Add for each
+// entry in order, with the deletion-neighborhood construction — the bulk of
+// a cold build or warm restart — parallelized over the worker pool. The
+// write lock is held for the whole batch, so concurrent readers observe
+// either none or all of it.
+//
+// Determinism: postings, document frequencies, and byLen buckets are built
+// serially in entry order, exactly as repeated Adds would. The parallel
+// phases cannot reorder anything — variant computation is pure, and the
+// per-shard insertion phase groups (variant, token) pairs by shard in token
+// discovery order before handing each shard to exactly one worker, so every
+// neighborhood list is byte-identical to the serial build's.
+func (ix *Index) AddBatch(entries []Entry, workers int) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+
+	// Phase 1: serial postings build, collecting first-seen vocabulary.
+	var newTokens []string
+	for _, e := range entries {
+		toks := strsim.Tokens(e.Label)
+		if len(toks) == 0 {
+			continue
+		}
+		norm := strsim.Normalize(e.Label)
+		counts := make(map[string]int, len(toks))
+		for _, t := range toks {
+			counts[t]++
+		}
+		if _, seen := ix.labels[e.Doc]; !seen {
+			ix.numDocs++
+		}
+		ix.labels[e.Doc] = append(ix.labels[e.Doc], norm)
+		ts := make([]string, 0, len(counts))
+		for t := range counts {
+			ts = append(ts, t)
+		}
+		sort.Strings(ts)
+		for _, t := range ts {
+			ps := ix.postings[t]
+			if len(ps) == 0 || ps[len(ps)-1].doc != e.Doc {
+				ix.docFreq[t]++
+			}
+			if len(ps) == 0 {
+				ix.byLen[len(t)] = append(ix.byLen[len(t)], t)
+				newTokens = append(newTokens, t)
+			}
+			ix.postings[t] = append(ps, posting{doc: e.Doc, tf: float64(counts[t]) / float64(len(toks))})
+		}
+	}
+	if len(newTokens) == 0 {
+		return
+	}
+
+	// Phase 2: per-token deletion variants, computed in parallel (pure).
+	variants := par.Map(workers, newTokens, func(_ int, t string) []string {
+		return appendDeletionVariants(make([]string, 0, len(t)+1), t)
+	})
+
+	// Phase 3: group pairs by shard in token order, then insert with one
+	// worker per shard (disjoint writes, no locks needed).
+	var groups [delShardCount]struct{ vs, ts []string }
+	for i, vs := range variants {
+		for _, v := range vs {
+			g := &groups[delShardOf(v)]
+			g.vs = append(g.vs, v)
+			g.ts = append(g.ts, newTokens[i])
+		}
+	}
+	par.ForEach(workers, delShardCount, func(s int) {
+		g := &groups[s]
+		if len(g.vs) == 0 {
+			return
+		}
+		if ix.delNeighbors[s] == nil {
+			ix.delNeighbors[s] = make(map[string][]string, len(g.vs))
+		}
+		for i, v := range g.vs {
+			ix.delNeighbors[s][v] = append(ix.delNeighbors[s][v], g.ts[i])
+		}
+	})
 }
 
 // Len returns the number of distinct documents in the index.
@@ -206,6 +312,158 @@ func (ix *Index) Search(label string, k int) []Hit {
 	return hits
 }
 
+// ScoreDocs scores the given candidate documents against the query label
+// with exactly the TF-IDF computation Search uses, returning every
+// candidate with a nonzero score sorted by (score desc, doc asc), without
+// truncation. It exists as the re-rank half of LSH retrieval: when the
+// candidate set covers Search's top-k documents, the truncated ScoreDocs
+// ranking is float-for-float identical to Search's, because each document's
+// score is accumulated in the same order (query tokens in order, sorted
+// fuzzy variants within a token, the document's labels in insertion order)
+// with the same tf and idf factors. Documents not in the index and
+// zero-overlap candidates are omitted. docs must not contain duplicates.
+func (ix *Index) ScoreDocs(label string, docs []int) []Hit {
+	toks := strsim.Tokens(label)
+	if len(toks) == 0 || len(docs) == 0 {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	// Expand the query once: each contribution is an index token paired
+	// with its weight factors, in Search's accumulation order.
+	type contrib struct {
+		tok   string
+		idf   float64
+		fuzzy bool
+	}
+	contribs := make([]contrib, 0, len(toks))
+	for _, t := range toks {
+		if _, ok := ix.postings[t]; ok {
+			contribs = append(contribs, contrib{tok: t, idf: ix.idf(t)})
+			continue
+		}
+		if len(t) < minFuzzyQueryLen {
+			continue
+		}
+		for _, vt := range ix.fuzzyMatches(t) {
+			contribs = append(contribs, contrib{tok: vt, idf: ix.idf(vt), fuzzy: true})
+		}
+	}
+	if len(contribs) == 0 {
+		return nil
+	}
+
+	hits := make([]Hit, 0, len(docs))
+	for _, d := range docs {
+		labels := ix.labels[d]
+		if len(labels) == 0 {
+			continue
+		}
+		score, found := 0.0, false
+		for _, c := range contribs {
+			for _, l := range labels {
+				lt := strsim.PrepareCached(l).Tokens
+				n := 0
+				for _, x := range lt {
+					if x == c.tok {
+						n++
+					}
+				}
+				if n == 0 {
+					continue
+				}
+				// The same floats Add stored in the posting: tf is
+				// count/len for this label, multiplied in Search's order.
+				tf := float64(n) / float64(len(lt))
+				if c.fuzzy {
+					score += 0.5 * tf * c.idf
+				} else {
+					score += tf * c.idf
+				}
+				found = true
+			}
+		}
+		if found {
+			hits = append(hits, Hit{Doc: d, Score: score})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Doc < hits[j].Doc
+	})
+	return hits
+}
+
+// DefaultRareCap is the posting-list length bound of AppendRareDocs used
+// by the LSH retrieval paths. Tokens whose document frequency stays within
+// the cap are exactly the high-IDF tokens whose single-token matches can
+// rank above the relative score floors downstream — and whose posting
+// walks are cheap by the same definition.
+const DefaultRareCap = 64
+
+// AppendRareDocs appends to dst every document posted under a query token
+// whose posting list holds at most maxDocs documents, fuzzy-expanding
+// query tokens without an exact posting exactly as Search does. It is the
+// complement of MinHash retrieval: a match sharing only one rare token
+// with the query sits at a low Jaccard similarity, where banding collides
+// rarely, yet can carry enough IDF mass to belong in the exact top hits.
+// IDF is invisible to MinHash signatures, so those matches are retrieved
+// directly from the (bounded, by construction) postings instead. Common
+// tokens — the ones whose posting lists grow with the corpus — stay
+// excluded; matches through them need several shared tokens to rank,
+// which is the high-similarity regime banding does cover.
+//
+// The result may contain duplicates and is unsorted; callers union it
+// with the LSH candidates via SortDedupDocs before ScoreDocs.
+func (ix *Index) AppendRareDocs(dst []int, label string, maxDocs int) []int {
+	toks := strsim.Tokens(label)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	for _, t := range toks {
+		if ps, ok := ix.postings[t]; ok {
+			if len(ps) <= maxDocs {
+				for _, p := range ps {
+					dst = append(dst, p.doc)
+				}
+			}
+			continue
+		}
+		if len(t) < minFuzzyQueryLen {
+			continue
+		}
+		for _, vt := range ix.fuzzyMatches(t) {
+			if ps := ix.postings[vt]; len(ps) <= maxDocs {
+				for _, p := range ps {
+					dst = append(dst, p.doc)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// SortDedupDocs sorts docs ascending and removes duplicates in place,
+// returning the shortened slice — the candidate-set union step between
+// retrieval (LSH buckets plus rare-token postings) and ScoreDocs, which
+// requires duplicate-free input.
+func SortDedupDocs(docs []int) []int {
+	if len(docs) < 2 {
+		return docs
+	}
+	sort.Ints(docs)
+	n := 1
+	for _, d := range docs[1:] {
+		if d != docs[n-1] {
+			docs[n] = d
+			n++
+		}
+	}
+	return docs[:n]
+}
+
 // SearchLabels returns the distinct normalized labels of the top-k hits for
 // the query. Blocking uses this to assign rows to label blocks.
 func (ix *Index) SearchLabels(label string, k int) []string {
@@ -225,19 +483,31 @@ func (ix *Index) SearchLabels(label string, k int) []string {
 	return out
 }
 
-// indexDeletions files a new vocabulary token under itself and each of
-// its one-rune deletions. Adjacent equal runes produce identical variants
-// and are emitted once. The caller holds the write lock.
-func (ix *Index) indexDeletions(t string) {
-	ix.delNeighbors[t] = append(ix.delNeighbors[t], t)
+// appendDeletionVariants appends t's neighborhood entries — t itself and
+// each of its one-rune deletions — to dst. Adjacent equal runes produce
+// identical variants and are emitted once.
+func appendDeletionVariants(dst []string, t string) []string {
+	dst = append(dst, t)
 	var prev rune = -1
 	for bi, r := range t {
 		if r == prev {
 			continue
 		}
 		prev = r
-		v := t[:bi] + t[bi+utf8.RuneLen(r):]
-		ix.delNeighbors[v] = append(ix.delNeighbors[v], t)
+		dst = append(dst, t[:bi]+t[bi+utf8.RuneLen(r):])
+	}
+	return dst
+}
+
+// indexDeletions files a new vocabulary token under itself and each of
+// its one-rune deletions. The caller holds the write lock.
+func (ix *Index) indexDeletions(t string) {
+	for _, v := range appendDeletionVariants(nil, t) {
+		s := delShardOf(v)
+		if ix.delNeighbors[s] == nil {
+			ix.delNeighbors[s] = make(map[string][]string, 64)
+		}
+		ix.delNeighbors[s][v] = append(ix.delNeighbors[s][v], t)
 	}
 }
 
@@ -270,7 +540,7 @@ func (ix *Index) fuzzyMatches(t string) []string {
 			}
 		}
 	}
-	collect(ix.delNeighbors[t])
+	collect(ix.delNeighbors[delShardOf(t)][t])
 	vbuf := make([]byte, 0, 64)
 	var prev rune = -1
 	for bi, r := range t {
@@ -280,7 +550,12 @@ func (ix *Index) fuzzyMatches(t string) []string {
 		prev = r
 		vbuf = append(vbuf[:0], t[:bi]...)
 		vbuf = append(vbuf, t[bi+utf8.RuneLen(r):]...)
-		collect(ix.delNeighbors[string(vbuf)])
+		s := 0
+		if len(vbuf) > 0 {
+			s = int(vbuf[0])
+		}
+		// string(vbuf) in a map lookup does not allocate.
+		collect(ix.delNeighbors[s][string(vbuf)])
 	}
 	// Verify: sharing a deletion variant bounds the distance by two, not
 	// one ("ab" and "ba" share "a"), so each candidate is checked with

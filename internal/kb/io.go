@@ -126,11 +126,15 @@ func writeInstanceList(w io.Writer, instances []*Instance) error {
 
 // ReadInstances loads newline-delimited JSON instances into the KB,
 // appending to any existing instances. Instances referencing classes
-// unknown to the ontology are rejected.
+// unknown to the ontology are rejected. The whole stream is parsed before
+// anything is stored (a malformed line therefore adds nothing) and then
+// indexed in one AddInstances batch, which parallelizes the label-index
+// build — the dominant cost of a warm restart over a written-back KB.
 func (kb *KB) ReadInstances(r io.Reader) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
 	line := 0
+	var ins []*Instance
 	for sc.Scan() {
 		line++
 		raw := sc.Bytes()
@@ -153,7 +157,7 @@ func (kb *KB) ReadInstances(r io.Reader) error {
 			}
 			facts[PropertyID(pid)] = v
 		}
-		kb.AddInstance(&Instance{
+		ins = append(ins, &Instance{
 			Class:       class,
 			Labels:      ji.Labels,
 			Abstract:    ji.Abstract,
@@ -166,5 +170,6 @@ func (kb *KB) ReadInstances(r io.Reader) error {
 	if err := sc.Err(); err != nil {
 		return fmt.Errorf("kb: reading instances: %w", err)
 	}
+	kb.AddInstances(ins)
 	return nil
 }

@@ -25,7 +25,22 @@ import (
 
 	"repro/internal/dtype"
 	"repro/internal/index"
+	"repro/internal/lsh"
+	"repro/internal/par"
+	"repro/internal/strsim"
 )
+
+// scanCandidates, when set, forces the pipeline's Candidates retrieval onto
+// the reference full-index search instead of LSH retrieval plus exact
+// re-ranking. It mirrors index.SetScanFuzzy: an equivalence-test and
+// benchmark knob so recall is verified against the reference, not assumed;
+// production code never sets it. SearchInstances (the serving path) always
+// uses the reference search regardless.
+var scanCandidates atomic.Bool
+
+// SetScanCandidates toggles the reference candidate-retrieval path.
+// Benchmark and test knob only.
+func SetScanCandidates(v bool) { scanCandidates.Store(v) }
 
 // ClassID identifies a class in the knowledge base ontology.
 type ClassID string
@@ -128,6 +143,11 @@ type KB struct {
 	// evaluation class plus a global one.
 	labelIdx map[ClassID]*index.Index
 	globalIx *index.Index
+	// cand is the LSH candidate index over all instance labels: the
+	// pipeline's Candidates path retrieves from its buckets in
+	// near-constant time and re-ranks the survivors through globalIx's
+	// exact scorer, so retrieval cost no longer grows with the KB.
+	cand *lsh.Index
 }
 
 // New returns an empty knowledge base preloaded with the ontology used
@@ -139,6 +159,7 @@ func New() *KB {
 		byClass:  make(map[ClassID][]InstanceID),
 		labelIdx: make(map[ClassID]*index.Index),
 		globalIx: index.New(),
+		cand:     lsh.NewIndex(lsh.DefaultParams()),
 	}
 	for _, c := range defaultOntology() {
 		kb.AddClass(c)
@@ -326,12 +347,57 @@ func (kb *KB) AddInstance(in *Instance) InstanceID {
 
 	for _, l := range in.Labels {
 		kb.globalIx.Add(int(in.ID), l)
+		kb.cand.Add(int(in.ID), strsim.Normalize(l))
 		if classIx != nil {
 			classIx.Add(int(in.ID), l)
 		}
 	}
 	kb.version.Add(1)
 	return in.ID
+}
+
+// AddInstances stores a batch of instances, equivalent to calling
+// AddInstance for each in order, but builds the label indexes in bulk: the
+// deletion-neighborhood construction — the dominant cost of a warm restart
+// that replays a written-back KB — parallelizes across index.AddBatch's
+// workers. The version counter is bumped once for the whole batch.
+func (kb *KB) AddInstances(ins []*Instance) []InstanceID {
+	if len(ins) == 0 {
+		return nil
+	}
+	kb.mu.Lock()
+	ids := make([]InstanceID, len(ins))
+	classIxs := make([]*index.Index, len(ins))
+	for i, in := range ins {
+		in.ID = InstanceID(len(kb.instances))
+		ids[i] = in.ID
+		if in.Facts == nil {
+			in.Facts = make(map[PropertyID]dtype.Value)
+		}
+		kb.instances = append(kb.instances, in)
+		kb.byClass[in.Class] = append(kb.byClass[in.Class], in.ID)
+		classIxs[i] = kb.labelIdx[in.Class]
+	}
+	kb.mu.Unlock()
+
+	workers := par.DefaultWorkers()
+	var global []index.Entry
+	perClass := make(map[*index.Index][]index.Entry)
+	for i, in := range ins {
+		for _, l := range in.Labels {
+			global = append(global, index.Entry{Doc: int(in.ID), Label: l})
+			kb.cand.Add(int(in.ID), strsim.Normalize(l))
+			if ix := classIxs[i]; ix != nil {
+				perClass[ix] = append(perClass[ix], index.Entry{Doc: int(in.ID), Label: l})
+			}
+		}
+	}
+	kb.globalIx.AddBatch(global, workers)
+	for ix, entries := range perClass {
+		ix.AddBatch(entries, workers)
+	}
+	kb.version.Add(1)
+	return ids
 }
 
 // Instance returns the instance with the given ID, or nil.
@@ -399,7 +465,7 @@ func (kb *KB) SearchInstances(ctx context.Context, label string, opts CandidateO
 		}
 	}
 	var out []SearchHit
-	kb.filteredHits(ctx, label, opts, func(in *Instance, score float64) {
+	kb.filteredHits(ctx, label, opts, false, func(in *Instance, score float64) {
 		out = append(out, SearchHit{Instance: in.ID, Score: score})
 	})
 	if ctx != nil {
@@ -414,10 +480,15 @@ func (kb *KB) SearchInstances(ctx context.Context, label string, opts CandidateO
 // applying the class restriction of §3.4. It shares the retrieval walk
 // with SearchInstances but emits IDs directly — this is the pipeline's
 // hottest retrieval path (blocking, implicit attributes, new detection),
-// so it must not pay for scored hits it would throw away.
+// so it must not pay for scored hits it would throw away. Retrieval goes
+// through the LSH candidate index unioned with a bounded rare-token
+// posting walk, re-ranked by the exact scorer (identical results whenever
+// the candidates cover the reference's top hits — the recall-equivalence
+// tests assert they do); SetScanCandidates forces the reference search
+// instead.
 func (kb *KB) Candidates(label string, opts CandidateOpts) []InstanceID {
 	var out []InstanceID
-	kb.filteredHits(nil, label, opts, func(in *Instance, _ float64) {
+	kb.filteredHits(nil, label, opts, !scanCandidates.Load(), func(in *Instance, _ float64) {
 		out = append(out, in.ID)
 	})
 	return out
@@ -426,8 +497,11 @@ func (kb *KB) Candidates(label string, opts CandidateOpts) []InstanceID {
 // filteredHits walks the top class-filtered index hits for label, calling
 // visit for each of up to opts.K surviving instances. A non-nil cancelled
 // ctx skips the index walk entirely (the pipeline's Candidates path passes
-// nil and pays nothing).
-func (kb *KB) filteredHits(ctx context.Context, label string, opts CandidateOpts, visit func(*Instance, float64)) {
+// nil and pays nothing). With useLSH the top hits come from LSH bucket
+// retrieval re-ranked by the exact scorer; otherwise from the reference
+// full search. Both orderings use the same floats and tie-breaks, so the
+// class-filtering walk behaves identically.
+func (kb *KB) filteredHits(ctx context.Context, label string, opts CandidateOpts, useLSH bool, visit func(*Instance, float64)) {
 	k := opts.K
 	if k <= 0 {
 		k = 20
@@ -435,7 +509,18 @@ func (kb *KB) filteredHits(ctx context.Context, label string, opts CandidateOpts
 	if ctx != nil && ctx.Err() != nil {
 		return
 	}
-	hits := kb.globalIx.Search(label, k*3)
+	var hits []index.Hit
+	if useLSH {
+		norm := strsim.Normalize(label)
+		docs := kb.cand.AppendQuery(nil, norm)
+		docs = kb.globalIx.AppendRareDocs(docs, norm, index.DefaultRareCap)
+		hits = kb.globalIx.ScoreDocs(norm, index.SortDedupDocs(docs))
+		if len(hits) > k*3 {
+			hits = hits[:k*3]
+		}
+	} else {
+		hits = kb.globalIx.Search(label, k*3)
+	}
 	kb.mu.RLock()
 	defer kb.mu.RUnlock()
 	n := 0

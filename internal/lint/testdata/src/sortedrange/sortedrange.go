@@ -113,3 +113,27 @@ func buildInside(m map[string][]string) map[string]string {
 	}
 	return out
 }
+
+// bucketUnion collects LSH bucket candidates in map iteration order — the
+// shape a banding index's query path must not have: the candidate list
+// feeds exact re-ranking, whose float summation and tie-breaks would then
+// depend on map iteration order.
+func bucketUnion(buckets map[uint64][]int) []int {
+	var docs []int
+	for _, ds := range buckets {
+		docs = append(docs, ds...) // want `append to docs inside range over a map`
+	}
+	return docs
+}
+
+// bucketUnionSorted is the fix shape the LSH index uses: union the
+// buckets, then sort (and dedup) so downstream scoring sees a canonical
+// candidate order.
+func bucketUnionSorted(buckets map[uint64][]int) []int {
+	var docs []int
+	for _, ds := range buckets {
+		docs = append(docs, ds...)
+	}
+	sort.Ints(docs)
+	return docs
+}

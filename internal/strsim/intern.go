@@ -73,6 +73,16 @@ func internBytes(b []byte) int32 {
 	return id
 }
 
+// Intern returns the process-wide intern ID of an (already normalized)
+// token, interning it on first sight; ok is false once the interner is
+// full. IDs are stable for the process lifetime but depend on call
+// history, so they may only key caches — never persisted state or values
+// that must agree across processes.
+func Intern(tok string) (id int32, ok bool) {
+	id = internString(tok)
+	return id, id != noTokenID
+}
+
 // internString is internBytes for an already-materialized string.
 func internString(s string) int32 {
 	interner.mu.RLock()

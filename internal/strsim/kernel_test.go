@@ -162,6 +162,20 @@ func TestPreparedMatchesRef(t *testing.T) {
 	}
 }
 
+// TestTermCosineMatchesRef proves the cached-vector cosine is bit-identical
+// to the map-building reference for arbitrary label pairs.
+func TestTermCosineMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		a, b := randPair(rng)
+		got := TermCosine(a, b)
+		want := Cosine(BinaryTermVector(a), BinaryTermVector(b))
+		if got != want {
+			t.Fatalf("TermCosine(%q, %q) = %v, ref %v", a, b, got, want)
+		}
+	}
+}
+
 // TestInternTokenization proves the no-intermediate-string tokenizer
 // matches Tokens exactly.
 func TestInternTokenization(t *testing.T) {

@@ -89,6 +89,16 @@ func PrepareCached(s string) *PreparedLabel {
 	return p
 }
 
+// TermCosine returns the binary term-vector cosine of two labels through
+// the prepared-label cache: equal to
+// Cosine(BinaryTermVector(x), BinaryTermVector(y)) without rebuilding
+// either map (binary vectors make every product term 1, so accumulation
+// order cannot change the float result). This is the allocation-free form
+// the BOW-style hot paths should use for raw strings.
+func TermCosine(x, y string) float64 {
+	return CosineSparse(PrepareCached(x).vec, PrepareCached(y).vec)
+}
+
 // NumTokens returns the number of tokens.
 func (p *PreparedLabel) NumTokens() int { return len(p.Tokens) }
 
