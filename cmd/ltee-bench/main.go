@@ -44,6 +44,7 @@ import (
 	"math"
 	"os"
 	"regexp"
+	"sort"
 	"testing"
 
 	"repro/internal/bench"
@@ -56,6 +57,11 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Extra carries custom benchmark metrics (b.ReportMetric), e.g. the
+	// storage benches' kb-bytes/inst and written-bytes/op. Every extra
+	// metric is lower-is-better and gated against the baseline exactly
+	// like allocs/op.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the BENCH_hotpath.json document.
@@ -146,8 +152,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stderr, "running %-22s ", nb.Name)
 		res := bestOf(nb, *best)
-		fmt.Fprintf(stderr, "%12.0f ns/op %12d B/op %10d allocs/op\n",
-			res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		fmt.Fprintf(stderr, "%12.0f ns/op %12d B/op %10d allocs/op%s\n",
+			res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, extraSummary(res.Extra))
 		report.Benchmarks = append(report.Benchmarks, res)
 	}
 	if len(report.Benchmarks) == 0 {
@@ -203,6 +209,12 @@ func bestOf(nb bench.Named, n int) Result {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
 		}
+		if len(r.Extra) > 0 {
+			res.Extra = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				res.Extra[k] = v
+			}
+		}
 		if i == 0 {
 			best = res
 			continue
@@ -211,8 +223,34 @@ func bestOf(nb bench.Named, n int) Result {
 		best.NsPerOp = math.Min(best.NsPerOp, res.NsPerOp)
 		best.BytesPerOp = min(best.BytesPerOp, res.BytesPerOp)
 		best.AllocsPerOp = min(best.AllocsPerOp, res.AllocsPerOp)
+		for k, v := range res.Extra {
+			if prev, ok := best.Extra[k]; !ok || v < prev {
+				if best.Extra == nil {
+					best.Extra = make(map[string]float64, len(res.Extra))
+				}
+				best.Extra[k] = v
+			}
+		}
 	}
 	return best
+}
+
+// extraSummary renders a benchmark's custom metrics for the progress
+// line, keys sorted for stable output.
+func extraSummary(extra map[string]float64) string {
+	if len(extra) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(extra))
+	for k := range extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var s string
+	for _, k := range keys {
+		s += fmt.Sprintf(" %12.1f %s", extra[k], k)
+	}
+	return s
 }
 
 // scaleGate holds the corpus-scale claim: the per-epoch ingest cost at 10x
@@ -269,6 +307,25 @@ func regressions(cur, base []Result, slack float64) []string {
 		if float64(r.AllocsPerOp) > limit {
 			out = append(out, fmt.Sprintf("%s: %d allocs/op > baseline %d (+%.0f%% slack)",
 				r.Name, r.AllocsPerOp, b.AllocsPerOp, slack*100))
+		}
+		// Extra metrics (kb-bytes/inst, written-bytes/op, ...) are all
+		// lower-is-better and gate with the same slack; metrics present on
+		// only one side are skipped like whole benchmarks are.
+		keys := make([]string, 0, len(b.Extra))
+		for k := range b.Extra {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			bv := b.Extra[k]
+			cv, ok := r.Extra[k]
+			if !ok {
+				continue
+			}
+			if cv > bv*(1+slack) {
+				out = append(out, fmt.Sprintf("%s: %.1f %s > baseline %.1f (+%.0f%% slack)",
+					r.Name, cv, k, bv, slack*100))
+			}
 		}
 	}
 	return out

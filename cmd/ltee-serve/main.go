@@ -216,7 +216,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		engines[class] = eng
 		tables[class] = byClass[class]
 		fmt.Fprintf(stdout, "class %s: %d corpus tables, %d KB instances\n",
-			kb.ClassShortName(class), len(byClass[class]), len(s.World.KB.InstancesOf(class)))
+			kb.ClassShortName(class), len(byClass[class]), s.World.KB.NumInstancesOf(class))
 	}
 
 	srv, err := serve.New(serve.Config{

@@ -48,16 +48,14 @@ func main() {
 	heads := s.World.HeadEntities(class)
 	headIdx := -1
 	for i, e := range heads {
-		inst := s.World.KB.Instance(e.KBID)
-		_, hasPop := inst.Facts["dbo:populationTotal"]
-		_, hasPart := inst.Facts["dbo:isPartOf"]
+		_, hasPop := s.World.KB.Fact(e.KBID, "dbo:populationTotal")
+		_, hasPart := s.World.KB.Fact(e.KBID, "dbo:isPartOf")
 		if hasPop && hasPart {
 			headIdx = i
 			break
 		}
 	}
 	head := heads[headIdx]
-	inst := s.World.KB.Instance(head.KBID)
 	pop := head.Truth["dbo:populationTotal"].Num
 	region := head.Truth["dbo:isPartOf"]
 
@@ -79,8 +77,8 @@ func main() {
 	det := detector(s)
 	env := &newdet.Env{KB: s.World.KB, Thresholds: dtype.DefaultThresholds()}
 	fmt.Printf("settlement %q (KB instance %d):\n", head.Name, head.KBID)
-	fmt.Printf("  agreeing entity   similarity = %+.3f\n", det.Score(env, agreeing, inst))
-	fmt.Printf("  conflicting entity similarity = %+.3f\n", det.Score(env, conflicting, inst))
+	fmt.Printf("  agreeing entity   similarity = %+.3f\n", det.Score(env, agreeing, head.KBID))
+	fmt.Printf("  conflicting entity similarity = %+.3f\n", det.Score(env, conflicting, head.KBID))
 	fmt.Println("  (outdated population + different isPartOf push an existing")
 	fmt.Println("   settlement toward a wrong NEW classification — §5's main")
 	fmt.Println("   Settlement error source)")
@@ -89,10 +87,10 @@ func main() {
 	// settlements and attract candidates.
 	fmt.Println("\nconfusable Place instances in the KB:")
 	for _, id := range s.World.KB.InstancesOf(kb.ClassRegion)[:2] {
-		fmt.Printf("  %s (%s)\n", s.World.KB.Instance(id).Label(), "Region")
+		fmt.Printf("  %s (%s)\n", s.World.KB.InstanceLabel(id), "Region")
 	}
 	for _, id := range s.World.KB.InstancesOf(kb.ClassMountain)[:2] {
-		fmt.Printf("  %s (%s)\n", s.World.KB.Instance(id).Label(), "Mountain")
+		fmt.Printf("  %s (%s)\n", s.World.KB.InstanceLabel(id), "Mountain")
 	}
 
 	// Full run: the headline number — settlements yield almost nothing.

@@ -221,7 +221,7 @@ func serveFixture(b *testing.B) *serveFix {
 // per-token fuzzy fallback on every cache miss, the path this PR rebuilds.
 func fuzzQuery(w *world.World) string {
 	for id := 0; id < w.KB.NumInstances(); id++ {
-		label := w.KB.Instance(kb.InstanceID(id)).Label()
+		label := w.KB.InstanceLabel(kb.InstanceID(id))
 		toks := strings.Fields(label)
 		for i, t := range toks {
 			if len(t) >= 5 {

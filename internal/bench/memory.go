@@ -1,0 +1,293 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dtype"
+	"repro/internal/kb"
+)
+
+// This file holds the storage benchmarks of the columnar KB substrate.
+// Two tracked metrics prove the million-entity storage claims:
+//
+//   - KBMemory/100k reports kb-bytes/inst: the resident heap bytes per
+//     instance of a KB holding 100k synthetic write-back-shaped instances
+//     (one label, ~6 schema facts, popularity, ingest provenance),
+//     including the label indexes. The columnar store must keep this
+//     strictly below the row-store baseline recorded in
+//     bench_baseline.json.
+//   - SnapshotDelta reports written-bytes/op: the bytes SaveSnapshot
+//     writes when persisting a small ingest epoch on top of an already
+//     persisted base. Monolithic persistence rewrites the whole KB every
+//     time; segmented persistence writes one small segment plus the
+//     manifest, so this metric is the delta property in number form.
+//
+// Both run behind -scale (they build corpus-scale fixtures) and are gated
+// against bench_baseline.json like every other tracked metric.
+
+const (
+	memKBSize     = 100_000
+	snapBaseSize  = 20_000
+	snapDeltaSize = 256
+	snapWorldKey  = "bench-snapshot-delta"
+)
+
+// memPools are the small value vocabularies the synthetic facts draw
+// from: nominal sets repeat heavily across instances (as real KB facts
+// do), which is exactly what interned columnar storage exploits.
+var (
+	memPositions = []string{"quarterback", "running back", "wide receiver", "linebacker", "cornerback", "safety", "tight end", "guard"}
+	memTeams     = []string{"ravens", "bears", "bengals", "browns", "cowboys", "broncos", "lions", "packers", "texans", "colts", "jaguars", "chiefs", "dolphins", "vikings", "patriots", "saints"}
+	memColleges  = []string{"alabama", "ohio state", "michigan", "clemson", "georgia", "texas", "oklahoma", "notre dame"}
+	memGenres    = []string{"rock", "pop", "country", "jazz", "blues", "folk", "soul", "electronic"}
+	memArtists   = []string{"the meadowlarks", "silver canyon", "june atlas", "paper rivers", "cold harbor", "the night owls"}
+	memLabels    = []string{"atlantic", "columbia", "decca", "motown", "sun", "verve"}
+	memCountries = []string{"germany", "france", "italy", "spain", "poland", "austria", "portugal", "greece"}
+	memRegions   = []string{"bavaria", "normandy", "tuscany", "andalusia", "silesia", "tyrol", "alentejo", "crete"}
+)
+
+// memInstance returns the i-th synthetic instance: classes cycle over the
+// three evaluation classes, the label reuses the scale benchmarks'
+// synthetic vocabulary, and the facts fill the class schema's common
+// properties with values drawn from small pools — the shape of a KB grown
+// by write-back at scale.
+func memInstance(i, epoch int) *kb.Instance {
+	label := synthLabel(i)
+	in := &kb.Instance{
+		Labels:      []string{label},
+		Popularity:  float64(i%1000) / 10,
+		Provenance:  kb.ProvenanceIngest,
+		IngestEpoch: epoch,
+	}
+	switch i % 3 {
+	case 0:
+		in.Class = kb.ClassGFPlayer
+		in.Facts = map[kb.PropertyID]dtype.Value{
+			"dbo:position":  dtype.NewNominal(memPositions[i%len(memPositions)]),
+			"dbo:team":      dtype.NewRef(memTeams[i%len(memTeams)]),
+			"dbo:college":   dtype.NewRef(memColleges[i%len(memColleges)]),
+			"dbo:number":    dtype.NewNominalInt(i%99 + 1),
+			"dbo:height":    dtype.NewQuantity(float64(66 + i%18)),
+			"dbo:birthDate": dtype.NewDate(1960+i%40, 1+i%12, 1+i%28),
+		}
+	case 1:
+		in.Class = kb.ClassSong
+		in.Facts = map[kb.PropertyID]dtype.Value{
+			"dbo:genre":         dtype.NewNominal(memGenres[i%len(memGenres)]),
+			"dbo:musicalArtist": dtype.NewRef(memArtists[i%len(memArtists)]),
+			"dbo:recordLabel":   dtype.NewRef(memLabels[i%len(memLabels)]),
+			"dbo:runtime":       dtype.NewQuantity(float64(120 + i%300)),
+			"dbo:releaseDate":   dtype.NewYear(1950 + i%75),
+		}
+	default:
+		in.Class = kb.ClassSettlement
+		in.Facts = map[kb.PropertyID]dtype.Value{
+			"dbo:country":         dtype.NewRef(memCountries[i%len(memCountries)]),
+			"dbo:isPartOf":        dtype.NewRef(memRegions[i%len(memRegions)]),
+			"dbo:populationTotal": dtype.NewQuantity(float64(500 + i%2_000_000)),
+			"dbo:postalCode":      dtype.NewNominal("pc-" + synthVocab[i%len(synthVocab)]),
+			"dbo:elevation":       dtype.NewQuantity(float64(i % 2400)),
+		}
+	}
+	return in
+}
+
+// memInstances builds instances [lo, lo+n) at the given epoch.
+func memInstances(lo, n, epoch int) []*kb.Instance {
+	out := make([]*kb.Instance, n)
+	for i := range out {
+		out[i] = memInstance(lo+i, epoch)
+	}
+	return out
+}
+
+// buildMemKB builds a fresh KB holding n synthetic instances.
+func buildMemKB(n int) *kb.KB {
+	k := kb.New()
+	k.AddInstances(memInstances(0, n, 1))
+	return k
+}
+
+// KBMemory100k measures KB build time for 100k synthetic instances and
+// reports kb-bytes/inst: the retained heap growth per instance once the
+// temporary construction inputs are collected. The number includes the
+// label indexes (identical across storage layouts), so a drop isolates
+// the instance storage itself.
+func KBMemory100k(b *testing.B) {
+	var perInst float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		heapBefore := settledHeap()
+		b.StartTimer()
+		k := buildMemKB(memKBSize)
+		b.StopTimer()
+		heapAfter := settledHeap()
+		perInst = float64(heapAfter-heapBefore) / float64(memKBSize)
+		if k.NumInstances() != memKBSize {
+			b.Fatalf("built %d instances, want %d", k.NumInstances(), memKBSize)
+		}
+		runtime.KeepAlive(k)
+		b.StartTimer()
+	}
+	b.ReportMetric(perInst, "kb-bytes/inst")
+}
+
+// settledHeap returns HeapAlloc after back-to-back collections, so
+// the delta across a build counts retained bytes, not garbage.
+func settledHeap() int64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc)
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotDelta: bytes written per incremental save.
+
+type snapFix struct {
+	k *kb.KB
+	// baseDir holds the persisted state of the KB before the delta epoch;
+	// each benchmark op restores it and saves on top.
+	baseDir string
+}
+
+var (
+	snapFixOnce sync.Once
+	snapFixVal  *snapFix
+	snapFixErr  error
+)
+
+// snapFixture builds (once per process) a KB of snapBaseSize ingested
+// instances whose snapshot is persisted to a base directory, then adds a
+// snapDeltaSize second epoch that the benchmark saves incrementally.
+func snapFixture(b *testing.B) *snapFix {
+	b.Helper()
+	snapFixOnce.Do(func() {
+		k := kb.New()
+		k.AddInstances(memInstances(0, snapBaseSize, 1))
+		dir, err := os.MkdirTemp("", "ltee-bench-snapbase-")
+		if err != nil {
+			snapFixErr = err
+			return
+		}
+		if _, err := k.SaveSnapshot(dir, kb.Manifest{WorldKey: snapWorldKey}); err != nil {
+			snapFixErr = err
+			return
+		}
+		k.AddInstances(memInstances(snapBaseSize, snapDeltaSize, 2))
+		snapFixVal = &snapFix{k: k, baseDir: dir}
+	})
+	if snapFixErr != nil {
+		b.Fatalf("snapshot fixture: %v", snapFixErr)
+	}
+	return snapFixVal
+}
+
+// SnapshotDelta measures SaveSnapshot with a small second epoch on top of
+// an already persisted base, reporting written-bytes/op: the total size
+// of snapshot files created or replaced by the save. Restoring the base
+// directory is untimed harness work.
+func SnapshotDelta(b *testing.B) {
+	f := snapFixture(b)
+	work, err := os.MkdirTemp("", "ltee-bench-snapwork-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(work)
+	var written int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := restoreDir(work, f.baseDir); err != nil {
+			b.Fatal(err)
+		}
+		before := dirState(b, work)
+		b.StartTimer()
+		m, err := f.k.SaveSnapshot(work, kb.Manifest{WorldKey: snapWorldKey})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if m.Instances != snapBaseSize+snapDeltaSize {
+			b.Fatalf("snapshot holds %d instances, want %d", m.Instances, snapBaseSize+snapDeltaSize)
+		}
+		written += changedBytes(b, work, before)
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(written)/float64(b.N), "written-bytes/op")
+}
+
+type fileState struct {
+	size int64
+	mod  time.Time
+}
+
+// dirState records size and mtime of every regular file in dir.
+func dirState(b *testing.B, dir string) map[string]fileState {
+	b.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make(map[string]fileState, len(ents))
+	for _, e := range ents {
+		if !e.Type().IsRegular() {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			b.Fatal(err)
+		}
+		out[e.Name()] = fileState{size: fi.Size(), mod: fi.ModTime()}
+	}
+	return out
+}
+
+// changedBytes sums the sizes of files that are new or rewritten since
+// the before state — the bytes this save actually produced.
+func changedBytes(b *testing.B, dir string, before map[string]fileState) int64 {
+	b.Helper()
+	var n int64
+	for name, st := range dirState(b, dir) {
+		if prev, ok := before[name]; ok && prev.size == st.size && prev.mod.Equal(st.mod) {
+			continue
+		}
+		n += st.size
+	}
+	return n
+}
+
+// restoreDir resets dst to an exact copy of src's regular files.
+func restoreDir(dst, src string) error {
+	if err := os.RemoveAll(dst); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if !e.Type().IsRegular() {
+			continue
+		}
+		body, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), body, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

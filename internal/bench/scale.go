@@ -35,7 +35,10 @@ import (
 //
 // Scale() lists both families; cmd/ltee-bench runs them behind -scale.
 
-// Scale returns the corpus-scale benchmarks in a fixed order.
+// Scale returns the corpus-scale benchmarks in a fixed order. Besides the
+// two LSH families above, the list carries the storage benchmarks of
+// memory.go: KBMemory/100k (resident bytes per instance) and
+// SnapshotDelta (bytes written per incremental save).
 func Scale() []Named {
 	return []Named{
 		{Name: "BlockAssign/10k", Fn: BlockAssign10k},
@@ -46,6 +49,8 @@ func Scale() []Named {
 		{Name: "IngestScale/1x-exact", Fn: IngestScale1xExact},
 		{Name: "IngestScale/10x", Fn: IngestScale10x},
 		{Name: "IngestScale/10x-exact", Fn: IngestScale10xExact},
+		{Name: "KBMemory/100k", Fn: KBMemory100k},
+		{Name: "SnapshotDelta", Fn: SnapshotDelta},
 	}
 }
 
@@ -198,7 +203,7 @@ func buildScaleFixture(scale int) (*scaleFix, error) {
 	// cap and must score every posting of a shared common token.
 	freq := make(map[string]int)
 	for _, id := range w.KB.InstancesOf(kb.ClassGFPlayer) {
-		for _, tok := range strsim.Tokens(w.KB.Instance(id).Label()) {
+		for _, tok := range strsim.Tokens(w.KB.InstanceLabel(id)) {
 			freq[tok]++
 		}
 	}

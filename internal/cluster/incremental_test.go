@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -229,6 +230,47 @@ func TestIncrementalClone(t *testing.T) {
 	forkOut := fork.Result()
 	if forkOut.Assign[seed.Ref] != forkOut.Assign[joiner.Ref] {
 		t.Error("fork did not cluster the new row against inherited state")
+	}
+}
+
+// BenchmarkIncrementalClone100k isolates the engine's per-iteration
+// speculative Clone at production scale: 100k retained rows in 20k
+// clusters behind a 20k-key block index — the deferred O(corpus) term
+// PR 7 left in the epoch loop. The synthetic state is built directly
+// (clustering 100k rows in a benchmark setup would dominate the run);
+// shapes mirror compacted post-epoch state. ROADMAP records the
+// measured numbers against the per-epoch ingest cost.
+func BenchmarkIncrementalClone100k(b *testing.B) {
+	const nClusters = 20_000
+	const rowsPer = 5
+	opts := NewOptions()
+	opts.Workers = 1
+	inc := NewIncremental(labelScorer(), opts)
+	c := inc.c
+	for ci := 0; ci < nClusters; ci++ {
+		cl := &clusterState{rows: make([]*Row, rowsPer), blocks: make(map[string]bool, 2)}
+		label := fmt.Sprintf("player %06d", ci)
+		for r := 0; r < rowsPer; r++ {
+			cl.rows[r] = mkRow(ci%97, ci*rowsPer+r, label, nil)
+		}
+		for _, bk := range []string{label, fmt.Sprintf("player %06d", (ci+1)%nClusters)} {
+			cl.blocks[bk] = true
+			m := c.blockIndex[bk]
+			if m == nil {
+				m = make(map[int]bool, 2)
+				c.blockIndex[bk] = m
+			}
+			m[ci] = true
+		}
+		c.clusters = append(c.clusters, cl)
+	}
+	c.ver = make([]uint64, nClusters)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if clone := inc.Clone(); clone.NumRows() != nClusters*rowsPer {
+			b.Fatal("clone lost rows")
+		}
 	}
 }
 

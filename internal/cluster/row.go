@@ -196,16 +196,6 @@ func sortedCols(mapping map[int]kb.PropertyID) []int {
 	return cols
 }
 
-// sortedProps returns a fact map's property IDs in ascending order.
-func sortedProps(facts map[kb.PropertyID]dtype.Value) []kb.PropertyID {
-	pids := make([]kb.PropertyID, 0, len(facts))
-	for pid := range facts {
-		pids = append(pids, pid)
-	}
-	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
-	return pids
-}
-
 // implicitAttrs derives the implicit property-value combinations of a table
 // (§3.2, IMPLICIT_ATT): row labels retrieve candidate instances; every
 // property-value combination of any candidate is scored by the fraction of
@@ -233,12 +223,10 @@ func (b *Builder) implicitAttrs(t *webtable.Table, cfg BuildConfig) map[kb.Prope
 		// row contributes at most one unit of support per combination.
 		seen := make(map[pv]bool)
 		for _, iid := range cands {
-			facts := b.KB.Instance(iid).Facts
-			for _, pid := range sortedProps(facts) {
-				v := facts[pid]
+			b.KB.ForEachFact(iid, func(pid kb.PropertyID, v dtype.Value) {
 				key := pv{pid, v.String()}
 				if seen[key] {
-					continue
+					return
 				}
 				// Group near-equal values under the earliest-seen
 				// representative key.
@@ -249,7 +237,7 @@ func (b *Builder) implicitAttrs(t *webtable.Table, cfg BuildConfig) map[kb.Prope
 					}
 				}
 				if seen[key] {
-					continue
+					return
 				}
 				seen[key] = true
 				support[key]++
@@ -257,7 +245,7 @@ func (b *Builder) implicitAttrs(t *webtable.Table, cfg BuildConfig) map[kb.Prope
 					values[key] = v
 					reps[pid] = append(reps[pid], key)
 				}
-			}
+			})
 		}
 	}
 	out := make(map[kb.PropertyID]ImplicitAttr)

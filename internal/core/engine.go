@@ -372,11 +372,11 @@ func (e *Engine) Resume(epoch int, tableIDs []int) error {
 		e.ingested[tid] = true
 	}
 	for _, iid := range e.Cfg.KB.InstancesOf(e.Cfg.Class) {
-		in := e.Cfg.KB.Instance(iid)
-		if in == nil || in.Provenance != kb.ProvenanceIngest {
+		prov, _ := e.Cfg.KB.InstanceProvenance(iid)
+		if prov != kb.ProvenanceIngest {
 			continue
 		}
-		sig := instanceSignature(in.Class, in.Label())
+		sig := instanceSignature(e.Cfg.Class, e.Cfg.KB.InstanceLabel(iid))
 		if _, done := e.written[sig]; !done {
 			e.written[sig] = iid
 		}

@@ -41,16 +41,23 @@ func TestEngineSnapshotRoundTrip(t *testing.T) {
 	cfgA.Iterations = 1
 	engA := NewEngine(cfgA, Models{})
 	batches := splitBatches(tablesA, preEpochs+1)
+	// Save after every epoch: the first save writes the whole chain, each
+	// later one appends only that epoch's write-backs as a delta segment,
+	// so run B below restores from a genuine multi-segment chain.
+	var saved kb.Manifest
 	for i := 0; i < preEpochs; i++ {
 		engA.Ingest(context.Background(), batches[i])
+		var err error
+		if saved, err = wA.KB.SaveSnapshot(dir, kb.Manifest{
+			Epochs: map[string]int{string(kb.ClassGFPlayer): engA.Epoch()},
+			Tables: map[string][]int{string(kb.ClassGFPlayer): engA.IngestedIDs()},
+		}); err != nil {
+			t.Fatal(err)
+		}
 	}
-
-	// Save a snapshot of the grown KB.
-	if _, err := wA.KB.SaveSnapshot(dir, kb.Manifest{
-		Epochs: map[string]int{string(kb.ClassGFPlayer): engA.Epoch()},
-		Tables: map[string][]int{string(kb.ClassGFPlayer): engA.IngestedIDs()},
-	}); err != nil {
-		t.Fatal(err)
+	if len(saved.Segments) != preEpochs {
+		t.Fatalf("per-epoch saves built %d segments, want %d (delta saves are not incremental)",
+			len(saved.Segments), preEpochs)
 	}
 
 	// Run B: regenerate the identical seed world, load the snapshot.
@@ -59,6 +66,9 @@ func TestEngineSnapshotRoundTrip(t *testing.T) {
 	m, err := wB.KB.LoadSnapshot(dir)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(m.Segments) != preEpochs {
+		t.Fatalf("loaded manifest lists %d segments, want %d", len(m.Segments), preEpochs)
 	}
 	if got, want := kbBytes(t, wB.KB), kbBytes(t, wA.KB); !bytes.Equal(got, want) {
 		t.Fatal("restored KB serialization differs from the unsnapshotted KB")

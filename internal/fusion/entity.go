@@ -291,7 +291,7 @@ func (src *Sources) kbtTrust(table, col int) float64 {
 					if !ok {
 						continue
 					}
-					fact, ok := src.KB.Instance(iid).Facts[pid]
+					fact, ok := src.KB.Fact(iid, pid)
 					if !ok {
 						continue
 					}

@@ -1,0 +1,385 @@
+package kb
+
+import (
+	"sort"
+
+	"repro/internal/dtype"
+	"repro/internal/strsim"
+)
+
+// This file holds the columnar instance storage behind KB. Instances of a
+// class live in one classStore as struct-of-arrays: per-row slices for
+// the always-present fields (labels, provenance, epoch) and one sparse
+// fact column per schema property, keyed by the class schema's
+// PropertyID order (ascending, the package's canonical property order).
+// Strings — labels and the Raw/Str payloads of fact values — are interned
+// through a per-KB strsim.Interner, so the heavy repetition of nominal
+// values, referenced labels, and shared vocabulary across a grown KB is
+// stored once. A dtype.Value packs into 32 bytes (packedValue) instead of
+// the ~96-byte struct plus two string payloads per fact.
+//
+// Rows append only; fact-column row lists are therefore strictly
+// increasing and lookups are binary searches. Facts outside the class
+// schema (instances of schema-less classes, hand-built test instances)
+// go to a per-row overflow map — correctness for the long tail, columns
+// for the mass.
+//
+// The *Instance values the public API returns are materialized views
+// copied out of the columns on demand; mutating one never touches the
+// store. All classStore access is synchronized by the owning KB's lock:
+// writes under kb.mu.Lock, reads under kb.mu.RLock.
+
+// instLoc locates a global InstanceID inside a class store: an index
+// into KB.storeList plus a row. Eight bytes per instance.
+type instLoc struct {
+	store uint32
+	row   int32
+}
+
+// packedValue is the columnar form of a dtype.Value: string payloads as
+// intern IDs, date parts narrowed. packable reports the rare value that
+// cannot be narrowed; it is stored unpacked in the extras map instead.
+type packedValue struct {
+	num        float64
+	raw, str   int32
+	year       int32
+	month, day int16
+	kind, gran uint8
+}
+
+// packable reports whether v's date parts fit packedValue's narrowed
+// fields (any sane date does; io.go accepts arbitrary JSON numbers).
+func packable(v dtype.Value) bool {
+	return v.Year >= -1<<31 && v.Year < 1<<31 &&
+		v.Month >= -1<<15 && v.Month < 1<<15 &&
+		v.Day >= -1<<15 && v.Day < 1<<15
+}
+
+func packValue(v dtype.Value, strs *strsim.Interner) packedValue {
+	return packedValue{
+		num:   v.Num,
+		raw:   strs.Intern(v.Raw),
+		str:   strs.Intern(v.Str),
+		year:  int32(v.Year),
+		month: int16(v.Month),
+		day:   int16(v.Day),
+		kind:  uint8(v.Kind),
+		gran:  uint8(v.Gran),
+	}
+}
+
+func unpackValue(pv packedValue, strs *strsim.Interner) dtype.Value {
+	return dtype.Value{
+		Kind: dtype.Kind(pv.kind),
+		Raw:  strs.Lookup(pv.raw),
+		Str:  strs.Lookup(pv.str),
+		Num:  pv.num,
+		Year: int(pv.year), Month: int(pv.month), Day: int(pv.day),
+		Gran: dtype.Granularity(pv.gran),
+	}
+}
+
+// factCol is one sparse fact column: rows (strictly increasing, since
+// rows append in order) and their packed values, parallel slices.
+type factCol struct {
+	rows []int32
+	vals []packedValue
+}
+
+// find returns the position of row in the column, or -1.
+func (c *factCol) find(row int32) int {
+	i := sort.Search(len(c.rows), func(i int) bool { return c.rows[i] >= row })
+	if i < len(c.rows) && c.rows[i] == row {
+		return i
+	}
+	return -1
+}
+
+// sparseStrCol stores a string for the sparse subset of rows that have
+// one (abstracts: seed instances carry them, write-backs do not).
+type sparseStrCol struct {
+	rows []int32
+	vals []string
+}
+
+func (c *sparseStrCol) find(row int32) int {
+	i := sort.Search(len(c.rows), func(i int) bool { return c.rows[i] >= row })
+	if i < len(c.rows) && c.rows[i] == row {
+		return i
+	}
+	return -1
+}
+
+// sparseF64Col stores a float64 for the sparse subset of rows with a
+// nonzero value (popularity: write-backs default to zero).
+type sparseF64Col struct {
+	rows []int32
+	vals []float64
+}
+
+func (c *sparseF64Col) find(row int32) int {
+	i := sort.Search(len(c.rows), func(i int) bool { return c.rows[i] >= row })
+	if i < len(c.rows) && c.rows[i] == row {
+		return i
+	}
+	return -1
+}
+
+// classStore holds all instances of one class in columnar form.
+type classStore struct {
+	class ClassID
+	// ids[row] is the global InstanceID of the row, in insertion order
+	// (this is the byClass list of the old layout, owned here).
+	ids []InstanceID
+
+	// pids is the fact-column key set: the class schema's property IDs
+	// in ascending order, frozen when the store is created. ppos maps a
+	// property to its column.
+	pids []PropertyID
+	ppos map[PropertyID]int
+	cols []factCol
+	// extras holds the facts of a row that fall outside the schema
+	// columns, keyed by row. Rare by construction.
+	extras     map[int32]map[PropertyID]dtype.Value
+	extraFacts int
+
+	// labelIDs is a flat arena of interned label IDs;
+	// labelOff[row]..labelOff[row+1] bound a row's labels.
+	labelOff []int32
+	labelIDs []int32
+
+	abstracts sparseStrCol
+	pops      sparseF64Col
+	// provIngest marks rows with Provenance == ProvenanceIngest (the
+	// only non-empty provenance the model has; a bitmap-of-bytes keeps
+	// the general shape cheap).
+	provIngest []bool
+	epochs     []int32
+}
+
+// newClassStore creates the store for a class, columnizing the schema of
+// c (nil for schema-less classes: every fact then lands in extras).
+func newClassStore(class ClassID, c *Class) *classStore {
+	st := &classStore{class: class, labelOff: []int32{0}}
+	if c != nil && len(c.Properties) > 0 {
+		st.pids = make([]PropertyID, 0, len(c.Properties))
+		for _, p := range c.Properties {
+			st.pids = append(st.pids, p.ID)
+		}
+		sort.Slice(st.pids, func(i, j int) bool { return st.pids[i] < st.pids[j] })
+		st.ppos = make(map[PropertyID]int, len(st.pids))
+		for i, pid := range st.pids {
+			st.ppos[pid] = i
+		}
+		st.cols = make([]factCol, len(st.pids))
+	}
+	return st
+}
+
+// add appends in as a new row and returns it. Caller holds the KB write
+// lock and has assigned in.ID.
+func (st *classStore) add(in *Instance, strs *strsim.Interner) int32 {
+	row := int32(len(st.ids))
+	st.ids = append(st.ids, in.ID)
+	for _, l := range in.Labels {
+		st.labelIDs = append(st.labelIDs, strs.Intern(l))
+	}
+	st.labelOff = append(st.labelOff, int32(len(st.labelIDs)))
+	if in.Abstract != "" {
+		st.abstracts.rows = append(st.abstracts.rows, row)
+		st.abstracts.vals = append(st.abstracts.vals, in.Abstract)
+	}
+	if in.Popularity != 0 {
+		st.pops.rows = append(st.pops.rows, row)
+		st.pops.vals = append(st.pops.vals, in.Popularity)
+	}
+	st.provIngest = append(st.provIngest, in.Provenance == ProvenanceIngest)
+	st.epochs = append(st.epochs, int32(in.IngestEpoch))
+	for _, pid := range sortedKeys(in.Facts) {
+		v := in.Facts[pid]
+		ci, ok := st.ppos[pid]
+		if !ok || !packable(v) {
+			if st.extras == nil {
+				st.extras = make(map[int32]map[PropertyID]dtype.Value)
+			}
+			m := st.extras[row]
+			if m == nil {
+				m = make(map[PropertyID]dtype.Value, 1)
+				st.extras[row] = m
+			}
+			m[pid] = v
+			st.extraFacts++
+			continue
+		}
+		c := &st.cols[ci]
+		c.rows = append(c.rows, row)
+		c.vals = append(c.vals, packValue(v, strs))
+	}
+	return row
+}
+
+// fact returns the row's value for pid.
+func (st *classStore) fact(row int32, pid PropertyID, strs *strsim.Interner) (dtype.Value, bool) {
+	if ci, ok := st.ppos[pid]; ok {
+		if i := st.cols[ci].find(row); i >= 0 {
+			return unpackValue(st.cols[ci].vals[i], strs), true
+		}
+		// A packable schema fact lives in its column; fall through for
+		// the unpackable remainder in extras.
+	}
+	if m, ok := st.extras[row]; ok {
+		if v, ok := m[pid]; ok {
+			return v, true
+		}
+	}
+	return dtype.Value{}, false
+}
+
+// numFacts counts the row's facts across columns and extras.
+func (st *classStore) numFacts(row int32) int {
+	n := len(st.extras[row])
+	for i := range st.cols {
+		if st.cols[i].find(row) >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// forEachFact visits the row's facts in ascending PropertyID order — the
+// package's canonical iteration order (SortedPropertyIDs), which every
+// float accumulation downstream depends on. Schema columns are already
+// ascending; rows with extras merge the two sorted sequences.
+func (st *classStore) forEachFact(row int32, strs *strsim.Interner, fn func(PropertyID, dtype.Value)) {
+	extra := st.extras[row]
+	if len(extra) == 0 {
+		for ci := range st.cols {
+			if i := st.cols[ci].find(row); i >= 0 {
+				fn(st.pids[ci], unpackValue(st.cols[ci].vals[i], strs))
+			}
+		}
+		return
+	}
+	epids := sortedKeys(extra)
+	e := 0
+	for ci := range st.cols {
+		i := st.cols[ci].find(row)
+		if i < 0 {
+			continue
+		}
+		for e < len(epids) && epids[e] < st.pids[ci] {
+			fn(epids[e], extra[epids[e]])
+			e++
+		}
+		fn(st.pids[ci], unpackValue(st.cols[ci].vals[i], strs))
+	}
+	for ; e < len(epids); e++ {
+		fn(epids[e], extra[epids[e]])
+	}
+}
+
+// labels returns the row's interned label IDs.
+func (st *classStore) labels(row int32) []int32 {
+	return st.labelIDs[st.labelOff[row]:st.labelOff[row+1]]
+}
+
+// label returns the row's primary label ("" when unlabeled).
+func (st *classStore) label(row int32, strs *strsim.Interner) string {
+	ls := st.labels(row)
+	if len(ls) == 0 {
+		return ""
+	}
+	return strs.Lookup(ls[0])
+}
+
+// abstract returns the row's abstract ("" for the sparse default).
+func (st *classStore) abstract(row int32) string {
+	if i := st.abstracts.find(row); i >= 0 {
+		return st.abstracts.vals[i]
+	}
+	return ""
+}
+
+// popularity returns the row's popularity (0 for the sparse default).
+func (st *classStore) popularity(row int32) float64 {
+	if i := st.pops.find(row); i >= 0 {
+		return st.pops.vals[i]
+	}
+	return 0
+}
+
+// provenance returns the row's provenance string.
+func (st *classStore) provenance(row int32) string {
+	if st.provIngest[row] {
+		return ProvenanceIngest
+	}
+	return ""
+}
+
+// materialize copies the row out into a standalone Instance. The copy
+// owns its Labels slice and Facts map; mutating it cannot reach the
+// store.
+func (st *classStore) materialize(row int32, strs *strsim.Interner) *Instance {
+	in := &Instance{
+		ID:          st.ids[row],
+		Class:       st.class,
+		Abstract:    st.abstract(row),
+		Popularity:  st.popularity(row),
+		Provenance:  st.provenance(row),
+		IngestEpoch: int(st.epochs[row]),
+		Facts:       make(map[PropertyID]dtype.Value),
+	}
+	if ls := st.labels(row); len(ls) > 0 {
+		in.Labels = make([]string, len(ls))
+		for i, id := range ls {
+			in.Labels[i] = strs.Lookup(id)
+		}
+	}
+	st.forEachFact(row, strs, func(pid PropertyID, v dtype.Value) {
+		in.Facts[pid] = v
+	})
+	return in
+}
+
+// numFactsTotal returns the store's total fact count (Table 1 profile).
+func (st *classStore) numFactsTotal() int {
+	n := st.extraFacts
+	for i := range st.cols {
+		n += len(st.cols[i].rows)
+	}
+	return n
+}
+
+// approxBytes estimates the store's resident bytes: slice capacities
+// times element sizes plus the extras maps (string payloads live in the
+// KB interner and are counted there).
+func (st *classStore) approxBytes() int64 {
+	var n int64
+	n += int64(cap(st.ids)) * 8
+	n += int64(cap(st.labelOff)+cap(st.labelIDs)) * 4
+	n += int64(cap(st.abstracts.rows)) * 4
+	for _, s := range st.abstracts.vals {
+		n += 16 + int64(len(s))
+	}
+	n += int64(cap(st.pops.rows))*4 + int64(cap(st.pops.vals))*8
+	n += int64(cap(st.provIngest)) + int64(cap(st.epochs))*4
+	for i := range st.cols {
+		n += int64(cap(st.cols[i].rows))*4 + int64(cap(st.cols[i].vals))*32
+	}
+	n += int64(st.extraFacts) * 160 // unpacked values plus map overhead
+	return n
+}
+
+// sortedKeys returns m's keys in ascending order (SortedPropertyIDs,
+// kept local so store code does not depend on the public helper).
+func sortedKeys[V any](m map[PropertyID]V) []PropertyID {
+	if len(m) == 0 {
+		return nil
+	}
+	pids := make([]PropertyID, 0, len(m))
+	for pid := range m {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	return pids
+}

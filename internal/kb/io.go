@@ -83,45 +83,64 @@ func (kb *KB) WriteInstances(w io.Writer) error {
 
 // WriteInstancesIf serializes the instances for which keep returns true
 // (all of them when keep is nil) as newline-delimited JSON, in insertion
-// order. Snapshot persistence uses the same filter to dump only the
-// instances the ingestion engine wrote back, so a restart can regenerate
-// the seed world and replay just the discoveries on top.
+// order. keep sees a materialized view of each instance. Snapshot
+// persistence instead dumps by ID ranges (writeInstancesByID); this
+// filtered form serves ad-hoc exports.
 func (kb *KB) WriteInstancesIf(w io.Writer, keep func(*Instance) bool) error {
-	kb.mu.RLock()
-	instances := make([]*Instance, 0, len(kb.instances))
-	for _, in := range kb.instances {
-		if keep == nil || keep(in) {
-			instances = append(instances, in)
-		}
-	}
-	kb.mu.RUnlock()
-	return writeInstanceList(w, instances)
-}
-
-// writeInstanceList serializes an already-collected instance list; the
-// caller owns the consistency of the collection (instances are immutable
-// once added, so no lock is needed here).
-func writeInstanceList(w io.Writer, instances []*Instance) error {
+	n := kb.NumInstances()
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	for _, in := range instances {
-		ji := jsonInstance{
-			Class:       string(in.Class),
-			Labels:      in.Labels,
-			Abstract:    in.Abstract,
-			Popularity:  in.Popularity,
-			Facts:       make(map[string]jsonValue, len(in.Facts)),
-			Provenance:  in.Provenance,
-			IngestEpoch: in.IngestEpoch,
+	for id := 0; id < n; id++ {
+		in := kb.Instance(InstanceID(id))
+		if keep != nil && !keep(in) {
+			continue
 		}
-		for pid, v := range in.Facts {
-			ji.Facts[string(pid)] = toJSONValue(v)
-		}
-		if err := enc.Encode(&ji); err != nil {
-			return fmt.Errorf("kb: writing instance %d: %w", in.ID, err)
+		if err := encodeInstance(enc, in); err != nil {
+			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// writeInstancesByID serializes the given instances, in the given order,
+// as newline-delimited JSON. Snapshot segments are written through this:
+// the ID list is a contiguous run of the KB's ingestion order.
+func (kb *KB) writeInstancesByID(w io.Writer, ids []InstanceID) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, id := range ids {
+		in := kb.Instance(id)
+		if in == nil {
+			return fmt.Errorf("kb: writing instance %d: no such instance", id)
+		}
+		if err := encodeInstance(enc, in); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// encodeInstance writes one instance as a JSON line. Facts marshal as a
+// map, and encoding/json sorts map keys, so the line's fact order is the
+// package's canonical ascending PropertyID order regardless of storage
+// layout.
+func encodeInstance(enc *json.Encoder, in *Instance) error {
+	ji := jsonInstance{
+		Class:       string(in.Class),
+		Labels:      in.Labels,
+		Abstract:    in.Abstract,
+		Popularity:  in.Popularity,
+		Facts:       make(map[string]jsonValue, len(in.Facts)),
+		Provenance:  in.Provenance,
+		IngestEpoch: in.IngestEpoch,
+	}
+	for pid, v := range in.Facts {
+		ji.Facts[string(pid)] = toJSONValue(v)
+	}
+	if err := enc.Encode(&ji); err != nil {
+		return fmt.Errorf("kb: writing instance %d: %w", in.ID, err)
+	}
+	return nil
 }
 
 // ReadInstances loads newline-delimited JSON instances into the KB,

@@ -1,19 +1,3 @@
-// Package kb implements the cross-domain knowledge base substrate the
-// pipeline extends. It substitutes for the DBpedia 2014 release the paper
-// uses: a class hierarchy, typed properties, instances with labels,
-// abstracts and facts, and a popularity score per instance (substituting
-// the Wikipedia page-link dataset used by the POPULARITY metric).
-//
-// The package also provides profiling (instance/fact counts and property
-// densities, Tables 1-2) and a deterministic synthetic generator that
-// reproduces the schema and density profile of the paper's three classes.
-//
-// A KB supports safe concurrent post-construction growth: AddInstance and
-// AddClass may run while other goroutines read or search, and every
-// mutation bumps a monotonic Version counter that downstream caches
-// (match.Context profiles, newdet.Detector candidates) key their validity
-// on. Instances written back by the incremental ingestion engine carry a
-// Provenance marker and the ingest epoch that created them.
 package kb
 
 import (
@@ -131,14 +115,27 @@ func (in *Instance) Label() string {
 
 // KB is an in-memory knowledge base. The zero value is not usable; call
 // New. All methods are safe for concurrent use, including growth via
-// AddInstance/AddClass while readers search (an Instance must be treated
-// as immutable once added).
+// AddInstance/AddClass while readers search. Instances live in per-class
+// columnar stores (columnar.go); the *Instance values returned by
+// Instance are materialized copies the caller may retain or mutate
+// without affecting the KB.
 type KB struct {
-	mu        sync.RWMutex
-	version   atomic.Uint64
-	classes   map[ClassID]*Class
-	instances []*Instance
-	byClass   map[ClassID][]InstanceID
+	mu      sync.RWMutex
+	version atomic.Uint64
+	classes map[ClassID]*Class
+	// strs interns instance labels and fact string payloads for the
+	// columnar stores. Mutated only under mu.Lock; read under mu.RLock.
+	strs *strsim.Interner
+	// storeList holds one columnar store per class that has instances;
+	// storeOf maps a class to its position. locs maps a global
+	// InstanceID to (store, row).
+	storeList []*classStore
+	storeOf   map[ClassID]uint32
+	locs      []instLoc
+	// ingested lists the IDs of write-back instances (Provenance ==
+	// ProvenanceIngest) in insertion order — the persistence order of
+	// snapshot segments.
+	ingested []InstanceID
 	// labelIdx supports candidate selection: one label index per
 	// evaluation class plus a global one.
 	labelIdx map[ClassID]*index.Index
@@ -156,7 +153,8 @@ type KB struct {
 func New() *KB {
 	kb := &KB{
 		classes:  make(map[ClassID]*Class),
-		byClass:  make(map[ClassID][]InstanceID),
+		strs:     strsim.NewInterner(),
+		storeOf:  make(map[ClassID]uint32),
 		labelIdx: make(map[ClassID]*index.Index),
 		globalIx: index.New(),
 		cand:     lsh.NewIndex(lsh.DefaultParams()),
@@ -165,6 +163,29 @@ func New() *KB {
 		kb.AddClass(c)
 	}
 	return kb
+}
+
+// storeFor returns the columnar store of class id, creating it (with the
+// class's current schema as column set) on first instance. Caller holds
+// the write lock.
+func (kb *KB) storeFor(id ClassID) *classStore {
+	if si, ok := kb.storeOf[id]; ok {
+		return kb.storeList[si]
+	}
+	st := newClassStore(id, kb.classes[id])
+	kb.storeOf[id] = uint32(len(kb.storeList))
+	kb.storeList = append(kb.storeList, st)
+	return st
+}
+
+// loc resolves an InstanceID to its store and row. Caller holds at least
+// the read lock.
+func (kb *KB) loc(id InstanceID) (*classStore, int32, bool) {
+	if id < 0 || int(id) >= len(kb.locs) {
+		return nil, 0, false
+	}
+	l := kb.locs[id]
+	return kb.storeList[l.store], l.row, true
 }
 
 func defaultOntology() []*Class {
@@ -329,19 +350,22 @@ func (kb *KB) Schema(id ClassID) []Property {
 	return nil
 }
 
-// AddInstance stores an instance, assigns it an ID, and indexes its labels.
-// The instance's Facts map may be nil. Safe to call while other goroutines
-// read or search the KB: the instance becomes visible to ID lookups before
-// its labels enter the indexes, so a concurrent search never retrieves a
-// document without a backing instance.
+// AddInstance stores an instance into its class's columnar store,
+// assigns it an ID, and indexes its labels. The instance's Facts map may
+// be nil. The passed *Instance is copied out — the KB keeps no reference
+// to it. Safe to call while other goroutines read or search the KB: the
+// instance becomes visible to ID lookups before its labels enter the
+// indexes, so a concurrent search never retrieves a document without a
+// backing instance.
 func (kb *KB) AddInstance(in *Instance) InstanceID {
 	kb.mu.Lock()
-	in.ID = InstanceID(len(kb.instances))
-	if in.Facts == nil {
-		in.Facts = make(map[PropertyID]dtype.Value)
+	in.ID = InstanceID(len(kb.locs))
+	st := kb.storeFor(in.Class)
+	row := st.add(in, kb.strs)
+	kb.locs = append(kb.locs, instLoc{store: kb.storeOf[in.Class], row: row})
+	if in.Provenance == ProvenanceIngest {
+		kb.ingested = append(kb.ingested, in.ID)
 	}
-	kb.instances = append(kb.instances, in)
-	kb.byClass[in.Class] = append(kb.byClass[in.Class], in.ID)
 	classIx := kb.labelIdx[in.Class]
 	kb.mu.Unlock()
 
@@ -369,13 +393,14 @@ func (kb *KB) AddInstances(ins []*Instance) []InstanceID {
 	ids := make([]InstanceID, len(ins))
 	classIxs := make([]*index.Index, len(ins))
 	for i, in := range ins {
-		in.ID = InstanceID(len(kb.instances))
+		in.ID = InstanceID(len(kb.locs))
 		ids[i] = in.ID
-		if in.Facts == nil {
-			in.Facts = make(map[PropertyID]dtype.Value)
+		st := kb.storeFor(in.Class)
+		row := st.add(in, kb.strs)
+		kb.locs = append(kb.locs, instLoc{store: kb.storeOf[in.Class], row: row})
+		if in.Provenance == ProvenanceIngest {
+			kb.ingested = append(kb.ingested, in.ID)
 		}
-		kb.instances = append(kb.instances, in)
-		kb.byClass[in.Class] = append(kb.byClass[in.Class], in.ID)
 		classIxs[i] = kb.labelIdx[in.Class]
 	}
 	kb.mu.Unlock()
@@ -400,21 +425,35 @@ func (kb *KB) AddInstances(ins []*Instance) []InstanceID {
 	return ids
 }
 
-// Instance returns the instance with the given ID, or nil.
+// Instance returns a materialized view of the instance with the given
+// ID, or nil. The returned copy owns its Labels slice and Facts map; the
+// caller may retain or mutate it without affecting the KB. Hot paths
+// should prefer the field accessors (Fact, InstanceClass, InstanceLabel,
+// ForEachFact, ...), which read the columns without materializing.
 func (kb *KB) Instance(id InstanceID) *Instance {
 	kb.mu.RLock()
 	defer kb.mu.RUnlock()
-	if id < 0 || int(id) >= len(kb.instances) {
+	st, row, ok := kb.loc(id)
+	if !ok {
 		return nil
 	}
-	return kb.instances[id]
+	return st.materialize(row, kb.strs)
 }
 
 // NumInstances returns the total number of instances.
 func (kb *KB) NumInstances() int {
 	kb.mu.RLock()
 	defer kb.mu.RUnlock()
-	return len(kb.instances)
+	return len(kb.locs)
+}
+
+// NumIngested returns the number of write-back instances (Provenance ==
+// ProvenanceIngest) — the length of the persistence order snapshot
+// segments follow.
+func (kb *KB) NumIngested() int {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	return len(kb.ingested)
 }
 
 // InstancesOf returns the instance IDs of class id (not descendants), in
@@ -422,10 +461,24 @@ func (kb *KB) NumInstances() int {
 func (kb *KB) InstancesOf(id ClassID) []InstanceID {
 	kb.mu.RLock()
 	defer kb.mu.RUnlock()
-	ids := kb.byClass[id]
+	var ids []InstanceID
+	if si, ok := kb.storeOf[id]; ok {
+		ids = kb.storeList[si].ids
+	}
 	out := make([]InstanceID, len(ids))
 	copy(out, ids)
 	return out
+}
+
+// NumInstancesOf returns the instance count of class id (not
+// descendants) without copying the ID list.
+func (kb *KB) NumInstancesOf(id ClassID) int {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	if si, ok := kb.storeOf[id]; ok {
+		return len(kb.storeList[si].ids)
+	}
+	return 0
 }
 
 // CandidateOpts configures Candidates.
@@ -465,8 +518,8 @@ func (kb *KB) SearchInstances(ctx context.Context, label string, opts CandidateO
 		}
 	}
 	var out []SearchHit
-	kb.filteredHits(ctx, label, opts, false, func(in *Instance, score float64) {
-		out = append(out, SearchHit{Instance: in.ID, Score: score})
+	kb.filteredHits(ctx, label, opts, false, func(id InstanceID, _ ClassID, score float64) {
+		out = append(out, SearchHit{Instance: id, Score: score})
 	})
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
@@ -488,8 +541,8 @@ func (kb *KB) SearchInstances(ctx context.Context, label string, opts CandidateO
 // instead.
 func (kb *KB) Candidates(label string, opts CandidateOpts) []InstanceID {
 	var out []InstanceID
-	kb.filteredHits(nil, label, opts, !scanCandidates.Load(), func(in *Instance, _ float64) {
-		out = append(out, in.ID)
+	kb.filteredHits(nil, label, opts, !scanCandidates.Load(), func(id InstanceID, _ ClassID, _ float64) {
+		out = append(out, id)
 	})
 	return out
 }
@@ -501,7 +554,7 @@ func (kb *KB) Candidates(label string, opts CandidateOpts) []InstanceID {
 // retrieval re-ranked by the exact scorer; otherwise from the reference
 // full search. Both orderings use the same floats and tie-breaks, so the
 // class-filtering walk behaves identically.
-func (kb *KB) filteredHits(ctx context.Context, label string, opts CandidateOpts, useLSH bool, visit func(*Instance, float64)) {
+func (kb *KB) filteredHits(ctx context.Context, label string, opts CandidateOpts, useLSH bool, visit func(InstanceID, ClassID, float64)) {
 	k := opts.K
 	if k <= 0 {
 		k = 20
@@ -525,14 +578,14 @@ func (kb *KB) filteredHits(ctx context.Context, label string, opts CandidateOpts
 	defer kb.mu.RUnlock()
 	n := 0
 	for _, h := range hits {
-		if h.Doc < 0 || h.Doc >= len(kb.instances) {
+		if h.Doc < 0 || h.Doc >= len(kb.locs) {
 			continue
 		}
-		in := kb.instances[h.Doc]
-		if opts.Class != "" && !kb.sharesParentLocked(in.Class, opts.Class) {
+		class := kb.storeList[kb.locs[h.Doc].store].class
+		if opts.Class != "" && !kb.sharesParentLocked(class, opts.Class) {
 			continue
 		}
-		visit(in, h.Score)
+		visit(InstanceID(h.Doc), class, h.Score)
 		n++
 		if n == k {
 			break
@@ -544,7 +597,7 @@ func (kb *KB) filteredHits(ctx context.Context, label string, opts CandidateOpts
 func (kb *KB) String() string {
 	kb.mu.RLock()
 	defer kb.mu.RUnlock()
-	return fmt.Sprintf("KB{classes: %d, instances: %d}", len(kb.classes), len(kb.instances))
+	return fmt.Sprintf("KB{classes: %d, instances: %d}", len(kb.classes), len(kb.locs))
 }
 
 // SortedPropertyIDs returns a property-keyed map's keys in ascending

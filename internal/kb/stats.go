@@ -18,29 +18,39 @@ type PropertyProfile struct {
 	Density  float64
 }
 
-// ProfileClass computes the Table 1 row for a class.
+// ProfileClass computes the Table 1 row for a class. Columnar storage
+// makes this O(columns): instance and per-column fact counts are slice
+// lengths.
 func (kb *KB) ProfileClass(id ClassID) ClassProfile {
 	kb.mu.RLock()
 	defer kb.mu.RUnlock()
 	p := ClassProfile{Class: id}
-	for _, iid := range kb.byClass[id] {
-		p.Instances++
-		p.Facts += len(kb.instances[iid].Facts)
+	if si, ok := kb.storeOf[id]; ok {
+		st := kb.storeList[si]
+		p.Instances = len(st.ids)
+		p.Facts = st.numFactsTotal()
 	}
 	return p
 }
 
 // ProfileProperties computes the Table 2 rows for a class, ordered by
 // descending density (as the paper prints them). Only properties in the
-// class schema are reported.
+// class schema are reported. Schema-property counts are column lengths;
+// only the rare extras maps are walked.
 func (kb *KB) ProfileProperties(id ClassID) []PropertyProfile {
 	kb.mu.RLock()
 	counts := make(map[PropertyID]int)
 	n := 0
-	for _, iid := range kb.byClass[id] {
-		n++
-		for pid := range kb.instances[iid].Facts {
-			counts[pid]++
+	if si, ok := kb.storeOf[id]; ok {
+		st := kb.storeList[si]
+		n = len(st.ids)
+		for ci, pid := range st.pids {
+			counts[pid] += len(st.cols[ci].rows)
+		}
+		for _, m := range st.extras {
+			for pid := range m {
+				counts[pid]++
+			}
 		}
 	}
 	kb.mu.RUnlock()

@@ -1,0 +1,217 @@
+package kb
+
+import (
+	"sort"
+
+	"repro/internal/dtype"
+)
+
+// This file holds the field accessors over the columnar stores: the hot
+// paths (candidate scoring, profile building, clustering reps) read
+// single fields in O(1)/O(log n) without materializing an Instance.
+// Every accessor returns either a value copy or memory the caller owns;
+// none leaks an internal column slice (the aliasret analyzer holds the
+// package to that).
+
+// Fact returns instance id's value for property pid.
+func (kb *KB) Fact(id InstanceID, pid PropertyID) (dtype.Value, bool) {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	st, row, ok := kb.loc(id)
+	if !ok {
+		return dtype.Value{}, false
+	}
+	return st.fact(row, pid, kb.strs)
+}
+
+// InstanceClass returns the class of instance id ("" for an unknown ID).
+func (kb *KB) InstanceClass(id InstanceID) ClassID {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	st, _, ok := kb.loc(id)
+	if !ok {
+		return ""
+	}
+	return st.class
+}
+
+// InstanceLabel returns the primary label of instance id ("" for an
+// unlabeled instance or unknown ID).
+func (kb *KB) InstanceLabel(id InstanceID) string {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	st, row, ok := kb.loc(id)
+	if !ok {
+		return ""
+	}
+	return st.label(row, kb.strs)
+}
+
+// AppendInstanceLabels appends all labels of instance id (primary first,
+// then aliases) to dst and returns it.
+func (kb *KB) AppendInstanceLabels(dst []string, id InstanceID) []string {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	st, row, ok := kb.loc(id)
+	if !ok {
+		return dst
+	}
+	for _, lid := range st.labels(row) {
+		dst = append(dst, kb.strs.Lookup(lid))
+	}
+	return dst
+}
+
+// NumInstanceLabels returns how many labels instance id carries.
+func (kb *KB) NumInstanceLabels(id InstanceID) int {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	st, row, ok := kb.loc(id)
+	if !ok {
+		return 0
+	}
+	return len(st.labels(row))
+}
+
+// InstanceAbstract returns the abstract of instance id ("" when absent).
+func (kb *KB) InstanceAbstract(id InstanceID) string {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	st, row, ok := kb.loc(id)
+	if !ok {
+		return ""
+	}
+	return st.abstract(row)
+}
+
+// InstancePopularity returns the popularity of instance id.
+func (kb *KB) InstancePopularity(id InstanceID) float64 {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	st, row, ok := kb.loc(id)
+	if !ok {
+		return 0
+	}
+	return st.popularity(row)
+}
+
+// InstanceProvenance returns the provenance marker and ingest epoch of
+// instance id ("" and 0 for seed instances).
+func (kb *KB) InstanceProvenance(id InstanceID) (string, int) {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	st, row, ok := kb.loc(id)
+	if !ok {
+		return "", 0
+	}
+	return st.provenance(row), int(st.epochs[row])
+}
+
+// NumFacts returns how many facts instance id carries.
+func (kb *KB) NumFacts(id InstanceID) int {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	st, row, ok := kb.loc(id)
+	if !ok {
+		return 0
+	}
+	return st.numFacts(row)
+}
+
+// ForEachFact visits every fact of instance id in ascending PropertyID
+// order — the package's canonical property order (SortedPropertyIDs), so
+// float accumulations over the visit are deterministic. fn must not call
+// back into the KB's mutating methods.
+func (kb *KB) ForEachFact(id InstanceID, fn func(PropertyID, dtype.Value)) {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	st, row, ok := kb.loc(id)
+	if !ok {
+		return
+	}
+	st.forEachFact(row, kb.strs, fn)
+}
+
+// ForEachFactOfClass walks property pid's fact column of class id in
+// instance insertion order — the bulk path for building per-property
+// profiles without touching each instance's other fields. Facts of the
+// property that fall outside the column (schema-less classes, unpackable
+// values) are visited after the column, still in insertion order. fn
+// must not call back into the KB's mutating methods.
+func (kb *KB) ForEachFactOfClass(class ClassID, pid PropertyID, fn func(InstanceID, dtype.Value)) {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	si, ok := kb.storeOf[class]
+	if !ok {
+		return
+	}
+	st := kb.storeList[si]
+	if ci, ok := st.ppos[pid]; ok {
+		c := &st.cols[ci]
+		for i, row := range c.rows {
+			fn(st.ids[row], unpackValue(c.vals[i], kb.strs))
+		}
+		if st.extras == nil {
+			return
+		}
+	}
+	// The slow remainder: rows whose pid fact sits in extras.
+	if len(st.extras) == 0 {
+		return
+	}
+	rows := make([]int32, 0, len(st.extras))
+	for row, m := range st.extras {
+		if _, ok := m[pid]; ok {
+			rows = append(rows, row)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	for _, row := range rows {
+		fn(st.ids[row], st.extras[row][pid])
+	}
+}
+
+// ClassStorage summarizes one class's columnar store for StorageStats.
+type ClassStorage struct {
+	Class     ClassID
+	Instances int
+	Facts     int
+}
+
+// StorageStats summarizes the KB's instance storage: counts per class
+// and the approximate resident bytes of the columnar stores plus the
+// intern pool (the label indexes are separate structures and are not
+// counted).
+type StorageStats struct {
+	Instances int
+	Ingested  int
+	// Classes lists the non-empty classes in ascending ClassID order.
+	Classes []ClassStorage
+	// ApproxBytes estimates the resident bytes of instance storage:
+	// column slices, extras maps, and the interned string pool.
+	ApproxBytes int64
+}
+
+// StorageStats reports the KB's storage footprint.
+func (kb *KB) StorageStats() StorageStats {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	s := StorageStats{
+		Instances: len(kb.locs),
+		Ingested:  len(kb.ingested),
+	}
+	s.ApproxBytes = kb.strs.Bytes() + int64(cap(kb.locs))*8 + int64(cap(kb.ingested))*8
+	for _, st := range kb.storeList {
+		if len(st.ids) == 0 {
+			continue
+		}
+		s.Classes = append(s.Classes, ClassStorage{
+			Class:     st.class,
+			Instances: len(st.ids),
+			Facts:     st.numFactsTotal(),
+		})
+		s.ApproxBytes += st.approxBytes()
+	}
+	sort.Slice(s.Classes, func(i, j int) bool { return s.Classes[i].Class < s.Classes[j].Class })
+	return s
+}

@@ -69,9 +69,19 @@ func checkReceiver(pass *Pass, fd *ast.FuncDecl) {
 		}
 		for _, res := range ret.Results {
 			res := ast.Unparen(res)
-			// return &s.f — a pointer into the guarded struct.
+			// return &s.f — a pointer into the guarded struct. Peel index
+			// expressions so &s.col[i] (a pointer into a column slice) is
+			// caught the same as &s.f.
 			if un, ok := res.(*ast.UnaryExpr); ok && un.Op == token.AND {
-				if sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr); ok && rootedAt(info, sel, recvObj) {
+				inner := ast.Unparen(un.X)
+				for {
+					idx, ok := inner.(*ast.IndexExpr)
+					if !ok {
+						break
+					}
+					inner = ast.Unparen(idx.X)
+				}
+				if sel, ok := inner.(*ast.SelectorExpr); ok && rootedAt(info, sel, recvObj) {
 					pass.Reportf(res.Pos(),
 						"%s returns a pointer into mutex-guarded %s; copy the value instead", fd.Name.Name, typeName)
 				}

@@ -59,6 +59,58 @@ func (e *Engine) Version() int {
 	return e.version
 }
 
+// Columnar mirrors the KB's struct-of-arrays instance store: a
+// mutex-guarded owner whose fields are parallel column slices. Accessors
+// must materialize copies — handing out a column aliases every instance's
+// state at once.
+type Columnar struct {
+	mu     sync.Mutex
+	labels []string
+	ids    []uint32
+	cols   map[string][]float64
+}
+
+// Labels leaks the whole label column.
+func (c *Columnar) Labels() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.labels // want `returns internal c.labels of mutex-guarded Columnar`
+}
+
+// Column leaks the column map itself (and every slice hanging off it).
+func (c *Columnar) Column() map[string][]float64 {
+	return c.cols // want `returns internal c.cols of mutex-guarded Columnar`
+}
+
+// RowPtr leaks a pointer into the guarded store.
+func (c *Columnar) RowPtr(i int) *uint32 {
+	return &c.ids[i] // want `returns a pointer into mutex-guarded Columnar`
+}
+
+// AppendLabels is the view.go fix shape: copy into the caller's buffer
+// under the lock, return the grown buffer — no internal slice escapes.
+func (c *Columnar) AppendLabels(dst []string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append(dst, c.labels...)
+}
+
+// Label returns a scalar element copy — fine.
+func (c *Columnar) Label(i int) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.labels[i]
+}
+
+// Materialize builds an on-demand copy-on-read view — fine.
+func (c *Columnar) Materialize(i int) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, 1)
+	out = append(out, c.labels[i])
+	return out
+}
+
 // Plain has no mutex, so aliasing its fields is the callers' business.
 type Plain struct{ xs []int }
 

@@ -89,11 +89,7 @@ func (c *Context) profile(class kb.ClassID, pid kb.PropertyID) *propProfile {
 		minQ: math.Inf(1), maxQ: math.Inf(-1),
 		minY: 1 << 30, maxY: -(1 << 30),
 	}
-	for _, iid := range c.KB.InstancesOf(class) {
-		v, ok := c.KB.Instance(iid).Facts[pid]
-		if !ok {
-			continue
-		}
+	c.KB.ForEachFactOfClass(class, pid, func(_ kb.InstanceID, v dtype.Value) {
 		p.n++
 		switch v.Kind {
 		case dtype.Quantity:
@@ -111,7 +107,7 @@ func (c *Context) profile(class kb.ClassID, pid kb.PropertyID) *propProfile {
 		default:
 			p.strs[v.Str] = true
 		}
-	}
+	})
 	cc.kbProfiles[class][pid] = p
 	return p
 }
@@ -204,7 +200,7 @@ func (kbDuplicate) Score(ctx *Context, t *webtable.Table, col int, prop kb.Prope
 		if !ok {
 			continue
 		}
-		fact, ok := ctx.KB.Instance(iid).Facts[prop.ID]
+		fact, ok := ctx.KB.Fact(iid, prop.ID)
 		if !ok {
 			continue
 		}

@@ -44,7 +44,7 @@ func MatchTableClass(ctx *Context, t *webtable.Table, minRowFrac float64) ClassM
 		}
 		seen := make(map[kb.ClassID]bool)
 		for _, iid := range ctx.KB.Candidates(label, kb.CandidateOpts{K: 8}) {
-			class := ctx.KB.Instance(iid).Class
+			class := ctx.KB.InstanceClass(iid)
 			if seen[class] {
 				continue // one candidate per class per row for the row score
 			}
@@ -82,7 +82,7 @@ func MatchTableClass(ctx *Context, t *webtable.Table, minRowFrac float64) ClassM
 					}
 					cnt := 0
 					for _, rc := range cands {
-						fact, ok := ctx.KB.Instance(rc.instance).Facts[prop.ID]
+						fact, ok := ctx.KB.Fact(rc.instance, prop.ID)
 						if !ok {
 							continue
 						}

@@ -62,19 +62,19 @@ type Detector struct {
 
 // instanceBOW returns the instance's term vector in sorted sparse form,
 // cached per instance ID.
-func (d *Detector) instanceBOW(inst *kb.Instance) strsim.SparseVec {
+func (d *Detector) instanceBOW(inst kb.InstanceID) strsim.SparseVec {
 	d.bowMu.RLock()
-	v, ok := d.bowCache[inst.ID]
+	v, ok := d.bowCache[inst]
 	d.bowMu.RUnlock()
 	if ok {
 		return v
 	}
-	v = strsim.ToSparse(instanceBOW(inst))
+	v = strsim.ToSparse(instanceBOW(d.KB, inst))
 	d.bowMu.Lock()
 	if d.bowCache == nil {
 		d.bowCache = make(map[kb.InstanceID]strsim.SparseVec, 256)
 	}
-	d.bowCache[inst.ID] = v
+	d.bowCache[inst] = v
 	d.bowMu.Unlock()
 	return v
 }
@@ -126,7 +126,7 @@ func (d *Detector) BestCandidate(e *fusion.Entity) (kb.InstanceID, float64) {
 	env.PrepareEnv(d, e)
 	best, bestScore := kb.InstanceID(-1), -2.0
 	for _, iid := range cands {
-		s := d.Score(env, e, d.KB.Instance(iid))
+		s := d.Score(env, e, iid)
 		if s > bestScore {
 			best, bestScore = iid, s
 		}
@@ -135,7 +135,7 @@ func (d *Detector) BestCandidate(e *fusion.Entity) (kb.InstanceID, float64) {
 }
 
 // Score aggregates all metrics for one entity-instance pair.
-func (d *Detector) Score(env *Env, e *fusion.Entity, inst *kb.Instance) float64 {
+func (d *Detector) Score(env *Env, e *fusion.Entity, inst kb.InstanceID) float64 {
 	f := agg.BorrowFeatures(len(d.Metrics))
 	for i, m := range d.Metrics {
 		f.Scores[i], f.Confs[i] = m.Compare(env, e, inst)
@@ -236,9 +236,8 @@ func LearnAggregator(k *kb.KB, metrics []Metric, examples []Example, seed int64)
 				Scores: make([]float64, len(metrics)),
 				Confs:  make([]float64, len(metrics)),
 			}
-			inst := k.Instance(c)
 			for i, m := range metrics {
-				f.Scores[i], f.Confs[i] = m.Compare(env, ex.Entity, inst)
+				f.Scores[i], f.Confs[i] = m.Compare(env, ex.Entity, c)
 			}
 			pairs = append(pairs, agg.Example{F: f, Match: !ex.IsNew && c == ex.Instance})
 		}

@@ -39,7 +39,11 @@ type Env struct {
 	EntityBOW strsim.SparseVec
 	// InstBOW returns the (cached) sparse term vector of an instance;
 	// nil means the BOW metric rebuilds the instance vector per call.
-	InstBOW func(*kb.Instance) strsim.SparseVec
+	InstBOW func(kb.InstanceID) strsim.SparseVec
+
+	// labelScratch is reused across the LABEL metric's per-candidate
+	// label reads, so scoring k candidates costs one slice, not k.
+	labelScratch []string
 }
 
 // PrepareEnv fills the per-entity caches of env (implicit order, prepared
@@ -68,10 +72,13 @@ func ImplicitOrder(e *fusion.Entity) []kb.PropertyID {
 	return kb.SortedPropertyIDs(e.Implicit)
 }
 
-// Metric is one entity-to-instance similarity metric.
+// Metric is one entity-to-instance similarity metric. Metrics take the
+// instance by ID and read single fields through the KB's columnar
+// accessors: scoring k candidates per entity must not materialize k
+// instances.
 type Metric interface {
 	Name() string
-	Compare(env *Env, e *fusion.Entity, inst *kb.Instance) (score, confidence float64)
+	Compare(env *Env, e *fusion.Entity, inst kb.InstanceID) (score, confidence float64)
 }
 
 // MetricSet returns the six metrics in the ablation order of Table 8:
@@ -98,7 +105,9 @@ type labelMetric struct{}
 
 func (labelMetric) Name() string { return "LABEL" }
 
-func (labelMetric) Compare(env *Env, e *fusion.Entity, inst *kb.Instance) (float64, float64) {
+func (labelMetric) Compare(env *Env, e *fusion.Entity, inst kb.InstanceID) (float64, float64) {
+	env.labelScratch = env.KB.AppendInstanceLabels(env.labelScratch[:0], inst)
+	labels := env.labelScratch
 	best := 0.0
 	if env.EntityPreps != nil {
 		// Prepared path: the entity side was tokenized once per
@@ -106,7 +115,7 @@ func (labelMetric) Compare(env *Env, e *fusion.Entity, inst *kb.Instance) (float
 		// (instances are immutable and their labels recur across
 		// detections).
 		for _, ep := range env.EntityPreps {
-			for _, il := range inst.Labels {
+			for _, il := range labels {
 				if s := ep.MongeElkanSym(strsim.PrepareCached(il)); s > best {
 					best = s
 				}
@@ -115,7 +124,7 @@ func (labelMetric) Compare(env *Env, e *fusion.Entity, inst *kb.Instance) (float
 		return best, 1
 	}
 	for _, el := range e.Labels {
-		for _, il := range inst.Labels {
+		for _, il := range labels {
 			if s := strsim.MongeElkanSym(el, il); s > best {
 				best = s
 			}
@@ -130,8 +139,8 @@ type typeMetric struct{}
 
 func (typeMetric) Name() string { return "TYPE" }
 
-func (typeMetric) Compare(env *Env, e *fusion.Entity, inst *kb.Instance) (float64, float64) {
-	return env.KB.TypeOverlap(e.Class, inst.Class), 1
+func (typeMetric) Compare(env *Env, e *fusion.Entity, inst kb.InstanceID) (float64, float64) {
+	return env.KB.TypeOverlap(e.Class, env.KB.InstanceClass(inst)), 1
 }
 
 // BOW: cosine similarity of the entity's term vector (union of its rows)
@@ -140,26 +149,26 @@ type bowMetric struct{}
 
 func (bowMetric) Name() string { return "BOW" }
 
-func (bowMetric) Compare(env *Env, e *fusion.Entity, inst *kb.Instance) (float64, float64) {
+func (bowMetric) Compare(env *Env, e *fusion.Entity, inst kb.InstanceID) (float64, float64) {
 	if env.InstBOW != nil {
 		// Prepared path: both sides in sorted sparse form (the instance
 		// vector cached per instance), cosine as a merge join. Binary
 		// weights make the values exactly equal to the map-based path.
 		return strsim.CosineSparse(env.EntityBOW, env.InstBOW(inst)), 1
 	}
-	iv := instanceBOW(inst)
+	iv := instanceBOW(env.KB, inst)
 	return strsim.Cosine(e.BOW, iv), 1
 }
 
-func instanceBOW(inst *kb.Instance) map[string]float64 {
+func instanceBOW(k *kb.KB, inst kb.InstanceID) map[string]float64 {
 	v := make(map[string]float64)
-	for _, l := range inst.Labels {
+	for _, l := range k.AppendInstanceLabels(nil, inst) {
 		strsim.MergeBinary(v, strsim.BinaryTermVector(l))
 	}
-	strsim.MergeBinary(v, strsim.BinaryTermVector(inst.Abstract))
-	for _, f := range inst.Facts {
+	strsim.MergeBinary(v, strsim.BinaryTermVector(k.InstanceAbstract(inst)))
+	k.ForEachFact(inst, func(_ kb.PropertyID, f dtype.Value) {
 		strsim.MergeBinary(v, strsim.BinaryTermVector(f.String()))
-	}
+	})
 	return v
 }
 
@@ -169,10 +178,10 @@ type attributeMetric struct{}
 
 func (attributeMetric) Name() string { return "ATTRIBUTE" }
 
-func (attributeMetric) Compare(env *Env, e *fusion.Entity, inst *kb.Instance) (float64, float64) {
+func (attributeMetric) Compare(env *Env, e *fusion.Entity, inst kb.InstanceID) (float64, float64) {
 	pairs, equal := 0, 0
 	for pid, v := range e.Facts {
-		fact, ok := inst.Facts[pid]
+		fact, ok := env.KB.Fact(inst, pid)
 		if !ok {
 			continue
 		}
@@ -193,7 +202,7 @@ type implicitMetric struct{}
 
 func (implicitMetric) Name() string { return "IMPLICIT_ATT" }
 
-func (implicitMetric) Compare(env *Env, e *fusion.Entity, inst *kb.Instance) (float64, float64) {
+func (implicitMetric) Compare(env *Env, e *fusion.Entity, inst kb.InstanceID) (float64, float64) {
 	pairs := 0
 	var sim, conf float64
 	// Fixed property order: conf accumulates floats, so map iteration
@@ -204,7 +213,7 @@ func (implicitMetric) Compare(env *Env, e *fusion.Entity, inst *kb.Instance) (fl
 	}
 	for _, pid := range pids {
 		ia := e.Implicit[pid]
-		fact, ok := inst.Facts[pid]
+		fact, ok := env.KB.Fact(inst, pid)
 		if !ok {
 			continue
 		}
@@ -226,11 +235,11 @@ type popularityMetric struct{}
 
 func (popularityMetric) Name() string { return "POPULARITY" }
 
-func (popularityMetric) Compare(env *Env, e *fusion.Entity, inst *kb.Instance) (float64, float64) {
+func (popularityMetric) Compare(env *Env, e *fusion.Entity, inst kb.InstanceID) (float64, float64) {
 	if env.PopRank == nil {
 		return 0, 0
 	}
-	s, ok := env.PopRank[inst.ID]
+	s, ok := env.PopRank[inst]
 	if !ok {
 		return 0, 0
 	}
@@ -246,8 +255,12 @@ func BuildPopRank(k *kb.KB, candidates []kb.InstanceID) map[kb.InstanceID]float6
 	}
 	sorted := make([]kb.InstanceID, len(candidates))
 	copy(sorted, candidates)
+	pops := make(map[kb.InstanceID]float64, len(candidates))
+	for _, iid := range candidates {
+		pops[iid] = k.InstancePopularity(iid)
+	}
 	sort.Slice(sorted, func(i, j int) bool {
-		pi, pj := k.Instance(sorted[i]).Popularity, k.Instance(sorted[j]).Popularity
+		pi, pj := pops[sorted[i]], pops[sorted[j]]
 		if pi != pj {
 			return pi > pj
 		}

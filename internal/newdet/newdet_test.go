@@ -70,11 +70,11 @@ func TestMetricLabel(t *testing.T) {
 	k := testKB()
 	env := &Env{KB: k, Thresholds: dtype.DefaultThresholds()}
 	e := mkEntity("Mark Stone", nil)
-	s, _ := (labelMetric{}).Compare(env, e, k.Instance(0))
+	s, _ := (labelMetric{}).Compare(env, e, 0)
 	if s != 1 {
 		t.Errorf("identical labels = %v", s)
 	}
-	s, _ = (labelMetric{}).Compare(env, e, k.Instance(2))
+	s, _ = (labelMetric{}).Compare(env, e, 2)
 	if s >= 1 {
 		t.Errorf("different labels = %v", s)
 	}
@@ -84,8 +84,8 @@ func TestMetricType(t *testing.T) {
 	k := testKB()
 	env := &Env{KB: k, Thresholds: dtype.DefaultThresholds()}
 	e := mkEntity("X", nil)
-	sPlayer, _ := (typeMetric{}).Compare(env, e, k.Instance(0))
-	sSettle, _ := (typeMetric{}).Compare(env, e, k.Instance(2))
+	sPlayer, _ := (typeMetric{}).Compare(env, e, 0)
+	sSettle, _ := (typeMetric{}).Compare(env, e, 2)
 	if sPlayer != 1 {
 		t.Errorf("same class TYPE = %v, want 1", sPlayer)
 	}
@@ -101,17 +101,17 @@ func TestMetricAttribute(t *testing.T) {
 		"dbo:position": dtype.NewNominal("QB"),
 		"dbo:team":     dtype.NewRef("Patriots"),
 	})
-	s, conf := (attributeMetric{}).Compare(env, e, k.Instance(0))
+	s, conf := (attributeMetric{}).Compare(env, e, 0)
 	if s != 1 || conf != 2 {
 		t.Errorf("ATTRIBUTE vs matching instance = %v/%v", s, conf)
 	}
-	s, _ = (attributeMetric{}).Compare(env, e, k.Instance(1))
+	s, _ = (attributeMetric{}).Compare(env, e, 1)
 	if s != 0 {
 		t.Errorf("ATTRIBUTE vs conflicting instance = %v", s)
 	}
 	// No overlapping properties: zero confidence.
 	empty := mkEntity("Mark Stone", nil)
-	if _, conf := (attributeMetric{}).Compare(env, empty, k.Instance(0)); conf != 0 {
+	if _, conf := (attributeMetric{}).Compare(env, empty, 0); conf != 0 {
 		t.Errorf("no overlap confidence = %v", conf)
 	}
 }
@@ -123,11 +123,11 @@ func TestMetricImplicit(t *testing.T) {
 	e.Implicit = map[kb.PropertyID]cluster.ImplicitAttr{
 		"dbo:team": {Value: dtype.NewRef("Patriots"), Score: 0.7},
 	}
-	s, conf := (implicitMetric{}).Compare(env, e, k.Instance(0))
+	s, conf := (implicitMetric{}).Compare(env, e, 0)
 	if s != 1 || conf != 0.7 {
 		t.Errorf("IMPLICIT_ATT = %v/%v", s, conf)
 	}
-	s, _ = (implicitMetric{}).Compare(env, e, k.Instance(1))
+	s, _ = (implicitMetric{}).Compare(env, e, 1)
 	if s != 0 {
 		t.Errorf("conflicting implicit = %v", s)
 	}
@@ -141,8 +141,8 @@ func TestMetricPopularity(t *testing.T) {
 	}
 	env := &Env{KB: k, Thresholds: dtype.DefaultThresholds(), PopRank: rank}
 	e := mkEntity("Mark Stone", nil)
-	s0, _ := (popularityMetric{}).Compare(env, e, k.Instance(0))
-	s1, _ := (popularityMetric{}).Compare(env, e, k.Instance(1))
+	s0, _ := (popularityMetric{}).Compare(env, e, 0)
+	s1, _ := (popularityMetric{}).Compare(env, e, 1)
 	if s0 <= s1 {
 		t.Errorf("more popular instance should rank higher: %v vs %v", s0, s1)
 	}
@@ -152,7 +152,7 @@ func TestMetricPopularity(t *testing.T) {
 		t.Errorf("single candidate = %v, want 1", solo[1])
 	}
 	// Missing env: zero confidence.
-	if _, conf := (popularityMetric{}).Compare(&Env{KB: k}, e, k.Instance(0)); conf != 0 {
+	if _, conf := (popularityMetric{}).Compare(&Env{KB: k}, e, 0); conf != 0 {
 		t.Error("popularity without rank should have no signal")
 	}
 }

@@ -81,6 +81,11 @@ type Config struct {
 	CacheEntries int
 	// QueueDepth bounds the pending ingest/snapshot job queue (default 64).
 	QueueDepth int
+	// CompactAfter triggers snapshot compaction when a save leaves the
+	// segment chain at or beyond this many segments (default 8; negative
+	// disables automatic compaction). Each save appends one delta segment,
+	// so the chain — and cold-start replay — grows without it.
+	CompactAfter int
 }
 
 // Server is the HTTP serving layer. Construct with New, expose via
@@ -93,9 +98,10 @@ type Server struct {
 	// baseTables is the corpus length at construction: tables with IDs at
 	// or beyond it were appended by inline raw ingests and do not exist in
 	// a regenerated corpus, so snapshots must not record them as ingested.
-	baseTables  int
-	snapshotDir string
-	worldKey    string
+	baseTables   int
+	snapshotDir  string
+	worldKey     string
+	compactAfter int
 	cache       *lruCache
 	mux         *http.ServeMux
 	// Warm holds the manifest loaded at startup (nil on a cold start).
@@ -190,17 +196,21 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
+	if cfg.CompactAfter == 0 {
+		cfg.CompactAfter = 8
+	}
 	s := &Server{
-		kb:          cfg.KB,
-		corpus:      cfg.Corpus,
-		engines:     make(map[kb.ClassID]*core.Engine, len(cfg.Engines)),
-		snapshotDir: cfg.SnapshotDir,
-		worldKey:    cfg.WorldKey,
-		cache:       newLRUCache(cfg.CacheEntries),
-		jobs:        make(map[int64]*job),
-		poisoned:    make(map[kb.ClassID]string),
-		queue:       make(chan *job, cfg.QueueDepth),
-		writerDone:  make(chan struct{}),
+		kb:           cfg.KB,
+		corpus:       cfg.Corpus,
+		engines:      make(map[kb.ClassID]*core.Engine, len(cfg.Engines)),
+		snapshotDir:  cfg.SnapshotDir,
+		worldKey:     cfg.WorldKey,
+		compactAfter: cfg.CompactAfter,
+		cache:        newLRUCache(cfg.CacheEntries),
+		jobs:         make(map[int64]*job),
+		poisoned:     make(map[kb.ClassID]string),
+		queue:        make(chan *job, cfg.QueueDepth),
+		writerDone:   make(chan struct{}),
 	}
 	for class, eng := range cfg.Engines {
 		s.engines[class] = eng
@@ -598,6 +608,23 @@ func (s *Server) runSnapshot(j *job) {
 		})
 		return
 	}
+	// Each save appends one delta segment; fold the chain back into a
+	// single segment once it is long enough that cold-start replay (and
+	// the per-segment file overhead) starts to matter. Compaction failure
+	// does not fail the job — the saved chain is already durable and
+	// loadable — but it is surfaced in the job record.
+	if s.compactAfter > 0 && len(m.Segments) >= s.compactAfter {
+		cm, cerr := kb.CompactSnapshot(s.snapshotDir)
+		if cerr != nil {
+			s.setJob(j, func(j *job) {
+				j.status = statusDone
+				j.manifest = &m
+				j.errMsg = fmt.Sprintf("snapshot saved, but compaction failed: %v", cerr)
+			})
+			return
+		}
+		m = cm
+	}
 	s.setJob(j, func(j *job) {
 		j.status = statusDone
 		j.manifest = &m
@@ -697,7 +724,7 @@ func (s *Server) handleClasses(w http.ResponseWriter, _ *http.Request) {
 			Epoch:        epoch,
 			Tables:       len(tableIDs),
 			CorpusTables: len(s.tables[class]),
-			KBInstances:  len(s.kb.InstancesOf(class)),
+			KBInstances:  s.kb.NumInstancesOf(class),
 		})
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -882,16 +909,17 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	view := SearchView{Query: q, Class: string(class), KBVersion: version, Hits: []SearchHitView{}}
 	for _, h := range hits {
-		in := s.kb.Instance(h.Instance)
-		if in == nil {
+		hitClass := s.kb.InstanceClass(h.Instance)
+		if hitClass == "" {
 			continue
 		}
+		prov, _ := s.kb.InstanceProvenance(h.Instance)
 		view.Hits = append(view.Hits, SearchHitView{
-			ID:         int(in.ID),
-			Label:      in.Label(),
-			Class:      string(in.Class),
+			ID:         int(h.Instance),
+			Label:      s.kb.InstanceLabel(h.Instance),
+			Class:      string(hitClass),
 			Score:      h.Score,
-			Provenance: in.Provenance,
+			Provenance: prov,
 		})
 	}
 	body := mustMarshal(view)
@@ -923,12 +951,39 @@ type ClassStatsView struct {
 	History []core.IngestStats `json:"history"`
 }
 
+// ClassStorageView is one class's slice of the storage section.
+type ClassStorageView struct {
+	Instances int `json:"instances"`
+	Facts     int `json:"facts"`
+}
+
+// StorageStatsView is the storage-health section of GET /v1/stats: the
+// KB's columnar footprint plus the state of the snapshot segment chain.
+type StorageStatsView struct {
+	Instances int `json:"instances"`
+	// Ingested counts pipeline write-backs (non-seed instances) — the
+	// rows a delta snapshot could have to persist.
+	Ingested int `json:"ingested"`
+	// ApproxBytes estimates the resident bytes of instance storage
+	// (columns, overflow maps, interned strings).
+	ApproxBytes int64                       `json:"approxBytes"`
+	Classes     map[string]ClassStorageView `json:"classes,omitempty"`
+	// Segments counts the snapshot chain's files (0 before the first
+	// save or without a snapshot directory); PersistedInstances is the
+	// total across them. LastCompaction is the highest ingest epoch
+	// folded into a compacted segment (0: never compacted).
+	Segments           int `json:"segments,omitempty"`
+	PersistedInstances int `json:"persistedInstances,omitempty"`
+	LastCompaction     int `json:"lastCompaction,omitempty"`
+}
+
 // StatsView is the GET /v1/stats response.
 type StatsView struct {
 	KBVersion   uint64                    `json:"kbVersion"`
 	KBInstances int                       `json:"kbInstances"`
 	Cache       CacheStatsView            `json:"cache"`
 	Classes     map[string]ClassStatsView `json:"classes"`
+	Storage     StorageStatsView          `json:"storage"`
 	Jobs        map[string]int            `json:"jobs"`
 }
 
@@ -958,12 +1013,40 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			History: hist,
 		}
 	}
+	view.Storage = s.storageStats()
 	s.jobMu.Lock()
 	for _, j := range s.jobs {
 		view.Jobs[j.status]++
 	}
 	s.jobMu.Unlock()
 	writeJSON(w, http.StatusOK, view)
+}
+
+// storageStats merges the KB's columnar footprint with the snapshot
+// directory's manifest. Reading the manifest per call is safe against a
+// concurrent save: manifests are committed by atomic rename, so this
+// sees either the previous chain or the new one, never a torn file.
+func (s *Server) storageStats() StorageStatsView {
+	st := s.kb.StorageStats()
+	out := StorageStatsView{
+		Instances:   st.Instances,
+		Ingested:    st.Ingested,
+		ApproxBytes: st.ApproxBytes,
+	}
+	if len(st.Classes) > 0 {
+		out.Classes = make(map[string]ClassStorageView, len(st.Classes))
+		for _, c := range st.Classes {
+			out.Classes[string(c.Class)] = ClassStorageView{Instances: c.Instances, Facts: c.Facts}
+		}
+	}
+	if s.snapshotDir != "" {
+		if m, err := kb.ReadManifest(s.snapshotDir); err == nil {
+			out.Segments = len(m.Segments)
+			out.PersistedInstances = m.Instances
+			out.LastCompaction = m.CompactedAt
+		}
+	}
+	return out
 }
 
 // ---- write endpoints ----

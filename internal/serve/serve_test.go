@@ -426,6 +426,70 @@ func TestServeWorldKeyMismatchRefused(t *testing.T) {
 	s2.Close()
 }
 
+// TestServeStorageStatsAndAutoCompaction: /v1/stats reports the columnar
+// storage footprint and the snapshot segment chain, and the snapshot job
+// folds the chain back into one segment once it reaches CompactAfter.
+func TestServeStorageStatsAndAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	w, c, tables := fixture(t)
+	cfg := core.DefaultConfig(w.KB, c, kb.ClassGFPlayer)
+	cfg.Iterations = 1
+	s, err := New(Config{
+		KB:     w.KB,
+		Corpus: c,
+		Engines: map[kb.ClassID]*core.Engine{
+			kb.ClassGFPlayer: core.NewEngine(cfg, core.Models{}),
+		},
+		SnapshotDir:  dir,
+		CompactAfter: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	var st StatsView
+	do(t, s, http.MethodGet, "/v1/stats", "", &st)
+	if st.Storage.Instances != w.KB.NumInstances() || st.Storage.Ingested != 0 {
+		t.Fatalf("cold storage stats = %+v", st.Storage)
+	}
+	if st.Storage.ApproxBytes <= 0 || len(st.Storage.Classes) == 0 {
+		t.Fatalf("storage footprint missing: %+v", st.Storage)
+	}
+	if st.Storage.Segments != 0 {
+		t.Fatalf("segments before any save = %d", st.Storage.Segments)
+	}
+
+	// First epoch + save: a one-segment chain, not yet compacted.
+	lo := len(tables) / 2
+	ingestWait(t, s, tables[:lo])
+	if _, err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	do(t, s, http.MethodGet, "/v1/stats", "", &st)
+	if st.Storage.Segments != 1 || st.Storage.LastCompaction != 0 {
+		t.Fatalf("after first save: %+v", st.Storage)
+	}
+	if st.Storage.Ingested == 0 || st.Storage.PersistedInstances != st.Storage.Ingested {
+		t.Fatalf("persisted/ingested mismatch: %+v", st.Storage)
+	}
+
+	// Second epoch + save: the delta segment pushes the chain to
+	// CompactAfter, so the job compacts it back to one segment.
+	ingestWait(t, s, tables[lo:])
+	m, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Segments) != 1 || m.CompactedAt == 0 {
+		t.Fatalf("auto-compaction did not run: %+v", m)
+	}
+	do(t, s, http.MethodGet, "/v1/stats", "", &st)
+	if st.Storage.Segments != 1 || st.Storage.LastCompaction != m.CompactedAt {
+		t.Fatalf("after compaction: %+v", st.Storage)
+	}
+}
+
 func TestServeQueueClosedAfterShutdown(t *testing.T) {
 	s, tables := newTestServer(t, "")
 	s.Close()

@@ -65,8 +65,31 @@ type CandidateOpts = kb.CandidateOpts
 // SearchHit is one scored retrieval result of KB.SearchInstances.
 type SearchHit = kb.SearchHit
 
-// Manifest describes a persisted KB snapshot (see KB.SaveSnapshot).
+// Manifest describes a persisted KB snapshot (see KB.SaveSnapshot); its
+// Segments field lists the append-only segment files of the chain.
 type Manifest = kb.Manifest
+
+// SegmentInfo describes one append-only snapshot segment of a Manifest.
+type SegmentInfo = kb.SegmentInfo
+
+// ErrNoSnapshot reports that a snapshot directory holds no manifest.
+var ErrNoSnapshot = kb.ErrNoSnapshot
+
+// ReadManifest reads a snapshot directory's manifest without loading the
+// instance segments.
+func ReadManifest(dir string) (Manifest, error) { return kb.ReadManifest(dir) }
+
+// CompactSnapshot merges a snapshot directory's segment chain into a
+// single segment. Crash-safe: the manifest is replaced only after the
+// merged segment is durably written.
+func CompactSnapshot(dir string) (Manifest, error) { return kb.CompactSnapshot(dir) }
+
+// StorageStats and ClassStorage report the KB's columnar storage
+// footprint (KB.StorageStats).
+type (
+	StorageStats = kb.StorageStats
+	ClassStorage = kb.ClassStorage
+)
 
 // ClassProfile and PropertyProfile summarize a class for profiling
 // (KB.ProfileClass, KB.ProfileProperties).
