@@ -18,20 +18,27 @@
 //	GET    /v1/instances/{id}              entity lookup by instance ID
 //	GET    /v1/search?q=&class=&k=         fuzzy label search
 //	GET    /v1/stats                       KB/cache/ingest statistics
-//	POST   /v1/ingest                      {"class","tables","auto","raw"} (?wait=1)
+//	POST   /v1/ingest                      {"class","tables","auto","raw","after"} (?wait=1)
+//	GET    /v1/jobs                        job listing (?status=interrupted&limit=N)
 //	GET    /v1/jobs/{id}                   async job status (+ current stage)
 //	DELETE /v1/jobs/{id}                   cancel a queued or running job
 //	POST   /v1/snapshot                    persist KB discoveries (?wait=1)
 //
-// With -snapshot DIR the server loads any existing snapshot at startup
-// (warm start: earlier discoveries and epoch counters survive restarts)
-// and saves a final snapshot on SIGINT/SIGTERM before shutting down.
+// Each served class has its own writer lane (-queue-depth jobs each);
+// classes ingest in parallel, jobs within a class in submission order. A
+// full lane answers 429 with a Retry-After header — clients back off and
+// resubmit. With -snapshot DIR the server loads any existing snapshot at
+// startup (warm start: earlier discoveries and epoch counters survive
+// restarts), journals every job to DIR/jobs.ndjson so work lost to a crash
+// is reported as "interrupted" with resubmittable inputs on the next
+// start, and saves a final snapshot on SIGINT/SIGTERM before shutting
+// down. Finished job records are evicted after -job-ttl.
 //
 // Shutdown is context-respecting end to end: on a signal the HTTP server
-// drains in-flight requests, a final snapshot is taken, and the job writer
-// is given a bounded grace period — if it is still mid-ingest when the
-// deadline expires, the epoch is cancelled cooperatively and nothing of it
-// is committed.
+// drains in-flight requests, a final snapshot is taken, and the job
+// writers are given a bounded grace period — if one is still mid-ingest
+// when the deadline expires, the epoch is cancelled cooperatively and
+// nothing of it is committed.
 //
 // With -pprof the net/http/pprof endpoints are mounted under
 // /debug/pprof/ so the live server can be profiled
@@ -81,6 +88,9 @@ type config struct {
 	train        bool
 	cacheEntries int
 	drainFor     time.Duration
+	queueDepth   int
+	jobTTL       time.Duration
+	journal      bool
 	progress     bool
 	pprof        bool
 }
@@ -104,6 +114,9 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.BoolVar(&cfg.train, "train", false, "train the learned models at startup (slower start, better matching)")
 	fs.IntVar(&cfg.cacheEntries, "cache", 1024, "response cache entries (negative disables)")
 	fs.DurationVar(&cfg.drainFor, "drain", 30*time.Second, "shutdown grace period before an in-flight ingest is cancelled")
+	fs.IntVar(&cfg.queueDepth, "queue-depth", 0, "per-class job queue capacity (0 = default); a full lane answers 429")
+	fs.DurationVar(&cfg.jobTTL, "job-ttl", 0, "retention of finished job records (0 = default 15m, negative keeps forever)")
+	fs.BoolVar(&cfg.journal, "journal", true, "journal jobs to the snapshot directory (crash-visible interrupted jobs)")
 	fs.BoolVar(&cfg.progress, "progress", false, "log per-stage ingest progress to stdout")
 	fs.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof endpoints under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
@@ -128,6 +141,9 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	}
 	if cfg.drainFor <= 0 {
 		return fail("-drain must be positive (got %s)", cfg.drainFor)
+	}
+	if cfg.queueDepth < 0 {
+		return fail("-queue-depth must be >= 0 (0 = default; got %d)", cfg.queueDepth)
 	}
 	for _, name := range strings.Split(classes, ",") {
 		name = strings.TrimSpace(name)
@@ -220,13 +236,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 	}
 
 	srv, err := serve.New(serve.Config{
-		KB:           s.World.KB,
-		Corpus:       s.Corpus,
-		Engines:      engines,
-		Tables:       tables,
-		SnapshotDir:  cfg.snapshotDir,
-		WorldKey:     fmt.Sprintf("world=%g corpus=%g seed=%d", cfg.worldScale, cfg.corpusScale, cfg.seed),
-		CacheEntries: cfg.cacheEntries,
+		KB:             s.World.KB,
+		Corpus:         s.Corpus,
+		Engines:        engines,
+		Tables:         tables,
+		SnapshotDir:    cfg.snapshotDir,
+		WorldKey:       fmt.Sprintf("world=%g corpus=%g seed=%d", cfg.worldScale, cfg.corpusScale, cfg.seed),
+		CacheEntries:   cfg.cacheEntries,
+		QueueDepth:     cfg.queueDepth,
+		JobTTL:         cfg.jobTTL,
+		DisableJournal: !cfg.journal,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "ltee-serve: %v\n", err)
@@ -235,6 +254,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 	if srv.Warm != nil {
 		fmt.Fprintf(stdout, "warm start: %d ingested instances restored, epochs %v\n",
 			srv.Warm.Instances, srv.Warm.Epochs)
+	}
+	if interrupted := srv.InterruptedJobs(); len(interrupted) > 0 {
+		// Jobs the journal shows were cut off by a crash committed nothing;
+		// their inputs are in the listing and safe to resubmit verbatim.
+		fmt.Fprintf(stdout, "%d job(s) interrupted by a previous crash — GET /v1/jobs?status=interrupted for resubmittable inputs\n",
+			len(interrupted))
 	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
@@ -285,36 +310,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		fmt.Fprintf(stderr, "ltee-serve: shutdown: %v\n", err)
 	}
 	if cfg.snapshotDir != "" {
-		// The final snapshot goes through the same single-writer queue as
-		// pending ingests, so it too is bounded by the -drain grace: jobs
-		// ahead of it get that long to finish, then they are cancelled
-		// cooperatively (committing nothing) so the snapshot runs next —
-		// an in-flight ingest must not be able to hold the shutdown (and
-		// the snapshot) hostage indefinitely.
-		type snapResult struct {
-			m   kb.Manifest
-			err error
-		}
-		snapCh := make(chan snapResult, 1)
-		go func() {
-			m, serr := srv.Snapshot()
-			snapCh <- snapResult{m, serr}
-		}()
-		var res snapResult
-		select {
-		case res = <-snapCh:
-		case <-time.After(cfg.drainFor):
-			// Cancel without closing: the server stays open so the
-			// snapshot still gets its queue slot even if the queue was
-			// packed solid through the whole grace period.
+		// The final snapshot is bounded by the -drain grace: jobs ahead of
+		// it in the snapshot lane get that long to finish, then they are
+		// cancelled cooperatively (committing nothing) and the snapshot is
+		// retried without a deadline — an in-flight ingest must not be able
+		// to hold the shutdown (and the snapshot) hostage indefinitely.
+		snapCtx, cancelSnap := context.WithTimeout(context.Background(), cfg.drainFor)
+		m, serr := srv.SnapshotCtx(snapCtx)
+		cancelSnap()
+		if serr != nil && errors.Is(serr, context.DeadlineExceeded) {
 			fmt.Fprintf(stderr, "ltee-serve: drain grace (%s) expired; cancelling in-flight jobs to take the final snapshot\n", cfg.drainFor)
 			srv.CancelActiveJobs()
-			res = <-snapCh
+			m, serr = srv.Snapshot()
 		}
-		if res.err != nil {
-			fmt.Fprintf(stderr, "ltee-serve: final snapshot: %v\n", res.err)
+		if serr != nil {
+			fmt.Fprintf(stderr, "ltee-serve: final snapshot: %v\n", serr)
 		} else {
-			fmt.Fprintf(stdout, "snapshot saved: %d ingested instances, epochs %v\n", res.m.Instances, res.m.Epochs)
+			fmt.Fprintf(stdout, "snapshot saved: %d ingested instances, epochs %v\n", m.Instances, m.Epochs)
 		}
 	}
 	// Bounded job drain (no-op if the snapshot path already shut down):

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"os/exec"
 	"strings"
 	"testing"
 	"time"
@@ -14,6 +17,18 @@ import (
 	"repro/ltee/kb"
 	"repro/ltee/serve"
 )
+
+// TestMain doubles as the entry point for a re-exec'd server child: the
+// kill-and-restart test needs a real OS process it can SIGKILL mid-job,
+// which an in-process run() cannot model. With the child env set, the
+// test binary becomes ltee-serve itself.
+func TestMain(m *testing.M) {
+	if os.Getenv("LTEE_SERVE_E2E_CHILD") == "1" {
+		//lteelint:ignore ctxflow the child is torn down with SIGKILL; a cancellable context would never fire
+		os.Exit(run(context.Background(), strings.Fields(os.Getenv("LTEE_SERVE_E2E_ARGS")), os.Stdout, os.Stderr, nil))
+	}
+	os.Exit(m.Run())
+}
 
 func TestParseFlagsDefaults(t *testing.T) {
 	var stderr bytes.Buffer
@@ -345,6 +360,103 @@ func TestLteeServeJobCancelOverHTTP(t *testing.T) {
 		}
 	default:
 		t.Fatalf("job ended %+v", jv)
+	}
+}
+
+// TestLteeServeKillRestartReportsInterrupted is the crash e2e: a real
+// ltee-serve process (the re-exec'd test binary) is SIGKILLed while an
+// ingest job is running, and a restarted server over the same snapshot
+// directory must report that job as interrupted — with inputs that, when
+// resubmitted verbatim, converge (the commits-nothing invariant means the
+// crash left no partial state behind).
+func TestLteeServeKillRestartReportsInterrupted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end server test is not short")
+	}
+	dir := t.TempDir()
+	child := exec.Command(os.Args[0])
+	child.Env = append(os.Environ(),
+		"LTEE_SERVE_E2E_CHILD=1",
+		"LTEE_SERVE_E2E_ARGS=-addr 127.0.0.1:0 -classes GF-Player -world 0.2 -corpus 0.12 -iterations 2 -workers 1 -snapshot "+dir,
+	)
+	stdout, err := child.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	child.Stderr = os.Stderr
+	if err := child.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		child.Process.Kill()
+		child.Wait()
+	})
+
+	// The child prints its bound address once it accepts connections.
+	var addr string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if line, ok := strings.CutPrefix(sc.Text(), "listening on "); ok {
+			addr = line
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("child never listened (scan err %v)", sc.Err())
+	}
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+
+	p := &serverProc{addr: addr} // reuse the HTTP helpers against the child
+	var classes []serve.ClassView
+	if code := p.get(t, "/v1/classes", &classes); code != 200 || len(classes) != 1 {
+		t.Fatalf("classes = %d %+v", code, classes)
+	}
+	auto := classes[0].CorpusTables
+
+	// Submit a full-corpus ingest, wait until it is journaled as running,
+	// then kill -9 the process mid-job.
+	var jv serve.JobView
+	body := fmt.Sprintf(`{"class":"GF-Player","auto":%d}`, auto)
+	if code := p.post(t, "/v1/ingest", body, &jv); code != http.StatusAccepted {
+		t.Fatalf("async ingest = %d", code)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for jv.Status != "running" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started running: %+v", jv)
+		}
+		time.Sleep(5 * time.Millisecond)
+		p.get(t, fmt.Sprintf("/v1/jobs/%d", jv.ID), &jv)
+	}
+	if err := child.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	child.Wait()
+
+	// Restart over the same directory (in-process is fine now — the crash
+	// already happened) and ask what was lost.
+	p2 := startServer(t, dir)
+	defer p2.shutdown(t)
+	if !strings.Contains(p2.stdout.String(), "interrupted by a previous crash") {
+		t.Errorf("restart did not announce interrupted jobs: %q", p2.stdout.String())
+	}
+	var jl serve.JobsView
+	if code := p2.get(t, "/v1/jobs?status=interrupted", &jl); code != 200 || len(jl.Jobs) != 1 {
+		t.Fatalf("interrupted listing = %d %+v", code, jl)
+	}
+	ij := jl.Jobs[0]
+	if ij.ID != jv.ID || ij.Inputs == nil || ij.Inputs.Auto != auto {
+		t.Fatalf("interrupted job = %+v", ij)
+	}
+
+	// Resubmit the reported inputs: the epoch the crash stole lands now.
+	var redo serve.JobView
+	body = fmt.Sprintf(`{"class":"GF-Player","auto":%d}`, ij.Inputs.Auto)
+	if code := p2.post(t, "/v1/ingest?wait=1", body, &redo); code != 200 || redo.Status != "done" {
+		t.Fatalf("resubmitted ingest = %d %+v", code, redo)
+	}
+	if redo.Stats == nil || redo.Stats.Epoch != 1 || redo.Stats.WrittenBack == 0 {
+		t.Errorf("resubmission stats = %+v", redo.Stats)
 	}
 }
 

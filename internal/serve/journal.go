@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The job journal makes the scheduler's job records durable: every job is
+// appended to <snapshotDir>/jobs.ndjson when it is accepted and again on
+// each status transition, with an fsync after each append — the same
+// durability point the kb segment commits use. A warm start replays the
+// journal: jobs whose last record is terminal come back as queryable
+// history, and jobs that were still queued or running when the process
+// died come back as "interrupted", carrying their full inputs so the
+// operator can resubmit them. Replay then compacts the journal to one
+// merged record per retained job via the kb temp-file+rename+fsync
+// discipline, so the file never grows beyond the retained set plus the
+// transitions appended since the last compaction.
+const journalFile = "jobs.ndjson"
+
+// journalFault, when non-nil, is called before each journal append with
+// the record's status. A returned error simulates a crash mid-append: only
+// a prefix of the record's bytes reaches the file (no trailing newline)
+// and the append reports the error. Test hook only, same shape as
+// kb's snapshotFault.
+var journalFault func(status string) error
+
+// jobRecord is one journal line: the full job description on the
+// "queued" record, and sparse transition fields afterwards. Replay folds
+// a job's records in order — later non-empty fields override.
+type jobRecord struct {
+	ID     int64  `json:"id"`
+	Status string `json:"status"`
+	// Enqueue-time inputs (present on the "queued" record and on
+	// compacted merged records).
+	Kind   string     `json:"kind,omitempty"`
+	Class  string     `json:"class,omitempty"`
+	Tables []int      `json:"tables,omitempty"`
+	Auto   int        `json:"auto,omitempty"`
+	Raw    []RawTable `json:"raw,omitempty"`
+	After  []int64    `json:"after,omitempty"`
+	// Transition details.
+	RawIDs []int  `json:"rawIDs,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Unix is the transition's wall-clock second, used by the TTL
+	// eviction of finished records.
+	Unix int64 `json:"unix,omitempty"`
+}
+
+// jobJournal appends job records to the journal file and rewrites it on
+// compaction. Calls are serialized by the scheduler's jobMu; the journal
+// itself holds no lock.
+type jobJournal struct {
+	path string
+	f    *os.File
+	// appendedSinceCompact counts records appended since the file was
+	// last compacted; the scheduler compacts once enough evicted or
+	// superseded records have accumulated.
+	appendedSinceCompact int
+}
+
+// openJobJournal opens (creating if needed) the journal in dir for
+// appending. Callers replay the prior contents first via replayJobJournal.
+func openJobJournal(dir string) (*jobJournal, error) {
+	path := filepath.Join(dir, journalFile)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening job journal: %w", err)
+	}
+	return &jobJournal{path: path, f: f}, nil
+}
+
+func (jl *jobJournal) close() {
+	if jl.f != nil {
+		jl.f.Close()
+		jl.f = nil
+	}
+}
+
+// append writes one record plus newline and fsyncs, making the transition
+// durable before the caller acts on it.
+func (jl *jobJournal) append(rec jobRecord) error {
+	raw, err := json.Marshal(&rec)
+	if err != nil {
+		return fmt.Errorf("serve: encoding job record: %w", err)
+	}
+	if journalFault != nil {
+		if ferr := journalFault(rec.Status); ferr != nil {
+			// Simulate the crash: a prefix of the line reaches the disk,
+			// no newline, and the process "dies" here.
+			jl.f.Write(raw[:len(raw)/2])
+			jl.f.Sync()
+			return ferr
+		}
+	}
+	raw = append(raw, '\n')
+	if _, err := jl.f.Write(raw); err != nil {
+		return fmt.Errorf("serve: appending job record: %w", err)
+	}
+	if err := jl.f.Sync(); err != nil {
+		return fmt.Errorf("serve: syncing job journal: %w", err)
+	}
+	jl.appendedSinceCompact++
+	return nil
+}
+
+// compact rewrites the journal to exactly one merged record per entry of
+// recs (ordered by ID), committing via temp-file+rename+fsync so a crash
+// mid-compaction leaves the previous journal intact, then reopens the
+// append handle on the new file.
+func (jl *jobJournal) compact(recs []jobRecord) error {
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	if err := atomicWriteFile(jl.path, func(f *os.File) error {
+		w := bufio.NewWriter(f)
+		for i := range recs {
+			raw, err := json.Marshal(&recs[i])
+			if err != nil {
+				return err
+			}
+			raw = append(raw, '\n')
+			if _, err := w.Write(raw); err != nil {
+				return err
+			}
+		}
+		return w.Flush()
+	}); err != nil {
+		return fmt.Errorf("serve: compacting job journal: %w", err)
+	}
+	jl.close()
+	f, err := os.OpenFile(jl.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: reopening job journal: %w", err)
+	}
+	jl.f = f
+	jl.appendedSinceCompact = 0
+	return nil
+}
+
+// replayJobJournal reads the journal in dir and folds each job's records
+// into its final state, returned in ID order alongside the highest ID
+// seen. A missing journal returns an empty slice. A line that does not
+// decode ends the replay there — it is the torn tail of an append the
+// crash cut short; everything before it is intact by the fsync ordering
+// (records later in the file are strictly younger).
+func replayJobJournal(dir string) ([]jobRecord, int64, error) {
+	f, err := os.Open(filepath.Join(dir, journalFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: opening job journal: %w", err)
+	}
+	defer f.Close()
+
+	byID := make(map[int64]*jobRecord)
+	var order []int64
+	var maxID int64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec jobRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// Torn tail of a crashed append; stop here.
+			break
+		}
+		if rec.ID <= 0 {
+			continue
+		}
+		if rec.ID > maxID {
+			maxID = rec.ID
+		}
+		cur, ok := byID[rec.ID]
+		if !ok {
+			recCopy := rec
+			byID[rec.ID] = &recCopy
+			order = append(order, rec.ID)
+			continue
+		}
+		// Fold: status and timestamp always advance; input and detail
+		// fields stick once set.
+		cur.Status = rec.Status
+		if rec.Unix != 0 {
+			cur.Unix = rec.Unix
+		}
+		if rec.Kind != "" {
+			cur.Kind = rec.Kind
+		}
+		if rec.Class != "" {
+			cur.Class = rec.Class
+		}
+		if len(rec.Tables) > 0 {
+			cur.Tables = rec.Tables
+		}
+		if rec.Auto != 0 {
+			cur.Auto = rec.Auto
+		}
+		if len(rec.Raw) > 0 {
+			cur.Raw = rec.Raw
+		}
+		if len(rec.After) > 0 {
+			cur.After = rec.After
+		}
+		if len(rec.RawIDs) > 0 {
+			cur.RawIDs = rec.RawIDs
+		}
+		if rec.Error != "" {
+			cur.Error = rec.Error
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("serve: reading job journal: %w", err)
+	}
+	out := make([]jobRecord, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byID[id])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, maxID, nil
+}
+
+// atomicWriteFile writes path via a temporary sibling and a rename, with
+// an fsync before the rename and one on the directory after it — the same
+// commit discipline as the kb snapshot segments.
+func atomicWriteFile(path string, fill func(*os.File) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := fill(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer dir.Close()
+	return dir.Sync()
+}

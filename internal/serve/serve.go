@@ -1,40 +1,3 @@
-// Package serve exposes a live knowledge base over a long-running
-// HTTP/JSON API: entity lookup by instance ID, fuzzy label search backed
-// by the inverted label index, per-class/per-epoch ingestion statistics,
-// and an asynchronous ingest endpoint that queues table batches through a
-// single-writer ingest loop while reads stay lock-free on the
-// concurrent-safe KB.
-//
-// # Concurrency model
-//
-// All mutation — engine ingestion, corpus appends, snapshot writes —
-// happens on one writer goroutine consuming a job queue; POST /v1/ingest
-// and POST /v1/snapshot enqueue jobs and return immediately (add ?wait=1
-// to block until the job finishes). Read endpoints touch only structures
-// that are safe under concurrent growth: the KB (RWMutex + monotonic
-// Version), the engines' copy-returning accessors, and an LRU response
-// cache keyed on kb.Version so hot lookups skip retrieval entirely and
-// can never serve a pre-mutation body for a post-mutation version.
-//
-// # Cancellation
-//
-// Every ingest job carries its own context. DELETE /v1/jobs/{id} cancels
-// it: a queued job is skipped by the writer, a running one unwinds at the
-// engine's next cooperative checkpoint and ends with status "cancelled" —
-// the epoch commits nothing, the engine stays healthy, and the class
-// accepts further ingests (unlike a panic, which poisons it). While a job
-// runs, GET /v1/jobs/{id} reports the pipeline stage it most recently
-// entered, fed by the engines' progress events. Shutdown(ctx) extends the
-// same mechanism to process exit: the queue drains until the deadline,
-// then everything still pending or running is cancelled cooperatively.
-//
-// # Snapshot persistence
-//
-// With a snapshot directory configured, the server warm-starts by loading
-// the instances earlier runs wrote back (kb.LoadSnapshot) and resuming
-// each engine's epoch counter from the manifest, so discoveries survive a
-// restart without re-ingesting their tables. POST /v1/snapshot persists
-// the current state atomically (temp file + rename, manifest last).
 package serve
 
 import (
@@ -42,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -79,13 +43,23 @@ type Config struct {
 	// CacheEntries bounds the response cache (default 1024; negative
 	// disables caching).
 	CacheEntries int
-	// QueueDepth bounds the pending ingest/snapshot job queue (default 64).
+	// QueueDepth bounds each writer lane's pending jobs — one lane per
+	// served class plus the snapshot lane — counting both buffered and
+	// dependency-parked jobs (default 64). A full lane rejects with 429.
 	QueueDepth int
 	// CompactAfter triggers snapshot compaction when a save leaves the
 	// segment chain at or beyond this many segments (default 8; negative
 	// disables automatic compaction). Each save appends one delta segment,
 	// so the chain — and cold-start replay — grows without it.
 	CompactAfter int
+	// JobTTL bounds how long finished job records stay queryable (and
+	// journaled) after their terminal transition (default 15m; negative
+	// disables eviction). It replaces the old fixed-count retention ring.
+	JobTTL time.Duration
+	// DisableJournal turns off job journaling even when SnapshotDir is
+	// set; job records are then in-memory only and a restart reports no
+	// interrupted jobs.
+	DisableJournal bool
 }
 
 // Server is the HTTP serving layer. Construct with New, expose via
@@ -102,87 +76,97 @@ type Server struct {
 	snapshotDir  string
 	worldKey     string
 	compactAfter int
-	cache       *lruCache
-	mux         *http.ServeMux
+	queueDepth   int
+	jobTTL       time.Duration
+	cache        *lruCache
+	mux          *http.ServeMux
 	// Warm holds the manifest loaded at startup (nil on a cold start).
 	Warm *kb.Manifest
 
+	// now is the scheduler's clock; tests substitute it (before submitting
+	// any job) to drive TTL eviction deterministically.
+	now func() time.Time
+
 	jobMu   sync.Mutex
 	jobs    map[int64]*job
-	retired []int64 // finished job IDs in completion order, oldest first
 	nextJob int64
 	closed  bool
-	// current is the job the writer goroutine is executing right now; the
-	// engines' progress hooks attribute their stage updates to it.
-	current *job
+	// active counts jobs not yet terminal; shutdown closes the lanes only
+	// once it reaches zero, so dependency chains admitted before shutdown
+	// still drain fully.
+	active int
+	// evicted counts TTL evictions since the journal was last compacted.
+	evicted int
+	// running maps each lane (keyed by class; "" is the snapshot lane) to
+	// the job it is executing right now; the engines' progress hooks
+	// attribute their stage updates through it.
+	running map[kb.ClassID]*job
 	// poisoned records classes whose engine panicked mid-ingest; their
 	// retained state can no longer be trusted, so further ingests for them
 	// are refused until the process restarts.
 	poisoned map[kb.ClassID]string
+	// queuesClosed records that every lane channel has been closed.
+	queuesClosed bool
+	// journal persists job records under the snapshot directory (nil when
+	// journaling is disabled or no directory is configured).
+	journal *jobJournal
 
-	queue      chan *job
-	writerDone chan struct{}
-	closeOnce  sync.Once
-}
+	// lanes holds one writer lane per served class; snapLane runs
+	// snapshot jobs so they are never stuck behind a long ingest queue.
+	lanes    map[kb.ClassID]*lane
+	snapLane *lane
 
-const (
-	jobIngest   = "ingest"
-	jobSnapshot = "snapshot"
+	// execMu serializes mutation against snapshots: ingests hold the read
+	// half (so distinct classes proceed in parallel), snapshots take the
+	// write half and run exclusively.
+	execMu sync.RWMutex
 
-	statusQueued    = "queued"
-	statusRunning   = "running"
-	statusDone      = "done"
-	statusFailed    = "failed"
-	statusCancelled = "cancelled"
-
-	// maxRetainedJobs bounds how many finished jobs stay queryable via
-	// GET /v1/jobs/{id}; older ones are evicted so a long-running server
-	// does not leak a job record per request.
-	maxRetainedJobs = 256
-)
-
-// job is one unit of single-writer work plus its externally visible state.
-type job struct {
-	// Mutable state, guarded by Server.jobMu.
-	id       int64
-	kind     string
-	status   string
-	stage    string // current pipeline stage while running (progress events)
-	errMsg   string
-	stats    *core.IngestStats
-	manifest *kb.Manifest
-
-	// Inputs, immutable after enqueue.
-	class  kb.ClassID
-	tables []int
-	auto   int
-	raw    []*webtable.Table
-
-	// ctx is cancelled by DELETE /v1/jobs/{id} and by a deadline-expired
-	// Shutdown; the engine's cooperative checkpoints observe it.
-	ctx    context.Context
-	cancel context.CancelFunc
-
-	done chan struct{}
+	writersWG   sync.WaitGroup
+	writersDone chan struct{}
+	closeOnce   sync.Once
 }
 
 // JobView is the JSON rendering of a job. Stage is only set while the job
 // is running and names the pipeline stage most recently entered
-// ("i2/detect": detection during the epoch's second iteration).
+// ("i2/detect": detection during the epoch's second iteration). After
+// lists the job's declared dependencies and WaitingOn the subset still
+// unfinished. RawIDs are the corpus IDs the job's raw tables were
+// appended under. Inputs echoes an ingest job's request — for an
+// interrupted job it is exactly what the operator resubmits.
 type JobView struct {
-	ID       int64             `json:"id"`
-	Kind     string            `json:"kind"`
-	Class    string            `json:"class,omitempty"`
-	Status   string            `json:"status"`
-	Stage    string            `json:"stage,omitempty"`
-	Error    string            `json:"error,omitempty"`
-	Stats    *core.IngestStats `json:"stats,omitempty"`
-	Manifest *kb.Manifest      `json:"manifest,omitempty"`
+	ID        int64             `json:"id"`
+	Kind      string            `json:"kind"`
+	Class     string            `json:"class,omitempty"`
+	Status    string            `json:"status"`
+	Stage     string            `json:"stage,omitempty"`
+	Error     string            `json:"error,omitempty"`
+	After     []int64           `json:"after,omitempty"`
+	WaitingOn []int64           `json:"waitingOn,omitempty"`
+	RawIDs    []int             `json:"rawIds,omitempty"`
+	Inputs    *JobInputsView    `json:"inputs,omitempty"`
+	Stats     *core.IngestStats `json:"stats,omitempty"`
+	Manifest  *kb.Manifest      `json:"manifest,omitempty"`
+}
+
+// JobInputsView echoes an ingest job's inputs. Raw payloads are retained
+// only while the job is live and for interrupted jobs (resubmission);
+// other finished jobs keep just the table IDs and auto count.
+type JobInputsView struct {
+	Tables []int      `json:"tables,omitempty"`
+	Auto   int        `json:"auto,omitempty"`
+	Raw    []RawTable `json:"raw,omitempty"`
+}
+
+// JobsView is the GET /v1/jobs response.
+type JobsView struct {
+	Jobs []JobView `json:"jobs"`
 }
 
 // New builds a server, warm-starts from the snapshot directory when one is
-// configured and holds a snapshot, and starts the single-writer ingest
-// loop. Callers must Close the server to stop the loop.
+// configured and holds a snapshot (replaying the job journal so jobs cut
+// short by the previous process are reported as interrupted), and starts
+// one writer goroutine per served class plus the snapshot lane. Callers
+// must Close the server to stop them.
 func New(cfg Config) (*Server, error) {
 	if cfg.KB == nil || cfg.Corpus == nil {
 		return nil, errors.New("serve: Config needs a KB and a Corpus")
@@ -199,6 +183,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CompactAfter == 0 {
 		cfg.CompactAfter = 8
 	}
+	if cfg.JobTTL == 0 {
+		cfg.JobTTL = 15 * time.Minute
+	}
 	s := &Server{
 		kb:           cfg.KB,
 		corpus:       cfg.Corpus,
@@ -206,26 +193,34 @@ func New(cfg Config) (*Server, error) {
 		snapshotDir:  cfg.SnapshotDir,
 		worldKey:     cfg.WorldKey,
 		compactAfter: cfg.CompactAfter,
+		queueDepth:   cfg.QueueDepth,
+		jobTTL:       cfg.JobTTL,
 		cache:        newLRUCache(cfg.CacheEntries),
+		now:          time.Now,
 		jobs:         make(map[int64]*job),
+		running:      make(map[kb.ClassID]*job),
 		poisoned:     make(map[kb.ClassID]string),
-		queue:        make(chan *job, cfg.QueueDepth),
-		writerDone:   make(chan struct{}),
+		lanes:        make(map[kb.ClassID]*lane, len(cfg.Engines)),
+		writersDone:  make(chan struct{}),
 	}
 	for class, eng := range cfg.Engines {
 		s.engines[class] = eng
+		s.lanes[class] = &lane{class: class, q: make(chan *job, cfg.QueueDepth)}
 		// Chain a progress hook onto the engine so an in-flight ingest
 		// job's current stage is visible via GET /v1/jobs/{id}. Engines
-		// are owned by the server once handed over, and ingests run only
-		// on the writer goroutine, so mutating Cfg here cannot race.
+		// are owned by the server once handed over, and a class's ingests
+		// run only on its writer goroutine, so mutating Cfg here cannot
+		// race.
+		class := class
 		prev := eng.Cfg.Progress
 		eng.Cfg.Progress = func(ev core.Event) {
-			s.noteStage(ev)
+			s.noteStage(class, ev)
 			if prev != nil {
 				prev(ev)
 			}
 		}
 	}
+	s.snapLane = &lane{q: make(chan *job, cfg.QueueDepth)}
 	s.baseTables = cfg.Corpus.Len()
 	s.tables = make(map[kb.ClassID][]int, len(cfg.Tables))
 	for class, ids := range cfg.Tables {
@@ -252,6 +247,11 @@ func New(cfg Config) (*Server, error) {
 			}
 		}
 	}
+	if s.snapshotDir != "" && !cfg.DisableJournal {
+		if err := s.loadJournal(); err != nil {
+			return nil, fmt.Errorf("serve: job journal: %w", err)
+		}
+	}
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -261,405 +261,17 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/search", s.handleSearch)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 
-	go s.writer()
+	s.startWriters()
 	return s, nil
 }
 
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
-
-// Close stops accepting jobs, drains the queue fully, and waits for the
-// writer loop to exit. Safe to call more than once. Shutdown is the
-// deadline-bounded form.
-func (s *Server) Close() {
-	//lteelint:ignore ctxflow Close is the undeadlined form; Shutdown accepts the caller's context
-	s.Shutdown(context.Background())
-}
-
-// Shutdown stops accepting jobs and waits for the writer loop to drain the
-// queue. If ctx expires first, every still-pending or running job is
-// cancelled — the running ingest unwinds at its next cooperative
-// checkpoint without committing its epoch — and Shutdown returns the
-// context's error once the writer has exited. Shutdown with a background
-// context is exactly Close. Safe to call more than once and concurrently.
-func (s *Server) Shutdown(ctx context.Context) error {
-	s.closeOnce.Do(func() {
-		s.jobMu.Lock()
-		s.closed = true
-		s.jobMu.Unlock()
-		close(s.queue)
-	})
-	select {
-	case <-s.writerDone:
-		return nil
-	case <-ctx.Done():
-	}
-	// Both channels may have been ready at once (select picks randomly):
-	// a server whose writer already drained must report a clean shutdown
-	// even under an expired context.
-	select {
-	case <-s.writerDone:
-		return nil
-	default:
-	}
-	// Deadline expired with work still in flight: cancel everything the
-	// writer has not finished — queued jobs are marked cancelled so the
-	// writer skips them outright (a queued raw-table ingest must not get
-	// to mutate the corpus mid-shutdown), the running one unwinds at its
-	// next checkpoint — then wait for the writer to exit (bounded by the
-	// engine's checkpoint interval, not by remaining queue depth).
-	s.CancelActiveJobs()
-	<-s.writerDone
-	return ctx.Err()
-}
-
-// CancelActiveJobs cancels every queued or running cancellable job
-// (ingests; snapshots are not cancellable) without shutting the server
-// down: the writer skips the cancelled queue entries and a running ingest
-// unwinds at its next cooperative checkpoint, committing nothing. The
-// shutdown path uses this to free the single-writer queue for a final
-// Snapshot when its drain grace expires — closing the server instead
-// would fail a Snapshot still waiting for a queue slot.
-func (s *Server) CancelActiveJobs() {
-	s.jobMu.Lock()
-	for _, j := range s.jobs {
-		if j.cancel == nil {
-			continue
-		}
-		switch j.status {
-		case statusQueued:
-			j.status = statusCancelled
-			j.errMsg = "cancelled while queued"
-			j.cancel()
-		case statusRunning:
-			j.cancel()
-		}
-	}
-	s.jobMu.Unlock()
-}
-
-// Snapshot synchronously persists the current state through the writer
-// loop (so it never interleaves with an ingest) and returns the manifest.
-// A momentarily full job queue is retried while the writer drains it —
-// the shutdown path must not lose the final snapshot to pending ingests
-// that are about to complete anyway.
-func (s *Server) Snapshot() (kb.Manifest, error) {
-	if s.snapshotDir == "" {
-		return kb.Manifest{}, errors.New("serve: no snapshot directory configured")
-	}
-	var j *job
-	for {
-		var err error
-		j, err = s.enqueue(&job{kind: jobSnapshot})
-		if err == nil {
-			break
-		}
-		if !errors.Is(err, errQueueFull) {
-			return kb.Manifest{}, err
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-	<-j.done
-	v := s.viewJob(j)
-	if v.Status != statusDone {
-		return kb.Manifest{}, fmt.Errorf("serve: snapshot failed: %s", v.Error)
-	}
-	return *v.Manifest, nil
-}
-
-// ---- single-writer loop ----
-
-func (s *Server) writer() {
-	defer close(s.writerDone)
-	for j := range s.queue {
-		s.runJob(j)
-	}
-}
-
-// runJob executes one job on the writer goroutine. A panic escaping the
-// engine (the crash vector a degenerate user batch could open) fails the
-// job instead of taking the server down. Jobs cancelled while still queued
-// are skipped entirely.
-func (s *Server) runJob(j *job) {
-	s.jobMu.Lock()
-	if j.status == statusCancelled {
-		s.jobMu.Unlock()
-		s.retireJob(j)
-		close(j.done)
-		return
-	}
-	j.status = statusRunning
-	s.current = j
-	s.jobMu.Unlock()
-	defer func() {
-		if r := recover(); r != nil {
-			s.setJob(j, func(j *job) {
-				j.status = statusFailed
-				j.errMsg = fmt.Sprintf("panic: %v", r)
-			})
-		}
-		s.jobMu.Lock()
-		s.current = nil
-		j.stage = ""
-		s.jobMu.Unlock()
-		if j.cancel != nil {
-			j.cancel() // release the context's resources
-		}
-		s.retireJob(j)
-		close(j.done)
-	}()
-	switch j.kind {
-	case jobIngest:
-		s.runIngest(j)
-	case jobSnapshot:
-		s.runSnapshot(j)
-	}
-}
-
-// noteStage records the pipeline stage an in-flight ingest just entered,
-// for GET /v1/jobs/{id}. Called from the engines' progress hooks, which
-// fire on the writer goroutine while s.current is set.
-func (s *Server) noteStage(ev core.Event) {
-	s.jobMu.Lock()
-	if s.current != nil {
-		if ev.Iteration > 0 {
-			s.current.stage = fmt.Sprintf("i%d/%s", ev.Iteration, ev.Stage)
-		} else {
-			s.current.stage = string(ev.Stage)
-		}
-	}
-	s.jobMu.Unlock()
-}
-
-// retireJob frees a finished job's inputs (raw table payloads can be
-// large) and evicts the oldest finished jobs beyond the retention bound.
-func (s *Server) retireJob(j *job) {
-	s.jobMu.Lock()
-	j.tables = nil
-	j.raw = nil
-	s.retired = append(s.retired, j.id)
-	for len(s.retired) > maxRetainedJobs {
-		delete(s.jobs, s.retired[0])
-		s.retired = s.retired[1:]
-	}
-	s.jobMu.Unlock()
-}
-
-func (s *Server) runIngest(j *job) {
-	// Admission control re-checked at execution time: a job enqueued just
-	// before a predecessor poisoned the class must not run on the
-	// corrupted engine state.
-	s.jobMu.Lock()
-	reason, bad := s.poisoned[j.class]
-	s.jobMu.Unlock()
-	if bad {
-		s.setJob(j, func(j *job) {
-			j.status = statusFailed
-			j.errMsg = fmt.Sprintf("class refuses ingests after an engine panic: %s", reason)
-		})
-		return
-	}
-	eng := s.engines[j.class]
-	// IngestedIDs (not TableIDs) so tables restored from a snapshot count
-	// as done: "auto" must keep advancing after a warm restart.
-	ingested := make(map[int]bool)
-	for _, id := range eng.IngestedIDs() {
-		ingested[id] = true
-	}
-	ids := make([]int, 0, len(j.tables)+len(j.raw))
-	for _, id := range j.tables {
-		if s.corpus.Table(id) == nil {
-			s.setJob(j, func(j *job) {
-				j.status = statusFailed
-				j.errMsg = fmt.Sprintf("unknown corpus table %d", id)
-			})
-			return
-		}
-		ids = append(ids, id)
-	}
-	// Auto mode: the next j.auto not-yet-ingested classified tables.
-	if j.auto > 0 {
-		picked := 0
-		for _, id := range s.tables[j.class] {
-			if picked == j.auto {
-				break
-			}
-			if !ingested[id] {
-				ids = append(ids, id)
-				picked++
-			}
-		}
-	}
-	// A batch that resolves to nothing new never reaches the engine: an
-	// epoch re-runs entity creation and detection over everything retained,
-	// so a no-op request must not be able to burn that work (or inflate
-	// epoch counters) for free.
-	fresh := false
-	for _, id := range ids {
-		if !ingested[id] {
-			fresh = true
-			break
-		}
-	}
-	if !fresh && len(j.raw) == 0 {
-		// TotalTables mirrors the engine's own stats semantics (tables in
-		// the retained output, excluding Resume-restored ones) so the
-		// counter never moves backwards between a no-op and a real epoch.
-		stats := core.IngestStats{
-			Epoch:       eng.Epoch(),
-			TotalTables: len(eng.TableIDs()),
-			KBInstances: s.kb.NumInstances(),
-		}
-		s.setJob(j, func(j *job) {
-			j.status = statusDone
-			j.stats = &stats
-		})
-		return
-	}
-	// Raw tables join the corpus only on the writer goroutine: Append is
-	// not safe against concurrent readers, and no read endpoint touches
-	// the corpus.
-	preLen := s.corpus.Len()
-	for _, t := range j.raw {
-		ids = append(ids, s.corpus.Append(t))
-	}
-	// Contain an engine panic here rather than in runJob's backstop: the
-	// appended raw tables are rolled back so a client retry cannot
-	// duplicate them, and the class is poisoned — the engine's retained
-	// state (and the rolled-back table IDs it may have absorbed into its
-	// blocking/PHI statistics) can no longer be trusted, so further
-	// ingests for this class are refused until a restart.
-	defer func() {
-		r := recover()
-		if r == nil {
-			return
-		}
-		s.corpus.Tables = s.corpus.Tables[:preLen]
-		s.jobMu.Lock()
-		s.poisoned[j.class] = fmt.Sprintf("%v", r)
-		s.jobMu.Unlock()
-		s.setJob(j, func(j *job) {
-			j.status = statusFailed
-			j.errMsg = fmt.Sprintf("ingest panic (class now refuses ingests): %v", r)
-		})
-	}()
-	ctx := j.ctx
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	_, stats, err := eng.Ingest(ctx, ids)
-	if err != nil {
-		// A cancelled epoch committed nothing (the engine publishes
-		// atomically at its end), so the class stays healthy — unlike a
-		// panic, cancellation does not poison it. Appended raw tables are
-		// NOT rolled back: the engine may already have absorbed their
-		// labels into its persistent blocking/PHI statistics (keyed by
-		// table ID), and truncating the corpus would rebind those IDs to
-		// future tables with different content, corrupting later epochs.
-		// The tables stay appended and un-ingested; a retry references
-		// them by ID instead of re-uploading.
-		rawMsg := ""
-		if len(j.raw) > 0 {
-			rawIDs := ids[len(ids)-len(j.raw):]
-			rawMsg = fmt.Sprintf("; the %d uploaded raw tables remain appended as corpus IDs %v (not ingested) — retry with {\"tables\": %v}", len(j.raw), rawIDs, rawIDs)
-		}
-		s.setJob(j, func(j *job) {
-			if errors.Is(err, context.Canceled) {
-				j.status = statusCancelled
-				j.errMsg = "cancelled before completing; no epoch was committed" + rawMsg
-			} else {
-				j.status = statusFailed
-				j.errMsg = err.Error() + rawMsg
-			}
-		})
-		return
-	}
-	s.setJob(j, func(j *job) {
-		j.status = statusDone
-		j.stats = &stats
-	})
-}
-
-func (s *Server) runSnapshot(j *job) {
-	meta := kb.Manifest{
-		WorldKey: s.worldKey,
-		Epochs:   make(map[string]int, len(s.engines)),
-		Tables:   make(map[string][]int, len(s.engines)),
-	}
-	for class, eng := range s.engines {
-		meta.Epochs[string(class)] = eng.Epoch()
-		ids := make([]int, 0)
-		for _, id := range eng.IngestedIDs() {
-			if id < s.baseTables {
-				ids = append(ids, id)
-			}
-		}
-		meta.Tables[string(class)] = ids
-	}
-	m, err := s.kb.SaveSnapshot(s.snapshotDir, meta)
-	if err != nil {
-		s.setJob(j, func(j *job) {
-			j.status = statusFailed
-			j.errMsg = err.Error()
-		})
-		return
-	}
-	// Each save appends one delta segment; fold the chain back into a
-	// single segment once it is long enough that cold-start replay (and
-	// the per-segment file overhead) starts to matter. Compaction failure
-	// does not fail the job — the saved chain is already durable and
-	// loadable — but it is surfaced in the job record.
-	if s.compactAfter > 0 && len(m.Segments) >= s.compactAfter {
-		cm, cerr := kb.CompactSnapshot(s.snapshotDir)
-		if cerr != nil {
-			s.setJob(j, func(j *job) {
-				j.status = statusDone
-				j.manifest = &m
-				j.errMsg = fmt.Sprintf("snapshot saved, but compaction failed: %v", cerr)
-			})
-			return
-		}
-		m = cm
-	}
-	s.setJob(j, func(j *job) {
-		j.status = statusDone
-		j.manifest = &m
-	})
-}
-
-// ---- job bookkeeping ----
-
-// enqueue registers a job and submits it to the writer loop.
-func (s *Server) enqueue(j *job) (*job, error) {
-	j.done = make(chan struct{})
-	s.jobMu.Lock()
-	if s.closed {
-		s.jobMu.Unlock()
-		return nil, errors.New("serve: server is shut down")
-	}
-	s.nextJob++
-	j.id = s.nextJob
-	j.status = statusQueued
-	s.jobs[j.id] = j
-	// Submit while still holding jobMu: Close sets closed and closes the
-	// queue under the same lock order, so the send cannot race a close.
-	select {
-	case s.queue <- j:
-		s.jobMu.Unlock()
-		return j, nil
-	default:
-		delete(s.jobs, j.id)
-		s.jobMu.Unlock()
-		return nil, errQueueFull
-	}
-}
-
-// errQueueFull distinguishes backpressure (retryable) from shutdown.
-var errQueueFull = errors.New("serve: ingest queue is full")
 
 func (s *Server) setJob(j *job, mutate func(*job)) {
 	s.jobMu.Lock()
@@ -670,15 +282,51 @@ func (s *Server) setJob(j *job, mutate func(*job)) {
 func (s *Server) viewJob(j *job) JobView {
 	s.jobMu.Lock()
 	defer s.jobMu.Unlock()
+	return s.viewJobLocked(j)
+}
+
+// InterruptedJobs lists the jobs the reloaded journal shows were cut off
+// by an earlier crash, oldest first. Each carries the inputs to resubmit.
+func (s *Server) InterruptedJobs() []JobView {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	var out []JobView
+	for _, j := range s.jobs {
+		if j.status == statusInterrupted {
+			out = append(out, s.viewJobLocked(j))
+		}
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+func (s *Server) viewJobLocked(j *job) JobView {
 	v := JobView{
 		ID:     j.id,
 		Kind:   j.kind,
 		Status: j.status,
 		Stage:  j.stage,
 		Error:  j.errMsg,
+		After:  append([]int64(nil), j.after...),
+		RawIDs: append([]int(nil), j.rawIDs...),
 	}
 	if j.class != "" {
 		v.Class = string(j.class)
+	}
+	if len(j.waitingOn) > 0 {
+		v.WaitingOn = make([]int64, 0, len(j.waitingOn))
+		for id := range j.waitingOn {
+			v.WaitingOn = append(v.WaitingOn, id)
+		}
+		sort.Slice(v.WaitingOn, func(i, k int) bool { return v.WaitingOn[i] < v.WaitingOn[k] })
+	}
+	if j.kind == jobIngest && (len(j.tables) > 0 || j.auto > 0 || len(j.rawSpec) > 0) {
+		v.Inputs = &JobInputsView{
+			Tables: append([]int(nil), j.tables...),
+			Auto:   j.auto,
+			// rawSpec is immutable once set, so sharing the slice is safe.
+			Raw: j.rawSpec,
+		}
 	}
 	if j.stats != nil {
 		st := *j.stats
@@ -977,6 +625,15 @@ type StorageStatsView struct {
 	LastCompaction     int `json:"lastCompaction,omitempty"`
 }
 
+// QueueStatsView is one writer lane's backpressure state: how many jobs
+// are admitted but not yet running (buffered plus dependency-parked)
+// against the lane's capacity, and whether a job is executing right now.
+type QueueStatsView struct {
+	Capacity int  `json:"capacity"`
+	Queued   int  `json:"queued"`
+	Running  bool `json:"running"`
+}
+
 // StatsView is the GET /v1/stats response.
 type StatsView struct {
 	KBVersion   uint64                    `json:"kbVersion"`
@@ -985,6 +642,8 @@ type StatsView struct {
 	Classes     map[string]ClassStatsView `json:"classes"`
 	Storage     StorageStatsView          `json:"storage"`
 	Jobs        map[string]int            `json:"jobs"`
+	// Queues reports each writer lane keyed by class, plus "snapshot".
+	Queues map[string]QueueStatsView `json:"queues"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -1014,9 +673,22 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	view.Storage = s.storageStats()
+	view.Queues = make(map[string]QueueStatsView, len(s.lanes)+1)
 	s.jobMu.Lock()
 	for _, j := range s.jobs {
 		view.Jobs[j.status]++
+	}
+	for class, ln := range s.lanes {
+		view.Queues[string(class)] = QueueStatsView{
+			Capacity: s.queueDepth,
+			Queued:   ln.occupancy + ln.waiting,
+			Running:  s.running[class] != nil,
+		}
+	}
+	view.Queues["snapshot"] = QueueStatsView{
+		Capacity: s.queueDepth,
+		Queued:   s.snapLane.occupancy + s.snapLane.waiting,
+		Running:  s.running[""] != nil,
 	}
 	s.jobMu.Unlock()
 	writeJSON(w, http.StatusOK, view)
@@ -1062,12 +734,38 @@ type RawTable struct {
 
 // IngestRequest is the POST /v1/ingest body: a class plus any mix of
 // corpus table IDs, an "auto" count (the next N not-yet-ingested tables
-// the server has classified for the class), and inline raw tables.
+// the server has classified for the class), and inline raw tables. After
+// optionally lists job IDs this ingest must run after: it dispatches only
+// once all of them finished successfully, and fails without running if
+// any of them fails, is cancelled, or was interrupted.
 type IngestRequest struct {
 	Class  string     `json:"class"`
 	Tables []int      `json:"tables,omitempty"`
 	Auto   int        `json:"auto,omitempty"`
 	Raw    []RawTable `json:"raw,omitempty"`
+	After  []int64    `json:"after,omitempty"`
+}
+
+// SnapshotRequest is the optional POST /v1/snapshot body. After has the
+// same semantics as on IngestRequest.
+type SnapshotRequest struct {
+	After []int64 `json:"after,omitempty"`
+}
+
+// writeEnqueueErr maps an enqueue failure to its HTTP shape: a full lane
+// is backpressure (429 with Retry-After — the client should retry, not
+// fail over), an unknown dependency is a client error (400), and a server
+// already shutting down is 503.
+func writeEnqueueErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, err.Error()+"; retry shortly")
+	case errors.Is(err, errUnknownDep):
+		writeErr(w, http.StatusBadRequest, err.Error())
+	default:
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+	}
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -1119,17 +817,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// (and a deadline-expired Shutdown) cancel it.
 	jctx, cancel := context.WithCancel(context.Background())
 	j, err := s.enqueue(&job{
-		kind:   jobIngest,
-		class:  class,
-		tables: append([]int(nil), req.Tables...),
-		auto:   req.Auto,
-		raw:    raw,
-		ctx:    jctx,
-		cancel: cancel,
+		kind:    jobIngest,
+		class:   class,
+		tables:  append([]int(nil), req.Tables...),
+		auto:    req.Auto,
+		raw:     raw,
+		rawSpec: req.Raw,
+		after:   append([]int64(nil), req.After...),
+		ctx:     jctx,
+		cancel:  cancel,
 	})
 	if err != nil {
 		cancel()
-		writeErr(w, http.StatusServiceUnavailable, err.Error())
+		writeEnqueueErr(w, err)
 		return
 	}
 	s.respondJob(w, r, j, http.StatusAccepted)
@@ -1140,12 +840,67 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusConflict, "no snapshot directory configured")
 		return
 	}
-	j, err := s.enqueue(&job{kind: jobSnapshot})
+	// The body is optional: a bare POST snapshots immediately, a JSON
+	// body may order the snapshot after other jobs.
+	var req SnapshotRequest
+	if err := decodeBodyOptional(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	j, err := s.enqueue(&job{
+		kind:  jobSnapshot,
+		after: append([]int64(nil), req.After...),
+	})
 	if err != nil {
-		writeErr(w, http.StatusServiceUnavailable, err.Error())
+		writeEnqueueErr(w, err)
 		return
 	}
 	s.respondJob(w, r, j, http.StatusAccepted)
+}
+
+// handleJobs lists retained jobs newest-first: GET /v1/jobs, optionally
+// filtered by ?status= (comma-separated statuses) and bounded by ?limit=.
+// Interrupted jobs — survivors of a previous process found in the job
+// journal — appear here with their resubmittable inputs.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	filter := make(map[string]bool)
+	if raw := r.URL.Query().Get("status"); raw != "" {
+		for _, st := range strings.Split(raw, ",") {
+			st = strings.TrimSpace(st)
+			if st == "" {
+				continue
+			}
+			if !terminalStatus(st) && st != statusQueued && st != statusRunning {
+				writeErr(w, http.StatusBadRequest, fmt.Sprintf("unknown status %q", st))
+				return
+			}
+			filter[st] = true
+		}
+	}
+	limit := 0
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			writeErr(w, http.StatusBadRequest, "limit must be a positive integer")
+			return
+		}
+		limit = n
+	}
+	s.jobMu.Lock()
+	s.evictExpiredLocked()
+	views := make([]JobView, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		if len(filter) > 0 && !filter[j.status] {
+			continue
+		}
+		views = append(views, s.viewJobLocked(j))
+	}
+	s.jobMu.Unlock()
+	sort.Slice(views, func(i, k int) bool { return views[i].ID > views[k].ID })
+	if limit > 0 && len(views) > limit {
+		views = views[:limit]
+	}
+	writeJSON(w, http.StatusOK, JobsView{Jobs: views})
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -1185,8 +940,10 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 		// snapshots are not, queued or running.
 		cancellable = j.cancel != nil
 		if status == statusQueued && cancellable {
-			j.status = statusCancelled
-			j.errMsg = "cancelled while queued"
+			// Completes the job on the spot: a dependency-parked job is
+			// unparked, dependents are failed, and its writer will skip
+			// the queue entry when it reaches it.
+			s.completeJobLocked(j, statusCancelled, "cancelled while queued")
 		}
 		// A running job's status flips to cancelled only once the engine
 		// has actually unwound, so a poller never sees "cancelled" while
@@ -1203,7 +960,6 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	switch status {
 	case statusQueued:
-		j.cancel()
 		writeJSON(w, http.StatusOK, s.viewJob(j))
 	case statusRunning:
 		j.cancel()
@@ -1262,6 +1018,20 @@ func decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	return nil
+}
+
+// decodeBodyOptional is decodeBody for endpoints whose body may be empty:
+// an absent body leaves dst at its zero value.
+func decodeBodyOptional(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
 		return fmt.Errorf("invalid request body: %w", err)
 	}
 	return nil

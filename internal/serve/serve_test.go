@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/kb"
@@ -369,20 +370,30 @@ func TestServeNoOpIngestShortCircuit(t *testing.T) {
 	}
 }
 
-// TestServeJobRetention: finished jobs are evicted beyond the retention
-// bound instead of accumulating forever.
+// TestServeJobRetention: finished jobs stay queryable until the job TTL
+// expires and are evicted afterwards instead of accumulating forever.
+// The clock is injected so the test drives time, not the wall.
 func TestServeJobRetention(t *testing.T) {
 	s, _ := newTestServer(t, "")
+	clock := time.Now()
+	s.jobMu.Lock()
+	s.now = func() time.Time { return clock }
+	s.jobMu.Unlock()
+
 	var first, last JobView
 	do(t, s, http.MethodPost, "/v1/ingest?wait=1", `{"class":"GF-Player","tables":[]}`, &first)
-	for i := 0; i < maxRetainedJobs; i++ {
-		do(t, s, http.MethodPost, "/v1/ingest?wait=1", `{"class":"GF-Player","tables":[]}`, &last)
-	}
+	// Age the first job past the TTL; the second finishes "later" and
+	// must survive the sweep the listing below triggers.
+	clock = clock.Add(s.jobTTL + time.Minute)
+	do(t, s, http.MethodPost, "/v1/ingest?wait=1", `{"class":"GF-Player","tables":[]}`, &last)
+
+	var jl JobsView
+	do(t, s, http.MethodGet, "/v1/jobs", "", &jl)
 	if code := do(t, s, http.MethodGet, fmt.Sprintf("/v1/jobs/%d", first.ID), "", nil); code != 404 {
-		t.Errorf("oldest job still retained: %d", code)
+		t.Errorf("expired job still retained: %d", code)
 	}
 	if code := do(t, s, http.MethodGet, fmt.Sprintf("/v1/jobs/%d", last.ID), "", nil); code != 200 {
-		t.Errorf("newest job evicted: %d", code)
+		t.Errorf("fresh job evicted: %d", code)
 	}
 }
 

@@ -14,6 +14,8 @@ type CorpusStats struct {
 
 // Stats computes the corpus characteristics.
 func (c *Corpus) Stats() CorpusStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var s CorpusStats
 	if len(c.Tables) == 0 {
 		return s

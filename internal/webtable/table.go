@@ -6,6 +6,7 @@ package webtable
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/dtype"
 	"repro/internal/kb"
@@ -102,7 +103,18 @@ type RowRef struct {
 func (r RowRef) String() string { return fmt.Sprintf("%d:%d", r.Table, r.Row) }
 
 // Corpus is a collection of web tables with ID-based lookup.
+//
+// The method surface (Append, Truncate, Table, Len, TotalRows, Rows,
+// Stats) is safe for concurrent use: the serve layer's per-class writer
+// goroutines append uploaded tables while other classes' engines read
+// their own batches. Individual tables are immutable once appended (the
+// pipeline annotates only tables it is currently ingesting, and each
+// table belongs to exactly one class's batch), so the guard covers the
+// table list itself, not table contents. Direct access to the Tables
+// field is construction-time only and must not overlap with method
+// calls from other goroutines.
 type Corpus struct {
+	mu     sync.RWMutex
 	Tables []*Table
 }
 
@@ -119,17 +131,48 @@ func NewCorpus(tables []*Table) *Corpus {
 }
 
 // Append adds a table to the corpus, assigning it the next sequential ID,
-// and returns that ID. Append is not safe for concurrent use with readers
-// of the corpus: the serve layer calls it only from its single-writer
-// ingest loop, immediately before handing the new ID to the engine.
+// and returns that ID. Safe for concurrent use with the other corpus
+// methods; the serve layer's per-class writers append uploaded tables
+// while other classes' engines look up their own.
 func (c *Corpus) Append(t *Table) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	t.ID = len(c.Tables)
 	c.Tables = append(c.Tables, t)
 	return t.ID
 }
 
-// Table returns the table with the given ID, or nil.
+// Truncate discards the tables with IDs at or beyond n. The serve layer
+// uses it to roll back an appended upload whose ingest panicked before
+// the engine could absorb it.
+func (c *Corpus) Truncate(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n >= 0 && n < len(c.Tables) {
+		c.Tables = c.Tables[:n]
+	}
+}
+
+// TruncateIf truncates to n only when the corpus currently holds exactly
+// expect tables, and reports whether it did. The check and the truncation
+// are one atomic step, so a caller rolling back its own appended tail is
+// guaranteed not to chop tables another goroutine appended after it.
+func (c *Corpus) TruncateIf(n, expect int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.Tables) != expect || n < 0 || n > expect {
+		return false
+	}
+	c.Tables = c.Tables[:n]
+	return true
+}
+
+// Table returns the table with the given ID, or nil. Tables are immutable
+// once appended, so the returned pointer is safe to use while other
+// goroutines append.
 func (c *Corpus) Table(id int) *Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if id < 0 || id >= len(c.Tables) {
 		return nil
 	}
@@ -137,10 +180,16 @@ func (c *Corpus) Table(id int) *Table {
 }
 
 // Len returns the number of tables.
-func (c *Corpus) Len() int { return len(c.Tables) }
+func (c *Corpus) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.Tables)
+}
 
 // TotalRows returns the total number of body rows across all tables.
 func (c *Corpus) TotalRows() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	n := 0
 	for _, t := range c.Tables {
 		n += t.NumRows()
@@ -150,11 +199,17 @@ func (c *Corpus) TotalRows() int {
 
 // Rows enumerates all row references in the corpus.
 func (c *Corpus) Rows() []RowRef {
-	out := make([]RowRef, 0, c.TotalRows())
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := 0
+	for _, t := range c.Tables {
+		out += t.NumRows()
+	}
+	refs := make([]RowRef, 0, out)
 	for _, t := range c.Tables {
 		for r := range t.Cells {
-			out = append(out, RowRef{Table: t.ID, Row: r})
+			refs = append(refs, RowRef{Table: t.ID, Row: r})
 		}
 	}
-	return out
+	return refs
 }

@@ -1,8 +1,11 @@
 // Package serve is the public surface of the HTTP serving layer: a
 // long-running KB query/ingest server over one incremental engine per
 // class — entity lookup, fuzzy label search, per-class statistics, async
-// ingestion jobs with cancellation (DELETE /v1/jobs/{id}), and snapshot
-// persistence with warm starts.
+// ingestion jobs with cancellation (DELETE /v1/jobs/{id}), dependencies
+// ("after"), durable job records (GET /v1/jobs?status=interrupted after a
+// crash), and snapshot persistence with warm starts. Each served class has
+// its own writer lane; a full lane rejects with 429 and a Retry-After
+// header.
 //
 // Every identifier is a re-export of the internal implementation; the
 // types are identical, so engines built with ltee.NewEngine plug straight
@@ -25,6 +28,13 @@ type Server = serve.Server
 // JobView is the JSON rendering of an async job (GET /v1/jobs/{id}).
 type JobView = serve.JobView
 
+// JobsView is the GET /v1/jobs listing response; JobInputsView carries an
+// unfinished job's resubmittable inputs inside its JobView.
+type (
+	JobsView      = serve.JobsView
+	JobInputsView = serve.JobInputsView
+)
+
 // The JSON view types of the read endpoints.
 type (
 	ClassView         = serve.ClassView
@@ -38,14 +48,17 @@ type (
 	ClassStatsView    = serve.ClassStatsView
 	CacheStatsView    = serve.CacheStatsView
 	EndpointStatsView = serve.EndpointStatsView
+	QueueStatsView    = serve.QueueStatsView
 )
 
 // The request types of the write endpoints.
 type (
-	IngestRequest = serve.IngestRequest
-	RawTable      = serve.RawTable
+	IngestRequest   = serve.IngestRequest
+	RawTable        = serve.RawTable
+	SnapshotRequest = serve.SnapshotRequest
 )
 
 // New builds a server, warm-starts from the snapshot directory when one is
-// configured, and starts the single-writer ingest loop.
+// configured (reloading the job journal so interrupted work is queryable),
+// and starts one writer loop per served class.
 func New(cfg Config) (*Server, error) { return serve.New(cfg) }
