@@ -1,16 +1,20 @@
 // Command ltee-lint runs the repository's project-specific static
 // analyzers (internal/lint) over the given package patterns — a
-// multichecker enforcing the determinism, cancellation, aliasing, pool and
-// import-boundary invariants that earlier PRs established by hand:
+// multichecker enforcing the determinism, cancellation, aliasing, pool,
+// import-boundary, lock-order, goroutine-lifecycle and durability
+// invariants that earlier PRs established by hand:
 //
 //	go run ./cmd/ltee-lint ./...
 //
-// It prints one line per finding and exits 1 when any finding survives the
-// //lteelint:ignore directives (see internal/lint for the directive
-// grammar), 2 on a load or usage error, 0 when the tree is clean.
+// It prints one line per finding (or one JSON record per finding with
+// -json) and exits 1 when any finding survives the //lteelint:ignore
+// directives (see internal/lint for the directive grammar), 2 on a load
+// or usage error, 0 when the tree is clean. -tests widens the run to the
+// packages' test files.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -23,13 +27,25 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// finding is the -json record shape: one object per line (NDJSON), the
+// fields the CI problem matcher and artifact consumers key on.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ltee-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	dir := fs.String("C", ".", "run as if started in `dir` (the module root)")
+	jsonOut := fs.Bool("json", false, "emit findings as NDJSON records instead of text")
+	tests := fs.Bool("tests", false, "also analyze the packages' test files")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: ltee-lint [-C dir] [-list] [packages]\n\n"+
+		fmt.Fprintf(stderr, "usage: ltee-lint [-C dir] [-list] [-json] [-tests] [packages]\n\n"+
 			"Runs the project analyzers over the packages (default ./...).\n\n")
 		fs.PrintDefaults()
 	}
@@ -46,13 +62,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	diags, err := lint.Run(*dir, patterns, lint.All())
+	runner := lint.Run
+	if *tests {
+		runner = lint.RunTests
+	}
+	diags, err := runner(*dir, patterns, lint.All())
 	if err != nil {
 		fmt.Fprintf(stderr, "ltee-lint: %v\n", err)
 		return 2
 	}
 	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+		if *jsonOut {
+			rec := finding{File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message}
+			raw, err := json.Marshal(rec)
+			if err != nil {
+				fmt.Fprintf(stderr, "ltee-lint: encoding finding: %v\n", err)
+				return 2
+			}
+			fmt.Fprintln(stdout, string(raw))
+		} else {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "ltee-lint: %d finding(s)\n", len(diags))

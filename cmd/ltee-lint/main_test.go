@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -10,7 +11,10 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("run(-list) = %d, stderr: %s", code, errOut.String())
 	}
-	for _, name := range []string{"sortedrange", "ctxflow", "aliasret", "poolput", "internalboundary"} {
+	for _, name := range []string{
+		"sortedrange", "ctxflow", "aliasret", "poolput", "internalboundary",
+		"lockorder", "goleak", "fsyncdisc", "errdrop",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
@@ -31,5 +35,51 @@ func TestCleanPackage(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-C", "../..", "./internal/par"}, &out, &errOut); code != 0 {
 		t.Fatalf("run(./internal/par) = %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+}
+
+// TestJSONFindings runs the suite over a lint fixture tree — guaranteed
+// findings — and checks every output line is a well-formed NDJSON record.
+func TestJSONFindings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped under -short")
+	}
+	var out, errOut strings.Builder
+	code := run([]string{"-C", "../../internal/lint/testdata/src/lockorder", "-json", "."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("run(-json lockorder fixture) = %d, want 1\nstdout: %s\nstderr: %s",
+			code, out.String(), errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no findings emitted")
+	}
+	for _, line := range lines {
+		var rec struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad JSON record %q: %v", line, err)
+		}
+		if rec.File == "" || rec.Line == 0 || rec.Analyzer == "" || rec.Message == "" {
+			t.Errorf("incomplete record: %s", line)
+		}
+	}
+}
+
+// TestTestsFlag lints this command's own package including its test
+// files; the tree is kept clean, so the run must exit 0 either way.
+func TestTestsFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped under -short")
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-C", "../..", "-tests", "./cmd/ltee-lint"}, &out, &errOut); code != 0 {
+		t.Fatalf("run(-tests ./cmd/ltee-lint) = %d\nstdout: %s\nstderr: %s",
+			code, out.String(), errOut.String())
 	}
 }

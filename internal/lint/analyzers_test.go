@@ -34,8 +34,27 @@ func TestInternalBoundary(t *testing.T) {
 		"repro", "repro/examples/demo", "repro/cmd/ltee", "repro/cmd/ltee-bench", "repro/ltee/kb")
 }
 
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, "testdata", lint.LockOrder, "lockorder")
+}
+
+func TestGoLeak(t *testing.T) {
+	linttest.Run(t, "testdata", lint.GoLeak, "goleak")
+}
+
+func TestFsyncDisc(t *testing.T) {
+	linttest.Run(t, "testdata", lint.FsyncDisc, "fsyncdisc")
+}
+
+func TestErrDrop(t *testing.T) {
+	linttest.Run(t, "testdata", lint.ErrDrop, "errdrop")
+}
+
 func TestAllListsEveryAnalyzer(t *testing.T) {
-	want := []string{"sortedrange", "ctxflow", "aliasret", "poolput", "internalboundary"}
+	want := []string{
+		"sortedrange", "ctxflow", "aliasret", "poolput", "internalboundary",
+		"lockorder", "goleak", "fsyncdisc", "errdrop",
+	}
 	all := lint.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))

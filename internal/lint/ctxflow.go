@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"strings"
 )
 
 // CtxFlow flags context.Background() / context.TODO() calls that sever the
@@ -30,6 +31,10 @@ func runCtxFlow(pass *Pass) error {
 		return nil
 	}
 	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			// Tests are the other place root contexts are legitimately born.
+			continue
+		}
 		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {

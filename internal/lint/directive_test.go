@@ -31,9 +31,11 @@ func TestDirectives(t *testing.T) {
 
 	want := []struct{ analyzer, substr string }{
 		{"ctxflow", "severs the in-scope cancellation chain"}, // NoReason's body: bad directive must not suppress
+		{"ctxflow", "severs the in-scope cancellation chain"}, // WrongLine: a directive two lines up covers nothing
 		{"lteelint", "needs a reason"},
 		{"lteelint", `names unknown analyzer "nosuchcheck"`},
-		{"lteelint", "unused lteelint:ignore directive for ctxflow"},
+		{"lteelint", "unused lteelint:ignore directive for ctxflow"}, // Stale
+		{"lteelint", "unused lteelint:ignore directive for ctxflow"}, // WrongLine's out-of-range directive
 	}
 	for _, w := range want {
 		found := false

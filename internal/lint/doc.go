@@ -1,0 +1,90 @@
+// Package lint implements the repository's project-specific static
+// analyzers: mechanical enforcement of the invariants earlier PRs
+// established by hand and that code review kept re-finding. The v1 suite
+// (PR 6) covers determinism, cancellation, aliasing, pooling and the
+// import boundary; the v2 suite adds the concurrency and durability
+// invariant classes the PR 8/9 scheduler and persistence work introduced.
+//
+// # Framework
+//
+// The framework mirrors the Analyzer/Pass shapes of
+// golang.org/x/tools/go/analysis, reimplemented on the standard library
+// (go/ast, go/types) because the build is dependency-free. An Analyzer is
+// a name, a doc string and a Run function over a Pass; a Pass carries one
+// parsed, type-checked package (files, *types.Package, *types.Info) and a
+// Reportf sink. Packages under analysis are type-checked from source;
+// their imports resolve through the compiler's export data obtained from
+// `go list -e -export -deps`, so type identity holds across the whole
+// load without golang.org/x/tools. The Loader also supports a GOPATH-style
+// SrcRoot for the testdata fixture trees, and IncludeTests widens a load
+// to the packages' test files (in-package test files join their package's
+// variant; package foo_test files are analyzed as their own "<path>_test"
+// package).
+//
+// The analyzers are run by cmd/ltee-lint (a multichecker: `go run
+// ./cmd/ltee-lint ./...`, `-tests` to include test files, `-json` for
+// NDJSON findings) and unit-tested against testdata fixtures with
+// linttest, an analysistest-style harness that diffs findings against
+// `// want "regexp"` comments.
+//
+// # The analyzers and the bugs behind them
+//
+// Each analyzer exists because a specific defect class already happened
+// (or was caught in review) in this repository:
+//
+//   - sortedrange — appending to a result or accumulating floats while
+//     ranging over a map records map iteration order; the PHI metric's
+//     map-order float accumulation (PR 1) made scores differ run to run.
+//   - ctxflow — context.Background()/TODO() where a context is already in
+//     scope severs the cancellation chain the public API threads end to
+//     end; a severed report context (PR 5) made cancellation silently
+//     stop propagating. Main packages and test files are exempt: that is
+//     where root contexts are legitimately born.
+//   - aliasret — mutex-guarded accessors returning their internal slice or
+//     map alias their own state to callers outside the lock; Engine.Fork
+//     (PR 3) leaked a mutable snapshot that raced with the trainer.
+//   - poolput — a sync.Pool.Get whose value does not reach Put on every
+//     return path re-inflates allocations; the PR 4 kernel pool leaked
+//     buffers on an error path added later.
+//   - internalboundary — public consumers (the root package, examples,
+//     public binaries) must not import repro/internal; replaces the CI
+//     grep that previously guarded the ltee/ alias surface. Test files
+//     are in-module code, not consumer surface, and are exempt.
+//   - lockorder — the PR 9 scheduler stacked an execution RWMutex over a
+//     job mutex, the kb mutex and the corpus RWMutex, all ordered by
+//     convention only. The analyzer builds an intra-package lock graph
+//     (receiver-field and package-level locks, RLock/Lock modes apart)
+//     and flags double-locks on the same lock value (sync mutexes are not
+//     reentrant; an RLock→Lock upgrade deadlocks against a writer),
+//     critical sections calling back into a function that acquires the
+//     held lock, and acquisition-order cycles between two code paths.
+//   - goleak — the scheduler's per-class writer lanes are `go`-launched
+//     drain loops whose shutdown edge is a channel close; a loop with no
+//     return/break/terminal call, or a `for range ch` whose channel
+//     nothing in the package closes, leaks the goroutine and whatever it
+//     holds past shutdown.
+//   - fsyncdisc — journal and snapshot correctness (PR 8/9) depend on the
+//     temp-file + fsync(file) + rename + fsync(parent-dir) commit
+//     discipline, with the manifest written last; an os.Rename without
+//     the surrounding fsyncs, a rename source that is not an os.CreateTemp
+//     sibling, an in-place os.WriteFile in a persisting package, or a
+//     write after the manifest commit each break crash-atomicity in a way
+//     only a power-loss test would catch. Test files are exempt (recovery
+//     tests deliberately build torn sequences).
+//   - errdrop — a discarded Close/Sync/Flush/Rename error on a durability
+//     path is a silently-lost write; the job journal's close() (PR 9)
+//     dropped its file's Close error until this analyzer flagged it.
+//     Files opened with os.Open (reads) and error-unwind paths are
+//     exempt.
+//
+// # Suppressing a finding
+//
+// A finding can be suppressed only with a reasoned directive:
+//
+//	//lteelint:ignore <analyzer> <reason>
+//
+// The directive covers its own line and the line immediately following it,
+// must name a known analyzer, and must carry a non-empty reason; malformed
+// and unused directives are themselves reported as findings (under the
+// pseudo-analyzer name "lteelint"), so suppressions cannot rot silently.
+package lint

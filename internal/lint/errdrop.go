@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop guards error handling on the durability paths (the PR 8/9
+// journal and snapshot code): a dropped Close/Sync/Flush/Rename error on a
+// written file is a silently-lost write — the classic shape being a
+// journal handle whose Close error vanishes while the in-memory state
+// moves on. The analyzer activates per file: a file that performs durable
+// writes (calls (*os.File).Sync or os.Rename) is a durability file, and in
+// it the analyzer flags
+//
+//   - a Close/Sync/Flush/Rename call used as a bare statement (error
+//     discarded), and
+//   - `_ = f()` assignments that blank an error-returning call,
+//
+// with two exemptions that keep read paths and error unwinding clean:
+// a file opened with os.Open (read-only — its Close cannot lose writes),
+// and statements on an error-exit path (the enclosing block goes on to
+// return a non-nil error; the first failure is the one worth reporting).
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "flags discarded Close/Sync/Flush/Rename errors and _ = assignments of " +
+		"error-returning calls in files that perform durable writes",
+	Run: runErrDrop,
+}
+
+func runErrDrop(pass *Pass) error {
+	for _, f := range pass.Files {
+		if !fileDoesDurableWrites(pass.TypesInfo, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkErrDropFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// fileDoesDurableWrites reports whether the file contains a
+// (*os.File).Sync or os.Rename call — the signature of commit code.
+func fileDoesDurableWrites(info *types.Info, f *ast.File) bool {
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if isFileSync(info, call) || isPkgCall(info, call, "os", "Rename") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// droppableCall reports whether call is a Close/Sync/Flush/Rename whose
+// single error result matters, returning a display name.
+func droppableCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Close", "Sync", "Flush", "Rename":
+	default:
+		return "", false
+	}
+	if !callReturnsError(info, call) {
+		return "", false
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return exprText(sel.X) + "." + fn.Name(), true
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "os" {
+		return "os." + fn.Name(), true
+	}
+	return fn.Name(), true
+}
+
+// callReturnsError reports whether the call's last result is of type error.
+func callReturnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		if tuple.Len() == 0 {
+			return false
+		}
+		t = tuple.At(tuple.Len() - 1).Type()
+	}
+	return types.Unalias(t) == types.Universe.Lookup("error").Type()
+}
+
+func checkErrDropFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	// readOnly tracks variables opened with os.Open in this function:
+	// their Close cannot lose a write.
+	readOnly := map[types.Object]bool{}
+	walkSkipFuncLits(fd.Body, func(n ast.Node) {
+		if st, ok := n.(*ast.AssignStmt); ok {
+			for i, rhs := range st.Rhs {
+				if i >= len(st.Lhs) {
+					break
+				}
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isPkgCall(info, call, "os", "Open") {
+					if id, ok := ast.Unparen(st.Lhs[i]).(*ast.Ident); ok {
+						if obj := objectOf(info, id); obj != nil {
+							readOnly[obj] = true
+						}
+					}
+				}
+			}
+		}
+	})
+
+	check := func(call *ast.CallExpr, deferred bool) {
+		name, ok := droppableCall(info, call)
+		if !ok {
+			return
+		}
+		if receiverIsReadOnly(info, call, readOnly) {
+			return
+		}
+		if !deferred && onErrorExitPath(info, fd.Body, call) {
+			return
+		}
+		how := "discards its error"
+		if deferred {
+			how = "defers with its error discarded"
+		}
+		pass.Reportf(call.Pos(),
+			"%s %s on a durability path; a lost %s error is a silently-lost write — check it",
+			name, how, calleeFunc(info, call).Name())
+	}
+
+	walkStmtsSkipFuncLits(fd.Body, func(st ast.Stmt) {
+		switch s := st.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				check(call, false)
+			}
+		case *ast.DeferStmt:
+			check(s.Call, true)
+		case *ast.GoStmt:
+			// A goroutine's result was never observable; skip.
+		case *ast.AssignStmt:
+			// `_ = call()` blanking an error-returning call.
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return
+			}
+			if id, ok := s.Lhs[0].(*ast.Ident); !ok || id.Name != "_" {
+				return
+			}
+			call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+			if !ok || !callReturnsError(info, call) {
+				return
+			}
+			if onErrorExitPath(info, fd.Body, call) {
+				return
+			}
+			pass.Reportf(s.Pos(),
+				"_ = %s blanks an error on a durability path; handle it or suppress with a reasoned directive",
+				exprText(call.Fun))
+		}
+	})
+}
+
+// receiverIsReadOnly reports whether the call's receiver chain is rooted
+// at a variable opened with os.Open in this function.
+func receiverIsReadOnly(info *types.Info, call *ast.CallExpr, readOnly map[types.Object]bool) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	root := rootIdent(sel.X)
+	if root == nil {
+		return false
+	}
+	obj := objectOf(info, root)
+	return obj != nil && readOnly[obj]
+}
+
+// onErrorExitPath reports whether the call's statement is followed, in its
+// innermost enclosing block, by a return carrying a non-nil error — the
+// unwind of an earlier failure, where the original error is the one that
+// matters.
+func onErrorExitPath(info *types.Info, body *ast.BlockStmt, call *ast.CallExpr) bool {
+	result := false
+	walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if result {
+			return false
+		}
+		if n != ast.Node(call) {
+			return true
+		}
+		// Find the statement containing the call and its enclosing block.
+		for i := len(stack) - 1; i > 0; i-- {
+			block, ok := stack[i-1].(*ast.BlockStmt)
+			if !ok {
+				continue
+			}
+			stmt, ok := stack[i].(ast.Stmt)
+			if !ok {
+				continue
+			}
+			idx := -1
+			for k, s := range block.List {
+				if s == stmt {
+					idx = k
+					break
+				}
+			}
+			if idx < 0 {
+				continue
+			}
+			for _, later := range block.List[idx+1:] {
+				if ret, ok := later.(*ast.ReturnStmt); ok && returnsNonNilError(info, ret) {
+					result = true
+				}
+			}
+			return false
+		}
+		return false
+	})
+	return result
+}
+
+// returnsNonNilError reports whether the return carries an error-typed
+// expression that is not the nil literal.
+func returnsNonNilError(info *types.Info, ret *ast.ReturnStmt) bool {
+	for _, res := range ret.Results {
+		t := info.TypeOf(res)
+		if t == nil || types.Unalias(t) != types.Universe.Lookup("error").Type() {
+			continue
+		}
+		if id, ok := ast.Unparen(res).(*ast.Ident); ok && id.Name == "nil" {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// walkStmtsSkipFuncLits visits every statement of body in source order,
+// skipping function literal subtrees.
+func walkStmtsSkipFuncLits(body *ast.BlockStmt, fn func(st ast.Stmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if st, ok := n.(ast.Stmt); ok {
+			fn(st)
+		}
+		return true
+	})
+}

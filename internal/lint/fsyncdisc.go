@@ -1,0 +1,287 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FsyncDisc guards the durable-write discipline the kb snapshot segments
+// and the serve job journal depend on (the PR 8/9 invariant): a durable
+// file is written to a temporary sibling from os.CreateTemp, fsynced,
+// renamed over the final name, and the parent directory is fsynced so the
+// rename itself survives power loss; and in a multi-file commit the
+// manifest — the record that makes everything else reachable — is written
+// last. The analyzer activates only in packages that persist state (they
+// call (*os.File).Sync or os.Rename somewhere) and reports, per function:
+//
+//   - an os.Rename whose source does not come from os.CreateTemp in the
+//     same function (in-place or cross-name commits are not crash-atomic);
+//   - an os.Rename with no file fsync before it (content may be lost while
+//     the name survives) or no directory fsync after it (the rename may be
+//     lost while the content survives);
+//   - os.WriteFile in a persisting package (in-place, not crash-atomic —
+//     route it through the package's temp+rename helper);
+//   - a manifest write followed by further writes in the same function
+//     (a crash in between leaves a manifest describing files that do not
+//     exist yet).
+var FsyncDisc = &Analyzer{
+	Name: "fsyncdisc",
+	Doc: "flags durable-write sequences that break the temp-file+rename+fsync " +
+		"discipline or commit the manifest before other writes",
+	Run: runFsyncDisc,
+}
+
+func runFsyncDisc(pass *Pass) error {
+	if !packagePersists(pass) {
+		return nil
+	}
+	commits := commitHelpers(pass)
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			// Crash-recovery tests deliberately build torn and reordered
+			// write sequences; the discipline binds the shipped code.
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFsyncFunc(pass, fd, commits)
+			}
+		}
+	}
+	return nil
+}
+
+// packagePersists reports whether the package touches the durability
+// surface at all: a (*os.File).Sync or an os.Rename call anywhere.
+func packagePersists(pass *Pass) bool {
+	found := false
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if isFileSync(pass.TypesInfo, call) || isPkgCall(pass.TypesInfo, call, "os", "Rename") {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isFileSync reports whether call is (*os.File).Sync.
+func isFileSync(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "os" && fn.Name() == "Sync"
+}
+
+// commitHelpers computes which same-package functions (transitively)
+// perform a commit write — an os.Rename or os.WriteFile — so that calls to
+// them count as write operations for the manifest-last ordering.
+func commitHelpers(pass *Pass) map[*types.Func]bool {
+	info := pass.TypesInfo
+	direct := map[*types.Func]bool{}
+	callees := map[*types.Func][]*types.Func{}
+	var fns []*types.Func
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fns = append(fns, fn)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isPkgCall(info, call, "os", "Rename") || isPkgCall(info, call, "os", "WriteFile") {
+					direct[fn] = true
+				}
+				if callee := calleeFunc(info, call); callee != nil {
+					callees[fn] = append(callees[fn], callee)
+				}
+				return true
+			})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			if direct[fn] {
+				continue
+			}
+			for _, c := range callees[fn] {
+				if direct[c] {
+					direct[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return direct
+}
+
+// writeOp is one durable write operation in a function, in source order.
+type writeOp struct {
+	pos      token.Pos
+	desc     string
+	manifest bool
+}
+
+func checkFsyncFunc(pass *Pass, fd *ast.FuncDecl, commits map[*types.Func]bool) {
+	info := pass.TypesInfo
+	// tempObjs are variables bound to os.CreateTemp results in this
+	// function; a rename source must be rooted at one of them.
+	tempObjs := map[types.Object]bool{}
+	type syncEvent struct{ pos token.Pos }
+	type renameEvent struct {
+		call *ast.CallExpr
+		pos  token.Pos
+	}
+	var syncs []syncEvent
+	var renames []renameEvent
+	var writes []writeOp
+
+	walkSkipFuncLits(fd.Body, func(n ast.Node) {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				if i >= len(st.Lhs) {
+					break
+				}
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isPkgCall(info, call, "os", "CreateTemp") {
+					if id, ok := ast.Unparen(st.Lhs[i]).(*ast.Ident); ok {
+						if obj := objectOf(info, id); obj != nil {
+							tempObjs[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			switch {
+			case isFileSync(info, st):
+				syncs = append(syncs, syncEvent{pos: st.Pos()})
+			case isPkgCall(info, st, "os", "Rename"):
+				renames = append(renames, renameEvent{call: st, pos: st.Pos()})
+				writes = append(writes, writeOp{pos: st.Pos(), desc: "os.Rename", manifest: mentionsManifest(st)})
+			case isPkgCall(info, st, "os", "WriteFile"):
+				pass.Reportf(st.Pos(),
+					"os.WriteFile writes in place (not crash-atomic) in a package that persists state; commit via temp-file+rename+fsync")
+				writes = append(writes, writeOp{pos: st.Pos(), desc: "os.WriteFile", manifest: mentionsManifest(st)})
+			default:
+				if callee := calleeFunc(info, st); callee != nil && commits[callee] {
+					writes = append(writes, writeOp{pos: st.Pos(),
+						desc: callee.Name(), manifest: mentionsManifest(st) || containsManifest(callee.Name())})
+				}
+			}
+		}
+	})
+
+	syncBefore := func(p token.Pos) bool {
+		for _, s := range syncs {
+			if s.pos < p {
+				return true
+			}
+		}
+		return false
+	}
+	syncAfter := func(p token.Pos) bool {
+		for _, s := range syncs {
+			if s.pos > p {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range renames {
+		if len(r.call.Args) > 0 && !derivesFromTemp(info, r.call.Args[0], tempObjs) {
+			pass.Reportf(r.pos,
+				"os.Rename source %s is not an os.CreateTemp file from this function; durable commits go through a temp sibling",
+				exprText(r.call.Args[0]))
+		}
+		if !syncBefore(r.pos) {
+			pass.Reportf(r.pos,
+				"os.Rename commits a file with no fsync before it; Sync the file so its content is durable when its name is")
+		}
+		if !syncAfter(r.pos) {
+			pass.Reportf(r.pos,
+				"os.Rename is not followed by an fsync of the parent directory; the rename itself may not survive power loss")
+		}
+	}
+
+	// Manifest-last ordering: once a manifest write happened, any further
+	// write in the same function breaks the commit ordering.
+	sort.Slice(writes, func(i, j int) bool { return writes[i].pos < writes[j].pos })
+	manifestAt := token.NoPos
+	for _, w := range writes {
+		if w.manifest {
+			manifestAt = w.pos
+			continue
+		}
+		if manifestAt.IsValid() {
+			pass.Reportf(w.pos,
+				"%s writes after the manifest committed at line %d; the manifest must be the last write of the sequence",
+				w.desc, pass.Fset.Position(manifestAt).Line)
+		}
+	}
+}
+
+// mentionsManifest reports whether any argument of the call names the
+// manifest (an identifier or string literal containing "manifest").
+func mentionsManifest(call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		found := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.Ident:
+				if containsManifest(x.Name) {
+					found = true
+				}
+			case *ast.BasicLit:
+				if containsManifest(x.Value) {
+					found = true
+				}
+			case *ast.FuncLit:
+				return false
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func containsManifest(s string) bool {
+	return strings.Contains(strings.ToLower(s), "manifest")
+}
+
+// derivesFromTemp reports whether the expression is rooted at (or calls a
+// method of, e.g. tmp.Name()) a variable holding an os.CreateTemp result.
+func derivesFromTemp(info *types.Info, e ast.Expr, tempObjs map[types.Object]bool) bool {
+	if len(tempObjs) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := objectOf(info, id); obj != nil && tempObjs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

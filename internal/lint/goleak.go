@@ -1,0 +1,337 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoLeak guards goroutine lifecycles (the PR 9 writer-lane class): every
+// goroutine launched with `go` must have a termination path, or it leaks —
+// and a leaked writer holds its resources (journal handles, lanes, test
+// servers) past shutdown. Two shapes are reported:
+//
+//   - an unconditional `for { ... }` loop containing no return, no break
+//     out of the loop and no terminal call (panic, os.Exit,
+//     runtime.Goexit): nothing ever ends the goroutine, ctx.Done() cases
+//     included only if they return or break;
+//   - `for range ch` over a channel that nothing in the package closes:
+//     the drain loop blocks forever once the senders stop.
+//
+// Close sites are matched by channel identity where possible (field path
+// such as lane.q, package variable, local object) and by element type as
+// a fallback for channels handed across functions.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "flags go-launched goroutines with no termination path (endless loops, ranges over never-closed channels)",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(pass *Pass) error {
+	g := &goLeakPass{pass: pass, closed: map[string]bool{}, closedElems: map[string]bool{},
+		funcBodies: map[*types.Func]*ast.FuncDecl{}, litBindings: map[types.Object]*ast.FuncLit{}}
+	g.collect()
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if gs, ok := n.(*ast.GoStmt); ok {
+				g.checkGo(gs)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type goLeakPass struct {
+	pass *Pass
+	// closed keys every close(x) target: "Type.field" for field channels,
+	// "var name" for package-level ones, and object-pointer identity is
+	// handled separately via closedObjs.
+	closed      map[string]bool
+	closedElems map[string]bool // types.TypeString of closed channels' element types
+	closedObjs  map[types.Object]bool
+	funcBodies  map[*types.Func]*ast.FuncDecl
+	litBindings map[types.Object]*ast.FuncLit
+}
+
+// collect indexes the package: close() targets, function declarations, and
+// `name := func(){...}` bindings (so `go name(...)` resolves).
+func (g *goLeakPass) collect() {
+	info := g.pass.TypesInfo
+	g.closedObjs = map[types.Object]bool{}
+	for _, f := range g.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.FuncDecl:
+				if st.Body != nil {
+					if fn, ok := info.Defs[st.Name].(*types.Func); ok {
+						g.funcBodies[fn] = st
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range st.Rhs {
+					if i >= len(st.Lhs) {
+						break
+					}
+					lit, ok := rhs.(*ast.FuncLit)
+					if !ok {
+						continue
+					}
+					if id, ok := ast.Unparen(st.Lhs[i]).(*ast.Ident); ok {
+						if obj := objectOf(info, id); obj != nil {
+							g.litBindings[obj] = lit
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(st.Fun).(*ast.Ident); ok && id.Name == "close" && len(st.Args) == 1 {
+					if _, isBuiltin := objectOf(info, id).(*types.Builtin); isBuiltin {
+						g.recordClose(st.Args[0])
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (g *goLeakPass) recordClose(e ast.Expr) {
+	info := g.pass.TypesInfo
+	if key, obj, ok := chanKey(info, e); ok {
+		if key != "" {
+			g.closed[key] = true
+		}
+		if obj != nil {
+			g.closedObjs[obj] = true
+		}
+	}
+	if t := info.TypeOf(e); t != nil {
+		if ch, ok := t.Underlying().(*types.Chan); ok {
+			g.closedElems[types.TypeString(ch.Elem(), nil)] = true
+		}
+	}
+}
+
+// chanKey derives a stable identity for a channel expression: field
+// channels key by root type + field path ("lane.q"), package variables by
+// name; the root object is returned for local-identity matches.
+func chanKey(info *types.Info, e ast.Expr) (string, types.Object, bool) {
+	var path []string
+	cur := e
+	for {
+		switch x := ast.Unparen(cur).(type) {
+		case *ast.SelectorExpr:
+			path = append([]string{x.Sel.Name}, path...)
+			cur = x.X
+		case *ast.StarExpr:
+			cur = x.X
+		case *ast.IndexExpr:
+			cur = x.X
+		case *ast.Ident:
+			obj := objectOf(info, x)
+			if obj == nil {
+				return "", nil, false
+			}
+			if len(path) == 0 {
+				if v, ok := obj.(*types.Var); ok && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+					_ = v
+					return "pkg." + obj.Name(), obj, true
+				}
+				return "", obj, true
+			}
+			t := obj.Type()
+			if ptr, ok := t.Underlying().(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := types.Unalias(t).(*types.Named); ok {
+				key := named.Obj().Name()
+				for _, p := range path {
+					key += "." + p
+				}
+				return key, nil, true
+			}
+			return "", nil, false
+		default:
+			return "", nil, false
+		}
+	}
+}
+
+// checkGo analyzes one `go` statement's target body.
+func (g *goLeakPass) checkGo(gs *ast.GoStmt) {
+	body := g.resolveBody(gs.Call)
+	if body == nil {
+		return
+	}
+	walkSkipFuncLits(body, func(n ast.Node) {
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			if !isUnconditionalFor(loop) {
+				return
+			}
+			if loopHasExit(loop, loop.Body, g.pass.TypesInfo) {
+				return
+			}
+			g.pass.Reportf(gs.Pos(),
+				"goroutine loops forever: the for-loop at line %d has no return, break, or terminal call — add a ctx.Done()/done-channel exit",
+				g.pass.Fset.Position(loop.Pos()).Line)
+		case *ast.RangeStmt:
+			t := g.pass.TypesInfo.TypeOf(loop.X)
+			if t == nil {
+				return
+			}
+			ch, ok := t.Underlying().(*types.Chan)
+			if !ok {
+				return
+			}
+			if loopHasExit(loop, loop.Body, g.pass.TypesInfo) {
+				return
+			}
+			if g.chanIsClosed(loop.X, ch) {
+				return
+			}
+			g.pass.Reportf(gs.Pos(),
+				"goroutine ranges over %s but nothing in the package closes it: the drain loop never terminates",
+				exprText(loop.X))
+		}
+	})
+}
+
+func (g *goLeakPass) chanIsClosed(e ast.Expr, ch *types.Chan) bool {
+	key, obj, ok := chanKey(g.pass.TypesInfo, e)
+	if ok {
+		if key != "" && g.closed[key] {
+			return true
+		}
+		if obj != nil && g.closedObjs[obj] {
+			return true
+		}
+		if key != "" || obj != nil {
+			// Identity resolved but no matching close: only the weaker
+			// element-type fallback can still clear it (the channel may have
+			// been handed over from the closing function under another name).
+			return obj != nil && g.closedElems[types.TypeString(ch.Elem(), nil)]
+		}
+	}
+	return g.closedElems[types.TypeString(ch.Elem(), nil)]
+}
+
+// resolveBody finds the body the go statement executes: a literal, a
+// local variable bound to a literal, or a same-package declaration.
+func (g *goLeakPass) resolveBody(call *ast.CallExpr) *ast.BlockStmt {
+	info := g.pass.TypesInfo
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if obj := objectOf(info, fun); obj != nil {
+			if lit := g.litBindings[obj]; lit != nil {
+				return lit.Body
+			}
+			if fn, ok := obj.(*types.Func); ok {
+				if fd := g.funcBodies[fn]; fd != nil {
+					return fd.Body
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := objectOf(info, fun.Sel).(*types.Func); ok {
+			if fd := g.funcBodies[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// isUnconditionalFor reports whether the loop can only be left from
+// inside: `for {}` or `for true {}`.
+func isUnconditionalFor(f *ast.ForStmt) bool {
+	if f.Cond == nil {
+		return true
+	}
+	if id, ok := ast.Unparen(f.Cond).(*ast.Ident); ok && id.Name == "true" {
+		return true
+	}
+	return false
+}
+
+// loopHasExit reports whether the loop body contains a statement that
+// leaves the loop (and with it, eventually, the goroutine): a return, a
+// break targeting this loop, a goto, or a terminal call. Nested function
+// literals are their own control flow and do not count.
+func loopHasExit(loop ast.Stmt, body *ast.BlockStmt, info *types.Info) bool {
+	exit := false
+	// depth tracks enclosing breakable statements below the loop: an
+	// unlabeled break only exits our loop when no for/range/switch/select
+	// sits in between.
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		if exit || n == nil {
+			return
+		}
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return
+		case *ast.ReturnStmt:
+			exit = true
+			return
+		case *ast.BranchStmt:
+			if st.Tok.String() == "goto" {
+				exit = true // target is outside our conservative model
+				return
+			}
+			if st.Tok.String() == "break" && (st.Label != nil || depth == 0) {
+				// A labeled break targets an outer statement; treat any label
+				// as an exit of this loop (labels on inner loops would be
+				// unusual inside a drain goroutine).
+				exit = true
+			}
+			return
+		case *ast.CallExpr:
+			if isTerminalCall(info, st) {
+				exit = true
+				return
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			depth++
+		}
+		// Recurse over children at the adjusted depth.
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == nil || c == n {
+				return true
+			}
+			walk(c, depth)
+			return false
+		})
+	}
+	for _, st := range body.List {
+		walk(st, 0)
+	}
+	return exit
+}
+
+// isTerminalCall reports calls that never return: panic, os.Exit,
+// runtime.Goexit, and the testing Fatal/FailNow family.
+func isTerminalCall(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := objectOf(info, id).(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		return fn.Name() == "Exit"
+	case "runtime":
+		return fn.Name() == "Goexit"
+	case "testing":
+		switch fn.Name() {
+		case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow":
+			return true
+		}
+	}
+	return false
+}

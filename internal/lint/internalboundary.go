@@ -36,6 +36,11 @@ func runInternalBoundary(pass *Pass) error {
 	}
 	internal := boundaryModule + "/internal"
 	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			// Tests are in-module code, not the consumer surface: the root
+			// package's benchmarks drive internals on purpose.
+			continue
+		}
 		for _, spec := range f.Imports {
 			imp := strings.Trim(spec.Path.Value, `"`)
 			if imp == internal || strings.HasPrefix(imp, internal+"/") {

@@ -1,29 +1,3 @@
-// Package lint implements the repository's project-specific static
-// analyzers: mechanical enforcement of the determinism, cancellation and
-// aliasing invariants that earlier PRs established by hand and that code
-// review kept re-finding (map-iteration-order float accumulation, severed
-// context chains, mutex-guarded accessors leaking their internals, pooled
-// values escaping their pool).
-//
-// The framework mirrors the Analyzer/Pass shapes of
-// golang.org/x/tools/go/analysis, reimplemented on the standard library
-// (go/ast, go/types) because the build is dependency-free: packages under
-// analysis are parsed and type-checked from source, their imports resolved
-// through the compiler's export data via `go list -export`.
-//
-// The analyzers are run by cmd/ltee-lint (a multichecker: `go run
-// ./cmd/ltee-lint ./...`) and unit-tested against testdata fixtures with
-// linttest, an analysistest-style harness.
-//
-// # Suppressing a finding
-//
-// A finding can be suppressed only with a reasoned directive:
-//
-//	//lteelint:ignore <analyzer> <reason>
-//
-// The directive covers its own line and the line immediately following it,
-// must name a known analyzer, and must carry a non-empty reason; malformed
-// and unused directives are themselves reported as findings.
 package lint
 
 import (
@@ -77,7 +51,10 @@ func (d Diagnostic) String() string {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{SortedRange, CtxFlow, AliasRet, PoolPut, InternalBoundary}
+	return []*Analyzer{
+		SortedRange, CtxFlow, AliasRet, PoolPut, InternalBoundary,
+		LockOrder, GoLeak, FsyncDisc, ErrDrop,
+	}
 }
 
 // RunAnalyzer runs one analyzer over one loaded package and returns its raw

@@ -43,6 +43,13 @@ type Loader struct {
 	// directories GOPATH-style: import "a/b" loads SrcRoot/a/b. Used by
 	// the linttest fixture harness (testdata/src trees).
 	SrcRoot string
+	// IncludeTests widens LoadPatterns to the packages' test files: each
+	// target with in-package test files is analyzed as its test variant
+	// (GoFiles + TestGoFiles, replacing the base package so findings are
+	// not doubled), and external test packages (package foo_test) are
+	// loaded as their own "<path>_test" package, seeing the base package
+	// through its export data.
+	IncludeTests bool
 
 	exports map[string]string // import path -> export data file
 	pkgs    map[string]*Package
@@ -78,17 +85,19 @@ func NewLoader(modDir string) *Loader {
 
 // listPkg is the subset of `go list -json` output the loader consumes.
 type listPkg struct {
-	ImportPath string
-	Dir        string
-	Export     string
-	GoFiles    []string
-	Standard   bool
-	Error      *struct{ Err string }
+	ImportPath   string
+	Dir          string
+	Export       string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Standard     bool
+	Error        *struct{ Err string }
 }
 
 func (l *Loader) goList(args ...string) ([]listPkg, error) {
 	cmd := exec.Command("go", append([]string{"list", "-e",
-		"-json=ImportPath,Dir,Export,GoFiles,Standard,Error"}, args...)...)
+		"-json=ImportPath,Dir,Export,GoFiles,TestGoFiles,XTestGoFiles,Standard,Error"}, args...)...)
 	cmd.Dir = l.ModDir
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
@@ -138,8 +147,14 @@ func (l *Loader) LoadPatterns(patterns ...string) ([]*Package, error) {
 		if len(p.GoFiles) == 0 {
 			continue
 		}
-		files := make([]string, len(p.GoFiles))
-		for i, f := range p.GoFiles {
+		names := p.GoFiles
+		if l.IncludeTests {
+			// The test variant replaces the base package: same import path,
+			// base findings reported once, test-file findings on top.
+			names = append(append([]string{}, p.GoFiles...), p.TestGoFiles...)
+		}
+		files := make([]string, len(names))
+		for i, f := range names {
 			files[i] = filepath.Join(p.Dir, f)
 		}
 		pkg, err := l.check(p.ImportPath, p.Dir, files)
@@ -147,6 +162,17 @@ func (l *Loader) LoadPatterns(patterns ...string) ([]*Package, error) {
 			return nil, err
 		}
 		out = append(out, pkg)
+		if l.IncludeTests && len(p.XTestGoFiles) > 0 {
+			xfiles := make([]string, len(p.XTestGoFiles))
+			for i, f := range p.XTestGoFiles {
+				xfiles[i] = filepath.Join(p.Dir, f)
+			}
+			xpkg, err := l.check(p.ImportPath+"_test", p.Dir, xfiles)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, xpkg)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out, nil

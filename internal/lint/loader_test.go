@@ -1,0 +1,94 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func writeFile(path, content string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func fixtureLoader(t *testing.T) *lint.Loader {
+	t.Helper()
+	src, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := lint.NewLoader(".")
+	loader.SrcRoot = src
+	return loader
+}
+
+// TestLoaderBuildError loads a fixture that does not type-check: the
+// loader must return the checker's error, not a half-checked package.
+func TestLoaderBuildError(t *testing.T) {
+	_, err := fixtureLoader(t).Load("broken")
+	if err == nil {
+		t.Fatal("Load(broken) = nil error, want type-check failure")
+	}
+	if !strings.Contains(err.Error(), "type-checking broken") {
+		t.Errorf("Load(broken) error = %v, want a type-checking error", err)
+	}
+}
+
+// TestLoaderParseError loads a directory whose file does not parse.
+func TestLoaderParseError(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeFile(filepath.Join(dir, "mangled", "mangled.go"),
+		"package mangled\n\nfunc Unclosed() {\n"); err != nil {
+		t.Fatal(err)
+	}
+	loader := lint.NewLoader(".")
+	loader.SrcRoot = dir
+	if _, err := loader.Load("mangled"); err == nil {
+		t.Fatal("Load(mangled) = nil error, want parse failure")
+	}
+}
+
+// TestLoaderSourceFallback loads a fixture importing a sibling fixture:
+// the import has no export data, so it must be type-checked from source,
+// and the resulting types must be usable by the analyzers.
+func TestLoaderSourceFallback(t *testing.T) {
+	loader := fixtureLoader(t)
+	pkg, err := loader.Load("depuser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, imp := range pkg.Types.Imports() {
+		if imp.Path() == "deplib" {
+			found = true
+			if !imp.Complete() {
+				t.Error("source-checked import deplib is not marked complete")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("depuser imports = %v, want deplib", pkg.Types.Imports())
+	}
+	for _, a := range lint.All() {
+		if _, err := lint.RunAnalyzer(a, pkg); err != nil {
+			t.Errorf("%s over source-fallback package: %v", a.Name, err)
+		}
+	}
+}
+
+// TestLoaderMissingPackage exercises the `go list -e` error path: a
+// package path that matches nothing must come back as a load error.
+func TestLoaderMissingPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list; skipped under -short")
+	}
+	loader := lint.NewLoader(filepath.Join("..", ".."))
+	if _, err := loader.LoadPatterns("repro/internal/nonexistent"); err == nil {
+		t.Fatal("LoadPatterns(repro/internal/nonexistent) = nil error, want load failure")
+	}
+}

@@ -1,0 +1,488 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder guards the scheduler-era lock hierarchy (the PR 9 invariant):
+// the execution RWMutex, the corpus RWMutex and the kb mutex are acquired
+// in one global order, and no critical section re-enters its own lock.
+// The analyzer builds an intra-package lock graph over sync.Mutex /
+// sync.RWMutex acquisitions — receiver-field locks keyed by (type, field
+// path), package-level locks by variable name, with RLock and Lock modes
+// kept apart — and reports three shapes:
+//
+//   - double-lock: acquiring a lock value that is provably already held on
+//     the same path (including an RLock→Lock upgrade, which deadlocks
+//     against a concurrent writer);
+//   - re-entry through a call: a critical section calling a same-package
+//     function whose (transitive) summary acquires the very lock held at
+//     the call site, on the same receiver;
+//   - ordering cycle: lock A is acquired while B is held somewhere and B
+//     while A is held somewhere else — the two paths deadlock when they
+//     interleave.
+//
+// The scan is linear per function body (an inline Unlock releases for the
+// statements after it; a deferred Unlock holds to the end), so findings
+// are conservative: a lock released on one branch is treated as released.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "flags lock-order cycles, double-locks and critical sections calling " +
+		"back into their own mutex",
+	Run: runLockOrder,
+}
+
+// lockMode distinguishes shared from exclusive acquisition.
+type lockMode int
+
+const (
+	modeRead  lockMode = iota // RLock
+	modeWrite                 // Lock
+)
+
+func (m lockMode) String() string {
+	if m == modeRead {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+// A lockRef identifies one syntactic lock reference: the type-level key
+// (hierarchy identity) plus, when resolvable, the instance it is rooted at
+// (for same-value double-lock certainty).
+type lockRef struct {
+	key      string       // "Server.jobMu", "exportCache", "KB" (embedded)
+	root     types.Object // root variable, nil when not a simple chain
+	pkgLevel bool         // rooted at a package-level variable
+	recvOf   types.Object // set when root is the enclosing func's receiver
+}
+
+// sameValue reports whether two references provably name the same lock
+// value: a package-level lock always does; otherwise both must be rooted
+// at the same variable.
+func (a lockRef) sameValue(b lockRef) bool {
+	if a.key != b.key {
+		return false
+	}
+	if a.pkgLevel && b.pkgLevel {
+		return true
+	}
+	return a.root != nil && a.root == b.root
+}
+
+// lockAcq is one acquisition in a function summary.
+type lockAcq struct {
+	key      string
+	mode     lockMode
+	pkgLevel bool
+	// recvRooted: the acquisition is on the function's own receiver, so a
+	// caller invoking the function on value v acquires v's lock.
+	recvRooted bool
+}
+
+// lockEdge records "to acquired while from was held", once per pair.
+type lockEdge struct {
+	pos  token.Pos
+	desc string // human form of the acquisition site
+}
+
+func runLockOrder(pass *Pass) error {
+	lo := &lockOrderPass{
+		pass:      pass,
+		summaries: map[*types.Func]map[string]lockAcq{},
+		decls:     map[*types.Func]*ast.FuncDecl{},
+		edges:     map[string]map[string]lockEdge{},
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					lo.decls[fn] = fd
+				}
+			}
+		}
+	}
+	lo.buildSummaries()
+	for fn, fd := range lo.decls {
+		lo.scanFunc(fd, fn)
+	}
+	lo.reportCycles()
+	return nil
+}
+
+type lockOrderPass struct {
+	pass      *Pass
+	decls     map[*types.Func]*ast.FuncDecl
+	summaries map[*types.Func]map[string]lockAcq
+	edges     map[string]map[string]lockEdge
+}
+
+// lockCall resolves call as a (*sync.Mutex)/(*sync.RWMutex) method call and
+// returns the lock reference, the method name and its mode.
+func (lo *lockOrderPass) lockCall(fd *ast.FuncDecl, call *ast.CallExpr) (lockRef, string, lockMode, bool) {
+	fn := calleeFunc(lo.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockRef{}, "", 0, false
+	}
+	name := fn.Name()
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return lockRef{}, "", 0, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockRef{}, "", 0, false
+	}
+	ref := lo.refOf(fd, sel.X)
+	mode := modeWrite
+	if name == "RLock" || name == "RUnlock" {
+		mode = modeRead
+	}
+	return ref, name, mode, true
+}
+
+// refOf derives the lock reference of the receiver expression e: package
+// variables key by name, everything else by the root's named type plus the
+// field path (so two *Server values share the key "Server.jobMu" while
+// staying distinct instances).
+func (lo *lockOrderPass) refOf(fd *ast.FuncDecl, e ast.Expr) lockRef {
+	info := lo.pass.TypesInfo
+	var path []string
+	cur := e
+	for {
+		switch x := ast.Unparen(cur).(type) {
+		case *ast.SelectorExpr:
+			path = append([]string{x.Sel.Name}, path...)
+			cur = x.X
+		case *ast.StarExpr:
+			cur = x.X
+		case *ast.IndexExpr:
+			cur = x.X
+		case *ast.Ident:
+			obj := objectOf(info, x)
+			if obj == nil {
+				return lockRef{key: exprText(e)}
+			}
+			ref := lockRef{root: obj}
+			if v, ok := obj.(*types.Var); ok && !v.IsField() && obj.Pkg() != nil &&
+				obj.Parent() == obj.Pkg().Scope() {
+				ref.pkgLevel = true
+				ref.key = strings.Join(append([]string{obj.Name()}, path...), ".")
+				return ref
+			}
+			t := obj.Type()
+			if ptr, ok := t.Underlying().(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := types.Unalias(t).(*types.Named); ok {
+				ref.key = strings.Join(append([]string{named.Obj().Name()}, path...), ".")
+			} else {
+				ref.key = exprText(e)
+			}
+			if fd != nil && fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+				if objectOf(info, fd.Recv.List[0].Names[0]) == obj {
+					ref.recvOf = obj
+				}
+			}
+			return ref
+		default:
+			return lockRef{key: exprText(e)}
+		}
+	}
+}
+
+// buildSummaries computes, for every declared function, the set of lock
+// keys it (transitively, through same-package calls) attempts to acquire.
+func (lo *lockOrderPass) buildSummaries() {
+	info := lo.pass.TypesInfo
+	// Direct acquisitions and callees, function literals excluded: a
+	// closure's acquisitions happen on its own schedule (goroutine, defer),
+	// not on the caller's path.
+	callees := map[*types.Func]map[*types.Func]bool{}
+	for fn, fd := range lo.decls {
+		sum := map[string]lockAcq{}
+		calls := map[*types.Func]bool{}
+		walkSkipFuncLits(fd.Body, func(n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if ref, name, mode, ok := lo.lockCall(fd, call); ok {
+				if name == "Lock" || name == "RLock" {
+					addAcq(sum, lockAcq{key: ref.key, mode: mode, pkgLevel: ref.pkgLevel, recvRooted: ref.recvOf != nil})
+				}
+				return
+			}
+			if callee := calleeFunc(info, call); callee != nil && lo.decls[callee] != nil {
+				calls[callee] = true
+			}
+		})
+		lo.summaries[fn] = sum
+		callees[fn] = calls
+	}
+	// Fixed point: propagate callee acquisitions. Receiver-rootedness is
+	// only preserved when the call is on the caller's own receiver (checked
+	// at the call site during scanning); in the summary it degrades to
+	// type-level.
+	for changed := true; changed; {
+		changed = false
+		for fn := range lo.decls {
+			sum := lo.summaries[fn]
+			for callee := range callees[fn] {
+				for _, acq := range lo.summaries[callee] {
+					prop := acq
+					prop.recvRooted = false
+					if addAcq(sum, prop) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// addAcq inserts an acquisition, keeping Lock over RLock for a key seen in
+// both modes. Reports whether the summary changed.
+func addAcq(sum map[string]lockAcq, acq lockAcq) bool {
+	cur, ok := sum[acq.key]
+	if !ok {
+		sum[acq.key] = acq
+		return true
+	}
+	if cur.mode == modeRead && acq.mode == modeWrite {
+		cur.mode = modeWrite
+		sum[acq.key] = cur
+		return true
+	}
+	return false
+}
+
+// heldLock is one acquisition live on the current scan path.
+type heldLock struct {
+	ref  lockRef
+	mode lockMode
+	pos  token.Pos
+}
+
+// scanFunc walks one function body in source order, tracking the held
+// set, and reports double-locks and re-entries. Function literals become
+// their own scopes with an empty held set (they run on another schedule).
+func (lo *lockOrderPass) scanFunc(fd *ast.FuncDecl, fn *types.Func) {
+	lo.scanBody(fd, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lo.scanBody(fd, lit.Body)
+		}
+		return true
+	})
+}
+
+func (lo *lockOrderPass) scanBody(fd *ast.FuncDecl, body *ast.BlockStmt) {
+	info := lo.pass.TypesInfo
+	var held []heldLock
+	position := func(p token.Pos) int { return lo.pass.Fset.Position(p).Line }
+	walkSkipFuncLits(body, func(n ast.Node) {
+		if def, ok := n.(*ast.DeferStmt); ok {
+			// A deferred unlock releases at return: the lock stays held for
+			// the rest of the linear scan, which is exactly right. Deferred
+			// plain calls run after the body; skip them.
+			if _, name, _, isLock := lo.lockCall(fd, def.Call); isLock && (name == "Unlock" || name == "RUnlock") {
+				return
+			}
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if insideDefer(body, call) {
+			return
+		}
+		if ref, name, mode, isLock := lo.lockCall(fd, call); isLock {
+			switch name {
+			case "Lock", "RLock":
+				for _, h := range held {
+					if h.ref.sameValue(ref) {
+						lo.pass.Reportf(call.Pos(),
+							"%s of %s while already holding its %s (line %d): %s",
+							mode, ref.key, h.mode, position(h.pos), doubleLockWhy(h.mode, mode))
+					} else if h.ref.key != ref.key {
+						lo.addEdge(h.ref.key, ref.key, call.Pos(), fmt.Sprintf(
+							"%s acquired while %s held", ref.key, h.ref.key))
+					}
+				}
+				held = append(held, heldLock{ref: ref, mode: mode, pos: call.Pos()})
+			case "Unlock", "RUnlock":
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i].ref.key == ref.key {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			}
+			return
+		}
+		callee := calleeFunc(info, call)
+		if callee == nil || lo.decls[callee] == nil || len(held) == 0 {
+			return
+		}
+		recvRoot := lo.callReceiverRoot(call)
+		for _, acq := range sortedAcqs(lo.summaries[callee]) {
+			for _, h := range held {
+				if h.ref.key == acq.key {
+					// Re-entry is certain only when the lock value matches:
+					// package-level locks always do; receiver-field locks when
+					// the call's receiver is the variable the held lock is
+					// rooted at.
+					if (h.ref.pkgLevel && acq.pkgLevel) ||
+						(acq.recvRooted && h.ref.root != nil && h.ref.root == recvRoot) {
+						lo.pass.Reportf(call.Pos(),
+							"calls %s, which acquires %s (%s) already held here (%s at line %d): self-deadlock",
+							callee.Name(), acq.key, acq.mode, h.mode, position(h.pos))
+					}
+				} else {
+					lo.addEdge(h.ref.key, acq.key, call.Pos(), fmt.Sprintf(
+						"%s acquires %s while %s held", callee.Name(), acq.key, h.ref.key))
+				}
+			}
+		}
+	})
+}
+
+// callReceiverRoot returns the object of the receiver chain's root
+// identifier of a method call (the s of s.completeJob(...)), or nil.
+func (lo *lockOrderPass) callReceiverRoot(call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	root := rootIdent(sel.X)
+	if root == nil {
+		return nil
+	}
+	return objectOf(lo.pass.TypesInfo, root)
+}
+
+func doubleLockWhy(held, next lockMode) string {
+	switch {
+	case held == modeWrite:
+		return "sync mutexes are not reentrant"
+	case next == modeWrite:
+		return "a read-to-write upgrade deadlocks against the readers"
+	default:
+		return "recursive RLock deadlocks once a writer is waiting in between"
+	}
+}
+
+func (lo *lockOrderPass) addEdge(from, to string, pos token.Pos, desc string) {
+	m := lo.edges[from]
+	if m == nil {
+		m = map[string]lockEdge{}
+		lo.edges[from] = m
+	}
+	if _, ok := m[to]; !ok {
+		m[to] = lockEdge{pos: pos, desc: desc}
+	}
+}
+
+// reportCycles finds edges that participate in an ordering cycle and
+// reports each such edge at its first acquisition site.
+func (lo *lockOrderPass) reportCycles() {
+	froms := make([]string, 0, len(lo.edges))
+	for from := range lo.edges {
+		froms = append(froms, from)
+	}
+	sort.Strings(froms)
+	for _, from := range froms {
+		tos := make([]string, 0, len(lo.edges[from]))
+		for to := range lo.edges[from] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			if path := lo.findPath(to, from); path != nil {
+				e := lo.edges[from][to]
+				cycle := append([]string{from, to}, path[1:]...)
+				lo.pass.Reportf(e.pos,
+					"lock-order cycle: %s (%s) — acquire these locks in one global order",
+					strings.Join(cycle, " -> "), e.desc)
+			}
+		}
+	}
+}
+
+// findPath returns a lock-key path from -> ... -> to following edges, or
+// nil. Deterministic: neighbors visited in sorted order.
+func (lo *lockOrderPass) findPath(from, to string) []string {
+	seen := map[string]bool{}
+	var dfs func(cur string, path []string) []string
+	dfs = func(cur string, path []string) []string {
+		if cur == to {
+			return append(path, cur)
+		}
+		if seen[cur] {
+			return nil
+		}
+		seen[cur] = true
+		nexts := make([]string, 0, len(lo.edges[cur]))
+		for n := range lo.edges[cur] {
+			nexts = append(nexts, n)
+		}
+		sort.Strings(nexts)
+		for _, n := range nexts {
+			if r := dfs(n, append(path, cur)); r != nil {
+				return r
+			}
+		}
+		return nil
+	}
+	return dfs(from, nil)
+}
+
+// sortedAcqs returns a summary's acquisitions in stable key order.
+func sortedAcqs(sum map[string]lockAcq) []lockAcq {
+	keys := make([]string, 0, len(sum))
+	for k := range sum {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]lockAcq, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, sum[k])
+	}
+	return out
+}
+
+// walkSkipFuncLits visits every node of root in source order, pruning
+// function literal subtrees (they execute on their own schedule and are
+// scanned as separate scopes).
+func walkSkipFuncLits(root ast.Node, fn func(n ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// insideDefer reports whether the call is the immediate call of a
+// DeferStmt — handled separately by the scan. (Arguments of a deferred
+// call still evaluate inline and are visited normally.)
+func insideDefer(body *ast.BlockStmt, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok && d.Call == call {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

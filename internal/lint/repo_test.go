@@ -21,3 +21,18 @@ func TestRepoIsLintClean(t *testing.T) {
 		t.Errorf("%s", d)
 	}
 }
+
+// TestRepoTestFilesAreLintClean widens the gate to the repository's test
+// files — the same run CI applies with `ltee-lint -tests ./...`.
+func TestRepoTestFilesAreLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module including tests; skipped under -short")
+	}
+	diags, err := lint.RunTests("../..", []string{"./..."}, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

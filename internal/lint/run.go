@@ -9,7 +9,19 @@ import (
 // //lteelint:ignore directives, in stable (file, line, column, analyzer)
 // order. An empty result means the tree is lint-clean.
 func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return run(dir, patterns, analyzers, false)
+}
+
+// RunTests is Run over the patterns' test files as well: each package is
+// analyzed as its test variant and external _test packages are analyzed
+// in their own right.
+func RunTests(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return run(dir, patterns, analyzers, true)
+}
+
+func run(dir string, patterns []string, analyzers []*Analyzer, includeTests bool) ([]Diagnostic, error) {
 	loader := NewLoader(dir)
+	loader.IncludeTests = includeTests
 	pkgs, err := loader.LoadPatterns(patterns...)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,6 @@
+// Package broken does not type-check: the loader must surface the error
+// rather than analyze a half-checked package.
+package broken
+
+// Count is declared an int but assigned a string.
+var Count int = "not a number"

@@ -1,0 +1,15 @@
+// Package deplib is a fixture dependency with no export data: importers
+// must fall back to type-checking it from source.
+package deplib
+
+// Weights maps class names to weights.
+type Weights map[string]float64
+
+// Total sums w deterministically enough for a fixture.
+func Total(w Weights) float64 {
+	var sum float64
+	for _, v := range w {
+		sum += v
+	}
+	return sum
+}

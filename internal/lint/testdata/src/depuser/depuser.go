@@ -1,0 +1,11 @@
+// Package depuser imports a sibling fixture package, exercising the
+// loader's source fallback for imports without export data.
+package depuser
+
+import "deplib"
+
+// Describe consumes the dependency's exported type through the
+// source-checked import.
+func Describe(w deplib.Weights) float64 {
+	return deplib.Total(w) / 2
+}

@@ -1,0 +1,89 @@
+// Package errdrop is the fixture for the errdrop analyzer, guarding
+// error handling on durability paths: a dropped Close/Sync/Flush/Rename
+// error on a written file is a silently-lost write.
+package errdrop
+
+import (
+	"bufio"
+	"os"
+)
+
+type journal struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+// commit is the blessed shape: every durable error is propagated.
+func (j *journal) commit(tmpName, path string) error {
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	if err := j.f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmpName, path)
+}
+
+// closeDropped is the historical bug shape: the journal handle's Close
+// error vanishes while the in-memory state moves on.
+func (j *journal) closeDropped() {
+	j.f.Sync()  // want `j\.f\.Sync discards its error on a durability path`
+	j.f.Close() // want `j\.f\.Close discards its error on a durability path`
+}
+
+// deferDropped defers the close with the error discarded on a write path.
+func (j *journal) deferDropped(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `f\.Close defers with its error discarded on a durability path`
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// blankAssign blanks an error-returning call on the commit path.
+func (j *journal) blankAssign(tmpName, path string) {
+	_ = os.Rename(tmpName, path) // want `_ = os\.Rename blanks an error on a durability path`
+}
+
+// readPath closes a file opened with os.Open: a read-only handle cannot
+// lose writes, so the deferred Close is exempt.
+func readPath(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	if _, err := f.Read(buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// errorExit closes the temp file while unwinding an earlier failure: the
+// original error is the one that matters, so the Close is exempt.
+func errorExit(path string, data []byte) error {
+	tmp, err := os.CreateTemp(".", ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

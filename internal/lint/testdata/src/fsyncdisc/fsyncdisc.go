@@ -1,0 +1,100 @@
+// Package fsyncdisc is the fixture for the fsyncdisc analyzer, guarding
+// the PR 8 durable-write discipline: temp sibling from os.CreateTemp,
+// fsync the file, rename, fsync the parent directory — and in a
+// multi-file commit the manifest is written last.
+package fsyncdisc
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// atomicWrite is the blessed shape the real kb/serve helpers follow.
+func atomicWrite(path string, data []byte) error {
+	dirName := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dirName, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	dir, err := os.Open(dirName)
+	if err != nil {
+		return err
+	}
+	defer dir.Close()
+	return dir.Sync()
+}
+
+// renameNoSync is the historical bug shape: the rename is durable before
+// the content is, so a crash leaves the final name with torn bytes — and
+// without the directory fsync the rename itself can vanish.
+func renameNoSync(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path) // want `os.Rename commits a file with no fsync before it` `os.Rename is not followed by an fsync of the parent directory`
+}
+
+// renameInPlace commits a sibling that never came from os.CreateTemp:
+// not crash-atomic against the writer of src.
+func renameInPlace(src, dst string) error {
+	f, err := os.Create(src)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(src, dst); err != nil { // want `os.Rename source src is not an os.CreateTemp file from this function` `os.Rename is not followed by an fsync of the parent directory`
+		return err
+	}
+	return nil
+}
+
+// writeInPlace uses os.WriteFile in a persisting package: a crash mid-call
+// leaves a half-written file under the final name.
+func writeInPlace(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `os.WriteFile writes in place \(not crash-atomic\) in a package that persists state`
+}
+
+// saveAll is the blessed commit order: segments first, manifest last.
+func saveAll(dir string, segs [][]byte, manifest []byte) error {
+	for i, seg := range segs {
+		if err := atomicWrite(filepath.Join(dir, "seg", string(rune('a'+i))), seg); err != nil {
+			return err
+		}
+	}
+	return atomicWrite(filepath.Join(dir, "manifest"), manifest)
+}
+
+// saveManifestFirst is the ordering bug: a crash after the manifest
+// commit leaves it describing segments that do not exist yet.
+func saveManifestFirst(dir string, seg, manifest []byte) error {
+	if err := atomicWrite(filepath.Join(dir, "manifest"), manifest); err != nil {
+		return err
+	}
+	return atomicWrite(filepath.Join(dir, "seg"), seg) // want `atomicWrite writes after the manifest committed at line \d+; the manifest must be the last write of the sequence`
+}

@@ -1,0 +1,134 @@
+// Package goleak is the fixture for the goleak analyzer, guarding the
+// PR 9 writer-lane lifecycle: every go-launched goroutine needs a
+// termination path — a return/break out of its loop or a close site for
+// the channel it drains.
+package goleak
+
+import "context"
+
+type lane struct {
+	q    chan int
+	done chan struct{}
+}
+
+type server struct {
+	busy lane
+	idle lane
+	n    int
+}
+
+// spinForever is the historical bug shape: a monitor loop with no exit,
+// alive past shutdown.
+func (s *server) spinForever() {
+	go func() { // want `goroutine loops forever: the for-loop at line \d+ has no return, break, or terminal call`
+		for {
+			s.n++
+		}
+	}()
+}
+
+// spinTrue is the same bug spelled with a constant condition.
+func (s *server) spinTrue() {
+	go func() { // want `goroutine loops forever: the for-loop at line \d+ has no return, break, or terminal call`
+		for true {
+			s.n++
+		}
+	}()
+}
+
+// spinWithCtx is the fixed shape: the ctx.Done() case returns.
+func (s *server) spinWithCtx(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-s.busy.q:
+				s.n += v
+			}
+		}
+	}()
+}
+
+// spinWithDone exits through the lane's done channel.
+func (s *server) spinWithDone() {
+	go func() {
+		for {
+			select {
+			case <-s.busy.done:
+				return
+			default:
+				s.n++
+			}
+		}
+	}()
+}
+
+// innerBreak only leaves the inner loop: the outer one still never ends.
+func (s *server) innerBreak() {
+	go func() { // want `goroutine loops forever: the for-loop at line \d+ has no return, break, or terminal call`
+		for {
+			for i := 0; i < 8; i++ {
+				if i == s.n {
+					break
+				}
+			}
+		}
+	}()
+}
+
+// labeledBreak does leave the outer loop: fine.
+func (s *server) labeledBreak() {
+	go func() {
+	drain:
+		for {
+			for i := 0; i < 8; i++ {
+				if i == s.n {
+					break drain
+				}
+			}
+		}
+	}()
+}
+
+// drainIdle ranges over a channel nothing in the package ever closes:
+// once the senders stop, the drain blocks forever.
+func (s *server) drainIdle() {
+	go func() { // want `goroutine ranges over s\.idle\.q but nothing in the package closes it`
+		for v := range s.idle.q {
+			s.n += v
+		}
+	}()
+}
+
+// drainBusy ranges over a channel with a close site below: fine.
+func (s *server) drainBusy() {
+	go func() {
+		for v := range s.busy.q {
+			s.n += v
+		}
+	}()
+}
+
+func (s *server) shutdown() {
+	close(s.busy.q)
+	close(s.busy.done)
+}
+
+// runWorker is a declared worker launched by name; its range channel is a
+// parameter, cleared by element-type fallback against the close of events.
+func runWorker(ch chan string, sink *int) {
+	for range ch {
+		*sink++
+	}
+}
+
+var events = make(chan string)
+
+func start(sink *int) {
+	go runWorker(events, sink)
+}
+
+func stop() {
+	close(events)
+}

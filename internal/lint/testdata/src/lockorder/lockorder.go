@@ -1,0 +1,150 @@
+// Package lockorder is the fixture for the lockorder analyzer, guarding
+// the PR 9 scheduler lock hierarchy: the execution RWMutex, the corpus
+// RWMutex and the kb mutex are acquired in one global order and no
+// critical section re-enters its own lock.
+package lockorder
+
+import "sync"
+
+// Server mirrors the scheduler shape: an execution RWMutex ordered before
+// the job mutex.
+type Server struct {
+	execMu sync.RWMutex
+	jobMu  sync.Mutex
+	jobs   int
+}
+
+// doubleLock is the classic non-reentrancy bug: a helper inlined into a
+// critical section brings its own Lock along.
+func (s *Server) doubleLock() {
+	s.jobMu.Lock()
+	s.jobMu.Lock() // want `Lock of Server.jobMu while already holding its Lock \(line \d+\): sync mutexes are not reentrant`
+	s.jobs++
+	s.jobMu.Unlock()
+	s.jobMu.Unlock()
+}
+
+// upgrade is the read-to-write upgrade deadlock: the writer waits for the
+// reader that is waiting for the writer.
+func (s *Server) upgrade() {
+	s.execMu.RLock()
+	defer s.execMu.RUnlock()
+	s.execMu.Lock() // want `Lock of Server.execMu while already holding its RLock \(line \d+\): a read-to-write upgrade deadlocks against the readers`
+	s.execMu.Unlock()
+}
+
+// recursiveRead deadlocks once a writer queues between the two RLocks.
+func (s *Server) recursiveRead() int {
+	s.execMu.RLock()
+	defer s.execMu.RUnlock()
+	s.execMu.RLock() // want `RLock of Server.execMu while already holding its RLock \(line \d+\): recursive RLock deadlocks once a writer is waiting in between`
+	defer s.execMu.RUnlock()
+	return s.jobs
+}
+
+// sequential reacquires after release: fine.
+func (s *Server) sequential() {
+	s.jobMu.Lock()
+	s.jobs++
+	s.jobMu.Unlock()
+	s.jobMu.Lock()
+	s.jobs--
+	s.jobMu.Unlock()
+}
+
+// addJob acquires the job mutex on its receiver.
+func (s *Server) addJob() {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	s.jobs++
+}
+
+// reenter calls back into a method that acquires the very lock it holds:
+// self-deadlock through one level of indirection.
+func (s *Server) reenter() {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	s.addJob() // want `calls addJob, which acquires Server.jobMu \(Lock\) already held here \(Lock at line \d+\): self-deadlock`
+}
+
+// addJobLocked is the fixed shape: the caller holds jobMu, the helper
+// only mutates.
+func (s *Server) addJobLocked() {
+	s.jobs++
+}
+
+// reenterFixed routes the held-lock path through the Locked variant.
+func (s *Server) reenterFixed() {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	s.addJobLocked()
+}
+
+// otherInstance locks the same field on a different value: no finding,
+// the lock values are distinct.
+func (s *Server) otherInstance(t *Server) {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	t.addJob()
+}
+
+// nested acquires exec before job; inverted acquires job before exec.
+// Together the two paths are an ordering cycle — two goroutines
+// interleaving them deadlock holding one lock each — so both acquisition
+// sites are reported.
+func (s *Server) nested() {
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+	s.jobMu.Lock() // want `lock-order cycle: Server.execMu -> Server.jobMu -> Server.execMu`
+	s.jobs++
+	s.jobMu.Unlock()
+}
+
+func (s *Server) inverted() {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	s.execMu.RLock() // want `lock-order cycle: Server.jobMu -> Server.execMu -> Server.jobMu`
+	defer s.execMu.RUnlock()
+}
+
+// Package-level lock: re-entry through a helper is certain regardless of
+// receiver, the lock value is the one global.
+var regMu sync.Mutex
+var registry = map[string]int{}
+
+func register(name string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[name]++
+}
+
+func registerPair(a, b string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	register(a) // want `calls register, which acquires regMu \(Lock\) already held here \(Lock at line \d+\): self-deadlock`
+	registry[b]++
+}
+
+// registerLocked is the fixed shape for the global too.
+func registerLocked(name string) {
+	registry[name]++
+}
+
+func registerPairFixed(a, b string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registerLocked(a)
+	registerLocked(b)
+}
+
+// launch hands the lock work to a goroutine: the closure runs on its own
+// schedule, not on the caller's path, so no double-lock is reported.
+func (s *Server) launch() {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	go func() {
+		s.jobMu.Lock()
+		s.jobs++
+		s.jobMu.Unlock()
+	}()
+}

@@ -33,3 +33,12 @@ func UnknownAnalyzer(ctx context.Context) error {
 	//lteelint:ignore nosuchcheck because reasons
 	return ctx.Err()
 }
+
+// WrongLine puts the directive two lines above the offending call: a
+// directive covers its own line and the next only, so the finding
+// survives and the directive itself is reported as unused.
+func WrongLine(ctx context.Context) context.Context {
+	//lteelint:ignore ctxflow too far above the call to cover it
+
+	return jobContext(context.Background())
+}

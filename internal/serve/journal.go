@@ -75,11 +75,20 @@ func openJobJournal(dir string) (*jobJournal, error) {
 	return &jobJournal{path: path, f: f}, nil
 }
 
-func (jl *jobJournal) close() {
-	if jl.f != nil {
-		jl.f.Close()
-		jl.f = nil
+// close releases the append handle. The returned error is the Close
+// error of the underlying file: every append fsyncs before returning, so
+// nothing unflushed can be lost here, but a failing Close still signals
+// a sick filesystem and callers on durability paths must surface it.
+func (jl *jobJournal) close() error {
+	if jl.f == nil {
+		return nil
 	}
+	err := jl.f.Close()
+	jl.f = nil
+	if err != nil {
+		return fmt.Errorf("serve: closing job journal: %w", err)
+	}
+	return nil
 }
 
 // append writes one record plus newline and fsyncs, making the transition
@@ -131,7 +140,9 @@ func (jl *jobJournal) compact(recs []jobRecord) error {
 	}); err != nil {
 		return fmt.Errorf("serve: compacting job journal: %w", err)
 	}
-	jl.close()
+	if err := jl.close(); err != nil {
+		return err
+	}
 	f, err := os.OpenFile(jl.path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("serve: reopening job journal: %w", err)

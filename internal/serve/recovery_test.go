@@ -267,3 +267,41 @@ func TestServeJournalDisabled(t *testing.T) {
 		t.Errorf("journal file exists despite DisableJournal (stat err %v)", err)
 	}
 }
+
+// TestJournalClosePropagatesError is the regression test for the errdrop
+// finding in jobJournal.close: the handle's Close error used to be
+// discarded, so a sick filesystem at compaction time went unnoticed. The
+// error must now reach close's caller — and through compact, the
+// scheduler — while a second close of an already-released journal stays
+// a clean no-op.
+func TestJournalClosePropagatesError(t *testing.T) {
+	dir := t.TempDir()
+	jl, err := openJobJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage: release the descriptor underneath the journal so the
+	// journal's own Close fails.
+	if err := jl.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.close(); err == nil {
+		t.Fatal("close() after the handle already closed returned nil; the Close error was dropped")
+	}
+	if err := jl.close(); err != nil {
+		t.Fatalf("close() of a released journal: %v", err)
+	}
+
+	// The same error must surface through compact, which closes the old
+	// handle before reopening the compacted file.
+	jl2, err := openJobJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jl2.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl2.compact(nil); err == nil {
+		t.Fatal("compact() with a failing journal close returned nil")
+	}
+}

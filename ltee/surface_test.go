@@ -220,8 +220,14 @@ func (g *surfaceGen) parseDir(dir string) *parsedPkg {
 		g.t.Fatalf("parsing %s: %v", dir, err)
 	}
 	p := &parsedPkg{fset: fset}
-	for _, pkg := range pkgs {
-		// Deterministic file order (map iteration otherwise).
+	// Deterministic package and file order (both are maps).
+	pkgNames := make([]string, 0, len(pkgs))
+	for name := range pkgs {
+		pkgNames = append(pkgNames, name)
+	}
+	sort.Strings(pkgNames)
+	for _, pkgName := range pkgNames {
+		pkg := pkgs[pkgName]
 		names := make([]string, 0, len(pkg.Files))
 		for name := range pkg.Files {
 			names = append(names, name)
